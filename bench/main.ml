@@ -1,0 +1,450 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   (§4, Figures 9-14) plus the ablations DESIGN.md calls out.
+
+   For each page size and each of the four series (1:1/1:n ×
+   incremental/append) a store is built once; Figure 9 reports the build,
+   Figures 10-13 the four retrieval operations (buffer cleared before
+   each), Figure 14 the bytes on disk.  All times are simulated
+   milliseconds under the DCAS-34330W I/O model — see EXPERIMENTS.md for
+   the comparison against the paper's curves.
+
+   `--bechamel` additionally runs wall-clock micro-benchmarks (one
+   Bechamel Test.make per figure) on a reduced corpus. *)
+
+open Natix_core
+open Natix_workload
+module Io_stats = Natix_store.Io_stats
+
+let default_page_sizes = [ 2048; 4096; 8192; 16384; 24576; 32768 ]
+
+type cell = {
+  page_size : int;
+  series : Harness.series;
+  built : Harness.built;
+  traversal : Io_stats.t;
+  q1 : Io_stats.t;
+  q2 : Io_stats.t;
+  q3 : Io_stats.t;
+}
+
+let build_cell ~check page_size series corpus =
+  let built = Harness.build ~page_size series corpus in
+  if check then
+    List.iter (fun d -> Tree_store.check_document built.Harness.store d) built.Harness.docs;
+  let docs = built.Harness.docs and store = built.Harness.store in
+  let _, traversal = Harness.measure built (fun () -> Queries.full_traversal store ~docs) in
+  let _, q1 = Harness.measure built (fun () -> Queries.q1 store ~docs) in
+  let _, q2 = Harness.measure built (fun () -> Queries.q2 store ~docs) in
+  let _, q3 = Harness.measure built (fun () -> Queries.q3 store ~docs) in
+  { page_size; series; built; traversal; q1; q2; q3 }
+
+let series_order = Harness.all_series
+
+let print_table ~title ~unit rows value =
+  Printf.printf "\n%s\n" title;
+  Printf.printf "%-10s" "page";
+  List.iter (fun s -> Printf.printf "%18s" (Harness.series_name s)) series_order;
+  Printf.printf "    (%s)\n" unit;
+  List.iter
+    (fun (page_size, cells) ->
+      Printf.printf "%-10d" page_size;
+      List.iter
+        (fun s ->
+          let cell = List.find (fun c -> c.series = s) cells in
+          Printf.printf "%18s" (value cell))
+        series_order;
+      print_newline ())
+    rows
+
+let fmt_ms ms = Printf.sprintf "%.0f" ms
+let fmt_io (io : Io_stats.t) = fmt_ms io.Io_stats.sim_ms
+
+let figure_title = function
+  | 9 -> "Figure 9 - Insertion (simulated ms)"
+  | 10 -> "Figure 10 - Full tree traversal (simulated ms)"
+  | 11 -> "Figure 11 - Query 1: leaf selection in a subtree (simulated ms)"
+  | 12 -> "Figure 12 - Query 2: small contiguous fragments (simulated ms)"
+  | 13 -> "Figure 13 - Query 3: single path per document (simulated ms)"
+  | 14 -> "Figure 14 - Space requirements (bytes on disk)"
+  | n -> Printf.sprintf "Figure %d" n
+
+let print_figure rows n =
+  let value =
+    match n with
+    | 9 -> fun c -> fmt_io c.built.Harness.build_io
+    | 10 -> fun c -> fmt_io c.traversal
+    | 11 -> fun c -> fmt_io c.q1
+    | 12 -> fun c -> fmt_io c.q2
+    | 13 -> fun c -> fmt_io c.q3
+    | 14 -> fun c -> string_of_int c.built.Harness.disk_bytes
+    | _ -> fun _ -> "-"
+  in
+  print_table ~title:(figure_title n) ~unit:(if n = 14 then "bytes" else "sim ms") rows value
+
+let print_aux rows =
+  print_table ~title:"Auxiliary - build page I/O" ~unit:"reads+writes" rows (fun c ->
+      Printf.sprintf "%d+%d" c.built.Harness.build_io.Io_stats.reads
+        c.built.Harness.build_io.Io_stats.writes);
+  print_table ~title:"Auxiliary - record splits during build" ~unit:"splits" rows (fun c ->
+      string_of_int c.built.Harness.splits)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+
+let ablation_split_params corpus =
+  Printf.printf "\nAblation - split tolerance and split target (8K pages, 1:n append)\n";
+  Printf.printf "%-14s %-12s %12s %10s %14s %12s\n" "tolerance" "target" "insert-ms" "splits"
+    "disk-bytes" "q2-ms";
+  let page_size = 8192 in
+  List.iter
+    (fun (tolerance, target) ->
+      let config =
+        {
+          (Config.default ()) with
+          Config.page_size;
+          split_tolerance = tolerance;
+          split_target = target;
+        }
+      in
+      let store = Tree_store.in_memory ~config () in
+      let docs = List.mapi (fun i p -> (Printf.sprintf "play-%d" i, p)) corpus in
+      let io = Tree_store.io_stats store in
+      let before = Io_stats.copy io in
+      Loader.load_collection store docs ~order:Loader.Preorder;
+      Tree_store.sync store;
+      let build = Io_stats.diff (Io_stats.copy io) before in
+      let doc_names = List.map fst docs in
+      Tree_store.clear_buffers store;
+      let before = Io_stats.copy io in
+      ignore (Queries.q2 store ~docs:doc_names);
+      let q2 = Io_stats.diff (Io_stats.copy io) before in
+      Printf.printf "%-14.3f %-12.2f %12.0f %10d %14d %12.0f\n" tolerance target
+        build.Io_stats.sim_ms (Tree_store.split_count store) (Stats.disk_bytes store)
+        q2.Io_stats.sim_ms)
+    [ (0.0, 0.5); (0.05, 0.5); (0.1, 0.5); (0.25, 0.5); (0.1, 0.25); (0.1, 0.75) ]
+
+let ablation_hybrid corpus =
+  Printf.printf
+    "\nAblation - HyperStorM-style hybrid matrix (8K pages, append) vs 1:1 and native\n";
+  Printf.printf "%-22s %12s %14s %12s %12s\n" "matrix" "insert-ms" "disk-bytes" "q1-ms" "q3-ms";
+  let page_size = 8192 in
+  (* The Split Matrix is mutable and shared with the store, so entries can
+     be added after creation, once the store's name pool exists. *)
+  let hybrid store m =
+    (* Upper levels standalone (as in HyperStorM), speech subtrees flat. *)
+    List.iter
+      (fun (p, c) ->
+        Split_matrix.set m ~parent:(Tree_store.label store p) ~child:(Tree_store.label store c)
+          Split_matrix.Standalone)
+      [ ("PLAY", "ACT"); ("ACT", "SCENE"); ("SCENE", "SPEECH"); ("PLAY", "PERSONAE") ]
+  in
+  List.iter
+    (fun (name, default, configure) ->
+      let matrix = Split_matrix.create ~default () in
+      let config = { (Config.default ()) with Config.page_size; matrix } in
+      let store = Tree_store.in_memory ~config () in
+      configure store matrix;
+      let docs = List.mapi (fun i p -> (Printf.sprintf "play-%d" i, p)) corpus in
+      let io = Tree_store.io_stats store in
+      let before = Io_stats.copy io in
+      Loader.load_collection store docs ~order:Loader.Preorder;
+      Tree_store.sync store;
+      let build = Io_stats.diff (Io_stats.copy io) before in
+      let doc_names = List.map fst docs in
+      let run q =
+        Tree_store.clear_buffers store;
+        let before = Io_stats.copy io in
+        ignore (q store ~docs:doc_names);
+        (Io_stats.diff (Io_stats.copy io) before).Io_stats.sim_ms
+      in
+      let q1 = run Queries.q1 in
+      let q3 = run Queries.q3 in
+      Printf.printf "%-22s %12.0f %14d %12.0f %12.0f\n" name build.Io_stats.sim_ms
+        (Stats.disk_bytes store) q1 q3)
+    [
+      ("1:1 (all standalone)", Split_matrix.Standalone, fun _ _ -> ());
+      ("hybrid (HyperStorM)", Split_matrix.Cluster, hybrid);
+      ("1:n (native)", Split_matrix.Other, fun _ _ -> ());
+    ]
+
+let ablation_flat corpus =
+  Printf.printf "\nAblation - flat-stream BLOB baseline vs native (8K pages)\n";
+  Printf.printf "%-14s %14s %14s %16s %16s\n" "store" "load-ms" "traverse-ms" "100-updates-ms"
+    "disk-bytes";
+  let page_size = 8192 in
+  (* Flat: one blob per play. *)
+  let disk = Natix_store.Disk.in_memory ~page_size () in
+  let pool = Natix_store.Buffer_pool.create ~disk ~bytes:(2 * 1024 * 1024) () in
+  let rm = Natix_store.Record_manager.create (Natix_store.Segment.create pool) in
+  let bs = Natix_flat.Blob_store.create rm in
+  let stats = Natix_store.Disk.stats disk in
+  let before = Io_stats.copy stats in
+  let flat_docs =
+    List.mapi
+      (fun i p -> Natix_flat.Flat_document.store bs ~name:(Printf.sprintf "play-%d" i) p)
+      corpus
+  in
+  Natix_store.Buffer_pool.flush pool;
+  let load_ms = (Io_stats.diff (Io_stats.copy stats) before).Io_stats.sim_ms in
+  Natix_store.Buffer_pool.clear pool;
+  let before = Io_stats.copy stats in
+  List.iter (fun d -> ignore (Natix_flat.Flat_document.load bs d)) flat_docs;
+  let traverse_ms = (Io_stats.diff (Io_stats.copy stats) before).Io_stats.sim_ms in
+  Natix_store.Buffer_pool.clear pool;
+  let per_doc = max 1 (100 / List.length flat_docs) in
+  let before = Io_stats.copy stats in
+  List.iter
+    (fun d ->
+      let offsets = Natix_flat.Flat_document.text_offsets bs d ~limit:per_doc in
+      List.iter
+        (fun at -> Natix_flat.Flat_document.splice_text bs d ~at " update")
+        (List.rev (List.sort Int.compare offsets)))
+    flat_docs;
+  Natix_store.Buffer_pool.flush pool;
+  let update_ms = (Io_stats.diff (Io_stats.copy stats) before).Io_stats.sim_ms in
+  Printf.printf "%-14s %14.0f %14.0f %16.0f %16d\n" "flat (BLOB)" load_ms traverse_ms update_ms
+    (Natix_store.Disk.size_bytes disk);
+  (* Native for comparison: same corpus, 100 scattered text inserts. *)
+  let built =
+    Harness.build ~page_size { Harness.matrix = Native; order = Loader.Preorder } corpus
+  in
+  let store = built.Harness.store in
+  let _, upd =
+    Harness.measure built (fun () ->
+        (* The same number of scattered updates as the flat side; the
+           navigation to each update position is part of the measurement
+           (handles from before the buffer clear would be stale anyway).
+           Unlike the flat store, native navigation reads only the path
+           down to each scene, not the whole document. *)
+        let count = ref 0 in
+        List.iter
+          (fun d ->
+            match Cursor.of_document store d with
+            | None -> ()
+            | Some root ->
+              Seq.iter
+                (fun act ->
+                  if !count < 100 then begin
+                    match Cursor.children_named act "SCENE" () with
+                    | Seq.Cons (scene, _) ->
+                      incr count;
+                      ignore
+                        (Tree_store.insert_node store
+                           (Tree_store.First_under (Cursor.node scene))
+                           (Tree_store.Text "an update line"))
+                    | Seq.Nil -> ()
+                  end)
+                (Cursor.children_named root "ACT"))
+          built.Harness.docs;
+        Tree_store.sync store)
+  in
+  let _, trav =
+    Harness.measure built (fun () -> Queries.full_traversal store ~docs:built.Harness.docs)
+  in
+  Printf.printf "%-14s %14.0f %14.0f %16.0f %16d\n" "native (1:n)"
+    built.Harness.build_io.Io_stats.sim_ms trav.Io_stats.sim_ms upd.Io_stats.sim_ms
+    built.Harness.disk_bytes
+
+let ablation_buffer corpus =
+  Printf.printf
+    "\nAblation - buffer size (8K pages, 1:n incremental): the 2 MB working-set cliff\n";
+  Printf.printf "%-14s %14s %12s %12s\n" "buffer" "insert-ms" "reads" "writes";
+  List.iter
+    (fun buffer_bytes ->
+      let built =
+        Harness.build ~page_size:8192 ~buffer_bytes
+          { Harness.matrix = Harness.Native; order = Loader.Bfs_binary }
+          corpus
+      in
+      Printf.printf "%-14s %14.0f %12d %12d\n"
+        (Printf.sprintf "%dK" (buffer_bytes / 1024))
+        built.Harness.build_io.Io_stats.sim_ms built.Harness.build_io.Io_stats.reads
+        built.Harness.build_io.Io_stats.writes)
+    [ 256 * 1024; 512 * 1024; 1024 * 1024; 2 * 1024 * 1024; 4 * 1024 * 1024; 8 * 1024 * 1024 ]
+
+let ablation_merge corpus =
+  Printf.printf
+    "\nAblation - dynamic re-clustering on deletion (8K pages, 1:n, delete 2 of 3 speeches)\n";
+  Printf.printf "%-18s %10s %10s %12s %14s %12s\n" "merge_threshold" "records" "merges"
+    "disk-bytes" "traversal-ms" "depth";
+  let page_size = 8192 in
+  List.iter
+    (fun merge_threshold ->
+      let built =
+        Harness.build ~page_size ~merge_threshold
+          { Harness.matrix = Harness.Native; order = Loader.Preorder }
+          corpus
+      in
+      let store = built.Harness.store in
+      (* Delete two of every three speeches, document by document. *)
+      List.iter
+        (fun doc ->
+          let speeches = Path.query store ~doc "//SPEECH" in
+          List.iteri
+            (fun i c -> if i mod 3 <> 0 then Tree_store.delete_node store (Cursor.node c))
+            speeches)
+        built.Harness.docs;
+      Tree_store.sync store;
+      let agg =
+        List.fold_left
+          (fun (records, depth) doc ->
+            let s = Stats.document store doc in
+            (records + s.Stats.records, max depth s.Stats.record_tree_depth))
+          (0, 0) built.Harness.docs
+      in
+      let records, depth = agg in
+      let _, trav =
+        Harness.measure built (fun () ->
+            Queries.full_traversal store ~docs:built.Harness.docs)
+      in
+      Printf.printf "%-18.2f %10d %10d %12d %14.0f %12d\n" merge_threshold records
+        (Tree_store.merge_count store) (Stats.disk_bytes store) trav.Io_stats.sim_ms depth)
+    [ 0.0; 0.25; 0.5; 0.8 ]
+
+let ablation_scan corpus =
+  Printf.printf "\nAblation - typed-element scans (paper 4.4.6), 8K pages\n";
+  Printf.printf "%-14s %-10s %16s %16s %10s\n" "store" "element" "traversal-ms" "index-scan-ms"
+    "hits";
+  let page_size = 8192 in
+  List.iter
+    (fun (name, series) ->
+      let built = Harness.build ~page_size series corpus in
+      let store = built.Harness.store in
+      let idx = Element_index.create store ~name:"elements" in
+      Element_index.rebuild idx;
+      Tree_store.sync store;
+      (* SPEAKER is dense (in almost every record); SCNDESCR is one node
+         per play -- the selectivity spectrum of an index. *)
+      List.iter
+        (fun element ->
+          let label = Tree_store.label store element in
+          let via_traversal, t_io =
+            Harness.measure built (fun () ->
+                List.fold_left
+                  (fun acc doc ->
+                    match Cursor.of_document store doc with
+                    | None -> acc
+                    | Some root ->
+                      Seq.fold_left
+                        (fun acc c ->
+                          if Cursor.is_element c && Cursor.name c = element then acc + 1 else acc)
+                        acc (Cursor.descendants_or_self root))
+                  0 built.Harness.docs)
+          in
+          let via_index, i_io =
+            Harness.measure built (fun () -> List.length (Element_index.scan idx label))
+          in
+          assert (via_traversal = via_index);
+          Printf.printf "%-14s %-10s %16.0f %16.0f %10d\n" name element t_io.Io_stats.sim_ms
+            i_io.Io_stats.sim_ms via_index)
+        [ "SPEAKER"; "SCNDESCR" ])
+    [
+      ("1:1 append", { Harness.matrix = Harness.One_to_one; order = Loader.Preorder });
+      ("1:n append", { Harness.matrix = Harness.Native; order = Loader.Preorder });
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per figure (wall clock)    *)
+
+let bechamel_tests () =
+  let corpus = Shakespeare.generate (Shakespeare.scaled 0.03) in
+  let page_size = 8192 in
+  let built =
+    Harness.build ~page_size { Harness.matrix = Native; order = Loader.Preorder } corpus
+  in
+  let store = built.Harness.store and docs = built.Harness.docs in
+  let open Bechamel in
+  [
+    Test.make ~name:"fig09_insertion"
+      (Staged.stage (fun () ->
+           ignore
+             (Harness.build ~page_size
+                { Harness.matrix = Native; order = Loader.Preorder }
+                corpus)));
+    Test.make ~name:"fig10_traversal"
+      (Staged.stage (fun () -> ignore (Queries.full_traversal store ~docs)));
+    Test.make ~name:"fig11_query1" (Staged.stage (fun () -> ignore (Queries.q1 store ~docs)));
+    Test.make ~name:"fig12_query2" (Staged.stage (fun () -> ignore (Queries.q2 store ~docs)));
+    Test.make ~name:"fig13_query3" (Staged.stage (fun () -> ignore (Queries.q3 store ~docs)));
+    Test.make ~name:"fig14_space" (Staged.stage (fun () -> ignore (Stats.disk_bytes store)));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) () in
+  let tests = Test.make_grouped ~name:"figures" ~fmt:"%s/%s" (bechamel_tests ()) in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance raw in
+  Printf.printf "\nBechamel wall-clock micro-benchmarks (reduced corpus, 8K pages)\n";
+  Printf.printf "%-28s %16s\n" "benchmark" "ns/run";
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, result) ->
+         match Analyze.OLS.estimates result with
+         | Some [ est ] -> Printf.printf "%-28s %16.0f\n" name est
+         | Some _ | None -> Printf.printf "%-28s %16s\n" name "n/a")
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+
+let () =
+  let scale = ref 1.0 in
+  let pages = ref default_page_sizes in
+  let figures = ref [] in
+  let run_ablations = ref true in
+  let with_bechamel = ref false in
+  let check = ref false in
+  let args =
+    [
+      ("--scale", Arg.Set_float scale, "FACTOR corpus scale (default 1.0 = 37 plays)");
+      ( "--pages",
+        Arg.String (fun s -> pages := List.map int_of_string (String.split_on_char ',' s)),
+        "LIST comma-separated page sizes" );
+      ( "--figure",
+        Arg.Int (fun n -> figures := n :: !figures),
+        "N print only figure N (9-14; repeatable)" );
+      ("--no-ablations", Arg.Clear run_ablations, " skip the ablation benches");
+      ("--bechamel", Arg.Set with_bechamel, " also run Bechamel wall-clock micro-benchmarks");
+      ("--check", Arg.Set check, " run integrity checks after each build");
+    ]
+  in
+  Arg.parse args (fun _ -> ()) "natix benchmark harness";
+  let figures = if !figures = [] then [ 9; 10; 11; 12; 13; 14 ] else List.rev !figures in
+  let corpus = Shakespeare.generate (Shakespeare.scaled !scale) in
+  let nodes, bytes = Shakespeare.corpus_measure corpus in
+  Printf.printf
+    "NATIX evaluation harness - corpus: %d plays, %d nodes, %.1f MB; buffer 2 MB;\n\
+     split target 1/2, tolerance 1/10 page; IBM DCAS-34330W I/O model (simulated ms).\n"
+    (List.length corpus) nodes
+    (float_of_int bytes /. 1e6);
+  let rows =
+    List.map
+      (fun page_size ->
+        let cells =
+          List.map
+            (fun series ->
+              let t0 = Unix.gettimeofday () in
+              let cell = build_cell ~check:!check page_size series corpus in
+              Printf.eprintf "[built %s @%d in %.1fs]\n%!" (Harness.series_name series)
+                page_size
+                (Unix.gettimeofday () -. t0);
+              cell)
+            series_order
+        in
+        (page_size, cells))
+      !pages
+  in
+  List.iter (print_figure rows) figures;
+  print_aux rows;
+  if !run_ablations then begin
+    let small = Shakespeare.generate (Shakespeare.scaled (Float.min !scale 0.25)) in
+    ablation_split_params small;
+    ablation_buffer small;
+    ablation_hybrid small;
+    ablation_flat small;
+    ablation_merge small;
+    ablation_scan small
+  end;
+  if !with_bechamel then run_bechamel ()

@@ -1,0 +1,241 @@
+(* natix: command-line front end to the repository.
+
+   A persistent, file-backed NATIX store:
+
+     natix load  store.natix hamlet hamlet.xml --order bfs
+     natix list  store.natix
+     natix cat   store.natix hamlet
+     natix query store.natix hamlet "//ACT[3]/SCENE[2]//SPEAKER"
+     natix stats store.natix [hamlet]
+     natix check store.natix hamlet
+     natix scan  store.natix SPEAKER          (index-accelerated typed scan)
+     natix validate store.natix hamlet        (against the stored DTD)
+     natix delete store.natix hamlet
+     natix gen   out.xml --scale 0.1        (synthetic corpus as XML files)
+*)
+
+open Cmdliner
+open Natix_core
+
+let open_store ?(create_page_size = 8192) path =
+  let page_size =
+    match Natix_store.Disk.detect_page_size path with
+    | Some ps -> ps
+    | None -> create_page_size
+  in
+  let config = { (Config.default ()) with Config.page_size } in
+  let disk = Natix_store.Disk.on_file ~page_size path in
+  Tree_store.open_store ~config disk
+
+(* ---- arguments ---------------------------------------------------- *)
+
+let store_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"STORE" ~doc:"Store file.")
+
+let doc_arg n =
+  Arg.(required & pos n (some string) None & info [] ~docv:"DOC" ~doc:"Document name.")
+
+let page_size_arg =
+  Arg.(
+    value
+    & opt int 8192
+    & info [ "page-size" ] ~docv:"BYTES" ~doc:"Page size when creating a new store (512-32768).")
+
+let order_arg =
+  let order_conv =
+    Arg.enum [ ("preorder", Loader.Preorder); ("append", Loader.Preorder); ("bfs", Loader.Bfs_binary); ("incremental", Loader.Bfs_binary) ]
+  in
+  Arg.(
+    value
+    & opt order_conv Loader.Preorder
+    & info [ "order" ] ~docv:"ORDER" ~doc:"Insertion order: $(b,preorder) (bulkload) or $(b,bfs) (scattered incremental updates).")
+
+(* ---- commands ----------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_cmd =
+  let run store_path doc xml_path page_size order stream =
+    let store = open_store ~create_page_size:page_size store_path in
+    let xml = Natix_xml.Xml_parser.parse_file xml_path in
+    (if stream then
+       (* one-pass SAX load; the parsed tree above is only used for the
+          node-count report *)
+       ignore (Loader.load_stream store ~name:doc (read_file xml_path))
+     else ignore (Loader.load store ~name:doc ~order xml));
+    Tree_store.sync store;
+    Printf.printf "loaded %S (%d logical nodes) into %s\n" doc
+      (Natix_xml.Xml_tree.node_count xml)
+      store_path;
+    Format.printf "%a@." Stats.pp_doc (Stats.document store doc)
+  in
+  let xml_arg =
+    Arg.(required & pos 2 (some file) None & info [] ~docv:"FILE" ~doc:"XML file to load.")
+  in
+  let stream = Arg.(value & flag & info [ "stream" ] ~doc:"One-pass SAX load.") in
+  Cmd.v
+    (Cmd.info "load" ~doc:"Parse an XML file and store it as a document.")
+    Term.(const run $ store_arg $ doc_arg 1 $ xml_arg $ page_size_arg $ order_arg $ stream)
+
+let list_cmd =
+  let run store_path =
+    let store = open_store store_path in
+    List.iter print_endline (Tree_store.list_documents store)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List stored documents.") Term.(const run $ store_arg)
+
+let cat_cmd =
+  let run store_path doc pretty =
+    let store = open_store store_path in
+    match Exporter.document_to_xml store doc with
+    | None -> prerr_endline "no such document"; exit 1
+    | Some xml ->
+      if pretty then print_string (Natix_xml.Xml_print.to_string_pretty xml)
+      else print_endline (Natix_xml.Xml_print.to_string xml)
+  in
+  let pretty = Arg.(value & flag & info [ "pretty" ] ~doc:"Indented output.") in
+  Cmd.v
+    (Cmd.info "cat" ~doc:"Reconstruct a document's textual representation.")
+    Term.(const run $ store_arg $ doc_arg 1 $ pretty)
+
+let query_cmd =
+  let run store_path doc path texts =
+    let store = open_store store_path in
+    let hits = Path.query store ~doc path in
+    List.iter
+      (fun c ->
+        if texts then print_endline (Cursor.text_content c)
+        else if Cursor.is_element c then
+          print_endline (Exporter.to_string store (Cursor.node c))
+        else print_endline (Cursor.text c))
+      hits;
+    Printf.eprintf "%d hit(s); %s\n" (List.length hits)
+      (Format.asprintf "%a" Natix_store.Io_stats.pp (Tree_store.io_stats store))
+  in
+  let path_arg =
+    Arg.(
+      required
+      & pos 2 (some string) None
+      & info [] ~docv:"PATH" ~doc:"Path query, e.g. //ACT[3]/SCENE[2]//SPEAKER.")
+  in
+  let texts = Arg.(value & flag & info [ "text" ] ~doc:"Print text content instead of markup.") in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate a path query against a document.")
+    Term.(const run $ store_arg $ doc_arg 1 $ path_arg $ texts)
+
+let stats_cmd =
+  let run store_path doc =
+    let store = open_store store_path in
+    (match doc with
+    | Some doc -> Format.printf "%s: %a@." doc Stats.pp_doc (Stats.document store doc)
+    | None ->
+      List.iter
+        (fun doc -> Format.printf "%-20s %a@." doc Stats.pp_doc (Stats.document store doc))
+        (Tree_store.list_documents store));
+    Printf.printf "store: %d pages of %d bytes = %d bytes on disk\n"
+      (Natix_store.Disk.page_count (Natix_store.Buffer_pool.disk (Tree_store.buffer_pool store)))
+      (Tree_store.config store).Config.page_size (Stats.disk_bytes store)
+  in
+  let doc = Arg.(value & pos 1 (some string) None & info [] ~docv:"DOC") in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Physical statistics of documents and the store.")
+    Term.(const run $ store_arg $ doc)
+
+let check_cmd =
+  let run store_path doc =
+    let store = open_store store_path in
+    Tree_store.check_document store doc;
+    print_endline "ok"
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Run the physical-tree integrity check on a document.")
+    Term.(const run $ store_arg $ doc_arg 1)
+
+let scan_cmd =
+  let run store_path element texts =
+    let store = open_store store_path in
+    let dm = Document_manager.create store in
+    (match Document_manager.index dm with
+    | Some idx -> Element_index.rebuild idx
+    | None -> ());
+    let nodes = Document_manager.elements_named dm element in
+    List.iter
+      (fun n ->
+        if texts then print_endline (Cursor.text_content (Cursor.of_node store n))
+        else print_endline (Exporter.to_string store n))
+      nodes;
+    Printf.eprintf "%d node(s) of type %s\n" (List.length nodes) element;
+    Tree_store.sync store
+  in
+  let element_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"ELEMENT" ~doc:"Element name.")
+  in
+  let texts = Arg.(value & flag & info [ "text" ] ~doc:"Print text content instead of markup.") in
+  Cmd.v
+    (Cmd.info "scan" ~doc:"Scan all elements of a given type via the element index.")
+    Term.(const run $ store_arg $ element_arg $ texts)
+
+let validate_cmd =
+  let run store_path doc =
+    let store = open_store store_path in
+    let dm = Document_manager.create ~with_index:false store in
+    match Document_manager.document_dtd dm doc with
+    | None ->
+      print_endline "no DTD stored with this document";
+      exit 1
+    | Some _ -> (
+      match Document_manager.validate dm doc with
+      | Ok () -> print_endline "valid"
+      | Error e ->
+        Printf.printf "invalid: %s\n" e;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Validate a document against its stored DTD.")
+    Term.(const run $ store_arg $ doc_arg 1)
+
+let delete_cmd =
+  let run store_path doc =
+    let store = open_store store_path in
+    Tree_store.delete_document store doc;
+    Tree_store.sync store;
+    Printf.printf "deleted %S\n" doc
+  in
+  Cmd.v (Cmd.info "delete" ~doc:"Delete a document.") Term.(const run $ store_arg $ doc_arg 1)
+
+let gen_cmd =
+  let run prefix scale =
+    let corpus = Natix_workload.Shakespeare.generate (Natix_workload.Shakespeare.scaled scale) in
+    List.iteri
+      (fun i play ->
+        let path = Printf.sprintf "%s-%02d.xml" prefix i in
+        let oc = open_out path in
+        output_string oc (Natix_xml.Xml_print.to_string ~decl:true play);
+        close_out oc;
+        Printf.printf "wrote %s\n" path)
+      corpus
+  in
+  let prefix_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PREFIX" ~doc:"Output file prefix.")
+  in
+  let scale_arg =
+    Arg.(value & opt float 0.05 & info [ "scale" ] ~docv:"F" ~doc:"Corpus scale (1.0 = 37 plays).")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate the synthetic Shakespeare-like corpus as XML files.")
+    Term.(const run $ prefix_arg $ scale_arg)
+
+let () =
+  let info =
+    Cmd.info "natix" ~version:"1.0.0"
+      ~doc:"A native XML repository with tree-aware record splitting (Kanne & Moerkotte, ICDE 2000)."
+  in
+  exit (Cmd.eval (Cmd.group info
+       [
+         load_cmd; list_cmd; cat_cmd; query_cmd; scan_cmd; validate_cmd; stats_cmd; check_cmd;
+         delete_cmd; gen_cmd;
+       ]))

@@ -1,0 +1,62 @@
+(* The paper's workload end to end: generate a Shakespeare-like corpus,
+   load it (choose the insertion order), and run the four measured
+   operations of §4.3 with I/O accounting.
+
+   Run with:  dune exec examples/shakespeare_queries.exe -- [--scale 0.2]
+              [--order bfs] [--page-size 8192] *)
+
+open Natix_core
+open Natix_workload
+module Io_stats = Natix_store.Io_stats
+
+let () =
+  let scale = ref 0.2 in
+  let order = ref Loader.Preorder in
+  let page_size = ref 8192 in
+  Arg.parse
+    [
+      ("--scale", Arg.Set_float scale, "FACTOR corpus scale (1.0 = the paper's 37 plays)");
+      ( "--order",
+        Arg.String
+          (function
+          | "bfs" | "incremental" -> order := Loader.Bfs_binary
+          | "preorder" | "append" -> order := Loader.Preorder
+          | other -> raise (Arg.Bad ("unknown order " ^ other))),
+        "ORDER insertion order: preorder|bfs" );
+      ("--page-size", Arg.Set_int page_size, "BYTES page size (512-32768)");
+    ]
+    (fun _ -> ())
+    "shakespeare_queries";
+  let corpus = Shakespeare.generate (Shakespeare.scaled !scale) in
+  let nodes, bytes = Shakespeare.corpus_measure corpus in
+  Printf.printf "corpus: %d plays, %d logical nodes, %.2f MB of XML\n" (List.length corpus)
+    nodes
+    (float_of_int bytes /. 1e6);
+
+  let series = { Harness.matrix = Harness.Native; order = !order } in
+  let built = Harness.build ~page_size:!page_size series corpus in
+  Printf.printf "loaded (%s) in %.1fs wall; %d splits; %d bytes on disk; simulated %.0f ms\n"
+    (Harness.series_name series) built.Harness.build_wall_s built.Harness.splits
+    built.Harness.disk_bytes built.Harness.build_io.Io_stats.sim_ms;
+
+  let store = built.Harness.store and docs = built.Harness.docs in
+  let run name f =
+    let result, io = Harness.measure built f in
+    Printf.printf "%-28s %10.0f sim-ms %8d reads  -> %s\n" name io.Io_stats.sim_ms
+      io.Io_stats.reads result
+  in
+  run "full pre-order traversal" (fun () ->
+      Printf.sprintf "%d nodes" (Queries.full_traversal store ~docs));
+  run "Q1 speakers act3/scene2" (fun () ->
+      let speakers = Queries.q1 store ~docs in
+      Printf.sprintf "%d speakers, first: %s" (List.length speakers)
+        (match speakers with s :: _ -> s | [] -> "-"));
+  run "Q2 first speech per scene" (fun () ->
+      Printf.sprintf "%d speeches" (List.length (Queries.q2 store ~docs)));
+  run "Q3 opening speech per play" (fun () ->
+      Printf.sprintf "%d speeches" (List.length (Queries.q3 store ~docs)));
+
+  (* Show one reconstructed speech. *)
+  match Queries.q3 store ~docs with
+  | first :: _ -> Printf.printf "\nopening speech of play-0:\n%s\n" first
+  | [] -> ()

@@ -1,0 +1,164 @@
+open Natix_util
+module Rm = Natix_store.Record_manager
+module Segment = Natix_store.Segment
+module Slotted_page = Natix_store.Slotted_page
+
+type t = {
+  names : Name_pool.t;
+  types : Node_type_table.t;
+  docs : (string, Rid.t) Hashtbl.t;
+  meta : (string, string) Hashtbl.t;
+}
+
+let empty () =
+  {
+    names = Name_pool.create ();
+    types = Node_type_table.create ();
+    docs = Hashtbl.create 8;
+    meta = Hashtbl.create 8;
+  }
+
+(* Framing: [u32 len][payload] triples for names, types, docs. *)
+let encode t =
+  let buf = Buffer.create 512 in
+  let section s =
+    let b = Bytes.create 4 in
+    Bytes_util.set_u32 b 0 (String.length s);
+    Buffer.add_bytes buf b;
+    Buffer.add_string buf s
+  in
+  section (Name_pool.encode t.names);
+  section (Node_type_table.encode t.types);
+  let docs = Buffer.create 128 in
+  Hashtbl.iter
+    (fun name rid ->
+      let b = Bytes.create (4 + String.length name + Rid.encoded_size) in
+      Bytes_util.set_u32 b 0 (String.length name);
+      Bytes.blit_string name 0 b 4 (String.length name);
+      Rid.write b (4 + String.length name) rid;
+      Buffer.add_bytes docs b)
+    t.docs;
+  section (Buffer.contents docs);
+  let meta = Buffer.create 128 in
+  Hashtbl.iter
+    (fun k v ->
+      let b = Bytes.create 8 in
+      Bytes_util.set_u32 b 0 (String.length k);
+      Bytes_util.set_u32 b 4 (String.length v);
+      Buffer.add_bytes meta b;
+      Buffer.add_string meta k;
+      Buffer.add_string meta v)
+    t.meta;
+  section (Buffer.contents meta);
+  Buffer.contents buf
+
+let decode s =
+  let b = Bytes.unsafe_of_string s in
+  let pos = ref 0 in
+  let section () =
+    let len = Bytes_util.get_u32 b !pos in
+    let payload = String.sub s (!pos + 4) len in
+    pos := !pos + 4 + len;
+    payload
+  in
+  let names = Name_pool.decode (section ()) in
+  let types = Node_type_table.decode (section ()) in
+  let docs_raw = section () in
+  let docs = Hashtbl.create 8 in
+  let db = Bytes.unsafe_of_string docs_raw in
+  let dpos = ref 0 in
+  while !dpos < String.length docs_raw do
+    let len = Bytes_util.get_u32 db !dpos in
+    let name = String.sub docs_raw (!dpos + 4) len in
+    let rid = Rid.read db (!dpos + 4 + len) in
+    Hashtbl.replace docs name rid;
+    dpos := !dpos + 4 + len + Rid.encoded_size
+  done;
+  let meta_raw = section () in
+  let meta = Hashtbl.create 8 in
+  let mb = Bytes.unsafe_of_string meta_raw in
+  let mpos = ref 0 in
+  while !mpos < String.length meta_raw do
+    let klen = Bytes_util.get_u32 mb !mpos in
+    let vlen = Bytes_util.get_u32 mb (!mpos + 4) in
+    let k = String.sub meta_raw (!mpos + 8) klen in
+    let v = String.sub meta_raw (!mpos + 8 + klen) vlen in
+    Hashtbl.replace meta k v;
+    mpos := !mpos + 8 + klen + vlen
+  done;
+  { names; types; docs; meta }
+
+(* Bootstrap: page 0 (reserved by the segment for this purpose) holds a
+   small head record whose body is the RID of the first data chunk; the
+   head's slot number is stored in page 0's user32 field as [slot + 1]
+   (0 = no catalog).  Each data chunk is [8-byte next RID][data]. *)
+
+let head_rid rm =
+  Segment.with_page (Rm.segment rm) 0 (fun b ->
+      let v = Slotted_page.get_user32 b in
+      if v = 0 then None else Some (Rid.make ~page:0 ~slot:(v - 1)))
+
+let set_head rm slot_opt =
+  Segment.with_page_mut (Rm.segment rm) 0 (fun b ->
+      Slotted_page.set_user32 b (match slot_opt with None -> 0 | Some slot -> slot + 1))
+
+let read_chain rm first =
+  let buf = Buffer.create 512 in
+  let rec go rid =
+    let body = Rm.read rm rid in
+    let next = Rid.read (Bytes.unsafe_of_string body) 0 in
+    Buffer.add_substring buf body Rid.encoded_size (String.length body - Rid.encoded_size);
+    if not (Rid.is_null next) then go next
+  in
+  go first;
+  Buffer.contents buf
+
+let delete_chain rm first =
+  let rec go rid =
+    let body = Rm.read rm rid in
+    let next = Rid.read (Bytes.unsafe_of_string body) 0 in
+    Rm.delete rm rid;
+    if not (Rid.is_null next) then go next
+  in
+  go first
+
+let write_chain rm data =
+  (* Build chunks back to front so each knows its successor's RID. *)
+  let payload = max 64 (Rm.max_len rm - Rid.encoded_size) in
+  let total = String.length data in
+  let n_chunks = max 1 ((total + payload - 1) / payload) in
+  let rec write_chunk i next_rid =
+    let start = i * payload in
+    let len = max 0 (min payload (total - start)) in
+    let b = Bytes.create (Rid.encoded_size + len) in
+    Rid.write b 0 next_rid;
+    Bytes.blit_string data start b Rid.encoded_size len;
+    let rid = Rm.insert rm (Bytes.unsafe_to_string b) in
+    if i = 0 then rid else write_chunk (i - 1) rid
+  in
+  write_chunk (n_chunks - 1) Rid.null
+
+let save rm t =
+  (match head_rid rm with
+  | Some head ->
+    let first = Rid.read (Bytes.unsafe_of_string (Rm.read rm head)) 0 in
+    delete_chain rm first;
+    Segment.with_page_mut (Rm.segment rm) 0 (fun b -> Slotted_page.delete b (Rid.slot head))
+  | None -> ());
+  let first = write_chain rm (encode t) in
+  let body = Bytes.create Rid.encoded_size in
+  Rid.write body 0 first;
+  let slot =
+    Segment.with_page_mut (Rm.segment rm) 0 (fun b ->
+        match Slotted_page.insert b (Bytes.unsafe_to_string body) Slotted_page.no_flags with
+        | Some slot -> slot
+        | None -> failwith "Catalog.save: page 0 cannot hold the catalog head")
+  in
+  set_head rm (Some slot)
+
+let load rm =
+  match head_rid rm with
+  | None -> empty ()
+  | Some head ->
+    let first = Rid.read (Bytes.unsafe_of_string (Rm.read rm head)) 0 in
+    decode (read_chain rm first)

@@ -1,0 +1,32 @@
+(** The system catalog (paper §2.1's schema manager, minimally).
+
+    Holds the name pool (Σ_DTD symbols), the node type table and the
+    document directory (document name → root record RID), persisted inside
+    the store itself as a chain of ordinary records bootstrapped from page
+    0's user field — the paper stores its catalog "as a collection of XML
+    documents inside the system"; a record chain plays the same role here. *)
+
+open Natix_util
+
+type t = {
+  names : Name_pool.t;
+  types : Node_type_table.t;
+  docs : (string, Rid.t) Hashtbl.t;
+  meta : (string, string) Hashtbl.t;
+      (** free-form metadata: index roots, per-document DTDs, ... *)
+}
+
+val empty : unit -> t
+
+(** [load rm] reads the catalog chain, or returns a fresh catalog if the
+    store has none yet. *)
+val load : Natix_store.Record_manager.t -> t
+
+(** [save rm t] rewrites the catalog chain (deleting the previous one). *)
+val save : Natix_store.Record_manager.t -> t -> unit
+
+(** Serialization used by [save]/[load]; exposed for tests. *)
+
+val encode : t -> string
+
+val decode : string -> t

@@ -1,0 +1,38 @@
+type t = {
+  page_size : int;
+  buffer_bytes : int;
+  split_target : float;
+  split_tolerance : float;
+  matrix : Split_matrix.t;
+  merge_threshold : float;
+  standalone_first_fit : bool;
+}
+
+let default () =
+  {
+    page_size = 8192;
+    buffer_bytes = 2 * 1024 * 1024;
+    split_target = 0.5;
+    split_tolerance = 0.1;
+    matrix = Split_matrix.native ();
+    merge_threshold = 0.5;
+    standalone_first_fit = false;
+  }
+
+let with_page_size page_size t = { t with page_size }
+let with_matrix matrix t = { t with matrix }
+
+let max_record_size t =
+  Natix_store.Slotted_page.max_record_len ~page_size:t.page_size
+
+let validate t =
+  if t.page_size < 512 || t.page_size > 32768 then
+    invalid_arg "Config: page_size must be within [512, 32768]";
+  if t.buffer_bytes < 2 * t.page_size then
+    invalid_arg "Config: buffer must hold at least two pages";
+  if t.split_target <= 0. || t.split_target >= 1. then
+    invalid_arg "Config: split_target must be in (0, 1)";
+  if t.split_tolerance < 0. || t.split_tolerance > 0.5 then
+    invalid_arg "Config: split_tolerance must be in [0, 0.5]";
+  if t.merge_threshold < 0. || t.merge_threshold > 1. then
+    invalid_arg "Config: merge_threshold must be in [0, 1]"

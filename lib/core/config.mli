@@ -1,0 +1,42 @@
+(** Tree-storage-manager configuration (paper §3.2–§4.2).
+
+    - [split_target]: the desired position of the separator as a fraction
+      of the record's bytes; ½ produces two partitions of equal size.
+    - [split_tolerance]: minimum subtree size, as a fraction of the page
+      size, below which the separator search stops descending (subtrees
+      smaller than this are moved whole into one partition to prevent
+      fragmentation).  The paper uses 1/10.
+    - [merge_threshold]: extension — when, after a deletion, a child record
+      and its host would together encode below this fraction of the maximum
+      record size, the child record is merged back in (the dynamic
+      re-clustering promised in the paper's introduction).  [0.] disables
+      merging. *)
+
+type t = {
+  page_size : int;
+  buffer_bytes : int;
+  split_target : float;
+  split_tolerance : float;
+  matrix : Split_matrix.t;
+  merge_threshold : float;
+  standalone_first_fit : bool;
+      (** Placement of records created by [Standalone] matrix entries when
+          the parent's page is full: [false] (default) keeps them close
+          (NATIX-style forward scan); [true] first-fits them anywhere,
+          like the generic record managers of metamodeling systems —
+          the evaluation's 1:1 configuration uses [true]. *)
+}
+
+(** Paper defaults: 8K pages, 2 MB buffer, target ½, tolerance 1/10,
+    all-[Other] matrix, merging at 0.5. *)
+val default : unit -> t
+
+val with_page_size : int -> t -> t
+val with_matrix : Split_matrix.t -> t -> t
+
+(** Largest record body a page can hold under this configuration. *)
+val max_record_size : t -> int
+
+(** @raise Invalid_argument when a field is out of range (page size not in
+    [512, 32768], fractions outside [0, 1], ...). *)
+val validate : t -> unit

@@ -1,0 +1,52 @@
+(** Logical navigation over stored documents.
+
+    A cursor designates one logical node (element or text) and supports the
+    DOM-style moves the paper's document manager exposes: first child, next
+    sibling, parent, plus document-order iteration.  Proxies are expanded
+    and scaffolding hidden transparently; every record crossing fixes the
+    underlying page, so traversals have the access pattern the paper
+    measures. *)
+
+type t
+
+(** Cursor at a document's root.  [None] if the document does not exist. *)
+val of_document : Tree_store.t -> string -> t option
+
+(** Cursor at an arbitrary logical node (no sibling context: moving to the
+    parent recomputes it). *)
+val of_node : Tree_store.t -> Phys_node.t -> t
+
+val store : t -> Tree_store.t
+val node : t -> Phys_node.t
+val is_element : t -> bool
+val is_text : t -> bool
+
+(** Element/attribute name, or ["#pcdata"] for text nodes. *)
+val name : t -> string
+
+(** Text content of a text node.
+    @raise Invalid_argument on elements. *)
+val text : t -> string
+
+(** Concatenated text of the subtree (elements allowed). *)
+val text_content : t -> string
+
+val first_child : t -> t option
+val next_sibling : t -> t option
+val parent : t -> t option
+
+(** Logical children, in order. *)
+val children : t -> t Seq.t
+
+(** Child elements with the given name. *)
+val children_named : t -> string -> t Seq.t
+
+(** This node and all descendants, in document order. *)
+val descendants_or_self : t -> t Seq.t
+
+(** Attribute lookup: attributes are stored as ["@name"]-labelled literal
+    children. *)
+val attribute : t -> string -> string option
+
+(** True for ["@"]-labelled literal nodes. *)
+val is_attribute : t -> bool

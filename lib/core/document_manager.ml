@@ -1,0 +1,130 @@
+open Natix_xml
+
+type t = { store : Tree_store.t; index : Element_index.t option }
+
+let index_name = "elements"
+let dtd_key doc = "dtd:" ^ doc
+
+let create ?(with_index = true) store =
+  let index =
+    if with_index then
+      match Element_index.open_index store ~name:index_name with
+      | Some idx -> Some idx
+      | None -> Some (Element_index.create store ~name:index_name)
+    else None
+  in
+  { store; index }
+
+let store t = t.store
+let index t = t.index
+
+let save_catalog t = Catalog.save (Tree_store.record_manager t.store) (Tree_store.catalog t.store)
+
+let store_document t ~name ?dtd ?(infer_dtd = false) ?order xml =
+  let dtd = match dtd with Some _ -> dtd | None -> if infer_dtd then Some (Dtd.infer ~name xml) else None in
+  let validation = match dtd with None -> Ok () | Some d -> Dtd.validate d xml in
+  match validation with
+  | Error _ as e -> e
+  | Ok () ->
+    let root = Loader.load t.store ~name ?order xml in
+    (match dtd with
+    | Some d ->
+      Hashtbl.replace (Tree_store.catalog t.store).Catalog.meta (dtd_key name) (Dtd.encode d);
+      save_catalog t
+    | None -> ());
+    Option.iter Element_index.refresh t.index;
+    Ok root
+
+let document_dtd t doc =
+  Option.map Dtd.decode
+    (Hashtbl.find_opt (Tree_store.catalog t.store).Catalog.meta (dtd_key doc))
+
+let validate t doc =
+  match document_dtd t doc with
+  | None -> Ok ()
+  | Some dtd -> (
+    match Exporter.document_to_xml t.store doc with
+    | None -> Error (Printf.sprintf "no document %S" doc)
+    | Some xml -> Dtd.validate dtd xml)
+
+(* The document a node belongs to, for fragment validation: climb to the
+   root and look its record up in the catalog. *)
+let doc_of_node t node =
+  let rec up n = match Tree_store.logical_parent t.store n with Some p -> up p | None -> n in
+  let root = up node in
+  let rid = (Tree_store.box_of t.store root).Phys_node.rid in
+  Hashtbl.fold
+    (fun name r acc -> if Natix_util.Rid.equal r rid then Some name else acc)
+    (Tree_store.catalog t.store).Catalog.docs None
+
+let insert_fragment t ~doc point xml =
+  let anchor = match point with Tree_store.First_under n -> n | Tree_store.After n -> n in
+  match doc_of_node t anchor with
+  | Some owner when owner <> doc ->
+    Error (Printf.sprintf "insertion point belongs to %S, not %S" owner doc)
+  | _ -> (
+    let check =
+      match document_dtd t doc with
+      | None -> Ok ()
+      | Some dtd -> (
+        match Dtd.validate dtd xml with
+        | Error _ as e -> e
+        | Ok () -> (
+          (* The fragment root must be allowed under the target parent. *)
+          let parent =
+            match point with
+            | Tree_store.First_under n -> Some n
+            | Tree_store.After n -> Tree_store.logical_parent t.store n
+          in
+          match (parent, xml) with
+          | Some p, Xml_tree.Element e -> (
+            let pname = Tree_store.label_name t.store p.Phys_node.label in
+            match Dtd.spec_of dtd pname with
+            | Some (Dtd.Children_of names) | Some (Dtd.Mixed names) ->
+              if List.mem e.name names then Ok ()
+              else Error (Printf.sprintf "<%s> does not allow child <%s>" pname e.name)
+            | Some Dtd.Any -> Ok ()
+            | Some Dtd.Empty -> Error (Printf.sprintf "<%s> must stay empty" pname)
+            | Some Dtd.Pcdata_only ->
+              Error (Printf.sprintf "<%s> allows only text" pname)
+            | None -> Error (Printf.sprintf "undeclared parent <%s>" pname))
+          | _ -> Ok ()))
+    in
+    match check with
+    | Error _ as e -> e
+    | Ok () ->
+      let node = Loader.insert_fragment t.store point xml in
+      Option.iter Element_index.refresh t.index;
+      Ok node)
+
+let delete_document t doc =
+  Tree_store.delete_document t.store doc;
+  Hashtbl.remove (Tree_store.catalog t.store).Catalog.meta (dtd_key doc);
+  save_catalog t;
+  Option.iter Element_index.refresh t.index
+
+let elements_named t name =
+  match (t.index, Natix_util.Name_pool.find (Tree_store.names t.store) name) with
+  | _, None -> []
+  | Some idx, Some label -> Element_index.scan idx label
+  | None, Some label ->
+    List.concat_map
+      (fun doc ->
+        match Tree_store.open_document t.store doc with
+        | None -> []
+        | Some root ->
+          let acc = ref [] in
+          let rec go n =
+            if Natix_util.Label.equal n.Phys_node.label label && Tree_store.is_element n then
+              acc := n :: !acc;
+            Seq.iter go (Tree_store.logical_children t.store n)
+          in
+          go root;
+          List.rev !acc)
+      (Tree_store.list_documents t.store)
+
+let count_elements t name =
+  match (t.index, Natix_util.Name_pool.find (Tree_store.names t.store) name) with
+  | _, None -> 0
+  | Some idx, Some label -> Element_index.count idx label
+  | None, Some _ -> List.length (elements_named t name)

@@ -1,0 +1,58 @@
+(** The document manager (paper §2.1, Fig. 1).
+
+    The application-facing layer: access "on node and document
+    granularity", schema consistency checks ("document validation in the
+    XML world"), the index updates, and integration of document fragments
+    into a single document view.  It wraps a {!Tree_store} with
+
+    - per-document DTDs persisted in the catalog, validated on store and
+      on fragment insertion;
+    - an optional {!Element_index} kept consistent through the store's
+      change log;
+    - fragment grafting with validation. *)
+
+type t
+
+(** [create ?with_index store] wraps a store.  With [with_index] (default
+    true) an element index named ["elements"] is opened or created. *)
+val create : ?with_index:bool -> Tree_store.t -> t
+
+val store : t -> Tree_store.t
+val index : t -> Element_index.t option
+
+(** [store_document t ~name ?dtd ?order xml] validates [xml] against [dtd]
+    when given (or [infer]s one when [infer_dtd] is set), loads it, and
+    persists the DTD with the document.  Returns the root handle or the
+    validation error. *)
+val store_document :
+  t ->
+  name:string ->
+  ?dtd:Natix_xml.Dtd.t ->
+  ?infer_dtd:bool ->
+  ?order:Loader.order ->
+  Natix_xml.Xml_tree.t ->
+  (Phys_node.t, string) result
+
+(** DTD stored with a document, if any. *)
+val document_dtd : t -> string -> Natix_xml.Dtd.t option
+
+(** Re-validate a stored document against its stored DTD ([Ok ()] when it
+    has none). *)
+val validate : t -> string -> (unit, string) result
+
+(** [insert_fragment t ~doc point xml] validates the fragment against the
+    document's DTD (it must fit the DTD on its own; the insertion point's
+    parent must allow the fragment's root element), then grafts it. *)
+val insert_fragment :
+  t -> doc:string -> Tree_store.insert_point -> Natix_xml.Xml_tree.t -> (Phys_node.t, string) result
+
+(** Delete a document together with its DTD registration. *)
+val delete_document : t -> string -> unit
+
+(** All elements with the given name, across all documents, via the index
+    when available (record order), otherwise by full traversal (document
+    order). *)
+val elements_named : t -> string -> Phys_node.t list
+
+(** Node count for an element name (index-accelerated when available). *)
+val count_elements : t -> string -> int

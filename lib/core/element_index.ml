@@ -1,0 +1,223 @@
+open Natix_util
+module Rm = Natix_store.Record_manager
+module Btree = Natix_store.Btree
+
+(* One B+-tree holds both directions:
+     'F' ^ be32(label) ^ rid8  ->  node count (forward postings)
+     'R' ^ rid8 ^ be32(label)  ->  node count (per-record label sets)
+   The per-record entries let [refresh] diff a record's new label counts
+   against what the index believes without any auxiliary state. *)
+
+type t = {
+  store : Tree_store.t;
+  tree : Btree.t;
+  name : string;
+  pending_changes : unit Rid.Tbl.t;
+}
+
+let be32 v =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (v land 0xff));
+  Bytes.unsafe_to_string b
+
+let of_be32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let rid8 rid =
+  let b = Bytes.create Rid.encoded_size in
+  Rid.write b 0 rid;
+  Bytes.unsafe_to_string b
+
+let count8 v =
+  let b = Bytes.create 8 in
+  Bytes_util.set_i64 b 0 (Int64.of_int v);
+  Bytes.unsafe_to_string b
+
+let of_count8 s = Int64.to_int (Bytes_util.get_i64 (Bytes.unsafe_of_string s) 0)
+let fwd_key label rid = "F" ^ be32 label ^ rid8 rid
+let rev_key rid label = "R" ^ rid8 rid ^ be32 label
+let meta_key name = "index:" ^ name
+
+let attach t =
+  Tree_store.set_change_listener t.store
+    (Some (fun rid _event -> Rid.Tbl.replace t.pending_changes rid ()))
+
+let create store ~name =
+  let catalog = Tree_store.catalog store in
+  if Hashtbl.mem catalog.Catalog.meta (meta_key name) then
+    invalid_arg (Printf.sprintf "Element_index.create: index %S exists" name);
+  let tree = Btree.create (Tree_store.record_manager store) in
+  Hashtbl.replace catalog.Catalog.meta (meta_key name) (rid8 (Btree.root tree));
+  Catalog.save (Tree_store.record_manager store) catalog;
+  let t = { store; tree; name; pending_changes = Rid.Tbl.create 64 } in
+  attach t;
+  t
+
+let open_index store ~name =
+  let catalog = Tree_store.catalog store in
+  match Hashtbl.find_opt catalog.Catalog.meta (meta_key name) with
+  | None -> None
+  | Some root ->
+    let tree =
+      Btree.open_tree (Tree_store.record_manager store)
+        (Rid.read (Bytes.unsafe_of_string root) 0)
+    in
+    let t = { store; tree; name; pending_changes = Rid.Tbl.create 64 } in
+    attach t;
+    Some t
+
+(* Facade labels of one record's subtree (pcdata text excluded). *)
+let label_counts (root : Phys_node.t) =
+  let counts = Hashtbl.create 16 in
+  let bump label = Hashtbl.replace counts label (1 + Option.value ~default:0 (Hashtbl.find_opt counts label)) in
+  let rec go (n : Phys_node.t) =
+    (match n.Phys_node.kind with
+    | Phys_node.Aggregate _ when Phys_node.is_facade n -> bump n.Phys_node.label
+    | Phys_node.Literal _ | Phys_node.Frag_aggregate _ ->
+      if Phys_node.is_facade n && not (Label.equal n.Phys_node.label Label.pcdata) then
+        bump n.Phys_node.label
+    | Phys_node.Aggregate _ | Phys_node.Proxy _ -> ());
+    match n.Phys_node.kind with
+    | Phys_node.Frag_aggregate _ ->
+      (* One logical node; its chunks are not indexed. *)
+      ()
+    | Phys_node.Aggregate _ | Phys_node.Literal _ | Phys_node.Proxy _ ->
+      List.iter go (Phys_node.children n)
+  in
+  go root;
+  counts
+
+(* Stored label counts of a record, from the reverse entries. *)
+let stored_counts t rid =
+  let lo = "R" ^ rid8 rid in
+  let hi = lo ^ "\xff\xff\xff\xff\xff" in
+  let acc = ref [] in
+  Btree.iter_range t.tree ~lo:(Some lo) ~hi:(Some hi) (fun k v ->
+      acc := (of_be32 k (1 + Rid.encoded_size), of_count8 v) :: !acc);
+  !acc
+
+let apply_record t rid =
+  let current =
+    if Rm.exists (Tree_store.record_manager t.store) rid then begin
+      (* Index only tree-store records: anything that decodes.  The
+         index's own B+-tree records never reach this path because the
+         change listener fires only for tree-store operations. *)
+      match Tree_store.fetch t.store rid with
+      | box -> label_counts box.Phys_node.root
+      | exception _ -> Hashtbl.create 1
+    end
+    else Hashtbl.create 1
+  in
+  let old = stored_counts t rid in
+  (* Remove or adjust stale entries. *)
+  List.iter
+    (fun (label, old_count) ->
+      match Hashtbl.find_opt current label with
+      | Some c when c = old_count -> Hashtbl.remove current label
+      | Some c ->
+        Btree.insert t.tree ~key:(fwd_key label rid) ~value:(count8 c);
+        Btree.insert t.tree ~key:(rev_key rid label) ~value:(count8 c);
+        Hashtbl.remove current label
+      | None ->
+        Btree.remove t.tree ~key:(fwd_key label rid);
+        Btree.remove t.tree ~key:(rev_key rid label))
+    old;
+  (* Whatever is left is new. *)
+  Hashtbl.iter
+    (fun label c ->
+      Btree.insert t.tree ~key:(fwd_key label rid) ~value:(count8 c);
+      Btree.insert t.tree ~key:(rev_key rid label) ~value:(count8 c))
+    current
+
+let refresh t =
+  let rids = Rid.Tbl.fold (fun rid () acc -> rid :: acc) t.pending_changes [] in
+  Rid.Tbl.reset t.pending_changes;
+  List.iter (apply_record t) rids
+
+let pending t = Rid.Tbl.length t.pending_changes
+
+let rebuild t =
+  Rid.Tbl.reset t.pending_changes;
+  Btree.clear t.tree;
+  List.iter
+    (fun doc ->
+      match Tree_store.document_rid t.store doc with
+      | None -> ()
+      | Some rid -> Tree_store.iter_records t.store rid (fun rid _root _ -> apply_record t rid))
+    (Tree_store.list_documents t.store)
+
+let records_with t label =
+  refresh t;
+  let lo = "F" ^ be32 label in
+  let hi = lo ^ "\xff\xff\xff\xff\xff\xff\xff\xff\xff" in
+  let acc = ref [] in
+  Btree.iter_range t.tree ~lo:(Some lo) ~hi:(Some hi) (fun k _ ->
+      acc := Rid.read (Bytes.unsafe_of_string k) 5 :: !acc);
+  List.rev !acc
+
+let count t label =
+  refresh t;
+  let lo = "F" ^ be32 label in
+  let hi = lo ^ "\xff\xff\xff\xff\xff\xff\xff\xff\xff" in
+  let n = ref 0 in
+  Btree.iter_range t.tree ~lo:(Some lo) ~hi:(Some hi) (fun _ v -> n := !n + of_count8 v);
+  !n
+
+let scan t label =
+  let rids = records_with t label in
+  List.concat_map
+    (fun rid ->
+      let box = Tree_store.fetch t.store rid in
+      let acc = ref [] in
+      let rec go (n : Phys_node.t) =
+        if Label.equal n.Phys_node.label label && Phys_node.is_facade n then acc := n :: !acc;
+        match n.Phys_node.kind with
+        | Phys_node.Frag_aggregate _ -> ()
+        | Phys_node.Aggregate _ | Phys_node.Literal _ | Phys_node.Proxy _ ->
+          List.iter go (Phys_node.children n)
+      in
+      go box.Phys_node.root;
+      List.rev !acc)
+    rids
+
+let labels t =
+  refresh t;
+  let acc = Hashtbl.create 16 in
+  Btree.iter_range t.tree ~lo:(Some "F") ~hi:(Some "G") (fun k v ->
+      let label = of_be32 k 1 in
+      Hashtbl.replace acc label (of_count8 v + Option.value ~default:0 (Hashtbl.find_opt acc label)));
+  Hashtbl.fold (fun l c acc -> (l, c) :: acc) acc []
+  |> List.sort (fun (a, _) (b, _) -> Label.compare a b)
+
+let check t =
+  refresh t;
+  let fail fmt = Printf.ksprintf failwith fmt in
+  (* Ground truth from a full walk. *)
+  let truth : (Label.t * Rid.t, int) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun doc ->
+      match Tree_store.document_rid t.store doc with
+      | None -> ()
+      | Some root_rid ->
+        Tree_store.iter_records t.store root_rid (fun rid root _ ->
+            Hashtbl.iter
+              (fun label c -> Hashtbl.replace truth (label, rid) c)
+              (label_counts root)))
+    (Tree_store.list_documents t.store);
+  let seen = ref 0 in
+  Btree.iter_range t.tree ~lo:(Some "F") ~hi:(Some "G") (fun k v ->
+      let label = of_be32 k 1 in
+      let rid = Rid.read (Bytes.unsafe_of_string k) 5 in
+      incr seen;
+      match Hashtbl.find_opt truth (label, rid) with
+      | Some c when c = of_count8 v -> ()
+      | Some c -> fail "index %s: label %d rid %s count %d <> %d" t.name label (Rid.to_string rid) (of_count8 v) c
+      | None -> fail "index %s: stale posting for label %d rid %s" t.name label (Rid.to_string rid));
+  if !seen <> Hashtbl.length truth then
+    fail "index %s: %d postings but %d expected" t.name !seen (Hashtbl.length truth)

@@ -1,0 +1,53 @@
+(** Element index (the index management module of paper Fig. 1).
+
+    Maps element labels to the records that materialise nodes with that
+    label, backed by two disk-resident B+-trees in the same store (label →
+    record postings and record → label counts).  It accelerates the scans
+    §4.4.6 motivates — "scan all elements of a given type" — in time
+    proportional to the records actually containing the label, instead of
+    a full traversal.  Results are in record order, not document order
+    (exactly the trade-off the paper describes for order-irrelevant
+    queries).
+
+    Maintenance is deferred: the index subscribes to the store's record
+    change log and folds pending changes in on {!refresh} (query entry
+    points refresh automatically).  The index roots persist in the store
+    catalog, so the index survives reopening. *)
+
+open Natix_util
+
+type t
+
+(** [create store ~name] builds a fresh (empty) index, registers its roots
+    under [name] in the catalog and attaches the change listener.
+    @raise Invalid_argument if [name] is already registered. *)
+val create : Tree_store.t -> name:string -> t
+
+(** Reattach to a persisted index (and its change listener). *)
+val open_index : Tree_store.t -> name:string -> t option
+
+(** Drop pending changes and rebuild from every document (also used after
+    bulk loads that happened while no listener was attached). *)
+val rebuild : t -> unit
+
+(** Fold pending record changes into the index. *)
+val refresh : t -> unit
+
+(** Records containing at least one facade node with this label. *)
+val records_with : t -> Label.t -> Rid.t list
+
+(** Total number of nodes with this label across all documents. *)
+val count : t -> Label.t -> int
+
+(** All facade nodes with this label, unordered (record order). *)
+val scan : t -> Label.t -> Phys_node.t list
+
+(** Labels present in the index, with their node counts. *)
+val labels : t -> (Label.t * int) list
+
+(** Number of record changes queued for {!refresh}. *)
+val pending : t -> int
+
+(** Verify the index against a full scan of all documents.
+    @raise Failure on any divergence. *)
+val check : t -> unit

@@ -1,0 +1,14 @@
+(** Reconstruction of the textual representation (paper §4.3 query 2).
+
+    Walks the stored physical tree, expanding proxies and reassembling
+    fragmented literals, and rebuilds the logical {!Natix_xml.Xml_tree.t}
+    or the XML text directly. *)
+
+(** Rebuild the logical tree under a stored node. *)
+val to_xml : Tree_store.t -> Phys_node.t -> Natix_xml.Xml_tree.t
+
+(** Rebuild the whole document.  [None] if it does not exist. *)
+val document_to_xml : Tree_store.t -> string -> Natix_xml.Xml_tree.t option
+
+(** Serialise a stored subtree directly to XML text. *)
+val to_string : Tree_store.t -> Phys_node.t -> string

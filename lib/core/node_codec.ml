@@ -1,0 +1,137 @@
+open Natix_util
+
+let parent_rid_offset = 2
+
+let tag_of_node (n : Phys_node.t) : Node_type_table.content_tag =
+  match n.kind with
+  | Aggregate _ -> Tag_aggregate
+  | Frag_aggregate _ -> Tag_frag_aggregate
+  | Proxy _ -> Tag_proxy
+  | Literal (Str _) -> Tag_str
+  | Literal (Int8 _) -> Tag_int8
+  | Literal (Int16 _) -> Tag_int16
+  | Literal (Int32 _) -> Tag_int32
+  | Literal (Int64 _) -> Tag_int64
+  | Literal (Float _) -> Tag_float
+  | Literal (Uri _) -> Tag_uri
+
+let write_literal b off (v : Phys_node.literal) =
+  match v with
+  | Str s | Uri s -> Bytes.blit_string s 0 b off (String.length s)
+  | Int8 v -> Bytes_util.set_u8 b off v
+  | Int16 v -> Bytes_util.set_u16 b off v
+  | Int32 v -> Bytes_util.set_u32 b off (Int32.to_int v land 0xffffffff)
+  | Int64 v -> Bytes_util.set_i64 b off v
+  | Float v -> Bytes_util.set_f64 b off v
+
+let encode tbl ~parent_rid (root : Phys_node.t) =
+  (match root.kind with
+  | Proxy _ -> invalid_arg "Node_codec.encode: proxy root"
+  | Aggregate _ | Frag_aggregate _ | Literal _ -> ());
+  let size = Phys_node.record_size root in
+  let b = Bytes.create size in
+  Bytes_util.set_u16 b 0 (Node_type_table.index tbl (tag_of_node root) root.label);
+  Rid.write b parent_rid_offset parent_rid;
+  let pos = ref Phys_node.standalone_header_size in
+  (* The root's header starts at offset 0; its children reference it. *)
+  let rec emit parent_off (n : Phys_node.t) =
+    let off = !pos in
+    Bytes_util.set_u16 b off (Node_type_table.index tbl (tag_of_node n) n.label);
+    Bytes_util.set_u16 b (off + 2) n.size;
+    Bytes_util.set_u16 b (off + 4) parent_off;
+    pos := off + Phys_node.embedded_header_size;
+    (match n.kind with
+    | Aggregate { children } | Frag_aggregate { children } -> List.iter (emit off) children
+    | Literal v ->
+      write_literal b !pos v;
+      pos := !pos + Phys_node.literal_size v
+    | Proxy rid ->
+      Rid.write b !pos rid;
+      pos := !pos + Rid.encoded_size);
+    assert (!pos = off + n.size)
+  in
+  (match root.kind with
+  | Aggregate { children } | Frag_aggregate { children } -> List.iter (emit 0) children
+  | Literal v ->
+    write_literal b !pos v;
+    pos := !pos + Phys_node.literal_size v
+  | Proxy _ -> assert false);
+  assert (!pos = size);
+  Bytes.unsafe_to_string b
+
+let read_literal tag b off len : Phys_node.literal =
+  match (tag : Node_type_table.content_tag) with
+  | Tag_str -> Str (Bytes.sub_string b off len)
+  | Tag_uri -> Uri (Bytes.sub_string b off len)
+  | Tag_int8 -> Int8 (Bytes_util.get_u8 b off)
+  | Tag_int16 -> Int16 (Bytes_util.get_u16 b off)
+  | Tag_int32 -> Int32 (Int32.of_int (Bytes_util.get_u32 b off))
+  | Tag_int64 -> Int64 (Bytes_util.get_i64 b off)
+  | Tag_float -> Float (Bytes_util.get_f64 b off)
+  | Tag_aggregate | Tag_frag_aggregate | Tag_proxy ->
+    failwith "Node_codec: literal tag expected"
+
+let decode_parent_rid body = Rid.read (Bytes.unsafe_of_string body) parent_rid_offset
+
+let decode tbl body =
+  let b = Bytes.unsafe_of_string body in
+  let total = String.length body in
+  if total < Phys_node.standalone_header_size then failwith "Node_codec: truncated record";
+  let parent_rid = Rid.read b parent_rid_offset in
+  (* Decode the embedded node whose header starts at [off]; checks that
+     the recorded parent offset matches [expect_parent]. *)
+  let rec node off expect_parent : Phys_node.t =
+    if off + Phys_node.embedded_header_size > total then failwith "Node_codec: truncated node";
+    let tag, label = Node_type_table.entry tbl (Bytes_util.get_u16 b off) in
+    let size = Bytes_util.get_u16 b (off + 2) in
+    let parent_off = Bytes_util.get_u16 b (off + 4) in
+    if parent_off <> expect_parent then failwith "Node_codec: inconsistent parent offset";
+    if off + size > total then failwith "Node_codec: node overruns record";
+    let payload = off + Phys_node.embedded_header_size in
+    let payload_len = size - Phys_node.embedded_header_size in
+    match tag with
+    | Tag_aggregate | Tag_frag_aggregate ->
+      let cs = node_list payload (payload + payload_len) off in
+      let n =
+        if tag = Tag_aggregate then Phys_node.aggregate label cs
+        else Phys_node.frag_aggregate ~label cs
+      in
+      if n.Phys_node.size <> size then failwith "Node_codec: aggregate size mismatch";
+      n
+    | Tag_proxy ->
+      if payload_len <> Rid.encoded_size then failwith "Node_codec: bad proxy size";
+      Phys_node.proxy (Rid.read b payload)
+    | Tag_str | Tag_uri | Tag_int8 | Tag_int16 | Tag_int32 | Tag_int64 | Tag_float ->
+      Phys_node.literal ~label (read_literal tag b payload payload_len)
+  and node_list pos stop parent_off =
+    if pos >= stop then []
+    else begin
+      let n = node pos parent_off in
+      n :: node_list (pos + n.Phys_node.size) stop parent_off
+    end
+  in
+  let root_tag, root_label = Node_type_table.entry tbl (Bytes_util.get_u16 b 0) in
+  let payload = Phys_node.standalone_header_size in
+  let root =
+    match root_tag with
+    | Tag_aggregate | Tag_frag_aggregate ->
+      let cs = node_list payload total 0 in
+      if root_tag = Tag_aggregate then Phys_node.aggregate root_label cs
+      else Phys_node.frag_aggregate ~label:root_label cs
+    | Tag_str | Tag_uri | Tag_int8 | Tag_int16 | Tag_int32 | Tag_int64 | Tag_float ->
+      Phys_node.literal ~label:root_label (read_literal root_tag b payload (total - payload))
+    | Tag_proxy -> failwith "Node_codec: proxy root"
+  in
+  if Phys_node.record_size root <> total then failwith "Node_codec: record size mismatch";
+  (root, parent_rid)
+
+let rec structural_equal (a : Phys_node.t) (b : Phys_node.t) =
+  Label.equal a.label b.label
+  &&
+  match (a.kind, b.kind) with
+  | Aggregate { children = x }, Aggregate { children = y }
+  | Frag_aggregate { children = x }, Frag_aggregate { children = y } ->
+    List.length x = List.length y && List.for_all2 structural_equal x y
+  | Literal u, Literal v -> u = v
+  | Proxy u, Proxy v -> Rid.equal u v
+  | (Aggregate _ | Frag_aggregate _ | Literal _ | Proxy _), _ -> false

@@ -1,0 +1,91 @@
+open Natix_util
+
+type content_tag =
+  | Tag_aggregate
+  | Tag_frag_aggregate
+  | Tag_proxy
+  | Tag_str
+  | Tag_int8
+  | Tag_int16
+  | Tag_int32
+  | Tag_int64
+  | Tag_float
+  | Tag_uri
+
+let tag_to_int = function
+  | Tag_aggregate -> 0
+  | Tag_frag_aggregate -> 1
+  | Tag_proxy -> 2
+  | Tag_str -> 3
+  | Tag_int8 -> 4
+  | Tag_int16 -> 5
+  | Tag_int32 -> 6
+  | Tag_int64 -> 7
+  | Tag_float -> 8
+  | Tag_uri -> 9
+
+let tag_of_int = function
+  | 0 -> Tag_aggregate
+  | 1 -> Tag_frag_aggregate
+  | 2 -> Tag_proxy
+  | 3 -> Tag_str
+  | 4 -> Tag_int8
+  | 5 -> Tag_int16
+  | 6 -> Tag_int32
+  | 7 -> Tag_int64
+  | 8 -> Tag_float
+  | 9 -> Tag_uri
+  | n -> invalid_arg (Printf.sprintf "Node_type_table: bad content tag %d" n)
+
+type t = {
+  by_pair : (int * Label.t, int) Hashtbl.t;
+  mutable by_index : (content_tag * Label.t) array;
+  mutable count : int;
+}
+
+let create () = { by_pair = Hashtbl.create 64; by_index = Array.make 64 (Tag_aggregate, 0); count = 0 }
+
+let index t tag label =
+  let key = (tag_to_int tag, label) in
+  match Hashtbl.find_opt t.by_pair key with
+  | Some i -> i
+  | None ->
+    if t.count >= 0x10000 then failwith "Node_type_table: full (65536 entries)";
+    if t.count = Array.length t.by_index then begin
+      let bigger = Array.make (2 * t.count) (Tag_aggregate, 0) in
+      Array.blit t.by_index 0 bigger 0 t.count;
+      t.by_index <- bigger
+    end;
+    let i = t.count in
+    Hashtbl.replace t.by_pair key i;
+    t.by_index.(i) <- (tag, label);
+    t.count <- t.count + 1;
+    i
+
+let entry t i =
+  if i < 0 || i >= t.count then invalid_arg (Printf.sprintf "Node_type_table: unknown index %d" i)
+  else t.by_index.(i)
+
+let size t = t.count
+
+let encode t =
+  let b = Bytes.create (2 + (t.count * 5)) in
+  Bytes_util.set_u16 b 0 t.count;
+  for i = 0 to t.count - 1 do
+    let tag, label = t.by_index.(i) in
+    Bytes_util.set_u8 b (2 + (5 * i)) (tag_to_int tag);
+    Bytes_util.set_u32 b (2 + (5 * i) + 1) label
+  done;
+  Bytes.unsafe_to_string b
+
+let decode s =
+  let b = Bytes.unsafe_of_string s in
+  let count = Bytes_util.get_u16 b 0 in
+  let t = create () in
+  for i = 0 to count - 1 do
+    let tag = tag_of_int (Bytes_util.get_u8 b (2 + (5 * i))) in
+    let label = Bytes_util.get_u32 b (2 + (5 * i) + 1) in
+    let idx = index t tag label in
+    assert (idx = i)
+  done;
+  t

@@ -1,0 +1,111 @@
+exception Parse_error of string
+
+type axis = Child | Descendant
+type nametest = Name of string | Any | Text_nodes
+
+type step = { axis : axis; test : nametest; positions : int list }
+
+type t = step list
+
+let parse s =
+  let n = String.length s in
+  if n = 0 then raise (Parse_error "empty path");
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let steps = ref [] in
+  let axis () =
+    match peek () with
+    | Some '/' ->
+      incr pos;
+      if peek () = Some '/' then begin
+        incr pos;
+        Descendant
+      end
+      else Child
+    | Some c -> raise (Parse_error (Printf.sprintf "expected '/', got %C" c))
+    | None -> raise (Parse_error "expected a step")
+  in
+  let name () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' | '@' | '*' | '(' | ')' -> true
+      | '/' | '[' -> false
+      | c -> raise (Parse_error (Printf.sprintf "unexpected %C" c))
+    do
+      incr pos
+    done;
+    if !pos = start then raise (Parse_error "expected a name test");
+    String.sub s start (!pos - start)
+  in
+  let predicates () =
+    let ps = ref [] in
+    while peek () = Some '[' do
+      incr pos;
+      let start = !pos in
+      while !pos < n && s.[!pos] <> ']' do
+        incr pos
+      done;
+      if !pos >= n then raise (Parse_error "unterminated predicate");
+      let digits = String.sub s start (!pos - start) in
+      incr pos;
+      match int_of_string_opt digits with
+      | Some k when k >= 1 -> ps := k :: !ps
+      | Some _ | None -> raise (Parse_error (Printf.sprintf "bad position %S" digits))
+    done;
+    List.rev !ps
+  in
+  while !pos < n do
+    let axis = axis () in
+    let raw = name () in
+    let test =
+      match raw with
+      | "*" -> Any
+      | "text()" -> Text_nodes
+      | name -> Name name
+    in
+    let positions = predicates () in
+    steps := { axis; test; positions } :: !steps
+  done;
+  List.rev !steps
+
+let to_string t =
+  String.concat ""
+    (List.map
+       (fun { axis; test; positions } ->
+         (match axis with Child -> "/" | Descendant -> "//")
+         ^ (match test with Any -> "*" | Text_nodes -> "text()" | Name n -> n)
+         ^ String.concat "" (List.map (Printf.sprintf "[%d]") positions))
+       t)
+
+let matches test c =
+  match test with
+  | Any -> Cursor.is_element c
+  | Text_nodes -> Cursor.is_text c && not (Cursor.is_attribute c)
+  | Name n -> String.equal (Cursor.name c) n
+
+(* Candidates of one step from one context node, positions applied. *)
+let step_from step c =
+  let base =
+    match step.axis with
+    | Child -> Cursor.children c
+    | Descendant -> Seq.concat_map Cursor.descendants_or_self (Cursor.children c)
+  in
+  let hits = Seq.filter (matches step.test) base in
+  match step.positions with
+  | [] -> List.of_seq hits
+  | ps ->
+    (* Apply each positional predicate in sequence (XPath [k][j]). *)
+    List.fold_left
+      (fun nodes k -> match List.nth_opt nodes (k - 1) with Some x -> [ x ] | None -> [])
+      (List.of_seq hits) ps
+
+let eval ctx t =
+  List.fold_left (fun nodes step -> List.concat_map (step_from step) nodes) [ ctx ] t
+
+let query store ~doc path =
+  match Cursor.of_document store doc with
+  | None -> invalid_arg (Printf.sprintf "Path.query: no document %S" doc)
+  | Some root -> eval root (parse path)

@@ -1,0 +1,31 @@
+(** A small path-query evaluator.
+
+    The paper's query engine was "not yet implemented"; its evaluation runs
+    three hand-navigated pattern-matching queries.  This module provides
+    just enough of an XPath-like language to express them declaratively:
+
+    {v
+      path      ::= ("/" | "//") step (("/" | "//") step)*
+      step      ::= nametest predicate*
+      nametest  ::= NAME | "*" | "text()"
+      predicate ::= "[" INTEGER "]"
+    v}
+
+    ["/"] selects children, ["//"] descendants; [\[k\]] keeps the k-th node
+    (1-based) of the step's result {e per context node}, XPath-style.
+
+    Examples from the evaluation: [//ACT\[3\]/SCENE\[2\]//SPEAKER] (query 1),
+    [/PLAY/ACT\[1\]/SCENE\[1\]/SPEECH\[1\]] (query 3). *)
+
+exception Parse_error of string
+
+type t
+
+val parse : string -> t
+val to_string : t -> string
+
+(** Evaluate relative to a context node; results in document order. *)
+val eval : Cursor.t -> t -> Cursor.t list
+
+(** Parse and evaluate against a document root. *)
+val query : Tree_store.t -> doc:string -> string -> Cursor.t list

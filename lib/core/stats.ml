@@ -1,0 +1,53 @@
+type doc_stats = {
+  records : int;
+  facade_nodes : int;
+  scaffold_nodes : int;
+  record_bytes : int;
+  record_tree_depth : int;
+  max_record_bytes : int;
+}
+
+let document store name =
+  match Tree_store.document_rid store name with
+  | None -> invalid_arg (Printf.sprintf "Stats.document: no document %S" name)
+  | Some rid ->
+    let records = ref 0 in
+    let facade = ref 0 in
+    let scaffold = ref 0 in
+    let bytes = ref 0 in
+    let depth = ref 0 in
+    let max_bytes = ref 0 in
+    Tree_store.iter_records store rid (fun _rid root d ->
+        incr records;
+        depth := max !depth (d + 1);
+        let size = Phys_node.record_size root in
+        bytes := !bytes + size;
+        max_bytes := max !max_bytes size;
+        let rec count (n : Phys_node.t) =
+          match n.Phys_node.kind with
+          | Phys_node.Frag_aggregate _ ->
+            (* One logical text node; its chunks are scaffolding. *)
+            incr facade;
+            scaffold := !scaffold + Phys_node.count n - 1
+          | Phys_node.Aggregate _ | Phys_node.Literal _ ->
+            if Phys_node.is_facade n then incr facade else incr scaffold;
+            List.iter count (Phys_node.children n)
+          | Phys_node.Proxy _ -> incr scaffold
+        in
+        count root);
+    {
+      records = !records;
+      facade_nodes = !facade;
+      scaffold_nodes = !scaffold;
+      record_bytes = !bytes;
+      record_tree_depth = !depth;
+      max_record_bytes = !max_bytes;
+    }
+
+let disk_bytes store =
+  Natix_store.Disk.size_bytes (Natix_store.Buffer_pool.disk (Tree_store.buffer_pool store))
+
+let pp_doc ppf s =
+  Format.fprintf ppf
+    "records=%d facade=%d scaffold=%d bytes=%d depth=%d max_record=%d" s.records s.facade_nodes
+    s.scaffold_nodes s.record_bytes s.record_tree_depth s.max_record_bytes

@@ -1,0 +1,20 @@
+(** Physical-tree statistics: the quantities the paper's evaluation reports
+    or explains results with (space on disk, record counts, record-tree
+    depth — e.g. "the physical record tree has only a depth of 2", §4.4.5). *)
+
+type doc_stats = {
+  records : int;
+  facade_nodes : int;  (** logical nodes materialised *)
+  scaffold_nodes : int;  (** proxies + scaffolding/fragment aggregates *)
+  record_bytes : int;  (** sum of record body sizes *)
+  record_tree_depth : int;  (** longest proxy chain from the root record *)
+  max_record_bytes : int;
+}
+
+val document : Tree_store.t -> string -> doc_stats
+
+(** Total bytes on disk for the whole store (allocated pages × page size) —
+    the metric of the paper's Fig. 14. *)
+val disk_bytes : Tree_store.t -> int
+
+val pp_doc : Format.formatter -> doc_stats -> unit

@@ -1,0 +1,735 @@
+open Natix_util
+open Natix_store
+
+exception Unsplittable of string
+
+type record_event = Changed | Dropped
+
+type t = {
+  rm : Record_manager.t;
+  pool : Buffer_pool.t;
+  config : Config.t;
+  catalog : Catalog.t;
+  cache : Phys_node.box Rid.Tbl.t;
+  mutable splits : int;
+  mutable merges : int;
+  mutable listener : (Rid.t -> record_event -> unit) option;
+}
+
+type payload =
+  | Elem of Label.t
+  | Text of string
+  | Lit of Label.t * Phys_node.literal
+
+type insert_point =
+  | First_under of Phys_node.t
+  | After of Phys_node.t
+
+let config t = t.config
+let names t = t.catalog.Catalog.names
+let catalog t = t.catalog
+let record_manager t = t.rm
+let buffer_pool t = t.pool
+let io_stats t = Disk.stats (Buffer_pool.disk t.pool)
+let max_record_size t = Config.max_record_size t.config
+let split_count t = t.splits
+let merge_count t = t.merges
+let label t name = Name_pool.intern t.catalog.Catalog.names name
+let set_change_listener t listener = t.listener <- listener
+
+let notify t rid event =
+  match t.listener with
+  | Some f -> f rid event
+  | None -> ()
+let label_name t l = Name_pool.name t.catalog.Catalog.names l
+
+let open_store ?(config = Config.default ()) disk =
+  Config.validate config;
+  if Disk.page_size disk <> config.page_size then
+    invalid_arg "Tree_store.open_store: disk page size differs from the configuration";
+  let pool = Buffer_pool.create ~disk ~bytes:config.buffer_bytes () in
+  let seg = Segment.create pool in
+  let rm = Record_manager.create seg in
+  let catalog = Catalog.load rm in
+  { rm; pool; config; catalog; cache = Rid.Tbl.create 1024; splits = 0; merges = 0; listener = None }
+
+let in_memory ?(config = Config.default ()) ?model () =
+  open_store ~config (Disk.in_memory ?model ~page_size:config.page_size ())
+
+let sync t =
+  Catalog.save t.rm t.catalog;
+  Buffer_pool.flush t.pool
+
+let clear_buffers t =
+  Rid.Tbl.iter
+    (fun _ (box : Phys_node.box) ->
+      match box.root.Phys_node.box with
+      | Some b when b == box -> box.root.Phys_node.box <- None
+      | Some _ | None -> ())
+    t.cache;
+  Rid.Tbl.reset t.cache;
+  Buffer_pool.clear t.pool
+
+(* ------------------------------------------------------------------ *)
+(* Record access                                                       *)
+
+let fetch t rid : Phys_node.box =
+  match Rid.Tbl.find_opt t.cache rid with
+  | Some box ->
+    (* Charge the page access even on a decoded-cache hit, so the I/O
+       pattern matches a system that re-reads the record image. *)
+    Record_manager.with_record t.rm rid (fun _ ~off:_ ~len:_ -> ());
+    box
+  | None ->
+    let body = Record_manager.read t.rm rid in
+    let root, parent_rid = Node_codec.decode t.catalog.Catalog.types body in
+    let box = { Phys_node.rid; root; parent_rid } in
+    root.Phys_node.box <- Some box;
+    Rid.Tbl.replace t.cache rid box;
+    box
+
+let flush_box t (box : Phys_node.box) =
+  let body = Node_codec.encode t.catalog.Catalog.types ~parent_rid:box.parent_rid box.root in
+  Record_manager.update t.rm box.rid body;
+  notify t box.rid Changed
+
+(* Repoint the on-disk parent RID of a subtree record (cheap patch). *)
+let set_parent_rid t rid parent =
+  (match Rid.Tbl.find_opt t.cache rid with
+  | Some box -> box.parent_rid <- parent
+  | None -> ());
+  let b = Bytes.create Rid.encoded_size in
+  Rid.write b 0 parent;
+  Record_manager.patch t.rm rid ~off:Node_codec.parent_rid_offset (Bytes.unsafe_to_string b)
+
+let rec iter_proxies (n : Phys_node.t) f =
+  match n.kind with
+  | Proxy rid -> f rid
+  | Aggregate _ | Frag_aggregate _ -> List.iter (fun c -> iter_proxies c f) (Phys_node.children n)
+  | Literal _ -> ()
+
+(* Create a record for [root] (which must fit) and adopt its proxy
+   targets. *)
+let new_record t ?near ?policy ~parent_rid root : Phys_node.box =
+  let body = Node_codec.encode t.catalog.Catalog.types ~parent_rid root in
+  let rid = Record_manager.insert t.rm ?near ?policy body in
+  let box = { Phys_node.rid; root; parent_rid } in
+  root.Phys_node.box <- Some box;
+  Rid.Tbl.replace t.cache rid box;
+  iter_proxies root (fun target -> set_parent_rid t target rid);
+  notify t rid Changed;
+  box
+
+let drop_record t (box : Phys_node.box) =
+  Record_manager.delete t.rm box.rid;
+  Rid.Tbl.remove t.cache box.rid;
+  notify t box.rid Dropped;
+  (match box.root.Phys_node.box with
+  | Some b when b == box -> box.root.Phys_node.box <- None
+  | Some _ | None -> ())
+
+let require_box (n : Phys_node.t) =
+  match n.box with
+  | Some box -> box
+  | None -> invalid_arg "Tree_store: node is not attached to a record"
+
+let box_of _t n = require_box (Phys_node.record_root n)
+
+(* Find the proxy object pointing at [rid] inside a decoded subtree. *)
+let find_proxy (root : Phys_node.t) rid =
+  let exception Found of Phys_node.t in
+  let rec go (n : Phys_node.t) =
+    match n.kind with
+    | Proxy r when Rid.equal r rid -> raise (Found n)
+    | Proxy _ | Literal _ -> ()
+    | Aggregate _ | Frag_aggregate _ -> List.iter go (Phys_node.children n)
+  in
+  match go root with
+  | () -> failwith "Tree_store: dangling record (no proxy in parent)"
+  | exception Found n -> n
+
+(* A scaffolding grouping aggregate (not a fragment aggregate). *)
+let is_scaffold_group (n : Phys_node.t) =
+  Phys_node.is_scaffolding n
+  && match n.kind with Aggregate _ -> true | Frag_aggregate _ | Literal _ | Proxy _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Logical navigation                                                  *)
+
+let rec expand t (items : Phys_node.t list) () : Phys_node.t Seq.node =
+  match items with
+  | [] -> Seq.Nil
+  | item :: rest -> (
+    match item.Phys_node.kind with
+    | Proxy rid ->
+      let root = (fetch t rid).root in
+      if is_scaffold_group root then expand t (Phys_node.children root @ rest) ()
+      else Seq.Cons (root, expand t rest)
+    | Aggregate _ when Phys_node.is_scaffolding item ->
+      (* Defensive: embedded scaffolding groups are not normally created. *)
+      expand t (Phys_node.children item @ rest) ()
+    | Aggregate _ | Frag_aggregate _ | Literal _ -> Seq.Cons (item, expand t rest))
+
+let logical_children t (n : Phys_node.t) : Phys_node.t Seq.t =
+  match n.kind with
+  | Aggregate _ when Phys_node.is_facade n -> expand t (Phys_node.children n)
+  | Aggregate _ | Frag_aggregate _ | Literal _ | Proxy _ -> Seq.empty
+
+let is_element (n : Phys_node.t) =
+  Phys_node.is_facade n
+  && match n.kind with Aggregate _ -> true | Frag_aggregate _ | Literal _ | Proxy _ -> false
+
+let is_literal (n : Phys_node.t) =
+  match n.kind with
+  | Literal _ | Frag_aggregate _ -> true
+  | Aggregate _ | Proxy _ -> false
+
+(* Logical parent of [n] together with the physical child of that parent
+   on the path down to [n]; [None] at the document root. *)
+let parent_link t (n : Phys_node.t) : (Phys_node.t * Phys_node.t) option =
+  let rec up (n : Phys_node.t) =
+    match n.parent with
+    | Some p -> if is_element p then Some (p, n) else up p
+    | None ->
+      let box = require_box n in
+      if Rid.is_null box.parent_rid then None
+      else begin
+        let pbox = fetch t box.parent_rid in
+        let px = find_proxy pbox.root box.rid in
+        up px
+      end
+  in
+  up n
+
+let logical_parent t n = Option.map fst (parent_link t n)
+
+let literal_of (n : Phys_node.t) =
+  match n.kind with
+  | Literal v -> Some v
+  | Aggregate _ | Frag_aggregate _ | Proxy _ -> None
+
+let literal_to_string (v : Phys_node.literal) =
+  match v with
+  | Str s | Uri s -> s
+  | Int8 v | Int16 v -> string_of_int v
+  | Int32 v -> Int32.to_string v
+  | Int64 v -> Int64.to_string v
+  | Float v -> string_of_float v
+
+let text_of t (n : Phys_node.t) =
+  match n.kind with
+  | Literal v -> literal_to_string v
+  | Frag_aggregate _ ->
+    let buf = Buffer.create 256 in
+    let rec walk (n : Phys_node.t) =
+      match n.kind with
+      | Literal v -> Buffer.add_string buf (literal_to_string v)
+      | Proxy rid -> walk (fetch t rid).root
+      | Aggregate _ | Frag_aggregate _ -> List.iter walk (Phys_node.children n)
+    in
+    walk n;
+    Buffer.contents buf
+  | Aggregate _ | Proxy _ -> invalid_arg "Tree_store.text_of: not a text node"
+
+(* ------------------------------------------------------------------ *)
+(* The split algorithm (§3.2)                                          *)
+
+(* Replace an oversized literal root by a fragment aggregate of chunks so
+   that the separator search has edges to cut (DESIGN.md §4.6). *)
+let fragment_literal t (n : Phys_node.t) =
+  match n.kind with
+  | Literal (Str s) | Literal (Uri s) ->
+    let chunk = max 1 (max_record_size t / 2) in
+    let len = String.length s in
+    let rec chunks pos =
+      if pos >= len then []
+      else begin
+        let l = min chunk (len - pos) in
+        Phys_node.literal (Str (String.sub s pos l)) :: chunks (pos + l)
+      end
+    in
+    let cs = chunks 0 in
+    let old_size = n.size in
+    n.kind <- Frag_aggregate { children = cs };
+    List.iter (fun (c : Phys_node.t) -> c.parent <- Some n) cs;
+    n.size <- Phys_node.embedded_header_size + List.fold_left (fun a (c : Phys_node.t) -> a + c.size) 0 cs;
+    (match n.parent with
+    | Some p -> Phys_node.add_size p (n.size - old_size)
+    | None -> ())
+  | Literal _ | Aggregate _ | Frag_aggregate _ | Proxy _ ->
+    invalid_arg "Tree_store.fragment_literal: not a string literal"
+
+(* Separator search (§3.2.2): descend from the record root into the child
+   whose subtree contains the configured split target, stopping at leaves
+   and at subtrees smaller than the split tolerance.  Children pinned to
+   their parent by the Split Matrix are descended through (they stay with
+   the separator), never chosen as [d]. *)
+let find_d t (root : Phys_node.t) =
+  let tolerance =
+    int_of_float (t.config.Config.split_tolerance *. float_of_int t.config.Config.page_size)
+  in
+  let retained (p : Phys_node.t) (c : Phys_node.t) =
+    Phys_node.is_facade c
+    && Split_matrix.get t.config.Config.matrix ~parent:p.label ~child:c.label = Split_matrix.Cluster
+  in
+  let rec descend (node : Phys_node.t) target =
+    match Phys_node.children node with
+    | [] -> node
+    | cs ->
+      (* Child whose byte range contains [target]. *)
+      let rec pick before = function
+        | [ c ] -> (before, c)
+        | c :: rest ->
+          if float_of_int (before + c.Phys_node.size) >= target then (before, c)
+          else pick (before + c.Phys_node.size) rest
+        | [] -> assert false
+      in
+      let before, c = pick 0 cs in
+      if retained node c then begin
+        if Phys_node.is_leaf c then begin
+          (* Cannot cut a pinned leaf: fall back to the largest free child. *)
+          match
+            List.filter (fun x -> not (retained node x)) cs
+            |> List.sort (fun (a : Phys_node.t) b -> Int.compare b.size a.size)
+          with
+          | [] -> raise (Unsplittable "all children pinned to the parent by the Split Matrix")
+          | free :: _ -> free
+        end
+        else descend c (target -. float_of_int (before + Phys_node.embedded_header_size))
+      end
+      else if Phys_node.is_leaf c || c.Phys_node.size < tolerance then c
+      else descend c (target -. float_of_int (before + Phys_node.embedded_header_size))
+  in
+  let target = t.config.Config.split_target *. float_of_int root.size in
+  let d = descend root target in
+  if d == root then raise (Unsplittable "record root has no children to distribute");
+  d
+
+(* Split [box] in place: redistribute content onto partition records whose
+   parent will be the record identified by [dest]; the separator remains as
+   [box]'s root.  [materialize] is passed in to allow mutual recursion with
+   oversized-partition handling. *)
+let partition_record t (box : Phys_node.box) ~dest ~materialize =
+  (match box.root.Phys_node.kind with
+  | Literal _ -> fragment_literal t box.root
+  | Aggregate _ | Frag_aggregate _ | Proxy _ -> ());
+  let d = find_d t box.root in
+  (* Path from the parent of [d] up to the root. *)
+  let rec path_to_root (n : Phys_node.t) acc =
+    match n.parent with
+    | None -> n :: acc
+    | Some p -> path_to_root p (n :: acc)
+  in
+  let path =
+    match d.parent with
+    | None -> raise (Unsplittable "separator would be empty")
+    | Some p -> List.rev (path_to_root p [])  (* bottom-up: parent(d) first *)
+  in
+  let near = Rid.page box.rid in
+  let progress = ref 0 in
+  let retained (p : Phys_node.t) (c : Phys_node.t) =
+    Phys_node.is_facade c
+    && Split_matrix.get t.config.Config.matrix ~parent:p.label ~child:c.label = Split_matrix.Cluster
+  in
+  (* Turn a maximal run of sibling partition roots into the node that
+     replaces them in the separator: the proxy itself for a single proxy
+     (scaffolding-avoidance case 1), otherwise a proxy to a new partition
+     record (grouping siblings under one scaffolding aggregate). *)
+  let emit_run (run : Phys_node.t list) : Phys_node.t list =
+    match run with
+    | [] -> []
+    | [ ({ Phys_node.kind = Proxy _; _ } as only) ] ->
+      only.Phys_node.parent <- None;
+      [ only ]
+    | run ->
+      List.iter (fun (n : Phys_node.t) -> n.Phys_node.parent <- None) run;
+      let part_root =
+        match run with
+        | [ single ] -> single
+        | many -> Phys_node.scaffold_aggregate many
+      in
+      progress := !progress + part_root.Phys_node.size;
+      let pbox = materialize t ~near ~parent_rid:dest part_root in
+      [ Phys_node.proxy pbox.Phys_node.rid ]
+  in
+  (* Rebuild children of one separator level: partition [items] into runs
+     broken by pinned children (which stay in the separator). *)
+  let rebuild_side (p : Phys_node.t) (items : Phys_node.t list) : Phys_node.t list =
+    let flush_run acc run = List.rev_append (emit_run (List.rev run)) acc in
+    let rec go acc run = function
+      | [] -> List.rev (flush_run acc run)
+      | c :: rest ->
+        if retained p c then go (c :: flush_run acc run) [] rest
+        else go acc (c :: run) rest
+    in
+    go [] [] items
+  in
+  (* Process levels bottom-up so each parent sees its rebuilt child. *)
+  let rec process (levels : Phys_node.t list) (path_child : Phys_node.t option) =
+    match levels with
+    | [] -> ()
+    | p :: up ->
+      let cs = Phys_node.children p in
+      let boundary = match path_child with None -> d | Some c -> c in
+      let rec split_at pre = function
+        | [] -> failwith "Tree_store.partition_record: path child missing"
+        | c :: rest when c == boundary -> (List.rev pre, rest)
+        | c :: rest -> split_at (c :: pre) rest
+      in
+      let pre, post = split_at [] cs in
+      let left = rebuild_side p pre in
+      let right =
+        match path_child with
+        | None ->
+          (* Deepest level: d and its right siblings form the right
+             partition. *)
+          rebuild_side p (d :: post)
+        | Some c ->
+          ignore c;
+          rebuild_side p post
+      in
+      let keep = match path_child with None -> [] | Some c -> [ c ] in
+      Phys_node.set_children p (left @ keep @ right);
+      process up (Some p)
+  in
+  process path None;
+  if !progress = 0 then
+    raise (Unsplittable "split produced no partitions (Split Matrix pins everything)");
+  t.splits <- t.splits + 1
+
+(* Create a record for [root], splitting it locally first if it exceeds
+   the page capacity (needed when a partition or a standalone subtree is
+   itself oversized). *)
+let rec materialize t ?policy ~near ~parent_rid (root : Phys_node.t) : Phys_node.box =
+  if Phys_node.record_size root <= max_record_size t then new_record t ~near ?policy ~parent_rid root
+  else begin
+    (* Reserve the record's identity with a placeholder, then shrink the
+       real content in place. *)
+    let placeholder = Phys_node.scaffold_aggregate [] in
+    let box = new_record t ~near ?policy ~parent_rid placeholder in
+    placeholder.Phys_node.box <- None;
+    box.root <- root;
+    root.Phys_node.box <- Some box;
+    shrink_in_place t box;
+    box
+  end
+
+(* Repeatedly partition until the separator fits, keeping it as the
+   record's root (used for root records and freshly materialised
+   subtrees). *)
+and shrink_in_place t (box : Phys_node.box) =
+  if Phys_node.record_size box.root > max_record_size t then begin
+    partition_record t box ~dest:box.rid
+      ~materialize:(fun t ~near ~parent_rid root -> materialize t ~near ~parent_rid root);
+    shrink_in_place t box
+  end
+  else flush_box t box
+
+(* The tree growth procedure's overflow handling: split the record and
+   move the separator into the parent record (recursively). *)
+let rec grow_check t (box : Phys_node.box) =
+  if Phys_node.record_size box.root <= max_record_size t then flush_box t box
+  else if Rid.is_null box.parent_rid then
+    (* Root record: the separator becomes the new root content; the RID is
+       reused so the document catalog stays valid. *)
+    shrink_in_place t box
+  else begin
+    let dest = box.parent_rid in
+    partition_record t box ~dest
+      ~materialize:(fun t ~near ~parent_rid root -> materialize t ~near ~parent_rid root);
+    let sep_root = box.root in
+    let pbox = fetch t dest in
+    let px = find_proxy pbox.root box.rid in
+    drop_record t box;
+    let host =
+      match px.Phys_node.parent with
+      | Some h -> h
+      | None -> failwith "Tree_store: proxy cannot be a record root"
+    in
+    let idx = Phys_node.index_of host px in
+    Phys_node.remove_child host px;
+    (* Scaffolding-avoidance case 2: a scaffolding separator root is
+       disregarded; its children are inserted into the parent instead. *)
+    let to_insert =
+      if is_scaffold_group sep_root then begin
+        let cs = Phys_node.children sep_root in
+        List.iter (fun (c : Phys_node.t) -> c.Phys_node.parent <- None) cs;
+        cs
+      end
+      else begin
+        sep_root.Phys_node.parent <- None;
+        [ sep_root ]
+      end
+    in
+    List.iteri (fun i n -> Phys_node.insert_child host ~index:(idx + i) n) to_insert;
+    (* Records referenced from the separator now hang off the parent. *)
+    List.iter (fun n -> iter_proxies n (fun target -> set_parent_rid t target dest)) to_insert;
+    grow_check t pbox
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Merging (dynamic re-clustering on deletion)                         *)
+
+let rec try_merge t (box : Phys_node.box) =
+  let threshold = t.config.Config.merge_threshold in
+  if threshold > 0. then begin
+    let limit = int_of_float (threshold *. float_of_int (max_record_size t)) in
+    if Phys_node.record_size box.root < limit then begin
+      (* Inline the first child record that keeps us under the limit. *)
+      let candidate = ref None in
+      (try
+         iter_proxies box.root (fun rid ->
+             let tbox = fetch t rid in
+             let delta =
+               tbox.root.Phys_node.size - (Phys_node.embedded_header_size + Rid.encoded_size)
+             in
+             if Phys_node.record_size box.root + delta <= limit then begin
+               candidate := Some tbox;
+               raise Exit
+             end)
+       with Exit -> ());
+      match !candidate with
+      | None -> flush_box t box
+      | Some tbox ->
+        let px = find_proxy box.root tbox.rid in
+        let host =
+          match px.Phys_node.parent with
+          | Some h -> h
+          | None -> failwith "Tree_store: proxy cannot be a record root"
+        in
+        let idx = Phys_node.index_of host px in
+        Phys_node.remove_child host px;
+        let content =
+          if is_scaffold_group tbox.root then begin
+            let cs = Phys_node.children tbox.root in
+            List.iter (fun (c : Phys_node.t) -> c.Phys_node.parent <- None) cs;
+            cs
+          end
+          else [ tbox.root ]
+        in
+        drop_record t tbox;
+        List.iteri (fun i n -> Phys_node.insert_child host ~index:(idx + i) n) content;
+        List.iter (fun n -> iter_proxies n (fun target -> set_parent_rid t target box.rid)) content;
+        t.merges <- t.merges + 1;
+        try_merge t box
+    end
+    else flush_box t box
+  end
+  else flush_box t box
+
+(* ------------------------------------------------------------------ *)
+(* Updates                                                             *)
+
+let mk_payload = function
+  | Elem l -> Phys_node.aggregate l []
+  | Text s -> Phys_node.literal (Str s)
+  | Lit (l, v) -> Phys_node.literal ~label:l v
+
+let payload_label = function
+  | Elem l -> l
+  | Text _ -> Label.pcdata
+  | Lit (l, _) -> l
+
+let insert_embedded t host ~index node =
+  Phys_node.insert_child host ~index node;
+  grow_check t (box_of t host)
+
+let insert_node t point payload =
+  let node = mk_payload payload in
+  (* Physical placement next to the designated sibling, and the logical
+     parent for the Split Matrix decision (§3.2.1/§3.3). *)
+  let y, host, index =
+    match point with
+    | First_under y ->
+      if not (is_element y) then invalid_arg "Tree_store.insert_node: First_under a non-element";
+      (y, y, 0)
+    | After prev -> (
+      let y, y_child =
+        match parent_link t prev with
+        | Some link -> link
+        | None -> invalid_arg "Tree_store.insert_node: cannot insert after the document root"
+      in
+      match prev.Phys_node.parent with
+      | Some q -> (y, q, Phys_node.index_of q prev + 1)
+      | None ->
+        (* [prev] is a record root: the new sibling goes next to the proxy
+           that points at it. *)
+        let box = require_box prev in
+        let pbox = fetch t box.parent_rid in
+        let px = find_proxy pbox.root box.rid in
+        (match px.Phys_node.parent with
+        | Some h -> (y, h, Phys_node.index_of h px + 1)
+        | None -> (y, y, Phys_node.index_of y y_child + 1)))
+  in
+  let behaviour =
+    Split_matrix.get t.config.Config.matrix ~parent:y.Phys_node.label
+      ~child:(payload_label payload)
+  in
+  (match behaviour with
+  | Split_matrix.Standalone ->
+    (* Always a record of its own; a proxy goes where the node would.  The
+       fallback placement policy distinguishes NATIX's locality-preserving
+       allocation from the generic-manager emulation (Config). *)
+    let host_box = box_of t host in
+    let policy = if t.config.Config.standalone_first_fit then `First_fit else `Forward in
+    let nbox = materialize t ~policy ~near:(Rid.page host_box.rid) ~parent_rid:host_box.rid node in
+    insert_embedded t host ~index (Phys_node.proxy nbox.rid)
+  | Split_matrix.Cluster ->
+    (* Keep the node in the same record as its logical parent. *)
+    let host, index =
+      if Phys_node.record_root host == Phys_node.record_root y then (host, index)
+      else begin
+        (* The designated sibling lives in another record: fall back to a
+           position under the parent itself. *)
+        let n = List.length (Phys_node.children y) in
+        (y, n)
+      end
+    in
+    insert_embedded t host ~index node
+  | Split_matrix.Other -> insert_embedded t host ~index node);
+  node
+
+let rec delete_descendant_records t (n : Phys_node.t) =
+  match n.Phys_node.kind with
+  | Proxy rid ->
+    let box = fetch t rid in
+    delete_descendant_records t box.root;
+    drop_record t box
+  | Aggregate _ | Frag_aggregate _ ->
+    List.iter (delete_descendant_records t) (Phys_node.children n)
+  | Literal _ -> ()
+
+(* Remove now-empty scaffolding groups within the record. *)
+let rec cleanup_scaffolds (n : Phys_node.t) =
+  if is_scaffold_group n && Phys_node.children n = [] then begin
+    match n.Phys_node.parent with
+    | Some p ->
+      Phys_node.remove_child p n;
+      cleanup_scaffolds p
+    | None -> ()
+  end
+
+(* After a deletion shrank a record, try to inline child records into it,
+   then try the same one level up (the shrunken record may now fit into its
+   parent) — the "merged into clusters" of §1. *)
+let merge_around t (box : Phys_node.box) =
+  try_merge t box;
+  if not (Rid.is_null box.parent_rid) then try_merge t (fetch t box.parent_rid)
+
+let delete_node t (node : Phys_node.t) =
+  match node.Phys_node.parent with
+  | Some p ->
+    delete_descendant_records t node;
+    Phys_node.remove_child p node;
+    cleanup_scaffolds p;
+    merge_around t (box_of t p)
+  | None ->
+    let box = require_box node in
+    if Rid.is_null box.parent_rid then
+      invalid_arg "Tree_store.delete_node: use delete_document for the root";
+    delete_descendant_records t node;
+    let pbox = fetch t box.parent_rid in
+    let px = find_proxy pbox.root box.rid in
+    drop_record t box;
+    (match px.Phys_node.parent with
+    | Some h ->
+      Phys_node.remove_child h px;
+      cleanup_scaffolds h
+    | None -> failwith "Tree_store: proxy cannot be a record root");
+    merge_around t pbox
+
+let update_text t (node : Phys_node.t) s =
+  (match node.Phys_node.kind with
+  | Literal (Str _) | Literal (Uri _) | Frag_aggregate _ -> ()
+  | Literal _ | Aggregate _ | Proxy _ ->
+    invalid_arg "Tree_store.update_text: not a text node");
+  delete_descendant_records t node;
+  let old_size = node.Phys_node.size in
+  node.Phys_node.kind <- Literal (Str s);
+  node.Phys_node.size <- Phys_node.embedded_header_size + String.length s;
+  (match node.Phys_node.parent with
+  | Some p -> Phys_node.add_size p (node.Phys_node.size - old_size)
+  | None -> ());
+  grow_check t (box_of t node)
+
+(* ------------------------------------------------------------------ *)
+(* Documents                                                           *)
+
+let document_rid t name = Hashtbl.find_opt t.catalog.Catalog.docs name
+
+let create_document t ~name ~root =
+  if Hashtbl.mem t.catalog.Catalog.docs name then
+    invalid_arg (Printf.sprintf "Tree_store.create_document: %S exists" name);
+  let root_node = Phys_node.aggregate (label t root) [] in
+  let box = new_record t ~parent_rid:Rid.null root_node in
+  Hashtbl.replace t.catalog.Catalog.docs name box.rid;
+  Catalog.save t.rm t.catalog;
+  root_node
+
+let open_document t name =
+  match document_rid t name with
+  | None -> None
+  | Some rid -> Some (fetch t rid).root
+
+let list_documents t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.catalog.Catalog.docs []
+  |> List.sort String.compare
+
+let delete_document t name =
+  match document_rid t name with
+  | None -> invalid_arg (Printf.sprintf "Tree_store.delete_document: no document %S" name)
+  | Some rid ->
+    let box = fetch t rid in
+    delete_descendant_records t box.root;
+    drop_record t box;
+    Hashtbl.remove t.catalog.Catalog.docs name;
+    Catalog.save t.rm t.catalog
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+
+let iter_records t rid f =
+  let rec go rid depth =
+    let box = fetch t rid in
+    f rid box.Phys_node.root depth;
+    iter_proxies box.root (fun target -> go target (depth + 1))
+  in
+  go rid 0
+
+let check_document t name =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  match document_rid t name with
+  | None -> fail "check_document: no document %S" name
+  | Some root_rid ->
+    let rec check_record rid expected_parent =
+      let box = fetch t rid in
+      if not (Rid.equal box.parent_rid expected_parent) then
+        fail "record %s has parent %s, expected %s" (Rid.to_string rid)
+          (Rid.to_string box.parent_rid)
+          (Rid.to_string expected_parent);
+      let rec check_node (n : Phys_node.t) ~embedded =
+        if n.Phys_node.size <> Phys_node.compute_size n then
+          fail "record %s: cached size %d <> computed %d" (Rid.to_string rid) n.size
+            (Phys_node.compute_size n);
+        if embedded && is_scaffold_group n then
+          fail "record %s: embedded scaffolding group" (Rid.to_string rid);
+        List.iter
+          (fun (c : Phys_node.t) ->
+            (match c.Phys_node.parent with
+            | Some p when p == n -> ()
+            | Some _ | None -> fail "record %s: broken parent link" (Rid.to_string rid));
+            check_node c ~embedded:true)
+          (Phys_node.children n)
+      in
+      check_node box.root ~embedded:false;
+      if Phys_node.record_size box.root > max_record_size t then
+        fail "record %s exceeds a page (%d > %d)" (Rid.to_string rid)
+          (Phys_node.record_size box.root) (max_record_size t);
+      (* Round-trip the byte image. *)
+      let body = Record_manager.read t.rm rid in
+      let decoded, _ = Node_codec.decode t.catalog.Catalog.types body in
+      if not (Node_codec.structural_equal decoded box.root) then
+        fail "record %s: decoded image differs from the cached tree" (Rid.to_string rid);
+      iter_proxies box.root (fun target -> check_record target rid)
+    in
+    check_record root_rid Rid.null

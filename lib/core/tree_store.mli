@@ -1,0 +1,162 @@
+(** The tree storage manager — the paper's contribution (§3).
+
+    Maps logical document trees onto records of the underlying record
+    manager, maintaining the physical organisation dynamically:
+
+    - {b insertion} (the tree growth procedure, Fig. 5): determine the
+      insertion record under the Split Matrix, insert, and when the record
+      exceeds the net page capacity, {b split} it semantically —
+      a small subtree sliced off the record's root serves as separator and
+      moves to the parent record (recursively), the remaining forest is
+      distributed onto partition records grouped under scaffolding
+      aggregates (§3.2.2, including both scaffolding-avoidance special
+      cases);
+    - {b deletion} with re-merging of underfull child records (the dynamic
+      re-clustering of §1);
+    - {b navigation} over the logical tree that transparently expands
+      proxies and hides scaffolding.
+
+    Oversized text literals (larger than a page) are chunked under a
+    fragment aggregate and from then on handled by the ordinary split
+    machinery — an extension documented in DESIGN.md §4.6.
+
+    Record access always pins the underlying page in the buffer pool, so
+    {!io_stats} reflects the true access pattern even though decoded
+    records are memoised. *)
+
+open Natix_util
+open Natix_store
+
+(** Raised when a record cannot be split because the Split Matrix pins all
+    its content to the parent (e.g. the all-[Cluster] "one record"
+    configuration the paper notes cannot store documents larger than a
+    page). *)
+exception Unsplittable of string
+
+type t
+
+(** [open_store ?config disk] opens (or initialises) a store.  The catalog
+    is loaded if present. *)
+val open_store : ?config:Config.t -> Disk.t -> t
+
+(** Fresh in-memory store (tests, benchmarks). *)
+val in_memory : ?config:Config.t -> ?model:Io_model.t -> unit -> t
+
+val config : t -> Config.t
+val names : t -> Name_pool.t
+val catalog : t -> Catalog.t
+val record_manager : t -> Record_manager.t
+val buffer_pool : t -> Buffer_pool.t
+val io_stats : t -> Io_stats.t
+
+(** Largest record body under this configuration. *)
+val max_record_size : t -> int
+
+(** Persist the catalog and flush all buffers. *)
+val sync : t -> unit
+
+(** Flush and drop all buffered pages {e and} decoded records — the
+    paper's "buffer cleared at the start of each operation". *)
+val clear_buffers : t -> unit
+
+(** {1 Documents} *)
+
+val create_document : t -> name:string -> root:string -> Phys_node.t
+
+(** Logical root node of a document. *)
+val open_document : t -> string -> Phys_node.t option
+
+val list_documents : t -> string list
+
+(** Delete the document and all its records. *)
+val delete_document : t -> string -> unit
+
+(** {1 Labels} *)
+
+(** Intern an element or attribute name. *)
+val label : t -> string -> Label.t
+
+val label_name : t -> Label.t -> string
+
+(** {1 Logical navigation}
+
+    Logical nodes are facade {!Phys_node.t} values (plus fragment
+    aggregates standing for oversized text nodes).  Handles stay valid
+    across splits — splits move node objects between records without
+    copying them — and are invalidated only by deleting the subtree. *)
+
+val logical_children : t -> Phys_node.t -> Phys_node.t Seq.t
+val logical_parent : t -> Phys_node.t -> Phys_node.t option
+
+(** True for element nodes (facade aggregates). *)
+val is_element : Phys_node.t -> bool
+
+(** True for logical text/literal leaves (including fragment aggregates). *)
+val is_literal : Phys_node.t -> bool
+
+(** Text of a logical text node; reassembles fragmented literals.
+    @raise Invalid_argument on an element. *)
+val text_of : t -> Phys_node.t -> string
+
+(** Typed literal of a leaf, when it is not fragmented. *)
+val literal_of : Phys_node.t -> Phys_node.literal option
+
+(** {1 Updates} *)
+
+type payload =
+  | Elem of Label.t  (** a fresh empty element *)
+  | Text of string
+  | Lit of Label.t * Phys_node.literal
+
+type insert_point =
+  | First_under of Phys_node.t  (** as first child of this element *)
+  | After of Phys_node.t  (** as next sibling of this logical node *)
+
+(** [insert_node t point payload] runs the tree growth procedure and
+    returns the new logical node. *)
+val insert_node : t -> insert_point -> payload -> Phys_node.t
+
+(** [delete_node t node] removes the logical subtree rooted at [node],
+    deleting the records it owns and re-merging underfull neighbours.
+    @raise Invalid_argument when [node] is a document root (use
+    {!delete_document}). *)
+val delete_node : t -> Phys_node.t -> unit
+
+(** [update_text t node s] replaces a text node's contents. *)
+val update_text : t -> Phys_node.t -> string -> unit
+
+(** {1 Introspection} *)
+
+(** The decoded record containing this node. *)
+val box_of : t -> Phys_node.t -> Phys_node.box
+
+(** Fetch (and memoise) a record by RID, charging the page access. *)
+val fetch : t -> Rid.t -> Phys_node.box
+
+(** Number of splits performed since the store was opened. *)
+val split_count : t -> int
+
+(** Number of record re-merges performed since the store was opened. *)
+val merge_count : t -> int
+
+(** {1 Change notification}
+
+    Secondary structures (e.g. {!Element_index}) subscribe to record-level
+    changes; the listener fires after a record is (re)written or deleted.
+    One listener at a time; pass [None] to detach. *)
+
+type record_event = Changed | Dropped
+
+val set_change_listener : t -> (Rid.t -> record_event -> unit) option -> unit
+
+(** Walk every record of a document's physical tree, in record-tree
+    pre-order: [f rid root depth].  Used by stats and integrity checks. *)
+val iter_records : t -> Rid.t -> (Rid.t -> Phys_node.t -> int -> unit) -> unit
+
+(** Root record RID of a document. *)
+val document_rid : t -> string -> Rid.t option
+
+(** Consistency check over a document's physical tree: cached sizes match
+    recomputation, parent RIDs are correct, proxies resolve, scaffolding
+    invariants hold.  @raise Failure with a description on violation. *)
+val check_document : t -> string -> unit

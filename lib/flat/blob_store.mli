@@ -1,0 +1,47 @@
+(** Flat-stream baseline: a large-object (BLOB) manager in the style of
+    EXODUS/Starburst (paper §1 "Flat Streams", §5).
+
+    A blob is an uninterpreted byte stream distributed over records (one
+    per page region), split at {e arbitrary byte positions} — precisely the
+    behaviour the paper criticises: the manager has no knowledge of the
+    tree structure it stores.  Supports random-position reads, inserts and
+    deletes with page-chain maintenance, so the flat representation can be
+    benchmarked under the same I/O model as NATIX.
+
+    The chunk index is kept in memory (the positional B-tree of a real
+    BLOB manager is not on the measured path of any experiment). *)
+
+open Natix_store
+
+type t
+type blob
+
+val create : Record_manager.t -> t
+val record_manager : t -> Record_manager.t
+
+(** Store a fresh blob containing [data]. *)
+val put : t -> string -> blob
+
+(** Create an empty blob. *)
+val empty : t -> blob
+
+val length : blob -> int
+val chunk_count : blob -> int
+
+(** [read t b ~off ~len] extracts a range.
+    @raise Invalid_argument if the range exceeds the blob. *)
+val read : t -> blob -> off:int -> len:int -> string
+
+val read_all : t -> blob -> string
+
+(** [insert_at t b ~off data] splices [data] at byte position [off]
+    (0 ≤ off ≤ length). *)
+val insert_at : t -> blob -> off:int -> string -> unit
+
+val append : t -> blob -> string -> unit
+
+(** [delete_range t b ~off ~len] removes a byte range. *)
+val delete_range : t -> blob -> off:int -> len:int -> unit
+
+(** Delete all records of the blob. *)
+val delete : t -> blob -> unit

@@ -1,0 +1,39 @@
+open Natix_xml
+
+type t = { name : string; blob : Blob_store.blob }
+
+let store bs ~name xml = { name; blob = Blob_store.put bs (Xml_print.to_string xml) }
+let name t = t.name
+let blob t = t.blob
+let size t = Blob_store.length t.blob
+let load bs t = Xml_parser.parse (Blob_store.read_all bs t.blob)
+
+let splice_text bs t ~at text = Blob_store.insert_at bs t.blob ~off:at text
+
+let text_offsets bs t ~limit =
+  (* Scan the stream once; collect offsets strictly inside runs of
+     character data (between '>' and '<', at least one char in). *)
+  let s = Blob_store.read_all bs t.blob in
+  let n = String.length s in
+  let candidates = ref [] in
+  let count = ref 0 in
+  let in_text = ref false in
+  for i = 0 to n - 1 do
+    match s.[i] with
+    | '>' -> in_text := true
+    | '<' -> in_text := false
+    | '&' | ';' -> ()
+    | _ ->
+      if !in_text && i > 0 && s.[i - 1] <> '>' then begin
+        incr count;
+        candidates := i :: !candidates
+      end
+  done;
+  let all = Array.of_list (List.rev !candidates) in
+  let total = Array.length all in
+  if total = 0 || limit <= 0 then []
+  else begin
+    let step = max 1 (total / limit) in
+    let rec pick i acc = if i >= total || List.length acc >= limit then List.rev acc else pick (i + step) (all.(i) :: acc) in
+    pick 0 []
+  end

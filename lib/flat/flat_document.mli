@@ -1,0 +1,29 @@
+(** XML documents stored as flat streams (paper §1, category 1).
+
+    The document is one serialised byte stream in a {!Blob_store}; whole-
+    document reads are fast and sequential, but {e any} structural access
+    requires reading and re-parsing the stream — exactly the trade-off the
+    paper describes for flat files and BLOB-based storage. *)
+
+type t
+
+val store :
+  Blob_store.t -> name:string -> Natix_xml.Xml_tree.t -> t
+
+val name : t -> string
+val blob : t -> Blob_store.blob
+
+(** Serialized size in bytes. *)
+val size : t -> int
+
+(** Read the whole stream and parse it — the only way to reach structure. *)
+val load : Blob_store.t -> t -> Natix_xml.Xml_tree.t
+
+(** [splice_text bs t ~at text] inserts character data at a byte offset
+    that falls inside character content (the caller must pick a safe
+    offset); models an incremental update to the flat representation. *)
+val splice_text : Blob_store.t -> t -> at:int -> string -> unit
+
+(** Offsets (into the stream) that lie inside text content, usable as
+    splice points; at most [limit] of them, deterministically spread. *)
+val text_offsets : Blob_store.t -> t -> limit:int -> int list

@@ -1,0 +1,61 @@
+(** Disk-resident B+-tree.
+
+    The index substrate behind NATIX's index management module (paper
+    Fig. 1; "index structures that support our storage structure", §6).
+    Keys are arbitrary byte strings (compared lexicographically), values
+    are fixed 8-byte payloads — RIDs in practice.
+
+    Every tree node lives in one record of the underlying record manager,
+    so node placement, forwarding and buffering are inherited from the
+    storage layer and all I/O is charged to the store's cost model.  The
+    root record's RID is stable for the lifetime of the tree (root splits
+    rewrite the root record in place), so a single RID persists a whole
+    index.
+
+    Deletion is lazy: keys are removed, but emptied nodes stay in the tree
+    until it is rebuilt (standard for index workloads; {!iter} and range
+    scans skip them). *)
+
+open Natix_util
+
+type t
+
+(** [create rm] allocates an empty tree and returns it; {!root} persists
+    it. *)
+val create : Record_manager.t -> t
+
+(** [open_tree rm root] re-attaches to an existing tree. *)
+val open_tree : Record_manager.t -> Rid.t -> t
+
+val root : t -> Rid.t
+
+(** [insert t ~key ~value] adds or replaces the binding of [key].
+    @raise Invalid_argument if [value] is not 8 bytes or the key exceeds
+    a quarter of the maximum record size. *)
+val insert : t -> key:string -> value:string -> unit
+
+val find : t -> key:string -> string option
+val mem : t -> key:string -> bool
+
+(** [remove t ~key] deletes the binding; no-op if absent. *)
+val remove : t -> key:string -> unit
+
+(** [iter_range t ~lo ~hi f] applies [f key value] to every binding with
+    [lo <= key < hi] (unbounded when [None]), in key order. *)
+val iter_range : t -> lo:string option -> hi:string option -> (string -> string -> unit) -> unit
+
+val iter : t -> (string -> string -> unit) -> unit
+
+(** Remove every binding and every node record, resetting the tree to an
+    empty leaf under the same root RID. *)
+val clear : t -> unit
+
+(** Number of bindings (walks the leaves). *)
+val cardinal : t -> int
+
+(** Height of the tree (1 = a single leaf). *)
+val height : t -> int
+
+(** Structural invariants: sortedness, key-range containment, leaf chain
+    consistency.  @raise Failure on violation. *)
+val check : t -> unit

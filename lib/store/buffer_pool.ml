@@ -1,0 +1,126 @@
+type frame = {
+  page_id : int;
+  data : bytes;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable prev : frame option;
+  mutable next : frame option;
+}
+
+type t = {
+  disk : Disk.t;
+  capacity : int;
+  frames : (int, frame) Hashtbl.t;
+  (* LRU list: head = most recently used, tail = eviction candidate. *)
+  mutable head : frame option;
+  mutable tail : frame option;
+  mutable fixes : int;
+  mutable misses : int;
+}
+
+let create ~disk ~bytes () =
+  let capacity = max 2 (bytes / Disk.page_size disk) in
+  { disk; capacity; frames = Hashtbl.create (2 * capacity); head = None; tail = None; fixes = 0; misses = 0 }
+
+let disk t = t.disk
+let capacity t = t.capacity
+let resident t = Hashtbl.length t.frames
+let fixes t = t.fixes
+let misses t = t.misses
+
+let unlink t f =
+  (match f.prev with Some p -> p.next <- f.next | None -> t.head <- f.next);
+  (match f.next with Some n -> n.prev <- f.prev | None -> t.tail <- f.prev);
+  f.prev <- None;
+  f.next <- None
+
+let push_front t f =
+  f.prev <- None;
+  f.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some f | None -> t.tail <- Some f);
+  t.head <- Some f
+
+let touch t f =
+  if t.head != Some f then begin
+    unlink t f;
+    push_front t f
+  end
+
+let write_back t f =
+  if f.dirty then begin
+    Disk.write t.disk f.page_id f.data;
+    f.dirty <- false
+  end
+
+(* Evict the least recently used unpinned frame. *)
+let evict_one t =
+  let rec find = function
+    | None -> failwith "Buffer_pool: all frames pinned"
+    | Some f -> if f.pins = 0 then f else find f.prev
+  in
+  let victim = find t.tail in
+  write_back t victim;
+  unlink t victim;
+  Hashtbl.remove t.frames victim.page_id
+
+let alloc_frame t page_id =
+  if Hashtbl.length t.frames >= t.capacity then evict_one t;
+  let f =
+    {
+      page_id;
+      data = Bytes.create (Disk.page_size t.disk);
+      dirty = false;
+      pins = 1;
+      prev = None;
+      next = None;
+    }
+  in
+  Hashtbl.replace t.frames page_id f;
+  push_front t f;
+  f
+
+let fix t page_id =
+  t.fixes <- t.fixes + 1;
+  match Hashtbl.find_opt t.frames page_id with
+  | Some f ->
+    f.pins <- f.pins + 1;
+    touch t f;
+    f
+  | None ->
+    t.misses <- t.misses + 1;
+    let f = alloc_frame t page_id in
+    Disk.read t.disk page_id f.data;
+    f
+
+let fix_new t page_id =
+  t.fixes <- t.fixes + 1;
+  match Hashtbl.find_opt t.frames page_id with
+  | Some f ->
+    f.pins <- f.pins + 1;
+    touch t f;
+    f
+  | None ->
+    (* Freshly allocated page: content is known to be zeroes, no read
+       needed (and none charged). *)
+    alloc_frame t page_id
+
+let unfix _t f =
+  assert (f.pins > 0);
+  f.pins <- f.pins - 1
+
+let mark_dirty f = f.dirty <- true
+
+let with_page t page_id fn =
+  let f = fix t page_id in
+  Fun.protect ~finally:(fun () -> unfix t f) (fun () -> fn f)
+
+let flush t = Hashtbl.iter (fun _ f -> write_back t f) t.frames
+
+let clear t =
+  Hashtbl.iter
+    (fun _ f -> if f.pins > 0 then failwith "Buffer_pool.clear: pinned frame")
+    t.frames;
+  flush t;
+  Hashtbl.reset t.frames;
+  t.head <- None;
+  t.tail <- None

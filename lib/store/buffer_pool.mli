@@ -1,0 +1,57 @@
+(** Buffer manager.
+
+    Caches disk pages in a fixed byte budget (the paper uses 2 MB) with LRU
+    replacement, pin counts and dirty write-back.  The paper clears the
+    buffer at the start of each measured operation; {!clear} provides that.
+
+    Access protocol: {!fix} pins a page frame (reading it from disk on a
+    miss), the caller reads or mutates [frame.data] (calling {!mark_dirty}
+    after mutation), then {!unfix} releases the pin.  Unpinned frames are
+    eviction candidates. *)
+
+type frame = private {
+  page_id : int;
+  data : bytes;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable prev : frame option;  (** LRU chain, internal *)
+  mutable next : frame option;
+}
+
+type t
+
+(** [create ~disk ~bytes ()] sizes the pool at [bytes / page_size] frames
+    (at least 2). *)
+val create : disk:Disk.t -> bytes:int -> unit -> t
+
+val disk : t -> Disk.t
+val capacity : t -> int
+
+(** Number of resident frames. *)
+val resident : t -> int
+
+(** [fix t page] pins the frame holding [page].
+    @raise Failure if every frame is pinned. *)
+val fix : t -> int -> frame
+
+(** [fix_new t page] pins a frame for a freshly {!Disk.allocate}d page
+    without reading it from disk (its content is all zeroes). *)
+val fix_new : t -> int -> frame
+
+val unfix : t -> frame -> unit
+val mark_dirty : frame -> unit
+
+(** [with_page t page f] fixes, applies [f], and unfixes (also on
+    exceptions). *)
+val with_page : t -> int -> (frame -> 'a) -> 'a
+
+(** Write all dirty frames back to disk (frames stay resident). *)
+val flush : t -> unit
+
+(** Flush, then drop every frame.  Pinned frames cause a [Failure]. *)
+val clear : t -> unit
+
+(** Cache-hit statistics (fixes, misses). *)
+val fixes : t -> int
+
+val misses : t -> int

@@ -1,0 +1,160 @@
+type backend =
+  | Mem of { mutable pages : bytes array; mutable used : int }
+  | File of { fd : Unix.file_descr; mutable used : int }
+
+type t = {
+  page_size : int;
+  model : Io_model.t;
+  stats : Io_stats.t;
+  backend : backend;
+  mutable last_page : int;  (* for sequential-access detection; -2 = none *)
+}
+
+(* The file backend stores a one-page superblock at offset 0 holding the
+   page size and page count, so data page [i] lives at offset
+   [(i + 1) * page_size]. *)
+let superblock_magic = 0x4e415458 (* "NATX" *)
+
+let in_memory ?(model = Io_model.dcas_34330w) ~page_size () =
+  {
+    page_size;
+    model;
+    stats = Io_stats.create ();
+    backend = Mem { pages = Array.make 64 Bytes.empty; used = 0 };
+    last_page = -2;
+  }
+
+let read_superblock fd page_size =
+  let buf = Bytes.create 12 in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  let n = Unix.read fd buf 0 12 in
+  if n <> 12 then failwith "Disk.on_file: corrupt superblock";
+  if Natix_util.Bytes_util.get_u32 buf 0 <> superblock_magic then
+    failwith "Disk.on_file: not a natix disk file";
+  let stored_page_size = Natix_util.Bytes_util.get_u32 buf 4 in
+  if stored_page_size <> page_size then
+    failwith
+      (Printf.sprintf "Disk.on_file: file has page size %d, expected %d" stored_page_size page_size);
+  Natix_util.Bytes_util.get_u32 buf 8
+
+let write_superblock fd ~page_size ~used =
+  let buf = Bytes.make 12 '\000' in
+  Natix_util.Bytes_util.set_u32 buf 0 superblock_magic;
+  Natix_util.Bytes_util.set_u32 buf 4 page_size;
+  Natix_util.Bytes_util.set_u32 buf 8 used;
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  let n = Unix.write fd buf 0 12 in
+  if n <> 12 then failwith "Disk.on_file: short superblock write"
+
+let detect_page_size path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let buf = Bytes.create 8 in
+        let n = Unix.read fd buf 0 8 in
+        if n < 8 || Natix_util.Bytes_util.get_u32 buf 0 <> superblock_magic then None
+        else Some (Natix_util.Bytes_util.get_u32 buf 4))
+  end
+
+let on_file ?(model = Io_model.dcas_34330w) ~page_size path =
+  let exists = Sys.file_exists path in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let used =
+    if exists && Unix.((fstat fd).st_size) > 0 then read_superblock fd page_size
+    else begin
+      write_superblock fd ~page_size ~used:0;
+      0
+    end
+  in
+  {
+    page_size;
+    model;
+    stats = Io_stats.create ();
+    backend = File { fd; used };
+    last_page = -2;
+  }
+
+let page_size t = t.page_size
+
+let page_count t =
+  match t.backend with
+  | Mem m -> m.used
+  | File f -> f.used
+
+let charge t ~page ~is_read =
+  let sequential = page = t.last_page + 1 || page = t.last_page in
+  t.last_page <- page;
+  t.stats.sim_ms <-
+    t.stats.sim_ms +. Io_model.cost t.model ~page_size:t.page_size ~sequential;
+  if is_read then begin
+    t.stats.reads <- t.stats.reads + 1;
+    if sequential then t.stats.sequential_reads <- t.stats.sequential_reads + 1
+  end
+  else begin
+    t.stats.writes <- t.stats.writes + 1;
+    if sequential then t.stats.sequential_writes <- t.stats.sequential_writes + 1
+  end
+
+let allocate t =
+  match t.backend with
+  | Mem m ->
+    if m.used = Array.length m.pages then begin
+      let bigger = Array.make (2 * m.used) Bytes.empty in
+      Array.blit m.pages 0 bigger 0 m.used;
+      m.pages <- bigger
+    end;
+    m.pages.(m.used) <- Bytes.make t.page_size '\000';
+    m.used <- m.used + 1;
+    m.used - 1
+  | File f ->
+    let page = f.used in
+    let zero = Bytes.make t.page_size '\000' in
+    ignore (Unix.lseek f.fd ((page + 1) * t.page_size) Unix.SEEK_SET);
+    let n = Unix.write f.fd zero 0 t.page_size in
+    if n <> t.page_size then failwith "Disk.allocate: short write";
+    f.used <- f.used + 1;
+    write_superblock f.fd ~page_size:t.page_size ~used:f.used;
+    page
+
+let check_bounds t page =
+  if page < 0 || page >= page_count t then
+    invalid_arg (Printf.sprintf "Disk: page %d out of bounds (count %d)" page (page_count t))
+
+let read t page buf =
+  check_bounds t page;
+  assert (Bytes.length buf = t.page_size);
+  charge t ~page ~is_read:true;
+  match t.backend with
+  | Mem m -> Bytes.blit m.pages.(page) 0 buf 0 t.page_size
+  | File f ->
+    ignore (Unix.lseek f.fd ((page + 1) * t.page_size) Unix.SEEK_SET);
+    let rec fill off =
+      if off < t.page_size then begin
+        let n = Unix.read f.fd buf off (t.page_size - off) in
+        if n = 0 then failwith "Disk.read: unexpected end of file";
+        fill (off + n)
+      end
+    in
+    fill 0
+
+let write t page buf =
+  check_bounds t page;
+  assert (Bytes.length buf = t.page_size);
+  charge t ~page ~is_read:false;
+  match t.backend with
+  | Mem m -> Bytes.blit buf 0 m.pages.(page) 0 t.page_size
+  | File f ->
+    ignore (Unix.lseek f.fd ((page + 1) * t.page_size) Unix.SEEK_SET);
+    let n = Unix.write f.fd buf 0 t.page_size in
+    if n <> t.page_size then failwith "Disk.write: short write"
+
+let stats t = t.stats
+let size_bytes t = page_count t * t.page_size
+
+let close t =
+  match t.backend with
+  | Mem _ -> ()
+  | File f -> Unix.close f.fd

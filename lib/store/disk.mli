@@ -1,0 +1,43 @@
+(** Page-granular persistent store.
+
+    A disk is a growable array of equal-sized pages.  Two backends are
+    provided: a purely in-memory one (used by tests and benchmarks) and a
+    file-backed one (used by the CLI for real persistence).  Both charge
+    every page access to an {!Io_model} and record it in {!Io_stats}; the
+    in-memory backend therefore behaves, for measurement purposes, like the
+    paper's raw disk with no operating-system buffering. *)
+
+type t
+
+val in_memory : ?model:Io_model.t -> page_size:int -> unit -> t
+
+(** [on_file ~page_size path] opens (or creates) a file-backed disk.  The
+    page size must match the one the file was created with; a fresh file is
+    initialised with a small superblock recording it. *)
+val on_file : ?model:Io_model.t -> page_size:int -> string -> t
+
+(** Page size recorded in an existing disk file's superblock, if the file
+    exists and is a natix disk. *)
+val detect_page_size : string -> int option
+
+val page_size : t -> int
+
+(** Number of allocated pages. *)
+val page_count : t -> int
+
+(** [allocate t] appends a zeroed page and returns its id. *)
+val allocate : t -> int
+
+(** [read t page buf] fills [buf] (of length [page_size]) with the page's
+    contents. *)
+val read : t -> int -> bytes -> unit
+
+(** [write t page buf] persists [buf] as the page's contents. *)
+val write : t -> int -> bytes -> unit
+
+val stats : t -> Io_stats.t
+
+(** Total bytes occupied on disk ([page_count * page_size]). *)
+val size_bytes : t -> int
+
+val close : t -> unit

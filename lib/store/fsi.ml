@@ -1,0 +1,66 @@
+(* Array-based max segment tree with doubling capacity.  Leaves for pages
+   beyond [used] hold -1 so they never satisfy a search. *)
+
+type t = { mutable tree : int array; mutable cap : int; mutable used : int }
+
+let create () = { tree = Array.make 2 (-1); cap = 1; used = 0 }
+let pages t = t.used
+let leaf t i = t.cap + i
+
+let rebuild_from_leaves t =
+  for i = t.cap - 1 downto 1 do
+    t.tree.(i) <- max t.tree.(2 * i) t.tree.((2 * i) + 1)
+  done
+
+let grow t =
+  let new_cap = 2 * t.cap in
+  let tree = Array.make (2 * new_cap) (-1) in
+  Array.blit t.tree t.cap tree new_cap t.cap;
+  t.tree <- tree;
+  t.cap <- new_cap;
+  rebuild_from_leaves t
+
+let update_path t i =
+  let rec up i =
+    if i >= 1 then begin
+      let v = max t.tree.(2 * i) t.tree.((2 * i) + 1) in
+      if t.tree.(i) <> v then begin
+        t.tree.(i) <- v;
+        up (i / 2)
+      end
+    end
+  in
+  up i
+
+let set t page free =
+  assert (page >= 0 && page < t.used);
+  t.tree.(leaf t page) <- free;
+  update_path t (leaf t page / 2)
+
+let append t free =
+  if t.used = t.cap then grow t;
+  t.used <- t.used + 1;
+  set t (t.used - 1) free
+
+let get t page =
+  assert (page >= 0 && page < t.used);
+  t.tree.(leaf t page)
+
+(* First leaf >= from with value >= n within node [i] covering [lo, hi). *)
+let find_first t ~from n =
+  if t.used = 0 then None
+  else begin
+    let rec search i lo hi =
+      if hi <= from || t.tree.(i) < n then None
+      else if lo + 1 = hi then Some lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        match search (2 * i) lo mid with
+        | Some _ as r -> r
+        | None -> search ((2 * i) + 1) mid hi
+      end
+    in
+    match search 1 0 t.cap with
+    | Some page when page < t.used -> Some page
+    | _ -> None
+  end

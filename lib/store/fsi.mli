@@ -1,0 +1,26 @@
+(** Free-space inventory.
+
+    Tracks, per page, how many bytes are available for inserting a record
+    (the {!Slotted_page.free_for_insert} value), and answers "first page at
+    or after [from] with at least [n] free bytes" in logarithmic time via a
+    max segment tree.  Real NATIX persists FSI pages; here the inventory is
+    in memory and rebuilt when a store is opened (see DESIGN.md §4). *)
+
+type t
+
+val create : unit -> t
+
+(** Number of tracked pages. *)
+val pages : t -> int
+
+(** [append t free] registers a new page (ids are dense, starting at 0). *)
+val append : t -> int -> unit
+
+(** [set t page free] updates a page's free-byte count. *)
+val set : t -> int -> int -> unit
+
+val get : t -> int -> int
+
+(** [find_first t ~from n] is the smallest page id [>= from] whose free
+    count is [>= n], if any. *)
+val find_first : t -> from:int -> int -> int option

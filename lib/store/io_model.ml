@@ -1,0 +1,17 @@
+type t = {
+  avg_seek_ms : float;
+  track_to_track_ms : float;
+  rot_latency_ms : float;
+  transfer_mb_per_s : float;
+}
+
+let dcas_34330w =
+  { avg_seek_ms = 8.5; track_to_track_ms = 1.0; rot_latency_ms = 5.55; transfer_mb_per_s = 12.0 }
+
+let free =
+  { avg_seek_ms = 0.; track_to_track_ms = 0.; rot_latency_ms = 0.; transfer_mb_per_s = infinity }
+
+let cost t ~page_size ~sequential =
+  let transfer = float_of_int page_size /. (t.transfer_mb_per_s *. 1_000_000.) *. 1000. in
+  if sequential then t.track_to_track_ms +. transfer
+  else t.avg_seek_ms +. t.rot_latency_ms +. transfer

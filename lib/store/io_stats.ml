@@ -1,0 +1,40 @@
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable sequential_reads : int;
+  mutable sequential_writes : int;
+  mutable sim_ms : float;
+}
+
+let create () = { reads = 0; writes = 0; sequential_reads = 0; sequential_writes = 0; sim_ms = 0. }
+
+let reset t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.sequential_reads <- 0;
+  t.sequential_writes <- 0;
+  t.sim_ms <- 0.
+
+let copy t =
+  {
+    reads = t.reads;
+    writes = t.writes;
+    sequential_reads = t.sequential_reads;
+    sequential_writes = t.sequential_writes;
+    sim_ms = t.sim_ms;
+  }
+
+let diff later earlier =
+  {
+    reads = later.reads - earlier.reads;
+    writes = later.writes - earlier.writes;
+    sequential_reads = later.sequential_reads - earlier.sequential_reads;
+    sequential_writes = later.sequential_writes - earlier.sequential_writes;
+    sim_ms = later.sim_ms -. earlier.sim_ms;
+  }
+
+let total_ios t = t.reads + t.writes
+
+let pp ppf t =
+  Format.fprintf ppf "reads=%d (seq %d) writes=%d (seq %d) sim=%.2fms" t.reads t.sequential_reads
+    t.writes t.sequential_writes t.sim_ms

@@ -1,0 +1,22 @@
+(** Counters for disk activity, in pages and simulated milliseconds. *)
+
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable sequential_reads : int;
+  mutable sequential_writes : int;
+  mutable sim_ms : float;  (** simulated elapsed time under the {!Io_model} *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+(** [copy t] is a snapshot of [t]. *)
+val copy : t -> t
+
+(** [diff later earlier] is the per-field difference; used to report the
+    activity of one measured operation. *)
+val diff : t -> t -> t
+
+val total_ios : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,152 @@
+open Natix_util
+
+exception Record_too_large of int
+
+type t = { seg : Segment.t }
+
+let create seg = { seg }
+let segment t = t.seg
+let max_len t = Segment.max_record_len t.seg
+
+let check_len t data =
+  let len = String.length data in
+  if len > max_len t then raise (Record_too_large len)
+
+let tombstone_body rid =
+  let b = Bytes.create Rid.encoded_size in
+  Rid.write b 0 rid;
+  Bytes.unsafe_to_string b
+
+(* Insert [data] with [flags] on a page with room, preferring [near].
+   [Slotted_page.free_for_insert] (which the inventory tracks) already
+   accounts for the slot entry, so the requirement is exactly the data
+   length. *)
+let place t ?near ?policy data flags =
+  let need = String.length data in
+  let page = Segment.find_space t.seg ?near ?policy need in
+  Segment.with_page_mut t.seg page (fun b ->
+      match Slotted_page.insert b data flags with
+      | Some slot -> Rid.make ~page ~slot
+      | None -> failwith "Record_manager.place: inventory out of sync")
+
+let insert t ?near ?policy data =
+  check_len t data;
+  place t ?near ?policy data Slotted_page.no_flags
+
+let with_record t rid f =
+  Segment.with_page t.seg (Rid.page rid) (fun b ->
+      let off, len, flags = Slotted_page.read b (Rid.slot rid) in
+      if not flags.Slotted_page.forward then f b ~off ~len
+      else begin
+        let target = Rid.read b off in
+        Segment.with_page t.seg (Rid.page target) (fun tb ->
+            let off, len, _ = Slotted_page.read tb (Rid.slot target) in
+            f tb ~off ~len)
+      end)
+
+let read t rid = with_record t rid (fun b ~off ~len -> Bytes.sub_string b off len)
+let length t rid = with_record t rid (fun _ ~off:_ ~len -> len)
+
+let exists t rid =
+  Rid.page rid < Segment.page_count t.seg
+  && Segment.with_page t.seg (Rid.page rid) (fun b -> Slotted_page.is_live b (Rid.slot rid))
+
+let forward_target t rid =
+  Segment.with_page t.seg (Rid.page rid) (fun b ->
+      let off, _len, flags = Slotted_page.read b (Rid.slot rid) in
+      if flags.Slotted_page.forward then Some (Rid.read b off) else None)
+
+let is_forwarded t rid = forward_target t rid <> None
+
+let home_page t rid =
+  match forward_target t rid with
+  | None -> Rid.page rid
+  | Some target -> Rid.page target
+
+(* Write [data] into an existing slot if the page can hold it. *)
+let try_write t page slot data flags =
+  Segment.with_page_mut t.seg page (fun b -> Slotted_page.write b slot data flags)
+
+(* Make room on a full page by forwarding one resident record (larger
+   than a tombstone, unflagged) to another page; its slot keeps a
+   tombstone, so its RID stays valid.  Returns false when no suitable
+   victim exists. *)
+let evict_one t page ~avoid =
+  let victim =
+    Segment.with_page t.seg page (fun b ->
+        let found = ref None in
+        Slotted_page.iter b (fun slot _off len flags ->
+            if
+              !found = None && slot <> avoid
+              && len > Rid.encoded_size
+              && (not flags.Slotted_page.forward)
+              && not flags.Slotted_page.moved
+            then found := Some slot);
+        !found)
+  in
+  match victim with
+  | None -> false
+  | Some slot ->
+    let body = read t (Rid.make ~page ~slot) in
+    let target = place t body Slotted_page.moved_flag in
+    if not (try_write t page slot (tombstone_body target) Slotted_page.forward_flag) then
+      failwith "Record_manager: victim eviction failed";
+    true
+
+let update t rid data =
+  check_len t data;
+  match forward_target t rid with
+  | None ->
+    if not (try_write t (Rid.page rid) (Rid.slot rid) data Slotted_page.no_flags) then begin
+      (* Move the record out and leave a tombstone.  A tombstone fits
+         whenever the old body was at least 8 bytes; a smaller body on a
+         completely full page needs room made first by evicting a
+         neighbouring record. *)
+      let target = place t data Slotted_page.moved_flag in
+      let tombstone = tombstone_body target in
+      let rec settle () =
+        if not (try_write t (Rid.page rid) (Rid.slot rid) tombstone Slotted_page.forward_flag)
+        then
+          if evict_one t (Rid.page rid) ~avoid:(Rid.slot rid) then settle ()
+          else failwith "Record_manager.update: cannot place tombstone"
+      in
+      settle ()
+    end
+  | Some target ->
+    (* Try the current out-of-home location first. *)
+    if not (try_write t (Rid.page target) (Rid.slot target) data Slotted_page.moved_flag) then begin
+      (* Does it fit back home (collapsing the forwarding)? *)
+      let home_fits =
+        Segment.with_page_mut t.seg (Rid.page rid) (fun b ->
+            Slotted_page.write b (Rid.slot rid) data Slotted_page.no_flags)
+      in
+      Segment.with_page_mut t.seg (Rid.page target) (fun b ->
+          Slotted_page.delete b (Rid.slot target));
+      if not home_fits then begin
+        let fresh = place t data Slotted_page.moved_flag in
+        let ok =
+          try_write t (Rid.page rid) (Rid.slot rid) (tombstone_body fresh) Slotted_page.forward_flag
+        in
+        if not ok then failwith "Record_manager.update: cannot repoint tombstone"
+      end
+    end
+
+let patch t rid ~off data =
+  let write_at page slot =
+    Segment.with_page_mut t.seg page (fun b ->
+        let roff, rlen, _ = Slotted_page.read b slot in
+        if off < 0 || off + String.length data > rlen then
+          invalid_arg "Record_manager.patch: range outside record";
+        Bytes.blit_string data 0 b (roff + off) (String.length data))
+  in
+  match forward_target t rid with
+  | None -> write_at (Rid.page rid) (Rid.slot rid)
+  | Some target -> write_at (Rid.page target) (Rid.slot target)
+
+let delete t rid =
+  (match forward_target t rid with
+  | None -> ()
+  | Some target ->
+    Segment.with_page_mut t.seg (Rid.page target) (fun b ->
+        Slotted_page.delete b (Rid.slot target)));
+  Segment.with_page_mut t.seg (Rid.page rid) (fun b -> Slotted_page.delete b (Rid.slot rid))

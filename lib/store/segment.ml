@@ -1,0 +1,76 @@
+type t = { pool : Buffer_pool.t; fsi : Fsi.t; mutable rover : int }
+
+let page_size t = Disk.page_size (Buffer_pool.disk t.pool)
+let buffer_pool t = t.pool
+let disk t = Buffer_pool.disk t.pool
+let page_count t = Disk.page_count (disk t)
+let max_record_len t = Slotted_page.max_record_len ~page_size:(page_size t)
+
+let alloc_page t =
+  let page = Disk.allocate (disk t) in
+  let frame = Buffer_pool.fix_new t.pool page in
+  Slotted_page.format frame.data;
+  Buffer_pool.mark_dirty frame;
+  Fsi.append t.fsi (Slotted_page.free_for_insert frame.data);
+  Buffer_pool.unfix t.pool frame;
+  page
+
+let create pool =
+  let t = { pool; fsi = Fsi.create (); rover = 0 } in
+  let existing = Disk.page_count (Buffer_pool.disk pool) in
+  if existing = 0 then ignore (alloc_page t)
+  else
+    (* Reopening an existing store: rebuild the inventory by scanning. *)
+    for page = 0 to existing - 1 do
+      Buffer_pool.with_page pool page (fun frame ->
+          Fsi.append t.fsi (Slotted_page.free_for_insert frame.data))
+    done;
+  t
+
+let with_page t page f = Buffer_pool.with_page t.pool page (fun frame -> f frame.data)
+
+let with_page_mut t page f =
+  Buffer_pool.with_page t.pool page (fun frame ->
+      Buffer_pool.mark_dirty frame;
+      let r = f frame.data in
+      Fsi.set t.fsi page (Slotted_page.free_for_insert frame.data);
+      r)
+
+let free_bytes t page = Fsi.get t.fsi page
+
+(* Page 0 is reserved for the upper layers' catalog bootstrap; general
+   record placement never selects it. *)
+let find_space t ?near ?(policy = `Forward) n =
+  let found =
+    match near with
+    | Some p ->
+      let p = max p 1 in
+      if p < Fsi.pages t.fsi && Fsi.get t.fsi p >= n then Some p
+      else begin
+        match policy with
+        | `Forward -> (
+          (* Stay close to the hinted page: scan forward, then wrap. *)
+          match Fsi.find_first t.fsi ~from:p n with
+          | Some _ as r -> r
+          | None -> Fsi.find_first t.fsi ~from:1 n)
+        | `First_fit ->
+          (* Generic-manager behaviour: any page with room, oldest first
+             (fills slack all over the file — the 1:1 emulation). *)
+          Fsi.find_first t.fsi ~from:1 n
+      end
+    | None -> begin
+      match Fsi.find_first t.fsi ~from:(max t.rover 1) n with
+      | Some _ as r -> r
+      | None -> Fsi.find_first t.fsi ~from:1 n
+    end
+  in
+  match found with
+  | Some page ->
+    if near = None then t.rover <- page;
+    page
+  | None ->
+    let page = alloc_page t in
+    if near = None then t.rover <- page;
+    if Fsi.get t.fsi page < n then
+      invalid_arg (Printf.sprintf "Segment.find_space: %d bytes exceed page capacity" n);
+    page

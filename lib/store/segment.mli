@@ -1,0 +1,43 @@
+(** A segment: a linear collection of equal-sized slotted pages (paper
+    §2.1) with page allocation and a free-space inventory.
+
+    Page 0 is formatted at creation like every other page; the upper layers
+    use it to bootstrap their catalog (via the page's user32 field). *)
+
+type t
+
+(** [create pool] opens the segment: a fresh disk gets page 0 allocated and
+    formatted; an existing disk has its free-space inventory rebuilt by a
+    scan. *)
+val create : Buffer_pool.t -> t
+
+val buffer_pool : t -> Buffer_pool.t
+val disk : t -> Disk.t
+val page_size : t -> int
+val page_count : t -> int
+
+(** Largest record the segment can store. *)
+val max_record_len : t -> int
+
+(** Allocate and format a fresh page, returning its id. *)
+val alloc_page : t -> int
+
+(** [with_page t page f] runs [f] on the pinned page image (read-only). *)
+val with_page : t -> int -> (bytes -> 'a) -> 'a
+
+(** [with_page_mut t page f] like {!with_page} but marks the page dirty and
+    refreshes its free-space inventory entry afterwards. *)
+val with_page_mut : t -> int -> (bytes -> 'a) -> 'a
+
+(** [find_space t ?near ?policy n] returns a page with at least [n]
+    insertable bytes, preferring the [near] page itself, then pages chosen
+    by [policy]: [`Forward] (default) scans onward from [near] to stay
+    close; [`First_fit] takes the lowest-numbered page with room, like a
+    generic record manager filling slack anywhere in the file.  Without
+    [near] the search starts from an internal rover that provides append
+    locality.  A fresh page is allocated when nothing fits.  Page 0 is
+    reserved for the catalog bootstrap and is never returned. *)
+val find_space : t -> ?near:int -> ?policy:[ `Forward | `First_fit ] -> int -> int
+
+(** Free bytes currently recorded for [page]. *)
+val free_bytes : t -> int -> int

@@ -1,0 +1,33 @@
+let get_u8 b off = Char.code (Bytes.get b off)
+
+let set_u8 b off v =
+  assert (v >= 0 && v < 0x100);
+  Bytes.set b off (Char.chr v)
+
+let get_u16 b off = Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+
+let set_u16 b off v =
+  assert (v >= 0 && v < 0x10000);
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff))
+
+let get_u32 b off = get_u16 b off lor (get_u16 b (off + 2) lsl 16)
+
+let set_u32 b off v =
+  assert (v >= 0 && v < 0x100000000);
+  set_u16 b off (v land 0xffff);
+  set_u16 b (off + 2) ((v lsr 16) land 0xffff)
+
+let get_u48 b off = get_u32 b off lor (get_u16 b (off + 4) lsl 32)
+
+let set_u48 b off v =
+  assert (v >= 0 && v < 0x1000000000000);
+  set_u32 b off (v land 0xffffffff);
+  set_u16 b (off + 4) ((v lsr 32) land 0xffff)
+
+let get_i64 b off = Bytes.get_int64_le b off
+let set_i64 b off v = Bytes.set_int64_le b off v
+let get_f64 b off = Int64.float_of_bits (get_i64 b off)
+let set_f64 b off v = set_i64 b off (Int64.bits_of_float v)
+let blit = Bytes.blit
+let sub_string = Bytes.sub_string

@@ -1,0 +1,32 @@
+(** Little-endian fixed-width integer accessors over [bytes].
+
+    All offsets are in bytes.  Values are range-checked by assertions in the
+    setters; getters return non-negative OCaml [int]s (except the 64-bit
+    accessors which use [int64]). *)
+
+val get_u8 : bytes -> int -> int
+val set_u8 : bytes -> int -> int -> unit
+
+val get_u16 : bytes -> int -> int
+val set_u16 : bytes -> int -> int -> unit
+
+val get_u32 : bytes -> int -> int
+val set_u32 : bytes -> int -> int -> unit
+
+(** 48-bit unsigned, used for page identifiers inside RIDs. *)
+
+val get_u48 : bytes -> int -> int
+val set_u48 : bytes -> int -> int -> unit
+
+val get_i64 : bytes -> int -> int64
+val set_i64 : bytes -> int -> int64 -> unit
+
+val get_f64 : bytes -> int -> float
+val set_f64 : bytes -> int -> float -> unit
+
+(** [blit src src_off dst dst_off len] is [Bytes.blit] with the argument
+    order used throughout this code base. *)
+val blit : bytes -> int -> bytes -> int -> int -> unit
+
+(** Substring extraction returning a fresh [string]. *)
+val sub_string : bytes -> int -> int -> string

@@ -1,0 +1,9 @@
+type t = int
+
+let scaffold = 0
+let pcdata = 1
+let first_user = 2
+let equal = Int.equal
+let compare = Int.compare
+let is_scaffold t = t = scaffold
+let pp ppf t = Format.fprintf ppf "#%d" t

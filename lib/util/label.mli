@@ -1,0 +1,21 @@
+(** Node labels: interned symbols of the element alphabet Σ_DTD.
+
+    Two labels are reserved:
+    - {!scaffold} marks scaffolding objects (helper aggregates and proxies),
+      which represent no logical node and therefore carry no symbol;
+    - {!pcdata} is the logical type of text literals.
+
+    Labels are created and resolved through a {!Name_pool.t}. *)
+
+type t = int
+
+val scaffold : t
+val pcdata : t
+
+(** First label available to user symbols. *)
+val first_user : t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_scaffold : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+type t = { by_name : (string, Label.t) Hashtbl.t; mutable by_label : string array; mutable count : int }
+
+let reserved = [| "#scaffold"; "#pcdata" |]
+
+let create () =
+  let t = { by_name = Hashtbl.create 64; by_label = Array.make 64 ""; count = 0 } in
+  Array.iter
+    (fun name ->
+      Hashtbl.replace t.by_name name t.count;
+      t.by_label.(t.count) <- name;
+      t.count <- t.count + 1)
+    reserved;
+  t
+
+let grow t =
+  if t.count = Array.length t.by_label then begin
+    let bigger = Array.make (2 * t.count) "" in
+    Array.blit t.by_label 0 bigger 0 t.count;
+    t.by_label <- bigger
+  end
+
+let intern t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some label -> label
+  | None ->
+    grow t;
+    let label = t.count in
+    Hashtbl.replace t.by_name name label;
+    t.by_label.(label) <- name;
+    t.count <- t.count + 1;
+    label
+
+let find t name = Hashtbl.find_opt t.by_name name
+
+let name t label =
+  if label < 0 || label >= t.count then invalid_arg "Name_pool.name: unknown label"
+  else t.by_label.(label)
+
+let size t = t.count
+
+let encode t =
+  let buf = Buffer.create 256 in
+  for i = Array.length reserved to t.count - 1 do
+    let s = t.by_label.(i) in
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  done;
+  Buffer.contents buf
+
+let decode s =
+  let t = create () in
+  let n = String.length s in
+  let rec loop i =
+    if i < n then begin
+      let colon = String.index_from s i ':' in
+      let len = int_of_string (String.sub s i (colon - i)) in
+      let sym = String.sub s (colon + 1) len in
+      ignore (intern t sym);
+      loop (colon + 1 + len)
+    end
+  in
+  loop 0;
+  t

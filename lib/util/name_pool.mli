@@ -1,0 +1,27 @@
+(** Interning dictionary between element/attribute names and {!Label.t}.
+
+    A fresh pool already contains the reserved labels: {!Label.scaffold}
+    (printed as ["#scaffold"]) and {!Label.pcdata} (printed as ["#pcdata"]).
+    Attribute names are conventionally interned with an ["@"] prefix. *)
+
+type t
+
+val create : unit -> t
+
+(** [intern t name] returns the label of [name], allocating it if new. *)
+val intern : t -> string -> Label.t
+
+(** [find t name] returns the label of [name] if already interned. *)
+val find : t -> string -> Label.t option
+
+(** [name t label] is the symbol of [label].
+    @raise Invalid_argument on an unknown label. *)
+val name : t -> Label.t -> string
+
+(** Number of interned symbols, including the two reserved ones. *)
+val size : t -> int
+
+(** Serialization, used to persist the pool in the store catalog. *)
+
+val encode : t -> string
+val decode : string -> t

@@ -1,0 +1,21 @@
+(** Deterministic pseudo-random generator (splitmix64).
+
+    Used by the workload generator so that every corpus, and therefore every
+    benchmark series, is exactly reproducible without relying on the global
+    [Random] state. *)
+
+type t
+
+val create : seed:int64 -> t
+
+(** Uniform in [\[0, bound)].  [bound] must be positive. *)
+val int : t -> int -> int
+
+(** Uniform in [\[lo, hi\]] inclusive. *)
+val range : t -> int -> int -> int
+
+val float : t -> float
+val bool : t -> bool
+
+(** [pick t arr] selects a uniformly random element of a non-empty array. *)
+val pick : t -> 'a array -> 'a

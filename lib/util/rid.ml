@@ -1,0 +1,42 @@
+type t = { page : int; slot : int }
+
+let max_page = 0xffffffffffff
+let max_slot = 0xffff
+
+let make ~page ~slot =
+  assert (page >= 0 && page <= max_page);
+  assert (slot >= 0 && slot <= max_slot);
+  { page; slot }
+
+let null = { page = max_page; slot = max_slot }
+let is_null t = t.page = max_page && t.slot = max_slot
+let page t = t.page
+let slot t = t.slot
+let equal a b = a.page = b.page && a.slot = b.slot
+
+let compare a b =
+  let c = Int.compare a.page b.page in
+  if c <> 0 then c else Int.compare a.slot b.slot
+
+let hash t = (t.page * 65599) lxor t.slot
+let encoded_size = 8
+
+let write b off t =
+  Bytes_util.set_u48 b off t.page;
+  Bytes_util.set_u16 b (off + 6) t.slot
+
+let read b off =
+  { page = Bytes_util.get_u48 b off; slot = Bytes_util.get_u16 b (off + 6) }
+
+let pp ppf t =
+  if is_null t then Format.fprintf ppf "<null-rid>"
+  else Format.fprintf ppf "(%d,%d)" t.page t.slot
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

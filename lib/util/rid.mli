@@ -1,0 +1,30 @@
+(** Record identifiers.
+
+    As in the paper, a record is identified by a pair [(pageid, slot)]; on
+    disk a RID occupies 8 bytes: a 6-byte page identifier followed by a
+    2-byte slot number. *)
+
+type t = private { page : int; slot : int }
+
+val make : page:int -> slot:int -> t
+
+(** A reserved identifier that never names a record (page 2^48-1, slot
+    2^16-1).  Used e.g. as the parent RID of root records. *)
+val null : t
+
+val is_null : t -> bool
+val page : t -> int
+val slot : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** On-disk size in bytes (8). *)
+val encoded_size : int
+
+val write : bytes -> int -> t -> unit
+val read : bytes -> int -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,72 @@
+open Natix_core
+
+let nth seq k =
+  (* 1-based k-th element of a lazy sequence; pulls no further. *)
+  let rec go k seq =
+    match seq () with
+    | Seq.Nil -> None
+    | Seq.Cons (x, rest) -> if k = 1 then Some x else go (k - 1) rest
+  in
+  go k seq
+
+let children_named c name = Cursor.children_named c name
+
+let full_traversal store ~docs =
+  List.fold_left
+    (fun acc doc ->
+      match Cursor.of_document store doc with
+      | None -> acc
+      | Some root -> acc + Seq.fold_left (fun n _ -> n + 1) 0 (Cursor.descendants_or_self root))
+    0 docs
+
+let q1 store ~docs =
+  List.concat_map
+    (fun doc ->
+      match Cursor.of_document store doc with
+      | None -> []
+      | Some root -> (
+        match nth (children_named root "ACT") 3 with
+        | None -> []
+        | Some act -> (
+          match nth (children_named act "SCENE") 2 with
+          | None -> []
+          | Some scene ->
+            Seq.fold_left
+              (fun acc c ->
+                if Cursor.is_element c && String.equal (Cursor.name c) "SPEAKER" then
+                  Cursor.text_content c :: acc
+                else acc)
+              [] (Cursor.descendants_or_self scene)
+            |> List.rev)))
+    docs
+
+let q2 store ~docs =
+  List.concat_map
+    (fun doc ->
+      match Cursor.of_document store doc with
+      | None -> []
+      | Some root ->
+        Seq.concat_map
+          (fun act ->
+            Seq.filter_map
+              (fun scene ->
+                Option.map
+                  (fun speech -> Exporter.to_string store (Cursor.node speech))
+                  (nth (children_named scene "SPEECH") 1))
+              (children_named act "SCENE"))
+          (children_named root "ACT")
+        |> List.of_seq)
+    docs
+
+let q3 store ~docs =
+  List.filter_map
+    (fun doc ->
+      match Cursor.of_document store doc with
+      | None -> None
+      | Some root ->
+        Option.bind (nth (children_named root "ACT") 1) (fun act ->
+            Option.bind (nth (children_named act "SCENE") 1) (fun scene ->
+                Option.map
+                  (fun speech -> Exporter.to_string store (Cursor.node speech))
+                  (nth (children_named scene "SPEECH") 1))))
+    docs

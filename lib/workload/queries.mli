@@ -1,0 +1,27 @@
+(** The four retrieval operations of the paper's evaluation (§4.3).
+
+    All run over {!Natix_core.Cursor} navigation, lazily, so they touch
+    only the records the paper's access pattern would: e.g. query 3 reads
+    a root-to-speech path without expanding later acts.
+
+    - {!full_traversal}: a full pre-order tree traversal;
+    - {!q1}: all speakers in the third act, second scene of every play —
+      leaf nodes of one type in one selected subtree;
+    - {!q2}: the textual representation of the complete first speech in
+      every scene — many small contiguous fragments;
+    - {!q3}: the opening speech of each play — a single path per
+      document. *)
+
+open Natix_core
+
+(** Number of logical nodes visited. *)
+val full_traversal : Tree_store.t -> docs:string list -> int
+
+(** Speaker texts of ACT[3]/SCENE[2], over all documents. *)
+val q1 : Tree_store.t -> docs:string list -> string list
+
+(** Serialised first SPEECH of every scene of every document. *)
+val q2 : Tree_store.t -> docs:string list -> string list
+
+(** Serialised opening speech (ACT[1]/SCENE[1]/SPEECH[1]) per document. *)
+val q3 : Tree_store.t -> docs:string list -> string list

@@ -1,0 +1,144 @@
+open Natix_util
+open Natix_xml
+
+type params = {
+  plays : int;
+  seed : int64;
+  acts_per_play : int;
+  scenes_per_act : int * int;
+  speeches_per_scene : int * int;
+  lines_per_speech : int * int;
+  words_per_line : int * int;
+  personae : int * int;
+  stagedir_every : int;
+}
+
+let default_params =
+  {
+    plays = 37;
+    seed = 0x5EED_0BADL;
+    acts_per_play = 5;
+    scenes_per_act = (3, 6);
+    speeches_per_scene = (22, 38);
+    lines_per_speech = (1, 8);
+    words_per_line = (5, 9);
+    personae = (15, 30);
+    stagedir_every = 8;
+  }
+
+let scaled f =
+  { default_params with plays = max 1 (int_of_float (ceil (f *. float_of_int default_params.plays))) }
+
+(* A compact Early-Modern-English-flavoured vocabulary; lines are drawn
+   from it uniformly, giving text statistics close to the original corpus
+   (mean word ~5.2 chars, line ~38 chars). *)
+let vocabulary =
+  [|
+    "thou"; "thee"; "thy"; "hath"; "doth"; "wherefore"; "art"; "lord"; "lady"; "king";
+    "queen"; "crown"; "sword"; "blood"; "night"; "morrow"; "love"; "death"; "grave"; "ghost";
+    "heart"; "tongue"; "honour"; "grace"; "noble"; "gentle"; "sweet"; "fair"; "foul"; "brave";
+    "speak"; "hear"; "swear"; "pray"; "stand"; "come"; "hence"; "away"; "within"; "without";
+    "heaven"; "earth"; "soul"; "spirit"; "fortune"; "nature"; "reason"; "madness"; "folly"; "wit";
+    "eyes"; "face"; "hand"; "head"; "breast"; "words"; "deeds"; "tears"; "smiles"; "sighs";
+    "villain"; "traitor"; "friend"; "cousin"; "father"; "mother"; "daughter"; "son"; "brother"; "sister";
+    "castle"; "court"; "field"; "forest"; "sea"; "storm"; "tempest"; "thunder"; "lightning"; "rain";
+  |]
+
+let speaker_names =
+  [|
+    "ORLANDO"; "ROSALIND"; "BEATRICE"; "BENEDICK"; "MALVOLIO"; "VIOLA"; "ORSINO"; "FESTE";
+    "PROSPERO"; "MIRANDA"; "CALIBAN"; "ARIEL"; "HAMLET"; "HORATIO"; "OPHELIA"; "GERTRUDE";
+    "CLAUDIUS"; "LAERTES"; "POLONIUS"; "MACBETH"; "BANQUO"; "DUNCAN"; "MALCOLM"; "MACDUFF";
+    "OTHELLO"; "IAGO"; "DESDEMONA"; "CASSIO"; "EMILIA"; "BRUTUS"; "CASSIUS"; "ANTONY";
+    "PORTIA"; "SHYLOCK"; "BASSANIO"; "LEAR"; "CORDELIA"; "REGAN"; "GONERIL"; "EDmund";
+  |]
+
+let roman n =
+  let rec go n = function
+    | [] -> ""
+    | (v, s) :: rest -> if n >= v then s ^ go (n - v) ((v, s) :: rest) else go n rest
+  in
+  go n [ (10, "X"); (9, "IX"); (5, "V"); (4, "IV"); (1, "I") ]
+
+let line rng p =
+  let lo, hi = p.words_per_line in
+  let n = Prng.range rng lo hi in
+  let words = List.init n (fun _ -> Prng.pick rng vocabulary) in
+  let s = String.concat " " words in
+  (* Sentence case with light punctuation. *)
+  let s = String.capitalize_ascii s in
+  match Prng.int rng 5 with
+  | 0 -> s ^ "!"
+  | 1 -> s ^ "?"
+  | 2 | 3 -> s ^ ","
+  | _ -> s ^ "."
+
+let speech rng p =
+  let speaker = Prng.pick rng speaker_names in
+  let lo, hi = p.lines_per_speech in
+  let n_lines = Prng.range rng lo hi in
+  Xml_tree.element "SPEECH"
+    (Xml_tree.element "SPEAKER" [ Xml_tree.text speaker ]
+    :: List.init n_lines (fun _ -> Xml_tree.element "LINE" [ Xml_tree.text (line rng p) ]))
+
+let stagedir rng p =
+  let verbs = [| "Enter"; "Exit"; "Exeunt"; "Alarum within:"; "Flourish:" |] in
+  Xml_tree.element "STAGEDIR"
+    [ Xml_tree.text (Prng.pick rng verbs ^ " " ^ Prng.pick rng speaker_names ^ ". " ^ line rng p) ]
+
+let scene rng p ~scene_no =
+  let lo, hi = p.speeches_per_scene in
+  let n = Prng.range rng lo hi in
+  let body =
+    List.concat_map
+      (fun i ->
+        let sp = speech rng p in
+        if p.stagedir_every > 0 && (i + 1) mod p.stagedir_every = 0 then [ sp; stagedir rng p ]
+        else [ sp ])
+      (List.init n Fun.id)
+  in
+  Xml_tree.element "SCENE"
+    (Xml_tree.element "TITLE"
+       [ Xml_tree.text (Printf.sprintf "SCENE %s.  %s" (roman scene_no) (line rng p)) ]
+    :: (stagedir rng p :: body))
+
+let act rng p ~act_no =
+  let lo, hi = p.scenes_per_act in
+  let n = Prng.range rng lo hi in
+  Xml_tree.element "ACT"
+    (Xml_tree.element "TITLE" [ Xml_tree.text (Printf.sprintf "ACT %s" (roman act_no)) ]
+    :: List.init n (fun i -> scene rng p ~scene_no:(i + 1)))
+
+let generate_play p rng i =
+  let title =
+    Printf.sprintf "The %s of %s, Part %d"
+      (if i mod 3 = 0 then "Tragedy" else if i mod 3 = 1 then "Comedy" else "History")
+      (String.capitalize_ascii (String.lowercase_ascii (Prng.pick rng speaker_names)))
+      (i + 1)
+  in
+  let lo, hi = p.personae in
+  let n_personae = Prng.range rng lo hi in
+  Xml_tree.element "PLAY"
+    ([
+       Xml_tree.element "TITLE" [ Xml_tree.text title ];
+       Xml_tree.element "FM"
+         (List.init 3 (fun _ -> Xml_tree.element "P" [ Xml_tree.text (line rng p) ]));
+       Xml_tree.element "PERSONAE"
+         (Xml_tree.element "TITLE" [ Xml_tree.text "Dramatis Personae" ]
+         :: List.init n_personae (fun _ ->
+                Xml_tree.element "PERSONA"
+                  [ Xml_tree.text (Prng.pick rng speaker_names ^ ", " ^ line rng p) ]));
+       Xml_tree.element "SCNDESCR" [ Xml_tree.text ("SCENE  " ^ line rng p) ];
+       Xml_tree.element "PLAYSUBT" [ Xml_tree.text title ];
+     ]
+    @ List.init p.acts_per_play (fun a -> act rng p ~act_no:(a + 1)))
+
+let generate p =
+  let rng = Prng.create ~seed:p.seed in
+  List.init p.plays (fun i -> generate_play p rng i)
+
+let corpus_measure plays =
+  List.fold_left
+    (fun (nodes, bytes) play ->
+      (nodes + Xml_tree.node_count play, bytes + String.length (Xml_print.to_string play)))
+    (0, 0) plays

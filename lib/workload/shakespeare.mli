@@ -1,0 +1,38 @@
+(** Synthetic Shakespeare-like corpus (paper §4.1 substitution).
+
+    The paper's evaluation stores the UNC Sunsite XML markup of
+    Shakespeare's plays: 37 plays, ~8 MB of text, ~320,000 tree nodes.
+    This generator reproduces the corpus {e structure} deterministically —
+    the same element names (PLAY, TITLE, PERSONAE, PERSONA, ACT, SCENE,
+    SPEECH, SPEAKER, LINE, STAGEDIR, ...), fan-outs and text lengths — from
+    a seeded PRNG, so every benchmark series is exactly repeatable.
+    Figures depend on tree shape, not literary content (DESIGN.md §1). *)
+
+type params = {
+  plays : int;
+  seed : int64;
+  acts_per_play : int;
+  scenes_per_act : int * int;  (** inclusive range *)
+  speeches_per_scene : int * int;
+  lines_per_speech : int * int;
+  words_per_line : int * int;
+  personae : int * int;
+  stagedir_every : int;  (** one STAGEDIR about every n speeches *)
+}
+
+(** Paper-scale defaults: 37 plays, ≈320k logical nodes, ≈8 MB of text. *)
+val default_params : params
+
+(** [scaled f] keeps the per-play shape but generates [ceil (f * 37)]
+    plays (at least 1). *)
+val scaled : float -> params
+
+(** [generate_play params rng i] builds play number [i]. *)
+val generate_play : params -> Natix_util.Prng.t -> int -> Natix_xml.Xml_tree.t
+
+(** All plays of the corpus (a fresh PRNG seeded from [params.seed]). *)
+val generate : params -> Natix_xml.Xml_tree.t list
+
+(** Logical nodes and serialized bytes of a corpus — for sanity-checking
+    against the paper's "about 8 MB / about 320000 nodes". *)
+val corpus_measure : Natix_xml.Xml_tree.t list -> int * int

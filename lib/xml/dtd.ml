@@ -1,0 +1,162 @@
+type content_spec =
+  | Any
+  | Empty
+  | Pcdata_only
+  | Children_of of string list
+  | Mixed of string list
+
+type t = {
+  name : string;
+  specs : (string, content_spec) Hashtbl.t;
+  mutable order : string list;  (* reversed declaration order *)
+}
+
+let create ~name = { name; specs = Hashtbl.create 32; order = [] }
+let name t = t.name
+
+let declare t element spec =
+  if not (Hashtbl.mem t.specs element) then t.order <- element :: t.order;
+  Hashtbl.replace t.specs element spec
+
+let spec_of t element = Hashtbl.find_opt t.specs element
+let alphabet t = List.rev t.order
+
+let infer ~name tree =
+  let t = create ~name in
+  (* Accumulate per-element observations: child element names, has_text,
+     has_children. *)
+  let observed : (string, (string, unit) Hashtbl.t * bool ref * bool ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let obs el =
+    match Hashtbl.find_opt observed el with
+    | Some o -> o
+    | None ->
+      let o = (Hashtbl.create 8, ref false, ref false) in
+      Hashtbl.add observed el o;
+      t.order <- el :: t.order;
+      o
+  in
+  let rec go = function
+    | Xml_tree.Text _ -> ()
+    | Xml_tree.Element e ->
+      let children, has_text, has_elems = obs e.name in
+      List.iter
+        (function
+          | Xml_tree.Text _ -> has_text := true
+          | Xml_tree.Element c ->
+            has_elems := true;
+            Hashtbl.replace children c.name ())
+        e.children;
+      List.iter go e.children
+  in
+  go tree;
+  List.iter
+    (fun el ->
+      let children, has_text, has_elems = Hashtbl.find observed el in
+      let child_names = Hashtbl.fold (fun k () acc -> k :: acc) children [] in
+      let child_names = List.sort String.compare child_names in
+      let spec =
+        match (!has_text, !has_elems) with
+        | false, false -> Empty
+        | true, false -> Pcdata_only
+        | false, true -> Children_of child_names
+        | true, true -> Mixed child_names
+      in
+      Hashtbl.replace t.specs el spec)
+    (alphabet t);
+  t
+
+let validate t tree =
+  let exception Bad of string in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  let allowed names child = List.mem child names in
+  let rec go = function
+    | Xml_tree.Text _ -> ()
+    | Xml_tree.Element e ->
+      (match spec_of t e.name with
+      | None -> fail "undeclared element <%s>" e.name
+      | Some Any -> ()
+      | Some Empty -> if e.children <> [] then fail "<%s> must be empty" e.name
+      | Some Pcdata_only ->
+        List.iter
+          (function
+            | Xml_tree.Text _ -> ()
+            | Xml_tree.Element c -> fail "<%s> allows only text, found <%s>" e.name c.name)
+          e.children
+      | Some (Children_of names) ->
+        List.iter
+          (function
+            | Xml_tree.Text _ -> fail "<%s> does not allow text content" e.name
+            | Xml_tree.Element c ->
+              if not (allowed names c.name) then
+                fail "<%s> does not allow child <%s>" e.name c.name)
+          e.children
+      | Some (Mixed names) ->
+        List.iter
+          (function
+            | Xml_tree.Text _ -> ()
+            | Xml_tree.Element c ->
+              if not (allowed names c.name) then
+                fail "<%s> does not allow child <%s>" e.name c.name)
+          e.children);
+      List.iter go e.children
+  in
+  match go tree with
+  | () -> Ok ()
+  | exception Bad msg -> Error msg
+
+(* Line-oriented serialization: first line is the DTD name, then one
+   "element<TAB>spec" line per declaration, in declaration order. *)
+let encode t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf t.name;
+  List.iter
+    (fun el ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf el;
+      Buffer.add_char buf '\t';
+      match Hashtbl.find t.specs el with
+      | Any -> Buffer.add_char buf 'A'
+      | Empty -> Buffer.add_char buf 'E'
+      | Pcdata_only -> Buffer.add_char buf 'P'
+      | Children_of names ->
+        Buffer.add_string buf "C:";
+        Buffer.add_string buf (String.concat "," names)
+      | Mixed names ->
+        Buffer.add_string buf "M:";
+        Buffer.add_string buf (String.concat "," names))
+    (alphabet t);
+  Buffer.contents buf
+
+let decode s =
+  match String.split_on_char '\n' s with
+  | [] -> invalid_arg "Dtd.decode: empty input"
+  | name :: lines ->
+    let t = create ~name in
+    List.iter
+      (fun line ->
+        if line <> "" then begin
+          match String.index_opt line '\t' with
+          | None -> invalid_arg "Dtd.decode: malformed line"
+          | Some tab ->
+            let el = String.sub line 0 tab in
+            let spec = String.sub line (tab + 1) (String.length line - tab - 1) in
+            let names payload =
+              if payload = "" then [] else String.split_on_char ',' payload
+            in
+            let parsed =
+              match spec with
+              | "A" -> Any
+              | "E" -> Empty
+              | "P" -> Pcdata_only
+              | _ when String.length spec >= 2 && spec.[0] = 'C' && spec.[1] = ':' ->
+                Children_of (names (String.sub spec 2 (String.length spec - 2)))
+              | _ when String.length spec >= 2 && spec.[0] = 'M' && spec.[1] = ':' ->
+                Mixed (names (String.sub spec 2 (String.length spec - 2)))
+              | other -> invalid_arg ("Dtd.decode: bad spec " ^ other)
+            in
+            declare t el parsed
+        end)
+      lines;
+    t

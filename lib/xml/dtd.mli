@@ -1,0 +1,44 @@
+(** Minimal document-type support.
+
+    The paper uses the DTD only "as a way of specifying the node alphabet
+    Σ_DTD", with optional constraints on how labels combine (§2.2).  This
+    module provides exactly that: a named alphabet of element declarations,
+    each optionally constraining which child element names and text content
+    are allowed, plus a structural validator used by the document manager
+    ("document validation in the XML world", §2.1). *)
+
+type content_spec =
+  | Any  (** any children *)
+  | Empty  (** no children at all *)
+  | Pcdata_only  (** text children only *)
+  | Children_of of string list  (** element children drawn from this set; no text *)
+  | Mixed of string list  (** text plus element children drawn from this set *)
+
+type t
+
+val create : name:string -> t
+val name : t -> string
+
+(** [declare t element spec] declares (or re-declares) an element. *)
+val declare : t -> string -> content_spec -> unit
+
+val spec_of : t -> string -> content_spec option
+
+(** All declared element names, in declaration order. *)
+val alphabet : t -> string list
+
+(** [infer ~name tree] builds a DTD whose alphabet is the tree's and whose
+    specs are the loosest consistent with it ({!Mixed} of observed child
+    names, or {!Pcdata_only}/{!Empty} where applicable). *)
+val infer : name:string -> Xml_tree.t -> t
+
+(** [validate t tree] checks every element against its spec.  Undeclared
+    elements are errors.  Returns [Ok ()] or [Error message] describing the
+    first violation. *)
+val validate : t -> Xml_tree.t -> (unit, string) result
+
+(** Serialization (used to persist DTDs in a store catalog). *)
+
+val encode : t -> string
+
+val decode : string -> t

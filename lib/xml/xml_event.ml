@@ -1,0 +1,19 @@
+type t =
+  | Start_element of { name : string; attrs : (string * string) list }
+  | End_element of string
+  | Text of string
+
+let pp ppf = function
+  | Start_element { name; attrs } ->
+    Format.fprintf ppf "<%s%a>" name
+      (fun ppf -> List.iter (fun (k, v) -> Format.fprintf ppf " %s=%S" k v))
+      attrs
+  | End_element name -> Format.fprintf ppf "</%s>" name
+  | Text s -> Format.fprintf ppf "%S" s
+
+let equal a b =
+  match (a, b) with
+  | Start_element x, Start_element y -> x.name = y.name && x.attrs = y.attrs
+  | End_element x, End_element y -> String.equal x y
+  | Text x, Text y -> String.equal x y
+  | (Start_element _ | End_element _ | Text _), _ -> false

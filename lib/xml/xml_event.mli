@@ -1,0 +1,9 @@
+(** SAX-style parsing events. *)
+
+type t =
+  | Start_element of { name : string; attrs : (string * string) list }
+  | End_element of string
+  | Text of string  (** character data, entities already resolved *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,270 @@
+exception Error of { line : int; col : int; msg : string }
+
+type t = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* position just after the last newline *)
+  buf : Buffer.t;  (* scratch for text accumulation *)
+  mutable pending_end : string option;  (* synthesised end of a self-closing tag *)
+}
+
+let of_string input =
+  { input; pos = 0; line = 1; bol = 0; buf = Buffer.create 256; pending_end = None }
+let len t = String.length t.input
+let eof t = t.pos >= len t
+
+let error t msg = raise (Error { line = t.line; col = t.pos - t.bol + 1; msg })
+
+let peek t = if eof t then '\000' else t.input.[t.pos]
+
+let advance t =
+  if peek t = '\n' then begin
+    t.line <- t.line + 1;
+    t.bol <- t.pos + 1
+  end;
+  t.pos <- t.pos + 1
+
+let next_char t =
+  if eof t then error t "unexpected end of input";
+  let c = peek t in
+  advance t;
+  c
+
+let expect t c =
+  let got = next_char t in
+  if got <> c then error t (Printf.sprintf "expected %C, got %C" c got)
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_ws t =
+  while (not (eof t)) && is_ws (peek t) do
+    advance t
+  done
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | c -> Char.code c >= 0x80
+
+let is_name_char c =
+  is_name_start c || match c with '0' .. '9' | '-' | '.' -> true | _ -> false
+
+let name t =
+  if not (is_name_start (peek t)) then error t "expected a name";
+  let start = t.pos in
+  while (not (eof t)) && is_name_char (peek t) do
+    advance t
+  done;
+  String.sub t.input start (t.pos - start)
+
+(* Resolve an entity or character reference; the leading '&' is consumed. *)
+let reference t =
+  if peek t = '#' then begin
+    advance t;
+    let hex = peek t = 'x' in
+    if hex then advance t;
+    let start = t.pos in
+    while peek t <> ';' && not (eof t) do
+      advance t
+    done;
+    let digits = String.sub t.input start (t.pos - start) in
+    expect t ';';
+    let code =
+      try int_of_string (if hex then "0x" ^ digits else digits)
+      with Failure _ -> error t "malformed character reference"
+    in
+    (* Encode the code point as UTF-8. *)
+    let b = Buffer.create 4 in
+    (try Buffer.add_utf_8_uchar b (Uchar.of_int code)
+     with Invalid_argument _ -> error t "character reference out of range");
+    Buffer.contents b
+  end
+  else begin
+    let n = name t in
+    expect t ';';
+    match n with
+    | "lt" -> "<"
+    | "gt" -> ">"
+    | "amp" -> "&"
+    | "apos" -> "'"
+    | "quot" -> "\""
+    | other -> error t (Printf.sprintf "unknown entity &%s;" other)
+  end
+
+let attr_value t =
+  let quote = next_char t in
+  if quote <> '"' && quote <> '\'' then error t "expected quoted attribute value";
+  Buffer.clear t.buf;
+  let rec loop () =
+    let c = next_char t in
+    if c = quote then Buffer.contents t.buf
+    else if c = '&' then begin
+      Buffer.add_string t.buf (reference t);
+      loop ()
+    end
+    else if c = '<' then error t "'<' in attribute value"
+    else begin
+      Buffer.add_char t.buf c;
+      loop ()
+    end
+  in
+  loop ()
+
+let attributes t =
+  let rec loop acc =
+    skip_ws t;
+    match peek t with
+    | '>' | '/' | '?' -> List.rev acc
+    | _ ->
+      let n = name t in
+      skip_ws t;
+      expect t '=';
+      skip_ws t;
+      let v = attr_value t in
+      loop ((n, v) :: acc)
+  in
+  loop []
+
+let skip_comment t =
+  (* "<!--" already consumed *)
+  let rec loop () =
+    if next_char t = '-' && peek t = '-' then begin
+      advance t;
+      expect t '>'
+    end
+    else loop ()
+  in
+  loop ()
+
+let skip_pi t =
+  (* "<?" and the target already consumed *)
+  let rec loop () = if next_char t = '?' && peek t = '>' then advance t else loop () in
+  loop ()
+
+let skip_doctype t =
+  (* "<!DOCTYPE" already consumed; skip to the matching '>', allowing one
+     level of internal subset brackets. *)
+  let rec loop depth =
+    match next_char t with
+    | '[' -> loop (depth + 1)
+    | ']' -> loop (depth - 1)
+    | '>' when depth = 0 -> ()
+    | '"' | '\'' ->
+      (* quoted literal inside the declaration *)
+      loop depth
+    | _ -> loop depth
+  in
+  loop 0
+
+let cdata t =
+  (* "<![CDATA[" already consumed *)
+  let start = t.pos in
+  let rec find () =
+    if t.pos + 2 >= len t then error t "unterminated CDATA section"
+    else if t.input.[t.pos] = ']' && t.input.[t.pos + 1] = ']' && t.input.[t.pos + 2] = '>' then begin
+      let s = String.sub t.input start (t.pos - start) in
+      advance t;
+      advance t;
+      advance t;
+      s
+    end
+    else begin
+      advance t;
+      find ()
+    end
+  in
+  find ()
+
+(* Character data up to the next '<'; resolves references.  Returns [None]
+   for empty runs. *)
+let char_data t =
+  Buffer.clear t.buf;
+  let rec loop () =
+    if eof t || peek t = '<' then ()
+    else if peek t = '&' then begin
+      advance t;
+      Buffer.add_string t.buf (reference t);
+      loop ()
+    end
+    else begin
+      Buffer.add_char t.buf (next_char t);
+      loop ()
+    end
+  in
+  loop ();
+  if Buffer.length t.buf = 0 then None else Some (Buffer.contents t.buf)
+
+let rec scan t : Xml_event.t option =
+  if eof t then None
+  else if peek t = '<' then begin
+    advance t;
+    match peek t with
+    | '/' ->
+      advance t;
+      let n = name t in
+      skip_ws t;
+      expect t '>';
+      Some (Xml_event.End_element n)
+    | '?' ->
+      advance t;
+      let _target = name t in
+      skip_pi t;
+      scan t
+    | '!' ->
+      advance t;
+      if t.pos + 1 < len t && t.input.[t.pos] = '-' && t.input.[t.pos + 1] = '-' then begin
+        advance t;
+        advance t;
+        skip_comment t;
+        scan t
+      end
+      else if t.pos + 6 < len t && String.sub t.input t.pos 7 = "[CDATA[" then begin
+        for _ = 1 to 7 do
+          advance t
+        done;
+        Some (Xml_event.Text (cdata t))
+      end
+      else begin
+        let kw = name t in
+        if kw = "DOCTYPE" then begin
+          skip_doctype t;
+          scan t
+        end
+        else error t (Printf.sprintf "unsupported declaration <!%s" kw)
+      end
+    | _ ->
+      let n = name t in
+      let attrs = attributes t in
+      skip_ws t;
+      if peek t = '/' then begin
+        advance t;
+        expect t '>';
+        (* Self-closing: synthesise the end event on the next call. *)
+        t.pending_end <- Some n;
+        Some (Xml_event.Start_element { name = n; attrs })
+      end
+      else begin
+        expect t '>';
+        Some (Xml_event.Start_element { name = n; attrs })
+      end
+  end
+  else
+    match char_data t with
+    | Some s -> Some (Xml_event.Text s)
+    | None -> scan t
+
+let next t =
+  match t.pending_end with
+  | Some n ->
+    t.pending_end <- None;
+    Some (Xml_event.End_element n)
+  | None -> scan t
+
+let all input =
+  let t = of_string input in
+  let rec loop acc =
+    match next t with
+    | None -> List.rev acc
+    | Some e -> loop (e :: acc)
+  in
+  loop []

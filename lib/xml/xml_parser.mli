@@ -1,0 +1,13 @@
+(** Tree-building XML parser: turns a document string into an
+    {!Xml_tree.t}, checking well-formedness (matching tags, single root).
+
+    [keep_ws] controls whether whitespace-only text nodes between elements
+    are preserved; they are dropped by default, matching how a document
+    repository stores structural markup. *)
+
+exception Error of { line : int; col : int; msg : string }
+
+val parse : ?keep_ws:bool -> string -> Xml_tree.t
+
+(** [parse_file path] reads and parses a whole file. *)
+val parse_file : ?keep_ws:bool -> string -> Xml_tree.t

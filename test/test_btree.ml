@@ -1,0 +1,157 @@
+(* Tests for the disk-resident B+-tree index substrate. *)
+
+open Natix_util
+open Natix_store
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let make ?(page_size = 512) () =
+  let disk = Disk.in_memory ~model:Io_model.free ~page_size () in
+  let pool = Buffer_pool.create ~disk ~bytes:(128 * page_size) () in
+  let rm = Record_manager.create (Segment.create pool) in
+  (rm, Btree.create rm)
+
+let v_of_int i =
+  let b = Bytes.create 8 in
+  Bytes_util.set_u48 b 0 i;
+  Bytes_util.set_u16 b 6 0;
+  Bytes.to_string b
+
+let btree_tests =
+  [
+    Alcotest.test_case "empty tree finds nothing" `Quick (fun () ->
+        let _, t = make () in
+        Alcotest.(check (option string)) "absent" None (Btree.find t ~key:"x");
+        Alcotest.(check int) "empty" 0 (Btree.cardinal t);
+        Btree.check t);
+    Alcotest.test_case "insert then find" `Quick (fun () ->
+        let _, t = make () in
+        Btree.insert t ~key:"hello" ~value:(v_of_int 1);
+        Btree.insert t ~key:"world" ~value:(v_of_int 2);
+        Alcotest.(check (option string)) "hello" (Some (v_of_int 1)) (Btree.find t ~key:"hello");
+        Alcotest.(check (option string)) "world" (Some (v_of_int 2)) (Btree.find t ~key:"world");
+        Alcotest.(check (option string)) "missing" None (Btree.find t ~key:"nope");
+        Btree.check t);
+    Alcotest.test_case "insert replaces existing bindings" `Quick (fun () ->
+        let _, t = make () in
+        Btree.insert t ~key:"k" ~value:(v_of_int 1);
+        Btree.insert t ~key:"k" ~value:(v_of_int 2);
+        Alcotest.(check (option string)) "replaced" (Some (v_of_int 2)) (Btree.find t ~key:"k");
+        Alcotest.(check int) "one binding" 1 (Btree.cardinal t));
+    Alcotest.test_case "many inserts split nodes; root RID stays stable" `Quick (fun () ->
+        let _, t = make ~page_size:512 () in
+        let root_before = Btree.root t in
+        for i = 0 to 999 do
+          Btree.insert t ~key:(Printf.sprintf "key-%04d" i) ~value:(v_of_int i)
+        done;
+        Alcotest.(check bool) "root unchanged" true (Rid.equal root_before (Btree.root t));
+        Alcotest.(check bool) "tree grew" true (Btree.height t > 1);
+        Alcotest.(check int) "cardinal" 1000 (Btree.cardinal t);
+        for i = 0 to 999 do
+          Alcotest.(check (option string))
+            (Printf.sprintf "key %d" i)
+            (Some (v_of_int i))
+            (Btree.find t ~key:(Printf.sprintf "key-%04d" i))
+        done;
+        Btree.check t);
+    Alcotest.test_case "iter yields keys in order" `Quick (fun () ->
+        let _, t = make () in
+        List.iter
+          (fun k -> Btree.insert t ~key:k ~value:(v_of_int 0))
+          [ "pear"; "apple"; "fig"; "cherry"; "banana" ];
+        let keys = ref [] in
+        Btree.iter t (fun k _ -> keys := k :: !keys);
+        Alcotest.(check (list string)) "sorted"
+          [ "apple"; "banana"; "cherry"; "fig"; "pear" ]
+          (List.rev !keys));
+    Alcotest.test_case "range scans respect bounds" `Quick (fun () ->
+        let _, t = make () in
+        for i = 0 to 99 do
+          Btree.insert t ~key:(Printf.sprintf "%03d" i) ~value:(v_of_int i)
+        done;
+        let collect lo hi =
+          let acc = ref [] in
+          Btree.iter_range t ~lo ~hi (fun k _ -> acc := k :: !acc);
+          List.rev !acc
+        in
+        Alcotest.(check int) "closed-open" 10 (List.length (collect (Some "020") (Some "030")));
+        Alcotest.(check (list string)) "exact window" [ "020" ] (collect (Some "020") (Some "021"));
+        Alcotest.(check int) "unbounded low" 20 (List.length (collect None (Some "020")));
+        Alcotest.(check int) "unbounded high" 20 (List.length (collect (Some "080") None)));
+    Alcotest.test_case "remove deletes bindings" `Quick (fun () ->
+        let _, t = make () in
+        for i = 0 to 199 do
+          Btree.insert t ~key:(Printf.sprintf "%03d" i) ~value:(v_of_int i)
+        done;
+        for i = 0 to 199 do
+          if i mod 2 = 0 then Btree.remove t ~key:(Printf.sprintf "%03d" i)
+        done;
+        Alcotest.(check int) "half left" 100 (Btree.cardinal t);
+        Alcotest.(check (option string)) "odd stays" (Some (v_of_int 1)) (Btree.find t ~key:"001");
+        Alcotest.(check (option string)) "even gone" None (Btree.find t ~key:"002");
+        Btree.check t);
+    Alcotest.test_case "oversized keys and bad values rejected" `Quick (fun () ->
+        let _, t = make ~page_size:512 () in
+        (match Btree.insert t ~key:(String.make 400 'k') ~value:(v_of_int 0) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected key rejection");
+        match Btree.insert t ~key:"k" ~value:"short" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected value rejection");
+    Alcotest.test_case "open_tree re-attaches to the same index" `Quick (fun () ->
+        let rm, t = make () in
+        Btree.insert t ~key:"persisted" ~value:(v_of_int 42);
+        let t2 = Btree.open_tree rm (Btree.root t) in
+        Alcotest.(check (option string)) "visible" (Some (v_of_int 42))
+          (Btree.find t2 ~key:"persisted"));
+    qtest ~count:60 "random operations match a Map reference"
+      QCheck2.Gen.(
+        list_size (int_bound 400)
+          (pair (int_bound 3) (string_size ~gen:(char_range 'a' 'f') (int_range 1 6))))
+      (fun ops ->
+        let _, t = make ~page_size:512 () in
+        let reference = Hashtbl.create 64 in
+        List.iteri
+          (fun i (kind, key) ->
+            match kind with
+            | 0 | 1 | 2 ->
+              Btree.insert t ~key ~value:(v_of_int i);
+              Hashtbl.replace reference key (v_of_int i)
+            | _ ->
+              Btree.remove t ~key;
+              Hashtbl.remove reference key)
+          ops;
+        Btree.check t;
+        Btree.cardinal t = Hashtbl.length reference
+        && Hashtbl.fold (fun k v ok -> ok && Btree.find t ~key:k = Some v) reference true);
+  ]
+
+let suites = [ ("store.btree", btree_tests) ]
+
+let range_property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100 ~name:"random range scans match a reference"
+         QCheck2.Gen.(
+           triple
+             (list_size (int_bound 300) (string_size ~gen:(char_range 'a' 'e') (int_range 1 5)))
+             (option (string_size ~gen:(char_range 'a' 'f') (int_range 0 4)))
+             (option (string_size ~gen:(char_range 'a' 'f') (int_range 0 4))))
+         (fun (keys, lo, hi) ->
+           let _, t = make ~page_size:512 () in
+           let uniq = List.sort_uniq String.compare keys in
+           List.iter (fun k -> Btree.insert t ~key:k ~value:(v_of_int 0)) uniq;
+           let got = ref [] in
+           Btree.iter_range t ~lo ~hi (fun k _ -> got := k :: !got);
+           let expected =
+             List.filter
+               (fun k ->
+                 (match lo with Some lo -> k >= lo | None -> true)
+                 && match hi with Some hi -> k < hi | None -> true)
+               uniq
+           in
+           List.rev !got = expected));
+  ]
+
+let suites = suites @ [ ("store.btree_ranges", range_property_tests) ]

@@ -1,0 +1,121 @@
+(* Tests for the flat-stream baseline: the BLOB manager and flat XML
+   documents. *)
+
+open Natix_store
+open Natix_flat
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let make_store ?(page_size = 512) () =
+  let disk = Disk.in_memory ~model:Io_model.free ~page_size () in
+  let pool = Buffer_pool.create ~disk ~bytes:(64 * page_size) () in
+  Blob_store.create (Record_manager.create (Segment.create pool))
+
+let blob_tests =
+  [
+    Alcotest.test_case "put/read_all roundtrip" `Quick (fun () ->
+        let bs = make_store () in
+        let data = String.init 5000 (fun i -> Char.chr (33 + (i mod 90))) in
+        let b = Blob_store.put bs data in
+        Alcotest.(check int) "length" 5000 (Blob_store.length b);
+        Alcotest.(check bool) "spans several chunks" true (Blob_store.chunk_count b > 1);
+        Alcotest.(check string) "content" data (Blob_store.read_all bs b));
+    Alcotest.test_case "range reads" `Quick (fun () ->
+        let bs = make_store () in
+        let data = String.init 3000 (fun i -> Char.chr (65 + (i mod 26))) in
+        let b = Blob_store.put bs data in
+        Alcotest.(check string) "middle" (String.sub data 700 900)
+          (Blob_store.read bs b ~off:700 ~len:900);
+        Alcotest.(check string) "prefix" (String.sub data 0 10) (Blob_store.read bs b ~off:0 ~len:10);
+        Alcotest.(check string) "suffix" (String.sub data 2990 10)
+          (Blob_store.read bs b ~off:2990 ~len:10));
+    Alcotest.test_case "insert in the middle splits at byte positions" `Quick (fun () ->
+        let bs = make_store () in
+        let b = Blob_store.put bs (String.make 1000 'a') in
+        Blob_store.insert_at bs b ~off:500 (String.make 700 'b');
+        let expect = String.make 500 'a' ^ String.make 700 'b' ^ String.make 500 'a' in
+        Alcotest.(check string) "content" expect (Blob_store.read_all bs b));
+    Alcotest.test_case "append extends the last chunk" `Quick (fun () ->
+        let bs = make_store () in
+        let b = Blob_store.put bs "start" in
+        Blob_store.append bs b "-end";
+        Alcotest.(check string) "content" "start-end" (Blob_store.read_all bs b);
+        Alcotest.(check int) "still one chunk" 1 (Blob_store.chunk_count b));
+    Alcotest.test_case "delete_range across chunk boundaries" `Quick (fun () ->
+        let bs = make_store () in
+        let data = String.init 2000 (fun i -> Char.chr (97 + (i mod 26))) in
+        let b = Blob_store.put bs data in
+        Blob_store.delete_range bs b ~off:300 ~len:1200;
+        let expect = String.sub data 0 300 ^ String.sub data 1500 500 in
+        Alcotest.(check string) "content" expect (Blob_store.read_all bs b);
+        Alcotest.(check int) "length" 800 (Blob_store.length b));
+    Alcotest.test_case "delete releases records" `Quick (fun () ->
+        let bs = make_store () in
+        let b = Blob_store.put bs (String.make 3000 'z') in
+        Blob_store.delete bs b;
+        Alcotest.(check int) "empty" 0 (Blob_store.length b);
+        Alcotest.(check int) "no chunks" 0 (Blob_store.chunk_count b));
+    qtest ~count:150 "random splice sequence matches a string reference"
+      QCheck2.Gen.(
+        list_size (int_bound 40)
+          (pair (int_bound 2) (pair (int_bound 10000) (string_size ~gen:printable (int_bound 80)))))
+      (fun ops ->
+        let bs = make_store () in
+        let b = Blob_store.put bs "seed-content" in
+        let reference = ref "seed-content" in
+        List.iter
+          (fun (kind, (pos, payload)) ->
+            let n = String.length !reference in
+            match kind with
+            | 0 ->
+              let off = if n = 0 then 0 else pos mod (n + 1) in
+              Blob_store.insert_at bs b ~off payload;
+              reference :=
+                String.sub !reference 0 off ^ payload
+                ^ String.sub !reference off (n - off)
+            | 1 ->
+              if n > 0 then begin
+                let off = pos mod n in
+                let len = min (String.length payload) (n - off) in
+                Blob_store.delete_range bs b ~off ~len;
+                reference := String.sub !reference 0 off ^ String.sub !reference (off + len) (n - off - len)
+              end
+            | _ ->
+              Blob_store.append bs b payload;
+              reference := !reference ^ payload)
+          ops;
+        Blob_store.read_all bs b = !reference && Blob_store.length b = String.length !reference);
+  ]
+
+let flat_document_tests =
+  [
+    Alcotest.test_case "store/load roundtrip through parsing" `Quick (fun () ->
+        let bs = make_store () in
+        let xml =
+          Natix_xml.Xml_parser.parse
+            "<PLAY><TITLE>T</TITLE><ACT><SCENE><SPEECH><LINE>hello there</LINE></SPEECH></SCENE></ACT></PLAY>"
+        in
+        let d = Flat_document.store bs ~name:"p" xml in
+        Alcotest.(check bool) "sized" true (Flat_document.size d > 0);
+        Alcotest.(check bool) "roundtrip" true
+          (Natix_xml.Xml_tree.equal xml (Flat_document.load bs d)));
+    Alcotest.test_case "text splices keep the document well-formed" `Quick (fun () ->
+        let bs = make_store () in
+        let xml =
+          Natix_xml.Xml_parser.parse
+            "<PLAY><LINE>first line of text</LINE><LINE>second line of text</LINE></PLAY>"
+        in
+        let d = Flat_document.store bs ~name:"p" xml in
+        let offsets = Flat_document.text_offsets bs d ~limit:5 in
+        Alcotest.(check bool) "found offsets" true (offsets <> []);
+        (* Splice in reverse offset order so earlier offsets stay valid. *)
+        List.iter
+          (fun at -> Flat_document.splice_text bs d ~at " spliced")
+          (List.rev (List.sort Int.compare offsets));
+        let reparsed = Flat_document.load bs d in
+        Alcotest.(check bool) "still parses" true
+          (Natix_xml.Xml_tree.element_count reparsed = Natix_xml.Xml_tree.element_count xml));
+  ]
+
+let suites = [ ("flat.blob_store", blob_tests); ("flat.document", flat_document_tests) ]

@@ -1,0 +1,220 @@
+(* Tests for the element index and the document manager. *)
+
+open Natix_core
+module Xml_tree = Natix_xml.Xml_tree
+module Xml_parser = Natix_xml.Xml_parser
+module Dtd = Natix_xml.Dtd
+
+let mem_store ?(page_size = 512) () =
+  let config = { (Config.default ()) with Config.page_size; buffer_bytes = 64 * 1024 } in
+  Tree_store.in_memory ~config ~model:Natix_store.Io_model.free ()
+
+let sample =
+  "<PLAY><TITLE>Hamlet</TITLE><ACT><TITLE>Act I</TITLE><SCENE><TITLE>Scene 1</TITLE>"
+  ^ "<SPEECH><SPEAKER>BERNARDO</SPEAKER><LINE>Who is there?</LINE></SPEECH>"
+  ^ "<SPEECH><SPEAKER>FRANCISCO</SPEAKER><LINE>Nay, answer me.</LINE><LINE>Stand.</LINE></SPEECH>"
+  ^ "</SCENE></ACT></PLAY>"
+
+let element_index_tests =
+  [
+    Alcotest.test_case "counts match the document" `Quick (fun () ->
+        let store = mem_store () in
+        let idx = Element_index.create store ~name:"elements" in
+        let _ = Loader.load store ~name:"d" (Xml_parser.parse sample) in
+        Alcotest.(check int) "speeches" 2 (Element_index.count idx (Tree_store.label store "SPEECH"));
+        Alcotest.(check int) "lines" 3 (Element_index.count idx (Tree_store.label store "LINE"));
+        Alcotest.(check int) "titles" 3 (Element_index.count idx (Tree_store.label store "TITLE"));
+        Element_index.check idx);
+    Alcotest.test_case "scan returns every node of a label" `Quick (fun () ->
+        let store = mem_store () in
+        let idx = Element_index.create store ~name:"elements" in
+        let _ = Loader.load store ~name:"d" (Xml_parser.parse sample) in
+        let speakers = Element_index.scan idx (Tree_store.label store "SPEAKER") in
+        Alcotest.(check int) "two speakers" 2 (List.length speakers);
+        let texts = List.map (Tree_store.text_of store) (List.concat_map (fun n -> List.of_seq (Tree_store.logical_children store n)) speakers) in
+        Alcotest.(check bool) "names found" true
+          (List.mem "BERNARDO" texts && List.mem "FRANCISCO" texts));
+    Alcotest.test_case "index follows inserts and deletes" `Quick (fun () ->
+        let store = mem_store () in
+        let idx = Element_index.create store ~name:"elements" in
+        let _ = Loader.load store ~name:"d" (Xml_parser.parse sample) in
+        let speech = List.hd (Path.query store ~doc:"d" "//SPEECH[1]") in
+        let _ =
+          Tree_store.insert_node store
+            (Tree_store.After (Cursor.node speech))
+            (Tree_store.Elem (Tree_store.label store "SPEECH"))
+        in
+        Alcotest.(check int) "insert indexed" 3
+          (Element_index.count idx (Tree_store.label store "SPEECH"));
+        Tree_store.delete_node store (Cursor.node speech);
+        Alcotest.(check int) "delete indexed" 2
+          (Element_index.count idx (Tree_store.label store "SPEECH"));
+        Element_index.check idx);
+    Alcotest.test_case "index stays consistent across splits" `Quick (fun () ->
+        let store = mem_store ~page_size:512 () in
+        let idx = Element_index.create store ~name:"elements" in
+        let doc =
+          Xml_tree.element "R"
+            (List.init 60 (fun i ->
+                 Xml_tree.element "E" [ Xml_tree.text (Printf.sprintf "payload %d filler" i) ]))
+        in
+        let _ = Loader.load store ~name:"d" doc in
+        Alcotest.(check bool) "splits happened" true (Tree_store.split_count store > 0);
+        Alcotest.(check int) "all indexed" 60 (Element_index.count idx (Tree_store.label store "E"));
+        Alcotest.(check int) "scan total" 60
+          (List.length (Element_index.scan idx (Tree_store.label store "E")));
+        Element_index.check idx);
+    Alcotest.test_case "attributes are indexed under @labels" `Quick (fun () ->
+        let store = mem_store () in
+        let idx = Element_index.create store ~name:"elements" in
+        let _ = Loader.load store ~name:"d" (Xml_parser.parse {|<a id="1"><b id="2"/><b/></a>|}) in
+        Alcotest.(check int) "@id" 2 (Element_index.count idx (Tree_store.label store "@id")));
+    Alcotest.test_case "rebuild recovers from missed updates" `Quick (fun () ->
+        let store = mem_store () in
+        (* Load while no index is attached. *)
+        let _ = Loader.load store ~name:"d" (Xml_parser.parse sample) in
+        let idx = Element_index.create store ~name:"elements" in
+        Alcotest.(check int) "empty before rebuild" 0
+          (Element_index.count idx (Tree_store.label store "LINE"));
+        Element_index.rebuild idx;
+        Alcotest.(check int) "rebuilt" 3 (Element_index.count idx (Tree_store.label store "LINE"));
+        Element_index.check idx);
+    Alcotest.test_case "index persists across reopen" `Quick (fun () ->
+        let path = Filename.temp_file "natix" ".db" in
+        Sys.remove path;
+        let config = { (Config.default ()) with Config.page_size = 1024 } in
+        let disk = Natix_store.Disk.on_file ~page_size:1024 path in
+        let store = Tree_store.open_store ~config disk in
+        let idx = Element_index.create store ~name:"elements" in
+        let _ = Loader.load store ~name:"d" (Xml_parser.parse sample) in
+        Element_index.refresh idx;
+        Tree_store.sync store;
+        Natix_store.Disk.close disk;
+        let disk2 = Natix_store.Disk.on_file ~page_size:1024 path in
+        let store2 = Tree_store.open_store ~config disk2 in
+        let idx2 = Option.get (Element_index.open_index store2 ~name:"elements") in
+        Alcotest.(check int) "counts survive" 3
+          (Element_index.count idx2 (Tree_store.label store2 "LINE"));
+        Element_index.check idx2;
+        Natix_store.Disk.close disk2;
+        Sys.remove path);
+    Alcotest.test_case "labels lists everything" `Quick (fun () ->
+        let store = mem_store () in
+        let idx = Element_index.create store ~name:"elements" in
+        let _ = Loader.load store ~name:"d" (Xml_parser.parse "<a><b/><b/><c/></a>") in
+        let names =
+          List.map (fun (l, c) -> (Tree_store.label_name store l, c)) (Element_index.labels idx)
+        in
+        Alcotest.(check (list (pair string int))) "labels"
+          [ ("a", 1); ("b", 2); ("c", 1) ]
+          (List.sort compare names));
+  ]
+
+let document_manager_tests =
+  [
+    Alcotest.test_case "valid documents are stored with their DTD" `Quick (fun () ->
+        let dm = Document_manager.create (mem_store ()) in
+        let xml = Xml_parser.parse sample in
+        (match Document_manager.store_document dm ~name:"d" ~infer_dtd:true xml with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "unexpected: %s" e);
+        Alcotest.(check bool) "dtd stored" true (Document_manager.document_dtd dm "d" <> None);
+        match Document_manager.validate dm "d" with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "revalidation failed: %s" e);
+    Alcotest.test_case "invalid documents are rejected" `Quick (fun () ->
+        let dm = Document_manager.create (mem_store ()) in
+        let dtd = Dtd.create ~name:"strict" in
+        Dtd.declare dtd "a" (Dtd.Children_of [ "b" ]);
+        Dtd.declare dtd "b" Dtd.Pcdata_only;
+        match Document_manager.store_document dm ~name:"d" ~dtd (Xml_parser.parse "<a><c/></a>") with
+        | Error _ -> Alcotest.(check (list string)) "nothing stored" []
+            (Tree_store.list_documents (Document_manager.store dm))
+        | Ok _ -> Alcotest.fail "expected rejection");
+    Alcotest.test_case "fragment insertion validates against the DTD" `Quick (fun () ->
+        let dm = Document_manager.create (mem_store ()) in
+        let dtd = Dtd.create ~name:"plays" in
+        Dtd.declare dtd "SCENE" (Dtd.Children_of [ "SPEECH" ]);
+        Dtd.declare dtd "SPEECH" (Dtd.Children_of [ "LINE" ]);
+        Dtd.declare dtd "LINE" Dtd.Pcdata_only;
+        let xml = Xml_parser.parse "<SCENE><SPEECH><LINE>x</LINE></SPEECH></SCENE>" in
+        let root =
+          match Document_manager.store_document dm ~name:"d" ~dtd xml with
+          | Ok root -> root
+          | Error e -> Alcotest.failf "store failed: %s" e
+        in
+        (* A SPEECH fragment fits under SCENE... *)
+        (match
+           Document_manager.insert_fragment dm ~doc:"d" (Tree_store.First_under root)
+             (Xml_parser.parse "<SPEECH><LINE>y</LINE></SPEECH>")
+         with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "valid fragment rejected: %s" e);
+        (* ... a TITLE fragment does not. *)
+        (match
+           Document_manager.insert_fragment dm ~doc:"d" (Tree_store.First_under root)
+             (Xml_parser.parse "<LINE>stray</LINE>")
+         with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "invalid fragment accepted");
+        match Document_manager.validate dm "d" with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "document invalid after edits: %s" e);
+    Alcotest.test_case "elements_named uses the index" `Quick (fun () ->
+        let dm = Document_manager.create (mem_store ()) in
+        (match Document_manager.store_document dm ~name:"d" (Xml_parser.parse sample) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "store failed: %s" e);
+        Alcotest.(check int) "lines via index" 3 (Document_manager.count_elements dm "LINE");
+        Alcotest.(check int) "scan size" 3 (List.length (Document_manager.elements_named dm "LINE"));
+        Alcotest.(check int) "unknown name" 0 (Document_manager.count_elements dm "NOPE"));
+    Alcotest.test_case "elements_named without an index traverses" `Quick (fun () ->
+        let dm = Document_manager.create ~with_index:false (mem_store ()) in
+        (match Document_manager.store_document dm ~name:"d" (Xml_parser.parse sample) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "store failed: %s" e);
+        Alcotest.(check int) "lines via traversal" 3 (Document_manager.count_elements dm "LINE"));
+    Alcotest.test_case "delete_document drops the DTD registration" `Quick (fun () ->
+        let dm = Document_manager.create (mem_store ()) in
+        (match Document_manager.store_document dm ~name:"d" ~infer_dtd:true (Xml_parser.parse sample) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "store failed: %s" e);
+        Document_manager.delete_document dm "d";
+        Alcotest.(check bool) "dtd gone" true (Document_manager.document_dtd dm "d" = None);
+        Alcotest.(check int) "index emptied" 0 (Document_manager.count_elements dm "LINE"));
+  ]
+
+let dtd_codec_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100 ~name:"dtd encode/decode roundtrip"
+         QCheck2.Gen.(
+           list_size (int_bound 10)
+             (pair
+                (string_size ~gen:(char_range 'a' 'z') (int_range 1 8))
+                (int_bound 4)))
+         (fun decls ->
+           let dtd = Dtd.create ~name:"test" in
+           List.iter
+             (fun (el, kind) ->
+               let spec =
+                 match kind with
+                 | 0 -> Dtd.Any
+                 | 1 -> Dtd.Empty
+                 | 2 -> Dtd.Pcdata_only
+                 | 3 -> Dtd.Children_of [ "x"; "y" ]
+                 | _ -> Dtd.Mixed [ "z" ]
+               in
+               Dtd.declare dtd el spec)
+             decls;
+           let dtd' = Dtd.decode (Dtd.encode dtd) in
+           Dtd.alphabet dtd = Dtd.alphabet dtd'
+           && List.for_all (fun el -> Dtd.spec_of dtd el = Dtd.spec_of dtd' el) (Dtd.alphabet dtd)));
+  ]
+
+let suites =
+  [
+    ("core.element_index", element_index_tests);
+    ("core.document_manager", document_manager_tests);
+    ("xml.dtd_codec", dtd_codec_tests);
+  ]

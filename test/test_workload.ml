@@ -1,0 +1,141 @@
+(* Tests for the workload substrate: corpus generator, queries and the
+   measurement harness.  Small scales keep the suite fast. *)
+
+open Natix_workload
+
+let small_params = { Shakespeare.default_params with Shakespeare.plays = 2 }
+
+let shakespeare_tests =
+  [
+    Alcotest.test_case "generation is deterministic" `Quick (fun () ->
+        let a = Shakespeare.generate small_params in
+        let b = Shakespeare.generate small_params in
+        Alcotest.(check bool) "equal corpora" true
+          (List.for_all2 Natix_xml.Xml_tree.equal a b));
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let a = Shakespeare.generate small_params in
+        let b = Shakespeare.generate { small_params with Shakespeare.seed = 99L } in
+        Alcotest.(check bool) "corpora differ" false
+          (List.for_all2 Natix_xml.Xml_tree.equal a b));
+    Alcotest.test_case "structure matches the plays' schema" `Quick (fun () ->
+        let play = List.hd (Shakespeare.generate small_params) in
+        (match play with
+        | Natix_xml.Xml_tree.Element { name = "PLAY"; _ } -> ()
+        | _ -> Alcotest.fail "root must be PLAY");
+        let acts = Natix_xml.Xml_tree.children_named play "ACT" in
+        Alcotest.(check int) "five acts" 5 (List.length acts);
+        List.iter
+          (fun act ->
+            let scenes = Natix_xml.Xml_tree.children_named act "SCENE" in
+            let n = List.length scenes in
+            if n < 3 || n > 6 then Alcotest.failf "scene count %d out of range" n;
+            List.iter
+              (fun scene ->
+                match Natix_xml.Xml_tree.child_named scene "SPEECH" with
+                | Some _ -> ()
+                | None -> Alcotest.fail "scene without speeches")
+              scenes)
+          acts);
+    Alcotest.test_case "paper-scale corpus matches §4.1" `Slow (fun () ->
+        let corpus = Shakespeare.generate Shakespeare.default_params in
+        let nodes, bytes = Shakespeare.corpus_measure corpus in
+        Alcotest.(check int) "37 plays" 37 (List.length corpus);
+        if nodes < 280_000 || nodes > 360_000 then Alcotest.failf "node count %d off" nodes;
+        if bytes < 7_000_000 || bytes > 9_500_000 then Alcotest.failf "byte count %d off" bytes);
+    Alcotest.test_case "scaled keeps at least one play" `Quick (fun () ->
+        Alcotest.(check int) "one play" 1 (Shakespeare.scaled 0.001).Shakespeare.plays;
+        Alcotest.(check int) "full" 37 (Shakespeare.scaled 1.0).Shakespeare.plays);
+  ]
+
+let tiny_corpus = Shakespeare.generate { small_params with Shakespeare.plays = 1 }
+
+let queries_tests =
+  let built = Harness.build ~page_size:2048 { Harness.matrix = Native; order = Preorder } tiny_corpus in
+  let store = built.Harness.store and docs = built.Harness.docs in
+  [
+    Alcotest.test_case "full traversal counts every logical node" `Quick (fun () ->
+        let expected =
+          List.fold_left (fun n p -> n + Natix_xml.Xml_tree.node_count p) 0 tiny_corpus
+        in
+        Alcotest.(check int) "nodes" expected (Queries.full_traversal store ~docs));
+    Alcotest.test_case "q1 finds the speakers of act 3 scene 2" `Quick (fun () ->
+        let speakers = Queries.q1 store ~docs in
+        Alcotest.(check bool) "non-empty" true (speakers <> []);
+        (* cross-check against the source tree *)
+        let play = List.hd tiny_corpus in
+        let acts = Natix_xml.Xml_tree.children_named play "ACT" in
+        let act3 = List.nth acts 2 in
+        let scene2 = List.nth (Natix_xml.Xml_tree.children_named act3 "SCENE") 1 in
+        let expected =
+          List.concat_map
+            (fun speech -> List.map Natix_xml.Xml_tree.text_content
+                (Natix_xml.Xml_tree.children_named speech "SPEAKER"))
+            (Natix_xml.Xml_tree.children_named scene2 "SPEECH")
+        in
+        Alcotest.(check (list string)) "speakers" expected speakers);
+    Alcotest.test_case "q2 returns one speech per scene" `Quick (fun () ->
+        let play = List.hd tiny_corpus in
+        let scene_count =
+          List.fold_left
+            (fun n act -> n + List.length (Natix_xml.Xml_tree.children_named act "SCENE"))
+            0
+            (Natix_xml.Xml_tree.children_named play "ACT")
+        in
+        let speeches = Queries.q2 store ~docs in
+        Alcotest.(check int) "count" scene_count (List.length speeches);
+        List.iter
+          (fun s ->
+            if not (String.length s > 13 && String.sub s 0 8 = "<SPEECH>") then
+              Alcotest.failf "not a serialized speech: %s" (String.sub s 0 (min 40 (String.length s))))
+          speeches);
+    Alcotest.test_case "q3 returns the opening speech per play" `Quick (fun () ->
+        let speeches = Queries.q3 store ~docs in
+        Alcotest.(check int) "one per play" (List.length docs) (List.length speeches);
+        (* must equal the serialization of the source's opening speech *)
+        let play = List.hd tiny_corpus in
+        let act1 = List.hd (Natix_xml.Xml_tree.children_named play "ACT") in
+        let scene1 = List.hd (Natix_xml.Xml_tree.children_named act1 "SCENE") in
+        let speech1 = List.hd (Natix_xml.Xml_tree.children_named scene1 "SPEECH") in
+        Alcotest.(check string) "content" (Natix_xml.Xml_print.to_string speech1)
+          (List.hd speeches));
+  ]
+
+let harness_tests =
+  [
+    Alcotest.test_case "four series with stable names" `Quick (fun () ->
+        Alcotest.(check (list string)) "names"
+          [ "1:1 incremental"; "1:n incremental"; "1:1 append"; "1:n append" ]
+          (List.map Harness.series_name Harness.all_series));
+    Alcotest.test_case "build produces valid documents in every series" `Quick (fun () ->
+        List.iter
+          (fun series ->
+            let built = Harness.build ~page_size:1024 series tiny_corpus in
+            List.iter
+              (fun d -> Natix_core.Tree_store.check_document built.Harness.store d)
+              built.Harness.docs;
+            Alcotest.(check int) "documents" (List.length tiny_corpus)
+              (List.length built.Harness.docs);
+            Alcotest.(check bool) "nodes counted" true (built.Harness.nodes > 0);
+            Alcotest.(check bool) "disk used" true (built.Harness.disk_bytes > 0))
+          Harness.all_series);
+    Alcotest.test_case "1:n uses less disk than 1:1" `Quick (fun () ->
+        let one = Harness.build ~page_size:2048 { Harness.matrix = One_to_one; order = Preorder } tiny_corpus in
+        let nat = Harness.build ~page_size:2048 { Harness.matrix = Native; order = Preorder } tiny_corpus in
+        Alcotest.(check bool) "space advantage" true
+          (nat.Harness.disk_bytes < one.Harness.disk_bytes));
+    Alcotest.test_case "measure clears buffers and reports I/O" `Quick (fun () ->
+        let built = Harness.build ~page_size:1024 { Harness.matrix = Native; order = Preorder } tiny_corpus in
+        let n, io = Harness.measure built (fun () -> Queries.full_traversal built.Harness.store ~docs:built.Harness.docs) in
+        Alcotest.(check bool) "visited nodes" true (n > 0);
+        Alcotest.(check bool) "reads charged after clear" true (io.Natix_store.Io_stats.reads > 0);
+        (* a second identical measurement must re-pay the reads *)
+        let _, io2 = Harness.measure built (fun () -> Queries.full_traversal built.Harness.store ~docs:built.Harness.docs) in
+        Alcotest.(check int) "same cold reads" io.Natix_store.Io_stats.reads io2.Natix_store.Io_stats.reads);
+  ]
+
+let suites =
+  [
+    ("workload.shakespeare", shakespeare_tests);
+    ("workload.queries", queries_tests);
+    ("workload.harness", harness_tests);
+  ]

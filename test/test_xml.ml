@@ -1,0 +1,232 @@
+(* Tests for the XML substrate: lexer, parser, printer, tree utilities and
+   DTD inference/validation. *)
+
+open Natix_xml
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let tree = Alcotest.testable Xml_tree.pp Xml_tree.equal
+
+let lexer_tests =
+  let events s = Xml_lexer.all s in
+  [
+    Alcotest.test_case "element with text" `Quick (fun () ->
+        match events "<a>hi</a>" with
+        | [ Xml_event.Start_element { name = "a"; attrs = [] }; Text "hi"; End_element "a" ] -> ()
+        | evs -> Alcotest.failf "unexpected events: %a" Fmt.(list Xml_event.pp) evs);
+    Alcotest.test_case "attributes in both quote styles" `Quick (fun () ->
+        match events {|<a x="1" y='two'/>|} with
+        | [ Xml_event.Start_element { name = "a"; attrs = [ ("x", "1"); ("y", "two") ] };
+            End_element "a" ] -> ()
+        | evs -> Alcotest.failf "unexpected events: %a" Fmt.(list Xml_event.pp) evs);
+    Alcotest.test_case "entities resolved" `Quick (fun () ->
+        match events "<a>&lt;&amp;&gt;&quot;&apos;</a>" with
+        | [ _; Xml_event.Text "<&>\"'"; _ ] -> ()
+        | evs -> Alcotest.failf "unexpected events: %a" Fmt.(list Xml_event.pp) evs);
+    Alcotest.test_case "numeric character references" `Quick (fun () ->
+        match events "<a>&#65;&#x42;</a>" with
+        | [ _; Xml_event.Text "AB"; _ ] -> ()
+        | evs -> Alcotest.failf "unexpected events: %a" Fmt.(list Xml_event.pp) evs);
+    Alcotest.test_case "comments, PIs and DOCTYPE are skipped" `Quick (fun () ->
+        match
+          events
+            "<?xml version=\"1.0\"?><!DOCTYPE play [ <!ELEMENT a (b)> ]><!-- note --><a>x</a>"
+        with
+        | [ Xml_event.Start_element { name = "a"; _ }; Text "x"; End_element "a" ] -> ()
+        | evs -> Alcotest.failf "unexpected events: %a" Fmt.(list Xml_event.pp) evs);
+    Alcotest.test_case "CDATA passes through verbatim" `Quick (fun () ->
+        match events "<a><![CDATA[<not> & markup]]></a>" with
+        | [ _; Xml_event.Text "<not> & markup"; _ ] -> ()
+        | evs -> Alcotest.failf "unexpected events: %a" Fmt.(list Xml_event.pp) evs);
+    Alcotest.test_case "unknown entity is an error" `Quick (fun () ->
+        match events "<a>&nope;</a>" with
+        | exception Xml_lexer.Error _ -> ()
+        | _ -> Alcotest.fail "expected a lexer error");
+    Alcotest.test_case "error carries line numbers" `Quick (fun () ->
+        match events "<a>\n\n  <1bad/></a>" with
+        | exception Xml_lexer.Error { line = 3; _ } -> ()
+        | exception Xml_lexer.Error { line; _ } -> Alcotest.failf "wrong line %d" line
+        | _ -> Alcotest.fail "expected a lexer error");
+  ]
+
+let parser_tests =
+  [
+    Alcotest.test_case "builds nested tree" `Quick (fun () ->
+        let t = Xml_parser.parse "<a><b>x</b><c/></a>" in
+        Alcotest.check tree "tree"
+          (Xml_tree.element "a"
+             [ Xml_tree.element "b" [ Xml_tree.text "x" ]; Xml_tree.element "c" [] ])
+          t);
+    Alcotest.test_case "whitespace-only text dropped by default" `Quick (fun () ->
+        let t = Xml_parser.parse "<a>\n  <b/>\n</a>" in
+        Alcotest.check tree "tree" (Xml_tree.element "a" [ Xml_tree.element "b" [] ]) t);
+    Alcotest.test_case "keep_ws preserves whitespace" `Quick (fun () ->
+        match Xml_parser.parse ~keep_ws:true "<a> <b/></a>" with
+        | Xml_tree.Element { children = [ Xml_tree.Text " "; Xml_tree.Element _ ]; _ } -> ()
+        | t -> Alcotest.failf "unexpected: %a" Xml_tree.pp t);
+    Alcotest.test_case "mismatched tags rejected" `Quick (fun () ->
+        match Xml_parser.parse "<a><b></a></b>" with
+        | exception Xml_parser.Error _ -> ()
+        | _ -> Alcotest.fail "expected parse error");
+    Alcotest.test_case "unclosed element rejected" `Quick (fun () ->
+        match Xml_parser.parse "<a><b>" with
+        | exception Xml_parser.Error _ -> ()
+        | _ -> Alcotest.fail "expected parse error");
+    Alcotest.test_case "multiple roots rejected" `Quick (fun () ->
+        match Xml_parser.parse "<a/><b/>" with
+        | exception Xml_parser.Error _ -> ()
+        | _ -> Alcotest.fail "expected parse error");
+    Alcotest.test_case "empty input rejected" `Quick (fun () ->
+        match Xml_parser.parse "   " with
+        | exception Xml_parser.Error _ -> ()
+        | _ -> Alcotest.fail "expected parse error");
+  ]
+
+(* Random tree generator for roundtrip properties. *)
+let gen_tree : Xml_tree.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let name = oneofl [ "a"; "b"; "c"; "item"; "node" ] in
+  let text_str =
+    map
+      (fun parts -> String.concat " " parts)
+      (list_size (int_range 1 5) (oneofl [ "hello"; "world"; "x<y"; "a&b"; "q\"q"; "tail" ]))
+  in
+  let attrs = list_size (int_bound 2) (pair (oneofl [ "id"; "kind" ]) text_str) in
+  (* Attribute names must be unique within one element. *)
+  let dedup l = List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) l in
+  fix
+    (fun self depth ->
+      if depth = 0 then map Xml_tree.text text_str
+      else
+        frequency
+          [
+            (1, map Xml_tree.text text_str);
+            ( 3,
+              map3
+                (fun n a cs -> Xml_tree.element ~attrs:(dedup a) n cs)
+                name attrs
+                (list_size (int_bound 4) (self (depth - 1))) );
+          ])
+    3
+  |> fun g ->
+  (* Roots must be elements; force one. *)
+  map2 (fun n cs -> Xml_tree.element n cs) name (list_size (int_bound 4) g)
+
+let print_tests =
+  [
+    Alcotest.test_case "escaping" `Quick (fun () ->
+        let t = Xml_tree.element ~attrs:[ ("q", "a\"b<c") ] "x" [ Xml_tree.text "1<2&3>0" ] in
+        Alcotest.(check string) "escaped"
+          {|<x q="a&quot;b&lt;c">1&lt;2&amp;3&gt;0</x>|}
+          (Xml_print.to_string t));
+    Alcotest.test_case "empty element self-closes" `Quick (fun () ->
+        Alcotest.(check string) "self-closed" "<x/>" (Xml_print.to_string (Xml_tree.element "x" [])));
+    qtest ~count:300 "print/parse roundtrip" gen_tree (fun t ->
+        (* Adjacent text children merge in the textual form; normalise both
+           sides before comparing. *)
+        let rec normalize = function
+          | Xml_tree.Text _ as t -> t
+          | Xml_tree.Element e ->
+            let rec merge = function
+              | Xml_tree.Text a :: Xml_tree.Text b :: rest ->
+                merge (Xml_tree.Text (a ^ b) :: rest)
+              | c :: rest -> normalize c :: merge rest
+              | [] -> []
+            in
+            Xml_tree.element ~attrs:e.attrs e.name (merge e.children)
+        in
+        Xml_tree.equal (normalize t) (Xml_parser.parse ~keep_ws:true (Xml_print.to_string t)));
+    qtest ~count:100 "pretty print reparses to the same element structure" gen_tree (fun t ->
+        (* Pretty-printing inserts whitespace, so compare with default
+           whitespace dropping; texts with leading/trailing spaces may
+           differ, so compare element structure only. *)
+        let strip t =
+          let rec go = function
+            | Xml_tree.Text _ -> None
+            | Xml_tree.Element e ->
+              Some (Xml_tree.element e.name (List.filter_map go e.children))
+          in
+          Option.get (go t)
+        in
+        Xml_tree.equal (strip t) (strip (Xml_parser.parse (Xml_print.to_string_pretty t))));
+  ]
+
+let tree_tests =
+  let sample =
+    Xml_tree.element "PLAY"
+      [
+        Xml_tree.element "TITLE" [ Xml_tree.text "T" ];
+        Xml_tree.element ~attrs:[ ("n", "1") ] "ACT"
+          [ Xml_tree.element "SCENE" [ Xml_tree.text "body" ] ];
+      ]
+  in
+  [
+    Alcotest.test_case "node_count counts attributes" `Quick (fun () ->
+        (* PLAY TITLE "T" ACT @n SCENE "body" = 7 *)
+        Alcotest.(check int) "count" 7 (Xml_tree.node_count sample));
+    Alcotest.test_case "element_count" `Quick (fun () ->
+        Alcotest.(check int) "elements" 4 (Xml_tree.element_count sample));
+    Alcotest.test_case "depth" `Quick (fun () ->
+        Alcotest.(check int) "depth" 4 (Xml_tree.depth sample));
+    Alcotest.test_case "text_content concatenates" `Quick (fun () ->
+        Alcotest.(check string) "text" "Tbody" (Xml_tree.text_content sample));
+    Alcotest.test_case "child_named / attr" `Quick (fun () ->
+        Alcotest.(check bool) "found" true (Xml_tree.child_named sample "ACT" <> None);
+        Alcotest.(check (option string)) "attr" (Some "1")
+          (Xml_tree.attr (Option.get (Xml_tree.child_named sample "ACT")) "n"));
+    Alcotest.test_case "names in first-occurrence order" `Quick (fun () ->
+        Alcotest.(check (list string)) "names"
+          [ "PLAY"; "TITLE"; "ACT"; "@n"; "SCENE" ]
+          (Xml_tree.names sample));
+  ]
+
+let dtd_tests =
+  let sample =
+    Xml_parser.parse "<PLAY><TITLE>t</TITLE><ACT><TITLE>a</TITLE><SCENE>s</SCENE></ACT></PLAY>"
+  in
+  [
+    Alcotest.test_case "infer accepts its own tree" `Quick (fun () ->
+        let dtd = Dtd.infer ~name:"play" sample in
+        (match Dtd.validate dtd sample with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "unexpected: %s" e);
+        Alcotest.(check (list string)) "alphabet"
+          [ "PLAY"; "TITLE"; "ACT"; "SCENE" ]
+          (Dtd.alphabet dtd));
+    Alcotest.test_case "validation rejects undeclared element" `Quick (fun () ->
+        let dtd = Dtd.infer ~name:"play" sample in
+        let bad = Xml_parser.parse "<PLAY><EPILOGUE/></PLAY>" in
+        match Dtd.validate dtd bad with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "expected validation error");
+    Alcotest.test_case "validation rejects wrong child" `Quick (fun () ->
+        let dtd = Dtd.create ~name:"d" in
+        Dtd.declare dtd "a" (Dtd.Children_of [ "b" ]);
+        Dtd.declare dtd "b" Dtd.Pcdata_only;
+        (match Dtd.validate dtd (Xml_parser.parse "<a><b>x</b></a>") with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "unexpected: %s" e);
+        match Dtd.validate dtd (Xml_parser.parse "<a><a/></a>") with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "expected validation error");
+    Alcotest.test_case "Empty and Mixed specs" `Quick (fun () ->
+        let dtd = Dtd.create ~name:"d" in
+        Dtd.declare dtd "hr" Dtd.Empty;
+        Dtd.declare dtd "p" (Dtd.Mixed [ "hr" ]);
+        (match Dtd.validate dtd (Xml_parser.parse "<p>text<hr/>more</p>") with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "unexpected: %s" e);
+        match Dtd.validate dtd (Xml_parser.parse "<p><hr>x</hr></p>") with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "hr must be empty");
+  ]
+
+let suites =
+  [
+    ("xml.lexer", lexer_tests);
+    ("xml.parser", parser_tests);
+    ("xml.print", print_tests);
+    ("xml.tree", tree_tests);
+    ("xml.dtd", dtd_tests);
+  ]
