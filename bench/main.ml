@@ -344,6 +344,78 @@ let ablation_scan corpus =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable export                                             *)
+
+module J = Natix_obs.Json
+
+(* The per-operation I/O objects reuse [Io_stats.pp_json], so the JSON
+   shape is identical wherever an I/O delta is reported. *)
+let io_json io = J.parse (Format.asprintf "%a" Io_stats.pp_json io)
+
+let cell_json c =
+  J.Obj
+    [
+      ("page_size", J.Int c.page_size);
+      ("series", J.String (Harness.series_name c.series));
+      ("build_io", io_json c.built.Harness.build_io);
+      ("build_wall_s", J.Float c.built.Harness.build_wall_s);
+      ("disk_bytes", J.Int c.built.Harness.disk_bytes);
+      ("splits", J.Int c.built.Harness.splits);
+      ("nodes", J.Int c.built.Harness.nodes);
+      ("traversal_io", io_json c.traversal);
+      ("q1_io", io_json c.q1);
+      ("q2_io", io_json c.q2);
+      ("q3_io", io_json c.q3);
+    ]
+
+(* One small instrumented build so the export also carries engine metrics
+   (split-fill and record-size histograms, buffer hit ratio, event
+   counts). *)
+let instrumented_metrics_json corpus =
+  let obs = Natix_obs.Obs.create () in
+  let built =
+    Harness.build ~page_size:8192 ~obs
+      { Harness.matrix = Harness.Native; order = Loader.Preorder }
+      corpus
+  in
+  let store = built.Harness.store in
+  Tree_store.clear_buffers store;
+  Natix_store.Buffer_pool.reset_stats (Tree_store.buffer_pool store);
+  ignore (Queries.full_traversal store ~docs:built.Harness.docs);
+  J.Obj
+    [
+      ("page_size", J.Int 8192);
+      ("series", J.String "1:n append");
+      ( "traversal_hit_ratio",
+        J.Float (Natix_store.Buffer_pool.hit_ratio (Tree_store.buffer_pool store)) );
+      ("metrics", Natix_obs.Metrics.to_json (Natix_obs.Obs.metrics obs));
+    ]
+
+let write_json_report path ~scale ~plays ~nodes ~bytes rows small =
+  let doc =
+    J.Obj
+      [
+        ( "corpus",
+          J.Obj
+            [
+              ("scale", J.Float scale);
+              ("plays", J.Int plays);
+              ("nodes", J.Int nodes);
+              ("bytes", J.Int bytes);
+            ] );
+        ("io_model", J.String "IBM DCAS-34330W (simulated ms)");
+        ( "cells",
+          J.List (List.concat_map (fun (_page, cells) -> List.map cell_json cells) rows) );
+        ("instrumented", instrumented_metrics_json small);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per figure (wall clock)    *)
 
 let bechamel_tests () =
@@ -396,6 +468,7 @@ let () =
   let run_ablations = ref true in
   let with_bechamel = ref false in
   let check = ref false in
+  let json_path = ref "" in
   let args =
     [
       ("--scale", Arg.Set_float scale, "FACTOR corpus scale (default 1.0 = 37 plays)");
@@ -408,6 +481,10 @@ let () =
       ("--no-ablations", Arg.Clear run_ablations, " skip the ablation benches");
       ("--bechamel", Arg.Set with_bechamel, " also run Bechamel wall-clock micro-benchmarks");
       ("--check", Arg.Set check, " run integrity checks after each build");
+      ( "--json",
+        Arg.Unit (fun () -> json_path := "BENCH_natix.json"),
+        " write a machine-readable report to BENCH_natix.json" );
+      ("--json-file", Arg.String (fun p -> json_path := p), "FILE write the JSON report to FILE");
     ]
   in
   Arg.parse args (fun _ -> ()) "natix benchmark harness";
@@ -438,6 +515,11 @@ let () =
   in
   List.iter (print_figure rows) figures;
   print_aux rows;
+  if !json_path <> "" then begin
+    let small = Shakespeare.generate (Shakespeare.scaled (Float.min !scale 0.1)) in
+    write_json_report !json_path ~scale:!scale ~plays:(List.length corpus) ~nodes ~bytes rows
+      small
+  end;
   if !run_ablations then begin
     let small = Shakespeare.generate (Shakespeare.scaled (Float.min !scale 0.25)) in
     ablation_split_params small;

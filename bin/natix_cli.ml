@@ -12,6 +12,7 @@
      natix validate store.natix hamlet        (against the stored DTD)
      natix delete store.natix hamlet
      natix gen   out.xml --scale 0.1        (synthetic corpus as XML files)
+     natix trace hamlet.xml [--jsonl t.jsonl]  (instrumented load + report)
 *)
 
 open Cmdliner
@@ -207,6 +208,92 @@ let delete_cmd =
   in
   Cmd.v (Cmd.info "delete" ~doc:"Delete a document.") Term.(const run $ store_arg $ doc_arg 1)
 
+let trace_cmd =
+  let run xml_path page_size order jsonl last =
+    let ring = Natix_obs.Sink.ring ~capacity:65536 () in
+    let sink =
+      match jsonl with
+      | None -> ring
+      | Some path -> Natix_obs.Sink.multi [ ring; Natix_obs.Sink.jsonl path ]
+    in
+    let obs = Natix_obs.Obs.create ~sink () in
+    let config =
+      Config.default () |> Config.with_page_size page_size |> Config.with_obs obs
+    in
+    let store = Tree_store.in_memory ~config () in
+    let xml = Natix_xml.Xml_parser.parse_file xml_path in
+    let doc = Filename.remove_extension (Filename.basename xml_path) in
+    ignore (Loader.load store ~name:doc ~order xml);
+    Tree_store.sync store;
+    Format.printf "== load ==@.";
+    Format.printf "%s: %a@." doc Stats.pp_doc (Stats.document store doc);
+    Format.printf "io: %a@." Natix_store.Io_stats.pp (Tree_store.io_stats store);
+    Format.printf "splits=%d merges=%d@." (Tree_store.split_count store)
+      (Tree_store.merge_count store);
+    (* Cold full traversal under the paper's measurement protocol: clear
+       the buffer (and the decoded-record memo), reset the fix/miss
+       counters, then read the hit ratio of that one operation. *)
+    let pool = Tree_store.buffer_pool store in
+    Tree_store.clear_buffers store;
+    Natix_store.Buffer_pool.reset_stats pool;
+    let before = Natix_store.Io_stats.copy (Tree_store.io_stats store) in
+    let visited = ref 0 in
+    (match Tree_store.open_document store doc with
+    | None -> ()
+    | Some root ->
+      let rec walk n =
+        incr visited;
+        Seq.iter walk (Tree_store.logical_children store n)
+      in
+      walk root);
+    let delta =
+      Natix_store.Io_stats.diff (Natix_store.Io_stats.copy (Tree_store.io_stats store)) before
+    in
+    Format.printf "@.== traversal (cold buffers) ==@.";
+    Format.printf "visited %d logical nodes@." !visited;
+    Format.printf "io: %a@." Natix_store.Io_stats.pp delta;
+    Format.printf "buffer hit ratio: %.3f@." (Natix_store.Buffer_pool.hit_ratio pool);
+    Format.printf "@.== metrics ==@.%a@." Natix_obs.Metrics.pp (Natix_obs.Obs.metrics obs);
+    (if last > 0 then begin
+       let events = Natix_obs.Obs.events obs in
+       let buffered = List.length events in
+       let rec drop k l = match l with _ :: t when k > 0 -> drop (k - 1) t | l -> l in
+       let tail = drop (buffered - last) events in
+       Format.printf "== trace tail (%d of %d emitted) ==@." (List.length tail)
+         (Natix_obs.Sink.emitted ring);
+       List.iter (fun e -> Format.printf "%a@." Natix_obs.Event.pp e) tail
+     end);
+    match jsonl with
+    | None -> ()
+    | Some path ->
+      (* A final line with the metrics snapshot follows the event stream. *)
+      Natix_obs.Sink.write_json sink (Natix_obs.Metrics.to_json (Natix_obs.Obs.metrics obs));
+      Natix_obs.Obs.close obs;
+      Printf.printf "wrote %d events (+1 metrics line) to %s\n"
+        (Natix_obs.Sink.emitted ring) path
+  in
+  let xml_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"XML file to load.")
+  in
+  let jsonl_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE" ~doc:"Also write the full event stream as JSON lines.")
+  in
+  let last_arg =
+    Arg.(
+      value
+      & opt int 12
+      & info [ "last" ] ~docv:"N" ~doc:"Print the last $(docv) trace events (0 disables).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Load an XML file into an instrumented in-memory store and report traces and metrics \
+          (splits, fill factors, buffer hit ratio).")
+    Term.(const run $ xml_arg $ page_size_arg $ order_arg $ jsonl_arg $ last_arg)
+
 let gen_cmd =
   let run prefix scale =
     let corpus = Natix_workload.Shakespeare.generate (Natix_workload.Shakespeare.scaled scale) in
@@ -237,5 +324,5 @@ let () =
   exit (Cmd.eval (Cmd.group info
        [
          load_cmd; list_cmd; cat_cmd; query_cmd; scan_cmd; validate_cmd; stats_cmd; check_cmd;
-         delete_cmd; gen_cmd;
+         delete_cmd; gen_cmd; trace_cmd;
        ]))

@@ -6,6 +6,7 @@ type t = {
   matrix : Split_matrix.t;
   merge_threshold : float;
   standalone_first_fit : bool;
+  obs : Natix_obs.Obs.t option;
 }
 
 let default () =
@@ -17,10 +18,12 @@ let default () =
     matrix = Split_matrix.native ();
     merge_threshold = 0.5;
     standalone_first_fit = false;
+    obs = None;
   }
 
 let with_page_size page_size t = { t with page_size }
 let with_matrix matrix t = { t with matrix }
+let with_obs obs t = { t with obs = Some obs }
 
 let max_record_size t =
   Natix_store.Slotted_page.max_record_len ~page_size:t.page_size

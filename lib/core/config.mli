@@ -25,6 +25,11 @@ type t = {
           (NATIX-style forward scan); [true] first-fits them anywhere,
           like the generic record managers of metamodeling systems —
           the evaluation's 1:1 configuration uses [true]. *)
+  obs : Natix_obs.Obs.t option;
+      (** Observability handle.  [None] (default) disables tracing and
+          metrics entirely; every instrumented hot path is guarded by a
+          single match on this option, so a disabled store allocates
+          nothing extra. *)
 }
 
 (** Paper defaults: 8K pages, 2 MB buffer, target ½, tolerance 1/10,
@@ -33,6 +38,9 @@ val default : unit -> t
 
 val with_page_size : int -> t -> t
 val with_matrix : Split_matrix.t -> t -> t
+
+(** Enable tracing/metrics collection through the given handle. *)
+val with_obs : Natix_obs.Obs.t -> t -> t
 
 (** Largest record body a page can hold under this configuration. *)
 val max_record_size : t -> int

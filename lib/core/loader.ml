@@ -2,6 +2,14 @@ open Natix_xml
 
 type order = Preorder | Bfs_binary
 
+(* Wrap a whole load in a span when the store is instrumented; the span's
+   duration is simulated I/O time, making loads comparable across runs of
+   the cost model. *)
+let spanned store name f =
+  match Tree_store.obs store with
+  | None -> f ()
+  | Some obs -> Natix_obs.Obs.span obs name f
+
 let order_to_string = function
   | Preorder -> "preorder"
   | Bfs_binary -> "bfs-binary"
@@ -62,6 +70,7 @@ let insert_fragment store point xml = insert_preorder store point (pre_of_xml st
 (* Streaming load: a stack of (element node, last inserted child) frames
    turns each SAX event into one tree-growth insertion. *)
 let load_stream store ~name input =
+  spanned store "load_stream" @@ fun () ->
   let lexer = Xml_lexer.of_string input in
   let is_ws s =
     let ok = ref true in
@@ -135,6 +144,7 @@ let load_stream store ~name input =
   root
 
 let load store ~name ?(order = Preorder) (xml : Xml_tree.t) =
+  spanned store "load" @@ fun () ->
   match xml with
   | Xml_tree.Text _ -> invalid_arg "Loader.load: document root must be an element"
   | Xml_tree.Element e ->
@@ -152,6 +162,7 @@ let load store ~name ?(order = Preorder) (xml : Xml_tree.t) =
     root
 
 let load_collection store docs ~order =
+  spanned store "load_collection" @@ fun () ->
   match order with
   | Preorder -> List.iter (fun (name, xml) -> ignore (load store ~name xml)) docs
   | Bfs_binary ->

@@ -1,10 +1,14 @@
+open Natix_store
+
 type doc_stats = {
   records : int;
   facade_nodes : int;
   scaffold_nodes : int;
+  proxy_count : int;
   record_bytes : int;
   record_tree_depth : int;
   max_record_bytes : int;
+  avg_fill_factor : float;
 }
 
 let document store name =
@@ -14,15 +18,19 @@ let document store name =
     let records = ref 0 in
     let facade = ref 0 in
     let scaffold = ref 0 in
+    let proxies = ref 0 in
     let bytes = ref 0 in
     let depth = ref 0 in
     let max_bytes = ref 0 in
-    Tree_store.iter_records store rid (fun _rid root d ->
+    let rm = Tree_store.record_manager store in
+    let pages = Hashtbl.create 64 in
+    Tree_store.iter_records store rid (fun rid root d ->
         incr records;
         depth := max !depth (d + 1);
         let size = Phys_node.record_size root in
         bytes := !bytes + size;
         max_bytes := max !max_bytes size;
+        Hashtbl.replace pages (Record_manager.home_page rm rid) ();
         let rec count (n : Phys_node.t) =
           match n.Phys_node.kind with
           | Phys_node.Frag_aggregate _ ->
@@ -32,16 +40,28 @@ let document store name =
           | Phys_node.Aggregate _ | Phys_node.Literal _ ->
             if Phys_node.is_facade n then incr facade else incr scaffold;
             List.iter count (Phys_node.children n)
-          | Phys_node.Proxy _ -> incr scaffold
+          | Phys_node.Proxy _ ->
+            incr scaffold;
+            incr proxies
         in
         count root);
+    (* Fill averaged over the distinct pages the document's records live
+       on, sampled from the free-space inventory (no I/O charged). *)
+    let seg = Record_manager.segment rm in
+    let fill_sum = Hashtbl.fold (fun p () a -> a +. Segment.fill_factor seg p) pages 0. in
+    let avg_fill_factor =
+      let n = Hashtbl.length pages in
+      if n = 0 then 0. else fill_sum /. float_of_int n
+    in
     {
       records = !records;
       facade_nodes = !facade;
       scaffold_nodes = !scaffold;
+      proxy_count = !proxies;
       record_bytes = !bytes;
       record_tree_depth = !depth;
       max_record_bytes = !max_bytes;
+      avg_fill_factor;
     }
 
 let disk_bytes store =
@@ -49,5 +69,6 @@ let disk_bytes store =
 
 let pp_doc ppf s =
   Format.fprintf ppf
-    "records=%d facade=%d scaffold=%d bytes=%d depth=%d max_record=%d" s.records s.facade_nodes
-    s.scaffold_nodes s.record_bytes s.record_tree_depth s.max_record_bytes
+    "records=%d facade=%d scaffold=%d (proxies=%d) bytes=%d depth=%d max_record=%d fill=%.2f"
+    s.records s.facade_nodes s.scaffold_nodes s.proxy_count s.record_bytes s.record_tree_depth
+    s.max_record_bytes s.avg_fill_factor

@@ -6,9 +6,13 @@ type doc_stats = {
   records : int;
   facade_nodes : int;  (** logical nodes materialised *)
   scaffold_nodes : int;  (** proxies + scaffolding/fragment aggregates *)
+  proxy_count : int;  (** proxies alone (also included in [scaffold_nodes]) *)
   record_bytes : int;  (** sum of record body sizes *)
   record_tree_depth : int;  (** longest proxy chain from the root record *)
   max_record_bytes : int;
+  avg_fill_factor : float;
+      (** mean fill of the distinct pages holding the document's records,
+          from the free-space inventory (sampling charges no I/O) *)
 }
 
 val document : Tree_store.t -> string -> doc_stats

@@ -14,6 +14,10 @@ type t = {
   mutable splits : int;
   mutable merges : int;
   mutable listener : (Rid.t -> record_event -> unit) option;
+  obs : Natix_obs.Obs.t option;
+  mutable last_decision : Split_matrix.behaviour;
+      (* Matrix decision of the insertion that is currently running; a
+         record split triggered by that insertion reports it. *)
 }
 
 type payload =
@@ -34,6 +38,12 @@ let io_stats t = Disk.stats (Buffer_pool.disk t.pool)
 let max_record_size t = Config.max_record_size t.config
 let split_count t = t.splits
 let merge_count t = t.merges
+let obs t = t.obs
+
+let event_decision : Split_matrix.behaviour -> Natix_obs.Event.decision = function
+  | Split_matrix.Cluster -> Natix_obs.Event.Cluster
+  | Split_matrix.Standalone -> Natix_obs.Event.Standalone
+  | Split_matrix.Other -> Natix_obs.Event.Other
 let label t name = Name_pool.intern t.catalog.Catalog.names name
 let set_change_listener t listener = t.listener <- listener
 
@@ -47,11 +57,27 @@ let open_store ?(config = Config.default ()) disk =
   Config.validate config;
   if Disk.page_size disk <> config.page_size then
     invalid_arg "Tree_store.open_store: disk page size differs from the configuration";
+  (* Bind the observability handle to the disk before any layer above
+     caches it; the disk also drives the handle's simulated clock. *)
+  (match Disk.obs disk, config.obs with
+  | None, (Some _ as o) -> Disk.set_obs disk o
+  | (Some _ | None), _ -> ());
   let pool = Buffer_pool.create ~disk ~bytes:config.buffer_bytes () in
   let seg = Segment.create pool in
   let rm = Record_manager.create seg in
   let catalog = Catalog.load rm in
-  { rm; pool; config; catalog; cache = Rid.Tbl.create 1024; splits = 0; merges = 0; listener = None }
+  {
+    rm;
+    pool;
+    config;
+    catalog;
+    cache = Rid.Tbl.create 1024;
+    splits = 0;
+    merges = 0;
+    listener = None;
+    obs = Disk.obs disk;
+    last_decision = Split_matrix.Other;
+  }
 
 let in_memory ?(config = Config.default ()) ?model () =
   open_store ~config (Disk.in_memory ?model ~page_size:config.page_size ())
@@ -170,9 +196,37 @@ let rec expand t (items : Phys_node.t list) () : Phys_node.t Seq.node =
       expand t (Phys_node.children item @ rest) ()
     | Aggregate _ | Frag_aggregate _ | Literal _ -> Seq.Cons (item, expand t rest))
 
+(* Traced variant of [expand]: each item carries the number of record hops
+   taken to reach it, so the proxy-chain-length histogram counts how many
+   fetches a logical child is away from its facade parent (scaffolding
+   groups add hops without producing logical nodes). *)
+let rec expand_traced t obs (items : (Phys_node.t * int) list) () : Phys_node.t Seq.node =
+  match items with
+  | [] -> Seq.Nil
+  | (item, hops) :: rest -> (
+    match item.Phys_node.kind with
+    | Proxy rid ->
+      let root = (fetch t rid).root in
+      let hops = hops + 1 in
+      Natix_obs.Obs.emit obs (Natix_obs.Event.Proxy_hop { rid; chain = hops });
+      if is_scaffold_group root then
+        expand_traced t obs
+          (List.map (fun c -> (c, hops)) (Phys_node.children root) @ rest)
+          ()
+      else begin
+        Natix_obs.Obs.observe obs Natix_obs.Obs.proxy_chain_hist (float_of_int hops);
+        Seq.Cons (root, expand_traced t obs rest)
+      end
+    | Aggregate _ when Phys_node.is_scaffolding item ->
+      expand_traced t obs (List.map (fun c -> (c, hops)) (Phys_node.children item) @ rest) ()
+    | Aggregate _ | Frag_aggregate _ | Literal _ -> Seq.Cons (item, expand_traced t obs rest))
+
 let logical_children t (n : Phys_node.t) : Phys_node.t Seq.t =
   match n.kind with
-  | Aggregate _ when Phys_node.is_facade n -> expand t (Phys_node.children n)
+  | Aggregate _ when Phys_node.is_facade n -> (
+    match t.obs with
+    | None -> expand t (Phys_node.children n)
+    | Some obs -> expand_traced t obs (List.map (fun c -> (c, 0)) (Phys_node.children n)))
   | Aggregate _ | Frag_aggregate _ | Literal _ | Proxy _ -> Seq.empty
 
 let is_element (n : Phys_node.t) =
@@ -310,6 +364,19 @@ let find_d t (root : Phys_node.t) =
    [box]'s root.  [materialize] is passed in to allow mutual recursion with
    oversized-partition handling. *)
 let partition_record t (box : Phys_node.box) ~dest ~materialize =
+  (* Sampled before the split rearranges anything: how full the page
+     holding the record's bytes was when growth forced the split (the
+     home page after forwarding — the RID's page may hold only a
+     tombstone).  The fill itself comes from the free-space inventory;
+     resolving forwarding re-fixes a page that is already hot, charging
+     no simulated I/O. *)
+  let fill_at_entry =
+    match t.obs with
+    | None -> 0.
+    | Some _ ->
+      Segment.fill_factor (Record_manager.segment t.rm) (Record_manager.home_page t.rm box.rid)
+  in
+  let bytes_at_entry = Phys_node.record_size box.root in
   (match box.root.Phys_node.kind with
   | Literal _ -> fragment_literal t box.root
   | Aggregate _ | Frag_aggregate _ | Proxy _ -> ());
@@ -395,7 +462,16 @@ let partition_record t (box : Phys_node.box) ~dest ~materialize =
   process path None;
   if !progress = 0 then
     raise (Unsplittable "split produced no partitions (Split Matrix pins everything)");
-  t.splits <- t.splits + 1
+  t.splits <- t.splits + 1;
+  match t.obs with
+  | None -> ()
+  | Some obs ->
+    let decision = event_decision t.last_decision in
+    Natix_obs.Obs.emit obs
+      (Natix_obs.Event.Split
+         { rid = box.rid; decision; fill = fill_at_entry; record_bytes = bytes_at_entry });
+    Natix_obs.Obs.incr obs ("split." ^ Natix_obs.Event.decision_name decision);
+    Natix_obs.Obs.observe obs Natix_obs.Obs.split_fill_hist fill_at_entry
 
 (* Create a record for [root], splitting it locally first if it exceeds
    the page capacity (needed when a partition or a standalone subtree is
@@ -507,6 +583,11 @@ let rec try_merge t (box : Phys_node.box) =
           end
           else [ tbox.root ]
         in
+        (match t.obs with
+        | None -> ()
+        | Some obs ->
+          Natix_obs.Obs.emit obs
+            (Natix_obs.Event.Merge { rid = box.rid; absorbed = tbox.rid }));
         drop_record t tbox;
         List.iteri (fun i n -> Phys_node.insert_child host ~index:(idx + i) n) content;
         List.iter (fun n -> iter_proxies n (fun target -> set_parent_rid t target box.rid)) content;
@@ -565,6 +646,7 @@ let insert_node t point payload =
     Split_matrix.get t.config.Config.matrix ~parent:y.Phys_node.label
       ~child:(payload_label payload)
   in
+  t.last_decision <- behaviour;
   (match behaviour with
   | Split_matrix.Standalone ->
     (* Always a record of its own; a proxy goes where the node would.  The

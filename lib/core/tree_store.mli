@@ -139,6 +139,11 @@ val split_count : t -> int
 (** Number of record re-merges performed since the store was opened. *)
 val merge_count : t -> int
 
+(** Observability handle the store was opened with ({!Config.with_obs});
+    [None] when tracing is disabled.  The handle's clock runs on the
+    disk's simulated time. *)
+val obs : t -> Natix_obs.Obs.t option
+
 (** {1 Change notification}
 
     Secondary structures (e.g. {!Element_index}) subscribe to record-level

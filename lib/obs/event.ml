@@ -1,0 +1,87 @@
+open Natix_util
+
+type decision = Cluster | Standalone | Other
+
+type btree_op = Bt_read | Bt_write | Bt_alloc
+
+type kind =
+  | Io of { page : int; write : bool; sequential : bool }
+  | Page_fix of { page : int; hit : bool }
+  | Page_evict of { page : int; dirty : bool }
+  | Page_flush of { page : int }
+  | Record_alloc of { rid : Rid.t; bytes : int }
+  | Record_relocate of { rid : Rid.t; target : Rid.t; bytes : int }
+  | Record_free of { rid : Rid.t }
+  | Split of { rid : Rid.t; decision : decision; fill : float; record_bytes : int }
+  | Merge of { rid : Rid.t; absorbed : Rid.t }
+  | Proxy_hop of { rid : Rid.t; chain : int }
+  | Btree_node of { rid : Rid.t; op : btree_op; leaf : bool }
+  | Span of { name : string; dur_ms : float }
+
+type t = { seq : int; at_ms : float; kind : kind }
+
+let decision_name = function
+  | Cluster -> "cluster"
+  | Standalone -> "standalone"
+  | Other -> "other"
+
+let btree_op_name = function
+  | Bt_read -> "read"
+  | Bt_write -> "write"
+  | Bt_alloc -> "alloc"
+
+let type_name = function
+  | Io _ -> "io"
+  | Page_fix _ -> "page_fix"
+  | Page_evict _ -> "page_evict"
+  | Page_flush _ -> "page_flush"
+  | Record_alloc _ -> "record_alloc"
+  | Record_relocate _ -> "record_relocate"
+  | Record_free _ -> "record_free"
+  | Split _ -> "split"
+  | Merge _ -> "merge"
+  | Proxy_hop _ -> "proxy_hop"
+  | Btree_node _ -> "btree_node"
+  | Span _ -> "span"
+
+let rid_json rid = Json.String (Rid.to_string rid)
+
+let kind_fields = function
+  | Io { page; write; sequential } ->
+    [ ("page", Json.Int page); ("write", Json.Bool write); ("sequential", Json.Bool sequential) ]
+  | Page_fix { page; hit } -> [ ("page", Json.Int page); ("hit", Json.Bool hit) ]
+  | Page_evict { page; dirty } -> [ ("page", Json.Int page); ("dirty", Json.Bool dirty) ]
+  | Page_flush { page } -> [ ("page", Json.Int page) ]
+  | Record_alloc { rid; bytes } -> [ ("rid", rid_json rid); ("bytes", Json.Int bytes) ]
+  | Record_relocate { rid; target; bytes } ->
+    [ ("rid", rid_json rid); ("target", rid_json target); ("bytes", Json.Int bytes) ]
+  | Record_free { rid } -> [ ("rid", rid_json rid) ]
+  | Split { rid; decision; fill; record_bytes } ->
+    [
+      ("rid", rid_json rid);
+      ("decision", Json.String (decision_name decision));
+      ("fill", Json.Float fill);
+      ("record_bytes", Json.Int record_bytes);
+    ]
+  | Merge { rid; absorbed } -> [ ("rid", rid_json rid); ("absorbed", rid_json absorbed) ]
+  | Proxy_hop { rid; chain } -> [ ("rid", rid_json rid); ("chain", Json.Int chain) ]
+  | Btree_node { rid; op; leaf } ->
+    [ ("rid", rid_json rid); ("op", Json.String (btree_op_name op)); ("leaf", Json.Bool leaf) ]
+  | Span { name; dur_ms } -> [ ("name", Json.String name); ("dur_ms", Json.Float dur_ms) ]
+
+let to_json t =
+  Json.Obj
+    (("seq", Json.Int t.seq)
+    :: ("ms", Json.Float t.at_ms)
+    :: ("type", Json.String (type_name t.kind))
+    :: kind_fields t.kind)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>#%-6d %9.2fms %-15s" t.seq t.at_ms (type_name t.kind);
+  List.iter
+    (fun (k, v) ->
+      match v with
+      | Json.String s -> Format.fprintf ppf " %s=%s" k s
+      | v -> Format.fprintf ppf " %s=%s" k (Json.to_string v))
+    (kind_fields t.kind);
+  Format.fprintf ppf "@]"

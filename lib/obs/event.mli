@@ -1,0 +1,56 @@
+(** Structured trace events.
+
+    One constructor per instrumented operation of the storage engine, from
+    raw page I/O up to tree-store splits.  Events are cheap immediate
+    records; they are only constructed when an {!Obs.t} handle is installed,
+    so uninstrumented stores pay a single [match] per hook.
+
+    Timestamps ([at_ms]) are read from the store's {e simulated} I/O clock
+    (the [Io_stats.sim_ms] accumulator of the underlying disk), so a trace
+    lines up with the paper's cost model rather than with wall time. *)
+
+open Natix_util
+
+(** Mirror of [Split_matrix.behaviour]; duplicated here so the obs library
+    stays below the core in the dependency order. *)
+type decision = Cluster | Standalone | Other
+
+type btree_op = Bt_read | Bt_write | Bt_alloc
+
+type kind =
+  | Io of { page : int; write : bool; sequential : bool }
+      (** One physical page transfer charged to the I/O model. *)
+  | Page_fix of { page : int; hit : bool }
+      (** Buffer-pool fix; [hit = false] means the frame was read (or, for
+          freshly allocated pages, materialised) on demand. *)
+  | Page_evict of { page : int; dirty : bool }
+  | Page_flush of { page : int }  (** Dirty frame written back. *)
+  | Record_alloc of { rid : Rid.t; bytes : int }
+  | Record_relocate of { rid : Rid.t; target : Rid.t; bytes : int }
+      (** A record moved behind a tombstone; [rid] keeps addressing it. *)
+  | Record_free of { rid : Rid.t }
+  | Split of { rid : Rid.t; decision : decision; fill : float; record_bytes : int }
+      (** Tree-store record split: the overflowing record, the Split-Matrix
+          behaviour of the insertion that triggered the overflow, the fill
+          factor of the record's page at split time, and the (oversized)
+          in-memory record size. *)
+  | Merge of { rid : Rid.t; absorbed : Rid.t }
+      (** Dynamic re-clustering: [absorbed] was inlined into [rid]. *)
+  | Proxy_hop of { rid : Rid.t; chain : int }
+      (** A proxy dereference during logical navigation; [chain] is the
+          number of consecutive record fetches needed to resolve the
+          logical child list position (> 1 through scaffolding groups). *)
+  | Btree_node of { rid : Rid.t; op : btree_op; leaf : bool }
+  | Span of { name : string; dur_ms : float }
+      (** A timed region, measured on the simulated clock. *)
+
+type t = { seq : int; at_ms : float; kind : kind }
+
+val decision_name : decision -> string
+
+(** Stable snake_case tag, also used as the JSON ["type"] field and as the
+    per-event-type metrics counter suffix. *)
+val type_name : kind -> string
+
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+(** Minimal JSON values, printing and parsing.
+
+    The repository cannot assume a JSON library is installed, and the
+    observability subsystem needs only a small dialect: objects, arrays,
+    strings, integers, floats, booleans and null.  The printer escapes
+    per RFC 8259; the parser accepts exactly what the printer emits (plus
+    insignificant whitespace), which is what the JSONL round-trip tests
+    and the trace inspector need. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+(** [to_buffer buf v] appends the serialised form of [v] to [buf]. *)
+val to_buffer : Buffer.t -> t -> unit
+
+(** [parse s] parses one JSON value spanning the whole string.
+    @raise Failure with a position-annotated message on malformed input. *)
+val parse : string -> t
+
+(** [member name v] is the field [name] of object [v], if present. *)
+val member : string -> t -> t option
+
+(** Printing helper for floats: finite values in shortest round-trip
+    form, non-finite values as [null] (JSON has no inf/nan). *)
+val float_repr : float -> string

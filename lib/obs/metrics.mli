@@ -1,0 +1,52 @@
+(** Metrics registry: named counters and fixed-bucket histograms.
+
+    Buckets are {e upper-inclusive}: an observation [v] falls into the
+    first bucket whose edge [e] satisfies [v <= e]; observations above the
+    last edge land in an implicit overflow bucket, so a histogram with [n]
+    edges has [n + 1] counts.  Edges are fixed at registration time —
+    there is no dynamic resizing, keeping {!observe} allocation-free.
+
+    All operations are O(1) apart from a hash lookup by name;
+    instrumentation call sites are expected to be guarded by the presence
+    of an {!Obs.t} handle, so an uninstrumented store never reaches this
+    module. *)
+
+type t
+
+val create : unit -> t
+
+(** [incr t name] bumps counter [name] (creating it at 0 first). *)
+val incr : ?by:int -> t -> string -> unit
+
+(** Current counter value; 0 when never incremented. *)
+val counter : t -> string -> int
+
+(** [register_histogram t name ~edges] declares a histogram.  Idempotent
+    when the edges match; re-registering with different edges raises
+    [Invalid_argument].  Edges must be strictly increasing. *)
+val register_histogram : t -> string -> edges:float array -> unit
+
+(** [observe t name v] records [v].  An unregistered name is first
+    registered with power-of-two byte-size edges (1 .. 65536). *)
+val observe : t -> string -> float -> unit
+
+(** [(edges, counts, sum, n)] of a registered histogram: [counts] has
+    [Array.length edges + 1] cells (the last is the overflow bucket). *)
+val histogram : t -> string -> (float array * int array * float * int) option
+
+(** Names of all registered counters (resp. histograms), sorted. *)
+val counter_names : t -> string list
+
+val histogram_names : t -> string list
+
+(** Zero every counter and histogram, keeping registrations. *)
+val reset : t -> unit
+
+(** Snapshot as
+    [{"counters": {..}, "histograms": {name: {"edges": [..], "counts":
+    [..], "sum": s, "count": n}}}]. *)
+val to_json : t -> Json.t
+
+(** Human-readable report: counters in a column, histograms as bucket
+    tables with proportional bars. *)
+val pp : Format.formatter -> t -> unit

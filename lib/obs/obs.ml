@@ -1,0 +1,54 @@
+type t = {
+  sink : Sink.t option;
+  metrics : Metrics.t;
+  mutable now : unit -> float;
+  mutable seq : int;
+}
+
+let record_size_hist = "record_size_bytes"
+let split_fill_hist = "split_fill_factor"
+let proxy_chain_hist = "proxy_chain_len"
+
+let create ?sink () =
+  let metrics = Metrics.create () in
+  Metrics.register_histogram metrics record_size_hist
+    ~edges:[| 16.; 32.; 64.; 128.; 256.; 512.; 1024.; 2048.; 4096.; 8192.; 16384.; 32768. |];
+  Metrics.register_histogram metrics split_fill_hist
+    ~edges:[| 0.5; 0.6; 0.7; 0.8; 0.9; 0.95; 1.0 |];
+  Metrics.register_histogram metrics proxy_chain_hist ~edges:[| 1.; 2.; 3.; 4.; 6.; 8.; 12.; 16. |];
+  { sink; metrics; now = (fun () -> 0.); seq = 0 }
+
+let metrics t = t.metrics
+let sink t = t.sink
+let set_clock t now = t.now <- now
+let now_ms t = t.now ()
+
+let emit t kind =
+  Metrics.incr t.metrics ("ev." ^ Event.type_name kind);
+  match t.sink with
+  | None -> ()
+  | Some sink ->
+    t.seq <- t.seq + 1;
+    Sink.emit sink { Event.seq = t.seq; at_ms = t.now (); kind }
+
+let incr ?by t name = Metrics.incr ?by t.metrics name
+let observe t name v = Metrics.observe t.metrics name v
+
+let span t name f =
+  let t0 = t.now () in
+  let finish () =
+    let dur_ms = t.now () -. t0 in
+    incr t ("span." ^ name);
+    emit t (Event.Span { name; dur_ms })
+  in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
+
+let events t = match t.sink with None -> [] | Some s -> Sink.events s
+let emitted t = match t.sink with None -> 0 | Some s -> Sink.emitted s
+let close t = match t.sink with None -> () | Some s -> Sink.close s

@@ -1,0 +1,60 @@
+(** The observability handle threaded through the storage engine.
+
+    An [Obs.t] bundles an optional trace {!Sink.t}, a {!Metrics.t}
+    registry, and a clock.  Storage layers hold an [Obs.t option]; every
+    instrumentation hook is guarded by one [match] on that option, so a
+    store created without a handle allocates nothing extra on its hot
+    paths.
+
+    The clock is the {e simulated} I/O clock: when the handle is attached
+    to a disk (see [Natix_store.Disk.set_obs]) it reads the disk's
+    accumulated [Io_stats.sim_ms], so event timestamps and {!span}
+    durations are commensurable with the paper's cost model, not with
+    wall time. *)
+
+type t
+
+(** [create ?sink ()] makes a handle.  Without [sink], events are still
+    counted into the metrics registry (one ["ev.<type>"] counter per
+    event type) but not retained.  The standard engine histograms
+    ([record_size_bytes], [split_fill_factor], [proxy_chain_len]) are
+    pre-registered. *)
+val create : ?sink:Sink.t -> unit -> t
+
+val metrics : t -> Metrics.t
+val sink : t -> Sink.t option
+
+(** Install the simulated-millisecond clock (done by the disk layer). *)
+val set_clock : t -> (unit -> float) -> unit
+
+val now_ms : t -> float
+
+(** Stamp (sequence number + clock) and deliver an event: bump its
+    ["ev.<type>"] counter, then forward it to the sink, if any. *)
+val emit : t -> Event.kind -> unit
+
+(** Counter / histogram shorthands on {!metrics}. *)
+val incr : ?by:int -> t -> string -> unit
+
+val observe : t -> string -> float -> unit
+
+(** [span t name f] runs [f] and emits a [Span] event whose duration is
+    the simulated milliseconds elapsed inside [f] (also observed into the
+    ["span_ms.<name>"] counterpart via [incr "span.<name>"]).  The event
+    is emitted even when [f] raises. *)
+val span : t -> string -> (unit -> 'a) -> 'a
+
+(** Events retained by the sink (ring sinks only); [] without a sink. *)
+val events : t -> Event.t list
+
+(** Total events emitted so far. *)
+val emitted : t -> int
+
+(** Close the sink (flushes JSONL files). *)
+val close : t -> unit
+
+(** Names of the pre-registered histograms. *)
+val record_size_hist : string
+
+val split_fill_hist : string
+val proxy_chain_hist : string

@@ -1,0 +1,41 @@
+(** Trace sinks: where emitted events go.
+
+    Three concrete sinks are provided, matching the three consumption
+    modes of a trace:
+
+    - {!ring}: a bounded in-memory ring buffer keeping the most recent
+      events, for tests and post-mortem inspection with no I/O;
+    - {!jsonl}: one JSON object per line appended to a file, for offline
+      analysis and the CLI inspector;
+    - {!console}: a human-readable line per event on a formatter, for
+      interactive tracing.
+
+    {!multi} fans one event out to several sinks. *)
+
+type t
+
+(** [ring ~capacity ()] keeps the last [capacity] events (default 4096). *)
+val ring : ?capacity:int -> unit -> t
+
+(** [jsonl path] truncates/creates [path] and appends one JSON line per
+    event.  {!close} flushes and closes the file. *)
+val jsonl : string -> t
+
+val console : Format.formatter -> t
+val multi : t list -> t
+val emit : t -> Event.t -> unit
+
+(** Events currently held, oldest first.  Ring sinks report their
+    contents; a [multi] concatenates its children's; file and console
+    sinks report []. *)
+val events : t -> Event.t list
+
+(** Number of events ever emitted to this sink (before any ring
+    truncation). *)
+val emitted : t -> int
+
+(** [write_json t v] appends a raw JSON line to JSONL sinks (e.g. a final
+    metrics snapshot after the event stream); ignored by other sinks. *)
+val write_json : t -> Json.t -> unit
+
+val close : t -> unit

@@ -10,7 +10,7 @@ type node =
   | Leaf of { mutable next : Rid.t; mutable entries : (string * string) list }
   | Internal of { mutable child0 : Rid.t; mutable entries : (string * Rid.t) list }
 
-type t = { rm : Record_manager.t; root : Rid.t }
+type t = { rm : Record_manager.t; root : Rid.t; obs : Natix_obs.Obs.t option }
 
 let value_size = 8
 
@@ -97,17 +97,35 @@ let encoded_size node =
     3 + Rid.encoded_size
     + List.fold_left (fun a (k, _) -> a + 2 + String.length k + Rid.encoded_size) 0 n.entries
 
-let read_node t rid = decode (Record_manager.read t.rm rid)
-let write_node t rid node = Record_manager.update t.rm rid (encode node)
-let alloc_node t ?near node = Record_manager.insert t.rm ?near (encode node)
+let is_leaf_node = function Leaf _ -> true | Internal _ -> false
+
+let note t rid op node =
+  match t.obs with
+  | None -> ()
+  | Some obs ->
+    Natix_obs.Obs.emit obs (Natix_obs.Event.Btree_node { rid; op; leaf = is_leaf_node node })
+
+let read_node t rid =
+  let node = decode (Record_manager.read t.rm rid) in
+  note t rid Natix_obs.Event.Bt_read node;
+  node
+
+let write_node t rid node =
+  note t rid Natix_obs.Event.Bt_write node;
+  Record_manager.update t.rm rid (encode node)
+
+let alloc_node t ?near node =
+  let rid = Record_manager.insert t.rm ?near (encode node) in
+  note t rid Natix_obs.Event.Bt_alloc node;
+  rid
 
 (* ---- construction -------------------------------------------------- *)
 
 let create rm =
   let root = Record_manager.insert rm (encode (Leaf { next = Rid.null; entries = [] })) in
-  { rm; root }
+  { rm; root; obs = Record_manager.obs rm }
 
-let open_tree rm root = { rm; root }
+let open_tree rm root = { rm; root; obs = Record_manager.obs rm }
 let root t = t.root
 
 (* ---- search --------------------------------------------------------- *)

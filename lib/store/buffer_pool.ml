@@ -16,17 +16,34 @@ type t = {
   mutable tail : frame option;
   mutable fixes : int;
   mutable misses : int;
+  obs : Natix_obs.Obs.t option;
 }
 
 let create ~disk ~bytes () =
   let capacity = max 2 (bytes / Disk.page_size disk) in
-  { disk; capacity; frames = Hashtbl.create (2 * capacity); head = None; tail = None; fixes = 0; misses = 0 }
+  {
+    disk;
+    capacity;
+    frames = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    fixes = 0;
+    misses = 0;
+    obs = Disk.obs disk;
+  }
 
 let disk t = t.disk
 let capacity t = t.capacity
 let resident t = Hashtbl.length t.frames
 let fixes t = t.fixes
 let misses t = t.misses
+let obs t = t.obs
+
+let hit_ratio t = if t.fixes = 0 then 1.0 else float_of_int (t.fixes - t.misses) /. float_of_int t.fixes
+
+let reset_stats t =
+  t.fixes <- 0;
+  t.misses <- 0
 
 let unlink t f =
   (match f.prev with Some p -> p.next <- f.next | None -> t.head <- f.next);
@@ -48,6 +65,9 @@ let touch t f =
 
 let write_back t f =
   if f.dirty then begin
+    (match t.obs with
+    | None -> ()
+    | Some obs -> Natix_obs.Obs.emit obs (Natix_obs.Event.Page_flush { page = f.page_id }));
     Disk.write t.disk f.page_id f.data;
     f.dirty <- false
   end
@@ -59,6 +79,10 @@ let evict_one t =
     | Some f -> if f.pins = 0 then f else find f.prev
   in
   let victim = find t.tail in
+  (match t.obs with
+  | None -> ()
+  | Some obs ->
+    Natix_obs.Obs.emit obs (Natix_obs.Event.Page_evict { page = victim.page_id; dirty = victim.dirty }));
   write_back t victim;
   unlink t victim;
   Hashtbl.remove t.frames victim.page_id
@@ -79,21 +103,29 @@ let alloc_frame t page_id =
   push_front t f;
   f
 
+let note_fix t page_id ~hit =
+  match t.obs with
+  | None -> ()
+  | Some obs -> Natix_obs.Obs.emit obs (Natix_obs.Event.Page_fix { page = page_id; hit })
+
 let fix t page_id =
   t.fixes <- t.fixes + 1;
   match Hashtbl.find_opt t.frames page_id with
   | Some f ->
     f.pins <- f.pins + 1;
     touch t f;
+    note_fix t page_id ~hit:true;
     f
   | None ->
     t.misses <- t.misses + 1;
+    note_fix t page_id ~hit:false;
     let f = alloc_frame t page_id in
     Disk.read t.disk page_id f.data;
     f
 
 let fix_new t page_id =
   t.fixes <- t.fixes + 1;
+  note_fix t page_id ~hit:true;
   match Hashtbl.find_opt t.frames page_id with
   | Some f ->
     f.pins <- f.pins + 1;
@@ -101,7 +133,8 @@ let fix_new t page_id =
     f
   | None ->
     (* Freshly allocated page: content is known to be zeroes, no read
-       needed (and none charged). *)
+       needed (and none charged) -- counted as a hit above for the same
+       reason. *)
     alloc_frame t page_id
 
 let unfix _t f =

@@ -48,10 +48,30 @@ val with_page : t -> int -> (frame -> 'a) -> 'a
 (** Write all dirty frames back to disk (frames stay resident). *)
 val flush : t -> unit
 
-(** Flush, then drop every frame.  Pinned frames cause a [Failure]. *)
+(** Flush, then drop every frame.  Pinned frames cause a [Failure].
+
+    {b Measurement protocol.}  [clear] empties the cache but deliberately
+    {e preserves} the {!fixes}/{!misses} counters: the paper's protocol
+    clears the buffer at the start of each measured operation, and the
+    counters are meant to span an operation, not a cache lifetime.  To
+    measure the hit ratio of one operation, call [clear] (cold cache)
+    followed by {!reset_stats} (zeroed counters), run the operation, then
+    read {!hit_ratio}. *)
 val clear : t -> unit
 
 (** Cache-hit statistics (fixes, misses). *)
 val fixes : t -> int
 
 val misses : t -> int
+
+(** [(fixes - misses) / fixes]; 1.0 when no fix happened yet.  Freshly
+    allocated pages ({!fix_new}) count as hits since they cost no read. *)
+val hit_ratio : t -> float
+
+(** Zero {!fixes} and {!misses} without touching resident frames; see the
+    measurement protocol under {!clear}. *)
+val reset_stats : t -> unit
+
+(** The handle inherited from the disk at {!create} time; page fix, evict
+    and flush events are emitted through it. *)
+val obs : t -> Natix_obs.Obs.t option

@@ -8,6 +8,7 @@ type t = {
   stats : Io_stats.t;
   backend : backend;
   mutable last_page : int;  (* for sequential-access detection; -2 = none *)
+  mutable obs : Natix_obs.Obs.t option;
 }
 
 (* The file backend stores a one-page superblock at offset 0 holding the
@@ -15,14 +16,29 @@ type t = {
    [(i + 1) * page_size]. *)
 let superblock_magic = 0x4e415458 (* "NATX" *)
 
-let in_memory ?(model = Io_model.dcas_34330w) ~page_size () =
-  {
-    page_size;
-    model;
-    stats = Io_stats.create ();
-    backend = Mem { pages = Array.make 64 Bytes.empty; used = 0 };
-    last_page = -2;
-  }
+(* The disk owns the simulated clock, so attaching a handle binds the
+   handle's clock to this disk's [sim_ms] accumulator. *)
+let set_obs t obs =
+  t.obs <- obs;
+  match obs with
+  | Some o -> Natix_obs.Obs.set_clock o (fun () -> t.stats.Io_stats.sim_ms)
+  | None -> ()
+
+let obs t = t.obs
+
+let in_memory ?(model = Io_model.dcas_34330w) ?obs ~page_size () =
+  let t =
+    {
+      page_size;
+      model;
+      stats = Io_stats.create ();
+      backend = Mem { pages = Array.make 64 Bytes.empty; used = 0 };
+      last_page = -2;
+      obs = None;
+    }
+  in
+  set_obs t obs;
+  t
 
 let read_superblock fd page_size =
   let buf = Bytes.create 12 in
@@ -59,7 +75,7 @@ let detect_page_size path =
         else Some (Natix_util.Bytes_util.get_u32 buf 4))
   end
 
-let on_file ?(model = Io_model.dcas_34330w) ~page_size path =
+let on_file ?(model = Io_model.dcas_34330w) ?obs ~page_size path =
   let exists = Sys.file_exists path in
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
   let used =
@@ -69,13 +85,18 @@ let on_file ?(model = Io_model.dcas_34330w) ~page_size path =
       0
     end
   in
-  {
-    page_size;
-    model;
-    stats = Io_stats.create ();
-    backend = File { fd; used };
-    last_page = -2;
-  }
+  let t =
+    {
+      page_size;
+      model;
+      stats = Io_stats.create ();
+      backend = File { fd; used };
+      last_page = -2;
+      obs = None;
+    }
+  in
+  set_obs t obs;
+  t
 
 let page_size t = t.page_size
 
@@ -96,7 +117,10 @@ let charge t ~page ~is_read =
   else begin
     t.stats.writes <- t.stats.writes + 1;
     if sequential then t.stats.sequential_writes <- t.stats.sequential_writes + 1
-  end
+  end;
+  match t.obs with
+  | None -> ()
+  | Some obs -> Natix_obs.Obs.emit obs (Natix_obs.Event.Io { page; write = not is_read; sequential })
 
 let allocate t =
   match t.backend with

@@ -9,12 +9,21 @@
 
 type t
 
-val in_memory : ?model:Io_model.t -> page_size:int -> unit -> t
+val in_memory : ?model:Io_model.t -> ?obs:Natix_obs.Obs.t -> page_size:int -> unit -> t
 
 (** [on_file ~page_size path] opens (or creates) a file-backed disk.  The
     page size must match the one the file was created with; a fresh file is
     initialised with a small superblock recording it. *)
-val on_file : ?model:Io_model.t -> page_size:int -> string -> t
+val on_file : ?model:Io_model.t -> ?obs:Natix_obs.Obs.t -> page_size:int -> string -> t
+
+(** Observability handle; every page transfer emits an [Io] event through
+    it.  [set_obs] also binds the handle's clock to this disk's simulated
+    [sim_ms] accumulator, so traces are timestamped on the I/O model's
+    clock.  Layers above (buffer pool, segment, record manager) pick the
+    handle up from here at creation time. *)
+val set_obs : t -> Natix_obs.Obs.t option -> unit
+
+val obs : t -> Natix_obs.Obs.t option
 
 (** Page size recorded in an existing disk file's superblock, if the file
     exists and is a natix disk. *)

@@ -35,6 +35,14 @@ let diff later earlier =
 
 let total_ios t = t.reads + t.writes
 
+(* The sequential counts are subsets of the totals; say so explicitly --
+   "reads=120 (seq 40)" used to read as if 40 were on top of the 120. *)
 let pp ppf t =
-  Format.fprintf ppf "reads=%d (seq %d) writes=%d (seq %d) sim=%.2fms" t.reads t.sequential_reads
-    t.writes t.sequential_writes t.sim_ms
+  Format.fprintf ppf "reads=%d (%d of them seq) writes=%d (%d of them seq) sim=%.2fms" t.reads
+    t.sequential_reads t.writes t.sequential_writes t.sim_ms
+
+let pp_json ppf t =
+  Format.fprintf ppf
+    {|{"reads":%d,"sequential_reads":%d,"writes":%d,"sequential_writes":%d,"sim_ms":%s}|}
+    t.reads t.sequential_reads t.writes t.sequential_writes
+    (Natix_obs.Json.float_repr t.sim_ms)

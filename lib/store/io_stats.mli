@@ -19,4 +19,13 @@ val copy : t -> t
 val diff : t -> t -> t
 
 val total_ios : t -> int
+
+(** Human-readable one-liner; the sequential figures are subsets of the
+    read/write totals. *)
 val pp : Format.formatter -> t -> unit
+
+(** The same counters as one JSON object
+    [{"reads":..,"sequential_reads":..,"writes":..,"sequential_writes":..,
+    "sim_ms":..}]; the bench harness's [BENCH_natix.json] export and the
+    CLI inspector both use this formatter. *)
+val pp_json : Format.formatter -> t -> unit

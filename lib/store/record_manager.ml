@@ -2,10 +2,11 @@ open Natix_util
 
 exception Record_too_large of int
 
-type t = { seg : Segment.t }
+type t = { seg : Segment.t; obs : Natix_obs.Obs.t option }
 
-let create seg = { seg }
+let create seg = { seg; obs = Segment.obs seg }
 let segment t = t.seg
+let obs t = t.obs
 let max_len t = Segment.max_record_len t.seg
 
 let check_len t data =
@@ -31,7 +32,14 @@ let place t ?near ?policy data flags =
 
 let insert t ?near ?policy data =
   check_len t data;
-  place t ?near ?policy data Slotted_page.no_flags
+  let rid = place t ?near ?policy data Slotted_page.no_flags in
+  (match t.obs with
+  | None -> ()
+  | Some obs ->
+    let bytes = String.length data in
+    Natix_obs.Obs.emit obs (Natix_obs.Event.Record_alloc { rid; bytes });
+    Natix_obs.Obs.observe obs Natix_obs.Obs.record_size_hist (float_of_int bytes));
+  rid
 
 let with_record t rid f =
   Segment.with_page t.seg (Rid.page rid) (fun b ->
@@ -87,8 +95,14 @@ let evict_one t page ~avoid =
   match victim with
   | None -> false
   | Some slot ->
-    let body = read t (Rid.make ~page ~slot) in
+    let rid = Rid.make ~page ~slot in
+    let body = read t rid in
     let target = place t body Slotted_page.moved_flag in
+    (match t.obs with
+    | None -> ()
+    | Some obs ->
+      Natix_obs.Obs.emit obs
+        (Natix_obs.Event.Record_relocate { rid; target; bytes = String.length body }));
     if not (try_write t page slot (tombstone_body target) Slotted_page.forward_flag) then
       failwith "Record_manager: victim eviction failed";
     true
@@ -103,6 +117,11 @@ let update t rid data =
          completely full page needs room made first by evicting a
          neighbouring record. *)
       let target = place t data Slotted_page.moved_flag in
+      (match t.obs with
+      | None -> ()
+      | Some obs ->
+        Natix_obs.Obs.emit obs
+          (Natix_obs.Event.Record_relocate { rid; target; bytes = String.length data }));
       let tombstone = tombstone_body target in
       let rec settle () =
         if not (try_write t (Rid.page rid) (Rid.slot rid) tombstone Slotted_page.forward_flag)
@@ -124,6 +143,11 @@ let update t rid data =
           Slotted_page.delete b (Rid.slot target));
       if not home_fits then begin
         let fresh = place t data Slotted_page.moved_flag in
+        (match t.obs with
+        | None -> ()
+        | Some obs ->
+          Natix_obs.Obs.emit obs
+            (Natix_obs.Event.Record_relocate { rid; target = fresh; bytes = String.length data }));
         let ok =
           try_write t (Rid.page rid) (Rid.slot rid) (tombstone_body fresh) Slotted_page.forward_flag
         in
@@ -144,6 +168,9 @@ let patch t rid ~off data =
   | Some target -> write_at (Rid.page target) (Rid.slot target)
 
 let delete t rid =
+  (match t.obs with
+  | None -> ()
+  | Some obs -> Natix_obs.Obs.emit obs (Natix_obs.Event.Record_free { rid }));
   (match forward_target t rid with
   | None -> ()
   | Some target ->

@@ -18,6 +18,10 @@ type t
 val create : Segment.t -> t
 val segment : t -> Segment.t
 
+(** Observability handle inherited from the segment; record allocate /
+    relocate / free events and the record-size histogram flow through it. *)
+val obs : t -> Natix_obs.Obs.t option
+
 (** Largest storable record in bytes. *)
 val max_len : t -> int
 

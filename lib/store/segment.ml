@@ -37,6 +37,13 @@ let with_page_mut t page f =
       r)
 
 let free_bytes t page = Fsi.get t.fsi page
+let obs t = Buffer_pool.obs t.pool
+
+(* Approximate page fill from the free-space inventory, so observers can
+   sample fill factors without charging page accesses to the I/O model. *)
+let fill_factor t page =
+  let usable = page_size t - Slotted_page.header_size in
+  if usable <= 0 then 1.0 else 1.0 -. (float_of_int (Fsi.get t.fsi page) /. float_of_int usable)
 
 (* Page 0 is reserved for the upper layers' catalog bootstrap; general
    record placement never selects it. *)

@@ -41,3 +41,10 @@ val find_space : t -> ?near:int -> ?policy:[ `Forward | `First_fit ] -> int -> i
 
 (** Free bytes currently recorded for [page]. *)
 val free_bytes : t -> int -> int
+
+(** Fill factor of [page] computed from the free-space inventory (no page
+    access is charged): [1 - free_bytes / (page_size - header)]. *)
+val fill_factor : t -> int -> float
+
+(** Observability handle inherited from the buffer pool / disk. *)
+val obs : t -> Natix_obs.Obs.t option

@@ -37,6 +37,7 @@ val build :
   page_size:int ->
   ?buffer_bytes:int ->
   ?merge_threshold:float ->
+  ?obs:Natix_obs.Obs.t ->
   series ->
   Natix_xml.Xml_tree.t list ->
   built

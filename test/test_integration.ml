@@ -193,9 +193,73 @@ let persistence_tests =
         Sys.remove path);
   ]
 
+(* An instrumented load of a real corpus must leave a coherent trace:
+   split events present, each with a fill factor a split could actually
+   have happened at, and counters agreeing with the store's own view. *)
+let observability_tests =
+  [
+    Alcotest.test_case "instrumented load traces its splits" `Quick (fun () ->
+        let play = List.hd (Shakespeare.generate (Shakespeare.scaled 0.03)) in
+        let obs = Natix_obs.Obs.create ~sink:(Natix_obs.Sink.ring ~capacity:65536 ()) () in
+        let config =
+          {
+            (Config.default ()) with
+            Config.page_size = 2048;
+            buffer_bytes = 256 * 1024;
+            obs = Some obs;
+          }
+        in
+        let store = Tree_store.in_memory ~config ~model:Natix_store.Io_model.free () in
+        let _ = Loader.load store ~name:"p" play in
+        Tree_store.check_document store "p";
+        let splits =
+          List.filter_map
+            (fun (e : Natix_obs.Event.t) ->
+              match e.kind with
+              | Natix_obs.Event.Split { fill; record_bytes; _ } -> Some (fill, record_bytes)
+              | _ -> None)
+            (Natix_obs.Obs.events obs)
+        in
+        Alcotest.(check bool) "at least one split traced" true (List.length splits > 0);
+        Alcotest.(check int) "every split traced" (Tree_store.split_count store)
+          (List.length splits);
+        Alcotest.(check int) "counter agrees"
+          (Tree_store.split_count store)
+          (Natix_obs.Metrics.counter (Natix_obs.Obs.metrics obs) "ev.split");
+        (* A page only overflows once it is nearly full, so the typical
+           split must sample a fill within (twice) the split tolerance of
+           full — catching inverted or unscaled samples.  Splits during
+           the materialisation of an oversized subtree legitimately land
+           on fresher pages, so not every event is in the band. *)
+        let min_fill = 1.0 -. (2.0 *. config.Config.split_tolerance) in
+        List.iter
+          (fun (fill, record_bytes) ->
+            if fill < 0.0 || fill > 1.0 then Alcotest.failf "split fill %.3f not a ratio" fill;
+            if record_bytes <= 0 then Alcotest.fail "split with empty record")
+          splits;
+        Alcotest.(check bool)
+          (Printf.sprintf "some split filled past %.2f" min_fill)
+          true
+          (List.exists (fun (fill, _) -> fill >= min_fill) splits);
+        (* The loader wraps the load in a span running on the simulated
+           clock, which never moves under the free I/O model. *)
+        match
+          List.find_map
+            (fun (e : Natix_obs.Event.t) ->
+              match e.kind with
+              | Natix_obs.Event.Span { name = "load"; dur_ms } -> Some dur_ms
+              | _ -> None)
+            (Natix_obs.Obs.events obs)
+        with
+        | Some dur_ms ->
+          Alcotest.(check (float 1e-9)) "free model, zero sim time" 0.0 dur_ms
+        | None -> Alcotest.fail "expected a load span in the trace");
+  ]
+
 let suites =
   [
     ("integration.corpus", corpus_tests);
     ("integration.churn", churn_tests);
     ("integration.persistence", persistence_tests);
+    ("integration.observability", observability_tests);
   ]

@@ -1,5 +1,5 @@
 let () =
   Alcotest.run "natix"
-    (Test_store.suites @ Test_btree.suites @ Test_xml.suites @ Test_core.suites
-   @ Test_index.suites @ Test_flat.suites @ Test_workload.suites
+    (Test_store.suites @ Test_obs.suites @ Test_btree.suites @ Test_xml.suites
+   @ Test_core.suites @ Test_index.suites @ Test_flat.suites @ Test_workload.suites
    @ Test_integration.suites)
