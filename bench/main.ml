@@ -343,6 +343,46 @@ let ablation_scan corpus =
       ("1:n append", { Harness.matrix = Harness.Native; order = Loader.Preorder });
     ]
 
+let ablation_wal corpus =
+  Printf.printf
+    "\nAblation - WAL write amplification (8K pages, file-backed, 1:n append)\n";
+  Printf.printf "%-22s %12s %12s %16s %10s %10s\n" "checkpoint every" "data-MB" "wal-MB"
+    "amplification" "commits" "appends";
+  let page_size = 8192 in
+  let plays = List.length corpus in
+  List.iter
+    (fun every ->
+      let path = Filename.temp_file "natix_bench" ".db" in
+      let config = { (Config.default ()) with Config.page_size } in
+      let disk = Natix_store.Disk.on_file ~page_size path in
+      let store = Tree_store.open_store ~config disk in
+      let commits = ref 0 in
+      let checkpoint () =
+        Tree_store.checkpoint store;
+        incr commits
+      in
+      List.iteri
+        (fun i play ->
+          ignore (Loader.load store ~name:(Printf.sprintf "play-%d" i) play);
+          if (i + 1) mod every = 0 then checkpoint ())
+        corpus;
+      if plays mod every <> 0 then checkpoint ();
+      let wal = Option.get (Natix_store.Buffer_pool.wal (Tree_store.buffer_pool store)) in
+      let wal_bytes = Natix_store.Wal.bytes_logged wal in
+      let appends = Natix_store.Wal.appends wal in
+      let data_bytes = (Natix_store.Disk.stats disk).Io_stats.writes * page_size in
+      Tree_store.close ~commit:false store;
+      Sys.remove path;
+      let wal_path = Natix_store.Recovery.wal_path path in
+      if Sys.file_exists wal_path then Sys.remove wal_path;
+      Printf.printf "%-22s %12.2f %12.2f %16.3f %10d %10d\n"
+        (Printf.sprintf "%d play(s)" every)
+        (float_of_int data_bytes /. 1e6)
+        (float_of_int wal_bytes /. 1e6)
+        (float_of_int (data_bytes + wal_bytes) /. float_of_int (max 1 data_bytes))
+        !commits appends)
+    (List.sort_uniq compare [ 1; max 1 (plays / 2); plays ])
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable export                                             *)
 
@@ -527,6 +567,7 @@ let () =
     ablation_hybrid small;
     ablation_flat small;
     ablation_merge small;
-    ablation_scan small
+    ablation_scan small;
+    ablation_wal small
   end;
   if !with_bechamel then run_bechamel ()

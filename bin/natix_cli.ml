@@ -294,6 +294,69 @@ let trace_cmd =
           (splits, fill factors, buffer hit ratio).")
     Term.(const run $ xml_arg $ page_size_arg $ order_arg $ jsonl_arg $ last_arg)
 
+let fsck_cmd =
+  let run store_path =
+    let report =
+      match open_store store_path with
+      | store -> Fsck.run store
+      | exception ((Natix_store.Disk.Bad_page _ | Natix_store.Btree.Corrupt _) as e) ->
+        (* Too damaged to open: fall back to the raw page-trailer sweep so
+           the report still says which pages are bad. *)
+        Printf.eprintf "natix: store does not open (%s); page sweep only\n"
+          (Printexc.to_string e);
+        let page_size =
+          Option.value ~default:8192 (Natix_store.Disk.detect_page_size store_path)
+        in
+        let disk = Natix_store.Disk.on_file ~page_size store_path in
+        Fun.protect
+          ~finally:(fun () -> Natix_store.Disk.close disk)
+          (fun () -> Fsck.run_disk disk)
+    in
+    Format.printf "%a@." Fsck.pp report;
+    if not (Fsck.ok report) then exit 4
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Verify the whole store: page checksums and trailers, slotted-page layouts, document \
+          trees (proxy chains, cached sizes), and element-index B-tree invariants.  Exits 4 when \
+          corruption is found.")
+    Term.(const run $ store_arg)
+
+let recover_cmd =
+  let run store_path jsonl =
+    match Natix_store.Disk.detect_page_size store_path with
+    | None ->
+      prerr_endline "not a natix store (missing, truncated, or foreign file)";
+      exit 2
+    | Some page_size ->
+      let obs =
+        Option.map (fun p -> Natix_obs.Obs.create ~sink:(Natix_obs.Sink.jsonl p) ()) jsonl
+      in
+      let disk = Natix_store.Disk.on_file ~page_size ?obs store_path in
+      let report = Natix_store.Recovery.run ?obs:(Natix_store.Disk.obs disk) disk in
+      Printf.printf "%s: %s; %d page(s) restored, %d torn log byte(s) discarded, %d page(s) on disk\n"
+        store_path
+        (if not report.Natix_store.Recovery.ran then "no write-ahead log, nothing to do"
+         else if report.committed then "log ended in a commit (clean)"
+         else "rolled back uncommitted batch")
+        report.undone report.torn_bytes report.page_count;
+      Natix_store.Disk.close disk;
+      Option.iter Natix_obs.Obs.close obs
+  in
+  let jsonl_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE" ~doc:"Write the recovery event trace as JSON lines.")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Run crash recovery on a store explicitly (opening a store does this automatically): \
+          discard the write-ahead log's torn tail, roll back the uncommitted batch, and report.")
+    Term.(const run $ store_arg $ jsonl_arg)
+
 let gen_cmd =
   let run prefix scale =
     let corpus = Natix_workload.Shakespeare.generate (Natix_workload.Shakespeare.scaled scale) in
@@ -321,8 +384,30 @@ let () =
     Cmd.info "natix" ~version:"1.0.0"
       ~doc:"A native XML repository with tree-aware record splitting (Kanne & Moerkotte, ICDE 2000)."
   in
-  exit (Cmd.eval (Cmd.group info
-       [
-         load_cmd; list_cmd; cat_cmd; query_cmd; scan_cmd; validate_cmd; stats_cmd; check_cmd;
-         delete_cmd; gen_cmd; trace_cmd;
-       ]))
+  (* Storage-layer failures exit with distinct codes instead of a
+     backtrace: 3 = page-level corruption, 4 = index corruption, 5 =
+     buffer exhaustion, 6 = unrecoverable transient read failure. *)
+  let code =
+    try
+      Cmd.eval ~catch:false
+        (Cmd.group info
+           [
+             load_cmd; list_cmd; cat_cmd; query_cmd; scan_cmd; validate_cmd; stats_cmd; check_cmd;
+             delete_cmd; gen_cmd; trace_cmd; fsck_cmd; recover_cmd;
+           ])
+    with
+    | Natix_store.Disk.Bad_page { page; reason } ->
+      if page < 0 then Printf.eprintf "natix: bad superblock: %s\n" reason
+      else Printf.eprintf "natix: bad page %d: %s (try `natix recover`)\n" page reason;
+      3
+    | Natix_store.Btree.Corrupt reason ->
+      Printf.eprintf "natix: corrupt index: %s (try `natix fsck`)\n" reason;
+      4
+    | Natix_store.Buffer_pool.All_frames_pinned ->
+      prerr_endline "natix: buffer pool exhausted (all frames pinned); raise the buffer size";
+      5
+    | Natix_store.Faulty_disk.Read_error page ->
+      Printf.eprintf "natix: page %d unreadable after retries\n" page;
+      6
+  in
+  exit code

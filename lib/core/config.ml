@@ -6,6 +6,8 @@ type t = {
   matrix : Split_matrix.t;
   merge_threshold : float;
   standalone_first_fit : bool;
+  wal : bool;
+  read_retries : int;
   obs : Natix_obs.Obs.t option;
 }
 
@@ -18,6 +20,8 @@ let default () =
     matrix = Split_matrix.native ();
     merge_threshold = 0.5;
     standalone_first_fit = false;
+    wal = true;
+    read_retries = 3;
     obs = None;
   }
 
@@ -25,8 +29,11 @@ let with_page_size page_size t = { t with page_size }
 let with_matrix matrix t = { t with matrix }
 let with_obs obs t = { t with obs = Some obs }
 
+(* The integrity trailer comes off every page before the slotted layout
+   carves it up. *)
 let max_record_size t =
-  Natix_store.Slotted_page.max_record_len ~page_size:t.page_size
+  Natix_store.Slotted_page.max_record_len
+    ~page_size:(t.page_size - Natix_store.Disk.trailer_size)
 
 let validate t =
   if t.page_size < 512 || t.page_size > 32768 then
@@ -38,4 +45,6 @@ let validate t =
   if t.split_tolerance < 0. || t.split_tolerance > 0.5 then
     invalid_arg "Config: split_tolerance must be in [0, 0.5]";
   if t.merge_threshold < 0. || t.merge_threshold > 1. then
-    invalid_arg "Config: merge_threshold must be in [0, 1]"
+    invalid_arg "Config: merge_threshold must be in [0, 1]";
+  if t.read_retries < 0 || t.read_retries > 1000 then
+    invalid_arg "Config: read_retries must be in [0, 1000]"

@@ -25,6 +25,15 @@ type t = {
           (NATIX-style forward scan); [true] first-fits them anywhere,
           like the generic record managers of metamodeling systems —
           the evaluation's 1:1 configuration uses [true]. *)
+  wal : bool;
+      (** Crash safety for file-backed stores: run recovery on open and
+          protect every page write-back with a write-ahead log, making
+          [Tree_store.sync] a durable checkpoint.  [true] by default; no
+          effect on in-memory stores.  Disabling trades crash safety for
+          less write amplification. *)
+  read_retries : int;
+      (** How many times the buffer pool retries a transiently failing
+          page read (fault injection / flaky media) before giving up. *)
   obs : Natix_obs.Obs.t option;
       (** Observability handle.  [None] (default) disables tracing and
           metrics entirely; every instrumented hot path is guarded by a

@@ -18,6 +18,12 @@ let create ?(with_index = true) store =
 let store t = t.store
 let index t = t.index
 
+let checkpoint t =
+  (* Flush pending index postings first so the durable state is the
+     coherent pair (documents, index). *)
+  Option.iter Element_index.refresh t.index;
+  Tree_store.checkpoint t.store
+
 let save_catalog t = Catalog.save (Tree_store.record_manager t.store) (Tree_store.catalog t.store)
 
 let store_document t ~name ?dtd ?(infer_dtd = false) ?order xml =

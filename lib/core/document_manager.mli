@@ -20,6 +20,11 @@ val create : ?with_index:bool -> Tree_store.t -> t
 val store : t -> Tree_store.t
 val index : t -> Element_index.t option
 
+(** Durable checkpoint: flush pending element-index updates, then
+    {!Tree_store.checkpoint} (catalog save, buffer flush, WAL commit).
+    After it returns, a crash recovers to exactly this state. *)
+val checkpoint : t -> unit
+
 (** [store_document t ~name ?dtd ?order xml] validates [xml] against [dtd]
     when given (or [infer]s one when [infer_dtd] is set), loads it, and
     persists the DTD with the document.  Returns the root handle or the

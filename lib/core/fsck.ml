@@ -1,0 +1,72 @@
+open Natix_store
+
+type issue = { where : string; what : string }
+
+type report = {
+  pages : int;
+  documents : int;
+  indexed : bool;
+  issues : issue list;
+}
+
+let ok r = r.issues = []
+
+let describe = function
+  | Failure m -> m
+  | Btree.Corrupt m -> Printf.sprintf "btree corrupt: %s" m
+  | Disk.Bad_page { page; reason } -> Printf.sprintf "bad page %d: %s" page reason
+  | e -> Printexc.to_string e
+
+(* Layer 1: every page trailer (checksum, page-id stamp). *)
+let sweep_trailers disk add =
+  for page = 0 to Disk.page_count disk - 1 do
+    match Disk.verify disk page with
+    | Ok () -> ()
+    | Error reason -> add (Printf.sprintf "page %d" page) reason
+  done
+
+let run_disk disk =
+  let issues = ref [] in
+  let add where what = issues := { where; what } :: !issues in
+  sweep_trailers disk add;
+  { pages = Disk.page_count disk; documents = 0; indexed = false; issues = List.rev !issues }
+
+let run store =
+  let pool = Tree_store.buffer_pool store in
+  let disk = Buffer_pool.disk pool in
+  let seg = Record_manager.segment (Tree_store.record_manager store) in
+  let issues = ref [] in
+  let add where what = issues := { where; what } :: !issues in
+  let guard where f = try f () with e -> add where (describe e) in
+  let pages = Disk.page_count disk in
+  sweep_trailers disk add;
+  (* Layer 2: the slotted layout of every page. *)
+  for page = 0 to pages - 1 do
+    guard
+      (Printf.sprintf "page %d" page)
+      (fun () -> Segment.with_page seg page Slotted_page.check)
+  done;
+  (* Layer 3: every document's physical tree (sizes, parent RIDs, proxy
+     chains, scaffolding invariants). *)
+  let documents = Tree_store.list_documents store in
+  List.iter (fun doc -> guard ("document " ^ doc) (fun () -> Tree_store.check_document store doc)) documents;
+  (* Layer 4: the element index's B-tree invariants and its agreement with
+     the documents. *)
+  let indexed =
+    match (try Element_index.open_index store ~name:"elements" with e -> add "index" (describe e); None) with
+    | None -> false
+    | Some idx ->
+      guard "index" (fun () -> Element_index.check idx);
+      true
+  in
+  { pages; documents = List.length documents; indexed; issues = List.rev !issues }
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>checked %d pages, %d document(s)%s@," r.pages r.documents
+    (if r.indexed then ", element index" else "");
+  (match r.issues with
+  | [] -> Format.fprintf ppf "no errors"
+  | issues ->
+    Format.fprintf ppf "%d error(s):" (List.length issues);
+    List.iter (fun i -> Format.fprintf ppf "@,  %s: %s" i.where i.what) issues);
+  Format.fprintf ppf "@]"

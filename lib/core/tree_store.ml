@@ -62,7 +62,23 @@ let open_store ?(config = Config.default ()) disk =
   (match Disk.obs disk, config.obs with
   | None, (Some _ as o) -> Disk.set_obs disk o
   | (Some _ | None), _ -> ());
-  let pool = Buffer_pool.create ~disk ~bytes:config.buffer_bytes () in
+  (* Crash recovery must run before the segment's reopen scan below reads
+     any page: a torn page would fail its checksum there. *)
+  (match Disk.path disk with
+  | Some _ -> ignore (Recovery.run ?obs:(Disk.obs disk) disk : Recovery.report)
+  | None -> ());
+  let wal =
+    match Disk.path disk with
+    | Some p when config.wal ->
+      Some
+        (Wal.create ?obs:(Disk.obs disk) ?faults:(Disk.faults disk)
+           ~page_size:(Disk.page_size disk) ~base:(Disk.page_count disk)
+           (Recovery.wal_path p))
+    | Some _ | None -> None
+  in
+  let pool =
+    Buffer_pool.create ~disk ~bytes:config.buffer_bytes ?wal ~read_retries:config.read_retries ()
+  in
   let seg = Segment.create pool in
   let rm = Record_manager.create seg in
   let catalog = Catalog.load rm in
@@ -84,7 +100,14 @@ let in_memory ?(config = Config.default ()) ?model () =
 
 let sync t =
   Catalog.save t.rm t.catalog;
-  Buffer_pool.flush t.pool
+  Buffer_pool.checkpoint t.pool
+
+let checkpoint = sync
+
+let close ?(commit = true) t =
+  if commit then sync t;
+  (match Buffer_pool.wal t.pool with Some w -> Wal.close w | None -> ());
+  Disk.close (Buffer_pool.disk t.pool)
 
 let clear_buffers t =
   Rid.Tbl.iter
@@ -449,8 +472,13 @@ let partition_record t (box : Phys_node.box) ~dest ~materialize =
         match path_child with
         | None ->
           (* Deepest level: d and its right siblings form the right
-             partition. *)
-          rebuild_side p (d :: post)
+             partition.  When d has no left siblings that would make the
+             partition the whole record and no progress would be made
+             (materializing it re-splits the identical tree), so cut
+             between d and its right siblings instead. *)
+          (match pre with
+          | [] -> rebuild_side p [ d ] @ rebuild_side p post
+          | _ :: _ -> rebuild_side p (d :: post))
         | Some c ->
           ignore c;
           rebuild_side p post

@@ -52,8 +52,20 @@ val io_stats : t -> Io_stats.t
 (** Largest record body under this configuration. *)
 val max_record_size : t -> int
 
-(** Persist the catalog and flush all buffers. *)
+(** Persist the catalog and flush all buffers.  On a file-backed store
+    with the WAL enabled (the default) this is a durable {e checkpoint}:
+    the write-ahead-log batch commits, and a crash at any later point
+    recovers the store to exactly this state. *)
 val sync : t -> unit
+
+(** Synonym for {!sync}, named for the durability protocol. *)
+val checkpoint : t -> unit
+
+(** [close t] checkpoints (unless [~commit:false]), then closes the WAL
+    and the disk.  [~commit:false] abandons un-checkpointed work — the
+    crash-consistency harness uses it to release descriptors of a
+    "killed" store without letting it write another byte. *)
+val close : ?commit:bool -> t -> unit
 
 (** Flush and drop all buffered pages {e and} decoded records — the
     paper's "buffer cleared at the start of each operation". *)

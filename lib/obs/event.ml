@@ -17,6 +17,12 @@ type kind =
   | Proxy_hop of { rid : Rid.t; chain : int }
   | Btree_node of { rid : Rid.t; op : btree_op; leaf : bool }
   | Span of { name : string; dur_ms : float }
+  | Checksum_fail of { page : int }
+  | Read_retry of { page : int; attempt : int }
+  | Wal_append of { lsn : int; page : int; bytes : int }
+  | Wal_commit of { lsn : int; pages : int }
+  | Recovery_undo of { page : int }
+  | Recovery_done of { undone : int; torn_bytes : int }
 
 type t = { seq : int; at_ms : float; kind : kind }
 
@@ -43,6 +49,12 @@ let type_name = function
   | Proxy_hop _ -> "proxy_hop"
   | Btree_node _ -> "btree_node"
   | Span _ -> "span"
+  | Checksum_fail _ -> "checksum_fail"
+  | Read_retry _ -> "read_retry"
+  | Wal_append _ -> "wal_append"
+  | Wal_commit _ -> "wal_commit"
+  | Recovery_undo _ -> "recovery_undo"
+  | Recovery_done _ -> "recovery_done"
 
 let rid_json rid = Json.String (Rid.to_string rid)
 
@@ -68,6 +80,14 @@ let kind_fields = function
   | Btree_node { rid; op; leaf } ->
     [ ("rid", rid_json rid); ("op", Json.String (btree_op_name op)); ("leaf", Json.Bool leaf) ]
   | Span { name; dur_ms } -> [ ("name", Json.String name); ("dur_ms", Json.Float dur_ms) ]
+  | Checksum_fail { page } -> [ ("page", Json.Int page) ]
+  | Read_retry { page; attempt } -> [ ("page", Json.Int page); ("attempt", Json.Int attempt) ]
+  | Wal_append { lsn; page; bytes } ->
+    [ ("lsn", Json.Int lsn); ("page", Json.Int page); ("bytes", Json.Int bytes) ]
+  | Wal_commit { lsn; pages } -> [ ("lsn", Json.Int lsn); ("pages", Json.Int pages) ]
+  | Recovery_undo { page } -> [ ("page", Json.Int page) ]
+  | Recovery_done { undone; torn_bytes } ->
+    [ ("undone", Json.Int undone); ("torn_bytes", Json.Int torn_bytes) ]
 
 let to_json t =
   Json.Obj

@@ -43,6 +43,21 @@ type kind =
   | Btree_node of { rid : Rid.t; op : btree_op; leaf : bool }
   | Span of { name : string; dur_ms : float }
       (** A timed region, measured on the simulated clock. *)
+  | Checksum_fail of { page : int }
+      (** A page trailer failed verification on read; the read raises
+          [Disk.Bad_page] right after this event. *)
+  | Read_retry of { page : int; attempt : int }
+      (** The buffer pool retrying a transiently failed page read. *)
+  | Wal_append of { lsn : int; page : int; bytes : int }
+      (** A before-image appended to the write-ahead log. *)
+  | Wal_commit of { lsn : int; pages : int }
+      (** A checkpoint committed: [pages] dirty pages were flushed under
+          WAL protection and the log was truncated. *)
+  | Recovery_undo of { page : int }
+      (** Recovery restored this page from its logged before-image. *)
+  | Recovery_done of { undone : int; torn_bytes : int }
+      (** Recovery finished: pages restored, and bytes of torn log tail
+          discarded. *)
 
 type t = { seq : int; at_ms : float; kind : kind }
 

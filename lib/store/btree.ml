@@ -1,5 +1,7 @@
 open Natix_util
 
+exception Corrupt of string
+
 (* Node encoding (record body):
      leaf:     [0x00][u16 n][8B next leaf RID][(u16 klen)(key)(8B value)]*
      internal: [0x01][u16 n][8B child0]      [(u16 klen)(key)(8B child)]*
@@ -85,7 +87,7 @@ let decode body =
     let child0 = rid () in
     let entries = List.init n (fun _ -> let k = key () in (k, rid ())) in
     Internal { child0; entries }
-  | c -> failwith (Printf.sprintf "Btree: bad node tag %C" c)
+  | c -> raise (Corrupt (Printf.sprintf "bad node tag %C" c))
 
 let encoded_size node =
   (* Mirror [encode] without building the string. *)
@@ -314,7 +316,7 @@ let clear t =
 (* ---- invariants ------------------------------------------------------ *)
 
 let check t =
-  let fail fmt = Printf.ksprintf failwith fmt in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt in
   let rec sorted = function
     | a :: b :: rest -> if a >= b then fail "keys not strictly sorted" else sorted (b :: rest)
     | _ -> ()

@@ -18,6 +18,12 @@
 
 open Natix_util
 
+(** Raised when a node record does not decode as a B-tree node or {!check}
+    finds a violated invariant (unsorted keys, keys out of their separator
+    range, a broken leaf chain).  Distinct from [Disk.Bad_page]: the page
+    checksum was fine, the {e logical} structure is not. *)
+exception Corrupt of string
+
 type t
 
 (** [create rm] allocates an empty tree and returns it; {!root} persists
@@ -57,5 +63,5 @@ val cardinal : t -> int
 val height : t -> int
 
 (** Structural invariants: sortedness, key-range containment, leaf chain
-    consistency.  @raise Failure on violation. *)
+    consistency.  @raise Corrupt on violation. *)
 val check : t -> unit

@@ -1,3 +1,5 @@
+exception All_frames_pinned
+
 type frame = {
   page_id : int;
   data : bytes;
@@ -16,10 +18,13 @@ type t = {
   mutable tail : frame option;
   mutable fixes : int;
   mutable misses : int;
+  wal : Wal.t option;
+  raw : bytes;  (* one physical page, for WAL pre-image capture *)
+  read_retries : int;
   obs : Natix_obs.Obs.t option;
 }
 
-let create ~disk ~bytes () =
+let create ~disk ~bytes ?wal ?(read_retries = 3) () =
   let capacity = max 2 (bytes / Disk.page_size disk) in
   {
     disk;
@@ -29,6 +34,9 @@ let create ~disk ~bytes () =
     tail = None;
     fixes = 0;
     misses = 0;
+    wal;
+    raw = Bytes.create (Disk.page_size disk);
+    read_retries;
     obs = Disk.obs disk;
   }
 
@@ -38,6 +46,7 @@ let resident t = Hashtbl.length t.frames
 let fixes t = t.fixes
 let misses t = t.misses
 let obs t = t.obs
+let wal t = t.wal
 
 let hit_ratio t = if t.fixes = 0 then 1.0 else float_of_int (t.fixes - t.misses) /. float_of_int t.fixes
 
@@ -65,6 +74,14 @@ let touch t f =
 
 let write_back t f =
   if f.dirty then begin
+    (* Log-before-data: capture the page's on-disk pre-image into the WAL
+       before overwriting it, once per page per batch (pages allocated
+       within the batch need none — rollback truncates them away). *)
+    (match t.wal with
+    | Some w when Wal.needs_before w f.page_id ->
+      Disk.read_raw t.disk f.page_id t.raw;
+      Wal.log_before w ~page:f.page_id t.raw
+    | Some _ | None -> ());
     (match t.obs with
     | None -> ()
     | Some obs -> Natix_obs.Obs.emit obs (Natix_obs.Event.Page_flush { page = f.page_id }));
@@ -75,7 +92,7 @@ let write_back t f =
 (* Evict the least recently used unpinned frame. *)
 let evict_one t =
   let rec find = function
-    | None -> failwith "Buffer_pool: all frames pinned"
+    | None -> raise All_frames_pinned
     | Some f -> if f.pins = 0 then f else find f.prev
   in
   let victim = find t.tail in
@@ -92,7 +109,7 @@ let alloc_frame t page_id =
   let f =
     {
       page_id;
-      data = Bytes.create (Disk.page_size t.disk);
+      data = Bytes.create (Disk.payload_size t.disk);
       dirty = false;
       pins = 1;
       prev = None;
@@ -108,6 +125,22 @@ let note_fix t page_id ~hit =
   | None -> ()
   | Some obs -> Natix_obs.Obs.emit obs (Natix_obs.Event.Page_fix { page = page_id; hit })
 
+(* Transient read failures (an attached fault plan) are retried a few
+   times before giving up; each attempt is charged to the I/O model by the
+   disk, which stands in for the backoff a real driver would pay. *)
+let read_frame t f =
+  let rec go attempt =
+    try Disk.read t.disk f.page_id f.data
+    with Faulty_disk.Read_error _ when attempt < t.read_retries ->
+      (match t.obs with
+      | None -> ()
+      | Some obs ->
+        Natix_obs.Obs.emit obs
+          (Natix_obs.Event.Read_retry { page = f.page_id; attempt = attempt + 1 }));
+      go (attempt + 1)
+  in
+  go 0
+
 let fix t page_id =
   t.fixes <- t.fixes + 1;
   match Hashtbl.find_opt t.frames page_id with
@@ -120,7 +153,12 @@ let fix t page_id =
     t.misses <- t.misses + 1;
     note_fix t page_id ~hit:false;
     let f = alloc_frame t page_id in
-    Disk.read t.disk page_id f.data;
+    (try read_frame t f
+     with e ->
+       (* Drop the half-made frame so a failed read leaves no garbage. *)
+       unlink t f;
+       Hashtbl.remove t.frames page_id;
+       raise e);
     f
 
 let fix_new t page_id =
@@ -148,6 +186,12 @@ let with_page t page_id fn =
   Fun.protect ~finally:(fun () -> unfix t f) (fun () -> fn f)
 
 let flush t = Hashtbl.iter (fun _ f -> write_back t f) t.frames
+
+let checkpoint t =
+  flush t;
+  match t.wal with
+  | None -> ()
+  | Some w -> Wal.commit w ~page_count:(Disk.page_count t.disk)
 
 let clear t =
   Hashtbl.iter

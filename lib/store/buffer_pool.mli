@@ -7,7 +7,17 @@
     Access protocol: {!fix} pins a page frame (reading it from disk on a
     miss), the caller reads or mutates [frame.data] (calling {!mark_dirty}
     after mutation), then {!unfix} releases the pin.  Unpinned frames are
-    eviction candidates. *)
+    eviction candidates.
+
+    Frames hold the page {e payload} ({!Disk.payload_size} bytes); the
+    integrity trailer is the disk's business.  When a {!Wal.t} is attached,
+    every write-back is preceded by logging the page's pre-image on its
+    first touch of the batch (log-before-data), and {!checkpoint} makes the
+    current state durable. *)
+
+exception All_frames_pinned
+(** Raised by {!fix}/{!fix_new} when no frame can be evicted because every
+    resident frame is pinned (the pool is too small for the working set). *)
 
 type frame = private {
   page_id : int;
@@ -21,21 +31,31 @@ type frame = private {
 type t
 
 (** [create ~disk ~bytes ()] sizes the pool at [bytes / page_size] frames
-    (at least 2). *)
-val create : disk:Disk.t -> bytes:int -> unit -> t
+    (at least 2).  [wal] attaches a write-ahead log (file-backed stores);
+    [read_retries] (default 3) bounds retries of transiently failing page
+    reads. *)
+val create : disk:Disk.t -> bytes:int -> ?wal:Wal.t -> ?read_retries:int -> unit -> t
 
 val disk : t -> Disk.t
+
+(** The attached write-ahead log, if any. *)
+val wal : t -> Wal.t option
+
 val capacity : t -> int
 
 (** Number of resident frames. *)
 val resident : t -> int
 
 (** [fix t page] pins the frame holding [page].
-    @raise Failure if every frame is pinned. *)
+    @raise All_frames_pinned when every frame is pinned.
+    @raise Disk.Bad_page when the page fails checksum verification.
+    @raise Faulty_disk.Read_error when the read keeps failing transiently
+    after the configured retries. *)
 val fix : t -> int -> frame
 
 (** [fix_new t page] pins a frame for a freshly {!Disk.allocate}d page
-    without reading it from disk (its content is all zeroes). *)
+    without reading it from disk (its content is all zeroes).
+    @raise All_frames_pinned when every frame is pinned. *)
 val fix_new : t -> int -> frame
 
 val unfix : t -> frame -> unit
@@ -45,8 +65,13 @@ val mark_dirty : frame -> unit
     exceptions). *)
 val with_page : t -> int -> (frame -> 'a) -> 'a
 
-(** Write all dirty frames back to disk (frames stay resident). *)
+(** Write all dirty frames back to disk (frames stay resident), logging
+    WAL pre-images first when a log is attached. *)
 val flush : t -> unit
+
+(** {!flush}, then commit the WAL batch — the store's durability point.
+    Equivalent to {!flush} when no WAL is attached. *)
+val checkpoint : t -> unit
 
 (** Flush, then drop every frame.  Pinned frames cause a [Failure].
 

@@ -1,0 +1,29 @@
+(* CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.  The table is
+   built on first use so linking the module costs nothing. *)
+
+let polynomial = 0xedb88320
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then polynomial lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let feed crc byte =
+  let table = Lazy.force table in
+  table.((crc lxor byte) land 0xff) lxor (crc lsr 8)
+
+let crc32 ?(init = 0) buf ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Checksum.crc32: range out of bounds";
+  let crc = ref (init lxor 0xffffffff) in
+  for i = off to off + len - 1 do
+    crc := feed !crc (Char.code (Bytes.unsafe_get buf i))
+  done;
+  !crc lxor 0xffffffff
+
+let crc32_string ?init s =
+  crc32 ?init (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)

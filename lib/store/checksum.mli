@@ -1,0 +1,14 @@
+(** CRC-32 checksums (IEEE 802.3 polynomial) for page trailers and
+    write-ahead-log entries.
+
+    The checksum is the standard reflected CRC-32 ("zlib" convention:
+    pre- and post-inverted), returned as a non-negative [int] in
+    [\[0, 2^32)].  Passing a previous result as [init] continues the
+    checksum, i.e. [crc32 ~init:(crc32_string a) b] equals the checksum of
+    the concatenation of [a] and [b]. *)
+
+(** [crc32 ?init buf ~off ~len] checksums [len] bytes of [buf] starting at
+    [off].  @raise Invalid_argument when the range is out of bounds. *)
+val crc32 : ?init:int -> bytes -> off:int -> len:int -> int
+
+val crc32_string : ?init:int -> string -> int

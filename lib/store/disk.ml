@@ -1,20 +1,54 @@
+exception Bad_page of { page : int; reason : string }
+
+let bad ~page fmt = Printf.ksprintf (fun reason -> raise (Bad_page { page; reason })) fmt
+
+(* Every physical page ends in a 16-byte trailer maintained by [write] and
+   verified by [read]:
+
+     [0..4)   CRC-32 over payload ^ lsn ^ page id (trailer bytes 4..14)
+     [4..10)  LSN: monotone per-disk write stamp
+     [10..14) page id (catches misdirected writes)
+     [14..16) zero padding
+
+   The in-memory backend stores bare payloads — there is no medium to
+   corrupt — but reserves the same 16 bytes so both backends expose the
+   identical [payload_size] and records pack identically. *)
+let trailer_size = 16
+
 type backend =
   | Mem of { mutable pages : bytes array; mutable used : int }
-  | File of { fd : Unix.file_descr; mutable used : int }
+  | File of { fd : Unix.file_descr; mutable used : int; path : string }
 
 type t = {
   page_size : int;
+  payload_size : int;
   model : Io_model.t;
   stats : Io_stats.t;
   backend : backend;
+  scratch : bytes;  (* one full physical page, for trailer assembly *)
+  mutable next_lsn : int;
   mutable last_page : int;  (* for sequential-access detection; -2 = none *)
   mutable obs : Natix_obs.Obs.t option;
+  mutable faults : Faulty_disk.t option;
 }
 
-(* The file backend stores a one-page superblock at offset 0 holding the
-   page size and page count, so data page [i] lives at offset
-   [(i + 1) * page_size]. *)
+(* The file backend stores a small superblock at offset 0 holding the page
+   size and page count, so data page [i] lives at offset
+   [(i + 1) * page_size]:
+
+     [0..4)   magic "NATX"
+     [4..6)   layout version (2 since pages grew trailers)
+     [6..8)   zero padding
+     [8..12)  page size
+     [12..16) allocated page count *)
 let superblock_magic = 0x4e415458 (* "NATX" *)
+
+let superblock_version = 2
+let superblock_size = 16
+
+let check_page_size page_size =
+  if page_size < 4 * trailer_size then
+    invalid_arg (Printf.sprintf "Disk: page size %d too small (min %d)" page_size (4 * trailer_size))
 
 (* The disk owns the simulated clock, so attaching a handle binds the
    handle's clock to this disk's [sim_ms] accumulator. *)
@@ -25,61 +59,82 @@ let set_obs t obs =
   | None -> ()
 
 let obs t = t.obs
+let set_faults t faults = t.faults <- faults
+let faults t = t.faults
 
 let in_memory ?(model = Io_model.dcas_34330w) ?obs ~page_size () =
+  check_page_size page_size;
   let t =
     {
       page_size;
+      payload_size = page_size - trailer_size;
       model;
       stats = Io_stats.create ();
       backend = Mem { pages = Array.make 64 Bytes.empty; used = 0 };
+      scratch = Bytes.create page_size;
+      next_lsn = 1;
       last_page = -2;
       obs = None;
+      faults = None;
     }
   in
   set_obs t obs;
   t
 
 let read_superblock fd page_size =
-  let buf = Bytes.create 12 in
+  let buf = Bytes.create superblock_size in
   ignore (Unix.lseek fd 0 Unix.SEEK_SET);
-  let n = Unix.read fd buf 0 12 in
-  if n <> 12 then failwith "Disk.on_file: corrupt superblock";
+  let n = Unix.read fd buf 0 superblock_size in
+  if n <> superblock_size then bad ~page:(-1) "truncated superblock (%d of %d bytes)" n superblock_size;
   if Natix_util.Bytes_util.get_u32 buf 0 <> superblock_magic then
-    failwith "Disk.on_file: not a natix disk file";
-  let stored_page_size = Natix_util.Bytes_util.get_u32 buf 4 in
+    bad ~page:(-1) "not a natix disk file (bad magic)";
+  let version = Natix_util.Bytes_util.get_u16 buf 4 in
+  if version <> superblock_version then bad ~page:(-1) "unsupported disk layout version %d" version;
+  let stored_page_size = Natix_util.Bytes_util.get_u32 buf 8 in
   if stored_page_size <> page_size then
-    failwith
-      (Printf.sprintf "Disk.on_file: file has page size %d, expected %d" stored_page_size page_size);
-  Natix_util.Bytes_util.get_u32 buf 8
+    bad ~page:(-1) "file has page size %d, expected %d" stored_page_size page_size;
+  Natix_util.Bytes_util.get_u32 buf 12
 
 let write_superblock fd ~page_size ~used =
-  let buf = Bytes.make 12 '\000' in
+  let buf = Bytes.make superblock_size '\000' in
   Natix_util.Bytes_util.set_u32 buf 0 superblock_magic;
-  Natix_util.Bytes_util.set_u32 buf 4 page_size;
-  Natix_util.Bytes_util.set_u32 buf 8 used;
+  Natix_util.Bytes_util.set_u16 buf 4 superblock_version;
+  Natix_util.Bytes_util.set_u32 buf 8 page_size;
+  Natix_util.Bytes_util.set_u32 buf 12 used;
   ignore (Unix.lseek fd 0 Unix.SEEK_SET);
-  let n = Unix.write fd buf 0 12 in
-  if n <> 12 then failwith "Disk.on_file: short superblock write"
+  let n = Unix.write fd buf 0 superblock_size in
+  if n <> superblock_size then bad ~page:(-1) "short superblock write"
 
 let detect_page_size path =
-  if not (Sys.file_exists path) then None
-  else begin
-    let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> None
+  | fd ->
     Fun.protect
       ~finally:(fun () -> Unix.close fd)
       (fun () ->
-        let buf = Bytes.create 8 in
-        let n = Unix.read fd buf 0 8 in
-        if n < 8 || Natix_util.Bytes_util.get_u32 buf 0 <> superblock_magic then None
-        else Some (Natix_util.Bytes_util.get_u32 buf 4))
-  end
+        let buf = Bytes.create superblock_size in
+        let n = try Unix.read fd buf 0 superblock_size with Unix.Unix_error _ -> 0 in
+        if
+          n < superblock_size
+          || Natix_util.Bytes_util.get_u32 buf 0 <> superblock_magic
+          || Natix_util.Bytes_util.get_u16 buf 4 <> superblock_version
+        then None
+        else
+          let page_size = Natix_util.Bytes_util.get_u32 buf 8 in
+          if page_size < 4 * trailer_size || page_size > 1 lsl 22 then None else Some page_size)
 
 let on_file ?(model = Io_model.dcas_34330w) ?obs ~page_size path =
+  check_page_size page_size;
   let exists = Sys.file_exists path in
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
   let used =
-    if exists && Unix.((fstat fd).st_size) > 0 then read_superblock fd page_size
+    if exists && Unix.((fstat fd).st_size) > 0 then begin
+      match read_superblock fd page_size with
+      | used -> used
+      | exception e ->
+        Unix.close fd;
+        raise e
+    end
     else begin
       write_superblock fd ~page_size ~used:0;
       0
@@ -88,17 +143,27 @@ let on_file ?(model = Io_model.dcas_34330w) ?obs ~page_size path =
   let t =
     {
       page_size;
+      payload_size = page_size - trailer_size;
       model;
       stats = Io_stats.create ();
-      backend = File { fd; used };
+      backend = File { fd; used; path };
+      scratch = Bytes.create page_size;
+      next_lsn = 1;
       last_page = -2;
       obs = None;
+      faults = None;
     }
   in
   set_obs t obs;
   t
 
 let page_size t = t.page_size
+let payload_size t = t.payload_size
+
+let path t =
+  match t.backend with
+  | Mem _ -> None
+  | File f -> Some f.path
 
 let page_count t =
   match t.backend with
@@ -122,6 +187,50 @@ let charge t ~page ~is_read =
   | None -> ()
   | Some obs -> Natix_obs.Obs.emit obs (Natix_obs.Event.Io { page; write = not is_read; sequential })
 
+(* The CRC slot lives at the start of the trailer, so the cover is the
+   payload plus the trailer fields after the slot. *)
+let trailer_crc t buf =
+  let base = t.payload_size in
+  Checksum.crc32 ~init:(Checksum.crc32 buf ~off:0 ~len:base) buf ~off:(base + 4) ~len:(trailer_size - 4)
+
+let seal_trailer t ~page buf =
+  let base = t.payload_size in
+  let lsn = t.next_lsn in
+  t.next_lsn <- lsn + 1;
+  Natix_util.Bytes_util.set_u48 buf (base + 4) lsn;
+  Natix_util.Bytes_util.set_u32 buf (base + 10) page;
+  Natix_util.Bytes_util.set_u16 buf (base + 14) 0;
+  Natix_util.Bytes_util.set_u32 buf base (trailer_crc t buf)
+
+let check_trailer t ~page buf =
+  let base = t.payload_size in
+  let stored = Natix_util.Bytes_util.get_u32 buf base in
+  if stored <> trailer_crc t buf then Error "checksum mismatch"
+  else
+    let stamped = Natix_util.Bytes_util.get_u32 buf (base + 10) in
+    if stamped <> page then Error (Printf.sprintf "trailer names page %d" stamped) else Ok ()
+
+(* All physical file writes of one page image funnel through here so the
+   fault plan sees every one of them (data flushes and the zero image of a
+   fresh allocation alike). *)
+let write_physical t fd ~page image =
+  let offset = (page + 1) * t.page_size in
+  ignore (Unix.lseek fd offset Unix.SEEK_SET);
+  let full () =
+    let n = Unix.write fd image 0 t.page_size in
+    if n <> t.page_size then bad ~page "short write (%d of %d bytes)" n t.page_size
+  in
+  match t.faults with
+  | None -> full ()
+  | Some plan -> (
+    match Faulty_disk.on_write plan with
+    | `Ok -> full ()
+    | `Crash_lost -> raise Faulty_disk.Crash
+    | `Crash_torn frac ->
+      let keep = max 1 (min (t.page_size - 1) (int_of_float (frac *. float_of_int t.page_size))) in
+      ignore (Unix.write fd image 0 keep);
+      raise Faulty_disk.Crash)
+
 let allocate t =
   match t.backend with
   | Mem m ->
@@ -130,15 +239,14 @@ let allocate t =
       Array.blit m.pages 0 bigger 0 m.used;
       m.pages <- bigger
     end;
-    m.pages.(m.used) <- Bytes.make t.page_size '\000';
+    m.pages.(m.used) <- Bytes.make t.payload_size '\000';
     m.used <- m.used + 1;
     m.used - 1
   | File f ->
     let page = f.used in
-    let zero = Bytes.make t.page_size '\000' in
-    ignore (Unix.lseek f.fd ((page + 1) * t.page_size) Unix.SEEK_SET);
-    let n = Unix.write f.fd zero 0 t.page_size in
-    if n <> t.page_size then failwith "Disk.allocate: short write";
+    Bytes.fill t.scratch 0 t.page_size '\000';
+    seal_trailer t ~page t.scratch;
+    write_physical t f.fd ~page t.scratch;
     f.used <- f.used + 1;
     write_superblock f.fd ~page_size:t.page_size ~used:f.used;
     page
@@ -147,33 +255,107 @@ let check_bounds t page =
   if page < 0 || page >= page_count t then
     invalid_arg (Printf.sprintf "Disk: page %d out of bounds (count %d)" page (page_count t))
 
+let read_physical t fd ~page buf =
+  ignore (Unix.lseek fd ((page + 1) * t.page_size) Unix.SEEK_SET);
+  let rec fill off =
+    if off < t.page_size then begin
+      let n = Unix.read fd buf off (t.page_size - off) in
+      if n = 0 then bad ~page "short read (%d of %d bytes)" off t.page_size;
+      fill (off + n)
+    end
+  in
+  fill 0
+
+let checksum_failed t page reason =
+  (match t.obs with
+  | None -> ()
+  | Some obs -> Natix_obs.Obs.emit obs (Natix_obs.Event.Checksum_fail { page }));
+  bad ~page "%s" reason
+
 let read t page buf =
+  check_bounds t page;
+  assert (Bytes.length buf = t.payload_size);
+  (match t.faults with None -> () | Some plan -> Faulty_disk.on_read plan ~page);
+  charge t ~page ~is_read:true;
+  match t.backend with
+  | Mem m -> Bytes.blit m.pages.(page) 0 buf 0 t.payload_size
+  | File f ->
+    read_physical t f.fd ~page t.scratch;
+    (match check_trailer t ~page t.scratch with
+    | Ok () -> ()
+    | Error reason -> checksum_failed t page reason);
+    Bytes.blit t.scratch 0 buf 0 t.payload_size
+
+let write t page buf =
+  check_bounds t page;
+  assert (Bytes.length buf = t.payload_size);
+  charge t ~page ~is_read:false;
+  match t.backend with
+  | Mem m -> (
+    match t.faults with
+    | None -> Bytes.blit buf 0 m.pages.(page) 0 t.payload_size
+    | Some plan -> (
+      match Faulty_disk.on_write plan with
+      | `Ok -> Bytes.blit buf 0 m.pages.(page) 0 t.payload_size
+      | `Crash_lost -> raise Faulty_disk.Crash
+      | `Crash_torn frac ->
+        let keep = max 1 (int_of_float (frac *. float_of_int t.payload_size)) in
+        Bytes.blit buf 0 m.pages.(page) 0 (min keep t.payload_size);
+        raise Faulty_disk.Crash))
+  | File f ->
+    Bytes.blit buf 0 t.scratch 0 t.payload_size;
+    seal_trailer t ~page t.scratch;
+    write_physical t f.fd ~page t.scratch
+
+(* Raw (trailer-included) page access for the WAL and recovery.  No fault
+   injection and no checksum verification: recovery must be able to read
+   torn pages and put back exact pre-images, trailers and all. *)
+
+let read_raw t page buf =
   check_bounds t page;
   assert (Bytes.length buf = t.page_size);
   charge t ~page ~is_read:true;
   match t.backend with
-  | Mem m -> Bytes.blit m.pages.(page) 0 buf 0 t.page_size
-  | File f ->
-    ignore (Unix.lseek f.fd ((page + 1) * t.page_size) Unix.SEEK_SET);
-    let rec fill off =
-      if off < t.page_size then begin
-        let n = Unix.read f.fd buf off (t.page_size - off) in
-        if n = 0 then failwith "Disk.read: unexpected end of file";
-        fill (off + n)
-      end
-    in
-    fill 0
+  | Mem m ->
+    Bytes.fill buf 0 t.page_size '\000';
+    Bytes.blit m.pages.(page) 0 buf 0 t.payload_size
+  | File f -> read_physical t f.fd ~page buf
 
-let write t page buf =
+let write_raw t page buf =
   check_bounds t page;
   assert (Bytes.length buf = t.page_size);
   charge t ~page ~is_read:false;
   match t.backend with
-  | Mem m -> Bytes.blit buf 0 m.pages.(page) 0 t.page_size
+  | Mem m -> Bytes.blit buf 0 m.pages.(page) 0 t.payload_size
   | File f ->
     ignore (Unix.lseek f.fd ((page + 1) * t.page_size) Unix.SEEK_SET);
     let n = Unix.write f.fd buf 0 t.page_size in
-    if n <> t.page_size then failwith "Disk.write: short write"
+    if n <> t.page_size then bad ~page "short write (%d of %d bytes)" n t.page_size
+
+let verify t page =
+  if page < 0 || page >= page_count t then Error "page out of bounds"
+  else
+    match t.backend with
+    | Mem _ -> Ok ()
+    | File f -> (
+      charge t ~page ~is_read:true;
+      match read_physical t f.fd ~page t.scratch with
+      | () -> check_trailer t ~page t.scratch
+      | exception Bad_page { reason; _ } -> Error reason)
+
+let set_page_count t n =
+  if n < 0 || n > page_count t then
+    invalid_arg (Printf.sprintf "Disk.set_page_count: %d not in [0, %d]" n (page_count t));
+  match t.backend with
+  | Mem m ->
+    for p = n to m.used - 1 do
+      m.pages.(p) <- Bytes.empty
+    done;
+    m.used <- n
+  | File f ->
+    f.used <- n;
+    Unix.ftruncate f.fd ((n + 1) * t.page_size);
+    write_superblock f.fd ~page_size:t.page_size ~used:n
 
 let stats t = t.stats
 let size_bytes t = page_count t * t.page_size

@@ -5,7 +5,23 @@
     file-backed one (used by the CLI for real persistence).  Both charge
     every page access to an {!Io_model} and record it in {!Io_stats}; the
     in-memory backend therefore behaves, for measurement purposes, like the
-    paper's raw disk with no operating-system buffering. *)
+    paper's raw disk with no operating-system buffering.
+
+    {b Page integrity.}  The last {!trailer_size} bytes of every physical
+    page hold a trailer (CRC-32 checksum, write LSN, page id) maintained by
+    {!write} and verified by {!read}; layers above the disk only ever see
+    the remaining {!payload_size} bytes.  The in-memory backend reserves
+    the same trailer space (so capacities match the file backend) without
+    materialising it.  A checksum or page-id mismatch, a torn page, or a
+    corrupt superblock raises {!Bad_page}. *)
+
+(** Raised when a page (or, with [page = -1], the superblock) fails
+    verification: checksum mismatch, wrong page-id stamp, short read/write,
+    or an unusable superblock. *)
+exception Bad_page of { page : int; reason : string }
+
+(** Bytes of each physical page reserved for the integrity trailer. *)
+val trailer_size : int
 
 type t
 
@@ -13,7 +29,10 @@ val in_memory : ?model:Io_model.t -> ?obs:Natix_obs.Obs.t -> page_size:int -> un
 
 (** [on_file ~page_size path] opens (or creates) a file-backed disk.  The
     page size must match the one the file was created with; a fresh file is
-    initialised with a small superblock recording it. *)
+    initialised with a small superblock recording it.
+    @raise Bad_page when the file exists but its superblock is truncated,
+    has the wrong magic or layout version, or records a different page
+    size. *)
 val on_file : ?model:Io_model.t -> ?obs:Natix_obs.Obs.t -> page_size:int -> string -> t
 
 (** Observability handle; every page transfer emits an [Io] event through
@@ -25,11 +44,27 @@ val set_obs : t -> Natix_obs.Obs.t option -> unit
 
 val obs : t -> Natix_obs.Obs.t option
 
-(** Page size recorded in an existing disk file's superblock, if the file
-    exists and is a natix disk. *)
+(** Attach (or detach) a fault-injection plan.  When present, every page
+    write and read consults it; see {!Faulty_disk}. *)
+val set_faults : t -> Faulty_disk.t option -> unit
+
+val faults : t -> Faulty_disk.t option
+
+(** Page size recorded in an existing disk file's superblock.  Total:
+    returns [None] — never raises — when the file is missing or unreadable,
+    shorter than the superblock, not a natix disk (bad magic or layout
+    version), or records an absurd page size. *)
 val detect_page_size : string -> int option
 
+(** Physical page size (trailer included). *)
 val page_size : t -> int
+
+(** Usable bytes per page ([page_size - trailer_size]); the buffer size
+    {!read} and {!write} operate on. *)
+val payload_size : t -> int
+
+(** Backing file path; [None] for the in-memory backend. *)
+val path : t -> string option
 
 (** Number of allocated pages. *)
 val page_count : t -> int
@@ -37,12 +72,42 @@ val page_count : t -> int
 (** [allocate t] appends a zeroed page and returns its id. *)
 val allocate : t -> int
 
-(** [read t page buf] fills [buf] (of length [page_size]) with the page's
-    contents. *)
+(** [read t page buf] fills [buf] (of length {!payload_size}) with the
+    page's contents after verifying the trailer.
+    @raise Bad_page on checksum/page-id mismatch or a short read.
+    @raise Faulty_disk.Read_error when an attached fault plan fails the
+    read transiently (the buffer pool retries these). *)
 val read : t -> int -> bytes -> unit
 
-(** [write t page buf] persists [buf] as the page's contents. *)
+(** [write t page buf] persists [buf] (of length {!payload_size}) as the
+    page's contents, sealing a fresh trailer.
+    @raise Faulty_disk.Crash when an attached fault plan kills this write
+    (possibly tearing the page). *)
 val write : t -> int -> bytes -> unit
+
+(** {2 Raw access — WAL and recovery only}
+
+    Whole physical pages, trailer included, with no checksum verification
+    and no fault injection: the WAL captures exact pre-images (torn or
+    not), and recovery puts them back verbatim. *)
+
+(** [read_raw t page buf] fills [buf] (of length {!page_size}) with the
+    raw page image. *)
+val read_raw : t -> int -> bytes -> unit
+
+(** [write_raw t page buf] writes a raw page image back, preserving its
+    embedded trailer. *)
+val write_raw : t -> int -> bytes -> unit
+
+(** Verify one page's trailer without raising; [Ok ()] always for the
+    in-memory backend.  Used by [natix fsck]. *)
+val verify : t -> int -> (unit, string) result
+
+(** [set_page_count t n] shrinks the disk to [n] pages (recovery rolling
+    back allocations of an uncommitted batch).  The file backend truncates
+    the backing file and rewrites the superblock.
+    @raise Invalid_argument when [n] exceeds the current page count. *)
+val set_page_count : t -> int -> unit
 
 val stats : t -> Io_stats.t
 

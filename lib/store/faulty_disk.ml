@@ -1,0 +1,78 @@
+open Natix_util
+
+exception Crash
+exception Read_error of int
+
+type write_outcome = [ `Ok | `Crash_torn of float | `Crash_lost ]
+
+type t = {
+  prng : Prng.t;
+  mutable crash_after : int;
+  mutable tearing : bool;
+  mutable read_fail_p : float;
+  mutable fail_next : int;
+  mutable writes_seen : int;
+  mutable reads_seen : int;
+  mutable crashed : bool;
+}
+
+let create ~seed () =
+  {
+    prng = Prng.create ~seed;
+    crash_after = -1;
+    tearing = true;
+    read_fail_p = 0.0;
+    fail_next = 0;
+    writes_seen = 0;
+    reads_seen = 0;
+    crashed = false;
+  }
+
+let arm_crash ?(torn = true) t n =
+  if n < 0 then invalid_arg "Faulty_disk.arm_crash: negative count";
+  t.crash_after <- n;
+  t.tearing <- torn;
+  t.crashed <- false
+
+let disarm t =
+  t.crash_after <- -1;
+  t.read_fail_p <- 0.0;
+  t.fail_next <- 0
+
+let set_read_fail_p t p =
+  if p < 0.0 || p >= 1.0 then invalid_arg "Faulty_disk.set_read_fail_p: p must be in [0, 1)";
+  t.read_fail_p <- p
+
+let fail_next_reads t n =
+  if n < 0 then invalid_arg "Faulty_disk.fail_next_reads: negative count";
+  t.fail_next <- n
+
+let writes_seen t = t.writes_seen
+let reads_seen t = t.reads_seen
+let crashed t = t.crashed
+
+(* A crashed plan keeps reporting [`Crash_lost]: once the simulated process
+   is dead, nothing reaches the platters, so a caller that swallows [Crash]
+   and keeps writing cannot accidentally persist post-crash state. *)
+let on_write t : write_outcome =
+  t.writes_seen <- t.writes_seen + 1;
+  if t.crashed then `Crash_lost
+  else if t.crash_after < 0 then `Ok
+  else if t.writes_seen <= t.crash_after then `Ok
+  else begin
+    t.crashed <- true;
+    if t.tearing && Prng.bool t.prng then
+      (* Tear somewhere strictly inside the write, sector-ish aligned so a
+         prefix of the new image lands over the old bytes. *)
+      `Crash_torn (0.1 +. (0.8 *. Prng.float t.prng))
+    else `Crash_lost
+  end
+
+let on_read t ~page =
+  t.reads_seen <- t.reads_seen + 1;
+  if t.crashed then raise (Read_error page);
+  if t.fail_next > 0 then begin
+    t.fail_next <- t.fail_next - 1;
+    raise (Read_error page)
+  end;
+  if t.read_fail_p > 0.0 && Prng.float t.prng < t.read_fail_p then raise (Read_error page)

@@ -1,0 +1,66 @@
+(** Deterministic fault injection for the disk layer.
+
+    A fault plan is attached to a {!Disk.t} (and shared with its {!Wal.t});
+    every physical page or log write consults {!on_write} and every page
+    read consults {!on_read}.  All randomness comes from the plan's own
+    {!Natix_util.Prng}, so a given seed reproduces the exact same failure
+    byte-for-byte — the crash-consistency harness sweeps "crash after [n]
+    writes" points this way.
+
+    Simulated failures:
+    - {b crash after N writes} ({!arm_crash}): the [n+1]-th write either
+      tears (a prefix of the new image is persisted over the old bytes) or
+      is lost entirely, and {!Crash} is raised to kill the simulated
+      process.  After a crash every further write is lost and every read
+      fails, so leaked handles cannot persist post-mortem state.
+    - {b transient read errors} ({!set_read_fail_p}, {!fail_next_reads}):
+      {!Read_error} is raised; the buffer pool retries these. *)
+
+(** The simulated process death.  Escapes through every store layer; the
+    test harness catches it, closes the file descriptors, and reopens the
+    store to exercise recovery. *)
+exception Crash
+
+(** A transient read failure on the given page (a retry may succeed). *)
+exception Read_error of int
+
+(** What a single write should do: complete, persist only a prefix
+    ([`Crash_torn fraction], fraction in (0, 1)) and crash, or be dropped
+    entirely and crash. *)
+type write_outcome = [ `Ok | `Crash_torn of float | `Crash_lost ]
+
+type t
+
+val create : seed:int64 -> unit -> t
+
+(** [arm_crash t n] makes the [n+1]-th subsequent write crash ([n = 0]
+    crashes the very next write).  [torn] (default true) allows the crashing
+    write to be torn; otherwise it is always lost whole. *)
+val arm_crash : ?torn:bool -> t -> int -> unit
+
+(** Clear the crash trigger and all read-failure knobs ({!crashed} state is
+    kept). *)
+val disarm : t -> unit
+
+(** Probability that any given read fails transiently. *)
+val set_read_fail_p : t -> float -> unit
+
+(** Fail exactly the next [n] reads, then recover. *)
+val fail_next_reads : t -> int -> unit
+
+(** Writes observed so far (used to size crash-point sweeps). *)
+val writes_seen : t -> int
+
+val reads_seen : t -> int
+
+(** True once the armed crash has fired. *)
+val crashed : t -> bool
+
+(** Called by the disk/WAL before each write; when the result is a crash
+    outcome the caller persists the prescribed prefix (if torn) and then
+    raises {!Crash}. *)
+val on_write : t -> write_outcome
+
+(** Called by the disk before each page read.
+    @raise Read_error when the plan says this read fails. *)
+val on_read : t -> page:int -> unit

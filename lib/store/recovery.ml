@@ -1,0 +1,139 @@
+open Natix_util
+
+type report = {
+  ran : bool;
+  committed : bool;
+  undone : int;
+  torn_bytes : int;
+  page_count : int;
+}
+
+let no_op disk =
+  { ran = false; committed = false; undone = 0; torn_bytes = 0; page_count = Disk.page_count disk }
+
+let wal_path store_path = store_path ^ ".wal"
+
+type entry = { kind : int; arg : int; payload_off : int }
+
+(* Parse the longest valid prefix of the log body; anything after it —
+   typically a single append torn by the crash — is reported as the torn
+   tail.  Returns the entries and the offset where the valid prefix ends. *)
+let parse_entries buf ~page_size =
+  let size = Bytes.length buf in
+  let entries = ref [] in
+  let off = ref Wal.header_size in
+  let stop = ref false in
+  while not !stop do
+    let o = !off in
+    if o + Wal.entry_header_size + 4 > size then stop := true
+    else begin
+      let kind = Bytes_util.get_u8 buf o in
+      let len = Bytes_util.get_u32 buf (o + 11) in
+      let valid_shape =
+        match kind with
+        | k when k = Wal.kind_begin || k = Wal.kind_commit -> len = 0
+        | k when k = Wal.kind_before -> len = page_size
+        | _ -> false
+      in
+      let total = Wal.entry_header_size + len + 4 in
+      if (not valid_shape) || o + total > size then stop := true
+      else if
+        Bytes_util.get_u32 buf (o + Wal.entry_header_size + len)
+        <> Checksum.crc32 buf ~off:o ~len:(Wal.entry_header_size + len)
+      then stop := true
+      else begin
+        entries :=
+          { kind; arg = Bytes_util.get_u32 buf (o + 7); payload_off = o + Wal.entry_header_size }
+          :: !entries;
+        off := o + total
+      end
+    end
+  done;
+  (List.rev !entries, !off)
+
+let read_file path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let size = Unix.((fstat fd).st_size) in
+      let buf = Bytes.create size in
+      let rec fill off =
+        if off < size then begin
+          let n = Unix.read fd buf off (size - off) in
+          if n = 0 then Bytes.sub buf 0 off else fill (off + n)
+        end
+        else buf
+      in
+      fill 0)
+
+let truncate_file path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.ftruncate fd 0)
+
+let run ?obs disk =
+  match Disk.path disk with
+  | None -> no_op disk
+  | Some store_path ->
+    let wal = wal_path store_path in
+    if not (Sys.file_exists wal) then no_op disk
+    else begin
+      let buf = read_file wal in
+      let size = Bytes.length buf in
+      let page_size = Disk.page_size disk in
+      let header_ok =
+        size >= Wal.header_size
+        && Bytes_util.get_u32 buf 0 = Wal.magic
+        && Bytes_util.get_u16 buf 4 = Wal.version
+        && Bytes_util.get_u32 buf 8 = page_size
+      in
+      let entries, valid_end = if header_ok then parse_entries buf ~page_size else ([], 0) in
+      let torn_bytes = size - valid_end in
+      (* Entries after the last commit form the uncommitted batch. *)
+      let uncommitted =
+        let rec after_last_commit acc = function
+          | [] -> List.rev acc
+          | e :: rest when e.kind = Wal.kind_commit -> after_last_commit [] rest
+          | e :: rest -> after_last_commit (e :: acc) rest
+        in
+        after_last_commit [] entries
+      in
+      let committed =
+        match List.rev entries with
+        | last :: _ -> last.kind = Wal.kind_commit
+        | [] -> false
+      in
+      let undone = ref 0 in
+      (* Undo in reverse append order so the oldest (pre-batch) image of a
+         page lands last — with first-touch logging there is at most one
+         image per page, but recovery does not rely on that. *)
+      List.iter
+        (fun e ->
+          if e.kind = Wal.kind_before && e.arg < Disk.page_count disk then begin
+            Disk.write_raw disk e.arg (Bytes.sub buf e.payload_off page_size);
+            incr undone;
+            match obs with
+            | None -> ()
+            | Some o -> Natix_obs.Obs.emit o (Natix_obs.Event.Recovery_undo { page = e.arg })
+          end)
+        (List.rev uncommitted);
+      (* Roll allocations of the uncommitted batch back to the page count
+         recorded at batch start (also trims a torn tail page). *)
+      (match List.find_opt (fun e -> e.kind = Wal.kind_begin) uncommitted with
+      | Some { arg = base; _ } when base < Disk.page_count disk -> Disk.set_page_count disk base
+      | Some _ | None -> ());
+      truncate_file wal;
+      (match obs with
+      | None -> ()
+      | Some o ->
+        if !undone > 0 || torn_bytes > 0 then
+          Natix_obs.Obs.emit o
+            (Natix_obs.Event.Recovery_done { undone = !undone; torn_bytes }));
+      {
+        ran = true;
+        committed;
+        undone = !undone;
+        torn_bytes;
+        page_count = Disk.page_count disk;
+      }
+    end

@@ -1,0 +1,26 @@
+(** Crash recovery: replay of the write-ahead log on open.
+
+    {!run} brings a file-backed disk back to its last checkpoint: it drops
+    the log's torn tail (if the crash hit mid-append), rolls every
+    uncommitted pre-image back onto the data file, truncates allocations
+    the uncommitted batch made, and resets the log.  Idempotent, and a
+    no-op for in-memory disks or when no log file exists.
+
+    Runs {e before} any layer above the disk touches pages (the segment's
+    reopen scan reads every page through checksum verification, so it must
+    only ever see recovered state). *)
+
+type report = {
+  ran : bool;  (** a log file existed and was processed *)
+  committed : bool;  (** the log ended in a commit record (clean batch) *)
+  undone : int;  (** pages restored from pre-images *)
+  torn_bytes : int;  (** discarded torn log tail *)
+  page_count : int;  (** disk pages after recovery *)
+}
+
+(** Log file protecting the store at the given path. *)
+val wal_path : string -> string
+
+(** [run ?obs disk] recovers the disk from its log, emitting
+    [Recovery_undo]/[Recovery_done] events through [obs]. *)
+val run : ?obs:Natix_obs.Obs.t -> Disk.t -> report

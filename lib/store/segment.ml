@@ -1,6 +1,8 @@
 type t = { pool : Buffer_pool.t; fsi : Fsi.t; mutable rover : int }
 
-let page_size t = Disk.page_size (Buffer_pool.disk t.pool)
+(* Everything above the disk sees only the page payload; the integrity
+   trailer is invisible here. *)
+let page_size t = Disk.payload_size (Buffer_pool.disk t.pool)
 let buffer_pool t = t.pool
 let disk t = Buffer_pool.disk t.pool
 let page_count t = Disk.page_count (disk t)

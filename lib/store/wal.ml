@@ -1,0 +1,145 @@
+open Natix_util
+
+(* File layout.  A 16-byte header:
+
+     [0..4)   magic "NTWL"
+     [4..6)   version
+     [6..8)   zero padding
+     [8..12)  page size of the disk this log protects
+     [12..16) zero padding
+
+   followed by entries of the form
+
+     [0]      kind (1 = Begin, 2 = Before, 3 = Commit)
+     [1..7)   LSN
+     [7..11)  argument (Begin/Commit: committed page count; Before: page id)
+     [11..15) payload length (Before: physical page size, else 0)
+     [15..15+len)  payload (Before: the raw pre-image, trailer included)
+     [..+4)   CRC-32 over everything above
+
+   The per-entry checksum makes a torn tail detectable: recovery replays
+   the longest valid prefix and discards the rest.  Because every entry is
+   appended {e before} the data write it protects, a torn last entry
+   implies its page was never touched, so discarding it is safe. *)
+
+let magic = 0x4e54574c (* "NTWL" *)
+let version = 1
+let header_size = 16
+let entry_header_size = 15
+
+let kind_begin = 1
+let kind_before = 2
+let kind_commit = 3
+
+type t = {
+  fd : Unix.file_descr;
+  path : string;
+  page_size : int;
+  logged : (int, unit) Hashtbl.t;  (* pages with a before-image this batch *)
+  mutable base : int;  (* page count at the last commit; rollback target *)
+  mutable next_lsn : int;
+  mutable appends : int;
+  mutable bytes_logged : int;
+  obs : Natix_obs.Obs.t option;
+  mutable faults : Faulty_disk.t option;
+}
+
+let write_header t =
+  let buf = Bytes.make header_size '\000' in
+  Bytes_util.set_u32 buf 0 magic;
+  Bytes_util.set_u16 buf 4 version;
+  Bytes_util.set_u32 buf 8 t.page_size;
+  ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+  if Unix.write t.fd buf 0 header_size <> header_size then
+    failwith "Wal: short header write"
+
+(* Append one entry at the end of the log, consulting the fault plan so
+   crash points cover log writes too (a torn append is exactly the torn
+   tail recovery must cope with). *)
+let append t ~kind ~arg payload =
+  let len = match payload with None -> 0 | Some p -> Bytes.length p in
+  let total = entry_header_size + len + 4 in
+  let buf = Bytes.create total in
+  let lsn = t.next_lsn in
+  t.next_lsn <- lsn + 1;
+  Bytes_util.set_u8 buf 0 kind;
+  Bytes_util.set_u48 buf 1 lsn;
+  Bytes_util.set_u32 buf 7 arg;
+  Bytes_util.set_u32 buf 11 len;
+  (match payload with None -> () | Some p -> Bytes.blit p 0 buf entry_header_size len);
+  Bytes_util.set_u32 buf (entry_header_size + len)
+    (Checksum.crc32 buf ~off:0 ~len:(entry_header_size + len));
+  ignore (Unix.lseek t.fd 0 Unix.SEEK_END);
+  let full () =
+    if Unix.write t.fd buf 0 total <> total then failwith "Wal: short append";
+    t.appends <- t.appends + 1;
+    t.bytes_logged <- t.bytes_logged + total
+  in
+  (match t.faults with
+  | None -> full ()
+  | Some plan -> (
+    match Faulty_disk.on_write plan with
+    | `Ok -> full ()
+    | `Crash_lost -> raise Faulty_disk.Crash
+    | `Crash_torn frac ->
+      let keep = max 1 (min (total - 1) (int_of_float (frac *. float_of_int total))) in
+      ignore (Unix.write t.fd buf 0 keep);
+      raise Faulty_disk.Crash));
+  lsn
+
+let create ?obs ?faults ~page_size ~base path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let t =
+    {
+      fd;
+      path;
+      page_size;
+      logged = Hashtbl.create 64;
+      base;
+      next_lsn = 1;
+      appends = 0;
+      bytes_logged = 0;
+      obs;
+      faults;
+    }
+  in
+  write_header t;
+  ignore (append t ~kind:kind_begin ~arg:base None);
+  t
+
+let path t = t.path
+let base t = t.base
+let appends t = t.appends
+let bytes_logged t = t.bytes_logged
+let set_faults t faults = t.faults <- faults
+
+let needs_before t page = page >= 0 && page < t.base && not (Hashtbl.mem t.logged page)
+
+let log_before t ~page image =
+  if needs_before t page then begin
+    if Bytes.length image <> t.page_size then invalid_arg "Wal.log_before: image size mismatch";
+    (* Mark first: if the append crashes, the simulated process is dead
+       anyway, and a leaked handle must not log a second (post-write)
+       "pre"-image for the same page. *)
+    Hashtbl.replace t.logged page ();
+    let lsn = append t ~kind:kind_before ~arg:page (Some image) in
+    match t.obs with
+    | None -> ()
+    | Some obs ->
+      Natix_obs.Obs.emit obs
+        (Natix_obs.Event.Wal_append { lsn; page; bytes = t.page_size })
+  end
+
+let commit t ~page_count =
+  let pages = Hashtbl.length t.logged in
+  let lsn = append t ~kind:kind_commit ~arg:page_count None in
+  (* The commit record is durable; everything before it is now moot. *)
+  Unix.ftruncate t.fd header_size;
+  Hashtbl.reset t.logged;
+  t.base <- page_count;
+  ignore (append t ~kind:kind_begin ~arg:page_count None);
+  match t.obs with
+  | None -> ()
+  | Some obs -> Natix_obs.Obs.emit obs (Natix_obs.Event.Wal_commit { lsn; pages })
+
+let close t = Unix.close t.fd

@@ -1,0 +1,69 @@
+(** Physical write-ahead log (undo logging).
+
+    The buffer pool runs a {e steal} policy — dirty pages may be evicted
+    and written home mid-batch — so durability works by undo: before the
+    first write-back of a page in a batch, its raw on-disk pre-image is
+    appended here ({!log_before}); a checkpoint flushes every dirty page
+    and then {!commit}s, truncating the log.  A store killed at any point
+    therefore reopens ({!Recovery.run}) to its last checkpoint: committed
+    batches need nothing (their data writes all preceded the commit
+    record), and an uncommitted batch is rolled back from its pre-images.
+
+    Pages allocated {e during} a batch need no pre-image — the batch-start
+    [Begin] record carries the page count to truncate back to.
+
+    Every entry is protected by its own CRC-32, so a tail torn by a crash
+    mid-append is detected and discarded; log-before-data ordering makes
+    that safe (a torn pre-image entry means the page itself was never
+    overwritten).
+
+    One log file per store, at [<store path> ^ ".wal"]. *)
+
+type t
+
+(** [create ~page_size ~base path] truncates/creates the log and starts a
+    batch with [base] as the rollback page count — call only after
+    {!Recovery.run} has consumed any previous log.  [faults] shares the
+    disk's fault-injection plan so crash points cover log appends too. *)
+val create :
+  ?obs:Natix_obs.Obs.t -> ?faults:Faulty_disk.t -> page_size:int -> base:int -> string -> t
+
+val path : t -> string
+
+(** Page count rolled back to if the current batch never commits. *)
+val base : t -> int
+
+(** True when [page] needs its pre-image logged before its first
+    write-back of this batch (false for pages allocated within the batch
+    and for pages already logged). *)
+val needs_before : t -> int -> bool
+
+(** [log_before t ~page image] appends the raw pre-image (length = the
+    disk's physical page size, trailer included).  No-op unless
+    {!needs_before}. *)
+val log_before : t -> page:int -> bytes -> unit
+
+(** [commit t ~page_count] seals the batch: appends a commit record,
+    truncates the log, and opens the next batch with [page_count] as its
+    rollback base.  Call only after every dirty page has been flushed. *)
+val commit : t -> page_count:int -> unit
+
+(** Entries appended since {!create} (pre-images, begins and commits). *)
+val appends : t -> int
+
+(** Total log bytes written since {!create} — the numerator of the WAL
+    write-amplification ratio reported by the benchmarks. *)
+val bytes_logged : t -> int
+
+val set_faults : t -> Faulty_disk.t option -> unit
+val close : t -> unit
+
+(** {2 On-disk format constants (shared with {!Recovery})} *)
+
+val magic : int
+val version : int
+val header_size : int
+val entry_header_size : int
+val kind_begin : int
+val kind_before : int
+val kind_commit : int

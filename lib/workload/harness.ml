@@ -37,6 +37,7 @@ let build ~page_size ?(buffer_bytes = 2 * 1024 * 1024) ?(merge_threshold = 0.5) 
   in
   let config =
     {
+      (Config.default ()) with
       Config.page_size;
       buffer_bytes;
       matrix;

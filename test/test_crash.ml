@@ -1,0 +1,235 @@
+(* Crash-consistency harness.
+
+   A deterministic Shakespeare load+update workload runs against a
+   file-backed store with a fault plan armed to crash on the [k+1]-th
+   physical write (data pages, fresh allocations and WAL appends all
+   count).  After the simulated process death the store is reopened —
+   which runs {!Natix_store.Recovery} — and must come back to exactly the
+   last committed checkpoint: [natix fsck] clean, and every document's
+   export byte-identical to the reference run's snapshot at that
+   checkpoint.  A crash landing inside a checkpoint is allowed to resolve
+   to either side of its commit record.
+
+   The sweep covers [NATIX_CRASH_POINTS] (default 12, CI uses 32) evenly
+   spaced crash points over the write sequence; [NATIX_CRASH_TRACE=f.jsonl]
+   additionally records every recovery's event stream as JSON lines. *)
+
+open Natix_core
+open Natix_store
+open Natix_workload
+
+let page_size = 1024
+
+let config () =
+  { (Config.default ()) with Config.page_size; buffer_bytes = 8 * page_size }
+
+(* One small play: big enough to split pages and dirty the pool across
+   several checkpoints, small enough to replay dozens of times. *)
+let play =
+  let params =
+    {
+      Shakespeare.plays = 1;
+      seed = 0xC0FFEEL;
+      acts_per_play = 2;
+      scenes_per_act = (1, 2);
+      speeches_per_scene = (3, 5);
+      lines_per_speech = (2, 4);
+      words_per_line = (4, 8);
+      personae = (2, 4);
+      stagedir_every = 4;
+    }
+  in
+  Shakespeare.generate_play params (Natix_util.Prng.create ~seed:params.Shakespeare.seed) 0
+
+let rounds = 3
+let updates_per_round = 5
+
+(* The workload: load, checkpoint, then rounds of text updates with a
+   checkpoint after each.  [checkpoint] is instrumented by the caller. *)
+let workload store ~checkpoint =
+  ignore (Loader.load store ~name:"play" play);
+  checkpoint ();
+  for r = 1 to rounds do
+    let lines = Path.query store ~doc:"play" "//LINE" in
+    let n = List.length lines in
+    for i = 0 to updates_per_round - 1 do
+      let line = List.nth lines (((r * 37) + (i * 11)) mod n) in
+      match Cursor.first_child line with
+      | Some c when Cursor.is_text c ->
+        Tree_store.update_text store (Cursor.node c)
+          (Printf.sprintf "round %d update %d %s" r i (String.make (24 * ((r + i) mod 5)) 'x'))
+      | Some _ | None -> ()
+    done;
+    checkpoint ()
+  done
+
+(* Every document's export, sorted by name — the unit of byte-for-byte
+   comparison between reference snapshots and recovered stores. *)
+let state_of store =
+  Tree_store.list_documents store
+  |> List.sort compare
+  |> List.map (fun name ->
+         ( name,
+           Natix_xml.Xml_print.to_string (Option.get (Exporter.document_to_xml store name)) ))
+
+let fresh path =
+  if Sys.file_exists path then Sys.remove path;
+  let wal = Recovery.wal_path path in
+  if Sys.file_exists wal then Sys.remove wal
+
+(* Reference run (fault plan attached but never armed): returns the total
+   number of physical writes and the state snapshot after each checkpoint.
+   Snapshot 0 is the empty store — where a crash before the first
+   checkpoint must roll back to. *)
+let reference path =
+  fresh path;
+  let plan = Faulty_disk.create ~seed:1L () in
+  let disk = Disk.on_file ~page_size path in
+  Disk.set_faults disk (Some plan);
+  let store = Tree_store.open_store ~config:(config ()) disk in
+  let snapshots = ref [ [] ] in
+  workload store ~checkpoint:(fun () ->
+      Tree_store.checkpoint store;
+      snapshots := state_of store :: !snapshots);
+  Tree_store.close ~commit:false store;
+  (Faulty_disk.writes_seen plan, Array.of_list (List.rev !snapshots))
+
+type crash_outcome = { crashed : bool; completed : int; in_checkpoint : bool }
+
+(* Run the workload with a crash armed after [k] writes, closing every
+   file descriptor on death without letting anything else reach disk. *)
+let run_to_crash path k =
+  fresh path;
+  let plan = Faulty_disk.create ~seed:(Int64.of_int (1000 + k)) () in
+  Faulty_disk.arm_crash plan k;
+  let completed = ref 0 and in_checkpoint = ref false in
+  let disk = Disk.on_file ~page_size path in
+  Disk.set_faults disk (Some plan);
+  let crashed =
+    match Tree_store.open_store ~config:(config ()) disk with
+    | exception Faulty_disk.Crash ->
+      Disk.close disk;
+      true
+    | store -> (
+      let checkpoint () =
+        in_checkpoint := true;
+        Tree_store.checkpoint store;
+        in_checkpoint := false;
+        incr completed
+      in
+      match workload store ~checkpoint with
+      | () ->
+        Tree_store.close ~commit:false store;
+        false
+      | exception Faulty_disk.Crash ->
+        Tree_store.close ~commit:false store;
+        true)
+  in
+  { crashed; completed = !completed; in_checkpoint = (if crashed then !in_checkpoint else false) }
+
+(* Reopen after the crash (recovery runs inside [open_store]), fsck, and
+   compare against the reference snapshot. *)
+let verify_recovered ?obs path k (snapshots : (string * string) list array) outcome =
+  let disk = Disk.on_file ?obs ~page_size path in
+  let store = Tree_store.open_store ~config:(config ()) disk in
+  let report = Fsck.run store in
+  if not (Fsck.ok report) then
+    Alcotest.failf "crash point %d: post-recovery fsck: %a" k Fsck.pp report;
+  let actual = state_of store in
+  let matches n = n < Array.length snapshots && actual = snapshots.(n) in
+  let ok =
+    matches outcome.completed || (outcome.in_checkpoint && matches (outcome.completed + 1))
+  in
+  if not ok then
+    Alcotest.failf
+      "crash point %d: recovered state matches neither checkpoint %d%s (completed %d, %d doc(s))"
+      k outcome.completed
+      (if outcome.in_checkpoint then " nor its in-flight successor" else "")
+      outcome.completed (List.length actual);
+  Tree_store.close ~commit:false store
+
+let crash_points total =
+  let n =
+    match Sys.getenv_opt "NATIX_CRASH_POINTS" with
+    | Some v -> ( match int_of_string_opt v with Some n when n > 0 -> n | _ -> 12)
+    | None -> 12
+  in
+  if total <= 1 then [ 0 ]
+  else
+    List.init n (fun i -> i * (total - 1) / max 1 (n - 1)) |> List.sort_uniq compare
+
+let sweep () =
+  let path = Filename.temp_file "natix_crash" ".db" in
+  Fun.protect
+    ~finally:(fun () -> fresh path)
+    (fun () ->
+      let total_writes, snapshots = reference path in
+      Alcotest.(check bool) "workload writes pages" true (total_writes > 0);
+      Alcotest.(check int) "snapshot per checkpoint" (rounds + 2) (Array.length snapshots);
+      let obs =
+        Option.map
+          (fun p -> Natix_obs.Obs.create ~sink:(Natix_obs.Sink.jsonl p) ())
+          (Sys.getenv_opt "NATIX_CRASH_TRACE")
+      in
+      Fun.protect
+        ~finally:(fun () -> Option.iter Natix_obs.Obs.close obs)
+        (fun () ->
+          List.iter
+            (fun k ->
+              let outcome = run_to_crash path k in
+              Alcotest.(check bool)
+                (Printf.sprintf "crash point %d fires" k)
+                true outcome.crashed;
+              verify_recovered ?obs path k snapshots outcome)
+            (crash_points total_writes)))
+
+let harness_tests =
+  [
+    Alcotest.test_case "recovery reaches the last checkpoint at every crash point" `Slow sweep;
+    Alcotest.test_case "raw page sweep finds a flipped byte" `Quick (fun () ->
+        let path = Filename.temp_file "natix_crash" ".db" in
+        Fun.protect
+          ~finally:(fun () -> fresh path)
+          (fun () ->
+            fresh path;
+            let disk = Disk.on_file ~page_size path in
+            let store = Tree_store.open_store ~config:(config ()) disk in
+            ignore (Loader.load store ~name:"play" play);
+            Tree_store.close store;
+            let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+            let off = page_size + (page_size / 2) in
+            ignore (Unix.lseek fd off Unix.SEEK_SET);
+            let b = Bytes.create 1 in
+            ignore (Unix.read fd b 0 1);
+            ignore (Unix.lseek fd off Unix.SEEK_SET);
+            Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+            ignore (Unix.write fd b 0 1);
+            Unix.close fd;
+            let disk2 = Disk.on_file ~page_size path in
+            let report = Fsck.run_disk disk2 in
+            Disk.close disk2;
+            Alcotest.(check bool) "sweep flags corruption" false (Fsck.ok report);
+            Alcotest.(check int) "exactly one bad page" 1 (List.length report.Fsck.issues)));
+    Alcotest.test_case "a clean run needs no recovery" `Quick (fun () ->
+        let path = Filename.temp_file "natix_crash" ".db" in
+        Fun.protect
+          ~finally:(fun () -> fresh path)
+          (fun () ->
+            fresh path;
+            let disk = Disk.on_file ~page_size path in
+            let store = Tree_store.open_store ~config:(config ()) disk in
+            workload store ~checkpoint:(fun () -> Tree_store.checkpoint store);
+            let final = state_of store in
+            Tree_store.close store;
+            let disk2 = Disk.on_file ~page_size path in
+            let rep = Recovery.run disk2 in
+            Alcotest.(check int) "nothing undone" 0 rep.Recovery.undone;
+            Disk.close disk2;
+            let disk3 = Disk.on_file ~page_size path in
+            let store3 = Tree_store.open_store ~config:(config ()) disk3 in
+            Alcotest.(check bool) "fsck clean" true (Fsck.ok (Fsck.run store3));
+            Alcotest.(check bool) "state survives" true (state_of store3 = final);
+            Tree_store.close ~commit:false store3));
+  ]
+
+let suites = [ ("crash.consistency", harness_tests) ]

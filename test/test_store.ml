@@ -139,20 +139,22 @@ let disk_tests =
   [
     Alcotest.test_case "memory disk roundtrip" `Quick (fun () ->
         let d = Disk.in_memory ~page_size:512 () in
+        let ps = Disk.payload_size d in
+        Alcotest.(check int) "payload excludes the trailer" (512 - Disk.trailer_size) ps;
         let p0 = Disk.allocate d and p1 = Disk.allocate d in
         Alcotest.(check int) "ids dense" 0 p0;
         Alcotest.(check int) "ids dense" 1 p1;
-        let w = Bytes.make 512 'x' in
+        let w = Bytes.make ps 'x' in
         Disk.write d p1 w;
-        let r = Bytes.create 512 in
+        let r = Bytes.create ps in
         Disk.read d p1 r;
         Alcotest.(check bytes) "content" w r;
         Disk.read d p0 r;
-        Alcotest.(check bytes) "fresh page zeroed" (Bytes.make 512 '\000') r);
+        Alcotest.(check bytes) "fresh page zeroed" (Bytes.make ps '\000') r);
     Alcotest.test_case "stats count reads and writes" `Quick (fun () ->
         let d = Disk.in_memory ~page_size:512 () in
         let p = Disk.allocate d in
-        let b = Bytes.create 512 in
+        let b = Bytes.create (Disk.payload_size d) in
         Disk.write d p b;
         Disk.read d p b;
         Disk.read d p b;
@@ -165,7 +167,7 @@ let disk_tests =
         for _ = 1 to 5 do
           ignore (Disk.allocate d)
         done;
-        let b = Bytes.create 512 in
+        let b = Bytes.create (Disk.payload_size d) in
         for p = 0 to 4 do
           Disk.read d p b
         done;
@@ -176,17 +178,18 @@ let disk_tests =
         let d = Disk.in_memory ~page_size:512 () in
         Alcotest.check_raises "invalid page"
           (Invalid_argument "Disk: page 3 out of bounds (count 0)") (fun () ->
-            Disk.read d 3 (Bytes.create 512)));
+            Disk.read d 3 (Bytes.create (Disk.payload_size d))));
     Alcotest.test_case "file disk persists across reopen" `Quick (fun () ->
         let path = Filename.temp_file "natix" ".db" in
         let d = Disk.on_file ~page_size:256 path in
+        let ps = Disk.payload_size d in
         let p = Disk.allocate d in
-        let w = Bytes.make 256 'z' in
+        let w = Bytes.make ps 'z' in
         Disk.write d p w;
         Disk.close d;
         let d2 = Disk.on_file ~page_size:256 path in
         Alcotest.(check int) "page count" 1 (Disk.page_count d2);
-        let r = Bytes.create 256 in
+        let r = Bytes.create ps in
         Disk.read d2 p r;
         Alcotest.(check bytes) "content survived" w r;
         Disk.close d2;
@@ -196,8 +199,8 @@ let disk_tests =
         let d = Disk.on_file ~page_size:256 path in
         Disk.close d;
         (match Disk.on_file ~page_size:512 path with
-        | exception Failure _ -> ()
-        | _ -> Alcotest.fail "expected failure");
+        | exception Disk.Bad_page { page = -1; _ } -> ()
+        | _ -> Alcotest.fail "expected Bad_page");
         Sys.remove path);
   ]
 
@@ -226,7 +229,7 @@ let pool_tests =
         | [] -> assert false);
         (* Touch enough other pages to evict p0. *)
         List.iter (fun p -> Buffer_pool.with_page pool p (fun _ -> ())) (List.tl pids);
-        let b = Bytes.create 256 in
+        let b = Bytes.create (Disk.payload_size d) in
         Disk.read d 0 b;
         Alcotest.(check char) "dirty byte reached disk" '!' (Bytes.get b 0));
     Alcotest.test_case "clear flushes and empties" `Quick (fun () ->
@@ -237,7 +240,7 @@ let pool_tests =
             Buffer_pool.mark_dirty f);
         Buffer_pool.clear pool;
         Alcotest.(check int) "empty" 0 (Buffer_pool.resident pool);
-        let b = Bytes.create 256 in
+        let b = Bytes.create (Disk.payload_size d) in
         Disk.read d p b;
         Alcotest.(check char) "flushed" '?' (Bytes.get b 1));
     Alcotest.test_case "pinned frames cannot be evicted" `Quick (fun () ->
@@ -245,7 +248,7 @@ let pool_tests =
         let pids = List.init 3 (fun _ -> Disk.allocate d) in
         let frames = List.map (Buffer_pool.fix pool) (List.filteri (fun i _ -> i < 2) pids) in
         (match Buffer_pool.fix pool (List.nth pids 2) with
-        | exception Failure _ -> ()
+        | exception Buffer_pool.All_frames_pinned -> ()
         | _ -> Alcotest.fail "expected all-pinned failure");
         List.iter (Buffer_pool.unfix pool) frames);
     Alcotest.test_case "fix_new avoids the disk read" `Quick (fun () ->
@@ -622,3 +625,326 @@ let tombstone_tests =
   ]
 
 let suites = suites @ [ ("store.tombstone", tombstone_tests) ]
+
+(* ------------------------------------------------------------------ *)
+(* Checksums (page trailers, WAL entries)                              *)
+
+let checksum_tests =
+  [
+    Alcotest.test_case "known test vector" `Quick (fun () ->
+        (* The canonical CRC-32 check value. *)
+        Alcotest.(check int) "123456789" 0xcbf43926 (Checksum.crc32_string "123456789"));
+    Alcotest.test_case "empty input" `Quick (fun () ->
+        Alcotest.(check int) "empty" 0 (Checksum.crc32_string ""));
+    qtest "chaining equals concatenation"
+      QCheck2.Gen.(pair (string_size (int_bound 64)) (string_size (int_bound 64)))
+      (fun (a, b) ->
+        Checksum.crc32_string ~init:(Checksum.crc32_string a) b = Checksum.crc32_string (a ^ b));
+    qtest "every byte matters"
+      QCheck2.Gen.(pair (string_size ~gen:printable (int_range 1 64)) (int_bound 1000))
+      (fun (s, i) ->
+        let i = i mod String.length s in
+        let b = Bytes.of_string s in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+        Checksum.crc32_string (Bytes.to_string b) <> Checksum.crc32_string s);
+  ]
+
+let suites = suites @ [ ("store.checksum", checksum_tests) ]
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection and read retries                                    *)
+
+let fault_tests =
+  [
+    Alcotest.test_case "armed crash fires and the plan stays dead" `Quick (fun () ->
+        let plan = Faulty_disk.create ~seed:7L () in
+        let d = Disk.in_memory ~page_size:256 () in
+        Disk.set_faults d (Some plan);
+        let p = Disk.allocate d in
+        let ps = Disk.payload_size d in
+        Disk.write d p (Bytes.make ps 'A');
+        Faulty_disk.arm_crash ~torn:false plan 0;
+        (match Disk.write d p (Bytes.make ps 'B') with
+        | exception Faulty_disk.Crash -> ()
+        | () -> Alcotest.fail "expected Crash");
+        Alcotest.(check bool) "crashed" true (Faulty_disk.crashed plan);
+        (* Post-mortem: writes keep being dropped, reads fail. *)
+        (match Disk.write d p (Bytes.make ps 'C') with
+        | exception Faulty_disk.Crash -> ()
+        | () -> Alcotest.fail "expected Crash on post-mortem write");
+        (match Disk.read d p (Bytes.create ps) with
+        | exception Faulty_disk.Read_error _ -> ()
+        | () -> Alcotest.fail "expected Read_error on post-mortem read");
+        (* The lost write must not have reached the platters. *)
+        Disk.set_faults d None;
+        let r = Bytes.create ps in
+        Disk.read d p r;
+        Alcotest.(check bytes) "lost write dropped" (Bytes.make ps 'A') r);
+    Alcotest.test_case "crash on a file write never persists the new image" `Quick (fun () ->
+        (* Whether the final write tears (checksum-invalid page) or is lost
+           (old content intact), the new image must never be readable. *)
+        let check_seed seed =
+          let path = Filename.temp_file "natix_fault" ".db" in
+          let plan = Faulty_disk.create ~seed () in
+          let d = Disk.on_file ~page_size:256 path in
+          let ps = Disk.payload_size d in
+          Disk.set_faults d (Some plan);
+          let p = Disk.allocate d in
+          Disk.write d p (Bytes.make ps 'A');
+          Faulty_disk.arm_crash plan 0;
+          (match Disk.write d p (Bytes.make ps 'B') with
+          | exception Faulty_disk.Crash -> ()
+          | () -> Alcotest.fail "expected Crash");
+          Disk.close d;
+          let d2 = Disk.on_file ~page_size:256 path in
+          (match Disk.read d2 p (Bytes.create ps) with
+          | exception Disk.Bad_page _ -> () (* torn: trailer no longer matches *)
+          | () -> (
+            let r = Bytes.create ps in
+            Disk.read d2 p r;
+            Alcotest.(check bytes) "lost write left old content" (Bytes.make ps 'A') r));
+          Disk.close d2;
+          Sys.remove path
+        in
+        List.iter (fun s -> check_seed (Int64.of_int s)) [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
+    Alcotest.test_case "transient read errors are retried by the pool" `Quick (fun () ->
+        let plan = Faulty_disk.create ~seed:3L () in
+        let d = Disk.in_memory ~page_size:256 () in
+        Disk.set_faults d (Some plan);
+        let pool = Buffer_pool.create ~disk:d ~bytes:(4 * 256) () in
+        let p = Disk.allocate d in
+        Disk.write d p (Bytes.make (Disk.payload_size d) 'x');
+        Faulty_disk.fail_next_reads plan 2;
+        Buffer_pool.with_page pool p (fun f ->
+            Alcotest.(check char) "content after retries" 'x' (Bytes.get f.Buffer_pool.data 0));
+        Alcotest.(check bool) "extra read attempts" true (Faulty_disk.reads_seen plan >= 3));
+    Alcotest.test_case "read errors beyond the retry budget escape" `Quick (fun () ->
+        let plan = Faulty_disk.create ~seed:3L () in
+        let d = Disk.in_memory ~page_size:256 () in
+        Disk.set_faults d (Some plan);
+        let pool = Buffer_pool.create ~disk:d ~bytes:(4 * 256) ~read_retries:1 () in
+        let p = Disk.allocate d in
+        Faulty_disk.fail_next_reads plan 10;
+        (match Buffer_pool.with_page pool p (fun _ -> ()) with
+        | exception Faulty_disk.Read_error _ -> ()
+        | () -> Alcotest.fail "expected Read_error");
+        Faulty_disk.disarm plan;
+        (* The half-made frame must not linger: the next fix succeeds. *)
+        Buffer_pool.with_page pool p (fun _ -> ()));
+  ]
+
+let suites = suites @ [ ("store.faults", fault_tests) ]
+
+(* ------------------------------------------------------------------ *)
+(* File-backed disk lifecycle                                          *)
+
+let lifecycle_tests =
+  [
+    Alcotest.test_case "create, write, close, reopen, read" `Quick (fun () ->
+        let path = Filename.temp_file "natix_life" ".db" in
+        let d = Disk.on_file ~page_size:256 path in
+        let ps = Disk.payload_size d in
+        let p0 = Disk.allocate d and p1 = Disk.allocate d in
+        Disk.write d p0 (Bytes.make ps 'a');
+        Disk.write d p1 (Bytes.make ps 'b');
+        Disk.close d;
+        let d2 = Disk.on_file ~page_size:256 path in
+        Alcotest.(check int) "page count" 2 (Disk.page_count d2);
+        List.iter
+          (fun p -> Alcotest.(check (result unit string)) "verify" (Ok ()) (Disk.verify d2 p))
+          [ p0; p1 ];
+        let r = Bytes.create ps in
+        Disk.read d2 p1 r;
+        Alcotest.(check bytes) "content" (Bytes.make ps 'b') r;
+        Disk.close d2;
+        Sys.remove path);
+    Alcotest.test_case "detect_page_size is total" `Quick (fun () ->
+        let path = Filename.temp_file "natix_life" ".db" in
+        let d = Disk.on_file ~page_size:256 path in
+        Disk.close d;
+        Alcotest.(check (option int)) "valid file" (Some 256) (Disk.detect_page_size path);
+        let oc = open_out path in
+        output_string oc "not a natix file";
+        close_out oc;
+        Alcotest.(check (option int)) "bad magic" None (Disk.detect_page_size path);
+        Sys.remove path;
+        Alcotest.(check (option int)) "missing file" None (Disk.detect_page_size path));
+    Alcotest.test_case "reopen after truncation mid-page" `Quick (fun () ->
+        let path = Filename.temp_file "natix_life" ".db" in
+        let d = Disk.on_file ~page_size:256 path in
+        let ps = Disk.payload_size d in
+        let p0 = Disk.allocate d and p1 = Disk.allocate d in
+        Disk.write d p0 (Bytes.make ps 'a');
+        Disk.write d p1 (Bytes.make ps 'b');
+        Disk.close d;
+        (* Cut the file in the middle of the last page. *)
+        let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+        Unix.ftruncate fd ((3 * 256) - 128);
+        Unix.close fd;
+        let d2 = Disk.on_file ~page_size:256 path in
+        Alcotest.(check int) "superblock still counts both pages" 2 (Disk.page_count d2);
+        Alcotest.(check (result unit string)) "intact page verifies" (Ok ()) (Disk.verify d2 p0);
+        Alcotest.(check bool) "truncated page fails verification" true
+          (Result.is_error (Disk.verify d2 p1));
+        (match Disk.read d2 p1 (Bytes.create ps) with
+        | exception Disk.Bad_page { page; _ } -> Alcotest.(check int) "page id" p1 page
+        | () -> Alcotest.fail "expected Bad_page");
+        Disk.close d2;
+        Sys.remove path);
+  ]
+
+let suites = suites @ [ ("store.lifecycle", lifecycle_tests) ]
+
+(* ------------------------------------------------------------------ *)
+(* Write-ahead log and recovery                                        *)
+
+let wal_tests =
+  let with_store_file f =
+    let path = Filename.temp_file "natix_wal" ".db" in
+    Fun.protect
+      ~finally:(fun () ->
+        if Sys.file_exists path then Sys.remove path;
+        let w = Recovery.wal_path path in
+        if Sys.file_exists w then Sys.remove w)
+      (fun () -> f path)
+  in
+  [
+    Alcotest.test_case "uncommitted batch rolls back to pre-images" `Quick (fun () ->
+        with_store_file (fun path ->
+            let d = Disk.on_file ~page_size:256 path in
+            let ps = Disk.payload_size d in
+            let p = Disk.allocate d in
+            Disk.write d p (Bytes.make ps 'A');
+            let wal =
+              Wal.create ~page_size:(Disk.page_size d) ~base:(Disk.page_count d)
+                (Recovery.wal_path path)
+            in
+            let raw = Bytes.create (Disk.page_size d) in
+            Disk.read_raw d p raw;
+            Alcotest.(check bool) "needs pre-image" true (Wal.needs_before wal p);
+            Wal.log_before wal ~page:p raw;
+            Alcotest.(check bool) "logged once" false (Wal.needs_before wal p);
+            Disk.write d p (Bytes.make ps 'B');
+            Wal.close wal;
+            Disk.close d;
+            let d2 = Disk.on_file ~page_size:256 path in
+            let rep = Recovery.run d2 in
+            Alcotest.(check bool) "ran" true rep.Recovery.ran;
+            Alcotest.(check int) "one page undone" 1 rep.Recovery.undone;
+            let r = Bytes.create ps in
+            Disk.read d2 p r;
+            Alcotest.(check bytes) "pre-image restored" (Bytes.make ps 'A') r;
+            Disk.close d2));
+    Alcotest.test_case "committed batch is preserved" `Quick (fun () ->
+        with_store_file (fun path ->
+            let d = Disk.on_file ~page_size:256 path in
+            let ps = Disk.payload_size d in
+            let p = Disk.allocate d in
+            Disk.write d p (Bytes.make ps 'A');
+            let wal =
+              Wal.create ~page_size:(Disk.page_size d) ~base:(Disk.page_count d)
+                (Recovery.wal_path path)
+            in
+            let raw = Bytes.create (Disk.page_size d) in
+            Disk.read_raw d p raw;
+            Wal.log_before wal ~page:p raw;
+            Disk.write d p (Bytes.make ps 'B');
+            Wal.commit wal ~page_count:(Disk.page_count d);
+            Wal.close wal;
+            Disk.close d;
+            let d2 = Disk.on_file ~page_size:256 path in
+            let rep = Recovery.run d2 in
+            Alcotest.(check int) "nothing undone" 0 rep.Recovery.undone;
+            let r = Bytes.create ps in
+            Disk.read d2 p r;
+            Alcotest.(check bytes) "committed content kept" (Bytes.make ps 'B') r;
+            Disk.close d2));
+    Alcotest.test_case "uncommitted allocations are truncated" `Quick (fun () ->
+        with_store_file (fun path ->
+            let d = Disk.on_file ~page_size:256 path in
+            let ps = Disk.payload_size d in
+            let p0 = Disk.allocate d in
+            Disk.write d p0 (Bytes.make ps 'A');
+            let wal =
+              Wal.create ~page_size:(Disk.page_size d) ~base:(Disk.page_count d)
+                (Recovery.wal_path path)
+            in
+            let p1 = Disk.allocate d in
+            Alcotest.(check bool) "fresh page needs no pre-image" false (Wal.needs_before wal p1);
+            Disk.write d p1 (Bytes.make ps 'N');
+            Wal.close wal;
+            Disk.close d;
+            let d2 = Disk.on_file ~page_size:256 path in
+            let rep = Recovery.run d2 in
+            Alcotest.(check int) "allocation rolled back" 1 rep.Recovery.page_count;
+            Alcotest.(check int) "disk shrank" 1 (Disk.page_count d2);
+            Disk.close d2));
+    Alcotest.test_case "torn log tail is discarded" `Quick (fun () ->
+        with_store_file (fun path ->
+            let d = Disk.on_file ~page_size:256 path in
+            let ps = Disk.payload_size d in
+            let p = Disk.allocate d in
+            Disk.write d p (Bytes.make ps 'A');
+            let wal =
+              Wal.create ~page_size:(Disk.page_size d) ~base:(Disk.page_count d)
+                (Recovery.wal_path path)
+            in
+            let raw = Bytes.create (Disk.page_size d) in
+            Disk.read_raw d p raw;
+            Wal.log_before wal ~page:p raw;
+            Disk.write d p (Bytes.make ps 'B');
+            Wal.close wal;
+            Disk.close d;
+            (* A crash mid-append leaves a partial entry at the tail. *)
+            let fd = Unix.openfile (Recovery.wal_path path) [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+            ignore (Unix.write_substring fd "torn tail" 0 9);
+            Unix.close fd;
+            let d2 = Disk.on_file ~page_size:256 path in
+            let rep = Recovery.run d2 in
+            Alcotest.(check bool) "torn bytes reported" true (rep.Recovery.torn_bytes > 0);
+            Alcotest.(check int) "valid prefix still undone" 1 rep.Recovery.undone;
+            let r = Bytes.create ps in
+            Disk.read d2 p r;
+            Alcotest.(check bytes) "pre-image restored" (Bytes.make ps 'A') r;
+            Disk.close d2));
+    Alcotest.test_case "recovery is idempotent and resets the log" `Quick (fun () ->
+        with_store_file (fun path ->
+            let d = Disk.on_file ~page_size:256 path in
+            let ps = Disk.payload_size d in
+            let p = Disk.allocate d in
+            Disk.write d p (Bytes.make ps 'A');
+            let wal =
+              Wal.create ~page_size:(Disk.page_size d) ~base:(Disk.page_count d)
+                (Recovery.wal_path path)
+            in
+            let raw = Bytes.create (Disk.page_size d) in
+            Disk.read_raw d p raw;
+            Wal.log_before wal ~page:p raw;
+            Disk.write d p (Bytes.make ps 'B');
+            Wal.close wal;
+            Disk.close d;
+            let d2 = Disk.on_file ~page_size:256 path in
+            let rep1 = Recovery.run d2 in
+            Alcotest.(check int) "first pass undoes" 1 rep1.Recovery.undone;
+            let rep2 = Recovery.run d2 in
+            Alcotest.(check int) "second pass is a no-op" 0 rep2.Recovery.undone;
+            Disk.close d2));
+    Alcotest.test_case "wal counters track appended bytes" `Quick (fun () ->
+        with_store_file (fun path ->
+            let d = Disk.on_file ~page_size:256 path in
+            let p = Disk.allocate d in
+            let wal =
+              Wal.create ~page_size:(Disk.page_size d) ~base:(Disk.page_count d)
+                (Recovery.wal_path path)
+            in
+            let raw = Bytes.create (Disk.page_size d) in
+            Disk.read_raw d p raw;
+            Wal.log_before wal ~page:p raw;
+            Alcotest.(check int) "begin + one pre-image" 2 (Wal.appends wal);
+            Alcotest.(check bool) "bytes include the page image" true
+              (Wal.bytes_logged wal > Disk.page_size d);
+            Wal.close wal;
+            Disk.close d));
+  ]
+
+let suites = suites @ [ ("store.wal", wal_tests) ]
