@@ -392,6 +392,161 @@ module J = Natix_obs.Json
    shape is identical wherever an I/O delta is reported. *)
 let io_json io = J.parse (Format.asprintf "%a" Io_stats.pp_json io)
 
+(* ------------------------------------------------------------------ *)
+(* Query-engine bench: planned vs naive evaluation, index seeding, and
+   the scan-optimised buffer pool (read-ahead + segmented LRU).  Run on
+   its own with --query-bench (the CI smoke job). *)
+
+let qb_series = { Harness.matrix = Harness.Native; order = Loader.Preorder }
+
+let qb_count engine ~docs ~naive path =
+  List.fold_left
+    (fun acc doc ->
+      let run = if naive then Natix_query.Engine.query_naive else Natix_query.Engine.query in
+      match run engine ~doc path with
+      | Ok seq -> acc + Seq.length seq
+      | Error e -> failwith (Error.to_string e))
+    0 docs
+
+(* Engine over a harness store, with the element index built (the planner
+   only considers index seeding when one is attached). *)
+let qb_engine built =
+  let store = built.Harness.store in
+  let idx = Element_index.create store ~name:"elements" in
+  Element_index.rebuild idx;
+  Tree_store.sync store;
+  Natix_query.Engine.create ~index:idx store
+
+let qb_measure_pair built engine ~docs (name, path) =
+  let planned_hits, p = Harness.measure built (fun () -> qb_count engine ~docs ~naive:false path) in
+  let naive_hits, n = Harness.measure built (fun () -> qb_count engine ~docs ~naive:true path) in
+  if planned_hits <> naive_hits then
+    failwith (Printf.sprintf "%s: planned %d hits <> naive %d hits" name planned_hits naive_hits);
+  (planned_hits, p, n)
+
+let qb_planned_vs_naive corpus =
+  Printf.printf
+    "\nQuery bench - planned (lazy, index-aware) vs naive (strict navigation); 8K pages, 1:n \
+     append, cold buffers\n";
+  Printf.printf "%-8s %-28s %8s | %9s %9s | %9s %9s\n" "query" "path" "hits" "plan-rd" "plan-ms"
+    "naive-rd" "naive-ms";
+  let built = Harness.build ~page_size:8192 qb_series corpus in
+  let engine = qb_engine built in
+  let docs = built.Harness.docs in
+  List.map
+    (fun (name, path) ->
+      let hits, p, n = qb_measure_pair built engine ~docs (name, path) in
+      Printf.printf "%-8s %-28s %8d | %9d %9.0f | %9d %9.0f\n" name path hits p.Io_stats.reads
+        p.Io_stats.sim_ms n.Io_stats.reads n.Io_stats.sim_ms;
+      (name, path, hits, p, n))
+    [
+      ("q1", "//ACT[3]/SCENE[2]//SPEAKER");
+      ("q2", "/ACT/SCENE/SPEECH[1]");
+      ("q3", "/ACT[1]/SCENE[1]/SPEECH[1]");
+    ]
+
+let qb_index_seed corpus =
+  Printf.printf
+    "\nQuery bench - index seeding on one play (selective SCNDESCR vs dense SPEAKER)\n";
+  Printf.printf "%-28s %-12s %8s | %9s %9s\n" "path" "access" "hits" "plan-rd" "naive-rd";
+  let built = Harness.build ~page_size:8192 qb_series [ List.hd corpus ] in
+  let engine = qb_engine built in
+  let docs = built.Harness.docs in
+  let doc = List.hd docs in
+  List.map
+    (fun path ->
+      let plan =
+        match Natix_query.Engine.plan engine ~doc path with
+        | Ok p -> p
+        | Error e -> failwith (Error.to_string e)
+      in
+      let access = if Natix_query.Plan.uses_index plan then "index-seed" else "nav" in
+      let hits, p, n = qb_measure_pair built engine ~docs (path, path) in
+      Printf.printf "%-28s %-12s %8d | %9d %9d\n" path access hits p.Io_stats.reads
+        n.Io_stats.reads;
+      (path, access, hits, p, n))
+    [ "//SCNDESCR"; "//SPEAKER" ]
+
+(* Protocol: warm the per-document root paths (q3), run the full
+   traversal (a scan), then re-run q3 and read the pool's hit ratio --
+   did the scan evict the working set?  The 512K buffer is deliberately
+   much smaller than the store so eviction policy matters. *)
+let qb_scan_pool corpus =
+  Printf.printf
+    "\nQuery bench - scan-optimised pool (512K buffer): q3 warm-up, cold traversal, q3 re-run\n";
+  Printf.printf "%-24s %9s %9s %9s | %9s %13s\n" "pool" "trav-rd" "ra-pages" "trav-ms" "q3-ms"
+    "q3-hit-ratio";
+  List.map
+    (fun (name, read_ahead, scan_resistant) ->
+      let built =
+        Harness.build ~page_size:8192 ~buffer_bytes:(512 * 1024) ~read_ahead ~scan_resistant
+          qb_series corpus
+      in
+      let store = built.Harness.store in
+      let docs = built.Harness.docs in
+      let pool = Tree_store.buffer_pool store in
+      let io = Tree_store.io_stats store in
+      Tree_store.clear_buffers store;
+      ignore (Queries.q3 store ~docs);
+      let before = Io_stats.copy io in
+      ignore (Queries.full_traversal store ~docs);
+      let trav = Io_stats.diff (Io_stats.copy io) before in
+      Natix_store.Buffer_pool.reset_stats pool;
+      let before = Io_stats.copy io in
+      ignore (Queries.q3 store ~docs);
+      let q3 = Io_stats.diff (Io_stats.copy io) before in
+      let ratio = Natix_store.Buffer_pool.hit_ratio pool in
+      Printf.printf "%-24s %9d %9d %9.0f | %9.0f %13.3f\n" name trav.Io_stats.reads
+        trav.Io_stats.read_ahead_pages trav.Io_stats.sim_ms q3.Io_stats.sim_ms ratio;
+      (name, trav, q3, ratio))
+    [ ("plain LRU", 0, false); ("segmented LRU + RA 8", 8, true) ]
+
+let run_query_bench corpus =
+  let pvn = qb_planned_vs_naive corpus in
+  let seed = qb_index_seed corpus in
+  let scan = qb_scan_pool corpus in
+  J.Obj
+    [
+      ( "planned_vs_naive",
+        J.List
+          (List.map
+             (fun (name, path, hits, p, n) ->
+               J.Obj
+                 [
+                   ("query", J.String name);
+                   ("path", J.String path);
+                   ("hits", J.Int hits);
+                   ("planned_io", io_json p);
+                   ("naive_io", io_json n);
+                 ])
+             pvn) );
+      ( "index_seed",
+        J.List
+          (List.map
+             (fun (path, access, hits, p, n) ->
+               J.Obj
+                 [
+                   ("path", J.String path);
+                   ("access", J.String access);
+                   ("hits", J.Int hits);
+                   ("planned_io", io_json p);
+                   ("naive_io", io_json n);
+                 ])
+             seed) );
+      ( "scan_pool",
+        J.List
+          (List.map
+             (fun (name, trav, q3, ratio) ->
+               J.Obj
+                 [
+                   ("pool", J.String name);
+                   ("traversal_io", io_json trav);
+                   ("q3_io", io_json q3);
+                   ("q3_hit_ratio", J.Float ratio);
+                 ])
+             scan) );
+    ]
+
 let cell_json c =
   J.Obj
     [
@@ -431,29 +586,33 @@ let instrumented_metrics_json corpus =
       ("metrics", Natix_obs.Metrics.to_json (Natix_obs.Obs.metrics obs));
     ]
 
-let write_json_report path ~scale ~plays ~nodes ~bytes rows small =
-  let doc =
-    J.Obj
-      [
-        ( "corpus",
-          J.Obj
-            [
-              ("scale", J.Float scale);
-              ("plays", J.Int plays);
-              ("nodes", J.Int nodes);
-              ("bytes", J.Int bytes);
-            ] );
-        ("io_model", J.String "IBM DCAS-34330W (simulated ms)");
-        ( "cells",
-          J.List (List.concat_map (fun (_page, cells) -> List.map cell_json cells) rows) );
-        ("instrumented", instrumented_metrics_json small);
-      ]
-  in
+let corpus_json ~scale ~plays ~nodes ~bytes =
+  J.Obj
+    [
+      ("scale", J.Float scale); ("plays", J.Int plays); ("nodes", J.Int nodes);
+      ("bytes", J.Int bytes);
+    ]
+
+let write_json_doc path doc =
   let oc = open_out path in
   output_string oc (J.to_string doc);
   output_char oc '\n';
   close_out oc;
   Printf.printf "\nwrote %s\n" path
+
+let write_json_report path ~scale ~plays ~nodes ~bytes ?query rows small =
+  let doc =
+    J.Obj
+      ([
+         ("corpus", corpus_json ~scale ~plays ~nodes ~bytes);
+         ("io_model", J.String "IBM DCAS-34330W (simulated ms)");
+         ( "cells",
+           J.List (List.concat_map (fun (_page, cells) -> List.map cell_json cells) rows) );
+         ("instrumented", instrumented_metrics_json small);
+       ]
+      @ match query with None -> [] | Some q -> [ ("query_bench", q) ])
+  in
+  write_json_doc path doc
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per figure (wall clock)    *)
@@ -506,6 +665,7 @@ let () =
   let pages = ref default_page_sizes in
   let figures = ref [] in
   let run_ablations = ref true in
+  let query_only = ref false in
   let with_bechamel = ref false in
   let check = ref false in
   let json_path = ref "" in
@@ -519,6 +679,9 @@ let () =
         Arg.Int (fun n -> figures := n :: !figures),
         "N print only figure N (9-14; repeatable)" );
       ("--no-ablations", Arg.Clear run_ablations, " skip the ablation benches");
+      ( "--query-bench",
+        Arg.Set query_only,
+        " run only the query-engine bench (planned vs naive, index seeding, scan pool)" );
       ("--bechamel", Arg.Set with_bechamel, " also run Bechamel wall-clock micro-benchmarks");
       ("--check", Arg.Set check, " run integrity checks after each build");
       ( "--json",
@@ -536,6 +699,18 @@ let () =
      split target 1/2, tolerance 1/10 page; IBM DCAS-34330W I/O model (simulated ms).\n"
     (List.length corpus) nodes
     (float_of_int bytes /. 1e6);
+  if !query_only then begin
+    let query = run_query_bench corpus in
+    if !json_path <> "" then
+      write_json_doc !json_path
+        (J.Obj
+           [
+             ("corpus", corpus_json ~scale:!scale ~plays:(List.length corpus) ~nodes ~bytes);
+             ("io_model", J.String "IBM DCAS-34330W (simulated ms)");
+             ("query_bench", query);
+           ]);
+    exit 0
+  end;
   let rows =
     List.map
       (fun page_size ->
@@ -555,10 +730,15 @@ let () =
   in
   List.iter (print_figure rows) figures;
   print_aux rows;
+  let query =
+    if !run_ablations then
+      Some (run_query_bench (Shakespeare.generate (Shakespeare.scaled (Float.min !scale 0.25))))
+    else None
+  in
   if !json_path <> "" then begin
     let small = Shakespeare.generate (Shakespeare.scaled (Float.min !scale 0.1)) in
-    write_json_report !json_path ~scale:!scale ~plays:(List.length corpus) ~nodes ~bytes rows
-      small
+    write_json_report !json_path ~scale:!scale ~plays:(List.length corpus) ~nodes ~bytes ?query
+      rows small
   end;
   if !run_ablations then begin
     let small = Shakespeare.generate (Shakespeare.scaled (Float.min !scale 0.25)) in

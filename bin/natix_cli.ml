@@ -6,6 +6,7 @@
      natix list  store.natix
      natix cat   store.natix hamlet
      natix query store.natix hamlet "//ACT[3]/SCENE[2]//SPEAKER"
+     natix query store.natix hamlet "//SPEAKER" --explain   (show the plan)
      natix stats store.natix [hamlet]
      natix check store.natix hamlet
      natix scan  store.natix SPEAKER          (index-accelerated typed scan)
@@ -13,20 +14,23 @@
      natix delete store.natix hamlet
      natix gen   out.xml --scale 0.1        (synthetic corpus as XML files)
      natix trace hamlet.xml [--jsonl t.jsonl]  (instrumented load + report)
-*)
+
+   Store-touching commands run on a Natix.Session, the facade that
+   bundles disk + tree store + document manager + query engine.  Commands
+   that only read open the session without the element index and close it
+   without committing, so they never mutate the store file.  The
+   forensics commands (trace, fsck, recover) keep their direct
+   disk/store plumbing on purpose. *)
 
 open Cmdliner
 open Natix_core
 
-let open_store ?(create_page_size = 8192) path =
-  let page_size =
-    match Natix_store.Disk.detect_page_size path with
-    | Some ps -> ps
-    | None -> create_page_size
-  in
-  let config = { (Config.default ()) with Config.page_size } in
-  let disk = Natix_store.Disk.on_file ~page_size path in
-  Tree_store.open_store ~config disk
+let open_session ?(create_page_size = 8192) ?(with_index = false) path =
+  Natix.Session.open_file ~create_page_size ~with_index path
+
+let fail_error e =
+  Printf.eprintf "natix: %s\n" (Error.to_string e);
+  exit (Error.exit_code e)
 
 (* ---- arguments ---------------------------------------------------- *)
 
@@ -61,18 +65,22 @@ let read_file path =
 
 let load_cmd =
   let run store_path doc xml_path page_size order stream =
-    let store = open_store ~create_page_size:page_size store_path in
+    let sess = open_session ~create_page_size:page_size store_path in
+    let store = Natix.Session.store sess in
     let xml = Natix_xml.Xml_parser.parse_file xml_path in
     (if stream then
        (* one-pass SAX load; the parsed tree above is only used for the
           node-count report *)
        ignore (Loader.load_stream store ~name:doc (read_file xml_path))
-     else ignore (Loader.load store ~name:doc ~order xml));
-    Tree_store.sync store;
+     else
+       match Natix.Session.store_document sess ~name:doc ~order xml with
+       | Ok _ -> ()
+       | Error e -> fail_error e);
     Printf.printf "loaded %S (%d logical nodes) into %s\n" doc
       (Natix_xml.Xml_tree.node_count xml)
       store_path;
-    Format.printf "%a@." Stats.pp_doc (Stats.document store doc)
+    Format.printf "%a@." Stats.pp_doc (Stats.document store doc);
+    Natix.Session.close sess
   in
   let xml_arg =
     Arg.(required & pos 2 (some file) None & info [] ~docv:"FILE" ~doc:"XML file to load.")
@@ -84,19 +92,21 @@ let load_cmd =
 
 let list_cmd =
   let run store_path =
-    let store = open_store store_path in
-    List.iter print_endline (Tree_store.list_documents store)
+    let sess = open_session store_path in
+    List.iter print_endline (Natix.Session.documents sess);
+    Natix.Session.close ~commit:false sess
   in
   Cmd.v (Cmd.info "list" ~doc:"List stored documents.") Term.(const run $ store_arg)
 
 let cat_cmd =
   let run store_path doc pretty =
-    let store = open_store store_path in
-    match Exporter.document_to_xml store doc with
+    let sess = open_session store_path in
+    (match Natix.Session.export sess doc with
     | None -> prerr_endline "no such document"; exit 1
     | Some xml ->
       if pretty then print_string (Natix_xml.Xml_print.to_string_pretty xml)
-      else print_endline (Natix_xml.Xml_print.to_string xml)
+      else print_endline (Natix_xml.Xml_print.to_string xml));
+    Natix.Session.close ~commit:false sess
   in
   let pretty = Arg.(value & flag & info [ "pretty" ] ~doc:"Indented output.") in
   Cmd.v
@@ -104,18 +114,36 @@ let cat_cmd =
     Term.(const run $ store_arg $ doc_arg 1 $ pretty)
 
 let query_cmd =
-  let run store_path doc path texts =
-    let store = open_store store_path in
-    let hits = Path.query store ~doc path in
-    List.iter
-      (fun c ->
-        if texts then print_endline (Cursor.text_content c)
-        else if Cursor.is_element c then
-          print_endline (Exporter.to_string store (Cursor.node c))
-        else print_endline (Cursor.text c))
-      hits;
-    Printf.eprintf "%d hit(s); %s\n" (List.length hits)
-      (Format.asprintf "%a" Natix_store.Io_stats.pp (Tree_store.io_stats store))
+  let run store_path doc path texts naive explain no_index =
+    (* With the index open the planner may seed descendant steps from it;
+       [--no-index] (or [--naive]) forces pure navigation. *)
+    let with_index = (not no_index) && not naive in
+    let sess = open_session ~with_index store_path in
+    let store = Natix.Session.store sess in
+    (if explain then
+       match Natix.Session.explain sess ~doc path with
+       | Ok plan -> print_endline plan
+       | Error e -> fail_error e
+     else
+       let result =
+         if naive then Natix.Session.query_naive sess ~doc path
+         else Natix.Session.query sess ~doc path
+       in
+       match result with
+       | Error e -> fail_error e
+       | Ok hits ->
+         let n = ref 0 in
+         Seq.iter
+           (fun c ->
+             incr n;
+             if texts then print_endline (Cursor.text_content c)
+             else if Cursor.is_element c then
+               print_endline (Exporter.to_string store (Cursor.node c))
+             else print_endline (Cursor.text c))
+           hits;
+         Printf.eprintf "%d hit(s); %s\n" !n
+           (Format.asprintf "%a" Natix_store.Io_stats.pp (Tree_store.io_stats store)));
+    Natix.Session.close ~commit:false sess
   in
   let path_arg =
     Arg.(
@@ -124,22 +152,41 @@ let query_cmd =
       & info [] ~docv:"PATH" ~doc:"Path query, e.g. //ACT[3]/SCENE[2]//SPEAKER.")
   in
   let texts = Arg.(value & flag & info [ "text" ] ~doc:"Print text content instead of markup.") in
+  let naive =
+    Arg.(
+      value & flag
+      & info [ "naive" ]
+          ~doc:"Strict per-step evaluation without planning (the differential baseline).")
+  in
+  let explain =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Print the physical plan instead of evaluating.")
+  in
+  let no_index =
+    Arg.(
+      value & flag
+      & info [ "no-index" ] ~doc:"Plan without the element index (navigation only).")
+  in
   Cmd.v
-    (Cmd.info "query" ~doc:"Evaluate a path query against a document.")
-    Term.(const run $ store_arg $ doc_arg 1 $ path_arg $ texts)
+    (Cmd.info "query"
+       ~doc:
+         "Evaluate a path query against a document via the planning engine (child/descendant \
+          steps, attribute and text() tests, positional and text-equality predicates).")
+    Term.(const run $ store_arg $ doc_arg 1 $ path_arg $ texts $ naive $ explain $ no_index)
 
 let stats_cmd =
   let run store_path doc =
-    let store = open_store store_path in
+    let sess = open_session store_path in
+    let store = Natix.Session.store sess in
     (match doc with
     | Some doc -> Format.printf "%s: %a@." doc Stats.pp_doc (Stats.document store doc)
     | None ->
       List.iter
         (fun doc -> Format.printf "%-20s %a@." doc Stats.pp_doc (Stats.document store doc))
-        (Tree_store.list_documents store));
+        (Natix.Session.documents sess));
     Printf.printf "store: %d pages of %d bytes = %d bytes on disk\n"
       (Natix_store.Disk.page_count (Natix_store.Buffer_pool.disk (Tree_store.buffer_pool store)))
-      (Tree_store.config store).Config.page_size (Stats.disk_bytes store)
+      (Tree_store.config store).Config.page_size (Stats.disk_bytes store);
+    Natix.Session.close ~commit:false sess
   in
   let doc = Arg.(value & pos 1 (some string) None & info [] ~docv:"DOC") in
   Cmd.v
@@ -148,9 +195,10 @@ let stats_cmd =
 
 let check_cmd =
   let run store_path doc =
-    let store = open_store store_path in
-    Tree_store.check_document store doc;
-    print_endline "ok"
+    let sess = open_session store_path in
+    Tree_store.check_document (Natix.Session.store sess) doc;
+    print_endline "ok";
+    Natix.Session.close ~commit:false sess
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Run the physical-tree integrity check on a document.")
@@ -158,8 +206,9 @@ let check_cmd =
 
 let scan_cmd =
   let run store_path element texts =
-    let store = open_store store_path in
-    let dm = Document_manager.create store in
+    let sess = open_session ~with_index:true store_path in
+    let store = Natix.Session.store sess in
+    let dm = Natix.Session.manager sess in
     (match Document_manager.index dm with
     | Some idx -> Element_index.rebuild idx
     | None -> ());
@@ -170,7 +219,7 @@ let scan_cmd =
         else print_endline (Exporter.to_string store n))
       nodes;
     Printf.eprintf "%d node(s) of type %s\n" (List.length nodes) element;
-    Tree_store.sync store
+    Natix.Session.close sess
   in
   let element_arg =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"ELEMENT" ~doc:"Element name.")
@@ -182,18 +231,18 @@ let scan_cmd =
 
 let validate_cmd =
   let run store_path doc =
-    let store = open_store store_path in
-    let dm = Document_manager.create ~with_index:false store in
-    match Document_manager.document_dtd dm doc with
+    let sess = open_session store_path in
+    (match Document_manager.document_dtd (Natix.Session.manager sess) doc with
     | None ->
       print_endline "no DTD stored with this document";
       exit 1
     | Some _ -> (
-      match Document_manager.validate dm doc with
+      match Natix.Session.validate sess doc with
       | Ok () -> print_endline "valid"
       | Error e ->
-        Printf.printf "invalid: %s\n" e;
-        exit 1)
+        Printf.printf "invalid: %s\n" (Error.to_string e);
+        exit (Error.exit_code e)));
+    Natix.Session.close ~commit:false sess
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Validate a document against its stored DTD.")
@@ -201,9 +250,9 @@ let validate_cmd =
 
 let delete_cmd =
   let run store_path doc =
-    let store = open_store store_path in
-    Tree_store.delete_document store doc;
-    Tree_store.sync store;
+    let sess = open_session store_path in
+    Natix.Session.delete_document sess doc;
+    Natix.Session.close sess;
     Printf.printf "deleted %S\n" doc
   in
   Cmd.v (Cmd.info "delete" ~doc:"Delete a document.") Term.(const run $ store_arg $ doc_arg 1)
@@ -293,6 +342,16 @@ let trace_cmd =
          "Load an XML file into an instrumented in-memory store and report traces and metrics \
           (splits, fill factors, buffer hit ratio).")
     Term.(const run $ xml_arg $ page_size_arg $ order_arg $ jsonl_arg $ last_arg)
+
+(* fsck bypasses the session facade: it must open a possibly-damaged
+   store with the bare layers so a failure can fall back to the raw
+   page sweep. *)
+let open_store path =
+  let page_size =
+    Option.value ~default:8192 (Natix_store.Disk.detect_page_size path)
+  in
+  let config = { (Config.default ()) with Config.page_size } in
+  Tree_store.open_store ~config (Natix_store.Disk.on_file ~page_size path)
 
 let fsck_cmd =
   let run store_path =

@@ -26,14 +26,14 @@ let () =
   in
   (match Document_manager.store_document dm ~name:"othello" ~dtd (Xml_parser.parse doc) with
   | Ok _ -> print_endline "stored 'othello' (valid against its DTD)"
-  | Error e -> failwith e);
+  | Error e -> failwith (Error.to_string e));
 
   (* Invalid documents are rejected before anything is stored. *)
   (match
      Document_manager.store_document dm ~name:"broken" ~dtd
        (Xml_parser.parse "<PLAY><EPILOGUE/></PLAY>")
    with
-  | Error e -> Printf.printf "rejected 'broken': %s\n" e
+  | Error e -> Printf.printf "rejected 'broken': %s\n" (Error.to_string e)
   | Ok _ -> failwith "should have been rejected");
 
   (* Fragment integration validates against the DTD too. *)
@@ -45,13 +45,13 @@ let () =
        (Xml_parser.parse "<SPEECH><SPEAKER>IAGO</SPEAKER><LINE>My noble lord--</LINE></SPEECH>")
    with
   | Ok _ -> print_endline "grafted a SPEECH fragment into scene 1"
-  | Error e -> failwith e);
+  | Error e -> failwith (Error.to_string e));
   (match
      Document_manager.insert_fragment dm ~doc:"othello"
        (Tree_store.First_under (Cursor.node scene))
        (Xml_parser.parse "<PERSONA>stray</PERSONA>")
    with
-  | Error e -> Printf.printf "rejected a stray fragment: %s\n" e
+  | Error e -> Printf.printf "rejected a stray fragment: %s\n" (Error.to_string e)
   | Ok _ -> failwith "should have been rejected");
 
   (* The element index answers typed scans without traversing. *)
@@ -63,4 +63,4 @@ let () =
   (* The document still validates after the edits. *)
   match Document_manager.validate dm "othello" with
   | Ok () -> print_endline "document re-validates after updates"
-  | Error e -> failwith e
+  | Error e -> failwith (Error.to_string e)

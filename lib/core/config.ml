@@ -8,6 +8,8 @@ type t = {
   standalone_first_fit : bool;
   wal : bool;
   read_retries : int;
+  read_ahead : int;
+  scan_resistant : bool;
   obs : Natix_obs.Obs.t option;
 }
 
@@ -22,12 +24,15 @@ let default () =
     standalone_first_fit = false;
     wal = true;
     read_retries = 3;
+    read_ahead = 0;
+    scan_resistant = false;
     obs = None;
   }
 
 let with_page_size page_size t = { t with page_size }
 let with_matrix matrix t = { t with matrix }
 let with_obs obs t = { t with obs = Some obs }
+let with_scan_friendly ?(read_ahead = 8) t = { t with read_ahead; scan_resistant = true }
 
 (* The integrity trailer comes off every page before the slotted layout
    carves it up. *)
@@ -47,4 +52,6 @@ let validate t =
   if t.merge_threshold < 0. || t.merge_threshold > 1. then
     invalid_arg "Config: merge_threshold must be in [0, 1]";
   if t.read_retries < 0 || t.read_retries > 1000 then
-    invalid_arg "Config: read_retries must be in [0, 1000]"
+    invalid_arg "Config: read_retries must be in [0, 1000]";
+  if t.read_ahead < 0 || t.read_ahead > 1024 then
+    invalid_arg "Config: read_ahead must be in [0, 1024]"

@@ -34,6 +34,16 @@ type t = {
   read_retries : int;
       (** How many times the buffer pool retries a transiently failing
           page read (fault injection / flaky media) before giving up. *)
+  read_ahead : int;
+      (** Buffer-pool read-ahead window in pages: on a detected sequential
+          miss pattern the pool prefetches this many contiguous pages as
+          one batched run.  [0] (default) disables read-ahead, preserving
+          the paper's demand-paging behaviour. *)
+  scan_resistant : bool;
+      (** Segmented-LRU eviction: read-ahead and scan-mode pages enter a
+          probationary cold segment so full traversals stop evicting the
+          hot working set.  [false] (default) keeps the paper's plain
+          LRU. *)
   obs : Natix_obs.Obs.t option;
       (** Observability handle.  [None] (default) disables tracing and
           metrics entirely; every instrumented hot path is guarded by a
@@ -50,6 +60,11 @@ val with_matrix : Split_matrix.t -> t -> t
 
 (** Enable tracing/metrics collection through the given handle. *)
 val with_obs : Natix_obs.Obs.t -> t -> t
+
+(** Enable both scan optimisations: read-ahead (default window 8 pages)
+    and segmented-LRU eviction.  The query engine's full-traversal paths
+    are designed for a pool configured this way. *)
+val with_scan_friendly : ?read_ahead:int -> t -> t
 
 (** Largest record body a page can hold under this configuration. *)
 val max_record_size : t -> int

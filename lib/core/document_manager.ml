@@ -10,7 +10,12 @@ let create ?(with_index = true) store =
     if with_index then
       match Element_index.open_index store ~name:index_name with
       | Some idx -> Some idx
-      | None -> Some (Element_index.create store ~name:index_name)
+      | None ->
+        let idx = Element_index.create store ~name:index_name in
+        (* A fresh index on a store that already holds documents (loaded
+           while no listener was attached) starts empty; backfill it. *)
+        if Tree_store.list_documents store <> [] then Element_index.rebuild idx;
+        Some idx
     else None
   in
   { store; index }
@@ -30,7 +35,7 @@ let store_document t ~name ?dtd ?(infer_dtd = false) ?order xml =
   let dtd = match dtd with Some _ -> dtd | None -> if infer_dtd then Some (Dtd.infer ~name xml) else None in
   let validation = match dtd with None -> Ok () | Some d -> Dtd.validate d xml in
   match validation with
-  | Error _ as e -> e
+  | Error detail -> Error (Error.Validation { doc = name; detail })
   | Ok () ->
     let root = Loader.load t.store ~name ?order xml in
     (match dtd with
@@ -50,8 +55,11 @@ let validate t doc =
   | None -> Ok ()
   | Some dtd -> (
     match Exporter.document_to_xml t.store doc with
-    | None -> Error (Printf.sprintf "no document %S" doc)
-    | Some xml -> Dtd.validate dtd xml)
+    | None -> Error (Error.Storage (Printf.sprintf "no document %S" doc))
+    | Some xml -> (
+      match Dtd.validate dtd xml with
+      | Ok () -> Ok ()
+      | Error detail -> Error (Error.Validation { doc; detail })))
 
 (* The document a node belongs to, for fragment validation: climb to the
    root and look its record up in the catalog. *)
@@ -67,14 +75,15 @@ let insert_fragment t ~doc point xml =
   let anchor = match point with Tree_store.First_under n -> n | Tree_store.After n -> n in
   match doc_of_node t anchor with
   | Some owner when owner <> doc ->
-    Error (Printf.sprintf "insertion point belongs to %S, not %S" owner doc)
+    Error (Error.Storage (Printf.sprintf "insertion point belongs to %S, not %S" owner doc))
   | _ -> (
+    let invalid detail = Error (Error.Validation { doc; detail }) in
     let check =
       match document_dtd t doc with
       | None -> Ok ()
       | Some dtd -> (
         match Dtd.validate dtd xml with
-        | Error _ as e -> e
+        | Error detail -> invalid detail
         | Ok () -> (
           (* The fragment root must be allowed under the target parent. *)
           let parent =
@@ -88,12 +97,12 @@ let insert_fragment t ~doc point xml =
             match Dtd.spec_of dtd pname with
             | Some (Dtd.Children_of names) | Some (Dtd.Mixed names) ->
               if List.mem e.name names then Ok ()
-              else Error (Printf.sprintf "<%s> does not allow child <%s>" pname e.name)
+              else invalid (Printf.sprintf "<%s> does not allow child <%s>" pname e.name)
             | Some Dtd.Any -> Ok ()
-            | Some Dtd.Empty -> Error (Printf.sprintf "<%s> must stay empty" pname)
-            | Some Dtd.Pcdata_only ->
-              Error (Printf.sprintf "<%s> allows only text" pname)
-            | None -> Error (Printf.sprintf "undeclared parent <%s>" pname))
+            | Some Dtd.Empty -> invalid (Printf.sprintf "<%s> must stay empty" pname)
+            | Some Dtd.Pcdata_only -> invalid (Printf.sprintf "<%s> allows only text" pname)
+            | None ->
+              Error (Error.Dtd { doc; detail = Printf.sprintf "undeclared parent <%s>" pname }))
           | _ -> Ok ()))
     in
     match check with

@@ -36,20 +36,24 @@ val store_document :
   ?infer_dtd:bool ->
   ?order:Loader.order ->
   Natix_xml.Xml_tree.t ->
-  (Phys_node.t, string) result
+  (Phys_node.t, Error.t) result
 
 (** DTD stored with a document, if any. *)
 val document_dtd : t -> string -> Natix_xml.Dtd.t option
 
 (** Re-validate a stored document against its stored DTD ([Ok ()] when it
     has none). *)
-val validate : t -> string -> (unit, string) result
+val validate : t -> string -> (unit, Error.t) result
 
 (** [insert_fragment t ~doc point xml] validates the fragment against the
     document's DTD (it must fit the DTD on its own; the insertion point's
     parent must allow the fragment's root element), then grafts it. *)
 val insert_fragment :
-  t -> doc:string -> Tree_store.insert_point -> Natix_xml.Xml_tree.t -> (Phys_node.t, string) result
+  t ->
+  doc:string ->
+  Tree_store.insert_point ->
+  Natix_xml.Xml_tree.t ->
+  (Phys_node.t, Error.t) result
 
 (** Delete a document together with its DTD registration. *)
 val delete_document : t -> string -> unit

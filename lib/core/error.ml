@@ -1,0 +1,23 @@
+type t =
+  | Parse of string
+  | Validation of { doc : string; detail : string }
+  | Dtd of { doc : string; detail : string }
+  | Query of string
+  | Storage of string
+
+let to_string = function
+  | Parse detail -> "parse error: " ^ detail
+  | Validation { doc; detail } -> Printf.sprintf "document %S is invalid: %s" doc detail
+  | Dtd { doc; detail } -> Printf.sprintf "DTD problem in %S: %s" doc detail
+  | Query detail -> "query error: " ^ detail
+  | Storage detail -> detail
+
+(* Exit codes 3-6 belong to the storage-corruption exceptions mapped in the
+   CLI driver (Bad_page, Btree.Corrupt, ...); expected domain failures use
+   1 (invalid content) and 2 (usage-level: unparsable input, bad query,
+   missing document). *)
+let exit_code = function
+  | Validation _ | Dtd _ -> 1
+  | Parse _ | Query _ | Storage _ -> 2
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

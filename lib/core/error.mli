@@ -1,0 +1,27 @@
+(** Typed domain errors.
+
+    The document-manager entry points ({!Document_manager.store_document},
+    [validate], [insert_fragment]) and the query engine return these
+    instead of bare strings, so callers can branch on the failure class;
+    {!to_string} renders them for the CLI, and {!exit_code} maps them onto
+    the CLI's exit-code conventions. *)
+
+type t =
+  | Parse of string  (** malformed XML input *)
+  | Validation of { doc : string; detail : string }
+      (** a document or fragment violates the document's DTD *)
+  | Dtd of { doc : string; detail : string }
+      (** the DTD itself cannot be applied (e.g. an undeclared element) *)
+  | Query of string  (** path-query syntax or planning failure *)
+  | Storage of string
+      (** document-layer failure: unknown document, wrong owner, ... *)
+
+val to_string : t -> string
+
+(** CLI exit code for the error: 1 for invalid content
+    ([Validation]/[Dtd]), 2 for usage-level failures
+    ([Parse]/[Query]/[Storage]).  Codes 3–6 are reserved for the
+    storage-corruption exceptions the CLI maps separately. *)
+val exit_code : t -> int
+
+val pp : Format.formatter -> t -> unit

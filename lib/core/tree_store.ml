@@ -77,7 +77,8 @@ let open_store ?(config = Config.default ()) disk =
     | Some _ | None -> None
   in
   let pool =
-    Buffer_pool.create ~disk ~bytes:config.buffer_bytes ?wal ~read_retries:config.read_retries ()
+    Buffer_pool.create ~disk ~bytes:config.buffer_bytes ?wal ~read_retries:config.read_retries
+      ~read_ahead:config.read_ahead ~scan_resistant:config.scan_resistant ()
   in
   let seg = Segment.create pool in
   let rm = Record_manager.create seg in

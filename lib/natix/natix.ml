@@ -1,0 +1,14 @@
+(** Umbrella entry point.
+
+    [Natix.Session] is the recommended way in: it bundles the disk, the
+    tree store, the document manager and the query engine behind one
+    handle.  The layer libraries ([natix.store], [natix.core],
+    [natix.query], ...) remain available for code that needs to reach
+    below the facade; the aliases here cover the names a facade user
+    meets in signatures. *)
+
+module Session = Session
+module Error = Natix_core.Error
+module Config = Natix_core.Config
+module Cursor = Natix_core.Cursor
+module Query = Natix_query

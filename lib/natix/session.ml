@@ -1,0 +1,64 @@
+open Natix_core
+
+type t = {
+  store : Tree_store.t;
+  manager : Document_manager.t;
+  engine : Natix_query.Engine.t;
+}
+
+let of_store ?(with_index = true) store =
+  let manager = Document_manager.create ~with_index store in
+  let engine = Natix_query.Engine.of_manager manager in
+  { store; manager; engine }
+
+let in_memory ?config ?model ?(with_index = true) () =
+  of_store ~with_index (Tree_store.in_memory ?config ?model ())
+
+let open_file ?config ?(create_page_size = 8192) ?(with_index = true) path =
+  (* An existing file dictates its page size; the configured one only
+     applies when the file is created. *)
+  let page_size =
+    match Natix_store.Disk.detect_page_size path with
+    | Some ps -> ps
+    | None -> (
+      match config with Some c -> c.Config.page_size | None -> create_page_size)
+  in
+  let config =
+    match config with
+    | Some c -> { c with Config.page_size }
+    | None -> { (Config.default ()) with Config.page_size }
+  in
+  let disk = Natix_store.Disk.on_file ~page_size path in
+  of_store ~with_index (Tree_store.open_store ~config disk)
+
+let store t = t.store
+let manager t = t.manager
+let engine t = t.engine
+let documents t = List.sort String.compare (Tree_store.list_documents t.store)
+
+let checkpoint t = Document_manager.checkpoint t.manager
+
+let close ?(commit = true) t =
+  if commit then Document_manager.checkpoint t.manager;
+  Tree_store.close ~commit:false t.store
+
+let with_session ?config ?create_page_size ?with_index path fn =
+  let t = open_file ?config ?create_page_size ?with_index path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> fn t)
+
+(* Document management *)
+
+let store_document t ~name ?dtd ?infer_dtd ?order xml =
+  Document_manager.store_document t.manager ~name ?dtd ?infer_dtd ?order xml
+
+let validate t doc = Document_manager.validate t.manager doc
+let insert_fragment t ~doc point xml = Document_manager.insert_fragment t.manager ~doc point xml
+let delete_document t doc = Document_manager.delete_document t.manager doc
+let export t doc = Exporter.document_to_xml t.store doc
+
+(* Queries *)
+
+let query t ~doc path = Natix_query.Engine.query t.engine ~doc path
+let query_naive t ~doc path = Natix_query.Engine.query_naive t.engine ~doc path
+let query_all t path = Natix_query.Engine.query_all t.engine path
+let explain t ~doc path = Natix_query.Engine.explain t.engine ~doc path

@@ -1,0 +1,91 @@
+(** One handle to a whole store.
+
+    A session bundles the layers an application would otherwise wire by
+    hand — {!Natix_store.Disk} + {!Natix_core.Tree_store} +
+    {!Natix_core.Document_manager} + the {!Natix_query.Engine} — behind
+    three constructors:
+
+    {[
+      Natix.Session.with_session "plays.natix" (fun s ->
+          match Natix.Session.query s ~doc:"hamlet" "//ACT[3]//SPEAKER" with
+          | Ok hits -> Seq.iter print_hit hits
+          | Error e -> prerr_endline (Natix.Error.to_string e))
+    ]}
+
+    File sessions detect the page size of an existing store file (the
+    configured size only applies on creation), run recovery on open, and
+    checkpoint on {!close}. *)
+
+open Natix_core
+
+type t
+
+(** [open_file path] opens (or creates) a file-backed store.
+    [create_page_size] (default 8192) applies only when the file does not
+    exist yet and no [config] is given; [with_index] (default true)
+    opens/creates the element index, which also enables index-seeded query
+    plans. *)
+val open_file : ?config:Config.t -> ?create_page_size:int -> ?with_index:bool -> string -> t
+
+(** An in-memory session (benchmarks, tests). *)
+val in_memory :
+  ?config:Config.t -> ?model:Natix_store.Io_model.t -> ?with_index:bool -> unit -> t
+
+(** Wrap an existing store (takes no ownership of closing it). *)
+val of_store : ?with_index:bool -> Tree_store.t -> t
+
+(** [with_session path f] opens, applies [f], and {!close}s (also on
+    exceptions). *)
+val with_session :
+  ?config:Config.t -> ?create_page_size:int -> ?with_index:bool -> string -> (t -> 'a) -> 'a
+
+(** {2 The bundled layers} *)
+
+val store : t -> Tree_store.t
+val manager : t -> Document_manager.t
+val engine : t -> Natix_query.Engine.t
+
+(** Stored document names, sorted. *)
+val documents : t -> string list
+
+(** Durable checkpoint: element-index refresh, catalog save, buffer
+    flush, WAL commit. *)
+val checkpoint : t -> unit
+
+(** {!checkpoint} (unless [~commit:false]), then close the WAL and the
+    disk. *)
+val close : ?commit:bool -> t -> unit
+
+(** {2 Documents} *)
+
+val store_document :
+  t ->
+  name:string ->
+  ?dtd:Natix_xml.Dtd.t ->
+  ?infer_dtd:bool ->
+  ?order:Loader.order ->
+  Natix_xml.Xml_tree.t ->
+  (Phys_node.t, Error.t) result
+
+val validate : t -> string -> (unit, Error.t) result
+
+val insert_fragment :
+  t ->
+  doc:string ->
+  Tree_store.insert_point ->
+  Natix_xml.Xml_tree.t ->
+  (Phys_node.t, Error.t) result
+
+val delete_document : t -> string -> unit
+
+(** Re-serialise a stored document; [None] if it does not exist. *)
+val export : t -> string -> Natix_xml.Xml_tree.t option
+
+(** {2 Queries}
+
+    Thin wrappers over the session's {!Natix_query.Engine}. *)
+
+val query : t -> doc:string -> string -> (Cursor.t Seq.t, Error.t) result
+val query_naive : t -> doc:string -> string -> (Cursor.t Seq.t, Error.t) result
+val query_all : t -> string -> (Cursor.t Seq.t, Error.t) result
+val explain : t -> doc:string -> string -> (string, Error.t) result

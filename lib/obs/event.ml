@@ -19,6 +19,7 @@ type kind =
   | Span of { name : string; dur_ms : float }
   | Checksum_fail of { page : int }
   | Read_retry of { page : int; attempt : int }
+  | Read_ahead of { first : int; pages : int }
   | Wal_append of { lsn : int; page : int; bytes : int }
   | Wal_commit of { lsn : int; pages : int }
   | Recovery_undo of { page : int }
@@ -51,6 +52,7 @@ let type_name = function
   | Span _ -> "span"
   | Checksum_fail _ -> "checksum_fail"
   | Read_retry _ -> "read_retry"
+  | Read_ahead _ -> "read_ahead"
   | Wal_append _ -> "wal_append"
   | Wal_commit _ -> "wal_commit"
   | Recovery_undo _ -> "recovery_undo"
@@ -82,6 +84,7 @@ let kind_fields = function
   | Span { name; dur_ms } -> [ ("name", Json.String name); ("dur_ms", Json.Float dur_ms) ]
   | Checksum_fail { page } -> [ ("page", Json.Int page) ]
   | Read_retry { page; attempt } -> [ ("page", Json.Int page); ("attempt", Json.Int attempt) ]
+  | Read_ahead { first; pages } -> [ ("first", Json.Int first); ("pages", Json.Int pages) ]
   | Wal_append { lsn; page; bytes } ->
     [ ("lsn", Json.Int lsn); ("page", Json.Int page); ("bytes", Json.Int bytes) ]
   | Wal_commit { lsn; pages } -> [ ("lsn", Json.Int lsn); ("pages", Json.Int pages) ]

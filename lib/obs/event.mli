@@ -48,6 +48,9 @@ type kind =
           [Disk.Bad_page] right after this event. *)
   | Read_retry of { page : int; attempt : int }
       (** The buffer pool retrying a transiently failed page read. *)
+  | Read_ahead of { first : int; pages : int }
+      (** The buffer pool prefetched a run of [pages] contiguous pages
+          starting at [first] after detecting a sequential miss pattern. *)
   | Wal_append of { lsn : int; page : int; bytes : int }
       (** A before-image appended to the write-ahead log. *)
   | Wal_commit of { lsn : int; pages : int }

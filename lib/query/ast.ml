@@ -1,0 +1,130 @@
+exception Parse_error of string
+
+type axis = Child | Descendant
+type test = Name of string | Attribute of string | Any | Text | Node
+type pred = Position of int | Text_equals of string
+
+type step = { axis : axis; test : test; preds : pred list }
+
+type t = step list
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
+let parse s =
+  let n = String.length s in
+  if n = 0 then fail "empty path";
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> incr pos
+    | Some c' -> fail "expected %C, got %C" c c'
+    | None -> fail "expected %C at end of path" c
+  in
+  let axis () =
+    expect '/';
+    if peek () = Some '/' then begin
+      incr pos;
+      Descendant
+    end
+    else Child
+  in
+  let ident what =
+    let start = !pos in
+    while
+      !pos < n
+      && match s.[!pos] with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then fail "expected %s" what;
+    String.sub s start (!pos - start)
+  in
+  let test () =
+    match peek () with
+    | Some '*' ->
+      incr pos;
+      Any
+    | Some '@' ->
+      incr pos;
+      Attribute (ident "an attribute name")
+    | _ -> (
+      let name = ident "a name test" in
+      if peek () = Some '(' then begin
+        expect '(';
+        expect ')';
+        match name with
+        | "text" -> Text
+        | "node" -> Node
+        | other -> fail "unknown node test %s()" other
+      end
+      else Name name)
+  in
+  let string_literal () =
+    expect '\'';
+    let start = !pos in
+    while !pos < n && s.[!pos] <> '\'' do
+      incr pos
+    done;
+    if !pos >= n then fail "unterminated string literal";
+    let v = String.sub s start (!pos - start) in
+    incr pos;
+    v
+  in
+  let pred () =
+    expect '[';
+    let p =
+      match peek () with
+      | Some ('0' .. '9') -> (
+        let start = !pos in
+        while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+          incr pos
+        done;
+        match int_of_string_opt (String.sub s start (!pos - start)) with
+        | Some k when k >= 1 -> Position k
+        | Some k -> fail "positions are 1-based, got %d" k
+        | None -> fail "bad position")
+      | _ -> (
+        match test () with
+        | Text ->
+          expect '=';
+          Text_equals (string_literal ())
+        | _ -> fail "only [k] and [text()='...'] predicates are supported")
+    in
+    expect ']';
+    p
+  in
+  let preds () =
+    let ps = ref [] in
+    while peek () = Some '[' do
+      ps := pred () :: !ps
+    done;
+    List.rev !ps
+  in
+  let steps = ref [] in
+  while !pos < n do
+    let axis = axis () in
+    let test = test () in
+    let preds = preds () in
+    steps := { axis; test; preds } :: !steps
+  done;
+  if !steps = [] then fail "empty path";
+  List.rev !steps
+
+let test_to_string = function
+  | Name n -> n
+  | Attribute a -> "@" ^ a
+  | Any -> "*"
+  | Text -> "text()"
+  | Node -> "node()"
+
+let pred_to_string = function
+  | Position k -> Printf.sprintf "[%d]" k
+  | Text_equals v -> Printf.sprintf "[text()='%s']" v
+
+let step_to_string { axis; test; preds } =
+  (match axis with Child -> "/" | Descendant -> "//")
+  ^ test_to_string test
+  ^ String.concat "" (List.map pred_to_string preds)
+
+let to_string t = String.concat "" (List.map step_to_string t)

@@ -1,0 +1,64 @@
+open Natix_core
+
+type t = { store : Tree_store.t; index : Element_index.t option }
+
+let create ?index store = { store; index }
+let of_manager dm = { store = Document_manager.store dm; index = Document_manager.index dm }
+let store t = t.store
+let index t = t.index
+
+let parse path =
+  match Ast.parse path with
+  | ast -> Ok ast
+  | exception Ast.Parse_error msg -> Error (Error.Query msg)
+
+let root_of t doc =
+  match Cursor.of_document t.store doc with
+  | Some root -> Ok root
+  | None -> Error (Error.Storage (Printf.sprintf "no document %S" doc))
+
+let plan_ast t ~doc ast = Plan.build t.store ?index:t.index ~doc ast
+
+let plan t ~doc path =
+  match (parse path, root_of t doc) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok ast, Ok _ -> Ok (plan_ast t ~doc ast)
+
+(* Scan plans are forced while the pool is in scan mode: with a lazy
+   result the scan would otherwise run (and pollute the pool) after
+   [with_scan] returned.  Materialising cursors is cheap — they are
+   handles, not copies. *)
+let run_plan t (plan : Plan.t) root =
+  let seq = Exec.eval t.store ?index:t.index plan root in
+  if plan.Plan.scan then
+    let pool = Tree_store.buffer_pool t.store in
+    Natix_store.Buffer_pool.with_scan pool (fun () -> List.to_seq (List.of_seq seq))
+  else seq
+
+let query t ~doc path =
+  match (parse path, root_of t doc) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok ast, Ok root -> Ok (run_plan t (plan_ast t ~doc ast) root)
+
+let query_naive t ~doc path =
+  match (parse path, root_of t doc) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok ast, Ok root -> Ok (List.to_seq (Exec.eval_naive ast root))
+
+let query_all t path =
+  match parse path with
+  | Error e -> Error e
+  | Ok ast ->
+    let docs = List.sort String.compare (Tree_store.list_documents t.store) in
+    Ok
+      (Seq.concat_map
+         (fun doc ->
+           match root_of t doc with
+           | Error _ -> Seq.empty
+           | Ok root -> run_plan t (plan_ast t ~doc ast) root)
+         (List.to_seq docs))
+
+let explain t ~doc path =
+  match plan t ~doc path with
+  | Error e -> Error e
+  | Ok plan -> Ok (Plan.to_string plan)

@@ -1,0 +1,45 @@
+(** The query engine's front door.
+
+    Bundles a store with its optional element index and exposes parse →
+    plan → evaluate as single calls.  All entry points return typed
+    {!Natix_core.Error.t} failures ([Query] for syntax, [Storage] for an
+    unknown document) instead of raising.
+
+    Results are lazy cursor sequences in document order; consuming them
+    performs the page accesses.  Plans classified as scans (see {!Plan})
+    are evaluated with the buffer pool in scan mode, so a scan-resistant
+    pool keeps them on probation instead of evicting the working set. *)
+
+open Natix_core
+
+type t
+
+(** [create ?index store] — an engine over [store]; [index] enables
+    index-seeded plans. *)
+val create : ?index:Element_index.t -> Tree_store.t -> t
+
+(** An engine sharing a document manager's store and index. *)
+val of_manager : Document_manager.t -> t
+
+val store : t -> Tree_store.t
+val index : t -> Element_index.t option
+
+(** Parse a path ([Error (Query _)] on bad syntax). *)
+val parse : string -> (Ast.t, Error.t) result
+
+(** Plan a path against a document without evaluating it. *)
+val plan : t -> doc:string -> string -> (Plan.t, Error.t) result
+
+(** Planned, streaming evaluation against one document. *)
+val query : t -> doc:string -> string -> (Cursor.t Seq.t, Error.t) result
+
+(** The naive baseline: strict, navigation-only evaluation of the same
+    path (same results, different access pattern). *)
+val query_naive : t -> doc:string -> string -> (Cursor.t Seq.t, Error.t) result
+
+(** Planned evaluation against every document (sorted by name),
+    concatenated. *)
+val query_all : t -> string -> (Cursor.t Seq.t, Error.t) result
+
+(** The plan, rendered (access method and rationale per step). *)
+val explain : t -> doc:string -> string -> (string, Error.t) result

@@ -1,0 +1,142 @@
+open Natix_core
+
+(* Shared semantics: both evaluators filter the same base sequences with
+   the same predicates, so their results agree byte for byte; they differ
+   only in evaluation strategy (lazy vs. strict) and in how a leading
+   descendant step finds its candidates (navigation vs. index). *)
+
+let matches test c =
+  match test with
+  | Ast.Name n -> Cursor.is_element c && String.equal (Cursor.name c) n
+  | Ast.Attribute a -> (not (Cursor.is_element c)) && String.equal (Cursor.name c) ("@" ^ a)
+  | Ast.Any -> Cursor.is_element c
+  | Ast.Text -> Cursor.is_text c && not (Cursor.is_attribute c)
+  | Ast.Node -> true
+
+let base (step : Ast.step) c =
+  match step.axis with
+  | Ast.Child -> Cursor.children c
+  | Ast.Descendant -> Seq.concat_map Cursor.descendants_or_self (Cursor.children c)
+
+(* [text()='v']: the candidate has a direct text child equal to [v]. *)
+let has_text_equal v c =
+  Seq.exists
+    (fun ch -> Cursor.is_text ch && (not (Cursor.is_attribute ch)) && String.equal (Cursor.text ch) v)
+    (Cursor.children c)
+
+(* The k-th element of a sequence, as a (lazy) zero-or-one sequence: the
+   streaming evaluator stops pulling candidates once position [k] is
+   reached, which is where it beats strict evaluation on positional
+   queries like //ACT[3]. *)
+let position k seq () =
+  let rec go k seq =
+    match seq () with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (x, rest) -> if k = 1 then Seq.Cons (x, Seq.empty) else go (k - 1) rest
+  in
+  go k seq
+
+let apply_pred seq = function
+  | Ast.Position k -> position k seq
+  | Ast.Text_equals v -> Seq.filter (has_text_equal v) seq
+
+(* One navigation step from one context node, lazily. *)
+let step_nav (step : Ast.step) c =
+  List.fold_left apply_pred (Seq.filter (matches step.test) (base step c)) step.preds
+
+(* ------------------------------------------------------------------ *)
+(* Index seeding                                                       *)
+
+(* Identity of stored nodes is physical: [Tree_store.fetch] memoises
+   decoded records, so while the store's node cache is warm the same
+   stored node is the same OCaml value whether it was reached by
+   navigation or through the element index.  (Structural equality is not
+   an option — physical nodes carry parent back-pointers.) *)
+
+let index_of_child store p n =
+  let rec go i seq =
+    match seq () with
+    | Seq.Nil -> failwith "Natix_query: node not among its parent's children (stale node cache?)"
+    | Seq.Cons (c, rest) -> if c == n then i else go (i + 1) rest
+  in
+  go 0 (Tree_store.logical_children store p)
+
+(* Document-order key of [node]: the child-index path from [root] down to
+   it, obtained by climbing parents.  [None] when [node] is the root
+   itself or belongs to a different document — the index is store-wide,
+   the query is not. *)
+let order_key store ~root node =
+  let rec climb n acc =
+    match Tree_store.logical_parent store n with
+    | None -> if n == root then Some acc else None
+    | Some p -> climb p (index_of_child store p n :: acc)
+  in
+  if node == root then None else climb node []
+
+(* A leading //NAME step answered from the element index: take the
+   store-wide postings, keep this document's nodes, and sort them into
+   document order so downstream steps and the differential tests cannot
+   tell the two access paths apart. *)
+let step_index store idx (step : Ast.step) c =
+  let root = Cursor.node c in
+  let label =
+    match step.test with
+    | Ast.Name n -> (
+      match Natix_util.Name_pool.find (Tree_store.names store) n with
+      | Some l -> l
+      | None -> invalid_arg "Natix_query: index step for an unknown name")
+    | _ -> invalid_arg "Natix_query: index step for a non-name test"
+  in
+  let hits = Element_index.scan idx label in
+  let keyed =
+    List.filter_map
+      (fun n -> match order_key store ~root n with Some k -> Some (k, n) | None -> None)
+      hits
+  in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare (a : int list) b) keyed in
+  let seq =
+    Seq.filter (matches step.test)
+      (Seq.map (fun (_, n) -> Cursor.of_node store n) (List.to_seq sorted))
+  in
+  List.fold_left apply_pred seq step.preds
+
+(* ------------------------------------------------------------------ *)
+(* Evaluators                                                          *)
+
+(* Streaming planned evaluation: a lazy pipeline over the plan's physical
+   steps.  Page accesses happen as the consumer pulls results. *)
+let eval store ?index (plan : Plan.t) root =
+  List.fold_left
+    (fun ctxs (ps : Plan.phys_step) ->
+      match ps.access with
+      | Plan.Nav -> Seq.concat_map (step_nav ps.step) ctxs
+      | Plan.Index_seed _ ->
+        let idx =
+          match index with
+          | Some idx -> idx
+          | None -> invalid_arg "Natix_query: plan uses the index but none was given"
+        in
+        (* Index seeding is only planned for the first step, where the
+           context is the root singleton. *)
+        Seq.concat_map (step_index store idx ps.step) ctxs)
+    (Seq.return root) plan.Plan.steps
+
+(* The naive baseline: cursor navigation only, strict — every step
+   materialises all its candidates before predicates apply (the semantics
+   spelled out in the AST's documentation, executed literally).  The
+   differential suite holds the planned evaluator to byte-identical
+   output. *)
+let eval_naive (path : Ast.t) root =
+  List.fold_left
+    (fun nodes (step : Ast.step) ->
+      List.concat_map
+        (fun c ->
+          let hits = List.of_seq (Seq.filter (matches step.test) (base step c)) in
+          List.fold_left
+            (fun nodes -> function
+              | Ast.Position k -> (
+                match List.nth_opt nodes (k - 1) with Some x -> [ x ] | None -> [])
+              | Ast.Text_equals v -> List.filter (has_text_equal v) nodes)
+            hits step.preds)
+        nodes)
+    [ root ] path

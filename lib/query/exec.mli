@@ -1,0 +1,32 @@
+(** Query evaluation.
+
+    Two evaluators over the same step semantics:
+
+    - {!eval}: the streaming planned evaluator — a lazy [Seq.t] pipeline
+      following a {!Plan.t}.  Positional predicates stop pulling
+      candidates at their position (so [//ACT[3]] stops walking after the
+      third ACT), and steps planned as [Index_seed] are answered from the
+      element index, sorted into document order.
+    - {!eval_naive}: the naive baseline — cursor navigation only, strict
+      per-step materialisation (every descendant step walks its whole
+      subtree).  This is the reference the differential tests compare
+      against.
+
+    Both produce results in document order; on the same store they return
+    byte-identical result sets. *)
+
+open Natix_core
+
+(** [eval store plan root] evaluates the plan from the context [root]
+    (normally the document root the plan was built for).  [index] must be
+    given when {!Plan.uses_index}.  Page accesses happen lazily as the
+    sequence is consumed. *)
+val eval : Tree_store.t -> ?index:Element_index.t -> Plan.t -> Cursor.t -> Cursor.t Seq.t
+
+(** [eval_naive path root] evaluates the parsed path strictly by pure
+    cursor navigation. *)
+val eval_naive : Ast.t -> Cursor.t -> Cursor.t list
+
+(** [matches test c] — the shared name-test semantics (exposed for
+    tests). *)
+val matches : Ast.test -> Cursor.t -> bool

@@ -1,0 +1,80 @@
+open Natix_store
+open Natix_core
+
+type access = Nav | Index_seed of { label : Natix_util.Label.t; name : string }
+
+type phys_step = { step : Ast.step; access : access; note : string }
+
+type t = { doc : string; path : Ast.t; steps : phys_step list; scan : bool }
+
+(* A descendant step with one of these tests visits (nearly) every node of
+   the context subtree and keeps most of them: evaluating it is a scan, not
+   a lookup, so the whole plan runs with the buffer pool in scan mode. *)
+let unselective = function
+  | Ast.Node | Ast.Any | Ast.Text -> true
+  | Ast.Name _ | Ast.Attribute _ -> false
+
+let build store ?index ~doc path =
+  let disk = Buffer_pool.disk (Tree_store.buffer_pool store) in
+  let model = Disk.model disk in
+  let page_size = Disk.page_size disk in
+  let random_ms = Io_model.cost model ~page_size ~sequential:false in
+  let ndocs = max 1 (List.length (Tree_store.list_documents store)) in
+  let doc_pages = max 1 (Disk.page_count disk / ndocs) in
+  (* Cost of answering a descendant step from the document root by
+     navigation: the walk touches every page the document occupies. *)
+  let nav_ms = float_of_int doc_pages *. random_ms in
+  let steps =
+    List.mapi
+      (fun i (step : Ast.step) ->
+        match (i, step.axis, step.test, index) with
+        | 0, Ast.Descendant, Ast.Name name, Some idx -> (
+          match Natix_util.Name_pool.find (Tree_store.names store) name with
+          | None -> { step; access = Nav; note = "name not in store; nav" }
+          | Some label ->
+            let count = Element_index.count idx label in
+            let nrecs = List.length (Element_index.records_with idx label) in
+            (* Index seeding fetches each posting record (random reads,
+               store-wide) and climbs every hit's ancestors to establish
+               document order; the climbs mostly hit records the postings
+               already faulted in, so they are charged at a fraction of a
+               random access. *)
+            let index_ms = (float_of_int nrecs +. (0.25 *. float_of_int count)) *. random_ms in
+            if index_ms < nav_ms then
+              {
+                step;
+                access = Index_seed { label; name };
+                note =
+                  Printf.sprintf "index seed: %d recs / %d nodes ~%.0fms < nav ~%.0fms" nrecs
+                    count index_ms nav_ms;
+              }
+            else
+              {
+                step;
+                access = Nav;
+                note =
+                  Printf.sprintf "nav: index %d recs / %d nodes ~%.0fms >= nav ~%.0fms" nrecs
+                    count index_ms nav_ms;
+              })
+        | 0, Ast.Descendant, Ast.Name _, None -> { step; access = Nav; note = "no index; nav" }
+        | _ -> { step; access = Nav; note = "nav" })
+      path
+  in
+  let scan =
+    List.exists (fun ps -> ps.step.Ast.axis = Ast.Descendant && unselective ps.step.Ast.test) steps
+  in
+  { doc; path; steps; scan }
+
+let uses_index t = List.exists (fun ps -> ps.access <> Nav) t.steps
+
+let pp ppf t =
+  Format.fprintf ppf "plan %s on %S (scan mode %s)" (Ast.to_string t.path) t.doc
+    (if t.scan then "on" else "off");
+  List.iteri
+    (fun i ps ->
+      Format.fprintf ppf "@\n  %d. %-20s %-10s %s" (i + 1) (Ast.step_to_string ps.step)
+        (match ps.access with Nav -> "nav" | Index_seed _ -> "index-seed")
+        ps.note)
+    t.steps
+
+let to_string t = Format.asprintf "%a" pp t

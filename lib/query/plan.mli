@@ -1,0 +1,45 @@
+(** Physical plans.
+
+    The planner assigns each step of a parsed path an access method:
+
+    - [Nav] — cursor navigation from each context node (children or
+      descendant walk);
+    - [Index_seed] — answer a leading [//NAME] step from the
+      {!Natix_core.Element_index} instead of walking: fetch the records
+      posted under the label, keep the nodes of the queried document, and
+      sort them into document order by climbing their ancestor chains.
+
+    The choice is driven by catalog cardinalities, in the currency of the
+    disk's {!Natix_store.Io_model}: an index seed costs about one random
+    access per posting record plus a discounted climb per node, navigation
+    costs one access per page the document occupies.  Index seeding is
+    considered only for the first step (its semantics — all nodes of the
+    document except the root — are only simple from the root context).
+
+    The plan also records whether evaluating it amounts to a {e scan}
+    (some descendant step keeps nearly every node); scans run with the
+    buffer pool in scan mode so a scan-resistant pool keeps them out of
+    the hot segment. *)
+
+open Natix_core
+
+type access = Nav | Index_seed of { label : Natix_util.Label.t; name : string }
+
+type phys_step = {
+  step : Ast.step;
+  access : access;
+  note : string;  (** why this access method was chosen (for [explain]) *)
+}
+
+type t = { doc : string; path : Ast.t; steps : phys_step list; scan : bool }
+
+(** [build store ?index ~doc path] plans [path] against [doc].  Consults
+    the element index (when given) for cardinalities; never touches
+    document pages. *)
+val build : Tree_store.t -> ?index:Element_index.t -> doc:string -> Ast.t -> t
+
+(** True when any step is answered from the element index. *)
+val uses_index : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,39 +1,60 @@
 exception All_frames_pinned
 
+type segment = Hot | Cold
+
 type frame = {
   page_id : int;
   data : bytes;
   mutable dirty : bool;
   mutable pins : int;
+  mutable seg : segment;
+  mutable referenced : bool;
   mutable prev : frame option;
   mutable next : frame option;
 }
+
+(* One LRU chain: head = most recently used, tail = eviction candidate. *)
+type lru = { mutable head : frame option; mutable tail : frame option }
 
 type t = {
   disk : Disk.t;
   capacity : int;
   frames : (int, frame) Hashtbl.t;
-  (* LRU list: head = most recently used, tail = eviction candidate. *)
-  mutable head : frame option;
-  mutable tail : frame option;
+  (* Segmented LRU: the hot segment holds the demand working set, the cold
+     segment holds probationary pages (read-ahead and scan-mode fixes).
+     With [scan_resistant = false] every frame lives in [hot] and the pool
+     degenerates to the plain LRU of the paper. *)
+  hot : lru;
+  cold : lru;
+  scan_resistant : bool;
+  read_ahead : int;
+  mutable scan_mode : bool;
+  mutable last_miss : int;  (* for sequential-miss detection; -2 = none *)
   mutable fixes : int;
   mutable misses : int;
+  mutable prefetched : int;
   wal : Wal.t option;
   raw : bytes;  (* one physical page, for WAL pre-image capture *)
   read_retries : int;
   obs : Natix_obs.Obs.t option;
 }
 
-let create ~disk ~bytes ?wal ?(read_retries = 3) () =
+let create ~disk ~bytes ?wal ?(read_retries = 3) ?(read_ahead = 0) ?(scan_resistant = false) () =
+  if read_ahead < 0 then invalid_arg "Buffer_pool.create: negative read_ahead";
   let capacity = max 2 (bytes / Disk.page_size disk) in
   {
     disk;
     capacity;
     frames = Hashtbl.create (2 * capacity);
-    head = None;
-    tail = None;
+    hot = { head = None; tail = None };
+    cold = { head = None; tail = None };
+    scan_resistant;
+    read_ahead;
+    scan_mode = false;
+    last_miss = -2;
     fixes = 0;
     misses = 0;
+    prefetched = 0;
     wal;
     raw = Bytes.create (Disk.page_size disk);
     read_retries;
@@ -45,31 +66,77 @@ let capacity t = t.capacity
 let resident t = Hashtbl.length t.frames
 let fixes t = t.fixes
 let misses t = t.misses
+let prefetched t = t.prefetched
 let obs t = t.obs
 let wal t = t.wal
+let read_ahead t = t.read_ahead
+let scan_resistant t = t.scan_resistant
+let scan_mode t = t.scan_mode
+let set_scan_mode t on = t.scan_mode <- on
+
+let with_scan t fn =
+  let saved = t.scan_mode in
+  t.scan_mode <- true;
+  Fun.protect ~finally:(fun () -> t.scan_mode <- saved) fn
+
+let is_resident t page_id = Hashtbl.mem t.frames page_id
+
+let count_segment t seg =
+  Hashtbl.fold (fun _ f acc -> if f.seg = seg then acc + 1 else acc) t.frames 0
+
+let resident_hot t = count_segment t Hot
+let resident_cold t = count_segment t Cold
 
 let hit_ratio t = if t.fixes = 0 then 1.0 else float_of_int (t.fixes - t.misses) /. float_of_int t.fixes
 
 let reset_stats t =
   t.fixes <- 0;
-  t.misses <- 0
+  t.misses <- 0;
+  t.prefetched <- 0
+
+let list_of t f = match f.seg with Hot -> t.hot | Cold -> t.cold
 
 let unlink t f =
-  (match f.prev with Some p -> p.next <- f.next | None -> t.head <- f.next);
-  (match f.next with Some n -> n.prev <- f.prev | None -> t.tail <- f.prev);
+  let l = list_of t f in
+  (match f.prev with Some p -> p.next <- f.next | None -> l.head <- f.next);
+  (match f.next with Some n -> n.prev <- f.prev | None -> l.tail <- f.prev);
   f.prev <- None;
   f.next <- None
 
-let push_front t f =
+let push_front t seg f =
+  let l = match seg with Hot -> t.hot | Cold -> t.cold in
+  f.seg <- seg;
   f.prev <- None;
-  f.next <- t.head;
-  (match t.head with Some h -> h.prev <- Some f | None -> t.tail <- Some f);
-  t.head <- Some f
+  f.next <- l.head;
+  (match l.head with Some h -> h.prev <- Some f | None -> l.tail <- Some f);
+  l.head <- Some f
 
 let touch t f =
-  if t.head != Some f then begin
+  let l = list_of t f in
+  if l.head != Some f then begin
     unlink t f;
-    push_front t f
+    push_front t f.seg f
+  end
+
+(* Hit bookkeeping.  In the plain pool this is a bare LRU touch.  In the
+   segmented pool a cold frame earns promotion to the hot segment on its
+   first demand hit after a previous reference — but never while a scan is
+   in progress, because a scan re-fixes the same page many times while
+   walking its records and would otherwise promote the entire scan into the
+   hot segment, which is exactly what the cold segment exists to prevent. *)
+let on_hit t f =
+  if (not t.scan_resistant) || f.seg = Hot then touch t f
+  else if t.scan_mode then begin
+    f.referenced <- true;
+    touch t f
+  end
+  else if f.referenced then begin
+    unlink t f;
+    push_front t Hot f
+  end
+  else begin
+    f.referenced <- true;
+    touch t f
   end
 
 let write_back t f =
@@ -89,13 +156,23 @@ let write_back t f =
     f.dirty <- false
   end
 
-(* Evict the least recently used unpinned frame. *)
-let evict_one t =
+(* Evict the least recently used unpinned frame, preferring the cold
+   segment so probationary scan pages go before the working set.  [keep]
+   protects a page range: a read-ahead batch must not evict the frames it
+   allocated for its own run. *)
+let evict_one ?(keep = (0, -1)) t =
+  let keep_lo, keep_hi = keep in
   let rec find = function
-    | None -> raise All_frames_pinned
-    | Some f -> if f.pins = 0 then f else find f.prev
+    | None -> None
+    | Some f ->
+      if f.pins = 0 && not (f.page_id >= keep_lo && f.page_id <= keep_hi) then Some f
+      else find f.prev
   in
-  let victim = find t.tail in
+  let victim =
+    match find t.cold.tail with
+    | Some v -> v
+    | None -> ( match find t.hot.tail with Some v -> v | None -> raise All_frames_pinned)
+  in
   (match t.obs with
   | None -> ()
   | Some obs ->
@@ -104,20 +181,35 @@ let evict_one t =
   unlink t victim;
   Hashtbl.remove t.frames victim.page_id
 
-let alloc_frame t page_id =
-  if Hashtbl.length t.frames >= t.capacity then evict_one t;
+let drop_frame t f =
+  unlink t f;
+  Hashtbl.remove t.frames f.page_id
+
+(* Placement of a freshly allocated frame.  Plain pool: always hot (the
+   single LRU list).  Segmented pool: speculative (read-ahead) frames and
+   demand misses during a scan enter the cold segment on probation; normal
+   demand misses enter hot directly. *)
+let alloc_frame ?(keep = (0, -1)) ?(pins = 1) ?(speculative = false) t page_id =
+  if Hashtbl.length t.frames >= t.capacity then evict_one ~keep t;
+  let seg =
+    if not t.scan_resistant then Hot
+    else if speculative || t.scan_mode then Cold
+    else Hot
+  in
   let f =
     {
       page_id;
       data = Bytes.create (Disk.payload_size t.disk);
       dirty = false;
-      pins = 1;
+      pins;
+      seg;
+      referenced = not speculative;
       prev = None;
       next = None;
     }
   in
   Hashtbl.replace t.frames page_id f;
-  push_front t f;
+  push_front t seg f;
   f
 
 let note_fix t page_id ~hit =
@@ -141,12 +233,61 @@ let read_frame t f =
   in
   go 0
 
+(* Read-ahead.  A demand miss at page [p] with the previous miss at
+   [p - 1] reveals a sequential run; prefetch the next [read_ahead] pages
+   (stopping at the end of the disk, at the first already-resident page,
+   and at half the pool so a run cannot flush the whole cache).  Frames
+   are allocated first (unpinned, cold, probationary), then filled with
+   one batched [Disk.read_run] in ascending page order so the I/O model
+   charges the run sequentially.  Advancing [last_miss] to the end of the
+   prefetched run keeps a longer scan in read-ahead mode: its next miss is
+   at the run frontier + 1.  Failures drop the unfilled frames and end the
+   run — prefetch never fails the demand fix that triggered it. *)
+let maybe_read_ahead t p =
+  let run_detected = t.read_ahead > 0 && p = t.last_miss + 1 in
+  t.last_miss <- p;
+  if run_detected then begin
+    let window = min t.read_ahead (max 1 (t.capacity / 2)) in
+    let limit = min (p + window) (Disk.page_count t.disk - 1) in
+    let rec targets q acc =
+      if q > limit || Hashtbl.mem t.frames q then List.rev acc else targets (q + 1) (q :: acc)
+    in
+    let pages = targets (p + 1) [] in
+    if pages <> [] then begin
+      let keep = (p + 1, p + List.length pages) in
+      let frames =
+        (* Stop allocating (rather than fail the demand fix) if eviction
+           runs out of candidates mid-batch. *)
+        let rec alloc acc = function
+          | [] -> List.rev acc
+          | q :: rest -> (
+            match alloc_frame ~keep ~pins:0 ~speculative:true t q with
+            | f -> alloc (f :: acc) rest
+            | exception All_frames_pinned -> List.rev acc)
+        in
+        alloc [] pages
+      in
+      if frames <> [] then begin
+        let filled = Disk.read_run t.disk ~first:(p + 1) (List.map (fun f -> f.data) frames) in
+        List.iteri (fun i f -> if i >= filled then drop_frame t f) frames;
+        if filled > 0 then begin
+          t.prefetched <- t.prefetched + filled;
+          t.last_miss <- p + filled;
+          match t.obs with
+          | None -> ()
+          | Some obs ->
+            Natix_obs.Obs.emit obs (Natix_obs.Event.Read_ahead { first = p + 1; pages = filled })
+        end
+      end
+    end
+  end
+
 let fix t page_id =
   t.fixes <- t.fixes + 1;
   match Hashtbl.find_opt t.frames page_id with
   | Some f ->
     f.pins <- f.pins + 1;
-    touch t f;
+    on_hit t f;
     note_fix t page_id ~hit:true;
     f
   | None ->
@@ -156,9 +297,9 @@ let fix t page_id =
     (try read_frame t f
      with e ->
        (* Drop the half-made frame so a failed read leaves no garbage. *)
-       unlink t f;
-       Hashtbl.remove t.frames page_id;
+       drop_frame t f;
        raise e);
+    maybe_read_ahead t page_id;
     f
 
 let fix_new t page_id =
@@ -167,7 +308,7 @@ let fix_new t page_id =
   match Hashtbl.find_opt t.frames page_id with
   | Some f ->
     f.pins <- f.pins + 1;
-    touch t f;
+    on_hit t f;
     f
   | None ->
     (* Freshly allocated page: content is known to be zeroes, no read
@@ -199,5 +340,8 @@ let clear t =
     t.frames;
   flush t;
   Hashtbl.reset t.frames;
-  t.head <- None;
-  t.tail <- None
+  t.hot.head <- None;
+  t.hot.tail <- None;
+  t.cold.head <- None;
+  t.cold.tail <- None;
+  t.last_miss <- -2

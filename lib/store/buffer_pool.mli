@@ -13,17 +13,38 @@
     integrity trailer is the disk's business.  When a {!Wal.t} is attached,
     every write-back is preceded by logging the page's pre-image on its
     first touch of the batch (log-before-data), and {!checkpoint} makes the
-    current state durable. *)
+    current state durable.
+
+    {b Scan optimisations.}  Two opt-in features (both off by default, so
+    the default pool reproduces the paper's plain LRU exactly):
+
+    - {e Read-ahead} ([read_ahead > 0]): when a demand miss lands on the
+      page right after the previous miss, the pool prefetches the next
+      [read_ahead] physically contiguous pages in one batched
+      {!Disk.read_run}, charged as a sequential run by the I/O model.
+    - {e Scan resistance} ([scan_resistant = true]): segmented LRU.
+      Frames live in a hot segment (the demand working set) or a cold,
+      probationary segment.  Prefetched pages and demand misses issued
+      while {!scan_mode} is on enter cold; eviction takes the cold tail
+      first, so a full traversal churns the cold segment instead of
+      flushing the hot working set.  A cold frame is promoted to hot when
+      it is demand-hit outside a scan after a previous reference. *)
 
 exception All_frames_pinned
 (** Raised by {!fix}/{!fix_new} when no frame can be evicted because every
     resident frame is pinned (the pool is too small for the working set). *)
+
+(** Which LRU segment a frame lives in; always [Hot] in a pool created
+    without [scan_resistant]. *)
+type segment = Hot | Cold
 
 type frame = private {
   page_id : int;
   data : bytes;
   mutable dirty : bool;
   mutable pins : int;
+  mutable seg : segment;  (** current segment, internal *)
+  mutable referenced : bool;  (** demand-referenced since entering cold *)
   mutable prev : frame option;  (** LRU chain, internal *)
   mutable next : frame option;
 }
@@ -33,8 +54,18 @@ type t
 (** [create ~disk ~bytes ()] sizes the pool at [bytes / page_size] frames
     (at least 2).  [wal] attaches a write-ahead log (file-backed stores);
     [read_retries] (default 3) bounds retries of transiently failing page
-    reads. *)
-val create : disk:Disk.t -> bytes:int -> ?wal:Wal.t -> ?read_retries:int -> unit -> t
+    reads.  [read_ahead] (default 0 = off) is the number of pages to
+    prefetch on a detected sequential run; [scan_resistant] (default
+    false) enables the segmented-LRU eviction policy. *)
+val create :
+  disk:Disk.t ->
+  bytes:int ->
+  ?wal:Wal.t ->
+  ?read_retries:int ->
+  ?read_ahead:int ->
+  ?scan_resistant:bool ->
+  unit ->
+  t
 
 val disk : t -> Disk.t
 
@@ -84,17 +115,56 @@ val checkpoint : t -> unit
     read {!hit_ratio}. *)
 val clear : t -> unit
 
+(** {2 Scan mode}
+
+    While scan mode is on, demand misses enter the cold segment and hits
+    on cold frames do not promote them — a page fixed hundreds of times
+    while the scan walks its records still looks like scan traffic, not
+    working-set traffic.  No effect on a pool without [scan_resistant]
+    (the flag is tracked but placement ignores it). *)
+
+val scan_mode : t -> bool
+val set_scan_mode : t -> bool -> unit
+
+(** [with_scan t f] runs [f] with scan mode on, restoring the previous
+    state afterwards (also on exceptions). *)
+val with_scan : t -> (unit -> 'a) -> 'a
+
+(** {2 Introspection} *)
+
+(** Configured read-ahead window (pages; 0 = off). *)
+val read_ahead : t -> int
+
+(** Whether the segmented-LRU policy is active. *)
+val scan_resistant : t -> bool
+
+(** Whether the page is currently cached (pinned or not). *)
+val is_resident : t -> int -> bool
+
+(** Resident frames currently in the hot segment. *)
+val resident_hot : t -> int
+
+(** Resident frames currently in the cold (probationary) segment.  Always
+    0 without [scan_resistant]. *)
+val resident_cold : t -> int
+
 (** Cache-hit statistics (fixes, misses). *)
 val fixes : t -> int
 
 val misses : t -> int
 
+(** Pages fetched speculatively by read-ahead since the last
+    {!reset_stats}.  Prefetched pages are not counted in {!misses} (no fix
+    asked for them), so a scan served from read-ahead shows up as a high
+    {!hit_ratio} plus a nonzero [prefetched]. *)
+val prefetched : t -> int
+
 (** [(fixes - misses) / fixes]; 1.0 when no fix happened yet.  Freshly
     allocated pages ({!fix_new}) count as hits since they cost no read. *)
 val hit_ratio : t -> float
 
-(** Zero {!fixes} and {!misses} without touching resident frames; see the
-    measurement protocol under {!clear}. *)
+(** Zero {!fixes}, {!misses} and {!prefetched} without touching resident
+    frames; see the measurement protocol under {!clear}. *)
 val reset_stats : t -> unit
 
 (** The handle inherited from the disk at {!create} time; page fix, evict

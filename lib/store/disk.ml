@@ -307,6 +307,25 @@ let write t page buf =
     seal_trailer t ~page t.scratch;
     write_physical t f.fd ~page t.scratch
 
+(* Pages are read in ascending order, so [charge] prices the run as one
+   seek plus sequential transfers — the same total as
+   [Io_model.run_cost ~pages].  A failing page ends the run early instead
+   of raising: read-ahead is speculative and must never fail the demand
+   read that triggered it. *)
+let read_run t ~first ?(speculative = true) bufs =
+  let completed = ref 0 in
+  (try
+     List.iteri
+       (fun i buf ->
+         let page = first + i in
+         read t page buf;
+         if speculative then
+           t.stats.read_ahead_pages <- t.stats.read_ahead_pages + 1;
+         incr completed)
+       bufs
+   with Bad_page _ | Faulty_disk.Read_error _ -> ());
+  !completed
+
 (* Raw (trailer-included) page access for the WAL and recovery.  No fault
    injection and no checksum verification: recovery must be able to read
    torn pages and put back exact pre-images, trailers and all. *)
@@ -358,6 +377,7 @@ let set_page_count t n =
     write_superblock f.fd ~page_size:t.page_size ~used:n
 
 let stats t = t.stats
+let model t = t.model
 let size_bytes t = page_count t * t.page_size
 
 let close t =

@@ -85,6 +85,17 @@ val read : t -> int -> bytes -> unit
     (possibly tearing the page). *)
 val write : t -> int -> bytes -> unit
 
+(** [read_run t ~first bufs] reads the physically contiguous run of pages
+    [first, first + 1, ...] into the payload buffers [bufs], in ascending
+    order so the I/O model charges one random access plus sequential
+    transfers ({!Io_model.run_cost}).  Returns the number of pages read:
+    the run ends early (without raising) at the first page that fails
+    verification or is killed by a fault plan, because a speculative batch
+    must never fail the demand access that triggered it.  When
+    [speculative] (default [true]) each page read is also counted in
+    [Io_stats.read_ahead_pages]. *)
+val read_run : t -> first:int -> ?speculative:bool -> bytes list -> int
+
 (** {2 Raw access — WAL and recovery only}
 
     Whole physical pages, trailer included, with no checksum verification
@@ -110,6 +121,10 @@ val verify : t -> int -> (unit, string) result
 val set_page_count : t -> int -> unit
 
 val stats : t -> Io_stats.t
+
+(** The cost model page accesses are charged to (used by the query planner
+    to price candidate access paths in the same currency). *)
+val model : t -> Io_model.t
 
 (** Total bytes occupied on disk ([page_count * page_size]). *)
 val size_bytes : t -> int

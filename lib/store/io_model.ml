@@ -15,3 +15,9 @@ let cost t ~page_size ~sequential =
   let transfer = float_of_int page_size /. (t.transfer_mb_per_s *. 1_000_000.) *. 1000. in
   if sequential then t.track_to_track_ms +. transfer
   else t.avg_seek_ms +. t.rot_latency_ms +. transfer
+
+let run_cost t ~page_size ~pages =
+  if pages <= 0 then 0.
+  else
+    cost t ~page_size ~sequential:false
+    +. (float_of_int (pages - 1) *. cost t ~page_size ~sequential:true)

@@ -29,3 +29,10 @@ val free : t
 (** [cost t ~page_size ~sequential] is the simulated cost in milliseconds of
     one page access. *)
 val cost : t -> page_size:int -> sequential:bool -> float
+
+(** [run_cost t ~page_size ~pages] is the simulated cost of one run of
+    [pages] physically contiguous page accesses: the head of the run pays
+    the random-access cost, every following page the sequential one.  This
+    is exactly what a batched read-ahead of the run costs, and what the
+    query planner charges when it expects a scan to trigger read-ahead. *)
+val run_cost : t -> page_size:int -> pages:int -> float

@@ -3,16 +3,26 @@ type t = {
   mutable writes : int;
   mutable sequential_reads : int;
   mutable sequential_writes : int;
+  mutable read_ahead_pages : int;
   mutable sim_ms : float;
 }
 
-let create () = { reads = 0; writes = 0; sequential_reads = 0; sequential_writes = 0; sim_ms = 0. }
+let create () =
+  {
+    reads = 0;
+    writes = 0;
+    sequential_reads = 0;
+    sequential_writes = 0;
+    read_ahead_pages = 0;
+    sim_ms = 0.;
+  }
 
 let reset t =
   t.reads <- 0;
   t.writes <- 0;
   t.sequential_reads <- 0;
   t.sequential_writes <- 0;
+  t.read_ahead_pages <- 0;
   t.sim_ms <- 0.
 
 let copy t =
@@ -21,6 +31,7 @@ let copy t =
     writes = t.writes;
     sequential_reads = t.sequential_reads;
     sequential_writes = t.sequential_writes;
+    read_ahead_pages = t.read_ahead_pages;
     sim_ms = t.sim_ms;
   }
 
@@ -30,6 +41,7 @@ let diff later earlier =
     writes = later.writes - earlier.writes;
     sequential_reads = later.sequential_reads - earlier.sequential_reads;
     sequential_writes = later.sequential_writes - earlier.sequential_writes;
+    read_ahead_pages = later.read_ahead_pages - earlier.read_ahead_pages;
     sim_ms = later.sim_ms -. earlier.sim_ms;
   }
 
@@ -38,11 +50,11 @@ let total_ios t = t.reads + t.writes
 (* The sequential counts are subsets of the totals; say so explicitly --
    "reads=120 (seq 40)" used to read as if 40 were on top of the 120. *)
 let pp ppf t =
-  Format.fprintf ppf "reads=%d (%d of them seq) writes=%d (%d of them seq) sim=%.2fms" t.reads
-    t.sequential_reads t.writes t.sequential_writes t.sim_ms
+  Format.fprintf ppf "reads=%d (%d of them seq, %d read-ahead) writes=%d (%d of them seq) sim=%.2fms"
+    t.reads t.sequential_reads t.read_ahead_pages t.writes t.sequential_writes t.sim_ms
 
 let pp_json ppf t =
   Format.fprintf ppf
-    {|{"reads":%d,"sequential_reads":%d,"writes":%d,"sequential_writes":%d,"sim_ms":%s}|}
-    t.reads t.sequential_reads t.writes t.sequential_writes
+    {|{"reads":%d,"sequential_reads":%d,"read_ahead_pages":%d,"writes":%d,"sequential_writes":%d,"sim_ms":%s}|}
+    t.reads t.sequential_reads t.read_ahead_pages t.writes t.sequential_writes
     (Natix_obs.Json.float_repr t.sim_ms)

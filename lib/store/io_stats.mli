@@ -5,6 +5,9 @@ type t = {
   mutable writes : int;
   mutable sequential_reads : int;
   mutable sequential_writes : int;
+  mutable read_ahead_pages : int;
+      (** pages fetched speculatively by buffer-pool read-ahead; a subset of
+          [reads] *)
   mutable sim_ms : float;  (** simulated elapsed time under the {!Io_model} *)
 }
 

@@ -28,8 +28,8 @@ type built = {
   nodes : int;
 }
 
-let build ~page_size ?(buffer_bytes = 2 * 1024 * 1024) ?(merge_threshold = 0.5) ?obs series corpus
-    =
+let build ~page_size ?(buffer_bytes = 2 * 1024 * 1024) ?(merge_threshold = 0.5) ?(read_ahead = 0)
+    ?(scan_resistant = false) ?obs series corpus =
   let matrix =
     match series.matrix with
     | One_to_one -> Split_matrix.one_to_one ()
@@ -45,6 +45,8 @@ let build ~page_size ?(buffer_bytes = 2 * 1024 * 1024) ?(merge_threshold = 0.5) 
       split_tolerance = 0.1;
       merge_threshold;
       standalone_first_fit = (series.matrix = One_to_one);
+      read_ahead;
+      scan_resistant;
       obs;
     }
   in

@@ -32,11 +32,14 @@ type built = {
 
 (** [build ~page_size series corpus] creates a fresh in-memory store and
     loads every play as document ["play-<i>"] in the series' insertion
-    order. *)
+    order.  [read_ahead]/[scan_resistant] (both off by default, like the
+    paper's pool) configure the buffer pool's scan optimisations. *)
 val build :
   page_size:int ->
   ?buffer_bytes:int ->
   ?merge_threshold:float ->
+  ?read_ahead:int ->
+  ?scan_resistant:bool ->
   ?obs:Natix_obs.Obs.t ->
   series ->
   Natix_xml.Xml_tree.t list ->

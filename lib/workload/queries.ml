@@ -1,72 +1,48 @@
 open Natix_core
 
-let nth seq k =
-  (* 1-based k-th element of a lazy sequence; pulls no further. *)
-  let rec go k seq =
-    match seq () with
-    | Seq.Nil -> None
-    | Seq.Cons (x, rest) -> if k = 1 then Some x else go (k - 1) rest
-  in
-  go k seq
+(* The engine is created without an element index: the paper's four
+   retrieval operations measure pure navigation, and the figure tables
+   compare storage layouts, not access paths.  The planner therefore
+   compiles every step to cursor navigation, and the streaming evaluator
+   reproduces the access pattern the hand-coded walks used to have (lazy
+   positional predicates pull no further than their position). *)
 
-let children_named c name = Cursor.children_named c name
+let run store ~doc path =
+  let engine = Natix_query.Engine.create store in
+  match Natix_query.Engine.query engine ~doc path with
+  | Ok seq -> seq
+  | Error (Error.Storage _) -> Seq.empty (* unknown document: no hits *)
+  | Error e -> failwith (Error.to_string e)
 
 let full_traversal store ~docs =
   List.fold_left
     (fun acc doc ->
-      match Cursor.of_document store doc with
+      match Tree_store.open_document store doc with
       | None -> acc
-      | Some root -> acc + Seq.fold_left (fun n _ -> n + 1) 0 (Cursor.descendants_or_self root))
+      | Some _ ->
+        (* //node() yields every logical node below the root; + 1 counts
+           the root itself, like the pre-order traversal it replaces. *)
+        acc + 1 + Seq.length (run store ~doc "//node()"))
     0 docs
 
 let q1 store ~docs =
   List.concat_map
     (fun doc ->
-      match Cursor.of_document store doc with
-      | None -> []
-      | Some root -> (
-        match nth (children_named root "ACT") 3 with
-        | None -> []
-        | Some act -> (
-          match nth (children_named act "SCENE") 2 with
-          | None -> []
-          | Some scene ->
-            Seq.fold_left
-              (fun acc c ->
-                if Cursor.is_element c && String.equal (Cursor.name c) "SPEAKER" then
-                  Cursor.text_content c :: acc
-                else acc)
-              [] (Cursor.descendants_or_self scene)
-            |> List.rev)))
+      run store ~doc "/ACT[3]/SCENE[2]//SPEAKER" |> Seq.map Cursor.text_content |> List.of_seq)
     docs
 
 let q2 store ~docs =
   List.concat_map
     (fun doc ->
-      match Cursor.of_document store doc with
-      | None -> []
-      | Some root ->
-        Seq.concat_map
-          (fun act ->
-            Seq.filter_map
-              (fun scene ->
-                Option.map
-                  (fun speech -> Exporter.to_string store (Cursor.node speech))
-                  (nth (children_named scene "SPEECH") 1))
-              (children_named act "SCENE"))
-          (children_named root "ACT")
-        |> List.of_seq)
+      run store ~doc "/ACT/SCENE/SPEECH[1]"
+      |> Seq.map (fun c -> Exporter.to_string store (Cursor.node c))
+      |> List.of_seq)
     docs
 
 let q3 store ~docs =
-  List.filter_map
+  List.concat_map
     (fun doc ->
-      match Cursor.of_document store doc with
-      | None -> None
-      | Some root ->
-        Option.bind (nth (children_named root "ACT") 1) (fun act ->
-            Option.bind (nth (children_named act "SCENE") 1) (fun scene ->
-                Option.map
-                  (fun speech -> Exporter.to_string store (Cursor.node speech))
-                  (nth (children_named scene "SPEECH") 1))))
+      run store ~doc "/ACT[1]/SCENE[1]/SPEECH[1]"
+      |> Seq.map (fun c -> Exporter.to_string store (Cursor.node c))
+      |> List.of_seq)
     docs

@@ -1,8 +1,10 @@
 (** The four retrieval operations of the paper's evaluation (§4.3).
 
-    All run over {!Natix_core.Cursor} navigation, lazily, so they touch
-    only the records the paper's access pattern would: e.g. query 3 reads
-    a root-to-speech path without expanding later acts.
+    All four are declarative {!Natix_query} paths evaluated by the
+    streaming engine (no element index, so every step is navigation);
+    lazy positional predicates preserve the access pattern of the
+    hand-coded walks they replaced: e.g. query 3 reads a root-to-speech
+    path without expanding later acts.
 
     - {!full_traversal}: a full pre-order tree traversal;
     - {!q1}: all speakers in the third act, second scene of every play —

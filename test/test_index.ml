@@ -117,11 +117,11 @@ let document_manager_tests =
         let xml = Xml_parser.parse sample in
         (match Document_manager.store_document dm ~name:"d" ~infer_dtd:true xml with
         | Ok _ -> ()
-        | Error e -> Alcotest.failf "unexpected: %s" e);
+        | Error e -> Alcotest.failf "unexpected: %s" (Error.to_string e));
         Alcotest.(check bool) "dtd stored" true (Document_manager.document_dtd dm "d" <> None);
         match Document_manager.validate dm "d" with
         | Ok () -> ()
-        | Error e -> Alcotest.failf "revalidation failed: %s" e);
+        | Error e -> Alcotest.failf "revalidation failed: %s" (Error.to_string e));
     Alcotest.test_case "invalid documents are rejected" `Quick (fun () ->
         let dm = Document_manager.create (mem_store ()) in
         let dtd = Dtd.create ~name:"strict" in
@@ -141,7 +141,7 @@ let document_manager_tests =
         let root =
           match Document_manager.store_document dm ~name:"d" ~dtd xml with
           | Ok root -> root
-          | Error e -> Alcotest.failf "store failed: %s" e
+          | Error e -> Alcotest.failf "store failed: %s" (Error.to_string e)
         in
         (* A SPEECH fragment fits under SCENE... *)
         (match
@@ -149,7 +149,7 @@ let document_manager_tests =
              (Xml_parser.parse "<SPEECH><LINE>y</LINE></SPEECH>")
          with
         | Ok _ -> ()
-        | Error e -> Alcotest.failf "valid fragment rejected: %s" e);
+        | Error e -> Alcotest.failf "valid fragment rejected: %s" (Error.to_string e));
         (* ... a TITLE fragment does not. *)
         (match
            Document_manager.insert_fragment dm ~doc:"d" (Tree_store.First_under root)
@@ -159,12 +159,12 @@ let document_manager_tests =
         | Ok _ -> Alcotest.fail "invalid fragment accepted");
         match Document_manager.validate dm "d" with
         | Ok () -> ()
-        | Error e -> Alcotest.failf "document invalid after edits: %s" e);
+        | Error e -> Alcotest.failf "document invalid after edits: %s" (Error.to_string e));
     Alcotest.test_case "elements_named uses the index" `Quick (fun () ->
         let dm = Document_manager.create (mem_store ()) in
         (match Document_manager.store_document dm ~name:"d" (Xml_parser.parse sample) with
         | Ok _ -> ()
-        | Error e -> Alcotest.failf "store failed: %s" e);
+        | Error e -> Alcotest.failf "store failed: %s" (Error.to_string e));
         Alcotest.(check int) "lines via index" 3 (Document_manager.count_elements dm "LINE");
         Alcotest.(check int) "scan size" 3 (List.length (Document_manager.elements_named dm "LINE"));
         Alcotest.(check int) "unknown name" 0 (Document_manager.count_elements dm "NOPE"));
@@ -172,13 +172,13 @@ let document_manager_tests =
         let dm = Document_manager.create ~with_index:false (mem_store ()) in
         (match Document_manager.store_document dm ~name:"d" (Xml_parser.parse sample) with
         | Ok _ -> ()
-        | Error e -> Alcotest.failf "store failed: %s" e);
+        | Error e -> Alcotest.failf "store failed: %s" (Error.to_string e));
         Alcotest.(check int) "lines via traversal" 3 (Document_manager.count_elements dm "LINE"));
     Alcotest.test_case "delete_document drops the DTD registration" `Quick (fun () ->
         let dm = Document_manager.create (mem_store ()) in
         (match Document_manager.store_document dm ~name:"d" ~infer_dtd:true (Xml_parser.parse sample) with
         | Ok _ -> ()
-        | Error e -> Alcotest.failf "store failed: %s" e);
+        | Error e -> Alcotest.failf "store failed: %s" (Error.to_string e));
         Document_manager.delete_document dm "d";
         Alcotest.(check bool) "dtd gone" true (Document_manager.document_dtd dm "d" = None);
         Alcotest.(check int) "index emptied" 0 (Document_manager.count_elements dm "LINE"));

@@ -173,7 +173,7 @@ let persistence_tests =
         let dm = Document_manager.create (Tree_store.open_store ~config disk) in
         (match Document_manager.store_document dm ~name:"play" ~infer_dtd:true play with
         | Ok _ -> ()
-        | Error e -> Alcotest.failf "store: %s" e);
+        | Error e -> Alcotest.failf "store: %s" (Error.to_string e));
         let speakers_before = Document_manager.count_elements dm "SPEAKER" in
         Tree_store.sync (Document_manager.store dm);
         Natix_store.Disk.close disk;
@@ -185,7 +185,7 @@ let persistence_tests =
         Alcotest.(check bool) "dtd survived" true (Document_manager.document_dtd dm2 "play" <> None);
         (match Document_manager.validate dm2 "play" with
         | Ok () -> ()
-        | Error e -> Alcotest.failf "validation: %s" e);
+        | Error e -> Alcotest.failf "validation: %s" (Error.to_string e));
         Alcotest.(check int) "index survived" speakers_before
           (Document_manager.count_elements dm2 "SPEAKER");
         Tree_store.check_document (Document_manager.store dm2) "play";

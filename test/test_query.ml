@@ -1,0 +1,380 @@
+(* The query engine: AST parsing, planning, and the differential
+   guarantee that the planned streaming evaluator returns byte-identical
+   results to the naive strict evaluator — over the Shakespeare corpus
+   and over PRNG-generated documents and query corpora.  Plus unit tests
+   for the scan-optimised buffer pool (read-ahead run detection and
+   segmented-LRU eviction order) and the Natix.Session facade. *)
+
+open Natix_core
+module Ast = Natix_query.Ast
+module Engine = Natix_query.Engine
+module Plan = Natix_query.Plan
+module Buffer_pool = Natix_store.Buffer_pool
+module Disk = Natix_store.Disk
+module Prng = Natix_util.Prng
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let checks = check Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* AST *)
+
+let test_parse_roundtrip () =
+  List.iter
+    (fun path -> checks path path (Ast.to_string (Ast.parse path)))
+    [
+      "/PLAY";
+      "//SPEAKER";
+      "/ACT[3]/SCENE[2]//SPEAKER";
+      "//SPEECH[1]/LINE";
+      "//@id";
+      "/a/*/text()";
+      "//node()";
+      "//SCENE[text()='x y']";
+      "/a[2][text()='v']//b/@class";
+    ]
+
+let test_parse_errors () =
+  List.iter
+    (fun path ->
+      match Ast.parse path with
+      | exception Ast.Parse_error _ -> ()
+      | _ -> Alcotest.failf "parse %S should have failed" path)
+    [ ""; "ACT"; "/"; "///"; "/ACT["; "/ACT[0]"; "/ACT[x]"; "/ACT[text()='v]"; "/@"; "/ACT]" ]
+
+let test_engine_parse_error () =
+  let store = Tree_store.in_memory () in
+  let engine = Engine.create store in
+  (match Engine.query engine ~doc:"d" "///" with
+  | Error (Error.Query _) -> ()
+  | _ -> Alcotest.fail "expected Error (Query _)");
+  match Engine.query engine ~doc:"missing" "//a" with
+  | Error (Error.Storage _) -> ()
+  | _ -> Alcotest.fail "expected Error (Storage _) for an unknown document"
+
+(* ------------------------------------------------------------------ *)
+(* Differential: planned vs naive *)
+
+(* Serialise one hit so "byte-identical" is meaningful for every node
+   kind the engine can return (elements, texts, attributes). *)
+let render store c =
+  if Cursor.is_element c then Exporter.to_string store (Cursor.node c)
+  else Cursor.name c ^ "=" ^ Cursor.text c
+
+let run_both engine path doc =
+  let store = Engine.store engine in
+  let collect q =
+    match q engine ~doc path with
+    | Ok seq -> Seq.map (render store) seq |> List.of_seq
+    | Error (Error.Query msg) -> [ "query error: " ^ msg ]
+    | Error e -> Alcotest.failf "%s: %s" path (Error.to_string e)
+  in
+  (collect Engine.query, collect Engine.query_naive)
+
+let diff_check engine ~doc paths =
+  List.iter
+    (fun path ->
+      let planned, naive = run_both engine path doc in
+      check (Alcotest.list Alcotest.string) path naive planned)
+    paths
+
+let shakespeare_paths =
+  [
+    "/ACT";
+    "//SPEAKER";
+    "//SCNDESCR";
+    "/ACT[3]/SCENE[2]//SPEAKER";
+    "/ACT/SCENE/SPEECH[1]";
+    "/ACT[1]/SCENE[1]/SPEECH[1]";
+    "//SPEECH[2]/LINE[1]";
+    "//SCENE[1]/*";
+    "//SPEECH/text()";
+    "//node()";
+    "/TITLE";
+    "//ACT[6]";
+    "//PERSONA";
+    "/PERSONAE//text()";
+    "//*[2]";
+  ]
+
+let shakespeare_store ?(plays = 2) () =
+  let corpus = Natix_workload.Shakespeare.generate (Natix_workload.Shakespeare.scaled 0.01) in
+  let corpus = List.filteri (fun i _ -> i < plays) (corpus @ corpus) in
+  let store = Tree_store.in_memory () in
+  let dm = Document_manager.create store in
+  List.iteri
+    (fun i play ->
+      match Document_manager.store_document dm ~name:(Printf.sprintf "play-%d" i) play with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Error.to_string e))
+    corpus;
+  Document_manager.checkpoint dm;
+  (store, dm)
+
+let test_diff_shakespeare () =
+  let store, dm = shakespeare_store () in
+  (* Once with the index (planner may seed) and once without. *)
+  let with_index = Engine.of_manager dm in
+  let nav_only = Engine.create store in
+  diff_check with_index ~doc:"play-0" shakespeare_paths;
+  diff_check with_index ~doc:"play-1" shakespeare_paths;
+  diff_check nav_only ~doc:"play-0" shakespeare_paths
+
+(* Random documents: small alphabet so descendant steps collide a lot,
+   attributes and text leaves mixed in. *)
+let gen_doc rng =
+  let names = [| "a"; "b"; "c"; "d" |] in
+  let rec node depth =
+    if depth = 0 || Prng.int rng 4 = 0 then Natix_xml.Xml_tree.text (Printf.sprintf "t%d" (Prng.int rng 3))
+    else
+      let attrs = if Prng.int rng 3 = 0 then [ ("id", string_of_int (Prng.int rng 4)) ] else [] in
+      let kids = List.init (Prng.range rng 1 4) (fun _ -> node (depth - 1)) in
+      Natix_xml.Xml_tree.element ~attrs (Prng.pick rng names) kids
+  in
+  Natix_xml.Xml_tree.element "root" (List.init (Prng.range rng 2 5) (fun _ -> node 3))
+
+let gen_path rng =
+  let b = Buffer.create 16 in
+  let steps = Prng.range rng 1 3 in
+  for _ = 1 to steps do
+    Buffer.add_string b (if Prng.bool rng then "/" else "//");
+    Buffer.add_string b
+      (Prng.pick rng [| "a"; "b"; "c"; "d"; "*"; "text()"; "node()"; "@id" |]);
+    if Prng.int rng 3 = 0 then
+      Buffer.add_string b (Printf.sprintf "[%d]" (Prng.range rng 1 3));
+    if Prng.int rng 5 = 0 then Buffer.add_string b "[text()='t1']"
+  done;
+  Buffer.contents b
+
+let test_diff_random () =
+  let rng = Prng.create ~seed:0xA5EEDL in
+  for round = 1 to 10 do
+    let store = Tree_store.in_memory () in
+    let dm = Document_manager.create store in
+    let doc = Printf.sprintf "rand-%d" round in
+    (match Document_manager.store_document dm ~name:doc (gen_doc rng) with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail (Error.to_string e));
+    Document_manager.checkpoint dm;
+    let engine = Engine.of_manager dm in
+    diff_check engine ~doc (List.init 25 (fun _ -> gen_path rng))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Planner *)
+
+let test_planner_seeds_selective () =
+  let store, dm = shakespeare_store ~plays:1 () in
+  let engine = Engine.of_manager dm in
+  let plan path =
+    match Engine.plan engine ~doc:"play-0" path with
+    | Ok p -> p
+    | Error e -> Alcotest.fail (Error.to_string e)
+  in
+  (* One SCNDESCR per play: seeding beats walking the whole document. *)
+  checkb "//SCNDESCR uses the index" true (Plan.uses_index (plan "//SCNDESCR"));
+  (* Child steps can't be seeded. *)
+  checkb "/ACT/SCENE is navigation" false (Plan.uses_index (plan "/ACT/SCENE"));
+  (* Without an index there is nothing to seed from. *)
+  let nav_only = Engine.create store in
+  (match Engine.plan nav_only ~doc:"play-0" "//SCNDESCR" with
+  | Ok p -> checkb "no index, no seed" false (Plan.uses_index p)
+  | Error e -> Alcotest.fail (Error.to_string e));
+  (* Unselective tests mark the plan as a scan. *)
+  checkb "//node() is a scan" true (plan "//node()").Plan.scan;
+  checkb "//SCNDESCR is not a scan" false (plan "//SCNDESCR").Plan.scan
+
+(* ------------------------------------------------------------------ *)
+(* Buffer pool: read-ahead *)
+
+let mk_disk ~pages ~page_size =
+  let disk = Disk.in_memory ~page_size () in
+  for _ = 1 to pages do
+    ignore (Disk.allocate disk)
+  done;
+  disk
+
+let test_read_ahead_run_detection () =
+  let page_size = 512 in
+  let disk = mk_disk ~pages:64 ~page_size in
+  let pool = Buffer_pool.create ~disk ~bytes:(32 * page_size) ~read_ahead:4 () in
+  (* An isolated miss prefetches nothing. *)
+  Buffer_pool.unfix pool (Buffer_pool.fix pool 10);
+  checki "no prefetch after one miss" 0 (Buffer_pool.prefetched pool);
+  (* The second consecutive miss starts a run: 12..15 arrive speculatively. *)
+  Buffer_pool.unfix pool (Buffer_pool.fix pool 11);
+  checki "window prefetched" 4 (Buffer_pool.prefetched pool);
+  List.iter
+    (fun p -> checkb (Printf.sprintf "page %d resident" p) true (Buffer_pool.is_resident pool p))
+    [ 12; 13; 14; 15 ];
+  let misses = Buffer_pool.misses pool in
+  (* Demand fixes on prefetched pages are hits... *)
+  List.iter (fun p -> Buffer_pool.unfix pool (Buffer_pool.fix pool p)) [ 12; 13; 14; 15 ];
+  checki "prefetched pages hit" misses (Buffer_pool.misses pool);
+  (* ...and the miss right after the prefetched run continues it. *)
+  Buffer_pool.unfix pool (Buffer_pool.fix pool 16);
+  checkb "run extended past the window" true (Buffer_pool.is_resident pool 17);
+  (* The disk counted the speculative reads as such. *)
+  checkb "read_ahead_pages counted" true
+    ((Disk.stats disk).Natix_store.Io_stats.read_ahead_pages >= 4)
+
+let test_read_ahead_respects_end_of_disk () =
+  let page_size = 512 in
+  let disk = mk_disk ~pages:8 ~page_size in
+  let pool = Buffer_pool.create ~disk ~bytes:(32 * page_size) ~read_ahead:6 () in
+  Buffer_pool.unfix pool (Buffer_pool.fix pool 6);
+  Buffer_pool.unfix pool (Buffer_pool.fix pool 7);
+  (* Only page 7 was left to read; nothing beyond the end is touched. *)
+  checkb "no resident page past the end" true (Buffer_pool.resident pool <= 8)
+
+let test_read_ahead_off_by_default () =
+  let page_size = 512 in
+  let disk = mk_disk ~pages:16 ~page_size in
+  let pool = Buffer_pool.create ~disk ~bytes:(8 * page_size) () in
+  Buffer_pool.unfix pool (Buffer_pool.fix pool 0);
+  Buffer_pool.unfix pool (Buffer_pool.fix pool 1);
+  Buffer_pool.unfix pool (Buffer_pool.fix pool 2);
+  checki "no speculative reads" 0 (Buffer_pool.prefetched pool);
+  checki "only the demanded pages" 3 (Buffer_pool.resident pool)
+
+(* ------------------------------------------------------------------ *)
+(* Buffer pool: segmented LRU *)
+
+let test_slru_scan_does_not_evict_hot () =
+  let page_size = 512 in
+  let disk = mk_disk ~pages:64 ~page_size in
+  let run scan_resistant =
+    let pool = Buffer_pool.create ~disk ~bytes:(8 * page_size) ~scan_resistant () in
+    (* Working set: pages 0-3, demand-fixed (hot). *)
+    List.iter (fun p -> Buffer_pool.unfix pool (Buffer_pool.fix pool p)) [ 0; 1; 2; 3 ];
+    (* A scan over 32 other pages, fixed under scan mode. *)
+    Buffer_pool.with_scan pool (fun () ->
+        for p = 10 to 41 do
+          Buffer_pool.unfix pool (Buffer_pool.fix pool p)
+        done);
+    List.for_all (fun p -> Buffer_pool.is_resident pool p) [ 0; 1; 2; 3 ]
+  in
+  checkb "plain LRU loses the working set" false (run false);
+  checkb "segmented LRU keeps the working set" true (run true)
+
+let test_slru_cold_promotion () =
+  let page_size = 512 in
+  let disk = mk_disk ~pages:64 ~page_size in
+  let pool = Buffer_pool.create ~disk ~bytes:(8 * page_size) ~scan_resistant:true () in
+  (* A scan brings page 10 in cold... *)
+  Buffer_pool.with_scan pool (fun () -> Buffer_pool.unfix pool (Buffer_pool.fix pool 10));
+  checki "cold after the scan" 1 (Buffer_pool.resident_cold pool);
+  (* ...one demand hit outside the scan marks it referenced... *)
+  Buffer_pool.unfix pool (Buffer_pool.fix pool 10);
+  (* ...and the next demand hit promotes it to hot. *)
+  Buffer_pool.unfix pool (Buffer_pool.fix pool 10);
+  checki "promoted to hot" 0 (Buffer_pool.resident_cold pool);
+  checkb "still resident" true (Buffer_pool.is_resident pool 10)
+
+let test_slru_eviction_order () =
+  let page_size = 512 in
+  let disk = mk_disk ~pages:64 ~page_size in
+  (* Capacity 2 so the next miss must evict exactly one of the two. *)
+  let pool = Buffer_pool.create ~disk ~bytes:(2 * page_size) ~scan_resistant:true () in
+  Buffer_pool.unfix pool (Buffer_pool.fix pool 0) (* hot *);
+  Buffer_pool.with_scan pool (fun () ->
+      Buffer_pool.unfix pool (Buffer_pool.fix pool 1) (* cold *));
+  Buffer_pool.unfix pool (Buffer_pool.fix pool 2);
+  (* The cold frame goes first even though the hot one is older. *)
+  checkb "hot survives" true (Buffer_pool.is_resident pool 0);
+  checkb "cold evicted" false (Buffer_pool.is_resident pool 1)
+
+let test_plain_pool_matches_old_lru () =
+  let page_size = 512 in
+  let disk = mk_disk ~pages:64 ~page_size in
+  let pool = Buffer_pool.create ~disk ~bytes:(2 * page_size) () in
+  Buffer_pool.unfix pool (Buffer_pool.fix pool 0);
+  Buffer_pool.unfix pool (Buffer_pool.fix pool 1);
+  Buffer_pool.unfix pool (Buffer_pool.fix pool 0) (* touch 0: now MRU *);
+  Buffer_pool.unfix pool (Buffer_pool.fix pool 2);
+  checkb "LRU page evicted" false (Buffer_pool.is_resident pool 1);
+  checkb "MRU page kept" true (Buffer_pool.is_resident pool 0);
+  checki "everything is hot without scan_resistant" 0 (Buffer_pool.resident_cold pool)
+
+(* ------------------------------------------------------------------ *)
+(* Session facade *)
+
+let test_session_roundtrip () =
+  let path = Filename.temp_file "natix_session" ".db" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      let wal = Natix_store.Recovery.wal_path path in
+      if Sys.file_exists wal then Sys.remove wal)
+    (fun () ->
+      let play =
+        List.hd (Natix_workload.Shakespeare.generate (Natix_workload.Shakespeare.scaled 0.01))
+      in
+      Natix.Session.with_session path (fun s ->
+          (match Natix.Session.store_document s ~name:"play" play with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail (Error.to_string e));
+          check (Alcotest.list Alcotest.string) "documents" [ "play" ]
+            (Natix.Session.documents s));
+      (* Reopen: the document, the index and the query engine survive. *)
+      Natix.Session.with_session path (fun s ->
+          let hits =
+            match Natix.Session.query s ~doc:"play" "//SCNDESCR" with
+            | Ok seq -> List.of_seq seq
+            | Error e -> Alcotest.fail (Error.to_string e)
+          in
+          checki "one scene description" 1 (List.length hits);
+          (match Natix.Session.explain s ~doc:"play" "//SCNDESCR" with
+          | Ok plan ->
+            let contains hay needle =
+              let h = String.length hay and n = String.length needle in
+              let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+              go 0
+            in
+            checkb "reopened session plans with the index" true (contains plan "index-seed")
+          | Error e -> Alcotest.fail (Error.to_string e));
+          match Natix.Session.query s ~doc:"nope" "//a" with
+          | Error (Error.Storage _) -> ()
+          | _ -> Alcotest.fail "unknown document should be a storage error"))
+
+let test_error_exit_codes () =
+  checki "validation" 1 (Error.exit_code (Error.Validation { doc = "d"; detail = "x" }));
+  checki "dtd" 1 (Error.exit_code (Error.Dtd { doc = "d"; detail = "x" }));
+  checki "parse" 2 (Error.exit_code (Error.Parse "x"));
+  checki "query" 2 (Error.exit_code (Error.Query "x"));
+  checki "storage" 2 (Error.exit_code (Error.Storage "x"))
+
+let suites =
+  [
+    ( "query-ast",
+      [
+        Alcotest.test_case "round-trip" `Quick test_parse_roundtrip;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "typed engine errors" `Quick test_engine_parse_error;
+      ] );
+    ( "query-diff",
+      [
+        Alcotest.test_case "shakespeare corpus" `Quick test_diff_shakespeare;
+        Alcotest.test_case "random documents and paths" `Quick test_diff_random;
+        Alcotest.test_case "planner seeds selective labels" `Quick test_planner_seeds_selective;
+      ] );
+    ( "query-pool",
+      [
+        Alcotest.test_case "read-ahead run detection" `Quick test_read_ahead_run_detection;
+        Alcotest.test_case "read-ahead stops at end of disk" `Quick
+          test_read_ahead_respects_end_of_disk;
+        Alcotest.test_case "read-ahead off by default" `Quick test_read_ahead_off_by_default;
+        Alcotest.test_case "scan keeps the hot set" `Quick test_slru_scan_does_not_evict_hot;
+        Alcotest.test_case "cold promotion" `Quick test_slru_cold_promotion;
+        Alcotest.test_case "cold evicted before hot" `Quick test_slru_eviction_order;
+        Alcotest.test_case "plain pool is plain LRU" `Quick test_plain_pool_matches_old_lru;
+      ] );
+    ( "session",
+      [
+        Alcotest.test_case "file round-trip" `Quick test_session_roundtrip;
+        Alcotest.test_case "error exit codes" `Quick test_error_exit_codes;
+      ] );
+  ]
