@@ -17,16 +17,20 @@
 
    Store-touching commands run on a Natix.Session, the facade that
    bundles disk + tree store + document manager + query engine.  Commands
-   that only read open the session without the element index and close it
-   without committing, so they never mutate the store file.  The
-   forensics commands (trace, fsck, recover) keep their direct
-   disk/store plumbing on purpose. *)
+   that only read close the session without committing and never create
+   or rebuild the element index ([query] opens a persisted index only
+   when it is current — a stale one would silently miss results, a
+   rebuild would dirty pages — and otherwise plans by navigation), so
+   they never mutate the store file.  Mutating commands ([load],
+   [delete]) open a persisted index so their change listener keeps it
+   current; [scan] creates or repairs it.  The forensics commands (trace,
+   fsck, recover) keep their direct disk/store plumbing on purpose. *)
 
 open Cmdliner
 open Natix_core
 
-let open_session ?(create_page_size = 8192) ?(with_index = false) path =
-  Natix.Session.open_file ~create_page_size ~with_index path
+let open_session ?(create_page_size = 8192) ?(index = Document_manager.Off) path =
+  Natix.Session.open_file ~create_page_size ~index path
 
 let fail_error e =
   Printf.eprintf "natix: %s\n" (Error.to_string e);
@@ -65,7 +69,12 @@ let read_file path =
 
 let load_cmd =
   let run store_path doc xml_path page_size order stream =
-    let sess = open_session ~create_page_size:page_size store_path in
+    (* A persisted element index must see this load (via the session's
+       change listener) or it would go stale; absent one, don't create
+       an index the user never asked for. *)
+    let sess =
+      open_session ~create_page_size:page_size ~index:Document_manager.Maintain store_path
+    in
     let store = Natix.Session.store sess in
     let xml = Natix_xml.Xml_parser.parse_file xml_path in
     (if stream then
@@ -116,9 +125,18 @@ let cat_cmd =
 let query_cmd =
   let run store_path doc path texts naive explain no_index =
     (* With the index open the planner may seed descendant steps from it;
-       [--no-index] (or [--naive]) forces pure navigation. *)
-    let with_index = (not no_index) && not naive in
-    let sess = open_session ~with_index store_path in
+       [--no-index] (or [--naive]) forces pure navigation.  [Fresh_only]
+       keeps this command read-only: a persisted index is used only when
+       it is current — never created or rebuilt here. *)
+    let index =
+      if no_index || naive then Document_manager.Off else Document_manager.Fresh_only
+    in
+    let sess = open_session ~index store_path in
+    (if index = Document_manager.Fresh_only
+        && Document_manager.stale_index_skipped (Natix.Session.manager sess) then
+       prerr_endline
+         "note: the element index is stale (the store changed without it); planning by \
+          navigation.  Run `natix scan` once to rebuild it.");
     let store = Natix.Session.store sess in
     (if explain then
        match Natix.Session.explain sess ~doc path with
@@ -206,12 +224,11 @@ let check_cmd =
 
 let scan_cmd =
   let run store_path element texts =
-    let sess = open_session ~with_index:true store_path in
+    (* [Ensure] creates the index on first use and rebuilds it if it went
+       stale; the session commits on close, persisting the repair. *)
+    let sess = open_session ~index:Document_manager.Ensure store_path in
     let store = Natix.Session.store sess in
     let dm = Natix.Session.manager sess in
-    (match Document_manager.index dm with
-    | Some idx -> Element_index.rebuild idx
-    | None -> ());
     let nodes = Document_manager.elements_named dm element in
     List.iter
       (fun n ->
@@ -250,7 +267,8 @@ let validate_cmd =
 
 let delete_cmd =
   let run store_path doc =
-    let sess = open_session store_path in
+    (* Like [load]: keep a persisted index in step with the deletion. *)
+    let sess = open_session ~index:Document_manager.Maintain store_path in
     Natix.Session.delete_document sess doc;
     Natix.Session.close sess;
     Printf.printf "deleted %S\n" doc
@@ -455,6 +473,11 @@ let () =
              delete_cmd; gen_cmd; trace_cmd; fsck_cmd; recover_cmd;
            ])
     with
+    | Error.Error e ->
+      (* Typed failures raised from inside lazy result sequences (the
+         [result]-returning entry points already handled the eager ones). *)
+      Printf.eprintf "natix: %s\n" (Error.to_string e);
+      Error.exit_code e
     | Natix_store.Disk.Bad_page { page; reason } ->
       if page < 0 then Printf.eprintf "natix: bad superblock: %s\n" reason
       else Printf.eprintf "natix: bad page %d: %s (try `natix recover`)\n" page reason;

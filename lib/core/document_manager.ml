@@ -2,23 +2,45 @@ open Natix_xml
 
 type t = { store : Tree_store.t; index : Element_index.t option }
 
+type index_mode = Ensure | Maintain | Fresh_only | Off
+
 let index_name = "elements"
 let dtd_key doc = "dtd:" ^ doc
 
-let create ?(with_index = true) store =
+let create ?(index = Ensure) store =
+  let opened () = Element_index.open_index store ~name:index_name in
+  (* A stale index (the store changed while no listener was attached, or
+     it was just created over existing documents) silently misses nodes;
+     writers repair it by rebuilding, readers must plan without it. *)
+  let rebuilt idx =
+    if Element_index.stale idx then Element_index.rebuild idx;
+    idx
+  in
   let index =
-    if with_index then
-      match Element_index.open_index store ~name:index_name with
-      | Some idx -> Some idx
-      | None ->
-        let idx = Element_index.create store ~name:index_name in
-        (* A fresh index on a store that already holds documents (loaded
-           while no listener was attached) starts empty; backfill it. *)
-        if Tree_store.list_documents store <> [] then Element_index.rebuild idx;
-        Some idx
-    else None
+    match index with
+    | Off -> None
+    | Ensure ->
+      Some
+        (rebuilt
+           (match opened () with
+           | Some idx -> idx
+           | None -> Element_index.create store ~name:index_name))
+    | Maintain -> Option.map rebuilt (opened ())
+    | Fresh_only -> (
+      match opened () with
+      | Some idx when not (Element_index.stale idx) -> Some idx
+      | Some _ | None ->
+        (* Detach the listener the failed open attached: nobody will fold
+           its pending changes in. *)
+        Tree_store.set_change_listener store None;
+        None)
   in
   { store; index }
+
+(* Whether an index is persisted but was skipped (or would be) because it
+   is stale — the CLI uses this to explain a navigation-only plan. *)
+let stale_index_skipped t =
+  t.index = None && Element_index.persisted t.store ~name:index_name
 
 let store t = t.store
 let index t = t.index
@@ -44,6 +66,7 @@ let store_document t ~name ?dtd ?(infer_dtd = false) ?order xml =
       save_catalog t
     | None -> ());
     Option.iter Element_index.refresh t.index;
+    Stats.record_page_hint t.store name;
     Ok root
 
 let document_dtd t doc =
@@ -110,11 +133,13 @@ let insert_fragment t ~doc point xml =
     | Ok () ->
       let node = Loader.insert_fragment t.store point xml in
       Option.iter Element_index.refresh t.index;
+      Stats.record_page_hint t.store doc;
       Ok node)
 
 let delete_document t doc =
   Tree_store.delete_document t.store doc;
   Hashtbl.remove (Tree_store.catalog t.store).Catalog.meta (dtd_key doc);
+  Stats.drop_page_hint t.store doc;
   save_catalog t;
   Option.iter Element_index.refresh t.index
 

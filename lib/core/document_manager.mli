@@ -13,12 +13,34 @@
 
 type t
 
-(** [create ?with_index store] wraps a store.  With [with_index] (default
-    true) an element index named ["elements"] is opened or created. *)
-val create : ?with_index:bool -> Tree_store.t -> t
+(** How {!create} handles the element index named ["elements"].  A
+    persisted index can be {e stale} (see {!Element_index.stale}) when
+    the store changed in a session that did not open it; using it then
+    would silently drop query results, so every mode either repairs or
+    refuses a stale index:
+
+    - [Ensure] — open or create the index; rebuild it when stale.  For
+      writers that want index-accelerated access (the default).
+    - [Maintain] — open the index only when one is persisted (rebuild
+      when stale), so this session's changes keep it current; never
+      create one.  For writers that don't need the index themselves.
+    - [Fresh_only] — open the index only when one is persisted {e and}
+      current; never create, rebuild, or otherwise write.  For read-only
+      sessions: a stale index yields [None] (plan by navigation).
+    - [Off] — no index. *)
+type index_mode = Ensure | Maintain | Fresh_only | Off
+
+(** [create ?index store] wraps a store; [index] (default [Ensure])
+    selects the index policy above. *)
+val create : ?index:index_mode -> Tree_store.t -> t
 
 val store : t -> Tree_store.t
 val index : t -> Element_index.t option
+
+(** True when the manager runs without an index even though one is
+    persisted — i.e. [Fresh_only] (or [Off]) skipped it.  Lets a CLI
+    explain why a plan is navigation-only. *)
+val stale_index_skipped : t -> bool
 
 (** Durable checkpoint: flush pending element-index updates, then
     {!Tree_store.checkpoint} (catalog save, buffer flush, WAL commit).

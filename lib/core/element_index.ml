@@ -13,6 +13,12 @@ type t = {
   tree : Btree.t;
   name : string;
   pending_changes : unit Rid.Tbl.t;
+  mutable in_sync : bool;
+      (* Whether the index reflects every store change up to the epoch it
+         last stamped (modulo [pending_changes], which the listener keeps
+         complete while this handle is attached).  False when the stamped
+         epoch at open time is behind the store — changes happened while
+         no listener was attached — until [rebuild] repairs it. *)
 }
 
 let be32 v =
@@ -43,6 +49,25 @@ let of_count8 s = Int64.to_int (Bytes_util.get_i64 (Bytes.unsafe_of_string s) 0)
 let fwd_key label rid = "F" ^ be32 label ^ rid8 rid
 let rev_key rid label = "R" ^ rid8 rid ^ be32 label
 let meta_key name = "index:" ^ name
+let epoch_key name = "index:" ^ name ^ ":epoch"
+
+let persisted store ~name =
+  Hashtbl.mem (Tree_store.catalog store).Catalog.meta (meta_key name)
+
+(* Stamp the store epoch the index is now consistent with.  In-memory
+   only; it becomes durable with the next catalog save, i.e. together
+   with the index pages themselves at checkpoint. *)
+let stamp_epoch t =
+  Hashtbl.replace
+    (Tree_store.catalog t.store).Catalog.meta (epoch_key t.name)
+    (string_of_int (Tree_store.change_epoch t.store))
+
+let stamped_epoch store ~name =
+  Option.bind
+    (Hashtbl.find_opt (Tree_store.catalog store).Catalog.meta (epoch_key name))
+    int_of_string_opt
+
+let stale t = not t.in_sync
 
 let attach t =
   Tree_store.set_change_listener t.store
@@ -54,8 +79,12 @@ let create store ~name =
     invalid_arg (Printf.sprintf "Element_index.create: index %S exists" name);
   let tree = Btree.create (Tree_store.record_manager store) in
   Hashtbl.replace catalog.Catalog.meta (meta_key name) (rid8 (Btree.root tree));
+  (* An empty index is consistent with an empty store; on a store that
+     already holds documents it is stale until the caller rebuilds. *)
+  let in_sync = Tree_store.list_documents store = [] in
+  let t = { store; tree; name; pending_changes = Rid.Tbl.create 64; in_sync } in
+  if in_sync then stamp_epoch t;
   Catalog.save (Tree_store.record_manager store) catalog;
-  let t = { store; tree; name; pending_changes = Rid.Tbl.create 64 } in
   attach t;
   t
 
@@ -68,7 +97,15 @@ let open_index store ~name =
       Btree.open_tree (Tree_store.record_manager store)
         (Rid.read (Bytes.unsafe_of_string root) 0)
     in
-    let t = { store; tree; name; pending_changes = Rid.Tbl.create 64 } in
+    (* The index is current only if it stamped the epoch the store is at
+       now: a lower (or missing) stamp means documents changed while no
+       listener was attached, and the postings silently miss them. *)
+    let in_sync =
+      match stamped_epoch store ~name with
+      | Some e -> e >= Tree_store.change_epoch store
+      | None -> false
+    in
+    let t = { store; tree; name; pending_changes = Rid.Tbl.create 64; in_sync } in
     attach t;
     Some t
 
@@ -138,7 +175,11 @@ let apply_record t rid =
 let refresh t =
   let rids = Rid.Tbl.fold (fun rid () acc -> rid :: acc) t.pending_changes [] in
   Rid.Tbl.reset t.pending_changes;
-  List.iter (apply_record t) rids
+  List.iter (apply_record t) rids;
+  (* Only a synced index may advance its stamp: pending changes cover
+     everything since the last stamp, but not changes from before this
+     handle was attached. *)
+  if t.in_sync then stamp_epoch t
 
 let pending t = Rid.Tbl.length t.pending_changes
 
@@ -150,7 +191,9 @@ let rebuild t =
       match Tree_store.document_rid t.store doc with
       | None -> ()
       | Some rid -> Tree_store.iter_records t.store rid (fun rid _root _ -> apply_record t rid))
-    (Tree_store.list_documents t.store)
+    (Tree_store.list_documents t.store);
+  t.in_sync <- true;
+  stamp_epoch t
 
 let records_with t label =
   refresh t;

@@ -12,7 +12,16 @@
     Maintenance is deferred: the index subscribes to the store's record
     change log and folds pending changes in on {!refresh} (query entry
     points refresh automatically).  The index roots persist in the store
-    catalog, so the index survives reopening. *)
+    catalog, so the index survives reopening.
+
+    {b Staleness.}  Alongside its roots the index stamps the store's
+    {!Tree_store.change_epoch} it last folded changes in at.  When the
+    store changed while no listener was attached (e.g. a load in a
+    session opened without the index), the stamp on reopen is behind the
+    store's epoch and the index reports {!stale}: its postings silently
+    miss nodes, so consumers must either {!rebuild} it or plan without
+    it.  {!Document_manager.create}'s index modes encapsulate both
+    policies. *)
 
 open Natix_util
 
@@ -26,8 +35,19 @@ val create : Tree_store.t -> name:string -> t
 (** Reattach to a persisted index (and its change listener). *)
 val open_index : Tree_store.t -> name:string -> t option
 
-(** Drop pending changes and rebuild from every document (also used after
-    bulk loads that happened while no listener was attached). *)
+(** Whether an index named [name] is registered in the store's catalog
+    (without opening it). *)
+val persisted : Tree_store.t -> name:string -> bool
+
+(** Whether the store changed while no listener was attached, i.e. the
+    persisted epoch stamp is behind the store's change epoch: postings may
+    silently miss nodes until {!rebuild}.  A freshly {!create}d index on a
+    store that already holds documents is also stale until rebuilt. *)
+val stale : t -> bool
+
+(** Drop pending changes and rebuild from every document — the repair for
+    a {!stale} index (bulk loads that happened while no listener was
+    attached).  Re-stamps the epoch. *)
 val rebuild : t -> unit
 
 (** Fold pending record changes into the index. *)

@@ -5,6 +5,10 @@ type t =
   | Query of string
   | Storage of string
 
+exception Error of t
+
+let raise_error e = raise (Error e)
+
 let to_string = function
   | Parse detail -> "parse error: " ^ detail
   | Validation { doc; detail } -> Printf.sprintf "document %S is invalid: %s" doc detail

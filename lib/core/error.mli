@@ -16,6 +16,15 @@ type t =
   | Storage of string
       (** document-layer failure: unknown document, wrong owner, ... *)
 
+(** Escape hatch for failures detected inside lazy sequences, where a
+    [result] cannot be threaded to the consumer.  Entry points that force
+    their results catch it and return [Error]; the CLI driver maps it to
+    {!exit_code} at top level. *)
+exception Error of t
+
+(** [raise_error e] raises {!Error}[ e]. *)
+val raise_error : t -> 'a
+
 val to_string : t -> string
 
 (** CLI exit code for the error: 1 for invalid content

@@ -9,6 +9,7 @@ type doc_stats = {
   record_tree_depth : int;
   max_record_bytes : int;
   avg_fill_factor : float;
+  pages : int;
 }
 
 let document store name =
@@ -62,13 +63,39 @@ let document store name =
       record_tree_depth = !depth;
       max_record_bytes = !max_bytes;
       avg_fill_factor;
+      pages = Hashtbl.length pages;
     }
 
 let disk_bytes store =
   Natix_store.Disk.size_bytes (Natix_store.Buffer_pool.disk (Tree_store.buffer_pool store))
 
+(* Per-document page counts in the catalog, for the query planner: a
+   skewed store (one huge plus many tiny documents) makes the store-wide
+   average a wildly wrong navigation-cost estimate.  Maintained by the
+   document manager at load/insert/delete time, when the document's
+   records are warm in the caches anyway. *)
+
+let pages_key doc = "stats:pages:" ^ doc
+
+let record_page_hint store doc =
+  match Tree_store.document_rid store doc with
+  | None -> ()
+  | Some _ ->
+    Hashtbl.replace
+      (Tree_store.catalog store).Catalog.meta (pages_key doc)
+      (string_of_int (document store doc).pages)
+
+let drop_page_hint store doc =
+  Hashtbl.remove (Tree_store.catalog store).Catalog.meta (pages_key doc)
+
+let page_hint store doc =
+  Option.bind
+    (Hashtbl.find_opt (Tree_store.catalog store).Catalog.meta (pages_key doc))
+    int_of_string_opt
+
 let pp_doc ppf s =
   Format.fprintf ppf
-    "records=%d facade=%d scaffold=%d (proxies=%d) bytes=%d depth=%d max_record=%d fill=%.2f"
+    "records=%d facade=%d scaffold=%d (proxies=%d) bytes=%d depth=%d max_record=%d fill=%.2f \
+     pages=%d"
     s.records s.facade_nodes s.scaffold_nodes s.proxy_count s.record_bytes s.record_tree_depth
-    s.max_record_bytes s.avg_fill_factor
+    s.max_record_bytes s.avg_fill_factor s.pages

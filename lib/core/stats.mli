@@ -13,6 +13,7 @@ type doc_stats = {
   avg_fill_factor : float;
       (** mean fill of the distinct pages holding the document's records,
           from the free-space inventory (sampling charges no I/O) *)
+  pages : int;  (** distinct pages holding the document's records *)
 }
 
 val document : Tree_store.t -> string -> doc_stats
@@ -20,5 +21,26 @@ val document : Tree_store.t -> string -> doc_stats
 (** Total bytes on disk for the whole store (allocated pages × page size) —
     the metric of the paper's Fig. 14. *)
 val disk_bytes : Tree_store.t -> int
+
+(** {2 Per-document page hints}
+
+    The query planner prices navigation by the pages a document occupies.
+    Computing that per query would itself walk the document, so the
+    document manager records it in the catalog whenever it (re)writes a
+    document — the records are warm in the caches at that moment.  The
+    hint is advisory: absent (e.g. after a raw streaming load that
+    bypassed the manager) the planner falls back to the store-wide
+    average. *)
+
+(** Compute the document's distinct-page count and store it in the
+    catalog meta (durable with the next catalog save).  No-op for an
+    unknown document. *)
+val record_page_hint : Tree_store.t -> string -> unit
+
+(** Forget the hint (on document deletion). *)
+val drop_page_hint : Tree_store.t -> string -> unit
+
+(** The recorded page count, if any. *)
+val page_hint : Tree_store.t -> string -> int option
 
 val pp_doc : Format.formatter -> doc_stats -> unit

@@ -14,6 +14,11 @@ type t = {
   mutable splits : int;
   mutable merges : int;
   mutable listener : (Rid.t -> record_event -> unit) option;
+  mutable change_epoch : int;
+      (* Count of record-level changes over the store's lifetime, persisted
+         in the catalog at [sync].  Secondary structures stamp the epoch
+         they are consistent with, so staleness (changes made while their
+         listener was not attached) is detectable on reopen. *)
   obs : Natix_obs.Obs.t option;
   mutable last_decision : Split_matrix.behaviour;
       (* Matrix decision of the insertion that is currently running; a
@@ -47,7 +52,11 @@ let event_decision : Split_matrix.behaviour -> Natix_obs.Event.decision = functi
 let label t name = Name_pool.intern t.catalog.Catalog.names name
 let set_change_listener t listener = t.listener <- listener
 
+let change_epoch t = t.change_epoch
+let epoch_meta_key = "store:epoch"
+
 let notify t rid event =
+  t.change_epoch <- t.change_epoch + 1;
   match t.listener with
   | Some f -> f rid event
   | None -> ()
@@ -83,6 +92,11 @@ let open_store ?(config = Config.default ()) disk =
   let seg = Segment.create pool in
   let rm = Record_manager.create seg in
   let catalog = Catalog.load rm in
+  let change_epoch =
+    match Hashtbl.find_opt catalog.Catalog.meta epoch_meta_key with
+    | Some s -> ( match int_of_string_opt s with Some e -> e | None -> 0)
+    | None -> 0
+  in
   {
     rm;
     pool;
@@ -92,6 +106,7 @@ let open_store ?(config = Config.default ()) disk =
     splits = 0;
     merges = 0;
     listener = None;
+    change_epoch;
     obs = Disk.obs disk;
     last_decision = Split_matrix.Other;
   }
@@ -100,6 +115,7 @@ let in_memory ?(config = Config.default ()) ?model () =
   open_store ~config (Disk.in_memory ?model ~page_size:config.page_size ())
 
 let sync t =
+  Hashtbl.replace t.catalog.Catalog.meta epoch_meta_key (string_of_int t.change_epoch);
   Catalog.save t.rm t.catalog;
   Buffer_pool.checkpoint t.pool
 

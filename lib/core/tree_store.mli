@@ -166,6 +166,13 @@ type record_event = Changed | Dropped
 
 val set_change_listener : t -> (Rid.t -> record_event -> unit) option -> unit
 
+(** Monotone count of record-level changes over the store's lifetime,
+    persisted in the catalog at {!sync}.  A secondary structure that
+    stamps the epoch it last folded changes in at can tell on reopen
+    whether the store changed while its listener was detached (and it is
+    therefore stale). *)
+val change_epoch : t -> int
+
 (** Walk every record of a document's physical tree, in record-tree
     pre-order: [f rid root depth].  Used by stats and integrity checks. *)
 val iter_records : t -> Rid.t -> (Rid.t -> Phys_node.t -> int -> unit) -> unit

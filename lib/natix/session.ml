@@ -6,15 +6,15 @@ type t = {
   engine : Natix_query.Engine.t;
 }
 
-let of_store ?(with_index = true) store =
-  let manager = Document_manager.create ~with_index store in
+let of_store ?(index = Document_manager.Ensure) store =
+  let manager = Document_manager.create ~index store in
   let engine = Natix_query.Engine.of_manager manager in
   { store; manager; engine }
 
-let in_memory ?config ?model ?(with_index = true) () =
-  of_store ~with_index (Tree_store.in_memory ?config ?model ())
+let in_memory ?config ?model ?index () =
+  of_store ?index (Tree_store.in_memory ?config ?model ())
 
-let open_file ?config ?(create_page_size = 8192) ?(with_index = true) path =
+let open_file ?config ?(create_page_size = 8192) ?index path =
   (* An existing file dictates its page size; the configured one only
      applies when the file is created. *)
   let page_size =
@@ -29,7 +29,7 @@ let open_file ?config ?(create_page_size = 8192) ?(with_index = true) path =
     | None -> { (Config.default ()) with Config.page_size }
   in
   let disk = Natix_store.Disk.on_file ~page_size path in
-  of_store ~with_index (Tree_store.open_store ~config disk)
+  of_store ?index (Tree_store.open_store ~config disk)
 
 let store t = t.store
 let manager t = t.manager
@@ -42,8 +42,8 @@ let close ?(commit = true) t =
   if commit then Document_manager.checkpoint t.manager;
   Tree_store.close ~commit:false t.store
 
-let with_session ?config ?create_page_size ?with_index path fn =
-  let t = open_file ?config ?create_page_size ?with_index path in
+let with_session ?config ?create_page_size ?index path fn =
+  let t = open_file ?config ?create_page_size ?index path in
   Fun.protect ~finally:(fun () -> close t) (fun () -> fn t)
 
 (* Document management *)

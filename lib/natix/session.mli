@@ -22,22 +22,34 @@ type t
 
 (** [open_file path] opens (or creates) a file-backed store.
     [create_page_size] (default 8192) applies only when the file does not
-    exist yet and no [config] is given; [with_index] (default true)
-    opens/creates the element index, which also enables index-seeded query
-    plans. *)
-val open_file : ?config:Config.t -> ?create_page_size:int -> ?with_index:bool -> string -> t
+    exist yet and no [config] is given.  [index] (default
+    {!Document_manager.Ensure}: open or create the element index,
+    rebuilding it when stale) selects the index policy — index-seeded
+    query plans need an index; read-only sessions should pass
+    [Fresh_only] so a stale index is skipped instead of rebuilt. *)
+val open_file :
+  ?config:Config.t -> ?create_page_size:int -> ?index:Document_manager.index_mode -> string -> t
 
 (** An in-memory session (benchmarks, tests). *)
 val in_memory :
-  ?config:Config.t -> ?model:Natix_store.Io_model.t -> ?with_index:bool -> unit -> t
+  ?config:Config.t ->
+  ?model:Natix_store.Io_model.t ->
+  ?index:Document_manager.index_mode ->
+  unit ->
+  t
 
 (** Wrap an existing store (takes no ownership of closing it). *)
-val of_store : ?with_index:bool -> Tree_store.t -> t
+val of_store : ?index:Document_manager.index_mode -> Tree_store.t -> t
 
 (** [with_session path f] opens, applies [f], and {!close}s (also on
     exceptions). *)
 val with_session :
-  ?config:Config.t -> ?create_page_size:int -> ?with_index:bool -> string -> (t -> 'a) -> 'a
+  ?config:Config.t ->
+  ?create_page_size:int ->
+  ?index:Document_manager.index_mode ->
+  string ->
+  (t -> 'a) ->
+  'a
 
 (** {2 The bundled layers} *)
 

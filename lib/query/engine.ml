@@ -38,7 +38,12 @@ let run_plan t (plan : Plan.t) root =
 let query t ~doc path =
   match (parse path, root_of t doc) with
   | Error e, _ | _, Error e -> Error e
-  | Ok ast, Ok root -> Ok (run_plan t (plan_ast t ~doc ast) root)
+  | Ok ast, Ok root -> (
+    (* Scan plans are forced inside [run_plan], so a failure raised from
+       the pipeline surfaces here; lazy plans raise at consumption. *)
+    match run_plan t (plan_ast t ~doc ast) root with
+    | seq -> Ok seq
+    | exception Error.Error e -> Error e)
 
 let query_naive t ~doc path =
   match (parse path, root_of t doc) with

@@ -53,23 +53,43 @@ let step_nav (step : Ast.step) c =
    navigation or through the element index.  (Structural equality is not
    an option — physical nodes carry parent back-pointers.) *)
 
-let index_of_child store p n =
-  let rec go i seq =
-    match seq () with
-    | Seq.Nil -> failwith "Natix_query: node not among its parent's children (stale node cache?)"
-    | Seq.Cons (c, rest) -> if c == n then i else go (i + 1) rest
+(* Identity-keyed node table.  [Hashtbl.hash] is depth-bounded, so it
+   terminates on the cyclic parent links; equality must be physical. *)
+module Node_tbl = Hashtbl.Make (struct
+  type t = Phys_node.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+(* Child indexes, memoised per parent: hits under the same wide parent
+   share one children traversal instead of one linear scan each (which
+   would be quadratic for //X over flat documents). *)
+let index_of_child store memo p n =
+  let tbl =
+    match Node_tbl.find_opt memo p with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Node_tbl.create 16 in
+      Seq.iteri (fun i c -> Node_tbl.replace tbl c i) (Tree_store.logical_children store p);
+      Node_tbl.replace memo p tbl;
+      tbl
   in
-  go 0 (Tree_store.logical_children store p)
+  match Node_tbl.find_opt tbl n with
+  | Some i -> i
+  | None ->
+    Error.raise_error
+      (Error.Storage "query: node not among its parent's children (stale node cache?)")
 
 (* Document-order key of [node]: the child-index path from [root] down to
    it, obtained by climbing parents.  [None] when [node] is the root
    itself or belongs to a different document — the index is store-wide,
    the query is not. *)
-let order_key store ~root node =
+let order_key store memo ~root node =
   let rec climb n acc =
     match Tree_store.logical_parent store n with
     | None -> if n == root then Some acc else None
-    | Some p -> climb p (index_of_child store p n :: acc)
+    | Some p -> climb p (index_of_child store memo p n :: acc)
   in
   if node == root then None else climb node []
 
@@ -88,9 +108,10 @@ let step_index store idx (step : Ast.step) c =
     | _ -> invalid_arg "Natix_query: index step for a non-name test"
   in
   let hits = Element_index.scan idx label in
+  let memo = Node_tbl.create 64 in
   let keyed =
     List.filter_map
-      (fun n -> match order_key store ~root n with Some k -> Some (k, n) | None -> None)
+      (fun n -> match order_key store memo ~root n with Some k -> Some (k, n) | None -> None)
       hits
   in
   let sorted = List.sort (fun (a, _) (b, _) -> compare (a : int list) b) keyed in

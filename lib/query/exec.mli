@@ -20,7 +20,9 @@ open Natix_core
 (** [eval store plan root] evaluates the plan from the context [root]
     (normally the document root the plan was built for).  [index] must be
     given when {!Plan.uses_index}.  Page accesses happen lazily as the
-    sequence is consumed. *)
+    sequence is consumed; storage-level inconsistencies detected mid-pull
+    raise {!Natix_core.Error.Error} (the engine's entry points catch it
+    where the sequence is forced). *)
 val eval : Tree_store.t -> ?index:Element_index.t -> Plan.t -> Cursor.t -> Cursor.t Seq.t
 
 (** [eval_naive path root] evaluates the parsed path strictly by pure

@@ -15,15 +15,30 @@ let unselective = function
   | Ast.Name _ | Ast.Attribute _ -> false
 
 let build store ?index ~doc path =
-  let disk = Buffer_pool.disk (Tree_store.buffer_pool store) in
+  let pool = Tree_store.buffer_pool store in
+  let disk = Buffer_pool.disk pool in
   let model = Disk.model disk in
   let page_size = Disk.page_size disk in
   let random_ms = Io_model.cost model ~page_size ~sequential:false in
-  let ndocs = max 1 (List.length (Tree_store.list_documents store)) in
-  let doc_pages = max 1 (Disk.page_count disk / ndocs) in
+  (* Pages the document occupies: the catalog hint recorded at load time
+     when available (a store-wide average misprices skewed stores), the
+     average otherwise. *)
+  let doc_pages =
+    match Stats.page_hint store doc with
+    | Some p -> max 1 p
+    | None ->
+      let ndocs = max 1 (List.length (Tree_store.list_documents store)) in
+      max 1 (Disk.page_count disk / ndocs)
+  in
   (* Cost of answering a descendant step from the document root by
-     navigation: the walk touches every page the document occupies. *)
-  let nav_ms = float_of_int doc_pages *. random_ms in
+     navigation: the walk touches every page the document occupies.  On a
+     read-ahead pool a mostly-contiguous walk is served by batched
+     sequential runs, so it is charged as one run ({!Io_model.run_cost});
+     without read-ahead every page access is random. *)
+  let nav_ms =
+    if Buffer_pool.read_ahead pool > 0 then Io_model.run_cost model ~page_size ~pages:doc_pages
+    else float_of_int doc_pages *. random_ms
+  in
   let steps =
     List.mapi
       (fun i (step : Ast.step) ->

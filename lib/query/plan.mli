@@ -11,10 +11,14 @@
 
     The choice is driven by catalog cardinalities, in the currency of the
     disk's {!Natix_store.Io_model}: an index seed costs about one random
-    access per posting record plus a discounted climb per node, navigation
-    costs one access per page the document occupies.  Index seeding is
-    considered only for the first step (its semantics — all nodes of the
-    document except the root — are only simple from the root context).
+    access per posting record plus a discounted climb per node;
+    navigation costs one access per page the document occupies (the
+    per-document page count recorded by {!Natix_core.Stats} when
+    available, the store-wide average otherwise) — all random on a plain
+    pool, one sequential run ({!Natix_store.Io_model.run_cost}) when the
+    pool has read-ahead.  Index seeding is considered only for the first
+    step (its semantics — all nodes of the document except the root — are
+    only simple from the root context).
 
     The plan also records whether evaluating it amounts to a {e scan}
     (some descendant step keeps nearly every node); scans run with the

@@ -98,6 +98,52 @@ let element_index_tests =
         Element_index.check idx2;
         Natix_store.Disk.close disk2;
         Sys.remove path);
+    Alcotest.test_case "change epoch persists and detects missed loads" `Quick (fun () ->
+        let path = Filename.temp_file "natix_epoch" ".db" in
+        Sys.remove path;
+        let wal = Natix_store.Recovery.wal_path path in
+        Fun.protect
+          ~finally:(fun () ->
+            if Sys.file_exists path then Sys.remove path;
+            if Sys.file_exists wal then Sys.remove wal)
+          (fun () ->
+            let config = { (Config.default ()) with Config.page_size = 1024 } in
+            let open_store () =
+              Tree_store.open_store ~config (Natix_store.Disk.on_file ~page_size:1024 path)
+            in
+            (* Session 1: index created and synced with one document. *)
+            let store = open_store () in
+            let idx = Element_index.create store ~name:"elements" in
+            Alcotest.(check bool) "fresh on an empty store" false (Element_index.stale idx);
+            let _ = Loader.load store ~name:"d1" (Xml_parser.parse sample) in
+            Element_index.refresh idx;
+            Alcotest.(check bool) "current after refresh" false (Element_index.stale idx);
+            Tree_store.close store;
+            (* Session 2: a load the index never sees (no handle attached). *)
+            let store = open_store () in
+            Alcotest.(check bool) "epoch persisted" true (Tree_store.change_epoch store > 0);
+            let epoch_before = Tree_store.change_epoch store in
+            let _ = Loader.load store ~name:"d2" (Xml_parser.parse sample) in
+            Alcotest.(check bool) "epoch advances" true
+              (Tree_store.change_epoch store > epoch_before);
+            Tree_store.close store;
+            (* Session 3: the missed load is detectable, and rebuild repairs it. *)
+            let store = open_store () in
+            let idx = Option.get (Element_index.open_index store ~name:"elements") in
+            Alcotest.(check bool) "stale after a missed load" true (Element_index.stale idx);
+            Alcotest.(check int) "postings miss d2" 3
+              (Element_index.count idx (Tree_store.label store "LINE"));
+            Element_index.rebuild idx;
+            Alcotest.(check bool) "fresh after rebuild" false (Element_index.stale idx);
+            Alcotest.(check int) "postings cover both" 6
+              (Element_index.count idx (Tree_store.label store "LINE"));
+            Tree_store.sync store;
+            Tree_store.close store;
+            (* Session 4: the repair survives reopening. *)
+            let store = open_store () in
+            let idx = Option.get (Element_index.open_index store ~name:"elements") in
+            Alcotest.(check bool) "still fresh" false (Element_index.stale idx);
+            Tree_store.close ~commit:false store));
     Alcotest.test_case "labels lists everything" `Quick (fun () ->
         let store = mem_store () in
         let idx = Element_index.create store ~name:"elements" in
@@ -169,11 +215,69 @@ let document_manager_tests =
         Alcotest.(check int) "scan size" 3 (List.length (Document_manager.elements_named dm "LINE"));
         Alcotest.(check int) "unknown name" 0 (Document_manager.count_elements dm "NOPE"));
     Alcotest.test_case "elements_named without an index traverses" `Quick (fun () ->
-        let dm = Document_manager.create ~with_index:false (mem_store ()) in
+        let dm = Document_manager.create ~index:Document_manager.Off (mem_store ()) in
         (match Document_manager.store_document dm ~name:"d" (Xml_parser.parse sample) with
         | Ok _ -> ()
         | Error e -> Alcotest.failf "store failed: %s" (Error.to_string e));
         Alcotest.(check int) "lines via traversal" 3 (Document_manager.count_elements dm "LINE"));
+    Alcotest.test_case "index modes: stale index is skipped or repaired" `Quick (fun () ->
+        let path = Filename.temp_file "natix_modes" ".db" in
+        Sys.remove path;
+        let wal = Natix_store.Recovery.wal_path path in
+        Fun.protect
+          ~finally:(fun () ->
+            if Sys.file_exists path then Sys.remove path;
+            if Sys.file_exists wal then Sys.remove wal)
+          (fun () ->
+            let config = { (Config.default ()) with Config.page_size = 1024 } in
+            let with_dm ?index ?(commit = true) f =
+              let store =
+                Tree_store.open_store ~config (Natix_store.Disk.on_file ~page_size:1024 path)
+              in
+              let dm = Document_manager.create ?index store in
+              let r = f dm in
+              if commit then Document_manager.checkpoint dm;
+              Tree_store.close ~commit:false store;
+              r
+            in
+            let store_doc dm name =
+              match Document_manager.store_document dm ~name (Xml_parser.parse sample) with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail (Error.to_string e)
+            in
+            (* Writer 1 persists the index with one document. *)
+            with_dm (fun dm -> store_doc dm "d1");
+            (* Writer 2 loads without the index: it goes stale on disk. *)
+            with_dm ~index:Document_manager.Off (fun dm -> store_doc dm "d2");
+            (* A read-only session must not use (or touch) the stale index,
+               and still answers correctly by traversal. *)
+            with_dm ~index:Document_manager.Fresh_only ~commit:false (fun dm ->
+                Alcotest.(check bool) "stale index skipped" true
+                  (Document_manager.index dm = None);
+                Alcotest.(check bool) "skip is observable" true
+                  (Document_manager.stale_index_skipped dm);
+                Alcotest.(check int) "correct without the index" 6
+                  (Document_manager.count_elements dm "LINE"));
+            (* [Maintain] (a writer) repairs it in passing. *)
+            with_dm ~index:Document_manager.Maintain (fun dm ->
+                Alcotest.(check bool) "persisted index opened" true
+                  (Document_manager.index dm <> None);
+                Alcotest.(check int) "repaired counts" 6
+                  (Document_manager.count_elements dm "LINE"));
+            (* After the committed repair a fresh read-only session uses it. *)
+            with_dm ~index:Document_manager.Fresh_only ~commit:false (fun dm ->
+                Alcotest.(check bool) "fresh index used" true
+                  (Document_manager.index dm <> None);
+                Alcotest.(check int) "index counts" 6
+                  (Document_manager.count_elements dm "LINE"))));
+    Alcotest.test_case "Maintain does not create an index" `Quick (fun () ->
+        let dm = Document_manager.create ~index:Document_manager.Maintain (mem_store ()) in
+        (match Document_manager.store_document dm ~name:"d" (Xml_parser.parse sample) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail (Error.to_string e));
+        Alcotest.(check bool) "no index materialised" true (Document_manager.index dm = None);
+        Alcotest.(check bool) "nothing registered" false
+          (Element_index.persisted (Document_manager.store dm) ~name:"elements"));
     Alcotest.test_case "delete_document drops the DTD registration" `Quick (fun () ->
         let dm = Document_manager.create (mem_store ()) in
         (match Document_manager.store_document dm ~name:"d" ~infer_dtd:true (Xml_parser.parse sample) with

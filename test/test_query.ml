@@ -340,6 +340,47 @@ let test_session_roundtrip () =
           | Error (Error.Storage _) -> ()
           | _ -> Alcotest.fail "unknown document should be a storage error"))
 
+(* The stale-index scenario: scan/query persists the index, a later load
+   runs without it, then a query plans against the store.  The engine must
+   never answer from the silently-incomplete postings — either the session
+   repairs the index (writer modes) or skips it (read-only mode). *)
+let test_session_stale_index_never_drops_results () =
+  let path = Filename.temp_file "natix_stale_q" ".db" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      let wal = Natix_store.Recovery.wal_path path in
+      if Sys.file_exists wal then Sys.remove wal)
+    (fun () ->
+      let play =
+        List.hd (Natix_workload.Shakespeare.generate (Natix_workload.Shakespeare.scaled 0.01))
+      in
+      let store_play s name =
+        match Natix.Session.store_document s ~name play with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail (Error.to_string e)
+      in
+      let hits s doc =
+        match Natix.Session.query s ~doc "//SCNDESCR" with
+        | Ok seq -> List.length (List.of_seq seq)
+        | Error e -> Alcotest.fail (Error.to_string e)
+      in
+      (* Session 1 persists the index covering play-a. *)
+      Natix.Session.with_session path (fun s -> store_play s "play-a");
+      (* Session 2 loads play-b with the index closed: stale on disk. *)
+      Natix.Session.with_session path ~index:Document_manager.Off (fun s ->
+          store_play s "play-b");
+      (* Read-only session: the stale index is skipped, not trusted. *)
+      Natix.Session.with_session path ~index:Document_manager.Fresh_only (fun s ->
+          checkb "stale index skipped" true
+            (Document_manager.index (Natix.Session.manager s) = None);
+          checki "play-b found by navigation" 1 (hits s "play-b"));
+      (* Default writer session: the index is rebuilt, then seeds correctly. *)
+      Natix.Session.with_session path (fun s ->
+          checki "play-b found after repair" 1 (hits s "play-b");
+          checki "play-a still found" 1 (hits s "play-a")))
+
 let test_error_exit_codes () =
   checki "validation" 1 (Error.exit_code (Error.Validation { doc = "d"; detail = "x" }));
   checki "dtd" 1 (Error.exit_code (Error.Dtd { doc = "d"; detail = "x" }));
@@ -375,6 +416,8 @@ let suites =
     ( "session",
       [
         Alcotest.test_case "file round-trip" `Quick test_session_roundtrip;
+        Alcotest.test_case "stale index never drops results" `Quick
+          test_session_stale_index_never_drops_results;
         Alcotest.test_case "error exit codes" `Quick test_error_exit_codes;
       ] );
   ]
