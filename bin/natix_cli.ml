@@ -123,7 +123,7 @@ let cat_cmd =
     Term.(const run $ store_arg $ doc_arg 1 $ pretty)
 
 let query_cmd =
-  let run store_path doc path texts naive explain no_index =
+  let run store_path doc path texts naive explain analyze no_index =
     (* With the index open the planner may seed descendant steps from it;
        [--no-index] (or [--naive]) forces pure navigation.  [Fresh_only]
        keeps this command read-only: a persisted index is used only when
@@ -138,7 +138,11 @@ let query_cmd =
          "note: the element index is stale (the store changed without it); planning by \
           navigation.  Run `natix scan` once to rebuild it.");
     let store = Natix.Session.store sess in
-    (if explain then
+    (if analyze then
+       match Natix.Session.analyze sess ~doc path with
+       | Ok a -> print_endline (Natix_query.Engine.analysis_to_string a)
+       | Error e -> fail_error e
+     else if explain then
        match Natix.Session.explain sess ~doc path with
        | Ok plan -> print_endline plan
        | Error e -> fail_error e
@@ -179,6 +183,14 @@ let query_cmd =
   let explain =
     Arg.(value & flag & info [ "explain" ] ~doc:"Print the physical plan instead of evaluating.")
   in
+  let analyze =
+    Arg.(
+      value & flag
+      & info [ "analyze" ]
+          ~doc:
+            "EXPLAIN ANALYZE: run the query and print the plan with estimated vs actual page \
+             reads, buffer hits and simulated I/O time per operator.")
+  in
   let no_index =
     Arg.(
       value & flag
@@ -189,7 +201,8 @@ let query_cmd =
        ~doc:
          "Evaluate a path query against a document via the planning engine (child/descendant \
           steps, attribute and text() tests, positional and text-equality predicates).")
-    Term.(const run $ store_arg $ doc_arg 1 $ path_arg $ texts $ naive $ explain $ no_index)
+    Term.(
+      const run $ store_arg $ doc_arg 1 $ path_arg $ texts $ naive $ explain $ analyze $ no_index)
 
 let stats_cmd =
   let run store_path doc =
@@ -276,12 +289,18 @@ let delete_cmd =
   Cmd.v (Cmd.info "delete" ~doc:"Delete a document.") Term.(const run $ store_arg $ doc_arg 1)
 
 let trace_cmd =
-  let run xml_path page_size order jsonl last =
+  let run xml_path page_size order jsonl last folded kind docf since_ms =
+    let keep = Natix_prof.Trace_view.keep_event ?kind ?doc:docf ?since_ms in
     let ring = Natix_obs.Sink.ring ~capacity:65536 () in
+    (* The ring keeps the unfiltered stream (metrics and folded stacks
+       need all of it); filters apply to what is written and printed. *)
+    let jsonl_sink = Option.map Natix_obs.Sink.jsonl jsonl in
     let sink =
-      match jsonl with
+      match jsonl_sink with
       | None -> ring
-      | Some path -> Natix_obs.Sink.multi [ ring; Natix_obs.Sink.jsonl path ]
+      | Some js ->
+        Natix_obs.Sink.multi
+          [ ring; Natix_obs.Sink.callback (fun e -> if keep e then Natix_obs.Sink.emit js e) ]
     in
     let obs = Natix_obs.Obs.create ~sink () in
     let config =
@@ -322,7 +341,7 @@ let trace_cmd =
     Format.printf "buffer hit ratio: %.3f@." (Natix_store.Buffer_pool.hit_ratio pool);
     Format.printf "@.== metrics ==@.%a@." Natix_obs.Metrics.pp (Natix_obs.Obs.metrics obs);
     (if last > 0 then begin
-       let events = Natix_obs.Obs.events obs in
+       let events = List.filter keep (Natix_obs.Obs.events obs) in
        let buffered = List.length events in
        let rec drop k l = match l with _ :: t when k > 0 -> drop (k - 1) t | l -> l in
        let tail = drop (buffered - last) events in
@@ -330,14 +349,21 @@ let trace_cmd =
          (Natix_obs.Sink.emitted ring);
        List.iter (fun e -> Format.printf "%a@." Natix_obs.Event.pp e) tail
      end);
-    match jsonl with
+    (match folded with
     | None -> ()
     | Some path ->
+      let spans = Natix_prof.Flame.spans_of_events (Natix_obs.Obs.events obs) in
+      let oc = open_out path in
+      output_string oc (Natix_prof.Flame.to_string spans);
+      close_out oc;
+      Printf.printf "wrote folded stacks (%d spans) to %s\n" (List.length spans) path);
+    match (jsonl, jsonl_sink) with
+    | Some path, Some js ->
       (* A final line with the metrics snapshot follows the event stream. *)
-      Natix_obs.Sink.write_json sink (Natix_obs.Metrics.to_json (Natix_obs.Obs.metrics obs));
+      Natix_obs.Sink.write_json js (Natix_obs.Metrics.to_json (Natix_obs.Obs.metrics obs));
       Natix_obs.Obs.close obs;
-      Printf.printf "wrote %d events (+1 metrics line) to %s\n"
-        (Natix_obs.Sink.emitted ring) path
+      Printf.printf "wrote %d events (+1 metrics line) to %s\n" (Natix_obs.Sink.emitted js) path
+    | _ -> ()
   in
   let xml_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"XML file to load.")
@@ -354,12 +380,44 @@ let trace_cmd =
       & opt int 12
       & info [ "last" ] ~docv:"N" ~doc:"Print the last $(docv) trace events (0 disables).")
   in
+  let folded_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:
+            "Write the span nesting as folded stacks (simulated µs weights), the format \
+             flamegraph.pl and speedscope consume.")
+  in
+  let kind_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kind" ] ~docv:"TYPE"
+          ~doc:"Keep only events of this type (e.g. $(b,io), $(b,page_fix), $(b,split)).")
+  in
+  let doc_filter_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "doc" ] ~docv:"DOC" ~doc:"Keep only events attributed to this document.")
+  in
+  let since_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "since-ms" ] ~docv:"MS"
+          ~doc:"Keep only events stamped at or after this simulated time.")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Load an XML file into an instrumented in-memory store and report traces and metrics \
-          (splits, fill factors, buffer hit ratio).")
-    Term.(const run $ xml_arg $ page_size_arg $ order_arg $ jsonl_arg $ last_arg)
+          (splits, fill factors, buffer hit ratio).  --kind/--doc/--since-ms filter the JSONL \
+          output and the printed tail; --folded exports a flamegraph.")
+    Term.(
+      const run $ xml_arg $ page_size_arg $ order_arg $ jsonl_arg $ last_arg $ folded_arg
+      $ kind_arg $ doc_filter_arg $ since_arg)
 
 (* fsck bypasses the session facade: it must open a possibly-damaged
    store with the bare layers so a failure can fall back to the raw
@@ -434,6 +492,82 @@ let recover_cmd =
           discard the write-ahead log's torn tail, roll back the uncommitted batch, and report.")
     Term.(const run $ store_arg $ jsonl_arg)
 
+let doctor_cmd =
+  let run store_path top =
+    (* Open with an instrumented config (ring sink) so the report's probe
+       traversal populates the trace-derived sections; read-only — the
+       session is closed without committing. *)
+    let page_size =
+      Option.value ~default:8192 (Natix_store.Disk.detect_page_size store_path)
+    in
+    let obs = Natix_obs.Obs.create ~sink:(Natix_obs.Sink.ring ~capacity:262144 ()) () in
+    let config =
+      { (Config.default ()) with Config.page_size } |> Config.with_obs obs
+    in
+    let store = Tree_store.open_store ~config (Natix_store.Disk.on_file ~page_size store_path) in
+    Fun.protect
+      ~finally:(fun () -> Tree_store.close ~commit:false store)
+      (fun () -> print_string (Natix_prof.Doctor.run ~top_pages:top store))
+  in
+  let top_arg =
+    Arg.(
+      value
+      & opt int 5
+      & info [ "top" ] ~docv:"N" ~doc:"Hottest pages listed per (document, phase) row.")
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:
+         "Tree-health report: per-document stats and clustering scores, fill-factor histogram, \
+          proxy-chain and span quantiles, split-decision tallies, WAL write amplification, and \
+          a page-heat breakdown.  Read-only.")
+    Term.(const run $ store_arg $ top_arg)
+
+let bench_diff_cmd =
+  let run baseline_path current_path threshold json_out =
+    let parse p = Natix_obs.Json.parse (read_file p) in
+    let report =
+      Natix_prof.Bench_diff.diff ~threshold_pct:threshold ~baseline:(parse baseline_path)
+        ~current:(parse current_path) ()
+    in
+    Format.printf "%a@." Natix_prof.Bench_diff.pp report;
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Natix_obs.Json.to_string (Natix_prof.Bench_diff.to_json report));
+      output_char oc '\n';
+      close_out oc);
+    if not (Natix_prof.Bench_diff.ok report) then exit 7
+  in
+  let baseline_arg =
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"BASELINE" ~doc:"Baseline bench JSON.")
+  in
+  let current_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc:"New bench JSON.")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt float 10.
+      & info [ "fail-threshold" ] ~docv:"PCT"
+          ~doc:"Relative worsening (in percent) above which a cost figure is a regression.")
+  in
+  let json_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE" ~doc:"Also write the verdict as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two bench JSON reports metric by metric and fail (exit 7) on regressions \
+          beyond the threshold or on result mismatches.  The reports are simulated-I/O \
+          deterministic, so any difference is a real behaviour change.")
+    Term.(const run $ baseline_arg $ current_arg $ threshold_arg $ json_out_arg)
+
 let gen_cmd =
   let run prefix scale =
     let corpus = Natix_workload.Shakespeare.generate (Natix_workload.Shakespeare.scaled scale) in
@@ -470,7 +604,7 @@ let () =
         (Cmd.group info
            [
              load_cmd; list_cmd; cat_cmd; query_cmd; scan_cmd; validate_cmd; stats_cmd; check_cmd;
-             delete_cmd; gen_cmd; trace_cmd; fsck_cmd; recover_cmd;
+             delete_cmd; gen_cmd; trace_cmd; doctor_cmd; bench_diff_cmd; fsck_cmd; recover_cmd;
            ])
     with
     | Error.Error e ->

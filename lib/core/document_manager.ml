@@ -45,11 +45,20 @@ let stale_index_skipped t =
 let store t = t.store
 let index t = t.index
 
+(* Stamp events emitted during manager operations with (document, phase)
+   so the page-heat profiler can attribute I/O; a no-op without an obs
+   handle. *)
+let in_context t ?doc ~phase f =
+  match Tree_store.obs t.store with
+  | None -> f ()
+  | Some obs -> Natix_obs.Obs.with_context obs ?doc ~phase f
+
 let checkpoint t =
-  (* Flush pending index postings first so the durable state is the
-     coherent pair (documents, index). *)
-  Option.iter Element_index.refresh t.index;
-  Tree_store.checkpoint t.store
+  in_context t ~phase:"checkpoint" (fun () ->
+      (* Flush pending index postings first so the durable state is the
+         coherent pair (documents, index). *)
+      Option.iter Element_index.refresh t.index;
+      Tree_store.checkpoint t.store)
 
 let save_catalog t = Catalog.save (Tree_store.record_manager t.store) (Tree_store.catalog t.store)
 
@@ -59,15 +68,16 @@ let store_document t ~name ?dtd ?(infer_dtd = false) ?order xml =
   match validation with
   | Error detail -> Error (Error.Validation { doc = name; detail })
   | Ok () ->
-    let root = Loader.load t.store ~name ?order xml in
-    (match dtd with
-    | Some d ->
-      Hashtbl.replace (Tree_store.catalog t.store).Catalog.meta (dtd_key name) (Dtd.encode d);
-      save_catalog t
-    | None -> ());
-    Option.iter Element_index.refresh t.index;
-    Stats.record_page_hint t.store name;
-    Ok root
+    in_context t ~doc:name ~phase:"load" (fun () ->
+        let root = Loader.load t.store ~name ?order xml in
+        (match dtd with
+        | Some d ->
+          Hashtbl.replace (Tree_store.catalog t.store).Catalog.meta (dtd_key name) (Dtd.encode d);
+          save_catalog t
+        | None -> ());
+        Option.iter Element_index.refresh t.index;
+        Stats.record_page_hint t.store name;
+        Ok root)
 
 let document_dtd t doc =
   Option.map Dtd.decode
@@ -131,17 +141,19 @@ let insert_fragment t ~doc point xml =
     match check with
     | Error _ as e -> e
     | Ok () ->
-      let node = Loader.insert_fragment t.store point xml in
-      Option.iter Element_index.refresh t.index;
-      Stats.record_page_hint t.store doc;
-      Ok node)
+      in_context t ~doc ~phase:"update" (fun () ->
+          let node = Loader.insert_fragment t.store point xml in
+          Option.iter Element_index.refresh t.index;
+          Stats.record_page_hint t.store doc;
+          Ok node))
 
 let delete_document t doc =
-  Tree_store.delete_document t.store doc;
-  Hashtbl.remove (Tree_store.catalog t.store).Catalog.meta (dtd_key doc);
-  Stats.drop_page_hint t.store doc;
-  save_catalog t;
-  Option.iter Element_index.refresh t.index
+  in_context t ~doc ~phase:"delete" (fun () ->
+      Tree_store.delete_document t.store doc;
+      Hashtbl.remove (Tree_store.catalog t.store).Catalog.meta (dtd_key doc);
+      Stats.drop_page_hint t.store doc;
+      save_catalog t;
+      Option.iter Element_index.refresh t.index)
 
 let elements_named t name =
   match (t.index, Natix_util.Name_pool.find (Tree_store.names t.store) name) with

@@ -58,7 +58,30 @@ let export t doc = Exporter.document_to_xml t.store doc
 
 (* Queries *)
 
-let query t ~doc path = Natix_query.Engine.query t.engine ~doc path
+(* Lazy query results are consumed after any [with_context] scope would
+   have closed, so attribute their page accesses by re-installing the
+   (doc, "query") context around each pull. *)
+let contextual t ~doc seq =
+  match Tree_store.obs t.store with
+  | None -> seq
+  | Some obs ->
+    let ctx = Some { Natix_obs.Event.doc = Some doc; phase = "query" } in
+    let rec wrap seq () =
+      let saved = Natix_obs.Obs.context obs in
+      Natix_obs.Obs.set_context obs ctx;
+      let node =
+        Fun.protect
+          ~finally:(fun () -> Natix_obs.Obs.set_context obs saved)
+          (fun () -> seq ())
+      in
+      match node with Seq.Nil -> Seq.Nil | Seq.Cons (x, rest) -> Seq.Cons (x, wrap rest)
+    in
+    wrap seq
+
+let query t ~doc path =
+  Result.map (contextual t ~doc) (Natix_query.Engine.query t.engine ~doc path)
+
+let analyze t ~doc path = Natix_query.Engine.analyze t.engine ~doc path
 let query_naive t ~doc path = Natix_query.Engine.query_naive t.engine ~doc path
 let query_all t path = Natix_query.Engine.query_all t.engine path
 let explain t ~doc path = Natix_query.Engine.explain t.engine ~doc path

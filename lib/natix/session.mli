@@ -101,3 +101,7 @@ val query : t -> doc:string -> string -> (Cursor.t Seq.t, Error.t) result
 val query_naive : t -> doc:string -> string -> (Cursor.t Seq.t, Error.t) result
 val query_all : t -> string -> (Cursor.t Seq.t, Error.t) result
 val explain : t -> doc:string -> string -> (string, Error.t) result
+
+(** EXPLAIN ANALYZE: run the query strictly and report per-operator
+    estimated vs actual cost (see {!Natix_query.Engine.analyze}). *)
+val analyze : t -> doc:string -> string -> (Natix_query.Engine.analysis, Error.t) result

@@ -4,6 +4,8 @@ type decision = Cluster | Standalone | Other
 
 type btree_op = Bt_read | Bt_write | Bt_alloc
 
+type ctx = { doc : string option; phase : string }
+
 type kind =
   | Io of { page : int; write : bool; sequential : bool }
   | Page_fix of { page : int; hit : bool }
@@ -16,7 +18,7 @@ type kind =
   | Merge of { rid : Rid.t; absorbed : Rid.t }
   | Proxy_hop of { rid : Rid.t; chain : int }
   | Btree_node of { rid : Rid.t; op : btree_op; leaf : bool }
-  | Span of { name : string; dur_ms : float }
+  | Span of { name : string; dur_ms : float; id : int; parent : int; depth : int }
   | Checksum_fail of { page : int }
   | Read_retry of { page : int; attempt : int }
   | Read_ahead of { first : int; pages : int }
@@ -25,7 +27,7 @@ type kind =
   | Recovery_undo of { page : int }
   | Recovery_done of { undone : int; torn_bytes : int }
 
-type t = { seq : int; at_ms : float; kind : kind }
+type t = { seq : int; at_ms : float; kind : kind; ctx : ctx option }
 
 let decision_name = function
   | Cluster -> "cluster"
@@ -81,7 +83,14 @@ let kind_fields = function
   | Proxy_hop { rid; chain } -> [ ("rid", rid_json rid); ("chain", Json.Int chain) ]
   | Btree_node { rid; op; leaf } ->
     [ ("rid", rid_json rid); ("op", Json.String (btree_op_name op)); ("leaf", Json.Bool leaf) ]
-  | Span { name; dur_ms } -> [ ("name", Json.String name); ("dur_ms", Json.Float dur_ms) ]
+  | Span { name; dur_ms; id; parent; depth } ->
+    [
+      ("name", Json.String name);
+      ("dur_ms", Json.Float dur_ms);
+      ("id", Json.Int id);
+      ("parent", Json.Int parent);
+      ("depth", Json.Int depth);
+    ]
   | Checksum_fail { page } -> [ ("page", Json.Int page) ]
   | Read_retry { page; attempt } -> [ ("page", Json.Int page); ("attempt", Json.Int attempt) ]
   | Read_ahead { first; pages } -> [ ("first", Json.Int first); ("pages", Json.Int pages) ]
@@ -92,12 +101,18 @@ let kind_fields = function
   | Recovery_done { undone; torn_bytes } ->
     [ ("undone", Json.Int undone); ("torn_bytes", Json.Int torn_bytes) ]
 
+let ctx_fields = function
+  | None -> []
+  | Some { doc; phase } -> (
+    ("phase", Json.String phase)
+    :: (match doc with None -> [] | Some d -> [ ("doc", Json.String d) ]))
+
 let to_json t =
   Json.Obj
     (("seq", Json.Int t.seq)
     :: ("ms", Json.Float t.at_ms)
     :: ("type", Json.String (type_name t.kind))
-    :: kind_fields t.kind)
+    :: (kind_fields t.kind @ ctx_fields t.ctx))
 
 let pp ppf t =
   Format.fprintf ppf "@[<h>#%-6d %9.2fms %-15s" t.seq t.at_ms (type_name t.kind);
@@ -106,5 +121,5 @@ let pp ppf t =
       match v with
       | Json.String s -> Format.fprintf ppf " %s=%s" k s
       | v -> Format.fprintf ppf " %s=%s" k (Json.to_string v))
-    (kind_fields t.kind);
+    (kind_fields t.kind @ ctx_fields t.ctx);
   Format.fprintf ppf "@]"

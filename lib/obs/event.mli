@@ -17,6 +17,12 @@ type decision = Cluster | Standalone | Other
 
 type btree_op = Bt_read | Bt_write | Bt_alloc
 
+(** Operation attribution stamped on events while an {!Obs.with_context}
+    scope is active: which document (if any) and which operation phase
+    ("load", "query", "checkpoint", ...) the engine was serving when the
+    event fired.  The page-heat profiler groups I/O by these labels. *)
+type ctx = { doc : string option; phase : string }
+
 type kind =
   | Io of { page : int; write : bool; sequential : bool }
       (** One physical page transfer charged to the I/O model. *)
@@ -41,8 +47,13 @@ type kind =
           number of consecutive record fetches needed to resolve the
           logical child list position (> 1 through scaffolding groups). *)
   | Btree_node of { rid : Rid.t; op : btree_op; leaf : bool }
-  | Span of { name : string; dur_ms : float }
-      (** A timed region, measured on the simulated clock. *)
+  | Span of { name : string; dur_ms : float; id : int; parent : int; depth : int }
+      (** A timed region, measured on the simulated clock.  Spans nest:
+          [id] is unique per handle, [parent] is the id of the enclosing
+          open span (0 at top level) and [depth] its nesting depth (0 at
+          top level).  The event is emitted when the region {e closes}, so
+          its start is [at_ms -. dur_ms] and children precede parents in
+          the stream. *)
   | Checksum_fail of { page : int }
       (** A page trailer failed verification on read; the read raises
           [Disk.Bad_page] right after this event. *)
@@ -62,7 +73,7 @@ type kind =
       (** Recovery finished: pages restored, and bytes of torn log tail
           discarded. *)
 
-type t = { seq : int; at_ms : float; kind : kind }
+type t = { seq : int; at_ms : float; kind : kind; ctx : ctx option }
 
 val decision_name : decision -> string
 

@@ -70,6 +70,34 @@ let histogram t name =
   Hashtbl.find_opt t.histograms name
   |> Option.map (fun h -> (Array.copy h.edges, Array.copy h.counts, h.sum, h.n))
 
+(* The true quantile is only known up to the bucket; interpolate linearly
+   inside it, taking the first bucket's lower edge as 0 and collapsing the
+   unbounded overflow bucket to the last edge. *)
+let quantile t name q =
+  if not (q >= 0. && q <= 1.) then invalid_arg "Metrics.quantile: q must be in [0, 1]";
+  match Hashtbl.find_opt t.histograms name with
+  | None -> None
+  | Some h when h.n = 0 -> None
+  | Some h ->
+    let rank = q *. float_of_int h.n in
+    let nbuckets = Array.length h.counts in
+    let rec go i cum =
+      if i >= nbuckets then Some h.edges.(Array.length h.edges - 1)
+      else begin
+        let cum' = cum +. float_of_int h.counts.(i) in
+        if cum' >= rank && h.counts.(i) > 0 then
+          if i >= Array.length h.edges then Some h.edges.(Array.length h.edges - 1)
+          else begin
+            let lo = if i = 0 then 0. else h.edges.(i - 1) in
+            let hi = h.edges.(i) in
+            let frac = (rank -. cum) /. float_of_int h.counts.(i) in
+            Some (lo +. (frac *. (hi -. lo)))
+          end
+        else go (i + 1) cum'
+      end
+    in
+    go 0 0.
+
 let sorted_keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
 let counter_names t = sorted_keys t.counters
 let histogram_names t = sorted_keys t.histograms

@@ -34,6 +34,16 @@ val observe : t -> string -> float -> unit
     [Array.length edges + 1] cells (the last is the overflow bucket). *)
 val histogram : t -> string -> (float array * int array * float * int) option
 
+(** [quantile t name q] approximates the [q]-quantile ([0. <= q <= 1.]) of
+    the observations recorded into histogram [name]: the bucket holding
+    the rank-[q] observation is found from the counts, then the value is
+    interpolated linearly within it (the first bucket's lower edge is
+    taken as 0; observations in the overflow bucket report the last edge,
+    so the estimate saturates there).  [None] when the histogram does not
+    exist or is empty.  Raises [Invalid_argument] if [q] is outside
+    [0, 1]. *)
+val quantile : t -> string -> float -> float option
+
 (** Names of all registered counters (resp. histograms), sorted. *)
 val counter_names : t -> string list
 

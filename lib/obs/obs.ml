@@ -3,11 +3,15 @@ type t = {
   metrics : Metrics.t;
   mutable now : unit -> float;
   mutable seq : int;
+  mutable next_span : int;  (* id generator; 0 is reserved for "no parent" *)
+  mutable span_stack : int list;  (* ids of the open spans, innermost first *)
+  mutable ctx : Event.ctx option;
 }
 
 let record_size_hist = "record_size_bytes"
 let split_fill_hist = "split_fill_factor"
 let proxy_chain_hist = "proxy_chain_len"
+let span_ms_hist = "span_ms"
 
 let create ?sink () =
   let metrics = Metrics.create () in
@@ -16,12 +20,31 @@ let create ?sink () =
   Metrics.register_histogram metrics split_fill_hist
     ~edges:[| 0.5; 0.6; 0.7; 0.8; 0.9; 0.95; 1.0 |];
   Metrics.register_histogram metrics proxy_chain_hist ~edges:[| 1.; 2.; 3.; 4.; 6.; 8.; 12.; 16. |];
-  { sink; metrics; now = (fun () -> 0.); seq = 0 }
+  Metrics.register_histogram metrics span_ms_hist
+    ~edges:[| 0.1; 0.5; 1.; 2.; 5.; 10.; 20.; 50.; 100.; 250.; 500.; 1000.; 2500.; 5000.; 10000.; 30000.; 120000. |];
+  {
+    sink;
+    metrics;
+    now = (fun () -> 0.);
+    seq = 0;
+    next_span = 0;
+    span_stack = [];
+    ctx = None;
+  }
 
 let metrics t = t.metrics
 let sink t = t.sink
 let set_clock t now = t.now <- now
 let now_ms t = t.now ()
+
+let context t = t.ctx
+
+let set_context t ctx = t.ctx <- ctx
+
+let with_context t ?doc ~phase f =
+  let saved = t.ctx in
+  t.ctx <- Some { Event.doc; phase };
+  Fun.protect ~finally:(fun () -> t.ctx <- saved) f
 
 let emit t kind =
   Metrics.incr t.metrics ("ev." ^ Event.type_name kind);
@@ -29,17 +52,35 @@ let emit t kind =
   | None -> ()
   | Some sink ->
     t.seq <- t.seq + 1;
-    Sink.emit sink { Event.seq = t.seq; at_ms = t.now (); kind }
+    Sink.emit sink { Event.seq = t.seq; at_ms = t.now (); kind; ctx = t.ctx }
 
 let incr ?by t name = Metrics.incr ?by t.metrics name
 let observe t name v = Metrics.observe t.metrics name v
 
+(* Spans nest through an explicit stack of ids: [span] pushes a fresh id
+   for the dynamic extent of [f], so any span (or [child_span]) opened
+   inside sees it as the parent.  The event fires at close, carrying the
+   id/parent/depth triple the flamegraph exporter rebuilds stacks from. *)
+let current_span t = match t.span_stack with [] -> 0 | id :: _ -> id
+
+let fresh_span_id t =
+  t.next_span <- t.next_span + 1;
+  t.next_span
+
+let finish_span t name ~id ~parent ~depth ~dur_ms =
+  incr t ("span." ^ name);
+  Metrics.observe t.metrics span_ms_hist dur_ms;
+  emit t (Event.Span { name; dur_ms; id; parent; depth })
+
 let span t name f =
   let t0 = t.now () in
+  let parent = current_span t in
+  let depth = List.length t.span_stack in
+  let id = fresh_span_id t in
+  t.span_stack <- id :: t.span_stack;
   let finish () =
-    let dur_ms = t.now () -. t0 in
-    incr t ("span." ^ name);
-    emit t (Event.Span { name; dur_ms })
+    t.span_stack <- (match t.span_stack with _ :: rest -> rest | [] -> []);
+    finish_span t name ~id ~parent ~depth ~dur_ms:(t.now () -. t0)
   in
   match f () with
   | v ->
@@ -48,6 +89,12 @@ let span t name f =
   | exception e ->
     finish ();
     raise e
+
+let child_span t name ~dur_ms =
+  let parent = current_span t in
+  let depth = List.length t.span_stack in
+  let id = fresh_span_id t in
+  finish_span t name ~id ~parent ~depth ~dur_ms
 
 let events t = match t.sink with None -> [] | Some s -> Sink.events s
 let emitted t = match t.sink with None -> 0 | Some s -> Sink.emitted s

@@ -24,6 +24,21 @@ val create : ?sink:Sink.t -> unit -> t
 val metrics : t -> Metrics.t
 val sink : t -> Sink.t option
 
+(** {2 Operation attribution}
+
+    Events emitted while a context is installed carry it (see
+    {!Event.ctx}); the page-heat profiler uses it to attribute I/O to
+    (document, phase).  {!with_context} scopes dynamically and restores
+    the previous context on exit (also on exceptions); lazy consumers that
+    outlive the scope should re-install it around each pull via
+    {!set_context}/{!context}. *)
+
+val context : t -> Event.ctx option
+
+val set_context : t -> Event.ctx option -> unit
+
+val with_context : t -> ?doc:string -> phase:string -> (unit -> 'a) -> 'a
+
 (** Install the simulated-millisecond clock (done by the disk layer). *)
 val set_clock : t -> (unit -> float) -> unit
 
@@ -39,10 +54,20 @@ val incr : ?by:int -> t -> string -> unit
 val observe : t -> string -> float -> unit
 
 (** [span t name f] runs [f] and emits a [Span] event whose duration is
-    the simulated milliseconds elapsed inside [f] (also observed into the
-    ["span_ms.<name>"] counterpart via [incr "span.<name>"]).  The event
-    is emitted even when [f] raises. *)
+    the simulated milliseconds elapsed inside [f] (also bumps the
+    ["span.<name>"] counter and observes the duration into the
+    [span_ms] histogram).  Spans nest: the event carries a per-handle id,
+    the id of the enclosing open span and the nesting depth, so folded
+    stacks can be rebuilt from the stream.  The event is emitted even when
+    [f] raises. *)
 val span : t -> string -> (unit -> 'a) -> 'a
+
+(** [child_span t name ~dur_ms] emits a synthetic closed span as a child
+    of the innermost open span, with an externally measured duration —
+    used by EXPLAIN ANALYZE to report per-operator self times of a lazy
+    pipeline whose operator executions interleave and therefore cannot be
+    wrapped in {!span} individually. *)
+val child_span : t -> string -> dur_ms:float -> unit
 
 (** Events retained by the sink (ring sinks only); [] without a sink. *)
 val events : t -> Event.t list
@@ -58,3 +83,4 @@ val record_size_hist : string
 
 val split_fill_hist : string
 val proxy_chain_hist : string
+val span_ms_hist : string

@@ -9,6 +9,7 @@ type t =
   | Ring of ring
   | Jsonl of { oc : out_channel; buf : Buffer.t; mutable count : int }
   | Console of { ppf : Format.formatter; mutable count : int }
+  | Callback of { f : Event.t -> unit; mutable count : int }
   | Multi of t list
 
 let ring ?(capacity = 4096) () =
@@ -17,6 +18,7 @@ let ring ?(capacity = 4096) () =
 
 let jsonl path = Jsonl { oc = open_out path; buf = Buffer.create 256; count = 0 }
 let console ppf = Console { ppf; count = 0 }
+let callback f = Callback { f; count = 0 }
 let multi sinks = Multi sinks
 
 let rec emit t event =
@@ -34,6 +36,9 @@ let rec emit t event =
   | Console c ->
     Format.fprintf c.ppf "%a@." Event.pp event;
     c.count <- c.count + 1
+  | Callback c ->
+    c.f event;
+    c.count <- c.count + 1
   | Multi sinks -> List.iter (fun s -> emit s event) sinks
 
 let rec events = function
@@ -44,13 +49,14 @@ let rec events = function
         match r.items.((first + i) mod r.capacity) with
         | Some e -> e
         | None -> assert false)
-  | Jsonl _ | Console _ -> []
+  | Jsonl _ | Console _ | Callback _ -> []
   | Multi sinks -> List.concat_map events sinks
 
 let rec emitted = function
   | Ring r -> r.stored
   | Jsonl j -> j.count
   | Console c -> c.count
+  | Callback c -> c.count
   | Multi sinks -> List.fold_left (fun acc s -> acc + emitted s) 0 sinks
 
 let rec write_json t v =
@@ -60,11 +66,11 @@ let rec write_json t v =
     Json.to_buffer j.buf v;
     Buffer.add_char j.buf '\n';
     Buffer.output_buffer j.oc j.buf
-  | Ring _ | Console _ -> ()
+  | Ring _ | Console _ | Callback _ -> ()
   | Multi sinks -> List.iter (fun s -> write_json s v) sinks
 
 let rec close = function
   | Ring _ -> ()
   | Jsonl j -> close_out j.oc
-  | Console _ -> ()
+  | Console _ | Callback _ -> ()
   | Multi sinks -> List.iter close sinks

@@ -22,6 +22,12 @@ val ring : ?capacity:int -> unit -> t
 val jsonl : string -> t
 
 val console : Format.formatter -> t
+
+(** [callback f] hands each event to [f] as it is emitted; nothing is
+    retained.  Used by in-process consumers (the profiler) that want the
+    stream without buffering it. *)
+val callback : (Event.t -> unit) -> t
+
 val multi : t list -> t
 val emit : t -> Event.t -> unit
 

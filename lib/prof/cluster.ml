@@ -1,0 +1,32 @@
+open Natix_core
+
+type score = { steps : int; same_page : int }
+
+let fraction s = if s.steps = 0 then 1. else float_of_int s.same_page /. float_of_int s.steps
+
+(* The transitions scored are the ones a document-order traversal
+   actually makes: parent -> first child, then previous sibling -> next
+   sibling.  A transition is "clustered" when both endpoints' records
+   live on the same page, i.e. following it faults no new page in. *)
+let score store ~doc =
+  match Tree_store.open_document store doc with
+  | None -> None
+  | Some root ->
+    let rm = Tree_store.record_manager store in
+    let page_of n =
+      Natix_store.Record_manager.home_page rm (Tree_store.box_of store n).Phys_node.rid
+    in
+    let steps = ref 0 and same = ref 0 in
+    let rec walk n page_n =
+      let prev = ref page_n in
+      Seq.iter
+        (fun c ->
+          let page_c = page_of c in
+          incr steps;
+          if page_c = !prev then incr same;
+          prev := page_c;
+          walk c page_c)
+        (Tree_store.logical_children store n)
+    in
+    walk root (page_of root);
+    Some { steps = !steps; same_page = !same }

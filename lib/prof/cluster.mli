@@ -1,0 +1,19 @@
+(** Clustering quality: how well logical proximity maps to physical
+    proximity — the property the NATIX split matrix exists to preserve.
+
+    The score walks a document's logical tree and checks, for every
+    parent→first-child and next-sibling transition, whether the target
+    node's record lives on the {e same page} as the source's.  The
+    fraction of same-page transitions is the clustering score: 1.0 means
+    a document-order traversal never leaves a page except when it is
+    full; a 1:1 node-per-record configuration scatters children and
+    scores visibly lower than the native multi-node records. *)
+
+type score = { steps : int; same_page : int }
+
+(** [same_page / steps]; 1.0 for a zero-step (single-node) document. *)
+val fraction : score -> float
+
+(** [score store ~doc] walks the document (faulting its pages in) and
+    counts transitions.  [None] when the document does not exist. *)
+val score : Natix_core.Tree_store.t -> doc:string -> score option

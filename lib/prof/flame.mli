@@ -1,0 +1,29 @@
+(** Flamegraph export: folded call stacks from span events.
+
+    {!Natix_obs.Obs.span} events carry an (id, parent) link, so the span
+    nesting of a trace can be rebuilt offline.  The exporter aggregates
+    each span's {e self} time — its duration minus its direct children's —
+    under its semicolon-joined ancestor stack, the folded-stack format
+    consumed by [flamegraph.pl] and speedscope.
+
+    All durations are {e simulated} milliseconds (the trace clock is the
+    I/O cost model, not wall time), exported as integer simulated
+    microseconds; output lines are sorted by stack, so identical
+    workloads produce byte-identical folded files. *)
+
+type span = { id : int; parent : int; name : string; dur_ms : float }
+
+(** Span events of an in-memory trace (ring sink). *)
+val spans_of_events : Natix_obs.Event.t list -> span list
+
+(** Span events of a parsed JSONL trace; lines that are not span events
+    (other event types, the trailing metrics snapshot) are skipped. *)
+val spans_of_json : Natix_obs.Json.t list -> span list
+
+(** [(stack, self simulated µs)] per distinct stack, sorted by stack.
+    Zero-weight stacks are kept so the total weight reconciles with the
+    sum of root-span durations. *)
+val folded : span list -> (string * int) list
+
+(** The folded lines, newline-terminated: ["a;b;c 120\n..."]. *)
+val to_string : span list -> string

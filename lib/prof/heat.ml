@@ -1,0 +1,93 @@
+open Natix_obs
+
+type cell = {
+  mutable fixes : int;
+  mutable hits : int;
+  mutable reads : int;
+  mutable writes : int;
+  pages : (int, int) Hashtbl.t;  (* page -> fix count *)
+}
+
+type t = { cells : (string * string, cell) Hashtbl.t }
+(* Keyed by (doc, phase); contextless documents appear as "". *)
+
+let create () = { cells = Hashtbl.create 16 }
+
+let cell_of t key =
+  match Hashtbl.find_opt t.cells key with
+  | Some c -> c
+  | None ->
+    let c = { fixes = 0; hits = 0; reads = 0; writes = 0; pages = Hashtbl.create 64 } in
+    Hashtbl.replace t.cells key c;
+    c
+
+let feed t (e : Event.t) =
+  match e.ctx with
+  | None -> ()
+  | Some { Event.doc; phase } -> (
+    let key = (Option.value ~default:"" doc, phase) in
+    match e.kind with
+    | Event.Page_fix { page; hit } ->
+      let c = cell_of t key in
+      c.fixes <- c.fixes + 1;
+      if hit then c.hits <- c.hits + 1;
+      Hashtbl.replace c.pages page
+        (1 + Option.value ~default:0 (Hashtbl.find_opt c.pages page))
+    | Event.Io { write; _ } ->
+      let c = cell_of t key in
+      if write then c.writes <- c.writes + 1 else c.reads <- c.reads + 1
+    | _ -> ())
+
+let of_events events =
+  let t = create () in
+  List.iter (feed t) events;
+  t
+
+type row = {
+  doc : string;
+  phase : string;
+  fixes : int;
+  hits : int;
+  reads : int;
+  writes : int;
+  pages_touched : int;
+  hottest : (int * int) list;  (** (page, fixes), hottest first *)
+}
+
+let rows ?(top = 5) t =
+  Hashtbl.fold (fun k c acc -> (k, c) :: acc) t.cells []
+  |> List.sort (fun ((d1, p1), _) ((d2, p2), _) ->
+         match String.compare d1 d2 with 0 -> String.compare p1 p2 | c -> c)
+  |> List.map (fun ((doc, phase), c) ->
+         let hottest =
+           Hashtbl.fold (fun page n acc -> (page, n) :: acc) c.pages []
+           |> List.sort (fun (p1, n1) (p2, n2) ->
+                  match compare n2 n1 with 0 -> compare p1 p2 | c -> c)
+           |> List.filteri (fun i _ -> i < top)
+         in
+         {
+           doc;
+           phase;
+           fixes = c.fixes;
+           hits = c.hits;
+           reads = c.reads;
+           writes = c.writes;
+           pages_touched = Hashtbl.length c.pages;
+           hottest;
+         })
+
+let pp_row ppf r =
+  Format.fprintf ppf "%-20s %-10s fixes=%-7d hits=%-7d reads=%-6d writes=%-6d pages=%-5d hot:"
+    (if r.doc = "" then "-" else r.doc)
+    r.phase r.fixes r.hits r.reads r.writes r.pages_touched;
+  List.iter (fun (page, n) -> Format.fprintf ppf " %d:%d" page n) r.hottest
+
+let pp ?top ppf t =
+  let rows = rows ?top t in
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Format.fprintf ppf "@,";
+      pp_row ppf r)
+    rows;
+  Format.fprintf ppf "@]"

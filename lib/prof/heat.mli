@@ -1,0 +1,37 @@
+(** Page-heat profiler: I/O attributed to (document, phase).
+
+    Consumes trace events and groups buffer-pool fixes and physical page
+    transfers by the {!Natix_obs.Event.ctx} stamped on them (installed by
+    the document manager, the loader, the session's query wrapper and
+    [doctor] probes).  Events without a context are ignored — they belong
+    to no attributable operation.
+
+    Reports are fully sorted, so the same workload yields the same
+    bytes. *)
+
+type t
+
+val create : unit -> t
+
+(** Account one event (can be used live via {!Natix_obs.Sink.callback}). *)
+val feed : t -> Natix_obs.Event.t -> unit
+
+(** Fold a retained trace (ring sink contents). *)
+val of_events : Natix_obs.Event.t list -> t
+
+type row = {
+  doc : string;  (** [""] when the event carried no document *)
+  phase : string;
+  fixes : int;
+  hits : int;
+  reads : int;  (** physical page reads *)
+  writes : int;
+  pages_touched : int;  (** distinct pages fixed *)
+  hottest : (int * int) list;  (** (page, fixes), hottest first *)
+}
+
+(** One row per (doc, phase), sorted by doc then phase; [top] (default 5)
+    bounds the hottest-pages list. *)
+val rows : ?top:int -> t -> row list
+
+val pp : ?top:int -> Format.formatter -> t -> unit

@@ -1,0 +1,11 @@
+open Natix_obs
+
+let keep_event ?kind ?doc ?since_ms (e : Event.t) =
+  (match kind with None -> true | Some k -> String.equal (Event.type_name e.kind) k)
+  && (match doc with
+     | None -> true
+     | Some d -> (
+       match e.ctx with Some { Event.doc = Some d'; _ } -> String.equal d d' | _ -> false))
+  && match since_ms with None -> true | Some ms -> e.at_ms >= ms
+
+let filter ?kind ?doc ?since_ms events = List.filter (keep_event ?kind ?doc ?since_ms) events

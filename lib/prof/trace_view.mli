@@ -1,0 +1,12 @@
+(** Trace filters for the CLI inspector: by event type, by attributed
+    document, and by trace time (simulated milliseconds). *)
+
+(** [keep_event ?kind ?doc ?since_ms e] — [kind] matches
+    {!Natix_obs.Event.type_name} exactly; [doc] requires the event's
+    context to name that document (events without a context never match a
+    [doc] filter); [since_ms] keeps events stamped at or after the given
+    simulated time. *)
+val keep_event : ?kind:string -> ?doc:string -> ?since_ms:float -> Natix_obs.Event.t -> bool
+
+val filter :
+  ?kind:string -> ?doc:string -> ?since_ms:float -> Natix_obs.Event.t list -> Natix_obs.Event.t list

@@ -67,3 +67,144 @@ let explain t ~doc path =
   match plan t ~doc path with
   | Error e -> Error e
   | Ok plan -> Ok (Plan.to_string plan)
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE                                                     *)
+
+type op_report = {
+  step : Plan.phys_step;
+  rows : int;
+  reads : int;
+  sim_ms : float;
+  fixes : int;
+  hits : int;
+  proxy_hops : int;
+}
+
+type analysis = {
+  plan : Plan.t;
+  ops : op_report list;
+  setup_reads : int;
+  setup_ms : float;
+  total_reads : int;
+  total_ms : float;
+  total_fixes : int;
+  total_hits : int;
+  total_proxy_hops : int;
+  rows : int;
+}
+
+(* Self figures from the cumulative accumulators: operator [i] minus
+   operator [i-1] (see [Exec.eval_instrumented]); what the overall delta
+   saw beyond the last operator is the setup cost (root fetch). *)
+let reports_of_accs steps (accs : Exec.op_acc list) =
+  let zero = Exec.fresh_acc () in
+  let rec go prev steps accs =
+    match (steps, accs) with
+    | [], [] -> []
+    | step :: steps, (acc : Exec.op_acc) :: accs ->
+      {
+        step;
+        rows = acc.rows;
+        reads = acc.reads - prev.Exec.reads;
+        sim_ms = acc.sim_ms -. prev.Exec.sim_ms;
+        fixes = acc.fixes - prev.Exec.fixes;
+        hits = acc.hits - prev.Exec.hits;
+        proxy_hops = acc.proxy_hops - prev.Exec.proxy_hops;
+      }
+      :: go acc steps accs
+    | _ -> invalid_arg "Natix_query.Engine: step/accumulator mismatch"
+  in
+  go zero steps accs
+
+let analyze t ~doc path =
+  match parse path with
+  | Error e -> Error e
+  | Ok ast -> (
+    (* Document validation happens inside [run], after the snapshot: a
+       cold catalog fetch must land in the setup line, or the totals
+       would not reconcile with the caller-visible Io_stats delta. *)
+    let pool = Tree_store.buffer_pool t.store in
+    let disk = Natix_store.Buffer_pool.disk pool in
+    let stats = Natix_store.Disk.stats disk in
+    let obs = Tree_store.obs t.store in
+    let hops () =
+      match obs with
+      | None -> 0
+      | Some o -> Natix_obs.Metrics.counter (Natix_obs.Obs.metrics o) "ev.proxy_hop"
+    in
+    let run () =
+      (* Snapshot before the root fetch so the setup line covers it. *)
+      let s0 = Natix_store.Io_stats.copy stats in
+      let fixes0 = Natix_store.Buffer_pool.fixes pool in
+      let misses0 = Natix_store.Buffer_pool.misses pool in
+      let hops0 = hops () in
+      match root_of t doc with
+      | Error e -> Error e
+      | Ok root ->
+        let plan = plan_ast t ~doc ast in
+        let seq, accs = Exec.eval_instrumented t.store ?index:t.index plan root in
+        let force () = List.length (List.of_seq seq) in
+        let rows =
+          if plan.Plan.scan then Natix_store.Buffer_pool.with_scan pool force else force ()
+        in
+        let delta = Natix_store.Io_stats.diff (Natix_store.Io_stats.copy stats) s0 in
+        let total_fixes = Natix_store.Buffer_pool.fixes pool - fixes0 in
+        let total_misses = Natix_store.Buffer_pool.misses pool - misses0 in
+        let ops = reports_of_accs plan.Plan.steps accs in
+        let last =
+          match List.rev accs with [] -> Exec.fresh_acc () | acc :: _ -> acc
+        in
+        (match obs with
+        | None -> ()
+        | Some o ->
+          List.iteri
+            (fun i (op : op_report) ->
+              Natix_obs.Obs.child_span o
+                (Printf.sprintf "op%d.%s" (i + 1) (Ast.step_to_string op.step.Plan.step))
+                ~dur_ms:op.sim_ms)
+            ops);
+        Ok
+          {
+            plan;
+            ops;
+            setup_reads = delta.Natix_store.Io_stats.reads - last.Exec.reads;
+            setup_ms = delta.Natix_store.Io_stats.sim_ms -. last.Exec.sim_ms;
+            total_reads = delta.Natix_store.Io_stats.reads;
+            total_ms = delta.Natix_store.Io_stats.sim_ms;
+            total_fixes;
+            total_hits = total_fixes - total_misses;
+            total_proxy_hops = hops () - hops0;
+            rows;
+          }
+    in
+    let traced () =
+      match obs with
+      | None -> run ()
+      | Some o ->
+        Natix_obs.Obs.with_context o ~doc ~phase:"query" (fun () ->
+            Natix_obs.Obs.span o "query.analyze" run)
+    in
+    match traced () with
+    | result -> result
+    | exception Error.Error e -> Error e)
+
+let pp_analysis ppf a =
+  Format.fprintf ppf "%a@\n" Plan.pp a.plan;
+  Format.fprintf ppf "analyze (reads are physical pages; ms is simulated I/O time):";
+  List.iteri
+    (fun i (op : op_report) ->
+      Format.fprintf ppf
+        "@\n  %d. %-20s rows=%-6d reads=%d (est %.0f)  ms=%.2f  fixes=%d hits=%d proxy_hops=%d"
+        (i + 1)
+        (Ast.step_to_string op.step.Plan.step)
+        op.rows op.reads op.step.Plan.est_reads op.sim_ms op.fixes op.hits op.proxy_hops)
+    a.ops;
+  Format.fprintf ppf "@\n  setup (root fetch):       reads=%d  ms=%.2f" a.setup_reads a.setup_ms;
+  Format.fprintf ppf
+    "@\n  total: rows=%d reads=%d ms=%.2f fixes=%d hits=%d (ratio %.2f) proxy_hops=%d" a.rows
+    a.total_reads a.total_ms a.total_fixes a.total_hits
+    (if a.total_fixes = 0 then 1. else float_of_int a.total_hits /. float_of_int a.total_fixes)
+    a.total_proxy_hops
+
+let analysis_to_string a = Format.asprintf "%a" pp_analysis a

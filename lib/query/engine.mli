@@ -43,3 +43,44 @@ val query_all : t -> string -> (Cursor.t Seq.t, Error.t) result
 
 (** The plan, rendered (access method and rationale per step). *)
 val explain : t -> doc:string -> string -> (string, Error.t) result
+
+(** {2 EXPLAIN ANALYZE}
+
+    {!analyze} runs the planned query to completion while measuring each
+    operator against live engine counters, then reconciles: the per-step
+    self figures plus the setup line add up {e exactly} to the overall
+    {!Natix_store.Io_stats} delta observed across the run (the
+    differential tests hold it to that). *)
+
+type op_report = {
+  step : Plan.phys_step;
+  rows : int;  (** results this operator yielded *)
+  reads : int;  (** physical page reads attributable to this operator *)
+  sim_ms : float;  (** simulated I/O milliseconds, ditto *)
+  fixes : int;
+  hits : int;
+  proxy_hops : int;
+}
+
+type analysis = {
+  plan : Plan.t;
+  ops : op_report list;  (** one per plan step, in plan order *)
+  setup_reads : int;  (** reads outside the pipeline (root fetch) *)
+  setup_ms : float;
+  total_reads : int;  (** [setup_reads + sum reads] — the Io_stats delta *)
+  total_ms : float;
+  total_fixes : int;
+  total_hits : int;
+  total_proxy_hops : int;
+  rows : int;
+}
+
+(** Run the query strictly (scan plans inside the pool's scan mode, like
+    {!query}) and report per-operator estimated vs actual cost.  When the
+    store has an obs handle the run is wrapped in a ["query.analyze"]
+    span with one synthetic child span per operator, and events emitted
+    during it carry a [(doc, "query")] context. *)
+val analyze : t -> doc:string -> string -> (analysis, Error.t) result
+
+val pp_analysis : Format.formatter -> analysis -> unit
+val analysis_to_string : analysis -> string

@@ -142,6 +142,90 @@ let eval store ?index (plan : Plan.t) root =
         Seq.concat_map (step_index store idx ps.step) ctxs)
     (Seq.return root) plan.Plan.steps
 
+(* ------------------------------------------------------------------ *)
+(* Instrumented evaluation (EXPLAIN ANALYZE)                           *)
+
+type op_acc = {
+  mutable rows : int;
+  mutable reads : int;
+  mutable sim_ms : float;
+  mutable fixes : int;
+  mutable hits : int;
+  mutable proxy_hops : int;
+}
+
+type probe = unit -> op_acc
+
+let fresh_acc () = { rows = 0; reads = 0; sim_ms = 0.; fixes = 0; hits = 0; proxy_hops = 0 }
+
+let store_probe store : probe =
+  let pool = Tree_store.buffer_pool store in
+  let stats = Natix_store.Disk.stats (Natix_store.Buffer_pool.disk pool) in
+  let hops () =
+    match Tree_store.obs store with
+    | None -> 0
+    | Some obs -> Natix_obs.Metrics.counter (Natix_obs.Obs.metrics obs) "ev.proxy_hop"
+  in
+  fun () ->
+    let fixes = Natix_store.Buffer_pool.fixes pool in
+    let misses = Natix_store.Buffer_pool.misses pool in
+    {
+      rows = 0;
+      reads = stats.Natix_store.Io_stats.reads;
+      sim_ms = stats.Natix_store.Io_stats.sim_ms;
+      fixes;
+      hits = fixes - misses;
+      proxy_hops = hops ();
+    }
+
+(* Charge the counter movement across one pull to [acc].  Pulls nest —
+   operator [i]'s pull runs operator [i-1]'s pull inside — so each
+   accumulator ends up cumulative over its upstream; the reporter
+   recovers self figures by differencing adjacent operators. *)
+let instrument probe acc seq =
+  let rec wrap seq () =
+    let before = probe () in
+    let node = seq () in
+    let after = probe () in
+    acc.reads <- acc.reads + (after.reads - before.reads);
+    acc.sim_ms <- acc.sim_ms +. (after.sim_ms -. before.sim_ms);
+    acc.fixes <- acc.fixes + (after.fixes - before.fixes);
+    acc.hits <- acc.hits + (after.hits - before.hits);
+    acc.proxy_hops <- acc.proxy_hops + (after.proxy_hops - before.proxy_hops);
+    match node with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (x, rest) ->
+      acc.rows <- acc.rows + 1;
+      Seq.Cons (x, wrap rest)
+  in
+  wrap seq
+
+(* [eval] with a measuring wrapper between every pair of adjacent
+   operators; same results, same access paths, same laziness. *)
+let eval_instrumented store ?index (plan : Plan.t) root =
+  let probe = store_probe store in
+  let rev_accs = ref [] in
+  let seq =
+    List.fold_left
+      (fun ctxs (ps : Plan.phys_step) ->
+        let stage =
+          match ps.access with
+          | Plan.Nav -> Seq.concat_map (step_nav ps.step) ctxs
+          | Plan.Index_seed _ ->
+            let idx =
+              match index with
+              | Some idx -> idx
+              | None -> invalid_arg "Natix_query: plan uses the index but none was given"
+            in
+            Seq.concat_map (step_index store idx ps.step) ctxs
+        in
+        let acc = fresh_acc () in
+        rev_accs := acc :: !rev_accs;
+        instrument probe acc stage)
+      (Seq.return root) plan.Plan.steps
+  in
+  (seq, List.rev !rev_accs)
+
 (* The naive baseline: cursor navigation only, strict — every step
    materialises all its candidates before predicates apply (the semantics
    spelled out in the AST's documentation, executed literally).  The

@@ -29,6 +29,35 @@ val eval : Tree_store.t -> ?index:Element_index.t -> Plan.t -> Cursor.t -> Curso
     cursor navigation. *)
 val eval_naive : Ast.t -> Cursor.t -> Cursor.t list
 
+(** {2 Instrumented evaluation}
+
+    Per-operator measurement for EXPLAIN ANALYZE.  Every figure is taken
+    from live engine counters (the disk's {!Natix_store.Io_stats}, the
+    buffer pool's fix/miss totals, the obs proxy-hop counter), snapshotted
+    around each pull of each operator's output. *)
+
+type op_acc = {
+  mutable rows : int;  (** results this operator yielded *)
+  mutable reads : int;  (** physical page reads during its pulls *)
+  mutable sim_ms : float;  (** simulated I/O milliseconds during its pulls *)
+  mutable fixes : int;  (** buffer-pool fixes during its pulls *)
+  mutable hits : int;  (** fixes served without a read *)
+  mutable proxy_hops : int;  (** proxy dereferences (0 without an obs handle) *)
+}
+
+(** A zeroed accumulator (the differencing base for the first operator). *)
+val fresh_acc : unit -> op_acc
+
+(** [eval_instrumented store plan root] evaluates exactly like {!eval}
+    but returns one accumulator per plan step alongside the sequence.
+    Accumulators fill as the sequence is consumed.  Because operator
+    pulls nest, each accumulator is {e cumulative} over its upstream
+    operators: operator [i]'s self cost is [acc.(i) - acc.(i-1)], and
+    whatever the overall measurement saw beyond the last accumulator was
+    spent outside the pipeline (root fetch, planning probes). *)
+val eval_instrumented :
+  Tree_store.t -> ?index:Element_index.t -> Plan.t -> Cursor.t -> Cursor.t Seq.t * op_acc list
+
 (** [matches test c] — the shared name-test semantics (exposed for
     tests). *)
 val matches : Ast.test -> Cursor.t -> bool

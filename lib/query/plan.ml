@@ -3,7 +3,7 @@ open Natix_core
 
 type access = Nav | Index_seed of { label : Natix_util.Label.t; name : string }
 
-type phys_step = { step : Ast.step; access : access; note : string }
+type phys_step = { step : Ast.step; access : access; note : string; est_reads : float }
 
 type t = { doc : string; path : Ast.t; steps : phys_step list; scan : bool }
 
@@ -39,13 +39,23 @@ let build store ?index ~doc path =
     if Buffer_pool.read_ahead pool > 0 then Io_model.run_cost model ~page_size ~pages:doc_pages
     else float_of_int doc_pages *. random_ms
   in
+  (* Estimated physical page reads per step, the planner's own currency
+     translated back into pages so EXPLAIN ANALYZE can show estimate vs
+     actual.  Only first-step access is priced (later steps are assumed to
+     hit already-faulted pages — exactly the simplification [--analyze]
+     exposes when it is wrong). *)
+  let nav_est = float_of_int doc_pages in
   let steps =
     List.mapi
       (fun i (step : Ast.step) ->
+        let first_nav_est =
+          if i = 0 && step.Ast.axis = Ast.Descendant then nav_est else 0.
+        in
         match (i, step.axis, step.test, index) with
         | 0, Ast.Descendant, Ast.Name name, Some idx -> (
           match Natix_util.Name_pool.find (Tree_store.names store) name with
-          | None -> { step; access = Nav; note = "name not in store; nav" }
+          | None ->
+            { step; access = Nav; note = "name not in store; nav"; est_reads = first_nav_est }
           | Some label ->
             let count = Element_index.count idx label in
             let nrecs = List.length (Element_index.records_with idx label) in
@@ -54,7 +64,8 @@ let build store ?index ~doc path =
                document order; the climbs mostly hit records the postings
                already faulted in, so they are charged at a fraction of a
                random access. *)
-            let index_ms = (float_of_int nrecs +. (0.25 *. float_of_int count)) *. random_ms in
+            let index_reads = float_of_int nrecs +. (0.25 *. float_of_int count) in
+            let index_ms = index_reads *. random_ms in
             if index_ms < nav_ms then
               {
                 step;
@@ -62,6 +73,7 @@ let build store ?index ~doc path =
                 note =
                   Printf.sprintf "index seed: %d recs / %d nodes ~%.0fms < nav ~%.0fms" nrecs
                     count index_ms nav_ms;
+                est_reads = index_reads;
               }
             else
               {
@@ -70,9 +82,11 @@ let build store ?index ~doc path =
                 note =
                   Printf.sprintf "nav: index %d recs / %d nodes ~%.0fms >= nav ~%.0fms" nrecs
                     count index_ms nav_ms;
+                est_reads = first_nav_est;
               })
-        | 0, Ast.Descendant, Ast.Name _, None -> { step; access = Nav; note = "no index; nav" }
-        | _ -> { step; access = Nav; note = "nav" })
+        | 0, Ast.Descendant, Ast.Name _, None ->
+          { step; access = Nav; note = "no index; nav"; est_reads = first_nav_est }
+        | _ -> { step; access = Nav; note = "nav"; est_reads = first_nav_est })
       path
   in
   let scan =

@@ -33,6 +33,12 @@ type phys_step = {
   step : Ast.step;
   access : access;
   note : string;  (** why this access method was chosen (for [explain]) *)
+  est_reads : float;
+      (** planner's estimate of physical page reads for this step: the
+          document's page count for a first descendant navigation, posting
+          records + discounted climbs for an index seed, and 0 for later
+          steps (assumed to hit already-faulted pages).  EXPLAIN ANALYZE
+          reports this against the measured reads. *)
 }
 
 type t = { doc : string; path : Ast.t; steps : phys_step list; scan : bool }

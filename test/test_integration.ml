@@ -247,7 +247,7 @@ let observability_tests =
           List.find_map
             (fun (e : Natix_obs.Event.t) ->
               match e.kind with
-              | Natix_obs.Event.Span { name = "load"; dur_ms } -> Some dur_ms
+              | Natix_obs.Event.Span { name = "load"; dur_ms; _ } -> Some dur_ms
               | _ -> None)
             (Natix_obs.Obs.events obs)
         with

@@ -98,7 +98,7 @@ let metrics_tests =
 (* ------------------------------------------------------------------ *)
 (* Sinks                                                               *)
 
-let mk_event seq kind = { Event.seq; at_ms = float_of_int seq; kind }
+let mk_event seq kind = { Event.seq; at_ms = float_of_int seq; kind; ctx = None }
 
 let sink_tests =
   [
@@ -127,7 +127,7 @@ let sink_tests =
             mk_event 3
               (Event.Split
                  { rid = rid 3 1; decision = Event.Cluster; fill = 0.875; record_bytes = 4000 });
-            mk_event 4 (Event.Span { name = "load"; dur_ms = 12.5 });
+            mk_event 4 (Event.Span { name = "load"; dur_ms = 12.5; id = 1; parent = 0; depth = 0 });
           ]
         in
         List.iter (Sink.emit s) emitted;
@@ -185,7 +185,7 @@ let obs_tests =
         let v = Obs.span obs "work" (fun () -> now := 250.; "done") in
         Alcotest.(check string) "result passes through" "done" v;
         match Obs.events obs with
-        | [ { Event.kind = Event.Span { name; dur_ms }; at_ms; _ } ] ->
+        | [ { Event.kind = Event.Span { name; dur_ms; _ }; at_ms; _ } ] ->
           Alcotest.(check string) "name" "work" name;
           Alcotest.(check (float 1e-9)) "duration" 150. dur_ms;
           Alcotest.(check (float 1e-9)) "stamped at end" 250. at_ms
