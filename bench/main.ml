@@ -501,6 +501,61 @@ let qb_scan_pool corpus =
       (name, trav, q3, ratio))
     [ ("plain LRU", 0, false); ("segmented LRU + RA 8", 8, true) ]
 
+(* Parallel ablation (--jobs N): the same query batch at jobs=1 and
+   jobs=N over one shared store.  reads/writes must match exactly — every
+   distinct page is read once into the shared pool regardless of the
+   schedule — while wall clock and the per-stream simulated figures may
+   differ; the JSON section therefore exports only the deterministic
+   counters (and [*_wall_s] keys, which bench-diff skips).  The section
+   is additive: without --jobs the report is byte-identical to before. *)
+let run_parallel_bench ~jobs corpus =
+  Printf.printf "\nParallel query bench - jobs=1 vs jobs=%d (8K pages, 1:n append)\n" jobs;
+  Printf.printf "%-8s %10s %10s %10s %12s %10s\n" "jobs" "tasks" "hits" "reads" "writes" "wall-s";
+  let built = Harness.build ~page_size:8192 qb_series corpus in
+  let store = built.Harness.store in
+  let docs = built.Harness.docs in
+  let paths =
+    [ "//ACT[3]/SCENE[2]//SPEAKER"; "/ACT/SCENE/SPEECH[1]"; "/ACT[1]/SCENE[1]/SPEECH[1]" ]
+  in
+  let tasks = List.concat_map (fun d -> List.map (fun p -> (d, p)) paths) docs in
+  let run jobs =
+    Tree_store.clear_buffers store;
+    Natix_store.Buffer_pool.reset_stats (Tree_store.buffer_pool store);
+    let io = Tree_store.io_stats store in
+    let before = Io_stats.copy io in
+    let t0 = Unix.gettimeofday () in
+    let outcome = Natix_par.Par.run_queries ~jobs store tasks in
+    let wall = Unix.gettimeofday () -. t0 in
+    (outcome, Io_stats.diff (Io_stats.copy io) before, wall)
+  in
+  let o1, d1, w1 = run 1 in
+  let on, dn, wn = run jobs in
+  if o1.Natix_par.Par.results <> on.Natix_par.Par.results then
+    failwith "parallel bench: jobs=1 and parallel results differ";
+  if d1.Io_stats.reads <> dn.Io_stats.reads || d1.Io_stats.writes <> dn.Io_stats.writes then
+    failwith "parallel bench: jobs=1 and parallel I/O totals differ";
+  let hits o =
+    List.fold_left
+      (fun acc -> function Ok l -> acc + List.length l | Error _ -> acc)
+      0 o.Natix_par.Par.results
+  in
+  List.iter
+    (fun (jobs, o, d, w) ->
+      Printf.printf "%-8d %10d %10d %10d %12d %10.3f\n" jobs (List.length tasks) (hits o)
+        d.Io_stats.reads d.Io_stats.writes w)
+    [ (1, o1, d1, w1); (jobs, on, dn, wn) ];
+  J.Obj
+    [
+      ("jobs", J.Int jobs);
+      ("tasks", J.Int (List.length tasks));
+      ("hits", J.Int (hits o1));
+      ("io_jobs1", io_json d1);
+      ("reads_jobs_n", J.Int dn.Io_stats.reads);
+      ("writes_jobs_n", J.Int dn.Io_stats.writes);
+      ("seq_wall_s", J.Float w1);
+      ("par_wall_s", J.Float wn);
+    ]
+
 let run_query_bench corpus =
   let pvn = qb_planned_vs_naive corpus in
   let seed = qb_index_seed corpus in
@@ -600,7 +655,7 @@ let write_json_doc path doc =
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
-let write_json_report path ~scale ~plays ~nodes ~bytes ?query rows small =
+let write_json_report path ~scale ~plays ~nodes ~bytes ?query ?parallel rows small =
   let doc =
     J.Obj
       ([
@@ -610,7 +665,8 @@ let write_json_report path ~scale ~plays ~nodes ~bytes ?query rows small =
            J.List (List.concat_map (fun (_page, cells) -> List.map cell_json cells) rows) );
          ("instrumented", instrumented_metrics_json small);
        ]
-      @ match query with None -> [] | Some q -> [ ("query_bench", q) ])
+      @ (match query with None -> [] | Some q -> [ ("query_bench", q) ])
+      @ match parallel with None -> [] | Some p -> [ ("parallel", p) ])
   in
   write_json_doc path doc
 
@@ -669,6 +725,7 @@ let () =
   let with_bechamel = ref false in
   let check = ref false in
   let json_path = ref "" in
+  let jobs = ref 1 in
   let args =
     [
       ("--scale", Arg.Set_float scale, "FACTOR corpus scale (default 1.0 = 37 plays)");
@@ -688,6 +745,10 @@ let () =
         Arg.Unit (fun () -> json_path := "BENCH_natix.json"),
         " write a machine-readable report to BENCH_natix.json" );
       ("--json-file", Arg.String (fun p -> json_path := p), "FILE write the JSON report to FILE");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N also run the parallel query bench at N worker domains (adds a \"parallel\" JSON \
+         section; existing figures are untouched)" );
     ]
   in
   Arg.parse args (fun _ -> ()) "natix benchmark harness";
@@ -699,16 +760,23 @@ let () =
      split target 1/2, tolerance 1/10 page; IBM DCAS-34330W I/O model (simulated ms).\n"
     (List.length corpus) nodes
     (float_of_int bytes /. 1e6);
+  let parallel_section () =
+    if !jobs > 1 then
+      Some (run_parallel_bench ~jobs:!jobs (Shakespeare.generate (Shakespeare.scaled (Float.min !scale 0.25))))
+    else None
+  in
   if !query_only then begin
     let query = run_query_bench corpus in
+    let parallel = parallel_section () in
     if !json_path <> "" then
       write_json_doc !json_path
         (J.Obj
-           [
-             ("corpus", corpus_json ~scale:!scale ~plays:(List.length corpus) ~nodes ~bytes);
-             ("io_model", J.String "IBM DCAS-34330W (simulated ms)");
-             ("query_bench", query);
-           ]);
+           ([
+              ("corpus", corpus_json ~scale:!scale ~plays:(List.length corpus) ~nodes ~bytes);
+              ("io_model", J.String "IBM DCAS-34330W (simulated ms)");
+              ("query_bench", query);
+            ]
+           @ match parallel with None -> [] | Some p -> [ ("parallel", p) ]));
     exit 0
   end;
   let rows =
@@ -735,10 +803,11 @@ let () =
       Some (run_query_bench (Shakespeare.generate (Shakespeare.scaled (Float.min !scale 0.25))))
     else None
   in
+  let parallel = parallel_section () in
   if !json_path <> "" then begin
     let small = Shakespeare.generate (Shakespeare.scaled (Float.min !scale 0.1)) in
     write_json_report !json_path ~scale:!scale ~plays:(List.length corpus) ~nodes ~bytes ?query
-      rows small
+      ?parallel rows small
   end;
   if !run_ablations then begin
     let small = Shakespeare.generate (Shakespeare.scaled (Float.min !scale 0.25)) in

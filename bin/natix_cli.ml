@@ -3,6 +3,7 @@
    A persistent, file-backed NATIX store:
 
      natix load  store.natix hamlet hamlet.xml --order bfs
+     natix bulkload store.natix *.xml --jobs 4
      natix list  store.natix
      natix cat   store.natix hamlet
      natix query store.natix hamlet "//ACT[3]/SCENE[2]//SPEAKER"
@@ -59,6 +60,13 @@ let order_arg =
     & opt order_conv Loader.Preorder
     & info [ "order" ] ~docv:"ORDER" ~doc:"Insertion order: $(b,preorder) (bulkload) or $(b,bfs) (scattered incremental updates).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for parallel execution; $(b,1) (the default) runs inline.")
+
 (* ---- commands ----------------------------------------------------- *)
 
 let read_file path =
@@ -99,6 +107,45 @@ let load_cmd =
     (Cmd.info "load" ~doc:"Parse an XML file and store it as a document.")
     Term.(const run $ store_arg $ doc_arg 1 $ xml_arg $ page_size_arg $ order_arg $ stream)
 
+let bulkload_cmd =
+  let run store_path xml_paths page_size jobs =
+    let sess =
+      open_session ~create_page_size:page_size ~index:Document_manager.Maintain store_path
+    in
+    let files =
+      List.map
+        (fun p -> (Filename.remove_extension (Filename.basename p), read_file p))
+        xml_paths
+    in
+    let outcome = Natix.Session.load_files ~jobs sess files in
+    let failed = ref None in
+    List.iter2
+      (fun (name, _) result ->
+        match result with
+        | Ok () -> Printf.printf "loaded %S\n" name
+        | Error e ->
+          Printf.eprintf "natix: %S: %s\n" name (Error.to_string e);
+          if !failed = None then failed := Some e)
+      files outcome.Natix_par.Par.results;
+    List.iter
+      (fun ws ->
+        Format.eprintf "worker %d: %a@." ws.Natix_par.Par.worker Natix_store.Io_stats.pp
+          ws.Natix_par.Par.io)
+      outcome.Natix_par.Par.workers;
+    Natix.Session.close sess;
+    match !failed with None -> () | Some e -> exit (Error.exit_code e)
+  in
+  let xml_args =
+    Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"FILE" ~doc:"XML files to load.")
+  in
+  Cmd.v
+    (Cmd.info "bulkload"
+       ~doc:
+         "Load many XML files in one go, each as a document named after its basename.  With \
+          --jobs > 1 files parse on parallel worker domains while store commits stay \
+          serialised, one WAL batch per document.")
+    Term.(const run $ store_arg $ xml_args $ page_size_arg $ jobs_arg)
+
 let list_cmd =
   let run store_path =
     let sess = open_session store_path in
@@ -123,7 +170,7 @@ let cat_cmd =
     Term.(const run $ store_arg $ doc_arg 1 $ pretty)
 
 let query_cmd =
-  let run store_path doc path texts naive explain analyze no_index =
+  let run store_path doc path texts naive explain analyze no_index jobs =
     (* With the index open the planner may seed descendant steps from it;
        [--no-index] (or [--naive]) forces pure navigation.  [Fresh_only]
        keeps this command read-only: a persisted index is used only when
@@ -138,7 +185,24 @@ let query_cmd =
          "note: the element index is stale (the store changed without it); planning by \
           navigation.  Run `natix scan` once to rebuild it.");
     let store = Natix.Session.store sess in
-    (if analyze then
+    (if jobs > 1 then begin
+       (* The parallel executor renders markup hits only (worker domains
+          use private reader views; see Natix_par.Par), so the flags that
+          change evaluation or rendering stay sequential-only. *)
+       if texts || naive || explain || analyze then begin
+         prerr_endline "natix: --jobs combines only with plain evaluation";
+         exit 2
+       end;
+       let outcome = Natix.Session.run_queries ~jobs sess [ (doc, path) ] in
+       match outcome.Natix_par.Par.results with
+       | [ Error e ] -> fail_error e
+       | [ Ok hits ] ->
+         List.iter print_endline hits;
+         Printf.eprintf "%d hit(s); %s\n" (List.length hits)
+           (Format.asprintf "%a" Natix_store.Io_stats.pp (Tree_store.io_stats store))
+       | _ -> assert false
+     end
+     else if analyze then
        match Natix.Session.analyze sess ~doc path with
        | Ok a -> print_endline (Natix_query.Engine.analysis_to_string a)
        | Error e -> fail_error e
@@ -202,7 +266,8 @@ let query_cmd =
          "Evaluate a path query against a document via the planning engine (child/descendant \
           steps, attribute and text() tests, positional and text-equality predicates).")
     Term.(
-      const run $ store_arg $ doc_arg 1 $ path_arg $ texts $ naive $ explain $ analyze $ no_index)
+      const run $ store_arg $ doc_arg 1 $ path_arg $ texts $ naive $ explain $ analyze $ no_index
+      $ jobs_arg)
 
 let stats_cmd =
   let run store_path doc =
@@ -603,8 +668,9 @@ let () =
       Cmd.eval ~catch:false
         (Cmd.group info
            [
-             load_cmd; list_cmd; cat_cmd; query_cmd; scan_cmd; validate_cmd; stats_cmd; check_cmd;
-             delete_cmd; gen_cmd; trace_cmd; doctor_cmd; bench_diff_cmd; fsck_cmd; recover_cmd;
+             load_cmd; bulkload_cmd; list_cmd; cat_cmd; query_cmd; scan_cmd; validate_cmd;
+             stats_cmd; check_cmd; delete_cmd; gen_cmd; trace_cmd; doctor_cmd; bench_diff_cmd;
+             fsck_cmd; recover_cmd;
            ])
     with
     | Error.Error e ->

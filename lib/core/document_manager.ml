@@ -79,6 +79,19 @@ let store_document t ~name ?dtd ?(infer_dtd = false) ?order xml =
         Stats.record_page_hint t.store name;
         Ok root)
 
+(* One document, one WAL batch: load then immediately checkpoint, so the
+   batch covering exactly this document commits before the call returns.
+   This is the unit of atomicity [Natix_par.Par.load_files] relies on —
+   the parallel loader serialises calls to this function under its commit
+   lock, and a crash between two calls loses at most the document whose
+   checkpoint had not yet committed. *)
+let store_committed t ~name ?dtd ?infer_dtd ?order xml =
+  match store_document t ~name ?dtd ?infer_dtd ?order xml with
+  | Error _ as e -> e
+  | Ok root ->
+    checkpoint t;
+    Ok root
+
 let document_dtd t doc =
   Option.map Dtd.decode
     (Hashtbl.find_opt (Tree_store.catalog t.store).Catalog.meta (dtd_key doc))

@@ -60,6 +60,20 @@ val store_document :
   Natix_xml.Xml_tree.t ->
   (Phys_node.t, Error.t) result
 
+(** [store_committed] is {!store_document} followed by {!checkpoint} on
+    success: the WAL batch covering exactly this document commits before
+    the call returns, so a later crash cannot take the document with it.
+    The parallel bulk loader serialises its per-document commits through
+    this entry point. *)
+val store_committed :
+  t ->
+  name:string ->
+  ?dtd:Natix_xml.Dtd.t ->
+  ?infer_dtd:bool ->
+  ?order:Loader.order ->
+  Natix_xml.Xml_tree.t ->
+  (Phys_node.t, Error.t) result
+
 (** DTD stored with a document, if any. *)
 val document_dtd : t -> string -> Natix_xml.Dtd.t option
 

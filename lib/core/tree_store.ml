@@ -114,6 +114,34 @@ let open_store ?(config = Config.default ()) disk =
 let in_memory ?(config = Config.default ()) ?model () =
   open_store ~config (Disk.in_memory ?model ~page_size:config.page_size ())
 
+(* A reader view shares the physical layers (record manager, buffer pool,
+   catalog, name pool) but owns a fresh decoded-record cache: the cache is
+   the store's main piece of shared mutable state ([fetch] installs boxes
+   and rewires [root.box] back-pointers), so worker domains each get their
+   own.  Stats are unaffected — [fetch] charges the page access even on a
+   decoded-cache hit — and the observability handle is detached because
+   its context/span state is single-domain. *)
+let reader t =
+  {
+    t with
+    cache = Rid.Tbl.create 1024;
+    listener = None;
+    obs = None;
+    splits = 0;
+    merges = 0;
+    last_decision = Split_matrix.Other;
+  }
+
+(* Counter resets racing with active worker accumulators would make the
+   merged totals unreconcilable; surface that as a typed storage error
+   (the CLI maps it to an exit code like any other). *)
+let reset_io_stats t =
+  let disk = Buffer_pool.disk t.pool in
+  if Disk.in_parallel_region disk then
+    raise (Error.Error (Error.Storage "io-stats reset rejected: parallel region active"));
+  Io_stats.reset (Disk.stats disk);
+  Buffer_pool.reset_stats t.pool
+
 let sync t =
   Hashtbl.replace t.catalog.Catalog.meta epoch_meta_key (string_of_int t.change_epoch);
   Catalog.save t.rm t.catalog;

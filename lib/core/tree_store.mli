@@ -49,6 +49,22 @@ val record_manager : t -> Record_manager.t
 val buffer_pool : t -> Buffer_pool.t
 val io_stats : t -> Io_stats.t
 
+(** [reader t] is a read-only view for one worker domain: it shares the
+    record manager, buffer pool, catalog and name pool with [t] but owns a
+    fresh decoded-record cache (the store's main shared-mutable state) and
+    has no observability handle or change listener.  I/O accounting is
+    unaffected — {!io_stats} charges page accesses even on decoded-cache
+    hits.  Readers assume the base store is not mutated while they are in
+    use; [Natix_par.Par] only creates them inside read-only regions. *)
+val reader : t -> t
+
+(** Reset the disk {!Io_stats} and the pool fix/miss counters together
+    (the measurement protocol's zeroing step).
+    @raise Error.Error with [Storage _] while a parallel region is active
+    on the underlying disk — a reset racing with per-domain accumulators
+    would silently corrupt the merged totals. *)
+val reset_io_stats : t -> unit
+
 (** Largest record body under this configuration. *)
 val max_record_size : t -> int
 

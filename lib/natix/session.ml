@@ -4,12 +4,13 @@ type t = {
   store : Tree_store.t;
   manager : Document_manager.t;
   engine : Natix_query.Engine.t;
+  mutable parallelism : int;
 }
 
 let of_store ?(index = Document_manager.Ensure) store =
   let manager = Document_manager.create ~index store in
   let engine = Natix_query.Engine.of_manager manager in
-  { store; manager; engine }
+  { store; manager; engine; parallelism = 1 }
 
 let in_memory ?config ?model ?index () =
   of_store ?index (Tree_store.in_memory ?config ?model ())
@@ -85,3 +86,23 @@ let analyze t ~doc path = Natix_query.Engine.analyze t.engine ~doc path
 let query_naive t ~doc path = Natix_query.Engine.query_naive t.engine ~doc path
 let query_all t path = Natix_query.Engine.query_all t.engine path
 let explain t ~doc path = Natix_query.Engine.explain t.engine ~doc path
+
+(* Parallel execution *)
+
+let parallelism t = t.parallelism
+
+let set_parallelism t jobs =
+  if jobs < 1 then invalid_arg "Session.set_parallelism: jobs must be >= 1";
+  t.parallelism <- jobs
+
+let run_queries ?jobs t tasks =
+  let jobs = Option.value jobs ~default:t.parallelism in
+  Natix_par.Par.run_queries ~jobs t.store tasks
+
+let scan_all ?jobs t =
+  let jobs = Option.value jobs ~default:t.parallelism in
+  Natix_par.Par.scan_all ~jobs t.store
+
+let load_files ?jobs t files =
+  let jobs = Option.value jobs ~default:t.parallelism in
+  Natix_par.Par.load_files ~jobs t.manager files

@@ -105,3 +105,27 @@ val explain : t -> doc:string -> string -> (string, Error.t) result
 (** EXPLAIN ANALYZE: run the query strictly and report per-operator
     estimated vs actual cost (see {!Natix_query.Engine.analyze}). *)
 val analyze : t -> doc:string -> string -> (Natix_query.Engine.analysis, Error.t) result
+
+(** {2 Parallel execution}
+
+    Thin wrappers over {!Natix_par.Par}: work partitioned by document
+    across worker domains, results merged back in document order.  The
+    session's [parallelism] (default [1]) is the job count when the
+    [?jobs] argument is omitted; [1] runs inline on the calling domain,
+    bit-identical to the sequential entry points. *)
+
+val parallelism : t -> int
+
+(** @raise Invalid_argument when [jobs < 1]. *)
+val set_parallelism : t -> int -> unit
+
+val run_queries :
+  ?jobs:int ->
+  t ->
+  (string * string) list ->
+  (string list, Error.t) result Natix_par.Par.outcome
+
+val scan_all : ?jobs:int -> t -> (string * int) Natix_par.Par.outcome
+
+val load_files :
+  ?jobs:int -> t -> (string * string) list -> (unit, Error.t) result Natix_par.Par.outcome

@@ -1,0 +1,51 @@
+type 'a t = {
+  lock : Mutex.t;
+  buf : 'a option array;
+  mutable top : int;  (* next steal slot; top < bottom when nonempty *)
+  mutable bottom : int;  (* next push slot *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Deque.create: capacity must be positive";
+  { lock = Mutex.create (); buf = Array.make capacity None; top = 0; bottom = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Indices grow monotonically and wrap modulo the capacity; [bottom - top]
+   is the live count, so the buffer is full at exactly [capacity]. *)
+let slot t i = i mod Array.length t.buf
+
+let length t = locked t (fun () -> t.bottom - t.top)
+
+let push t x =
+  locked t (fun () ->
+      if t.bottom - t.top >= Array.length t.buf then false
+      else begin
+        t.buf.(slot t t.bottom) <- Some x;
+        t.bottom <- t.bottom + 1;
+        true
+      end)
+
+let pop t =
+  locked t (fun () ->
+      if t.bottom = t.top then None
+      else begin
+        t.bottom <- t.bottom - 1;
+        let i = slot t t.bottom in
+        let x = t.buf.(i) in
+        t.buf.(i) <- None;
+        x
+      end)
+
+let steal t =
+  locked t (fun () ->
+      if t.bottom = t.top then None
+      else begin
+        let i = slot t t.top in
+        let x = t.buf.(i) in
+        t.buf.(i) <- None;
+        t.top <- t.top + 1;
+        x
+      end)

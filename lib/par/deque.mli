@@ -1,0 +1,25 @@
+(** Bounded work-stealing deque.
+
+    The owner pushes and pops at the bottom (LIFO, cache-friendly for the
+    owner's own work); thieves steal from the top (FIFO, so they take the
+    oldest — typically largest-granularity — task).  A small mutex guards
+    the whole structure: task granularity in the parallel executor is a
+    whole document, so the deque is touched a handful of times per task
+    and a lock-free implementation would buy nothing measurable. *)
+
+type 'a t
+
+(** [create ~capacity] makes an empty deque holding at most [capacity]
+    elements.  @raise Invalid_argument when [capacity <= 0]. *)
+val create : capacity:int -> 'a t
+
+(** Owner end: [push t x] is [false] when the deque is full. *)
+val push : 'a t -> 'a -> bool
+
+(** Owner end: newest element, if any. *)
+val pop : 'a t -> 'a option
+
+(** Thief end: oldest element, if any.  Safe from any domain. *)
+val steal : 'a t -> 'a option
+
+val length : 'a t -> int

@@ -1,0 +1,156 @@
+open Natix_core
+module Io_stats = Natix_store.Io_stats
+module Disk = Natix_store.Disk
+module Buffer_pool = Natix_store.Buffer_pool
+
+type worker_stats = { worker : int; io : Io_stats.t }
+type 'a outcome = { results : 'a list; workers : worker_stats list }
+
+let disk_of store = Buffer_pool.disk (Tree_store.buffer_pool store)
+
+(* The generic executor: run [f ctx task] over [tasks] on [jobs] domains
+   and hand results back in task order.
+
+   jobs <= 1 must stay bit-identical to the sequential code path, so it
+   runs inline: no domain, no parallel region, no per-domain stream —
+   the only addition is a stats snapshot around the run to fill in the
+   single worker entry.
+
+   jobs >= 2: tasks are seeded round-robin into per-worker deques; each
+   worker drains its own (LIFO) and then steals round-robin from the
+   others (FIFO).  A worker failure sets [stop] so the rest drain out;
+   the first exception is re-raised on the caller after every domain has
+   joined and the streams are merged — stats stay consistent even on a
+   crash. *)
+let map_tasks ~jobs ~disk ~make_ctx ~f tasks =
+  let n = Array.length tasks in
+  let jobs = if n = 0 then 1 else max 1 (min jobs n) in
+  if jobs <= 1 then begin
+    let before = Io_stats.copy (Disk.stats disk) in
+    let ctx = make_ctx () in
+    let results = Array.map (fun task -> f ctx task) tasks in
+    let io = Io_stats.diff (Io_stats.copy (Disk.stats disk)) before in
+    { results = Array.to_list results; workers = [ { worker = 0; io } ] }
+  end
+  else begin
+    let deques = Array.init jobs (fun _ -> Deque.create ~capacity:n) in
+    Array.iteri (fun i task -> ignore (Deque.push deques.(i mod jobs) (i, task) : bool)) tasks;
+    let results = Array.make n None in
+    let stop = Atomic.make false in
+    let fatal = Atomic.make None in
+    let body w () =
+      Disk.with_stream disk (fun () ->
+          match
+            let ctx = make_ctx () in
+            let next () =
+              match Deque.pop deques.(w) with
+              | Some _ as r -> r
+              | None ->
+                let rec go k =
+                  if k >= jobs then None
+                  else
+                    match Deque.steal deques.((w + k) mod jobs) with
+                    | Some _ as r -> r
+                    | None -> go (k + 1)
+                in
+                go 1
+            in
+            let rec loop () =
+              if not (Atomic.get stop) then
+                match next () with
+                | None -> ()
+                | Some (i, task) ->
+                  results.(i) <- Some (f ctx task);
+                  loop ()
+            in
+            loop ()
+          with
+          | () -> ()
+          | exception e ->
+            if Atomic.compare_and_set fatal None (Some e) then Atomic.set stop true)
+    in
+    Disk.enter_parallel_region disk;
+    let streams =
+      Fun.protect
+        ~finally:(fun () -> Disk.exit_parallel_region disk)
+        (fun () ->
+          let domains = Array.init jobs (fun w -> Domain.spawn (body w)) in
+          Array.map Domain.join domains)
+    in
+    (* Merge per-worker accumulators into the default stream in worker
+       index order: float addition is not associative, and a fixed order
+       keeps the merged totals deterministic for a fixed partition. *)
+    let workers =
+      Array.to_list (Array.mapi (fun w ((), io) -> { worker = w; io }) streams)
+    in
+    List.iter (fun ws -> Io_stats.add (Disk.stats disk) ws.io) workers;
+    (match Atomic.get fatal with Some e -> raise e | None -> ());
+    let results =
+      Array.to_list
+        (Array.map
+           (function
+             | Some r -> r
+             | None -> invalid_arg "Par.map_tasks: task left unexecuted")
+           results)
+    in
+    { results; workers }
+  end
+
+(* Hits render exactly as the CLI does ([bin/natix_cli.ml]): elements as
+   exported XML, text/attribute nodes as their text — the differential
+   harness compares these strings byte for byte across job counts. *)
+let render reader c =
+  if Cursor.is_element c then Exporter.to_string reader (Cursor.node c) else Cursor.text c
+
+let run_queries ?(jobs = 1) store tasks =
+  map_tasks ~jobs ~disk:(disk_of store)
+    ~make_ctx:(fun () ->
+      let reader = Tree_store.reader store in
+      (reader, Natix_query.Engine.create reader))
+    ~f:(fun (reader, engine) (doc, path) ->
+      match Natix_query.Engine.query engine ~doc path with
+      | Error _ as e -> e
+      | Ok seq -> Ok (List.map (render reader) (List.of_seq seq)))
+    (Array.of_list tasks)
+
+let scan_all ?(jobs = 1) store =
+  let docs = List.sort String.compare (Tree_store.list_documents store) in
+  map_tasks ~jobs ~disk:(disk_of store)
+    ~make_ctx:(fun () -> Tree_store.reader store)
+    ~f:(fun reader doc ->
+      Buffer_pool.with_scan (Tree_store.buffer_pool reader) (fun () ->
+          match Cursor.of_document reader doc with
+          | None -> (doc, 0)
+          | Some root ->
+            (doc, Seq.fold_left (fun acc _ -> acc + 1) 0 (Cursor.descendants_or_self root))))
+    (Array.of_list docs)
+
+let load_files ?(jobs = 1) dm files =
+  let disk = disk_of (Document_manager.store dm) in
+  let commit_lock = Mutex.create () in
+  let crashed = Atomic.make false in
+  let store_one name xml =
+    Mutex.lock commit_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock commit_lock)
+      (fun () ->
+        (* A crash on another worker leaves the disk refusing writes;
+           don't pile further failures onto it. *)
+        if Atomic.get crashed then
+          Error (Error.Storage "parallel load aborted: store crashed")
+        else
+          match Document_manager.store_committed dm ~name xml with
+          | Ok _ -> Ok ()
+          | Error _ as e -> e
+          | exception e ->
+            Atomic.set crashed true;
+            raise e)
+  in
+  map_tasks ~jobs ~disk
+    ~make_ctx:(fun () -> ())
+    ~f:(fun () (name, text) ->
+      match Natix_xml.Xml_parser.parse text with
+      | exception Natix_xml.Xml_parser.Error { line; col; msg } ->
+        Error (Error.Parse (Printf.sprintf "%s:%d:%d: %s" name line col msg))
+      | xml -> store_one name xml)
+    (Array.of_list files)

@@ -1,0 +1,71 @@
+(** Domain-parallel query and bulk-load execution.
+
+    Work is partitioned {e by document}: each task (one document to
+    query, scan, or load) goes to one of [jobs] worker domains via a
+    bounded work-stealing {!Deque} (round-robin seeding, owner-LIFO /
+    thief-FIFO), and results come back in task-submission order — an
+    ordered merge, so output is document-order deterministic regardless
+    of which domain ran what.
+
+    Read-path workers share the process-wide buffer pool (latch-striped,
+    see {!Natix_store.Buffer_pool}) but each gets a private
+    {!Natix_core.Tree_store.reader} view — own decoded-record cache, no
+    observer — because decoded records are mutable and must not be
+    shared across domains.  For the same reason workers plan by
+    navigation only (no element index: its postings carry physical
+    node identity through the owning store's cache).
+
+    I/O accounting: each worker domain accumulates into a private
+    {!Natix_store.Io_stats} stream ({!Natix_store.Disk.with_stream});
+    on join the streams are merged into the disk's default accumulator
+    in worker-index order, so the merged float totals are deterministic
+    for a fixed partition.  [reads], [writes] and [total_ios] are
+    moreover {e schedule}-independent (every distinct page is read
+    exactly once into the shared pool, concurrent misses coalesce on the
+    frame latch), which is what the differential harness asserts across
+    job counts.  [sim_ms] and the [sequential_*] figures depend on
+    per-stream access adjacency and legitimately vary with [jobs].
+
+    With [jobs <= 1] everything runs inline on the calling domain — no
+    spawn, no parallel region, no stream — and is bit-identical to the
+    pre-parallel code path. *)
+
+(** Per-worker I/O accounting, reported after the join. *)
+type worker_stats = { worker : int; io : Natix_store.Io_stats.t }
+
+(** [results] in task-submission (document) order; [workers] in worker
+    index order.  At [jobs <= 1] there is exactly one worker entry,
+    holding the stats delta of the whole inline run. *)
+type 'a outcome = { results : 'a list; workers : worker_stats list }
+
+(** [run_queries ~jobs store tasks] evaluates each [(doc, path)] task
+    and renders every hit exactly as the CLI does (elements as XML via
+    {!Natix_core.Exporter}, other nodes as their text).  Per-task
+    failures (bad path syntax, unknown document) come back as [Error];
+    storage-level exceptions abort the whole run. *)
+val run_queries :
+  ?jobs:int ->
+  Natix_core.Tree_store.t ->
+  (string * string) list ->
+  (string list, Natix_core.Error.t) result outcome
+
+(** [scan_all ~jobs store] traverses every document (sorted by name)
+    with the pool in scan mode and returns [(doc, node_count)] per
+    document. *)
+val scan_all : ?jobs:int -> Natix_core.Tree_store.t -> (string * int) outcome
+
+(** [load_files ~jobs dm files] parses each [(name, xml_text)] in
+    parallel, then serialises store mutation through a single commit
+    lock: each document goes through
+    {!Natix_core.Document_manager.store_committed}, i.e. its own WAL
+    batch commits (checkpoint) before the lock is released.  A crash
+    mid-run therefore loses only documents whose commit had not
+    completed; everything already committed recovers byte-identical.
+    Parse and validation failures come back per-task as [Error]; a
+    storage crash ({!Natix_store.Faulty_disk.Crash}) stops the fleet and
+    re-raises after all workers have joined. *)
+val load_files :
+  ?jobs:int ->
+  Natix_core.Document_manager.t ->
+  (string * string) list ->
+  (unit, Natix_core.Error.t) result outcome

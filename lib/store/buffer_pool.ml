@@ -5,10 +5,13 @@ type segment = Hot | Cold
 type frame = {
   page_id : int;
   data : bytes;
+  latch : Mutex.t;  (* held while the frame's content is being loaded *)
+  mutable failed : bool;  (* the load failed; waiters must retry the fix *)
   mutable dirty : bool;
   mutable pins : int;
   mutable seg : segment;
   mutable referenced : bool;
+  mutable linked : bool;  (* currently on an LRU chain *)
   mutable prev : frame option;
   mutable next : frame option;
 }
@@ -16,10 +19,39 @@ type frame = {
 (* One LRU chain: head = most recently used, tail = eviction candidate. *)
 type lru = { mutable head : frame option; mutable tail : frame option }
 
+(* Concurrency design (see DESIGN §15 for the full argument).  The mapping
+   table is sharded across [stripe_count] hashtables, each guarded by its
+   stripe lock; everything else shared — the LRU chains, the counters, the
+   resident count, scan mode and the read-ahead cursor — lives under the
+   single pool lock.  Frames carry a latch held only while their content
+   is in flight, so a concurrent fix of a loading page waits on the frame,
+   not on the pool.  Lock order (ascending, checked by {!Lock_rank}):
+
+     stripe (1) < frame latch (2) < pool (3) < disk (4)
+
+   Eviction runs against the order — it holds the pool lock and needs a
+   victim's stripe and latch — so it only ever [try_lock]s those, skipping
+   the victim when either is contended.  Single-domain behaviour is
+   bit-identical to the unstriped pool: every try_lock succeeds, the
+   victim scan is LRU-driven exactly as before, and all counters are
+   maintained at the same points. *)
+let stripe_count = 16
+
 type t = {
   disk : Disk.t;
   capacity : int;
-  frames : (int, frame) Hashtbl.t;
+  stripes : Mutex.t array;
+  tables : (int, frame) Hashtbl.t array;
+  pool_lock : Mutex.t;
+  (* Full-table view maintained under the pool lock, mirroring the exact
+     replace/remove sequence the pre-striping pool applied to its single
+     hashtable.  [flush]/[clear] iterate it instead of taking every
+     stripe, and — because OCaml hashtable iteration order is a pure
+     function of the operation sequence — dirty pages flush in the exact
+     order they did before striping, keeping accumulated [sim_ms] figures
+     bit-identical for single-domain runs. *)
+  registry : (int, frame) Hashtbl.t;
+  mutable resident : int;
   (* Segmented LRU: the hot segment holds the demand working set, the cold
      segment holds probationary pages (read-ahead and scan-mode fixes).
      With [scan_resistant = false] every frame lives in [hot] and the pool
@@ -45,7 +77,11 @@ let create ~disk ~bytes ?wal ?(read_retries = 3) ?(read_ahead = 0) ?(scan_resist
   {
     disk;
     capacity;
-    frames = Hashtbl.create (2 * capacity);
+    stripes = Array.init stripe_count (fun _ -> Mutex.create ());
+    tables = Array.init stripe_count (fun _ -> Hashtbl.create (2 * (1 + (capacity / stripe_count))));
+    pool_lock = Mutex.create ();
+    registry = Hashtbl.create (2 * capacity);
+    resident = 0;
     hot = { head = None; tail = None };
     cold = { head = None; tail = None };
     scan_resistant;
@@ -61,38 +97,123 @@ let create ~disk ~bytes ?wal ?(read_retries = 3) ?(read_ahead = 0) ?(scan_resist
     obs = Disk.obs disk;
   }
 
+let stripe_of page_id = page_id land (stripe_count - 1)
+
+let lock_stripe t si =
+  Lock_rank.acquire Lock_rank.stripe;
+  Mutex.lock t.stripes.(si)
+
+let unlock_stripe t si =
+  Mutex.unlock t.stripes.(si);
+  Lock_rank.release Lock_rank.stripe
+
+let lock_frame f =
+  Lock_rank.acquire Lock_rank.frame;
+  Mutex.lock f.latch
+
+(* Latch a frame this thread just created: exempt from the rank order
+   (waiters on frame latches hold nothing, see {!Lock_rank}), so
+   read-ahead can keep a batch of them latched while taking the next
+   page's stripe. *)
+let lock_frame_fresh f =
+  Lock_rank.note_try Lock_rank.unordered;
+  Mutex.lock f.latch
+
+let unlock_frame_fresh f =
+  Mutex.unlock f.latch;
+  Lock_rank.release Lock_rank.unordered
+
+let unlock_frame f =
+  Mutex.unlock f.latch;
+  Lock_rank.release Lock_rank.frame
+
+let lock_pool t =
+  Lock_rank.acquire Lock_rank.pool;
+  Mutex.lock t.pool_lock
+
+let unlock_pool t =
+  Mutex.unlock t.pool_lock;
+  Lock_rank.release Lock_rank.pool
+
+let with_pool t fn =
+  lock_pool t;
+  Fun.protect ~finally:(fun () -> unlock_pool t) fn
+
 let disk t = t.disk
 let capacity t = t.capacity
-let resident t = Hashtbl.length t.frames
-let fixes t = t.fixes
-let misses t = t.misses
-let prefetched t = t.prefetched
+let resident t = with_pool t (fun () -> t.resident)
+let fixes t = with_pool t (fun () -> t.fixes)
+let misses t = with_pool t (fun () -> t.misses)
+let prefetched t = with_pool t (fun () -> t.prefetched)
 let obs t = t.obs
 let wal t = t.wal
 let read_ahead t = t.read_ahead
 let scan_resistant t = t.scan_resistant
-let scan_mode t = t.scan_mode
-let set_scan_mode t on = t.scan_mode <- on
+let scan_mode t = with_pool t (fun () -> t.scan_mode)
+let set_scan_mode t on = with_pool t (fun () -> t.scan_mode <- on)
 
 let with_scan t fn =
-  let saved = t.scan_mode in
-  t.scan_mode <- true;
-  Fun.protect ~finally:(fun () -> t.scan_mode <- saved) fn
+  let saved =
+    with_pool t (fun () ->
+        let saved = t.scan_mode in
+        t.scan_mode <- true;
+        saved)
+  in
+  Fun.protect ~finally:(fun () -> with_pool t (fun () -> t.scan_mode <- saved)) fn
 
-let is_resident t page_id = Hashtbl.mem t.frames page_id
+let is_resident t page_id =
+  let si = stripe_of page_id in
+  lock_stripe t si;
+  let r = Hashtbl.mem t.tables.(si) page_id in
+  unlock_stripe t si;
+  r
+
+let iter_lru fn lru =
+  let rec go = function
+    | None -> ()
+    | Some f ->
+      let next = f.next in
+      fn f;
+      go next
+  in
+  go lru.head
+
+let iter_frames t fn =
+  iter_lru fn t.hot;
+  iter_lru fn t.cold
 
 let count_segment t seg =
-  Hashtbl.fold (fun _ f acc -> if f.seg = seg then acc + 1 else acc) t.frames 0
+  with_pool t (fun () ->
+      let n = ref 0 in
+      iter_frames t (fun f -> if f.seg = seg then incr n);
+      !n)
 
 let resident_hot t = count_segment t Hot
 let resident_cold t = count_segment t Cold
 
-let hit_ratio t = if t.fixes = 0 then 1.0 else float_of_int (t.fixes - t.misses) /. float_of_int t.fixes
+let pinned_frames t =
+  with_pool t (fun () ->
+      let n = ref 0 in
+      iter_frames t (fun f -> if f.pins > 0 then incr n);
+      !n)
 
+let hit_ratio t =
+  with_pool t (fun () ->
+      if t.fixes = 0 then 1.0 else float_of_int (t.fixes - t.misses) /. float_of_int t.fixes)
+
+(* Zeroing the fix/miss counters while worker domains are mid-flight would
+   leave the merged figures unreconcilable; the region refcount on the
+   disk tells us whether that is the case. *)
 let reset_stats t =
-  t.fixes <- 0;
-  t.misses <- 0;
-  t.prefetched <- 0
+  if Disk.in_parallel_region t.disk then
+    invalid_arg "Buffer_pool.reset_stats: active parallel region";
+  with_pool t (fun () ->
+      t.fixes <- 0;
+      t.misses <- 0;
+      t.prefetched <- 0)
+
+(* ------------------------------------------------------------------ *)
+(* LRU chain primitives — pool lock held                               *)
 
 let list_of t f = match f.seg with Hot -> t.hot | Cold -> t.cold
 
@@ -106,6 +227,7 @@ let unlink t f =
 let push_front t seg f =
   let l = match seg with Hot -> t.hot | Cold -> t.cold in
   f.seg <- seg;
+  f.linked <- true;
   f.prev <- None;
   f.next <- l.head;
   (match l.head with Some h -> h.prev <- Some f | None -> l.tail <- Some f);
@@ -156,16 +278,54 @@ let write_back t f =
     f.dirty <- false
   end
 
+(* ------------------------------------------------------------------ *)
+(* Eviction — pool lock held, [held_stripe] already locked by caller   *)
+
+(* Removing the victim from its shard runs against the lock order (the
+   pool lock is held, stripes rank below it), so the stripe is only ever
+   try_locked; a contended stripe just disqualifies the victim.  If the
+   victim lives in the stripe the caller already holds, operate directly —
+   OCaml mutexes are not recursive, and [try_lock] on a self-held lock
+   would fail, wrongly skipping the victim. *)
+let try_remove_from_table t ~held_stripe f =
+  let si = stripe_of f.page_id in
+  if si = held_stripe then begin
+    Hashtbl.remove t.tables.(si) f.page_id;
+    true
+  end
+  else if Mutex.try_lock t.stripes.(si) then begin
+    Lock_rank.note_try Lock_rank.stripe;
+    Hashtbl.remove t.tables.(si) f.page_id;
+    Mutex.unlock t.stripes.(si);
+    Lock_rank.release Lock_rank.stripe;
+    true
+  end
+  else false
+
 (* Evict the least recently used unpinned frame, preferring the cold
    segment so probationary scan pages go before the working set.  [keep]
    protects a page range: a read-ahead batch must not evict the frames it
-   allocated for its own run. *)
-let evict_one ?(keep = (0, -1)) t =
+   allocated for its own run.  A frame whose latch is held (a load in
+   flight, or a read-ahead frame being filled) is skipped the same way a
+   pinned frame is. *)
+let evict_one ?(keep = (0, -1)) ~held_stripe t =
   let keep_lo, keep_hi = keep in
   let rec find = function
     | None -> None
     | Some f ->
-      if f.pins = 0 && not (f.page_id >= keep_lo && f.page_id <= keep_hi) then Some f
+      if
+        f.pins = 0
+        && (not (f.page_id >= keep_lo && f.page_id <= keep_hi))
+        && Mutex.try_lock f.latch
+      then begin
+        Lock_rank.note_try Lock_rank.frame;
+        if try_remove_from_table t ~held_stripe f then Some f
+        else begin
+          Mutex.unlock f.latch;
+          Lock_rank.release Lock_rank.frame;
+          find f.prev
+        end
+      end
       else find f.prev
   in
   let victim =
@@ -177,49 +337,78 @@ let evict_one ?(keep = (0, -1)) t =
   | None -> ()
   | Some obs ->
     Natix_obs.Obs.emit obs (Natix_obs.Event.Page_evict { page = victim.page_id; dirty = victim.dirty }));
-  write_back t victim;
-  unlink t victim;
-  Hashtbl.remove t.frames victim.page_id
+  (* The victim is already out of its shard; finish the structural part of
+     the eviction even when the write-back dies (a fault-plan crash), so
+     the latch is not left locked behind the exception. *)
+  Fun.protect
+    ~finally:(fun () ->
+      unlink t victim;
+      victim.linked <- false;
+      t.resident <- t.resident - 1;
+      Hashtbl.remove t.registry victim.page_id;
+      Mutex.unlock victim.latch;
+      Lock_rank.release Lock_rank.frame)
+    (fun () -> write_back t victim)
 
-let drop_frame t f =
-  unlink t f;
-  Hashtbl.remove t.frames f.page_id
+let make_room ?keep ~held_stripe t = if t.resident >= t.capacity then evict_one ?keep ~held_stripe t
 
 (* Placement of a freshly allocated frame.  Plain pool: always hot (the
    single LRU list).  Segmented pool: speculative (read-ahead) frames and
    demand misses during a scan enter the cold segment on probation; normal
    demand misses enter hot directly. *)
-let alloc_frame ?(keep = (0, -1)) ?(pins = 1) ?(speculative = false) t page_id =
-  if Hashtbl.length t.frames >= t.capacity then evict_one ~keep t;
-  let seg =
-    if not t.scan_resistant then Hot
-    else if speculative || t.scan_mode then Cold
-    else Hot
-  in
-  let f =
-    {
-      page_id;
-      data = Bytes.create (Disk.payload_size t.disk);
-      dirty = false;
-      pins;
-      seg;
-      referenced = not speculative;
-      prev = None;
-      next = None;
-    }
-  in
-  Hashtbl.replace t.frames page_id f;
-  push_front t seg f;
-  f
+let placement t ~speculative =
+  if not t.scan_resistant then Hot
+  else if speculative || t.scan_mode then Cold
+  else Hot
+
+let mk_frame t ~pins ~speculative page_id =
+  {
+    page_id;
+    data = Bytes.create (Disk.payload_size t.disk);
+    latch = Mutex.create ();
+    failed = false;
+    dirty = false;
+    pins;
+    seg = Hot;
+    referenced = not speculative;
+    linked = false;
+    prev = None;
+    next = None;
+  }
 
 let note_fix t page_id ~hit =
   match t.obs with
   | None -> ()
   | Some obs -> Natix_obs.Obs.emit obs (Natix_obs.Event.Page_fix { page = page_id; hit })
 
+(* Undo a frame that never became (or no longer is) valid: take it out of
+   its shard (only if it is still the table's entry for the page — a
+   concurrent eviction may already have removed it) and off its LRU chain.
+   Called with no locks held. *)
+let remove_frame t f =
+  let si = stripe_of f.page_id in
+  lock_stripe t si;
+  (match Hashtbl.find_opt t.tables.(si) f.page_id with
+  | Some g when g == f -> Hashtbl.remove t.tables.(si) f.page_id
+  | Some _ | None -> ());
+  lock_pool t;
+  if f.linked then begin
+    unlink t f;
+    f.linked <- false;
+    t.resident <- t.resident - 1
+  end;
+  (match Hashtbl.find_opt t.registry f.page_id with
+  | Some g when g == f -> Hashtbl.remove t.registry f.page_id
+  | Some _ | None -> ());
+  unlock_pool t;
+  unlock_stripe t si
+
 (* Transient read failures (an attached fault plan) are retried a few
    times before giving up; each attempt is charged to the I/O model by the
-   disk, which stands in for the backoff a real driver would pay. *)
+   disk, which stands in for the backoff a real driver would pay.  The
+   retry event is emitted under the pool lock because concurrent domains
+   may be emitting under it too (rank 2 -> 3 is ascending, so this nests
+   fine under the frame latch the loader holds). *)
 let read_frame t f =
   let rec go attempt =
     try Disk.read t.disk f.page_id f.data
@@ -227,98 +416,215 @@ let read_frame t f =
       (match t.obs with
       | None -> ()
       | Some obs ->
-        Natix_obs.Obs.emit obs
-          (Natix_obs.Event.Read_retry { page = f.page_id; attempt = attempt + 1 }));
+        with_pool t (fun () ->
+            Natix_obs.Obs.emit obs
+              (Natix_obs.Event.Read_retry { page = f.page_id; attempt = attempt + 1 })));
       go (attempt + 1)
   in
   go 0
 
-(* Read-ahead.  A demand miss at page [p] with the previous miss at
-   [p - 1] reveals a sequential run; prefetch the next [read_ahead] pages
-   (stopping at the end of the disk, at the first already-resident page,
-   and at half the pool so a run cannot flush the whole cache).  Frames
-   are allocated first (unpinned, cold, probationary), then filled with
-   one batched [Disk.read_run] in ascending page order so the I/O model
-   charges the run sequentially.  Advancing [last_miss] to the end of the
-   prefetched run keeps a longer scan in read-ahead mode: its next miss is
-   at the run frontier + 1.  Failures drop the unfilled frames and end the
-   run — prefetch never fails the demand fix that triggered it. *)
+(* ------------------------------------------------------------------ *)
+(* Read-ahead                                                          *)
+
+(* A demand miss at page [p] with the previous miss at [p - 1] reveals a
+   sequential run; prefetch the next [read_ahead] pages (stopping at the
+   end of the disk, at the first already-resident page, and at half the
+   pool so a run cannot flush the whole cache).  Frames are allocated
+   first (unpinned, cold, probationary, latch held so nobody reads them
+   half-filled), then filled with one batched [Disk.read_run] in ascending
+   page order so the I/O model charges the run sequentially.  Advancing
+   [last_miss] to the end of the prefetched run keeps a longer scan in
+   read-ahead mode: its next miss is at the run frontier + 1.  Failures
+   drop the unfilled frames and end the run — prefetch never fails the
+   demand fix that triggered it. *)
 let maybe_read_ahead t p =
-  let run_detected = t.read_ahead > 0 && p = t.last_miss + 1 in
-  t.last_miss <- p;
+  let run_detected =
+    with_pool t (fun () ->
+        let detected = t.read_ahead > 0 && p = t.last_miss + 1 in
+        t.last_miss <- p;
+        detected)
+  in
   if run_detected then begin
     let window = min t.read_ahead (max 1 (t.capacity / 2)) in
     let limit = min (p + window) (Disk.page_count t.disk - 1) in
     let rec targets q acc =
-      if q > limit || Hashtbl.mem t.frames q then List.rev acc else targets (q + 1) (q :: acc)
+      if q > limit || is_resident t q then List.rev acc else targets (q + 1) (q :: acc)
     in
     let pages = targets (p + 1) [] in
     if pages <> [] then begin
       let keep = (p + 1, p + List.length pages) in
+      (* Allocate one latched frame per target page.  [None] stops the
+         batch: either eviction ran out of candidates (All_frames_pinned
+         must not fail the demand fix that triggered the prefetch) or a
+         concurrent fix made the page resident after the residency scan. *)
+      let alloc_one q =
+        let si = stripe_of q in
+        lock_stripe t si;
+        if Hashtbl.mem t.tables.(si) q then begin
+          unlock_stripe t si;
+          None
+        end
+        else begin
+          let f = mk_frame t ~pins:0 ~speculative:true q in
+          lock_frame_fresh f;
+          Hashtbl.replace t.tables.(si) q f;
+          lock_pool t;
+          let ok =
+            match make_room ~keep ~held_stripe:si t with
+            | () ->
+              t.resident <- t.resident + 1;
+              push_front t (placement t ~speculative:true) f;
+              Hashtbl.replace t.registry q f;
+              true
+            | exception All_frames_pinned -> false
+          in
+          unlock_pool t;
+          if not ok then begin
+            Hashtbl.remove t.tables.(si) q;
+            unlock_frame_fresh f
+          end;
+          unlock_stripe t si;
+          if ok then Some f else None
+        end
+      in
       let frames =
-        (* Stop allocating (rather than fail the demand fix) if eviction
-           runs out of candidates mid-batch. *)
         let rec alloc acc = function
           | [] -> List.rev acc
           | q :: rest -> (
-            match alloc_frame ~keep ~pins:0 ~speculative:true t q with
-            | f -> alloc (f :: acc) rest
-            | exception All_frames_pinned -> List.rev acc)
+            match alloc_one q with None -> List.rev acc | Some f -> alloc (f :: acc) rest)
         in
         alloc [] pages
       in
       if frames <> [] then begin
         let filled = Disk.read_run t.disk ~first:(p + 1) (List.map (fun f -> f.data) frames) in
-        List.iteri (fun i f -> if i >= filled then drop_frame t f) frames;
-        if filled > 0 then begin
-          t.prefetched <- t.prefetched + filled;
-          t.last_miss <- p + filled;
-          match t.obs with
-          | None -> ()
-          | Some obs ->
-            Natix_obs.Obs.emit obs (Natix_obs.Event.Read_ahead { first = p + 1; pages = filled })
-        end
+        (* Unlatch everything before [remove_frame] retakes stripes, then
+           drop the frames the run never filled. *)
+        List.iteri
+          (fun i f ->
+            if i >= filled then f.failed <- true;
+            unlock_frame_fresh f)
+          frames;
+        List.iteri (fun i f -> if i >= filled then remove_frame t f) frames;
+        if filled > 0 then
+          with_pool t (fun () ->
+              t.prefetched <- t.prefetched + filled;
+              t.last_miss <- p + filled;
+              match t.obs with
+              | None -> ()
+              | Some obs ->
+                Natix_obs.Obs.emit obs (Natix_obs.Event.Read_ahead { first = p + 1; pages = filled }))
       end
     end
   end
 
-let fix t page_id =
-  t.fixes <- t.fixes + 1;
-  match Hashtbl.find_opt t.frames page_id with
+(* ------------------------------------------------------------------ *)
+(* Fix / unfix                                                         *)
+
+let rec fix t page_id =
+  let si = stripe_of page_id in
+  lock_stripe t si;
+  match Hashtbl.find_opt t.tables.(si) page_id with
   | Some f ->
+    (* Hit.  The pin is taken under the pool lock (all pin transitions
+       are), which also excludes eviction: once pinned the frame cannot go
+       away, so the stripe can be released before waiting out a load. *)
+    lock_pool t;
+    t.fixes <- t.fixes + 1;
     f.pins <- f.pins + 1;
     on_hit t f;
     note_fix t page_id ~hit:true;
-    f
+    unlock_pool t;
+    unlock_stripe t si;
+    (* Wait for an in-flight load (no-op when the latch is free). *)
+    lock_frame f;
+    unlock_frame f;
+    if f.failed then
+      (* The loader failed and is removing the frame; retry from scratch.
+         The pin taken above dies with the disowned frame. *)
+      fix t page_id
+    else f
   | None ->
-    t.misses <- t.misses + 1;
-    note_fix t page_id ~hit:false;
-    let f = alloc_frame t page_id in
-    (try read_frame t f
-     with e ->
-       (* Drop the half-made frame so a failed read leaves no garbage. *)
-       drop_frame t f;
-       raise e);
+    (* Miss: publish a latched placeholder so concurrent fixes of this
+       page wait on the frame latch instead of double-reading, then do the
+       disk read with only the latch held. *)
+    let f = mk_frame t ~pins:1 ~speculative:false page_id in
+    lock_frame f;
+    Hashtbl.replace t.tables.(si) page_id f;
+    lock_pool t;
+    (match
+       t.fixes <- t.fixes + 1;
+       t.misses <- t.misses + 1;
+       note_fix t page_id ~hit:false;
+       make_room ~held_stripe:si t;
+       t.resident <- t.resident + 1;
+       push_front t (placement t ~speculative:false) f;
+       Hashtbl.replace t.registry page_id f
+     with
+    | () ->
+      unlock_pool t;
+      unlock_stripe t si
+    | exception e ->
+      (* Eviction found every frame pinned (or write-back failed): undo
+         the placeholder and let the caller see the failure. *)
+      unlock_pool t;
+      Hashtbl.remove t.tables.(si) page_id;
+      unlock_frame f;
+      unlock_stripe t si;
+      raise e);
+    (match read_frame t f with
+    | () -> unlock_frame f
+    | exception e ->
+      (* Drop the half-made frame so a failed read leaves no garbage. *)
+      f.failed <- true;
+      unlock_frame f;
+      remove_frame t f;
+      raise e);
     maybe_read_ahead t page_id;
     f
 
 let fix_new t page_id =
-  t.fixes <- t.fixes + 1;
-  note_fix t page_id ~hit:true;
-  match Hashtbl.find_opt t.frames page_id with
+  let si = stripe_of page_id in
+  lock_stripe t si;
+  match Hashtbl.find_opt t.tables.(si) page_id with
   | Some f ->
+    lock_pool t;
+    t.fixes <- t.fixes + 1;
+    note_fix t page_id ~hit:true;
     f.pins <- f.pins + 1;
     on_hit t f;
+    unlock_pool t;
+    unlock_stripe t si;
     f
   | None ->
     (* Freshly allocated page: content is known to be zeroes, no read
-       needed (and none charged) -- counted as a hit above for the same
-       reason. *)
-    alloc_frame t page_id
+       needed (and none charged) — counted as a hit for the same reason,
+       and the latch is never taken because the frame is valid from the
+       moment it is published. *)
+    let f = mk_frame t ~pins:1 ~speculative:false page_id in
+    Hashtbl.replace t.tables.(si) page_id f;
+    lock_pool t;
+    (match
+       t.fixes <- t.fixes + 1;
+       note_fix t page_id ~hit:true;
+       make_room ~held_stripe:si t;
+       t.resident <- t.resident + 1;
+       push_front t (placement t ~speculative:false) f;
+       Hashtbl.replace t.registry page_id f
+     with
+    | () ->
+      unlock_pool t;
+      unlock_stripe t si
+    | exception e ->
+      unlock_pool t;
+      Hashtbl.remove t.tables.(si) page_id;
+      unlock_stripe t si;
+      raise e);
+    f
 
-let unfix _t f =
-  assert (f.pins > 0);
-  f.pins <- f.pins - 1
+let unfix t f =
+  with_pool t (fun () ->
+      assert (f.pins > 0);
+      f.pins <- f.pins - 1)
 
 let mark_dirty f = f.dirty <- true
 
@@ -326,7 +632,10 @@ let with_page t page_id fn =
   let f = fix t page_id in
   Fun.protect ~finally:(fun () -> unfix t f) (fun () -> fn f)
 
-let flush t = Hashtbl.iter (fun _ f -> write_back t f) t.frames
+(* Flush iterates the registry, whose iteration order reproduces the
+   pre-striping pool's single hashtable exactly (see the field comment) —
+   measured write sequences are bit-identical for single-domain runs. *)
+let flush t = with_pool t (fun () -> Hashtbl.iter (fun _ f -> write_back t f) t.registry)
 
 let checkpoint t =
   flush t;
@@ -335,13 +644,28 @@ let checkpoint t =
   | Some w -> Wal.commit w ~page_count:(Disk.page_count t.disk)
 
 let clear t =
-  Hashtbl.iter
-    (fun _ f -> if f.pins > 0 then failwith "Buffer_pool.clear: pinned frame")
-    t.frames;
-  flush t;
-  Hashtbl.reset t.frames;
-  t.hot.head <- None;
-  t.hot.tail <- None;
-  t.cold.head <- None;
-  t.cold.tail <- None;
-  t.last_miss <- -2
+  (* All stripes in index order (equal rank, total order), then the pool:
+     nothing can enter or leave while the table is being emptied. *)
+  for si = 0 to stripe_count - 1 do
+    lock_stripe t si
+  done;
+  lock_pool t;
+  Fun.protect
+    ~finally:(fun () ->
+      unlock_pool t;
+      for si = stripe_count - 1 downto 0 do
+        unlock_stripe t si
+      done)
+    (fun () ->
+      Hashtbl.iter
+        (fun _ f -> if f.pins > 0 then failwith "Buffer_pool.clear: pinned frame")
+        t.registry;
+      Hashtbl.iter (fun _ f -> write_back t f) t.registry;
+      Array.iter Hashtbl.reset t.tables;
+      Hashtbl.reset t.registry;
+      t.hot.head <- None;
+      t.hot.tail <- None;
+      t.cold.head <- None;
+      t.cold.tail <- None;
+      t.resident <- 0;
+      t.last_miss <- -2)

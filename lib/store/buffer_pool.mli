@@ -30,6 +30,17 @@
       flushing the hot working set.  A cold frame is promoted to hot when
       it is demand-hit outside a scan after a previous reference. *)
 
+(** {b Domain safety.}  The pool is safe for concurrent use from multiple
+    domains.  The mapping table is sharded across a small fixed array of
+    stripe locks; the LRU chains, counters and eviction run under one pool
+    lock; and every frame carries a latch held only while its content is
+    in flight, so two domains fixing the same missing page coalesce into
+    one disk read.  The documented lock order — stripe < frame latch <
+    pool < disk, try-locks exempt — is checked by the optional
+    {!Lock_rank} debug assertion.  With a single domain every lock is
+    uncontended and behaviour (counters, eviction decisions, emitted
+    events) is bit-identical to the unstriped pool. *)
+
 exception All_frames_pinned
 (** Raised by {!fix}/{!fix_new} when no frame can be evicted because every
     resident frame is pinned (the pool is too small for the working set). *)
@@ -41,10 +52,13 @@ type segment = Hot | Cold
 type frame = private {
   page_id : int;
   data : bytes;
+  latch : Mutex.t;  (** held while the content is being loaded, internal *)
+  mutable failed : bool;  (** the load failed; waiters retry, internal *)
   mutable dirty : bool;
   mutable pins : int;
   mutable seg : segment;  (** current segment, internal *)
   mutable referenced : bool;  (** demand-referenced since entering cold *)
+  mutable linked : bool;  (** currently on an LRU chain, internal *)
   mutable prev : frame option;  (** LRU chain, internal *)
   mutable next : frame option;
 }
@@ -148,6 +162,11 @@ val resident_hot : t -> int
     0 without [scan_resistant]. *)
 val resident_cold : t -> int
 
+(** Resident frames with a nonzero pin count — 0 whenever no fix is in
+    progress; the parallel stress harness asserts exactly that after its
+    workers join. *)
+val pinned_frames : t -> int
+
 (** Cache-hit statistics (fixes, misses). *)
 val fixes : t -> int
 
@@ -164,7 +183,11 @@ val prefetched : t -> int
 val hit_ratio : t -> float
 
 (** Zero {!fixes}, {!misses} and {!prefetched} without touching resident
-    frames; see the measurement protocol under {!clear}. *)
+    frames; see the measurement protocol under {!clear}.
+    @raise Invalid_argument while a parallel region is active on the
+    underlying disk ({!Disk.enter_parallel_region}): a reset racing with
+    worker accumulators would leave the merged figures unreconcilable.
+    [Tree_store.reset_io_stats] wraps this condition in a typed error. *)
 val reset_stats : t -> unit
 
 (** The handle inherited from the disk at {!create} time; page fix, evict

@@ -19,6 +19,13 @@ type backend =
   | Mem of { mutable pages : bytes array; mutable used : int }
   | File of { fd : Unix.file_descr; mutable used : int; path : string }
 
+(* One sequential-detection + accumulation context.  The default stream is
+   the disk's own [stats]/[last_page] pair; inside a parallel region each
+   worker domain registers a private stream so concurrent access patterns
+   do not scramble each other's sequentiality and the per-domain figures
+   can be merged deterministically on join. *)
+type stream = { s_stats : Io_stats.t; mutable s_last_page : int }
+
 type t = {
   page_size : int;
   payload_size : int;
@@ -26,11 +33,27 @@ type t = {
   stats : Io_stats.t;
   backend : backend;
   scratch : bytes;  (* one full physical page, for trailer assembly *)
+  latch : Mutex.t;  (* rank 4: serialises fd/scratch/lsn/stats access *)
   mutable next_lsn : int;
   mutable last_page : int;  (* for sequential-access detection; -2 = none *)
+  mutable streams : (int * stream) list;  (* domain id -> active stream *)
+  mutable regions : int;  (* active parallel-region refcount *)
   mutable obs : Natix_obs.Obs.t option;
   mutable faults : Faulty_disk.t option;
 }
+
+(* The shared file descriptor (lseek-then-read), the [scratch] trailer
+   buffer and the LSN counter force whole-operation serialisation; a single
+   latch is both sufficient and honest about a one-spindle disk.  All
+   public operations take it; [_u]-suffixed internals assume it held. *)
+let with_latch t f =
+  Lock_rank.acquire Lock_rank.disk;
+  Mutex.lock t.latch;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.unlock t.latch;
+      Lock_rank.release Lock_rank.disk)
+    f
 
 (* The file backend stores a small superblock at offset 0 holding the page
    size and page count, so data page [i] lives at offset
@@ -72,8 +95,11 @@ let in_memory ?(model = Io_model.dcas_34330w) ?obs ~page_size () =
       stats = Io_stats.create ();
       backend = Mem { pages = Array.make 64 Bytes.empty; used = 0 };
       scratch = Bytes.create page_size;
+      latch = Mutex.create ();
       next_lsn = 1;
       last_page = -2;
+      streams = [];
+      regions = 0;
       obs = None;
       faults = None;
     }
@@ -148,8 +174,11 @@ let on_file ?(model = Io_model.dcas_34330w) ?obs ~page_size path =
       stats = Io_stats.create ();
       backend = File { fd; used; path };
       scratch = Bytes.create page_size;
+      latch = Mutex.create ();
       next_lsn = 1;
       last_page = -2;
+      streams = [];
+      regions = 0;
       obs = None;
       faults = None;
     }
@@ -170,18 +199,37 @@ let page_count t =
   | Mem m -> m.used
   | File f -> f.used
 
+(* Outside a parallel region the default stream is used unconditionally,
+   so jobs=1 accounting is bit-identical to the pre-parallel code.  Inside
+   one, a registered worker domain charges its own stream. *)
+let active_stream t =
+  if t.regions = 0 then None
+  else List.assoc_opt (Domain.self () :> int) t.streams
+
+let active_stats t =
+  match active_stream t with Some s -> s.s_stats | None -> t.stats
+
 let charge t ~page ~is_read =
-  let sequential = page = t.last_page + 1 || page = t.last_page in
-  t.last_page <- page;
-  t.stats.sim_ms <-
-    t.stats.sim_ms +. Io_model.cost t.model ~page_size:t.page_size ~sequential;
+  let stats, sequential =
+    match active_stream t with
+    | None ->
+      let sequential = page = t.last_page + 1 || page = t.last_page in
+      t.last_page <- page;
+      (t.stats, sequential)
+    | Some s ->
+      let sequential = page = s.s_last_page + 1 || page = s.s_last_page in
+      s.s_last_page <- page;
+      (s.s_stats, sequential)
+  in
+  stats.Io_stats.sim_ms <-
+    stats.Io_stats.sim_ms +. Io_model.cost t.model ~page_size:t.page_size ~sequential;
   if is_read then begin
-    t.stats.reads <- t.stats.reads + 1;
-    if sequential then t.stats.sequential_reads <- t.stats.sequential_reads + 1
+    stats.reads <- stats.reads + 1;
+    if sequential then stats.sequential_reads <- stats.sequential_reads + 1
   end
   else begin
-    t.stats.writes <- t.stats.writes + 1;
-    if sequential then t.stats.sequential_writes <- t.stats.sequential_writes + 1
+    stats.writes <- stats.writes + 1;
+    if sequential then stats.sequential_writes <- stats.sequential_writes + 1
   end;
   match t.obs with
   | None -> ()
@@ -231,7 +279,7 @@ let write_physical t fd ~page image =
       ignore (Unix.write fd image 0 keep);
       raise Faulty_disk.Crash)
 
-let allocate t =
+let allocate_u t =
   match t.backend with
   | Mem m ->
     if m.used = Array.length m.pages then begin
@@ -250,6 +298,8 @@ let allocate t =
     f.used <- f.used + 1;
     write_superblock f.fd ~page_size:t.page_size ~used:f.used;
     page
+
+let allocate t = with_latch t (fun () -> allocate_u t)
 
 let check_bounds t page =
   if page < 0 || page >= page_count t then
@@ -272,7 +322,7 @@ let checksum_failed t page reason =
   | Some obs -> Natix_obs.Obs.emit obs (Natix_obs.Event.Checksum_fail { page }));
   bad ~page "%s" reason
 
-let read t page buf =
+let read_u t page buf =
   check_bounds t page;
   assert (Bytes.length buf = t.payload_size);
   (match t.faults with None -> () | Some plan -> Faulty_disk.on_read plan ~page);
@@ -286,7 +336,9 @@ let read t page buf =
     | Error reason -> checksum_failed t page reason);
     Bytes.blit t.scratch 0 buf 0 t.payload_size
 
-let write t page buf =
+let read t page buf = with_latch t (fun () -> read_u t page buf)
+
+let write_u t page buf =
   check_bounds t page;
   assert (Bytes.length buf = t.payload_size);
   charge t ~page ~is_read:false;
@@ -307,78 +359,121 @@ let write t page buf =
     seal_trailer t ~page t.scratch;
     write_physical t f.fd ~page t.scratch
 
+let write t page buf = with_latch t (fun () -> write_u t page buf)
+
 (* Pages are read in ascending order, so [charge] prices the run as one
    seek plus sequential transfers — the same total as
    [Io_model.run_cost ~pages].  A failing page ends the run early instead
    of raising: read-ahead is speculative and must never fail the demand
-   read that triggered it. *)
+   read that triggered it.  One latch hold covers the whole run, keeping
+   the batch physically contiguous from the charged stream's viewpoint. *)
 let read_run t ~first ?(speculative = true) bufs =
-  let completed = ref 0 in
-  (try
-     List.iteri
-       (fun i buf ->
-         let page = first + i in
-         read t page buf;
-         if speculative then
-           t.stats.read_ahead_pages <- t.stats.read_ahead_pages + 1;
-         incr completed)
-       bufs
-   with Bad_page _ | Faulty_disk.Read_error _ -> ());
-  !completed
+  with_latch t (fun () ->
+      let completed = ref 0 in
+      (try
+         List.iteri
+           (fun i buf ->
+             let page = first + i in
+             read_u t page buf;
+             if speculative then begin
+               let stats = active_stats t in
+               stats.Io_stats.read_ahead_pages <- stats.Io_stats.read_ahead_pages + 1
+             end;
+             incr completed)
+           bufs
+       with Bad_page _ | Faulty_disk.Read_error _ -> ());
+      !completed)
 
 (* Raw (trailer-included) page access for the WAL and recovery.  No fault
    injection and no checksum verification: recovery must be able to read
    torn pages and put back exact pre-images, trailers and all. *)
 
 let read_raw t page buf =
-  check_bounds t page;
-  assert (Bytes.length buf = t.page_size);
-  charge t ~page ~is_read:true;
-  match t.backend with
-  | Mem m ->
-    Bytes.fill buf 0 t.page_size '\000';
-    Bytes.blit m.pages.(page) 0 buf 0 t.payload_size
-  | File f -> read_physical t f.fd ~page buf
+  with_latch t (fun () ->
+      check_bounds t page;
+      assert (Bytes.length buf = t.page_size);
+      charge t ~page ~is_read:true;
+      match t.backend with
+      | Mem m ->
+        Bytes.fill buf 0 t.page_size '\000';
+        Bytes.blit m.pages.(page) 0 buf 0 t.payload_size
+      | File f -> read_physical t f.fd ~page buf)
 
 let write_raw t page buf =
-  check_bounds t page;
-  assert (Bytes.length buf = t.page_size);
-  charge t ~page ~is_read:false;
-  match t.backend with
-  | Mem m -> Bytes.blit buf 0 m.pages.(page) 0 t.payload_size
-  | File f ->
-    ignore (Unix.lseek f.fd ((page + 1) * t.page_size) Unix.SEEK_SET);
-    let n = Unix.write f.fd buf 0 t.page_size in
-    if n <> t.page_size then bad ~page "short write (%d of %d bytes)" n t.page_size
+  with_latch t (fun () ->
+      check_bounds t page;
+      assert (Bytes.length buf = t.page_size);
+      charge t ~page ~is_read:false;
+      match t.backend with
+      | Mem m -> Bytes.blit buf 0 m.pages.(page) 0 t.payload_size
+      | File f ->
+        ignore (Unix.lseek f.fd ((page + 1) * t.page_size) Unix.SEEK_SET);
+        let n = Unix.write f.fd buf 0 t.page_size in
+        if n <> t.page_size then bad ~page "short write (%d of %d bytes)" n t.page_size)
 
 let verify t page =
-  if page < 0 || page >= page_count t then Error "page out of bounds"
-  else
-    match t.backend with
-    | Mem _ -> Ok ()
-    | File f -> (
-      charge t ~page ~is_read:true;
-      match read_physical t f.fd ~page t.scratch with
-      | () -> check_trailer t ~page t.scratch
-      | exception Bad_page { reason; _ } -> Error reason)
+  with_latch t (fun () ->
+      if page < 0 || page >= page_count t then Error "page out of bounds"
+      else
+        match t.backend with
+        | Mem _ -> Ok ()
+        | File f -> (
+          charge t ~page ~is_read:true;
+          match read_physical t f.fd ~page t.scratch with
+          | () -> check_trailer t ~page t.scratch
+          | exception Bad_page { reason; _ } -> Error reason))
 
 let set_page_count t n =
-  if n < 0 || n > page_count t then
-    invalid_arg (Printf.sprintf "Disk.set_page_count: %d not in [0, %d]" n (page_count t));
-  match t.backend with
-  | Mem m ->
-    for p = n to m.used - 1 do
-      m.pages.(p) <- Bytes.empty
-    done;
-    m.used <- n
-  | File f ->
-    f.used <- n;
-    Unix.ftruncate f.fd ((n + 1) * t.page_size);
-    write_superblock f.fd ~page_size:t.page_size ~used:n
+  with_latch t (fun () ->
+      if n < 0 || n > page_count t then
+        invalid_arg (Printf.sprintf "Disk.set_page_count: %d not in [0, %d]" n (page_count t));
+      match t.backend with
+      | Mem m ->
+        for p = n to m.used - 1 do
+          m.pages.(p) <- Bytes.empty
+        done;
+        m.used <- n
+      | File f ->
+        f.used <- n;
+        Unix.ftruncate f.fd ((n + 1) * t.page_size);
+        write_superblock f.fd ~page_size:t.page_size ~used:n)
 
 let stats t = t.stats
 let model t = t.model
 let size_bytes t = page_count t * t.page_size
+
+(* ------------------------------------------------------------------ *)
+(* Parallel regions and per-domain stat streams                        *)
+
+let enter_parallel_region t = with_latch t (fun () -> t.regions <- t.regions + 1)
+
+let exit_parallel_region t =
+  with_latch t (fun () ->
+      if t.regions <= 0 then invalid_arg "Disk.exit_parallel_region: no active region";
+      t.regions <- t.regions - 1)
+
+let in_parallel_region t = t.regions > 0
+
+let with_stream t f =
+  let id = (Domain.self () :> int) in
+  let s = { s_stats = Io_stats.create (); s_last_page = -2 } in
+  with_latch t (fun () -> t.streams <- (id, s) :: t.streams);
+  let remove () =
+    with_latch t (fun () ->
+        let rec drop = function
+          | [] -> []
+          | (i, x) :: rest when i = id && x == s -> rest
+          | entry :: rest -> entry :: drop rest
+        in
+        t.streams <- drop t.streams)
+  in
+  match f () with
+  | v ->
+    remove ();
+    (v, s.s_stats)
+  | exception e ->
+    remove ();
+    raise e
 
 let close t =
   match t.backend with

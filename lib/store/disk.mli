@@ -120,7 +120,39 @@ val verify : t -> int -> (unit, string) result
     @raise Invalid_argument when [n] exceeds the current page count. *)
 val set_page_count : t -> int -> unit
 
+(** The disk's {e default} I/O accumulator.  Outside a parallel region
+    every access is charged here; inside one, worker domains that
+    registered a stream with {!with_stream} charge their own accumulator
+    instead, and the executor merges those back into this record (in
+    worker-index order) when the region ends. *)
 val stats : t -> Io_stats.t
+
+(** {2 Parallel regions}
+
+    The disk is internally serialised by a single latch (shared file
+    descriptor, scratch buffer and LSN counter), so concurrent domains are
+    safe; these entry points additionally give each worker its own
+    {!Io_stats} accumulator with independent sequential-access detection.
+    The refcount is what {!Buffer_pool.reset_stats} and
+    [Tree_store.reset_io_stats] consult to reject counter resets that
+    would race with active workers. *)
+
+(** Mark the start of a parallel region (refcounted; nestable). *)
+val enter_parallel_region : t -> unit
+
+(** Mark the end of a parallel region.
+    @raise Invalid_argument when no region is active. *)
+val exit_parallel_region : t -> unit
+
+val in_parallel_region : t -> bool
+
+(** [with_stream t f] registers a private accumulator for the {e calling
+    domain}, runs [f] (all charges from this domain inside an active
+    parallel region land in the private stream), unregisters it, and
+    returns [f]'s result together with the accumulated stats.  Streams
+    only take effect inside a region — outside one, charges always hit the
+    default {!stats}, keeping single-domain behaviour bit-identical. *)
+val with_stream : t -> (unit -> 'a) -> 'a * Io_stats.t
 
 (** The cost model page accesses are charged to (used by the query planner
     to price candidate access paths in the same currency). *)

@@ -45,6 +45,14 @@ let diff later earlier =
     sim_ms = later.sim_ms -. earlier.sim_ms;
   }
 
+let add t d =
+  t.reads <- t.reads + d.reads;
+  t.writes <- t.writes + d.writes;
+  t.sequential_reads <- t.sequential_reads + d.sequential_reads;
+  t.sequential_writes <- t.sequential_writes + d.sequential_writes;
+  t.read_ahead_pages <- t.read_ahead_pages + d.read_ahead_pages;
+  t.sim_ms <- t.sim_ms +. d.sim_ms
+
 let total_ios t = t.reads + t.writes
 
 (* The sequential counts are subsets of the totals; say so explicitly --

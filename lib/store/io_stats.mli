@@ -21,6 +21,12 @@ val copy : t -> t
     activity of one measured operation. *)
 val diff : t -> t -> t
 
+(** [add t d] accumulates [d] into [t] field-wise.  Merging per-domain
+    accumulators after a parallel region happens in worker-index order, so
+    the float [sim_ms] sum is deterministic for a deterministic set of
+    per-worker figures. *)
+val add : t -> t -> unit
+
 val total_ios : t -> int
 
 (** Human-readable one-liner; the sequential figures are subsets of the

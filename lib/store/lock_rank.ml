@@ -1,0 +1,76 @@
+(* Debug lock-rank assertion.  Ranks, ascending acquisition order:
+   stripe (1) < frame latch (2) < pool (3) < disk (4).  Try-locks are
+   exempt (they cannot contribute to a deadlock cycle) and are recorded
+   with [note_try] so their releases still balance. *)
+
+exception Violation of string
+
+let unordered = 0
+let stripe = 1
+let frame = 2
+let pool = 3
+let disk = 4
+
+let name_of = function
+  | 0 -> "unordered"
+  | 1 -> "stripe"
+  | 2 -> "frame"
+  | 3 -> "pool"
+  | 4 -> "disk"
+  | r -> Printf.sprintf "rank%d" r
+
+let enabled = Atomic.make (Sys.getenv_opt "NATIX_LOCK_RANK" <> None)
+let violation_count = Atomic.make 0
+let raise_on_violation = Atomic.make true
+
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let violations () = Atomic.get violation_count
+
+(* Per-domain stack of held ranks.  A blocking acquisition is pushed
+   before the underlying [Mutex.lock], so the check reflects intent even
+   while the domain is parked waiting for the lock. *)
+let held : int list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let acquire rank =
+  if Atomic.get enabled then begin
+    let stack = Domain.DLS.get held in
+    (* Strictly-lower rank while holding a higher one is the violation;
+       equal ranks are permitted because the only same-rank multi-holds
+       (all stripes in index order during flush/clear) follow a documented
+       total order of their own.  Rank-[unordered] holds (latches of
+       freshly created frames: every waiter on one holds nothing, so no
+       wait cycle can pass through them) neither constrain later
+       acquisitions nor get checked themselves. *)
+    (match List.find_opt (fun r -> r > 0) !stack with
+    | Some top when rank > 0 && rank < top ->
+      Atomic.incr violation_count;
+      if Atomic.get raise_on_violation then
+        raise
+          (Violation
+             (Printf.sprintf "lock-rank violation: acquiring %s while holding %s" (name_of rank)
+                (name_of top)))
+    | _ -> ());
+    stack := rank :: !stack
+  end
+
+(* Successful try-lock: no ordering check — [Mutex.try_lock] never blocks,
+   so it cannot close a wait cycle — but the hold is still tracked so that
+   locks taken later (e.g. the disk latch during an eviction write-back)
+   compare against the true top of the stack. *)
+let note_try rank =
+  if Atomic.get enabled then begin
+    let stack = Domain.DLS.get held in
+    stack := rank :: !stack
+  end
+
+let release rank =
+  if Atomic.get enabled then begin
+    let stack = Domain.DLS.get held in
+    let rec drop = function
+      | [] -> []
+      | r :: rest when r = rank -> rest
+      | r :: rest -> r :: drop rest
+    in
+    stack := drop !stack
+  end

@@ -1,0 +1,60 @@
+(** Optional debug assertion for the storage-layer lock order.
+
+    The documented order, by ascending rank — a domain may only block on a
+    lock of strictly higher rank than any it already holds:
+
+    {v stripe (1)  <  frame latch (2)  <  pool (3)  <  disk (4) v}
+
+    Three sanctioned exceptions, all deadlock-free by construction:
+    - {b try-locks} (eviction taking a victim's stripe or latch) never
+      block, so they cannot close a wait cycle; they are recorded with
+      {!note_try} and skip the ordering check.
+    - {b equal ranks} are allowed when they follow a total order of their
+      own: [flush]/[clear] take all stripes in index order.
+    - {b rank-{!unordered} holds} — the latches of frames read-ahead just
+      created and is still filling.  The only threads that ever wait on a
+      frame latch do so holding no other lock (the fix hit path releases
+      stripe and pool first), so no wait cycle can pass {e through} such a
+      latch; holding one therefore constrains nothing, and the prefetcher
+      may take further stripe/pool/disk locks while keeping a batch of
+      them latched.
+
+    Disabled by default (every check is a single [Atomic.get]); enable for
+    tests with {!enable} or the [NATIX_LOCK_RANK] environment variable.
+    When enabled, a violation raises {!Violation} and increments
+    {!violations} — the stress harness asserts the counter stays zero. *)
+
+exception Violation of string
+
+(** The ranks, for use at acquisition sites. *)
+
+val stripe : int
+
+val frame : int
+val pool : int
+val disk : int
+
+(** Exempt rank for locks provably outside any wait cycle (see above):
+    tracked for release balance, never checked, and transparent to later
+    acquisitions. *)
+val unordered : int
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+(** Number of violations detected since program start (cumulative across
+    enable/disable cycles). *)
+val violations : unit -> int
+
+(** [acquire rank] records intent to block on a lock of [rank]; call
+    immediately before the [Mutex.lock].  Raises {!Violation} if [rank] is
+    strictly lower than a rank already held by this domain. *)
+val acquire : int -> unit
+
+(** [note_try rank] records a {e successful} [Mutex.try_lock] of [rank]
+    without an ordering check. *)
+val note_try : int -> unit
+
+(** [release rank] drops the most recent hold of [rank] for this domain;
+    call after the [Mutex.unlock]. *)
+val release : int -> unit

@@ -183,9 +183,104 @@ let sweep () =
               verify_recovered ?obs path k snapshots outcome)
             (crash_points total_writes)))
 
+(* Parallel bulk load killed mid-flight.  [Par.load_files] commits each
+   document through its own WAL batch (store_committed) under the
+   loader's commit lock, so whatever the domain schedule was, recovery
+   must come back document-atomic: every surviving document exports
+   byte-identical to a clean sequential load of the same file, and a
+   document whose commit had not completed is fully absent — never a
+   partial tree. *)
+let parallel_load_crash () =
+  let path = Filename.temp_file "natix_crash" ".db" in
+  Fun.protect
+    ~finally:(fun () -> fresh path)
+    (fun () ->
+      let params =
+        {
+          Shakespeare.plays = 6;
+          seed = 0xFA11L;
+          acts_per_play = 2;
+          scenes_per_act = (1, 2);
+          speeches_per_scene = (2, 4);
+          lines_per_speech = (1, 3);
+          words_per_line = (3, 6);
+          personae = (2, 3);
+          stagedir_every = 3;
+        }
+      in
+      let rng = Natix_util.Prng.create ~seed:params.Shakespeare.seed in
+      let files =
+        List.init params.Shakespeare.plays (fun i ->
+            ( Printf.sprintf "play-%d" i,
+              Natix_xml.Xml_print.to_string ~decl:true (Shakespeare.generate_play params rng i)
+            ))
+      in
+      let load_all ~jobs dm =
+        Natix_par.Par.load_files ~jobs (dm : Document_manager.t) files
+      in
+      (* Reference exports from a clean in-memory load. *)
+      let reference =
+        let store = Tree_store.in_memory ~config:(config ()) () in
+        let dm = Document_manager.create ~index:Document_manager.Off store in
+        List.iter
+          (function
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "reference load failed: %s" (Error.to_string e))
+          (load_all ~jobs:1 dm).Natix_par.Par.results;
+        state_of store
+      in
+      (* One unarmed parallel run to size the write sequence. *)
+      let total =
+        fresh path;
+        let plan = Faulty_disk.create ~seed:3L () in
+        let disk = Disk.on_file ~page_size path in
+        Disk.set_faults disk (Some plan);
+        let store = Tree_store.open_store ~config:(config ()) disk in
+        let dm = Document_manager.create ~index:Document_manager.Off store in
+        ignore (load_all ~jobs:3 dm);
+        Tree_store.close ~commit:false store;
+        Faulty_disk.writes_seen plan
+      in
+      Alcotest.(check bool) "parallel load writes pages" true (total > 0);
+      List.iter
+        (fun k ->
+          fresh path;
+          let plan = Faulty_disk.create ~seed:(Int64.of_int (7000 + k)) () in
+          Faulty_disk.arm_crash plan k;
+          let disk = Disk.on_file ~page_size path in
+          Disk.set_faults disk (Some plan);
+          let store = Tree_store.open_store ~config:(config ()) disk in
+          let dm = Document_manager.create ~index:Document_manager.Off store in
+          (match load_all ~jobs:3 dm with
+          | _ -> Alcotest.failf "crash point %d: parallel load survived" k
+          | exception Faulty_disk.Crash -> Tree_store.close ~commit:false store);
+          (* Reopen without faults: recovery runs inside open_store. *)
+          let disk2 = Disk.on_file ~page_size path in
+          let store2 = Tree_store.open_store ~config:(config ()) disk2 in
+          let report = Fsck.run store2 in
+          if not (Fsck.ok report) then
+            Alcotest.failf "crash point %d: post-recovery fsck: %a" k Fsck.pp report;
+          let recovered = state_of store2 in
+          Alcotest.(check bool)
+            (Printf.sprintf "crash point %d: mid-load crash loses at least one document" k)
+            true
+            (List.length recovered < List.length files);
+          List.iter
+            (fun (name, exported) ->
+              match List.assoc_opt name reference with
+              | Some expected when String.equal expected exported -> ()
+              | Some _ ->
+                Alcotest.failf "crash point %d: %S recovered but differs from reference" k name
+              | None -> Alcotest.failf "crash point %d: unexpected document %S" k name)
+            recovered;
+          Tree_store.close ~commit:false store2)
+        (List.sort_uniq compare [ total / 4; total / 2; 3 * total / 4 ]))
+
 let harness_tests =
   [
     Alcotest.test_case "recovery reaches the last checkpoint at every crash point" `Slow sweep;
+    Alcotest.test_case "parallel bulk load recovers document-atomically" `Slow
+      parallel_load_crash;
     Alcotest.test_case "raw page sweep finds a flipped byte" `Quick (fun () ->
         let path = Filename.temp_file "natix_crash" ".db" in
         Fun.protect

@@ -1,0 +1,315 @@
+(* Randomized differential harness for the parallel executor.
+
+   The executor's contract is that parallelism is unobservable: for any
+   document set and query batch, running at jobs ∈ {1, 2, 4} over one
+   shared store yields byte-identical rendered results (including
+   per-task typed errors), identical reads/writes/total_ios deltas (the
+   schedule-independent counters — every distinct page is read exactly
+   once into the shared pool, concurrent misses coalesce on the frame
+   latch), and a store that still passes fsck.  A seeded PRNG generates
+   the corpora and batches so the sweep covers many shapes
+   reproducibly; NATIX_PAR_SEEDS overrides the seed count (default 20).
+
+   The stress case runs the scan executor at 4 domains over a deliberately
+   small scan-resistant pool with the lock-rank checker on: no
+   All_frames_pinned, no rank violations, all pins released, and the
+   miss/read-ahead accounting consistent afterwards. *)
+
+open Natix_core
+open Natix_workload
+module Par = Natix_par.Par
+module Io_stats = Natix_store.Io_stats
+module Buffer_pool = Natix_store.Buffer_pool
+module Disk = Natix_store.Disk
+module Lock_rank = Natix_store.Lock_rank
+
+let seeds =
+  match Sys.getenv_opt "NATIX_PAR_SEEDS" with Some s -> int_of_string s | None -> 20
+
+(* Small pages and a small buffer so even tiny corpora do real I/O and
+   eviction under contention. *)
+let config () =
+  { (Config.default ()) with Config.page_size = 1024; buffer_bytes = 16 * 1024 }
+
+let gen_params ~plays ~seed =
+  {
+    Shakespeare.plays;
+    seed;
+    acts_per_play = 2;
+    scenes_per_act = (1, 2);
+    speeches_per_scene = (2, 4);
+    lines_per_speech = (1, 3);
+    words_per_line = (3, 6);
+    personae = (2, 3);
+    stagedir_every = 3;
+  }
+
+let gen_corpus rng ~plays ~seed =
+  let params = gen_params ~plays ~seed in
+  List.init plays (fun i ->
+      (Printf.sprintf "play-%d" i, Shakespeare.generate_play params rng i))
+
+let path_pool =
+  [|
+    "//SPEAKER";
+    "//LINE";
+    "/ACT[1]/SCENE[1]/SPEECH[1]";
+    "//ACT[2]//SPEAKER";
+    "//PERSONA";
+    "//STAGEDIR";
+    "//SPEECH[2]/LINE[1]";
+    "/ACT/SCENE/SPEECH[1]";
+    "//";
+    (* stays a syntax error: error values must be deterministic too *)
+  |]
+
+let gen_tasks rng docs =
+  let n = 4 + Natix_util.Prng.int rng 8 in
+  List.init n (fun _ ->
+      let doc =
+        (* occasionally an unknown document: Error (Storage _) results
+           must survive the differential comparison like any hit list *)
+        if Natix_util.Prng.int rng 8 = 0 then "nosuch"
+        else List.nth docs (Natix_util.Prng.int rng (List.length docs))
+      in
+      (doc, path_pool.(Natix_util.Prng.int rng (Array.length path_pool))))
+
+(* Cold-cache batch run: identical starting state for every job count. *)
+let run_batch store ~jobs tasks =
+  Tree_store.clear_buffers store;
+  let io = Tree_store.io_stats store in
+  let before = Io_stats.copy io in
+  let outcome = Par.run_queries ~jobs store tasks in
+  (outcome, Io_stats.diff (Io_stats.copy io) before)
+
+let check_io_equal ~what (a : Io_stats.t) (b : Io_stats.t) =
+  Alcotest.(check int) (what ^ ": reads") a.Io_stats.reads b.Io_stats.reads;
+  Alcotest.(check int) (what ^ ": writes") a.Io_stats.writes b.Io_stats.writes;
+  Alcotest.(check int) (what ^ ": total_ios") (Io_stats.total_ios a) (Io_stats.total_ios b)
+
+let differential () =
+  let busiest = ref 0 in
+  for seed = 1 to seeds do
+    let rng = Natix_util.Prng.create ~seed:(Int64.of_int (0xBEEF + seed)) in
+    let plays = 2 + Natix_util.Prng.int rng 3 in
+    let corpus = gen_corpus rng ~plays ~seed:(Int64.of_int seed) in
+    let store = Tree_store.in_memory ~config:(config ()) () in
+    List.iter (fun (name, play) -> ignore (Loader.load store ~name play)) corpus;
+    Tree_store.sync store;
+    let tasks = gen_tasks rng (List.map fst corpus) in
+    let ref_outcome, ref_io = run_batch store ~jobs:1 tasks in
+    List.iter
+      (fun jobs ->
+        let outcome, io = run_batch store ~jobs tasks in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d jobs %d: results byte-identical" seed jobs)
+          true
+          (outcome.Par.results = ref_outcome.Par.results);
+        check_io_equal ~what:(Printf.sprintf "seed %d jobs %d" seed jobs) ref_io io;
+        if jobs = 4 then
+          busiest :=
+            max !busiest
+              (List.length
+                 (List.filter (fun ws -> ws.Par.io.Io_stats.reads > 0) outcome.Par.workers)))
+      [ 2; 4 ];
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: fsck clean after parallel runs" seed)
+      true
+      (Fsck.ok (Fsck.run store))
+  done;
+  (* The point of the exercise: page reads actually served from several
+     domains, not one worker dragging the whole batch.  The per-seed
+     batches are small enough that one worker can drain them before its
+     siblings finish spawning, so when none of them spread, decide on a
+     batch heavy enough that they must. *)
+  if !busiest < 2 then begin
+    let params =
+      {
+        (gen_params ~plays:6 ~seed:99L) with
+        Shakespeare.acts_per_play = 3;
+        speeches_per_scene = (4, 6);
+        lines_per_speech = (2, 4);
+      }
+    in
+    let rng = Natix_util.Prng.create ~seed:0xAC71AL in
+    let corpus =
+      List.init params.Shakespeare.plays (fun i ->
+          (Printf.sprintf "play-%d" i, Shakespeare.generate_play params rng i))
+    in
+    let store = Tree_store.in_memory ~config:(config ()) () in
+    List.iter (fun (name, play) -> ignore (Loader.load store ~name play)) corpus;
+    Tree_store.sync store;
+    let tasks =
+      List.concat_map
+        (fun (name, _) ->
+          List.map (fun p -> (name, p)) [ "//LINE"; "//SPEAKER"; "//SPEECH[2]/LINE[1]" ])
+        corpus
+    in
+    let tasks = tasks @ tasks @ tasks in
+    let outcome, _ = run_batch store ~jobs:4 tasks in
+    busiest :=
+      List.length (List.filter (fun ws -> ws.Par.io.Io_stats.reads > 0) outcome.Par.workers)
+  end;
+  Alcotest.(check bool) "jobs=4: >= 2 domains accumulated reads" true (!busiest >= 2)
+
+let load_differential () =
+  let rng = Natix_util.Prng.create ~seed:0x10ADL in
+  let corpus = gen_corpus rng ~plays:5 ~seed:7L in
+  let files =
+    List.map (fun (name, play) -> (name, Natix_xml.Xml_print.to_string ~decl:true play)) corpus
+  in
+  let state_of store =
+    Tree_store.list_documents store
+    |> List.sort compare
+    |> List.map (fun name ->
+           (name, Natix_xml.Xml_print.to_string (Option.get (Exporter.document_to_xml store name))))
+  in
+  let build jobs =
+    let store = Tree_store.in_memory ~config:(config ()) () in
+    let dm = Document_manager.create ~index:Document_manager.Off store in
+    let outcome = Par.load_files ~jobs dm files in
+    List.iter
+      (function
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "load at jobs=%d failed: %s" jobs (Error.to_string e))
+      outcome.Par.results;
+    Alcotest.(check bool)
+      (Printf.sprintf "jobs=%d: fsck clean after bulk load" jobs)
+      true
+      (Fsck.ok (Fsck.run store));
+    state_of store
+  in
+  let reference = build 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d: loaded store byte-identical to sequential" jobs)
+        true
+        (build jobs = reference))
+    [ 2; 4 ];
+  (* A parse failure surfaces as a per-task error without poisoning the
+     rest of the batch, at any job count. *)
+  let with_bad = ("broken", "<oops") :: files in
+  List.iter
+    (fun jobs ->
+      let store = Tree_store.in_memory ~config:(config ()) () in
+      let dm = Document_manager.create ~index:Document_manager.Off store in
+      let outcome = Par.load_files ~jobs dm with_bad in
+      (match outcome.Par.results with
+      | Error (Error.Parse _) :: rest ->
+        List.iter
+          (function
+            | Ok () -> () | Error e -> Alcotest.failf "good file failed: %s" (Error.to_string e))
+          rest
+      | _ -> Alcotest.fail "parse failure not reported as Error (Parse _) in task order");
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d: bad file loads rest" jobs)
+        true
+        (state_of store = reference))
+    [ 1; 4 ]
+
+(* Concurrent readers during a scan, over a pool small enough to evict
+   constantly, with read-ahead and segmented LRU on and the lock-rank
+   checker armed. *)
+let scan_stress () =
+  let config =
+    {
+      (Config.default ()) with
+      Config.page_size = 1024;
+      buffer_bytes = 16 * 1024;
+      read_ahead = 8;
+      scan_resistant = true;
+    }
+  in
+  let store = Tree_store.in_memory ~config () in
+  let rng = Natix_util.Prng.create ~seed:0x5CA4L in
+  let corpus = gen_corpus rng ~plays:6 ~seed:21L in
+  List.iter (fun (name, play) -> ignore (Loader.load store ~name play)) corpus;
+  Tree_store.sync store;
+  let pool = Tree_store.buffer_pool store in
+  let reference = Par.scan_all ~jobs:1 store in
+  Tree_store.clear_buffers store;
+  let fixes0 = Buffer_pool.fixes pool and misses0 = Buffer_pool.misses pool in
+  let io = Tree_store.io_stats store in
+  let before = Io_stats.copy io in
+  Lock_rank.enable ();
+  let violations0 = Lock_rank.violations () in
+  let outcome =
+    match Par.scan_all ~jobs:4 store with
+    | outcome -> outcome
+    | exception Buffer_pool.All_frames_pinned ->
+      Lock_rank.disable ();
+      Alcotest.fail "scan stress: All_frames_pinned"
+  in
+  Lock_rank.disable ();
+  let delta = Io_stats.diff (Io_stats.copy io) before in
+  Alcotest.(check int) "no lock-rank violations" violations0 (Lock_rank.violations ());
+  Alcotest.(check bool)
+    "scan results identical to jobs=1" true (outcome.Par.results = reference.Par.results);
+  Alcotest.(check bool)
+    "scans counted nodes" true
+    (List.for_all (fun (_, n) -> n > 0) outcome.Par.results);
+  (* Frame accounting after the dust settles: every pin released, the
+     pool within capacity, and the counters consistent — each miss read
+     one page, everything else read came in through read-ahead. *)
+  Alcotest.(check int) "all pins released" 0 (Buffer_pool.pinned_frames pool);
+  Alcotest.(check bool)
+    "resident within capacity" true
+    (Buffer_pool.resident pool <= Buffer_pool.capacity pool);
+  let misses = Buffer_pool.misses pool - misses0 in
+  Alcotest.(check int)
+    "reads = misses + read-ahead pages" delta.Io_stats.reads
+    (misses + delta.Io_stats.read_ahead_pages);
+  Alcotest.(check bool)
+    "fixes cover misses" true (Buffer_pool.fixes pool - fixes0 >= misses);
+  Alcotest.(check bool) "fsck clean after stress" true (Fsck.ok (Fsck.run store))
+
+let reset_rejected () =
+  let store = Tree_store.in_memory ~config:(config ()) () in
+  let pool = Tree_store.buffer_pool store in
+  let disk = Buffer_pool.disk pool in
+  Disk.enter_parallel_region disk;
+  (match Tree_store.reset_io_stats store with
+  | () -> Alcotest.fail "reset_io_stats accepted during an active parallel region"
+  | exception Error.Error (Error.Storage _) -> ()
+  | exception e ->
+    Alcotest.failf "expected Error (Storage _), got %s" (Printexc.to_string e));
+  (match Buffer_pool.reset_stats pool with
+  | () -> Alcotest.fail "Buffer_pool.reset_stats accepted during an active parallel region"
+  | exception Invalid_argument _ -> ());
+  Disk.exit_parallel_region disk;
+  (* With the region gone both resets work again. *)
+  Tree_store.reset_io_stats store;
+  Alcotest.(check int) "stats reset" 0 (Tree_store.io_stats store).Io_stats.reads
+
+let deque_semantics () =
+  let d = Natix_par.Deque.create ~capacity:3 in
+  Alcotest.(check bool) "push 1" true (Natix_par.Deque.push d 1);
+  Alcotest.(check bool) "push 2" true (Natix_par.Deque.push d 2);
+  Alcotest.(check bool) "push 3" true (Natix_par.Deque.push d 3);
+  Alcotest.(check bool) "bounded: 4th push refused" false (Natix_par.Deque.push d 4);
+  Alcotest.(check (option int)) "thief takes the oldest" (Some 1) (Natix_par.Deque.steal d);
+  Alcotest.(check (option int)) "owner takes the newest" (Some 3) (Natix_par.Deque.pop d);
+  Alcotest.(check bool) "slot freed" true (Natix_par.Deque.push d 5);
+  Alcotest.(check (option int)) "fifo continues" (Some 2) (Natix_par.Deque.steal d);
+  Alcotest.(check (option int)) "lifo continues" (Some 5) (Natix_par.Deque.pop d);
+  Alcotest.(check (option int)) "empty pop" None (Natix_par.Deque.pop d);
+  Alcotest.(check (option int)) "empty steal" None (Natix_par.Deque.steal d);
+  Alcotest.(check int) "length" 0 (Natix_par.Deque.length d)
+
+let suites =
+  [
+    ( "par.differential",
+      [
+        Alcotest.test_case
+          (Printf.sprintf "queries identical at jobs 1/2/4 across %d seeds" seeds)
+          `Slow differential;
+        Alcotest.test_case "parallel bulk load matches sequential" `Quick load_differential;
+      ] );
+    ( "par.runtime",
+      [
+        Alcotest.test_case "scan stress: small scan-resistant pool, 4 domains" `Quick scan_stress;
+        Alcotest.test_case "reset_stats rejected inside a parallel region" `Quick reset_rejected;
+        Alcotest.test_case "deque: owner LIFO, thief FIFO, bounded" `Quick deque_semantics;
+      ] );
+  ]
