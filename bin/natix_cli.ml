@@ -109,14 +109,31 @@ let load_cmd =
 
 let bulkload_cmd =
   let run store_path xml_paths page_size jobs =
+    (* Document names derive from basenames, so dir1/a.xml and dir2/a.xml
+       would silently collide on "a"; refuse upfront with the offending
+       paths instead of surfacing a confusing per-document store error. *)
+    let named = List.map (fun p -> (Filename.remove_extension (Filename.basename p), p)) xml_paths in
+    let collisions =
+      List.filter_map
+        (fun name ->
+          match List.filter_map (fun (n, p) -> if n = name then Some p else None) named with
+          | _ :: _ :: _ as paths -> Some (name, paths)
+          | _ -> None)
+        (List.sort_uniq String.compare (List.map fst named))
+    in
+    if collisions <> [] then begin
+      List.iter
+        (fun (name, paths) ->
+          Printf.eprintf "natix: document name %S derived from several inputs: %s\n" name
+            (String.concat ", " paths))
+        collisions;
+      fail_error
+        (Error.Storage "bulkload: duplicate document names; rename the files or load separately")
+    end;
     let sess =
       open_session ~create_page_size:page_size ~index:Document_manager.Maintain store_path
     in
-    let files =
-      List.map
-        (fun p -> (Filename.remove_extension (Filename.basename p), read_file p))
-        xml_paths
-    in
+    let files = List.map (fun (name, p) -> (name, read_file p)) named in
     let outcome = Natix.Session.load_files ~jobs sess files in
     let failed = ref None in
     List.iter2

@@ -60,7 +60,13 @@ type t = {
   cold : lru;
   scan_resistant : bool;
   read_ahead : int;
-  mutable scan_mode : bool;
+  (* Scan mode is on while [scan_forced] (the {!set_scan_mode} switch) or
+     while any [with_scan] region is active.  The regions are a refcount,
+     not a saved/restored flag: concurrent scanning domains each
+     increment on entry and decrement on exit, so one worker leaving its
+     region cannot clobber another worker still mid-scan. *)
+  mutable scan_forced : bool;
+  mutable scan_depth : int;
   mutable last_miss : int;  (* for sequential-miss detection; -2 = none *)
   mutable fixes : int;
   mutable misses : int;
@@ -86,7 +92,8 @@ let create ~disk ~bytes ?wal ?(read_retries = 3) ?(read_ahead = 0) ?(scan_resist
     cold = { head = None; tail = None };
     scan_resistant;
     read_ahead;
-    scan_mode = false;
+    scan_forced = false;
+    scan_depth = 0;
     last_miss = -2;
     fixes = 0;
     misses = 0;
@@ -149,17 +156,17 @@ let obs t = t.obs
 let wal t = t.wal
 let read_ahead t = t.read_ahead
 let scan_resistant t = t.scan_resistant
-let scan_mode t = with_pool t (fun () -> t.scan_mode)
-let set_scan_mode t on = with_pool t (fun () -> t.scan_mode <- on)
+(* Pool lock held. *)
+let scanning t = t.scan_forced || t.scan_depth > 0
+
+let scan_mode t = with_pool t (fun () -> scanning t)
+let set_scan_mode t on = with_pool t (fun () -> t.scan_forced <- on)
 
 let with_scan t fn =
-  let saved =
-    with_pool t (fun () ->
-        let saved = t.scan_mode in
-        t.scan_mode <- true;
-        saved)
-  in
-  Fun.protect ~finally:(fun () -> with_pool t (fun () -> t.scan_mode <- saved)) fn
+  with_pool t (fun () -> t.scan_depth <- t.scan_depth + 1);
+  Fun.protect
+    ~finally:(fun () -> with_pool t (fun () -> t.scan_depth <- t.scan_depth - 1))
+    fn
 
 let is_resident t page_id =
   let si = stripe_of page_id in
@@ -248,7 +255,7 @@ let touch t f =
    hot segment, which is exactly what the cold segment exists to prevent. *)
 let on_hit t f =
   if (not t.scan_resistant) || f.seg = Hot then touch t f
-  else if t.scan_mode then begin
+  else if scanning t then begin
     f.referenced <- true;
     touch t f
   end
@@ -358,7 +365,7 @@ let make_room ?keep ~held_stripe t = if t.resident >= t.capacity then evict_one 
    demand misses enter hot directly. *)
 let placement t ~speculative =
   if not t.scan_resistant then Hot
-  else if speculative || t.scan_mode then Cold
+  else if speculative || scanning t then Cold
   else Hot
 
 let mk_frame t ~pins ~speculative page_id =
@@ -469,29 +476,51 @@ let maybe_read_ahead t p =
           lock_frame_fresh f;
           Hashtbl.replace t.tables.(si) q f;
           lock_pool t;
-          let ok =
+          (* No eviction failure may escape while the pool lock, the
+             stripe, or the fresh latch is held: undo the placeholder
+             first, then either stop the batch (All_frames_pinned must
+             not fail the demand fix that triggered the prefetch) or
+             re-raise (a crash or bad page from a dirty victim's
+             write-back propagates, exactly as it does on the demand miss
+             path). *)
+          let outcome =
             match make_room ~keep ~held_stripe:si t with
             | () ->
               t.resident <- t.resident + 1;
               push_front t (placement t ~speculative:true) f;
               Hashtbl.replace t.registry q f;
-              true
-            | exception All_frames_pinned -> false
+              `Allocated
+            | exception All_frames_pinned -> `Stop
+            | exception e -> `Fail e
           in
           unlock_pool t;
-          if not ok then begin
+          (match outcome with
+          | `Allocated -> ()
+          | `Stop | `Fail _ ->
             Hashtbl.remove t.tables.(si) q;
-            unlock_frame_fresh f
-          end;
+            unlock_frame_fresh f);
           unlock_stripe t si;
-          if ok then Some f else None
+          match outcome with `Allocated -> Some f | `Stop -> None | `Fail e -> raise e
         end
       in
       let frames =
         let rec alloc acc = function
           | [] -> List.rev acc
           | q :: rest -> (
-            match alloc_one q with None -> List.rev acc | Some f -> alloc (f :: acc) rest)
+            match alloc_one q with
+            | None -> List.rev acc
+            | Some f -> alloc (f :: acc) rest
+            | exception e ->
+              (* Drop the never-filled frames already latched for this
+                 run: unlatch everything first, [remove_frame] retakes
+                 stripes. *)
+              List.iter
+                (fun f ->
+                  f.failed <- true;
+                  unlock_frame_fresh f)
+                acc;
+              List.iter (remove_frame t) acc;
+              raise e)
         in
         alloc [] pages
       in
@@ -520,7 +549,13 @@ let maybe_read_ahead t p =
 (* ------------------------------------------------------------------ *)
 (* Fix / unfix                                                         *)
 
-let rec fix t page_id =
+(* [count] is [false] on the internal retry taken after a waited-on
+   placeholder turned out to have failed its load: the first attempt
+   already charged {!fixes} for this external call, and the sequential
+   pool charges exactly one fix per call.  A retry that ends in a real
+   disk read still charges {!misses} (keeping reads = misses + read-ahead
+   pages an invariant), so such a call nets out as one fix that missed. *)
+let rec fix_aux t ~count page_id =
   let si = stripe_of page_id in
   lock_stripe t si;
   match Hashtbl.find_opt t.tables.(si) page_id with
@@ -529,10 +564,12 @@ let rec fix t page_id =
        are), which also excludes eviction: once pinned the frame cannot go
        away, so the stripe can be released before waiting out a load. *)
     lock_pool t;
-    t.fixes <- t.fixes + 1;
+    if count then begin
+      t.fixes <- t.fixes + 1;
+      note_fix t page_id ~hit:true
+    end;
     f.pins <- f.pins + 1;
     on_hit t f;
-    note_fix t page_id ~hit:true;
     unlock_pool t;
     unlock_stripe t si;
     (* Wait for an in-flight load (no-op when the latch is free). *)
@@ -541,7 +578,7 @@ let rec fix t page_id =
     if f.failed then
       (* The loader failed and is removing the frame; retry from scratch.
          The pin taken above dies with the disowned frame. *)
-      fix t page_id
+      fix_aux t ~count:false page_id
     else f
   | None ->
     (* Miss: publish a latched placeholder so concurrent fixes of this
@@ -552,7 +589,7 @@ let rec fix t page_id =
     Hashtbl.replace t.tables.(si) page_id f;
     lock_pool t;
     (match
-       t.fixes <- t.fixes + 1;
+       if count then t.fixes <- t.fixes + 1;
        t.misses <- t.misses + 1;
        note_fix t page_id ~hit:false;
        make_room ~held_stripe:si t;
@@ -581,6 +618,8 @@ let rec fix t page_id =
       raise e);
     maybe_read_ahead t page_id;
     f
+
+let fix t page_id = fix_aux t ~count:true page_id
 
 let fix_new t page_id =
   let si = stripe_of page_id in

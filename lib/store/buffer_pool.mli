@@ -137,11 +137,16 @@ val clear : t -> unit
     working-set traffic.  No effect on a pool without [scan_resistant]
     (the flag is tracked but placement ignores it). *)
 
+(** Scan mode is on while {!set_scan_mode}[ t true] is in force or while
+    any {!with_scan} region is active. *)
 val scan_mode : t -> bool
+
 val set_scan_mode : t -> bool -> unit
 
-(** [with_scan t f] runs [f] with scan mode on, restoring the previous
-    state afterwards (also on exceptions). *)
+(** [with_scan t f] runs [f] inside a scan region (ended also on
+    exceptions).  Regions are a refcount, so they nest and may run
+    concurrently from several domains: scan mode stays on until the last
+    active region exits. *)
 val with_scan : t -> (unit -> 'a) -> 'a
 
 (** {2 Introspection} *)

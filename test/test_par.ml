@@ -282,6 +282,36 @@ let reset_rejected () =
   Tree_store.reset_io_stats store;
   Alcotest.(check int) "stats reset" 0 (Tree_store.io_stats store).Io_stats.reads
 
+(* Scan regions are a refcount, not a saved/restored flag: one region
+   exiting while another domain is still mid-scan must leave scan mode
+   on, and it must be off once the last region exits.  The stages force
+   the exact interleaving that broke save/restore (A enters, B enters, A
+   exits, B observes). *)
+let scan_refcount () =
+  let store = Tree_store.in_memory ~config:(config ()) () in
+  let pool = Tree_store.buffer_pool store in
+  let stage = Atomic.make 0 in
+  let wait n = while Atomic.get stage < n do Domain.cpu_relax () done in
+  let a =
+    Domain.spawn (fun () ->
+        Buffer_pool.with_scan pool (fun () ->
+            Atomic.incr stage;
+            wait 2);
+        Atomic.incr stage)
+  in
+  let b =
+    Domain.spawn (fun () ->
+        wait 1;
+        Buffer_pool.with_scan pool (fun () ->
+            Atomic.incr stage;
+            wait 3;
+            Buffer_pool.scan_mode pool))
+  in
+  let still_on = Domain.join b in
+  Domain.join a;
+  Alcotest.(check bool) "scan mode survives the first region's exit" true still_on;
+  Alcotest.(check bool) "scan mode off after the last region" false (Buffer_pool.scan_mode pool)
+
 let deque_semantics () =
   let d = Natix_par.Deque.create ~capacity:3 in
   Alcotest.(check bool) "push 1" true (Natix_par.Deque.push d 1);
@@ -310,6 +340,7 @@ let suites =
       [
         Alcotest.test_case "scan stress: small scan-resistant pool, 4 domains" `Quick scan_stress;
         Alcotest.test_case "reset_stats rejected inside a parallel region" `Quick reset_rejected;
+        Alcotest.test_case "scan regions refcount across domains" `Quick scan_refcount;
         Alcotest.test_case "deque: owner LIFO, thief FIFO, bounded" `Quick deque_semantics;
       ] );
   ]
