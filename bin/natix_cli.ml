@@ -30,11 +30,33 @@
 open Cmdliner
 open Natix_core
 
+(* The most recently opened session, for the error-path flight dump: when
+   the process dies on a typed error or a storage exception, the monitor's
+   operation ring is flushed to a JSONL file so the failing workload can
+   be inspected (and its query ops replayed) post mortem. *)
+let current_session : Natix.Session.t option ref = ref None
+
 let open_session ?(create_page_size = 8192) ?(index = Document_manager.Off) path =
-  Natix.Session.open_file ~create_page_size ~index path
+  let sess = Natix.Session.open_file ~create_page_size ~index path in
+  current_session := Some sess;
+  sess
+
+let flight_dump_path = "natix-flight.jsonl"
+
+let dump_flight_on_error () =
+  match !current_session with
+  | None -> ()
+  | Some sess ->
+    if Natix.Session.mon sess <> None then begin
+      let oc = open_out flight_dump_path in
+      Natix.Session.dump_flight sess oc;
+      close_out oc;
+      Printf.eprintf "natix: flight recorder written to %s\n" flight_dump_path
+    end
 
 let fail_error e =
   Printf.eprintf "natix: %s\n" (Error.to_string e);
+  dump_flight_on_error ();
   exit (Error.exit_code e)
 
 (* ---- arguments ---------------------------------------------------- *)
@@ -371,7 +393,7 @@ let delete_cmd =
   Cmd.v (Cmd.info "delete" ~doc:"Delete a document.") Term.(const run $ store_arg $ doc_arg 1)
 
 let trace_cmd =
-  let run xml_path page_size order jsonl last folded kind docf since_ms =
+  let run xml_path page_size order jsonl last folded kind docf since_ms summary =
     let keep = Natix_prof.Trace_view.keep_event ?kind ?doc:docf ?since_ms in
     let ring = Natix_obs.Sink.ring ~capacity:65536 () in
     (* The ring keeps the unfiltered stream (metrics and folded stacks
@@ -422,6 +444,51 @@ let trace_cmd =
     Format.printf "io: %a@." Natix_store.Io_stats.pp delta;
     Format.printf "buffer hit ratio: %.3f@." (Natix_store.Buffer_pool.hit_ratio pool);
     Format.printf "@.== metrics ==@.%a@." Natix_obs.Metrics.pp (Natix_obs.Obs.metrics obs);
+    (if summary then begin
+       (* Aggregate the (filtered) event stream per (kind, doc) through
+          the monitoring layer's window machinery: one bucket wide enough
+          for the whole run, context = (doc, event kind), so the
+          registry's per-context aggregation does the grouping. *)
+       let reg = Natix_mon.Registry.create ~bucket_ms:1e12 ~buckets:1 () in
+       List.iter
+         (fun (e : Natix_obs.Event.t) ->
+           if keep e then begin
+             let doc = match e.ctx with Some c -> c.Natix_obs.Event.doc | None -> None in
+             let kind = Natix_obs.Event.type_name e.kind in
+             let ctx = { Natix_obs.Event.doc; phase = kind } in
+             Natix_mon.Registry.record reg ~ctx ~at_ms:e.at_ms "events" 1.;
+             match e.kind with
+             | Natix_obs.Event.Span { name; dur_ms; _ } ->
+               Natix_mon.Registry.record reg
+                 ~ctx:{ Natix_obs.Event.doc; phase = name }
+                 ~at_ms:e.at_ms "span_sim_ms" dur_ms
+             | _ -> ()
+           end)
+         (Natix_obs.Obs.events obs);
+       let snap = Natix_mon.Registry.snapshot reg ~at_ms:0. in
+       let by_ctx name =
+         match
+           List.find_opt (fun s -> s.Natix_mon.Registry.name = name)
+             snap.Natix_mon.Registry.series
+         with
+         | None -> []
+         | Some s -> s.Natix_mon.Registry.by_ctx
+       in
+       Format.printf "@.== summary: events per (kind, doc) ==@.";
+       List.iter
+         (fun ((doc, kind), (a : Natix_mon.Window.agg)) ->
+           Format.printf "%-18s %-18s %8d@." kind (Option.value doc ~default:"-") a.count)
+         (by_ctx "events");
+       match by_ctx "span_sim_ms" with
+       | [] -> ()
+       | spans ->
+         Format.printf "@.== summary: sim-ms per (span, doc) ==@.";
+         List.iter
+           (fun ((doc, name), (a : Natix_mon.Window.agg)) ->
+             Format.printf "%-18s %-18s %8d %12.3f@." name (Option.value doc ~default:"-")
+               a.count a.sum)
+           spans
+     end);
     (if last > 0 then begin
        let events = List.filter keep (Natix_obs.Obs.events obs) in
        let buffered = List.length events in
@@ -491,15 +558,24 @@ let trace_cmd =
       & info [ "since-ms" ] ~docv:"MS"
           ~doc:"Keep only events stamped at or after this simulated time.")
   in
+  let summary_arg =
+    Arg.(
+      value & flag
+      & info [ "summary" ]
+          ~doc:
+            "Aggregate the (filtered) event stream: event counts per (kind, doc) and simulated \
+             milliseconds per (span, doc).")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Load an XML file into an instrumented in-memory store and report traces and metrics \
           (splits, fill factors, buffer hit ratio).  --kind/--doc/--since-ms filter the JSONL \
-          output and the printed tail; --folded exports a flamegraph.")
+          output and the printed tail; --folded exports a flamegraph; --summary aggregates per \
+          (kind, doc).")
     Term.(
       const run $ xml_arg $ page_size_arg $ order_arg $ jsonl_arg $ last_arg $ folded_arg
-      $ kind_arg $ doc_filter_arg $ since_arg)
+      $ kind_arg $ doc_filter_arg $ since_arg $ summary_arg)
 
 (* fsck bypasses the session facade: it must open a possibly-damaged
    store with the bare layers so a failure can fall back to the raw
@@ -672,6 +748,280 @@ let gen_cmd =
     (Cmd.info "gen" ~doc:"Generate the synthetic Shakespeare-like corpus as XML files.")
     Term.(const run $ prefix_arg $ scale_arg)
 
+(* ---- monitoring commands ------------------------------------------ *)
+
+(* Query workload files: one `DOC PATH` task per line (the first
+   whitespace separates the document from the query); blank lines and
+   `#` comments are skipped. *)
+let read_tasks path =
+  read_file path |> String.split_on_char '\n'
+  |> List.filter_map (fun line ->
+         let l = String.trim line in
+         if l = "" || l.[0] = '#' then None
+         else begin
+           let cut =
+             match (String.index_opt l ' ', String.index_opt l '\t') with
+             | Some a, Some b -> Some (min a b)
+             | (Some _ as c), None | None, (Some _ as c) -> c
+             | None, None -> None
+           in
+           match cut with
+           | None ->
+             Printf.eprintf "natix: %s: task line %S has no query\n" path l;
+             exit 2
+           | Some i -> Some (String.sub l 0 i, String.trim (String.sub l i (String.length l - i)))
+         end)
+
+let queries_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "queries" ] ~docv:"FILE"
+        ~doc:"Query workload: one $(b,DOC PATH) task per line ($(b,#) comments).")
+
+(* Drive the monitored workload: the queries file when given, a full
+   document scan otherwise.  [cold] drops the buffer pool first so the
+   probe measures physical I/O instead of re-reading a pool warmed by
+   opening the store (the sim clock keeps running either way). *)
+let run_probe ?(cold = false) sess queries jobs =
+  if cold then Tree_store.clear_buffers (Natix.Session.store sess);
+  match queries with
+  | Some qf ->
+    let outcome = Natix.Session.run_queries ~jobs sess (read_tasks qf) in
+    List.iter
+      (function Error e -> Printf.eprintf "natix: %s\n" (Error.to_string e) | Ok _ -> ())
+      outcome.Natix_par.Par.results
+  | None -> ignore (Natix.Session.scan_all ~jobs sess)
+
+let cold_arg =
+  Arg.(
+    value & flag
+    & info [ "cold" ]
+        ~doc:"Drop the buffer pool before the probe, so it measures physical I/O.")
+
+let mon_of sess =
+  match Natix.Session.mon sess with
+  | Some mon -> mon
+  | None ->
+    prerr_endline "natix: monitoring disabled for this session";
+    exit 2
+
+let sim_now sess =
+  (Tree_store.io_stats (Natix.Session.store sess)).Natix_store.Io_stats.sim_ms
+
+let write_out out text =
+  match out with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of standard output.")
+
+let top_cmd =
+  let run store_path queries jobs cold n =
+    let open Natix_mon in
+    let sess = open_session store_path in
+    run_probe ~cold sess queries jobs;
+    let mon = mon_of sess in
+    let at_ms = sim_now sess in
+    let snap = Mon.metrics_snapshot mon ~at_ms in
+    let series name = List.find_opt (fun s -> s.Registry.name = name) snap.Registry.series in
+    let wsum name =
+      match series name with None -> 0. | Some s -> s.Registry.window.Window.sum
+    in
+    let fixes = wsum "fixes" in
+    let hit_ratio = if fixes > 0. then wsum "fix_hits" /. fixes else 1. in
+    Printf.printf "natix top — %s  (sim clock %.1f ms, window %.0f ms)\n" store_path at_ms
+      snap.Registry.span_ms;
+    Printf.printf "window: reads %.0f  writes %.0f  wal bytes %.0f  fixes %.0f  hit ratio %.3f\n"
+      (wsum "reads") (wsum "writes") (wsum "wal_bytes") fixes hit_ratio;
+    (match series "query_sim_ms" with
+    | Some { Registry.quantiles = Some (p50, p95, p99); _ } ->
+      Printf.printf "query sim-ms: p50 %.2f  p95 %.2f  p99 %.2f\n" p50 p95 p99
+    | _ -> ());
+    let accounts =
+      List.sort
+        (fun a b -> compare b.Account.win_sim_ms.Window.sum a.Account.win_sim_ms.Window.sum)
+        (Mon.accounts mon ~at_ms)
+    in
+    Printf.printf "%-24s %10s %8s %12s %10s %5s %s\n" "DOC" "READS" "RD/WIN" "SIM-MS" "MS/WIN"
+      "PIN" "BUDGET";
+    List.iteri
+      (fun i (d : Account.doc_stats) ->
+        if i < n then
+          Printf.printf "%-24s %10d %8.0f %12.2f %10.2f %5d %s\n" d.Account.doc d.reads_total
+            d.win_reads.Window.sum d.sim_ms_total d.win_sim_ms.Window.sum d.pinned_peak
+            (match d.breached with [] -> "-" | l -> "OVER:" ^ String.concat "," l))
+      accounts;
+    Natix.Session.close ~commit:false sess
+  in
+  let n_arg =
+    Arg.(value & opt int 20 & info [ "n" ] ~docv:"N" ~doc:"Documents listed (busiest first).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Run a workload (--queries, or a full scan) against a monitored session and print a \
+          top-style report: windowed store rates, moving query-latency quantiles, and the \
+          busiest documents by simulated time.")
+    Term.(const run $ store_arg $ queries_arg $ jobs_arg $ cold_arg $ n_arg)
+
+let mon_export_cmd =
+  let run store_path queries jobs cold format out =
+    let sess = open_session store_path in
+    run_probe ~cold sess queries jobs;
+    let mon = mon_of sess in
+    let at_ms = sim_now sess in
+    let text =
+      match format with
+      | `Prom -> Natix_mon.Mon.export_prometheus mon ~at_ms
+      | `Json -> Natix_obs.Json.to_string (Natix_mon.Mon.export_json mon ~at_ms) ^ "\n"
+    in
+    write_out out text;
+    Natix.Session.close ~commit:false sess
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("prometheus", `Prom); ("json", `Json) ]) `Prom
+      & info [ "format" ] ~docv:"FMT" ~doc:"$(b,prometheus) text or a $(b,json) snapshot.")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Run a workload and export the monitor's sliding-window metrics.  Deterministic \
+          workloads export byte-identical snapshots (everything runs on the simulated clock).")
+    Term.(const run $ store_arg $ queries_arg $ jobs_arg $ cold_arg $ format_arg $ out_arg)
+
+let mon_capture_cmd =
+  let run store_path queries jobs out =
+    let sess = open_session store_path in
+    let tasks = read_tasks queries in
+    let meta, ops =
+      Natix_mon.Replay.capture ~jobs ~store_path (Natix.Session.store sess) tasks
+    in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf (Natix_obs.Json.to_string (Natix_mon.Recorder.meta_to_json meta));
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun op ->
+        Buffer.add_string buf (Natix_obs.Json.to_string (Natix_mon.Recorder.op_to_json op));
+        Buffer.add_char buf '\n')
+      ops;
+    write_out out (Buffer.contents buf);
+    Printf.eprintf "captured %d op(s); %d read(s), %d write(s), %.2f sim-ms\n" (List.length ops)
+      meta.Natix_mon.Recorder.reads meta.Natix_mon.Recorder.writes
+      meta.Natix_mon.Recorder.sim_ms;
+    Natix.Session.close ~commit:false sess
+  in
+  let queries_required =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "queries" ] ~docv:"FILE"
+          ~doc:"Query workload: one $(b,DOC PATH) task per line ($(b,#) comments).")
+  in
+  Cmd.v
+    (Cmd.info "capture"
+       ~doc:
+         "Cold-run a query workload (buffers cleared, I/O counters zeroed) and write a replay \
+          dump: per-op result digests plus exact whole-run I/O totals.  `natix replay` verifies \
+          a store still reproduces it byte for byte.")
+    Term.(const run $ store_arg $ queries_required $ jobs_arg $ out_arg)
+
+let mon_dump_cmd =
+  let run store_path queries jobs cold out =
+    let sess = open_session store_path in
+    run_probe ~cold sess queries jobs;
+    ignore (mon_of sess);
+    (match out with
+    | None -> Natix.Session.dump_flight sess stdout
+    | Some path ->
+      let oc = open_out path in
+      Natix.Session.dump_flight sess oc;
+      close_out oc);
+    Natix.Session.close ~commit:false sess
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:
+         "Run a workload and flush the session's flight ring — the most recent operations with \
+          their I/O deltas and outcomes — as JSONL.  (The ring is also flushed automatically to \
+          natix-flight.jsonl when the CLI dies on a typed error.)")
+    Term.(const run $ store_arg $ queries_arg $ jobs_arg $ cold_arg $ out_arg)
+
+let mon_cmd =
+  Cmd.group
+    (Cmd.info "mon" ~doc:"Monitor surfaces: metrics export, replay capture, flight-ring dump.")
+    [ mon_export_cmd; mon_capture_cmd; mon_dump_cmd ]
+
+let replay_cmd =
+  let run dump_path store_override jobs =
+    let meta, ops = Natix_mon.Recorder.load dump_path in
+    let store_path =
+      match (store_override, meta.Natix_mon.Recorder.store) with
+      | Some p, _ -> p
+      | None, Some p -> p
+      | None, None ->
+        prerr_endline "natix: dump names no store file; pass --store";
+        exit 2
+    in
+    let sess = open_session store_path in
+    let report = Natix_mon.Replay.run ?jobs (Natix.Session.store sess) meta ops in
+    let r_reads, r_writes, r_total = report.Natix_mon.Replay.replayed_io in
+    let c_reads, c_writes, c_total = report.Natix_mon.Replay.captured_io in
+    Printf.printf "replayed %d op(s) (%d skipped: not replayable)\n"
+      report.Natix_mon.Replay.replayed report.Natix_mon.Replay.skipped;
+    List.iter
+      (fun (m : Natix_mon.Replay.mismatch) ->
+        Printf.printf "MISMATCH op %d %s %s\n  captured: %s\n  replayed: %s\n" m.seq
+          (Option.value m.doc ~default:"-")
+          m.detail m.expected m.got)
+      report.Natix_mon.Replay.mismatches;
+    Printf.printf "io: captured %d+%d=%d, replayed %d+%d=%d (%s)\n" c_reads c_writes c_total
+      r_reads r_writes r_total
+      (if not report.Natix_mon.Replay.io_checked then "not compared: warm or partial dump"
+       else if report.Natix_mon.Replay.io_ok then "equal"
+       else "DIFFERENT");
+    Printf.printf "sim-ms: captured %.2f, replayed %.2f (informational)\n"
+      report.Natix_mon.Replay.captured_sim_ms report.Natix_mon.Replay.replayed_sim_ms;
+    Natix.Session.close ~commit:false sess;
+    if Natix_mon.Replay.ok report then print_endline "replay ok"
+    else begin
+      print_endline "replay FAILED";
+      exit 8
+    end
+  in
+  let dump_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DUMP" ~doc:"Replay dump (JSONL).")
+  in
+  let store_override =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"STORE" ~doc:"Replay against this store instead of the dump's.")
+  in
+  let jobs_opt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Worker domains (default: the dump's job count).")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute a captured workload and verify the store reproduces it: per-op outcome, \
+          row count and result digest must be byte-identical, and for cold captures the \
+          read/write/total I/O counts must match exactly (they are schedule-independent, so \
+          this holds at any --jobs).  Exits 8 on any divergence.")
+    Term.(const run $ dump_arg $ store_override $ jobs_opt)
+
 let () =
   let info =
     Cmd.info "natix" ~version:"1.0.0"
@@ -679,7 +1029,9 @@ let () =
   in
   (* Storage-layer failures exit with distinct codes instead of a
      backtrace: 3 = page-level corruption, 4 = index corruption, 5 =
-     buffer exhaustion, 6 = unrecoverable transient read failure. *)
+     buffer exhaustion, 6 = unrecoverable transient read failure,
+     7 = bench regression, 8 = replay divergence.  Every typed-error
+     path also flushes the flight recorder (see [dump_flight_on_error]). *)
   let code =
     try
       Cmd.eval ~catch:false
@@ -687,26 +1039,31 @@ let () =
            [
              load_cmd; bulkload_cmd; list_cmd; cat_cmd; query_cmd; scan_cmd; validate_cmd;
              stats_cmd; check_cmd; delete_cmd; gen_cmd; trace_cmd; doctor_cmd; bench_diff_cmd;
-             fsck_cmd; recover_cmd;
+             fsck_cmd; recover_cmd; top_cmd; mon_cmd; replay_cmd;
            ])
     with
     | Error.Error e ->
       (* Typed failures raised from inside lazy result sequences (the
          [result]-returning entry points already handled the eager ones). *)
       Printf.eprintf "natix: %s\n" (Error.to_string e);
+      dump_flight_on_error ();
       Error.exit_code e
     | Natix_store.Disk.Bad_page { page; reason } ->
       if page < 0 then Printf.eprintf "natix: bad superblock: %s\n" reason
       else Printf.eprintf "natix: bad page %d: %s (try `natix recover`)\n" page reason;
+      dump_flight_on_error ();
       3
     | Natix_store.Btree.Corrupt reason ->
       Printf.eprintf "natix: corrupt index: %s (try `natix fsck`)\n" reason;
+      dump_flight_on_error ();
       4
     | Natix_store.Buffer_pool.All_frames_pinned ->
       prerr_endline "natix: buffer pool exhausted (all frames pinned); raise the buffer size";
+      dump_flight_on_error ();
       5
     | Natix_store.Faulty_disk.Read_error page ->
       Printf.eprintf "natix: page %d unreadable after retries\n" page;
+      dump_flight_on_error ();
       6
   in
   exit code

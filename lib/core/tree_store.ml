@@ -145,12 +145,17 @@ let reset_io_stats t =
 let sync t =
   Hashtbl.replace t.catalog.Catalog.meta epoch_meta_key (string_of_int t.change_epoch);
   Catalog.save t.rm t.catalog;
-  Buffer_pool.checkpoint t.pool
+  Buffer_pool.checkpoint t.pool;
+  (* The durability point also flushes buffered trace output, so a JSONL
+     event stream (flight recorder, [natix trace --jsonl]) on disk is
+     complete up to the last checkpoint even if the process dies. *)
+  match t.obs with None -> () | Some obs -> Natix_obs.Obs.flush obs
 
 let checkpoint = sync
 
 let close ?(commit = true) t =
   if commit then sync t;
+  (match t.obs with None -> () | Some obs -> Natix_obs.Obs.flush obs);
   (match Buffer_pool.wal t.pool with Some w -> Wal.close w | None -> ());
   Disk.close (Buffer_pool.disk t.pool)
 

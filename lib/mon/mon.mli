@@ -1,0 +1,77 @@
+(** The monitor: always-on telemetry over one observability handle.
+
+    {!attach} subscribes to an {!Natix_obs.Obs.t} and from then on feeds
+    three structures from the event stream and from session-level
+    operation records:
+
+    - a {!Registry} of sliding-window series — [reads], [writes],
+      [fixes], [fix_hits] (windowed hit ratio = [fix_hits]/[fixes]),
+      [wal_bytes] from events, keyed by the emitting [(doc, phase)]
+      context; [ops] and [query_sim_ms] (with moving p50/p95/p99) from
+      operation records;
+    - an {!Account} per document: reads fed from the event stream (the
+      context attributes them even inside parallel batches), simulated
+      time and peak pages-pinned from operation records, each cumulative
+      and windowed, with soft budgets;
+    - a {!Recorder} flight ring of recent operations.
+
+    Everything is stamped with the {e simulated} clock, so a
+    deterministic workload yields byte-identical exports.
+
+    {b Cost when idle.}  The subscriber does constant work per event
+    (a few window-bucket additions under one mutex); no allocation grows
+    with time except the bounded flight ring and one window per live
+    [(doc, phase)] pair.  A store opened without monitoring pays nothing.
+
+    {b Locking.}  One internal mutex serialises all feeds and snapshots.
+    The event subscriber runs under the observability handle's delivery
+    lock and only ever takes the monitor's lock (never the reverse
+    order), and budget breaches are emitted {e after} the monitor's lock
+    is released — the monitor never calls into the handle while holding
+    its own lock. *)
+
+type t
+
+val attach :
+  ?bucket_ms:float -> ?buckets:int -> ?ring_capacity:int -> Natix_obs.Obs.t -> t
+
+val obs : t -> Natix_obs.Obs.t
+
+(** {2 Budgets} *)
+
+(** Install a soft budget; omitted limits are unbounded.  Crossing a
+    limit emits a [Budget_exceeded] event through the handle and invokes
+    every {!on_budget} callback, once per (doc, resource).  A breach
+    detected inside the event subscriber (a [reads] budget crossed
+    mid-operation) cannot emit from under the delivery lock; it fires at
+    the next operation record or snapshot call. *)
+val set_budget : t -> doc:string -> ?max_reads:int -> ?max_sim_ms:float -> unit -> unit
+
+val on_budget : t -> (Account.breach -> unit) -> unit
+
+(** {2 Operation records} *)
+
+(** [record_op t ?pinned op] appends to the flight ring ([op.seq] is
+    reassigned), charges [op.doc]'s account with the op's simulated time
+    and [pinned] (pages pinned at completion), and feeds the [ops] /
+    [query_sim_ms] series.  Emits budget-breach events on the way out. *)
+val record_op : t -> ?pinned:int -> Recorder.op -> unit
+
+(** {2 Snapshots and export} *)
+
+val metrics_snapshot : t -> at_ms:float -> Registry.snapshot
+val accounts : t -> at_ms:float -> Account.doc_stats list
+val flight_ops : t -> Recorder.op list
+val flight_added : t -> int
+
+(** One JSON object: [{"at_ms", "metrics", "accounts", "flight"}]. *)
+val export_json : t -> at_ms:float -> Natix_obs.Json.t
+
+(** Prometheus-style text exposition of the registry. *)
+val export_prometheus : t -> at_ms:float -> string
+
+(** [dump_flight t ~io ~jobs ?store oc] writes the flight ring as a
+    JSONL dump with [cold = false] (see {!Replay}): [io] is the
+    store's cumulative {!Natix_store.Io_stats} at dump time. *)
+val dump_flight :
+  t -> io:Natix_store.Io_stats.t -> jobs:int -> ?store:string -> out_channel -> unit

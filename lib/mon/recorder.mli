@@ -1,0 +1,66 @@
+(** The workload flight recorder: a bounded ring of recent operations.
+
+    Every session-level operation (query, scan, load, bulkload) appends
+    one {!op} — what ran, against which document, the plan choice, the
+    I/O delta the operation observed, and its outcome (including an MD5
+    digest of the rendered result for queries, which is what replay
+    compares).  The ring keeps the most recent [capacity] records; older
+    ones fall off.
+
+    {!dump} serialises the ring as JSONL — one {!meta} header line, then
+    one line per op, oldest first — the format [natix replay] consumes
+    (see {!Replay}).  Not thread-safe; {!Mon} serialises. *)
+
+type op = {
+  seq : int;  (** assigned by {!add}, monotone over the recorder's life *)
+  at_ms : float;  (** sim-clock stamp when the op completed *)
+  kind : string;  (** ["query"] | ["scan"] | ["load"] | ["bulkload"] *)
+  doc : string option;
+  detail : string;  (** query path text, loaded file name, … *)
+  plan : string option;  (** planner's choice, when the op reports one *)
+  reads : int;  (** I/O delta observed across the op *)
+  writes : int;
+  sim_ms : float;
+  outcome : string;  (** ["ok"] or ["error:<class>"] *)
+  digest : string option;  (** MD5 hex of rendered query output *)
+  rows : int option;  (** rendered hit count, queries only *)
+}
+
+type meta = {
+  version : int;
+  store : string option;  (** backing file path, when file-backed *)
+  jobs : int;
+  cold : bool;
+      (** captured from cleared buffers + zeroed I/O counters: replay may
+          assert equal I/O totals, not just equal results *)
+  reads : int;  (** I/O totals across the whole capture *)
+  writes : int;
+  total_ios : int;
+  sim_ms : float;
+}
+
+type t
+
+val create : capacity:int -> t
+
+(** Append an op (the [seq] field of the argument is ignored and
+    reassigned); drops the oldest record when full. *)
+val add : t -> op -> unit
+
+(** Ops currently retained, oldest first. *)
+val ops : t -> op list
+
+(** Total ops ever added (≥ [List.length (ops t)]). *)
+val added : t -> int
+
+val op_to_json : op -> Natix_obs.Json.t
+val op_of_json : Natix_obs.Json.t -> op
+val meta_to_json : meta -> Natix_obs.Json.t
+val meta_of_json : Natix_obs.Json.t -> meta
+
+(** [dump oc meta ops] writes the JSONL dump. *)
+val dump : out_channel -> meta -> op list -> unit
+
+(** [load path] parses a dump file.
+    @raise Failure on malformed input. *)
+val load : string -> meta * op list

@@ -12,3 +12,4 @@ module Error = Natix_core.Error
 module Config = Natix_core.Config
 module Cursor = Natix_core.Cursor
 module Query = Natix_query
+module Mon = Natix_mon.Mon

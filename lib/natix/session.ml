@@ -1,21 +1,40 @@
 open Natix_core
+module Io_stats = Natix_store.Io_stats
+module Mon = Natix_mon.Mon
 
 type t = {
   store : Tree_store.t;
   manager : Document_manager.t;
   engine : Natix_query.Engine.t;
   mutable parallelism : int;
+  mon : Mon.t option;
+  path : string option;  (* backing file, for flight-dump metadata *)
 }
 
-let of_store ?(index = Document_manager.Ensure) store =
+(* Monitoring is on by default: a session constructor that is not handed
+   an observability handle makes one (no sink — events are consumed by
+   the monitor and dropped) so the monitor has a stream to subscribe to.
+   [~monitor:false] restores the bare store. *)
+let ensure_obs ~monitor config =
+  if not monitor then config
+  else
+    match config.Config.obs with
+    | Some _ -> config
+    | None -> Config.with_obs (Natix_obs.Obs.create ()) config
+
+let of_store ?(index = Document_manager.Ensure) ?(monitor = true) ?path store =
   let manager = Document_manager.create ~index store in
   let engine = Natix_query.Engine.of_manager manager in
-  { store; manager; engine; parallelism = 1 }
+  let mon =
+    if monitor then Option.map Mon.attach (Tree_store.obs store) else None
+  in
+  { store; manager; engine; parallelism = 1; mon; path }
 
-let in_memory ?config ?model ?index () =
-  of_store ?index (Tree_store.in_memory ?config ?model ())
+let in_memory ?config ?model ?index ?(monitor = true) () =
+  let config = ensure_obs ~monitor (Option.value config ~default:(Config.default ())) in
+  of_store ?index ~monitor (Tree_store.in_memory ~config ?model ())
 
-let open_file ?config ?(create_page_size = 8192) ?index path =
+let open_file ?config ?(create_page_size = 8192) ?index ?(monitor = true) path =
   (* An existing file dictates its page size; the configured one only
      applies when the file is created. *)
   let page_size =
@@ -29,12 +48,14 @@ let open_file ?config ?(create_page_size = 8192) ?index path =
     | Some c -> { c with Config.page_size }
     | None -> { (Config.default ()) with Config.page_size }
   in
+  let config = ensure_obs ~monitor config in
   let disk = Natix_store.Disk.on_file ~page_size path in
-  of_store ?index (Tree_store.open_store ~config disk)
+  of_store ?index ~monitor ~path (Tree_store.open_store ~config disk)
 
 let store t = t.store
 let manager t = t.manager
 let engine t = t.engine
+let mon t = t.mon
 let documents t = List.sort String.compare (Tree_store.list_documents t.store)
 
 let checkpoint t = Document_manager.checkpoint t.manager
@@ -43,18 +64,74 @@ let close ?(commit = true) t =
   if commit then Document_manager.checkpoint t.manager;
   Tree_store.close ~commit:false t.store
 
-let with_session ?config ?create_page_size ?index path fn =
-  let t = open_file ?config ?create_page_size ?index path in
+let with_session ?config ?create_page_size ?index ?monitor path fn =
+  let t = open_file ?config ?create_page_size ?index ?monitor path in
   Fun.protect ~finally:(fun () -> close t) (fun () -> fn t)
+
+(* Operation records for the monitor *)
+
+let io t = Tree_store.io_stats t.store
+let now_ms t = (io t).Io_stats.sim_ms
+let pinned t = Natix_store.Buffer_pool.pinned_frames (Tree_store.buffer_pool t.store)
+
+let op ~at_ms ~kind ?doc ~detail ?plan ?(reads = 0) ?(writes = 0) ?(sim_ms = 0.) ?digest ?rows
+    outcome =
+  {
+    Natix_mon.Recorder.seq = 0;
+    at_ms;
+    kind;
+    doc;
+    detail;
+    plan;
+    reads;
+    writes;
+    sim_ms;
+    outcome;
+    digest;
+    rows;
+  }
+
+let outcome_of_result = function
+  | Ok _ -> "ok"
+  | Error e -> "error:" ^ Natix_mon.Replay.error_class e
+
+(* Record an eager operation's flight entry: [before] is the I/O
+   snapshot taken when it started. *)
+let record_eager t ~kind ?doc ~detail ?plan ?rows ~outcome before =
+  match t.mon with
+  | None -> ()
+  | Some mon ->
+    let d = Io_stats.diff (Io_stats.copy (io t)) before in
+    Mon.record_op mon ~pinned:(pinned t)
+      (op ~at_ms:(now_ms t) ~kind ?doc ~detail ?plan ~reads:d.Io_stats.reads
+         ~writes:d.Io_stats.writes ~sim_ms:d.Io_stats.sim_ms ?rows outcome)
+
+let set_budget t ~doc ?max_reads ?max_sim_ms () =
+  match t.mon with
+  | None -> ()
+  | Some mon -> Mon.set_budget mon ~doc ?max_reads ?max_sim_ms ()
+
+let dump_flight t oc =
+  match t.mon with
+  | None -> ()
+  | Some mon -> Mon.dump_flight mon ~io:(io t) ~jobs:t.parallelism ?store:t.path oc
 
 (* Document management *)
 
 let store_document t ~name ?dtd ?infer_dtd ?order xml =
-  Document_manager.store_document t.manager ~name ?dtd ?infer_dtd ?order xml
+  let before = Io_stats.copy (io t) in
+  let result = Document_manager.store_document t.manager ~name ?dtd ?infer_dtd ?order xml in
+  record_eager t ~kind:"load" ~doc:name ~detail:name ~outcome:(outcome_of_result result) before;
+  result
 
 let validate t doc = Document_manager.validate t.manager doc
 let insert_fragment t ~doc point xml = Document_manager.insert_fragment t.manager ~doc point xml
-let delete_document t doc = Document_manager.delete_document t.manager doc
+
+let delete_document t doc =
+  let before = Io_stats.copy (io t) in
+  Document_manager.delete_document t.manager doc;
+  record_eager t ~kind:"delete" ~doc ~detail:doc ~outcome:"ok" before
+
 let export t doc = Exporter.document_to_xml t.store doc
 
 (* Queries *)
@@ -79,8 +156,51 @@ let contextual t ~doc seq =
     in
     wrap seq
 
+(* The flight record for a lazy query closes when the sequence is
+   exhausted (or the first pull raises): only then is the I/O delta the
+   operation's true cost.  A sequence dropped before its end never
+   records — the monitor sees completed operations. *)
+let record_on_exhaust t ~doc ~path before seq =
+  match t.mon with
+  | None -> seq
+  | Some mon ->
+    let count = ref 0 in
+    let done_ = ref false in
+    let finish outcome =
+      if not !done_ then begin
+        done_ := true;
+        let d = Io_stats.diff (Io_stats.copy (io t)) before in
+        Mon.record_op mon ~pinned:(pinned t)
+          (op ~at_ms:(now_ms t) ~kind:"query" ~doc ~detail:path ~reads:d.Io_stats.reads
+             ~writes:d.Io_stats.writes ~sim_ms:d.Io_stats.sim_ms ~rows:!count outcome)
+      end
+    in
+    let rec wrap seq () =
+      match seq () with
+      | Seq.Nil ->
+        finish "ok";
+        Seq.Nil
+      | Seq.Cons (x, rest) ->
+        incr count;
+        Seq.Cons (x, wrap rest)
+      | exception e ->
+        finish
+          (match e with
+          | Error.Error err -> "error:" ^ Natix_mon.Replay.error_class err
+          | _ -> "error:exception");
+        raise e
+    in
+    wrap seq
+
 let query t ~doc path =
-  Result.map (contextual t ~doc) (Natix_query.Engine.query t.engine ~doc path)
+  let before = Io_stats.copy (io t) in
+  match Natix_query.Engine.query t.engine ~doc path with
+  | Ok seq -> Ok (record_on_exhaust t ~doc ~path before (contextual t ~doc seq))
+  | Error e as err ->
+    record_eager t ~kind:"query" ~doc ~detail:path ~rows:0
+      ~outcome:("error:" ^ Natix_mon.Replay.error_class e)
+      before;
+    err
 
 let analyze t ~doc path = Natix_query.Engine.analyze t.engine ~doc path
 let query_naive t ~doc path = Natix_query.Engine.query_naive t.engine ~doc path
@@ -95,14 +215,58 @@ let set_parallelism t jobs =
   if jobs < 1 then invalid_arg "Session.set_parallelism: jobs must be >= 1";
   t.parallelism <- jobs
 
+(* Batch entry points record one op per task, each carrying the task's
+   exact I/O delta as measured by the executor ([Par.task_io]: the
+   running domain's accumulator diffed around the task).  Per-task read
+   counts are schedule-dependent at jobs >= 2 — whichever task touches a
+   shared page first pays its miss — which is why replay compares
+   digests, row counts and outcomes, never per-op I/O. *)
+let record_batch t ops =
+  match t.mon with
+  | None -> ()
+  | Some mon ->
+    let at_ms = now_ms t in
+    List.iter (fun f -> Mon.record_op mon (f ~at_ms)) ops
+
+let task_results outcome =
+  List.combine outcome.Natix_par.Par.results outcome.Natix_par.Par.task_io
+
 let run_queries ?jobs t tasks =
   let jobs = Option.value jobs ~default:t.parallelism in
-  Natix_par.Par.run_queries ~jobs t.store tasks
+  let outcome = Natix_par.Par.run_queries ~jobs t.store tasks in
+  record_batch t
+    (List.map2
+       (fun (doc, path) (result, d) ~at_ms ->
+         let digest, rows =
+           match result with
+           | Ok hits -> (Some (Natix_mon.Replay.digest_hits hits), Some (List.length hits))
+           | Error _ -> (None, None)
+         in
+         op ~at_ms ~kind:"query" ~doc ~detail:path ~reads:d.Io_stats.reads
+           ~writes:d.Io_stats.writes ~sim_ms:d.Io_stats.sim_ms ?digest ?rows
+           (outcome_of_result result))
+       tasks (task_results outcome));
+  outcome
 
 let scan_all ?jobs t =
   let jobs = Option.value jobs ~default:t.parallelism in
-  Natix_par.Par.scan_all ~jobs t.store
+  let outcome = Natix_par.Par.scan_all ~jobs t.store in
+  record_batch t
+    (List.map
+       (fun ((doc, nodes), d) ~at_ms ->
+         op ~at_ms ~kind:"scan" ~doc ~detail:doc ~reads:d.Io_stats.reads
+           ~writes:d.Io_stats.writes ~sim_ms:d.Io_stats.sim_ms ~rows:nodes "ok")
+       (task_results outcome));
+  outcome
 
 let load_files ?jobs t files =
   let jobs = Option.value jobs ~default:t.parallelism in
-  Natix_par.Par.load_files ~jobs t.manager files
+  let outcome = Natix_par.Par.load_files ~jobs t.manager files in
+  record_batch t
+    (List.map2
+       (fun (name, _) (result, d) ~at_ms ->
+         op ~at_ms ~kind:"bulkload" ~doc:name ~detail:name ~reads:d.Io_stats.reads
+           ~writes:d.Io_stats.writes ~sim_ms:d.Io_stats.sim_ms
+           (outcome_of_result result))
+       files (task_results outcome));
+  outcome

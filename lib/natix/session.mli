@@ -14,7 +14,15 @@
 
     File sessions detect the page size of an existing store file (the
     configured size only applies on creation), run recovery on open, and
-    checkpoint on {!close}. *)
+    checkpoint on {!close}.
+
+    {b Monitoring is on by default.}  Every constructor attaches a
+    {!Natix_mon.Mon} monitor to the store's observability handle —
+    creating a sink-less handle when the configuration has none — so
+    sliding-window metrics, per-document accounts and the operation
+    flight ring are always live (see {!mon}, {!set_budget},
+    {!dump_flight}).  [~monitor:false] opts out; a custom [config] with
+    its own handle is monitored through that handle. *)
 
 open Natix_core
 
@@ -28,18 +36,28 @@ type t
     query plans need an index; read-only sessions should pass
     [Fresh_only] so a stale index is skipped instead of rebuilt. *)
 val open_file :
-  ?config:Config.t -> ?create_page_size:int -> ?index:Document_manager.index_mode -> string -> t
+  ?config:Config.t ->
+  ?create_page_size:int ->
+  ?index:Document_manager.index_mode ->
+  ?monitor:bool ->
+  string ->
+  t
 
 (** An in-memory session (benchmarks, tests). *)
 val in_memory :
   ?config:Config.t ->
   ?model:Natix_store.Io_model.t ->
   ?index:Document_manager.index_mode ->
+  ?monitor:bool ->
   unit ->
   t
 
-(** Wrap an existing store (takes no ownership of closing it). *)
-val of_store : ?index:Document_manager.index_mode -> Tree_store.t -> t
+(** Wrap an existing store (takes no ownership of closing it).  With
+    [monitor] (default [true]) a monitor is attached to the store's
+    handle, if it has one — attach at most one session per handle, a
+    second attachment would double-feed.  [path] labels flight dumps. *)
+val of_store :
+  ?index:Document_manager.index_mode -> ?monitor:bool -> ?path:string -> Tree_store.t -> t
 
 (** [with_session path f] opens, applies [f], and {!close}s (also on
     exceptions). *)
@@ -47,6 +65,7 @@ val with_session :
   ?config:Config.t ->
   ?create_page_size:int ->
   ?index:Document_manager.index_mode ->
+  ?monitor:bool ->
   string ->
   (t -> 'a) ->
   'a
@@ -56,6 +75,24 @@ val with_session :
 val store : t -> Tree_store.t
 val manager : t -> Document_manager.t
 val engine : t -> Natix_query.Engine.t
+
+(** The session's monitor; [None] with [~monitor:false] or when the
+    store has no observability handle. *)
+val mon : t -> Natix_mon.Mon.t option
+
+(** {2 Monitoring}
+
+    Conveniences over {!mon}; no-ops on an unmonitored session. *)
+
+(** Soft per-document budget: crossing a limit emits a
+    [Budget_exceeded] event (and fires {!Natix_mon.Mon.on_budget}
+    callbacks), it never fails the operation. *)
+val set_budget : t -> doc:string -> ?max_reads:int -> ?max_sim_ms:float -> unit -> unit
+
+(** Write the operation flight ring as a JSONL dump (see
+    {!Natix_mon.Recorder}); the meta line carries the session's
+    cumulative I/O totals and [cold = false]. *)
+val dump_flight : t -> out_channel -> unit
 
 (** Stored document names, sorted. *)
 val documents : t -> string list

@@ -26,6 +26,7 @@ type kind =
   | Wal_commit of { lsn : int; pages : int }
   | Recovery_undo of { page : int }
   | Recovery_done of { undone : int; torn_bytes : int }
+  | Budget_exceeded of { doc : string; resource : string; used : float; limit : float }
 
 type t = { seq : int; at_ms : float; kind : kind; ctx : ctx option }
 
@@ -59,6 +60,7 @@ let type_name = function
   | Wal_commit _ -> "wal_commit"
   | Recovery_undo _ -> "recovery_undo"
   | Recovery_done _ -> "recovery_done"
+  | Budget_exceeded _ -> "budget_exceeded"
 
 let rid_json rid = Json.String (Rid.to_string rid)
 
@@ -100,6 +102,13 @@ let kind_fields = function
   | Recovery_undo { page } -> [ ("page", Json.Int page) ]
   | Recovery_done { undone; torn_bytes } ->
     [ ("undone", Json.Int undone); ("torn_bytes", Json.Int torn_bytes) ]
+  | Budget_exceeded { doc; resource; used; limit } ->
+    [
+      ("doc", Json.String doc);
+      ("resource", Json.String resource);
+      ("used", Json.Float used);
+      ("limit", Json.Float limit);
+    ]
 
 let ctx_fields = function
   | None -> []

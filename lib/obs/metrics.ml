@@ -24,8 +24,13 @@ let counter t name =
 
 let check_edges edges =
   let ok = ref (Array.length edges > 0) in
-  Array.iteri (fun i e -> if i > 0 && e <= edges.(i - 1) then ok := false) edges;
-  if not !ok then invalid_arg "Metrics.register_histogram: edges must be strictly increasing"
+  Array.iteri
+    (fun i e ->
+      if not (Float.is_finite e) then ok := false;
+      if i > 0 && e <= edges.(i - 1) then ok := false)
+    edges;
+  if not !ok then
+    invalid_arg "Metrics.register_histogram: edges must be finite and strictly increasing"
 
 let register_histogram t name ~edges =
   match Hashtbl.find_opt t.histograms name with
@@ -54,17 +59,23 @@ let bucket_of edges v =
   go 0 n
 
 let observe t name v =
-  let h =
-    match Hashtbl.find_opt t.histograms name with
-    | Some h -> h
-    | None ->
-      register_histogram t name ~edges:default_edges;
-      Hashtbl.find t.histograms name
-  in
-  let b = bucket_of h.edges v in
-  h.counts.(b) <- h.counts.(b) + 1;
-  h.sum <- h.sum +. v;
-  h.n <- h.n + 1
+  (* A NaN or infinite observation would poison [sum] (and, for NaN, land
+     in an arbitrary bucket since every comparison is false); drop it so
+     quantiles and means stay finite whatever an instrumentation site
+     feeds in. *)
+  if Float.is_finite v then begin
+    let h =
+      match Hashtbl.find_opt t.histograms name with
+      | Some h -> h
+      | None ->
+        register_histogram t name ~edges:default_edges;
+        Hashtbl.find t.histograms name
+    in
+    let b = bucket_of h.edges v in
+    h.counts.(b) <- h.counts.(b) + 1;
+    h.sum <- h.sum +. v;
+    h.n <- h.n + 1
+  end
 
 let histogram t name =
   Hashtbl.find_opt t.histograms name

@@ -23,11 +23,14 @@ val counter : t -> string -> int
 
 (** [register_histogram t name ~edges] declares a histogram.  Idempotent
     when the edges match; re-registering with different edges raises
-    [Invalid_argument].  Edges must be strictly increasing. *)
+    [Invalid_argument].  Edges must be finite and strictly increasing. *)
 val register_histogram : t -> string -> edges:float array -> unit
 
 (** [observe t name v] records [v].  An unregistered name is first
-    registered with power-of-two byte-size edges (1 .. 65536). *)
+    registered with power-of-two byte-size edges (1 .. 65536).  Non-finite
+    values (NaN, ±∞) are dropped — they would otherwise poison the sum and
+    make {!quantile} return NaN — so [histogram]'s [n] counts only finite
+    observations. *)
 val observe : t -> string -> float -> unit
 
 (** [(edges, counts, sum, n)] of a registered histogram: [counts] has
@@ -40,8 +43,9 @@ val histogram : t -> string -> (float array * int array * float * int) option
     interpolated linearly within it (the first bucket's lower edge is
     taken as 0; observations in the overflow bucket report the last edge,
     so the estimate saturates there).  [None] when the histogram does not
-    exist or is empty.  Raises [Invalid_argument] if [q] is outside
-    [0, 1]. *)
+    exist or is empty — never NaN: edges are finite by registration and
+    non-finite observations are dropped by {!observe}.  Raises
+    [Invalid_argument] if [q] is outside [0, 1]. *)
 val quantile : t -> string -> float -> float option
 
 (** Names of all registered counters (resp. histograms), sorted. *)

@@ -10,7 +10,15 @@
     to a disk (see [Natix_store.Disk.set_obs]) it reads the disk's
     accumulated [Io_stats.sim_ms], so event timestamps and {!span}
     durations are commensurable with the paper's cost model, not with
-    wall time. *)
+    wall time.
+
+    {b Domain safety.}  One handle may be shared by several worker
+    domains (the latch-striped buffer pool emits through the store's
+    handle from whichever domain fixes a page).  Metric updates, sequence
+    stamping and sink delivery are serialised by an internal mutex, while
+    the operation context ({!with_context}) and the open-span stack are
+    {e domain-local} — each domain attributes its own events, with no
+    cross-domain bleed.  Single-domain behaviour is unchanged. *)
 
 type t
 
@@ -23,6 +31,16 @@ val create : ?sink:Sink.t -> unit -> t
 
 val metrics : t -> Metrics.t
 val sink : t -> Sink.t option
+
+(** [subscribe t f] registers an in-process consumer: every event emitted
+    from now on is also handed to [f], in subscription order, {e after}
+    the sink.  Events are constructed (and sequence-stamped) whenever a
+    sink or at least one subscriber is present.  [f] runs under the
+    handle's delivery lock — it must be fast and must not call back into
+    this handle ({!emit}/{!incr}/{!observe}/{!span}).  The monitoring
+    layer ([Natix_mon]) is the intended consumer.  Subscriptions cannot
+    be removed; they live as long as the handle. *)
+val subscribe : t -> (Event.t -> unit) -> unit
 
 (** {2 Operation attribution}
 
@@ -74,6 +92,11 @@ val events : t -> Event.t list
 
 (** Total events emitted so far. *)
 val emitted : t -> int
+
+(** Flush the sink's buffered output (see {!Sink.flush}); called by the
+    store at every durable checkpoint and on close, so JSONL traces
+    survive a crash up to the last checkpoint. *)
+val flush : t -> unit
 
 (** Close the sink (flushes JSONL files). *)
 val close : t -> unit

@@ -69,6 +69,12 @@ let rec write_json t v =
   | Ring _ | Console _ | Callback _ -> ()
   | Multi sinks -> List.iter (fun s -> write_json s v) sinks
 
+let rec flush = function
+  | Jsonl j -> Stdlib.flush j.oc
+  | Console c -> Format.pp_print_flush c.ppf ()
+  | Ring _ | Callback _ -> ()
+  | Multi sinks -> List.iter flush sinks
+
 let rec close = function
   | Ring _ -> ()
   | Jsonl j -> close_out j.oc

@@ -44,4 +44,15 @@ val emitted : t -> int
     metrics snapshot after the event stream); ignored by other sinks. *)
 val write_json : t -> Json.t -> unit
 
+(** Push buffered output to the OS: JSONL sinks flush their channel,
+    console sinks their formatter; ring and callback sinks hold nothing.
+
+    {b Buffering contract.}  JSONL event lines are buffered in the
+    [out_channel]; a crash of the process (or a simulated
+    [Faulty_disk.Crash]) loses whatever has not been flushed.  The store
+    calls [flush] at every durable checkpoint and on close, so a trace or
+    flight-recorder file on disk is complete up to the last checkpoint,
+    with every line valid JSON. *)
+val flush : t -> unit
+
 val close : t -> unit

@@ -4,9 +4,17 @@ module Disk = Natix_store.Disk
 module Buffer_pool = Natix_store.Buffer_pool
 
 type worker_stats = { worker : int; io : Io_stats.t }
-type 'a outcome = { results : 'a list; workers : worker_stats list }
+type 'a outcome = { results : 'a list; task_io : Io_stats.t list; workers : worker_stats list }
 
 let disk_of store = Buffer_pool.disk (Tree_store.buffer_pool store)
+
+(* Per-task operation attribution.  The pool and disk emit through the
+   {e base} store's observability handle from whichever domain runs the
+   task; the handle's context slot is domain-local (see
+   {!Natix_obs.Obs}), so each worker installs the (doc, phase) of the
+   task it is executing without clobbering its siblings. *)
+let with_ctx obs ?doc ~phase f =
+  match obs with None -> f () | Some obs -> Natix_obs.Obs.with_context obs ?doc ~phase f
 
 (* The generic executor: run [f ctx task] over [tasks] on [jobs] domains
    and hand results back in task order.
@@ -25,12 +33,25 @@ let disk_of store = Buffer_pool.disk (Tree_store.buffer_pool store)
 let map_tasks ~jobs ~disk ~make_ctx ~f tasks =
   let n = Array.length tasks in
   let jobs = if n = 0 then 1 else max 1 (min jobs n) in
+  (* Per-task I/O attribution: a task runs on one domain, and a domain
+     charges one accumulator (its stream inside a region, the default
+     stats outside), so diffing that accumulator around the task is the
+     task's exact I/O delta — no sampling, no cross-task bleed. *)
+  let timed ctx task =
+    let before = Io_stats.copy (Disk.active_stats disk) in
+    let r = f ctx task in
+    (r, Io_stats.diff (Io_stats.copy (Disk.active_stats disk)) before)
+  in
   if jobs <= 1 then begin
     let before = Io_stats.copy (Disk.stats disk) in
     let ctx = make_ctx () in
-    let results = Array.map (fun task -> f ctx task) tasks in
+    let results = Array.map (fun task -> timed ctx task) tasks in
     let io = Io_stats.diff (Io_stats.copy (Disk.stats disk)) before in
-    { results = Array.to_list results; workers = [ { worker = 0; io } ] }
+    {
+      results = Array.to_list (Array.map fst results);
+      task_io = Array.to_list (Array.map snd results);
+      workers = [ { worker = 0; io } ];
+    }
   end
   else begin
     let deques = Array.init jobs (fun _ -> Deque.create ~capacity:n) in
@@ -60,7 +81,7 @@ let map_tasks ~jobs ~disk ~make_ctx ~f tasks =
                 match next () with
                 | None -> ()
                 | Some (i, task) ->
-                  results.(i) <- Some (f ctx task);
+                  results.(i) <- Some (timed ctx task);
                   loop ()
             in
             loop ()
@@ -93,7 +114,7 @@ let map_tasks ~jobs ~disk ~make_ctx ~f tasks =
              | None -> invalid_arg "Par.map_tasks: task left unexecuted")
            results)
     in
-    { results; workers }
+    { results = List.map fst results; task_io = List.map snd results; workers }
   end
 
 (* Hits render exactly as the CLI does ([bin/natix_cli.ml]): elements as
@@ -103,21 +124,25 @@ let render reader c =
   if Cursor.is_element c then Exporter.to_string reader (Cursor.node c) else Cursor.text c
 
 let run_queries ?(jobs = 1) store tasks =
+  let obs = Tree_store.obs store in
   map_tasks ~jobs ~disk:(disk_of store)
     ~make_ctx:(fun () ->
       let reader = Tree_store.reader store in
       (reader, Natix_query.Engine.create reader))
     ~f:(fun (reader, engine) (doc, path) ->
-      match Natix_query.Engine.query engine ~doc path with
-      | Error _ as e -> e
-      | Ok seq -> Ok (List.map (render reader) (List.of_seq seq)))
+      with_ctx obs ~doc ~phase:"query" (fun () ->
+          match Natix_query.Engine.query engine ~doc path with
+          | Error _ as e -> e
+          | Ok seq -> Ok (List.map (render reader) (List.of_seq seq))))
     (Array.of_list tasks)
 
 let scan_all ?(jobs = 1) store =
   let docs = List.sort String.compare (Tree_store.list_documents store) in
+  let obs = Tree_store.obs store in
   map_tasks ~jobs ~disk:(disk_of store)
     ~make_ctx:(fun () -> Tree_store.reader store)
     ~f:(fun reader doc ->
+      with_ctx obs ~doc ~phase:"scan" @@ fun () ->
       Buffer_pool.with_scan (Tree_store.buffer_pool reader) (fun () ->
           match Cursor.of_document reader doc with
           | None -> (doc, 0)
@@ -127,6 +152,7 @@ let scan_all ?(jobs = 1) store =
 
 let load_files ?(jobs = 1) dm files =
   let disk = disk_of (Document_manager.store dm) in
+  let obs = Tree_store.obs (Document_manager.store dm) in
   let commit_lock = Mutex.create () in
   let crashed = Atomic.make false in
   let store_one name xml =
@@ -149,6 +175,7 @@ let load_files ?(jobs = 1) dm files =
   map_tasks ~jobs ~disk
     ~make_ctx:(fun () -> ())
     ~f:(fun () (name, text) ->
+      with_ctx obs ~doc:name ~phase:"load" @@ fun () ->
       match Natix_xml.Xml_parser.parse text with
       | exception Natix_xml.Xml_parser.Error { line; col; msg } ->
         Error (Error.Parse (Printf.sprintf "%s:%d:%d: %s" name line col msg))

@@ -33,10 +33,22 @@
 (** Per-worker I/O accounting, reported after the join. *)
 type worker_stats = { worker : int; io : Natix_store.Io_stats.t }
 
-(** [results] in task-submission (document) order; [workers] in worker
-    index order.  At [jobs <= 1] there is exactly one worker entry,
-    holding the stats delta of the whole inline run. *)
-type 'a outcome = { results : 'a list; workers : worker_stats list }
+(** [results] and [task_io] in task-submission (document) order;
+    [workers] in worker index order.  At [jobs <= 1] there is exactly
+    one worker entry, holding the stats delta of the whole inline run.
+
+    [task_io] is each task's exact I/O delta, measured by diffing the
+    executing domain's accumulator around the task (a domain runs one
+    task at a time, so nothing bleeds between tasks).  Per-task {e read}
+    counts are schedule-dependent at [jobs >= 2] — whichever task
+    touches a shared page first pays its miss — while their sum stays
+    schedule-independent; treat them as attribution for monitoring, not
+    as replayable figures. *)
+type 'a outcome = {
+  results : 'a list;
+  task_io : Natix_store.Io_stats.t list;
+  workers : worker_stats list;
+}
 
 (** [run_queries ~jobs store tasks] evaluates each [(doc, path)] task
     and renders every hit exactly as the CLI does (elements as XML via

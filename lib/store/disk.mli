@@ -127,6 +127,13 @@ val set_page_count : t -> int -> unit
     worker-index order) when the region ends. *)
 val stats : t -> Io_stats.t
 
+(** The accumulator the {e calling domain} is charging right now: its
+    registered stream inside a parallel region, the default {!stats}
+    otherwise.  An executor can attribute I/O to individual tasks by
+    diffing this around each task — exact, because a task runs on one
+    domain and a domain runs one task at a time. *)
+val active_stats : t -> Io_stats.t
+
 (** {2 Parallel regions}
 
     The disk is internally serialised by a single latch (shared file

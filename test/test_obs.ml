@@ -93,6 +93,38 @@ let metrics_tests =
         | None -> Alcotest.fail "histogram missing from snapshot");
         Metrics.reset m;
         Alcotest.(check int) "reset zeroes counters" 0 (Metrics.counter m "a"));
+    Alcotest.test_case "quantile: empty and degenerate histograms yield None, never NaN"
+      `Quick (fun () ->
+        let m = Metrics.create () in
+        Alcotest.(check (option (float 1e-9))) "unknown name" None (Metrics.quantile m "h" 0.5);
+        Metrics.register_histogram m "h" ~edges:[| 1.; 2. |];
+        Alcotest.(check (option (float 1e-9))) "registered but empty" None
+          (Metrics.quantile m "h" 0.5);
+        (* Non-finite observations are dropped, so the histogram stays
+           empty and the sum stays finite. *)
+        List.iter (Metrics.observe m "h") [ Float.nan; Float.infinity; Float.neg_infinity ];
+        Alcotest.(check (option (float 1e-9))) "still empty after non-finite feeds" None
+          (Metrics.quantile m "h" 0.5);
+        (match Metrics.histogram m "h" with
+        | Some (_, _, sum, n) ->
+          Alcotest.(check int) "n counts only finite observations" 0 n;
+          Alcotest.(check bool) "sum stays finite" true (Float.is_finite sum)
+        | None -> Alcotest.fail "histogram lost");
+        Metrics.observe m "h" 1.5;
+        (match Metrics.quantile m "h" 1.0 with
+        | Some v -> Alcotest.(check bool) "finite quantile" true (Float.is_finite v)
+        | None -> Alcotest.fail "quantile missing after a finite observation");
+        Alcotest.check_raises "q out of range rejected"
+          (Invalid_argument "Metrics.quantile: q must be in [0, 1]") (fun () ->
+            ignore (Metrics.quantile m "h" 1.5)));
+    Alcotest.test_case "register_histogram rejects non-finite edges" `Quick (fun () ->
+        let m = Metrics.create () in
+        Alcotest.check_raises "NaN edge rejected"
+          (Invalid_argument "Metrics.register_histogram: edges must be finite and strictly increasing")
+          (fun () -> Metrics.register_histogram m "bad" ~edges:[| 1.; Float.nan |]);
+        Alcotest.check_raises "infinite edge rejected"
+          (Invalid_argument "Metrics.register_histogram: edges must be finite and strictly increasing")
+          (fun () -> Metrics.register_histogram m "bad" ~edges:[| 1.; Float.infinity |]));
   ]
 
 (* ------------------------------------------------------------------ *)
