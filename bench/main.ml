@@ -517,6 +517,53 @@ let qb_scan_pool corpus =
       (name, trav, q3, ratio))
     [ ("plain LRU", 0, false); ("segmented LRU + RA 8", 8, true) ]
 
+(* Write bench (--write-bench): concurrent transactional writers.  Each
+   document commits as one ARIES transaction through the group-commit
+   daemon ([Par.load_files_txn]); jobs ∈ {1, 2, 4} worker domains share
+   one file-backed store per run.  The domain schedule makes every I/O
+   counter racy, so the JSON section exports only the document count and
+   [*_wall_s] keys, which bench-diff skips; the table additionally shows
+   how many daemon flushes the commits batched into. *)
+let run_write_bench corpus =
+  Printf.printf "\nWrite bench - concurrent transactional writers (8K pages, group commit)\n";
+  Printf.printf "%-8s %8s %10s %12s %10s\n" "jobs" "docs" "commits" "gc-flushes" "wall-s";
+  let page_size = 8192 in
+  let files =
+    List.mapi
+      (fun i play -> (Printf.sprintf "play-%d" i, Natix_xml.Xml_print.to_string play))
+      corpus
+  in
+  let run jobs =
+    let path = Filename.temp_file "natix_bench" ".db" in
+    let config =
+      { (Config.default ()) with Config.page_size; commit_delay = 0.5 }
+    in
+    let disk = Natix_store.Disk.on_file ~page_size path in
+    let store = Tree_store.open_store ~config disk in
+    let dm = Document_manager.create ~index:Document_manager.Off store in
+    let t0 = Unix.gettimeofday () in
+    let outcome = Natix_par.Par.load_files_txn ~jobs dm files in
+    let wall = Unix.gettimeofday () -. t0 in
+    List.iter2
+      (fun (name, _) -> function
+        | Ok () -> ()
+        | Error e -> failwith (Printf.sprintf "write bench %s: %s" name (Error.to_string e)))
+      files outcome.Natix_par.Par.results;
+    let gc = Option.get (Tree_store.group_commit store) in
+    let flushes = Natix_store.Group_commit.flushes gc in
+    let committed = Natix_store.Group_commit.committed gc in
+    Tree_store.close ~commit:false store;
+    Sys.remove path;
+    let wal = Natix_store.Recovery.wal_path path in
+    if Sys.file_exists wal then Sys.remove wal;
+    Printf.printf "%-8d %8d %10d %12d %10.3f\n" jobs (List.length files) committed flushes wall;
+    (jobs, wall)
+  in
+  let runs = List.map run [ 1; 2; 4 ] in
+  J.Obj
+    (("docs", J.Int (List.length files))
+    :: List.map (fun (jobs, w) -> (Printf.sprintf "jobs%d_wall_s" jobs, J.Float w)) runs)
+
 (* Parallel ablation (--jobs N): the same query batch at jobs=1 and
    jobs=N over one shared store.  reads/writes must match exactly — every
    distinct page is read once into the shared pool regardless of the
@@ -671,7 +718,7 @@ let write_json_doc path doc =
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
-let write_json_report path ~scale ~plays ~nodes ~bytes ?query ?parallel rows small =
+let write_json_report path ~scale ~plays ~nodes ~bytes ?query ?parallel ?write rows small =
   let doc =
     J.Obj
       ([
@@ -682,7 +729,8 @@ let write_json_report path ~scale ~plays ~nodes ~bytes ?query ?parallel rows sma
          ("instrumented", instrumented_metrics_json small);
        ]
       @ (match query with None -> [] | Some q -> [ ("query_bench", q) ])
-      @ match parallel with None -> [] | Some p -> [ ("parallel", p) ])
+      @ (match parallel with None -> [] | Some p -> [ ("parallel", p) ])
+      @ match write with None -> [] | Some w -> [ ("write_bench", w) ])
   in
   write_json_doc path doc
 
@@ -742,6 +790,7 @@ let () =
   let check = ref false in
   let json_path = ref "" in
   let jobs = ref 1 in
+  let write_bench = ref false in
   let args =
     [
       ("--scale", Arg.Set_float scale, "FACTOR corpus scale (default 1.0 = 37 plays)");
@@ -769,6 +818,10 @@ let () =
         Arg.Set_int jobs,
         "N also run the parallel query bench at N worker domains (adds a \"parallel\" JSON \
          section; existing figures are untouched)" );
+      ( "--write-bench",
+        Arg.Set write_bench,
+        " also run the concurrent transactional-writer bench at jobs 1/2/4 (adds a \
+         \"write_bench\" JSON section of wall-clock keys; existing figures are untouched)" );
     ]
   in
   Arg.parse args (fun _ -> ()) "natix benchmark harness";
@@ -785,9 +838,15 @@ let () =
       Some (run_parallel_bench ~jobs:!jobs (Shakespeare.generate (Shakespeare.scaled (Float.min !scale 0.25))))
     else None
   in
+  let write_section () =
+    if !write_bench then
+      Some (run_write_bench (Shakespeare.generate (Shakespeare.scaled (Float.min !scale 0.25))))
+    else None
+  in
   if !query_only then begin
     let query = run_query_bench corpus in
     let parallel = parallel_section () in
+    let write = write_section () in
     if !json_path <> "" then
       write_json_doc !json_path
         (J.Obj
@@ -796,7 +855,8 @@ let () =
               ("io_model", J.String "IBM DCAS-34330W (simulated ms)");
               ("query_bench", query);
             ]
-           @ match parallel with None -> [] | Some p -> [ ("parallel", p) ]));
+           @ (match parallel with None -> [] | Some p -> [ ("parallel", p) ])
+           @ match write with None -> [] | Some w -> [ ("write_bench", w) ]));
     exit 0
   end;
   let rows =
@@ -824,10 +884,11 @@ let () =
     else None
   in
   let parallel = parallel_section () in
+  let write = write_section () in
   if !json_path <> "" then begin
     let small = Shakespeare.generate (Shakespeare.scaled (Float.min !scale 0.1)) in
     write_json_report !json_path ~scale:!scale ~plays:(List.length corpus) ~nodes ~bytes ?query
-      ?parallel rows small
+      ?parallel ?write rows small
   end;
   if !run_ablations then begin
     let small = Shakespeare.generate (Shakespeare.scaled (Float.min !scale 0.25)) in

@@ -130,7 +130,7 @@ let load_cmd =
     Term.(const run $ store_arg $ doc_arg 1 $ xml_arg $ page_size_arg $ order_arg $ stream)
 
 let bulkload_cmd =
-  let run store_path xml_paths page_size jobs =
+  let run store_path xml_paths page_size jobs txn =
     (* Document names derive from basenames, so dir1/a.xml and dir2/a.xml
        would silently collide on "a"; refuse upfront with the offending
        paths instead of surfacing a confusing per-document store error. *)
@@ -156,7 +156,10 @@ let bulkload_cmd =
       open_session ~create_page_size:page_size ~index:Document_manager.Maintain store_path
     in
     let files = List.map (fun (name, p) -> (name, read_file p)) named in
-    let outcome = Natix.Session.load_files ~jobs sess files in
+    let outcome =
+      if txn then Natix.Session.load_files_txn ~jobs sess files
+      else Natix.Session.load_files ~jobs sess files
+    in
     let failed = ref None in
     List.iter2
       (fun (name, _) result ->
@@ -177,13 +180,23 @@ let bulkload_cmd =
   let xml_args =
     Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"FILE" ~doc:"XML files to load.")
   in
+  let txn_arg =
+    Arg.(
+      value & flag
+      & info [ "txn" ]
+          ~doc:
+            "Commit each document as an ARIES transaction through the group-commit daemon \
+             instead of a store-wide checkpoint: commit fsyncs from parallel workers batch \
+             instead of serialising.")
+  in
   Cmd.v
     (Cmd.info "bulkload"
        ~doc:
          "Load many XML files in one go, each as a document named after its basename.  With \
           --jobs > 1 files parse on parallel worker domains while store commits stay \
-          serialised, one WAL batch per document.")
-    Term.(const run $ store_arg $ xml_args $ page_size_arg $ jobs_arg)
+          serialised, one WAL batch per document ($(b,--txn) commits them as overlapping \
+          transactions instead).")
+    Term.(const run $ store_arg $ xml_args $ page_size_arg $ jobs_arg $ txn_arg)
 
 let list_cmd =
   let run store_path =
@@ -628,12 +641,14 @@ let recover_cmd =
       in
       let disk = Natix_store.Disk.on_file ~page_size ?obs store_path in
       let report = Natix_store.Recovery.run ?obs:(Natix_store.Disk.obs disk) disk in
-      Printf.printf "%s: %s; %d page(s) restored, %d torn log byte(s) discarded, %d page(s) on disk\n"
+      Printf.printf
+        "%s: %s; %d page(s) redone, %d page(s) undone across %d loser(s), %d torn log byte(s) \
+         discarded, %d page(s) on disk\n"
         store_path
         (if not report.Natix_store.Recovery.ran then "no write-ahead log, nothing to do"
-         else if report.committed then "log ended in a commit (clean)"
-         else "rolled back uncommitted batch")
-        report.undone report.torn_bytes report.page_count;
+         else if report.clean then "log was clean (no losers, no torn tail)"
+         else "rolled back uncommitted transaction(s)")
+        report.redone report.undone report.losers report.torn_bytes report.page_count;
       Natix_store.Disk.close disk;
       Option.iter Natix_obs.Obs.close obs
   in
@@ -1065,5 +1080,12 @@ let () =
       Printf.eprintf "natix: page %d unreadable after retries\n" page;
       dump_flight_on_error ();
       6
+    | e ->
+      (* Anything unexpected — a recovery pass dying on a corrupt log, an
+         assertion in the storage engine — still flushes the flight
+         recorder before the backtrace, so the last moments before the
+         failure are on disk next to it. *)
+      dump_flight_on_error ();
+      raise e
   in
   exit code

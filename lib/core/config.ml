@@ -7,6 +7,7 @@ type t = {
   merge_threshold : float;
   standalone_first_fit : bool;
   wal : bool;
+  commit_delay : float;
   read_retries : int;
   read_ahead : int;
   scan_resistant : bool;
@@ -23,6 +24,7 @@ let default () =
     merge_threshold = 0.5;
     standalone_first_fit = false;
     wal = true;
+    commit_delay = 0.;
     read_retries = 3;
     read_ahead = 0;
     scan_resistant = false;
@@ -51,6 +53,8 @@ let validate t =
     invalid_arg "Config: split_tolerance must be in [0, 0.5]";
   if t.merge_threshold < 0. || t.merge_threshold > 1. then
     invalid_arg "Config: merge_threshold must be in [0, 1]";
+  if t.commit_delay < 0. || t.commit_delay > 10_000. then
+    invalid_arg "Config: commit_delay must be in [0, 10000] ms";
   if t.read_retries < 0 || t.read_retries > 1000 then
     invalid_arg "Config: read_retries must be in [0, 1000]";
   if t.read_ahead < 0 || t.read_ahead > 1024 then

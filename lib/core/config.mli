@@ -31,6 +31,11 @@ type t = {
           [Tree_store.sync] a durable checkpoint.  [true] by default; no
           effect on in-memory stores.  Disabling trades crash safety for
           less write amplification. *)
+  commit_delay : float;
+      (** Group-commit batching window in simulated milliseconds: a commit
+          leader waits this long before forcing the log, so concurrent
+          committers share one fsync.  [0.] (default) forces immediately.
+          Charged to the I/O model's clock, not wall time. *)
   read_retries : int;
       (** How many times the buffer pool retries a transiently failing
           page read (fault injection / flaky media) before giving up. *)

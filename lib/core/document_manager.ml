@@ -92,6 +92,16 @@ let store_committed t ~name ?dtd ?infer_dtd ?order xml =
     checkpoint t;
     Ok root
 
+(* One document, one transaction: the load's page writes are logged as
+   redo+undo update records under a fresh transaction id and committed
+   through the group-commit daemon.  Unlike [store_committed] there is no
+   store-wide checkpoint, so concurrent transactional loaders batch their
+   commit fsyncs instead of serialising full pool flushes — the document
+   latch inside [Tree_store.with_txn] is the only per-document serialiser. *)
+let store_transactional t ~name ?dtd ?infer_dtd ?order xml =
+  Tree_store.with_txn t.store ~doc:name (fun () ->
+      store_document t ~name ?dtd ?infer_dtd ?order xml)
+
 let document_dtd t doc =
   Option.map Dtd.decode
     (Hashtbl.find_opt (Tree_store.catalog t.store).Catalog.meta (dtd_key doc))

@@ -74,6 +74,23 @@ val store_committed :
   Natix_xml.Xml_tree.t ->
   (Phys_node.t, Error.t) result
 
+(** [store_transactional] is {!store_document} wrapped in
+    {!Tree_store.with_txn} on the target document: the load commits as one
+    ARIES transaction through the group-commit daemon, so concurrent
+    loaders on different documents batch their commit fsyncs rather than
+    serialising store-wide checkpoints.  Same atomicity guarantee as
+    {!store_committed}: after the call returns, a crash cannot take the
+    document with it; a crash mid-call loses it entirely, never partially.
+    @raise Error.Error if the store is poisoned or has no write-ahead log. *)
+val store_transactional :
+  t ->
+  name:string ->
+  ?dtd:Natix_xml.Dtd.t ->
+  ?infer_dtd:bool ->
+  ?order:Loader.order ->
+  Natix_xml.Xml_tree.t ->
+  (Phys_node.t, Error.t) result
+
 (** DTD stored with a document, if any. *)
 val document_dtd : t -> string -> Natix_xml.Dtd.t option
 

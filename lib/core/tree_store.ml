@@ -5,10 +5,31 @@ exception Unsplittable of string
 
 type record_event = Changed | Dropped
 
+(* Transaction machinery, shared by value across {!reader} copies (the
+   field holds the same object).  One transaction is in its mutation
+   phase at a time — [struct_lock] serialises them store-wide, which is
+   what makes reverse-order before-image undo sound: an uncommitted
+   transaction's records are always a suffix of the log.  Per-document
+   latches (held across the whole transaction, commit wait included)
+   give writers on different documents their concurrency: parsing and
+   group-commit fsync waits overlap even though mutation phases do
+   not. *)
+type txn_state = {
+  struct_lock : Mutex.t;  (* rank {!Lock_rank.structure} *)
+  latches_lock : Mutex.t;  (* guards [doc_latches]; taken holding nothing *)
+  doc_latches : (string, Mutex.t) Hashtbl.t;  (* rank {!Lock_rank.doc} *)
+  counter : int Atomic.t;  (* next transaction id; 0 is the implicit batch *)
+  active : int Atomic.t;  (* transactions between begin and commit ack *)
+  poisoned : string option Atomic.t;
+  mutable mutator : Domain.id option;  (* domain in its mutation phase *)
+}
+
 type t = {
   rm : Record_manager.t;
   pool : Buffer_pool.t;
   config : Config.t;
+  gc : Group_commit.t option;
+  txns : txn_state;
   catalog : Catalog.t;
   cache : Phys_node.box Rid.Tbl.t;
   mutable splits : int;
@@ -73,17 +94,27 @@ let open_store ?(config = Config.default ()) disk =
   | (Some _ | None), _ -> ());
   (* Crash recovery must run before the segment's reopen scan below reads
      any page: a torn page would fail its checksum there. *)
-  (match Disk.path disk with
-  | Some _ -> ignore (Recovery.run ?obs:(Disk.obs disk) disk : Recovery.report)
-  | None -> ());
+  let recovery =
+    match Disk.path disk with
+    | Some _ -> Recovery.run ?obs:(Disk.obs disk) disk
+    | None -> Recovery.no_op disk
+  in
   let wal =
     match Disk.path disk with
     | Some p when config.wal ->
       Some
         (Wal.create ?obs:(Disk.obs disk) ?faults:(Disk.faults disk)
-           ~page_size:(Disk.page_size disk) ~base:(Disk.page_count disk)
-           (Recovery.wal_path p))
+           ~first_lsn:recovery.Recovery.next_lsn ~page_size:(Disk.page_size disk)
+           ~base:(Disk.page_count disk) (Recovery.wal_path p))
     | Some _ | None -> None
+  in
+  let gc =
+    Option.map
+      (fun w ->
+        Group_commit.create ~commit_delay:config.commit_delay
+          ~charge:(fun ms -> Disk.charge_sync_ms disk ms)
+          w)
+      wal
   in
   let pool =
     Buffer_pool.create ~disk ~bytes:config.buffer_bytes ?wal ~read_retries:config.read_retries
@@ -101,6 +132,17 @@ let open_store ?(config = Config.default ()) disk =
     rm;
     pool;
     config;
+    gc;
+    txns =
+      {
+        struct_lock = Mutex.create ();
+        latches_lock = Mutex.create ();
+        doc_latches = Hashtbl.create 16;
+        counter = Atomic.make 1;
+        active = Atomic.make 0;
+        poisoned = Atomic.make None;
+        mutator = None;
+      };
     catalog;
     cache = Rid.Tbl.create 1024;
     splits = 0;
@@ -142,7 +184,128 @@ let reset_io_stats t =
   Io_stats.reset (Disk.stats disk);
   Buffer_pool.reset_stats t.pool
 
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                        *)
+
+let storage_error fmt = Printf.ksprintf (fun m -> raise (Error.Error (Error.Storage m))) fmt
+
+let poisoned t = Atomic.get t.txns.poisoned
+let active_txns t = Atomic.get t.txns.active
+let group_commit t = t.gc
+let poison t msg = Atomic.compare_and_set t.txns.poisoned None (Some msg) |> ignore
+
+let check_usable t =
+  match Atomic.get t.txns.poisoned with
+  | Some msg -> storage_error "store poisoned by a failed transaction (%s); reopen to recover" msg
+  | None -> ()
+
+(* Mutations not scoped by {!with_txn} belong to the implicit checkpoint
+   batch; mixing them with transactional writers would attribute their
+   pages to whichever regime writes first, so they are rejected while any
+   transaction is in flight.  The transaction's own mutation phase passes:
+   it runs on the domain registered as the mutator. *)
+let guard_mutate t =
+  check_usable t;
+  if Atomic.get t.txns.active > 0 && t.txns.mutator <> Some (Domain.self ()) then
+    storage_error "unscoped mutation while %d transaction(s) are in flight"
+      (Atomic.get t.txns.active)
+
+let doc_latch t doc =
+  Lock_rank.acquire Lock_rank.unordered;
+  Mutex.lock t.txns.latches_lock;
+  let m =
+    match Hashtbl.find_opt t.txns.doc_latches doc with
+    | Some m -> m
+    | None ->
+      let m = Mutex.create () in
+      Hashtbl.replace t.txns.doc_latches doc m;
+      m
+  in
+  Mutex.unlock t.txns.latches_lock;
+  Lock_rank.release Lock_rank.unordered;
+  m
+
+(* Run [f] as a transaction on document [doc].  The document latch spans
+   the whole call (two transactions on one document serialise entirely);
+   the structure lock spans only the mutation phase, so the commit wait —
+   where group commit batches fsyncs — overlaps with other writers.  Any
+   failure (an exception out of [f], a crashed or poisoned commit) leaves
+   the in-memory state inconsistent with no way to roll it back in place,
+   so it poisons the store: every later operation gets a typed error, and
+   reopening runs recovery, which undoes the loser from the log. *)
+let with_txn t ~doc f =
+  check_usable t;
+  let gc =
+    match t.gc with
+    | Some gc -> gc
+    | None -> storage_error "transactions need a write-ahead log (file-backed store, wal=true)"
+  in
+  let latch = doc_latch t doc in
+  Lock_rank.acquire Lock_rank.doc;
+  Mutex.lock latch;
+  Atomic.incr t.txns.active;
+  let release_doc () =
+    Atomic.decr t.txns.active;
+    Mutex.unlock latch;
+    Lock_rank.release Lock_rank.doc
+  in
+  let mutation () =
+    Lock_rank.acquire Lock_rank.structure;
+    Mutex.lock t.txns.struct_lock;
+    let release_struct () =
+      t.txns.mutator <- None;
+      Mutex.unlock t.txns.struct_lock;
+      Lock_rank.release Lock_rank.structure
+    in
+    match
+      check_usable t;
+      t.txns.mutator <- Some (Domain.self ());
+      (* The first transaction seals whatever the implicit batch has done
+         so far; from here until the next checkpoint, write-backs log
+         transactional update records instead of batch pre-images. *)
+      if not (Buffer_pool.txn_mode t.pool) then Buffer_pool.checkpoint t.pool;
+      let txn = Atomic.fetch_and_add t.txns.counter 1 in
+      Buffer_pool.txn_begin t.pool ~txn;
+      let result = f () in
+      (* The catalog (documents, name pool, meta) must commit with the
+         transaction that grew it: labels interned during [f] live only in
+         memory until saved, and recovery redoes data pages against
+         whatever catalog image the log carries. *)
+      Hashtbl.replace t.catalog.Catalog.meta epoch_meta_key (string_of_int t.change_epoch);
+      Catalog.save t.rm t.catalog;
+      let lsn = Buffer_pool.txn_commit_prep t.pool in
+      (result, lsn)
+    with
+    | pair ->
+      release_struct ();
+      pair
+    | exception e ->
+      poison t (Printexc.to_string e);
+      release_struct ();
+      raise e
+  in
+  match mutation () with
+  | exception e ->
+    release_doc ();
+    raise e
+  | result, lsn -> (
+    match Group_commit.commit gc ~lsn with
+    | Ok () ->
+      release_doc ();
+      result
+    | Error msg ->
+      poison t msg;
+      release_doc ();
+      storage_error "commit failed: %s" msg
+    | exception e ->
+      poison t (Printexc.to_string e);
+      release_doc ();
+      raise e)
+
 let sync t =
+  check_usable t;
+  if Atomic.get t.txns.active > 0 then
+    storage_error "checkpoint rejected: %d transaction(s) in flight" (Atomic.get t.txns.active);
   Hashtbl.replace t.catalog.Catalog.meta epoch_meta_key (string_of_int t.change_epoch);
   Catalog.save t.rm t.catalog;
   Buffer_pool.checkpoint t.pool;
@@ -154,7 +317,12 @@ let sync t =
 let checkpoint = sync
 
 let close ?(commit = true) t =
-  if commit then sync t;
+  (* A poisoned store must not checkpoint: flushing and truncating the log
+     would promote the failed transaction's partial writes to committed
+     state.  Close without syncing; recovery rolls them back on reopen. *)
+  (match Atomic.get t.txns.poisoned with
+  | Some _ -> ()
+  | None -> if commit then sync t);
   (match t.obs with None -> () | Some obs -> Natix_obs.Obs.flush obs);
   (match Buffer_pool.wal t.pool with Some w -> Wal.close w | None -> ());
   Disk.close (Buffer_pool.disk t.pool)
@@ -694,6 +862,7 @@ let insert_embedded t host ~index node =
   grow_check t (box_of t host)
 
 let insert_node t point payload =
+  guard_mutate t;
   let node = mk_payload payload in
   (* Physical placement next to the designated sibling, and the logical
      parent for the Split Matrix decision (§3.2.1/§3.3). *)
@@ -777,6 +946,7 @@ let merge_around t (box : Phys_node.box) =
   if not (Rid.is_null box.parent_rid) then try_merge t (fetch t box.parent_rid)
 
 let delete_node t (node : Phys_node.t) =
+  guard_mutate t;
   match node.Phys_node.parent with
   | Some p ->
     delete_descendant_records t node;
@@ -799,6 +969,7 @@ let delete_node t (node : Phys_node.t) =
     merge_around t pbox
 
 let update_text t (node : Phys_node.t) s =
+  guard_mutate t;
   (match node.Phys_node.kind with
   | Literal (Str _) | Literal (Uri _) | Frag_aggregate _ -> ()
   | Literal _ | Aggregate _ | Proxy _ ->
@@ -818,6 +989,7 @@ let update_text t (node : Phys_node.t) s =
 let document_rid t name = Hashtbl.find_opt t.catalog.Catalog.docs name
 
 let create_document t ~name ~root =
+  guard_mutate t;
   if Hashtbl.mem t.catalog.Catalog.docs name then
     invalid_arg (Printf.sprintf "Tree_store.create_document: %S exists" name);
   let root_node = Phys_node.aggregate (label t root) [] in
@@ -836,6 +1008,7 @@ let list_documents t =
   |> List.sort String.compare
 
 let delete_document t name =
+  guard_mutate t;
   match document_rid t name with
   | None -> invalid_arg (Printf.sprintf "Tree_store.delete_document: no document %S" name)
   | Some rid ->

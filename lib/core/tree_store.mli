@@ -71,11 +71,46 @@ val max_record_size : t -> int
 (** Persist the catalog and flush all buffers.  On a file-backed store
     with the WAL enabled (the default) this is a durable {e checkpoint}:
     the write-ahead-log batch commits, and a crash at any later point
-    recovers the store to exactly this state. *)
+    recovers the store to exactly this state.
+    @raise Error.Error with [Storage _] while transactions are in flight
+    or after the store was poisoned. *)
 val sync : t -> unit
 
 (** Synonym for {!sync}, named for the durability protocol. *)
 val checkpoint : t -> unit
+
+(** {1 Transactions}
+
+    [with_txn t ~doc f] runs [f] as one atomic, durable transaction
+    against document [doc]: after a crash the store recovers to a state
+    where the transaction either happened entirely or not at all.  The
+    per-document latch is held for the whole call, so two transactions on
+    the same document serialise completely; transactions on different
+    documents overlap everywhere except the store-wide mutation phase
+    (parsing before the call and the commit-fsync wait — where group
+    commit batches concurrent committers into one log force — run
+    concurrently).
+
+    Mutations outside [with_txn] keep the implicit checkpoint-batch
+    semantics, but mixing regimes is rejected: an unscoped mutation while
+    any transaction is in flight raises a [Storage] error.
+
+    If [f] raises, or the commit fails (a crashed log force, a poisoned
+    group-commit daemon), the store is {e poisoned}: the in-memory state
+    cannot be rolled back in place, so every later operation raises a
+    typed [Storage] error and the only way forward is to reopen the store,
+    which replays the log and undoes the loser. *)
+val with_txn : t -> doc:string -> (unit -> 'a) -> 'a
+
+(** Why the store is poisoned, if it is. *)
+val poisoned : t -> string option
+
+(** Transactions currently between begin and commit acknowledgement. *)
+val active_txns : t -> int
+
+(** The group-commit daemon (present iff the store has a WAL); exposes
+    flush/batching counters. *)
+val group_commit : t -> Group_commit.t option
 
 (** [close t] checkpoints (unless [~commit:false]), then closes the WAL
     and the disk.  [~commit:false] abandons un-checkpointed work — the

@@ -22,13 +22,14 @@ let ensure_obs ~monitor config =
     | Some _ -> config
     | None -> Config.with_obs (Natix_obs.Obs.create ()) config
 
-let of_store ?(index = Document_manager.Ensure) ?(monitor = true) ?path store =
+let of_store_with_mon ~index ~mon ?path store =
   let manager = Document_manager.create ~index store in
   let engine = Natix_query.Engine.of_manager manager in
-  let mon =
-    if monitor then Option.map Mon.attach (Tree_store.obs store) else None
-  in
   { store; manager; engine; parallelism = 1; mon; path }
+
+let of_store ?(index = Document_manager.Ensure) ?(monitor = true) ?path store =
+  let mon = if monitor then Option.map Mon.attach (Tree_store.obs store) else None in
+  of_store_with_mon ~index ~mon ?path store
 
 let in_memory ?config ?model ?index ?(monitor = true) () =
   let config = ensure_obs ~monitor (Option.value config ~default:(Config.default ())) in
@@ -50,7 +51,27 @@ let open_file ?config ?(create_page_size = 8192) ?index ?(monitor = true) path =
   in
   let config = ensure_obs ~monitor config in
   let disk = Natix_store.Disk.on_file ~page_size path in
-  of_store ?index ~monitor ~path (Tree_store.open_store ~config disk)
+  (* Attach the monitor before the store opens so crash recovery's events
+     land in its flight ring; if recovery (or any other part of opening)
+     fails, the ring is dumped next to the store before the exception
+     propagates — the only trace of a store that cannot even open. *)
+  let mon = if monitor then Option.map Mon.attach config.Config.obs else None in
+  let store =
+    try Tree_store.open_store ~config disk
+    with e ->
+      (match mon with
+      | None -> ()
+      | Some mon -> (
+        try
+          let oc = open_out "natix-flight.jsonl" in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> Mon.dump_flight mon ~io:(Natix_store.Disk.stats disk) ~jobs:1 ~store:path oc)
+        with _ -> ()));
+      (try Natix_store.Disk.close disk with _ -> ());
+      raise e
+  in
+  of_store_with_mon ~index:(Option.value index ~default:Document_manager.Ensure) ~mon ~path store
 
 let store t = t.store
 let manager t = t.manager
@@ -259,9 +280,7 @@ let scan_all ?jobs t =
        (task_results outcome));
   outcome
 
-let load_files ?jobs t files =
-  let jobs = Option.value jobs ~default:t.parallelism in
-  let outcome = Natix_par.Par.load_files ~jobs t.manager files in
+let record_load_batch t files outcome =
   record_batch t
     (List.map2
        (fun (name, _) (result, d) ~at_ms ->
@@ -270,3 +289,11 @@ let load_files ?jobs t files =
            (outcome_of_result result))
        files (task_results outcome));
   outcome
+
+let load_files ?jobs t files =
+  let jobs = Option.value jobs ~default:t.parallelism in
+  record_load_batch t files (Natix_par.Par.load_files ~jobs t.manager files)
+
+let load_files_txn ?jobs t files =
+  let jobs = Option.value jobs ~default:t.parallelism in
+  record_load_batch t files (Natix_par.Par.load_files_txn ~jobs t.manager files)

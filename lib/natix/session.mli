@@ -166,3 +166,10 @@ val scan_all : ?jobs:int -> t -> (string * int) Natix_par.Par.outcome
 
 val load_files :
   ?jobs:int -> t -> (string * string) list -> (unit, Error.t) result Natix_par.Par.outcome
+
+(** {!Natix_par.Par.load_files_txn} with the same per-task flight
+    recording as {!load_files}: each document commits as one ARIES
+    transaction through the group-commit daemon instead of a store-wide
+    checkpoint under the loader's commit lock. *)
+val load_files_txn :
+  ?jobs:int -> t -> (string * string) list -> (unit, Error.t) result Natix_par.Par.outcome

@@ -24,6 +24,9 @@ type kind =
   | Read_ahead of { first : int; pages : int }
   | Wal_append of { lsn : int; page : int; bytes : int }
   | Wal_commit of { lsn : int; pages : int }
+  | Wal_fsync of { lsn : int; records : int }
+  | Wal_torn of { offset : int; dropped : int }
+  | Recovery_redo of { page : int }
   | Recovery_undo of { page : int }
   | Recovery_done of { undone : int; torn_bytes : int }
   | Budget_exceeded of { doc : string; resource : string; used : float; limit : float }
@@ -58,6 +61,9 @@ let type_name = function
   | Read_ahead _ -> "read_ahead"
   | Wal_append _ -> "wal_append"
   | Wal_commit _ -> "wal_commit"
+  | Wal_fsync _ -> "wal_fsync"
+  | Wal_torn _ -> "wal_torn"
+  | Recovery_redo _ -> "recovery_redo"
   | Recovery_undo _ -> "recovery_undo"
   | Recovery_done _ -> "recovery_done"
   | Budget_exceeded _ -> "budget_exceeded"
@@ -99,6 +105,10 @@ let kind_fields = function
   | Wal_append { lsn; page; bytes } ->
     [ ("lsn", Json.Int lsn); ("page", Json.Int page); ("bytes", Json.Int bytes) ]
   | Wal_commit { lsn; pages } -> [ ("lsn", Json.Int lsn); ("pages", Json.Int pages) ]
+  | Wal_fsync { lsn; records } -> [ ("lsn", Json.Int lsn); ("records", Json.Int records) ]
+  | Wal_torn { offset; dropped } ->
+    [ ("offset", Json.Int offset); ("dropped", Json.Int dropped) ]
+  | Recovery_redo { page } -> [ ("page", Json.Int page) ]
   | Recovery_undo { page } -> [ ("page", Json.Int page) ]
   | Recovery_done { undone; torn_bytes } ->
     [ ("undone", Json.Int undone); ("torn_bytes", Json.Int torn_bytes) ]

@@ -63,10 +63,19 @@ type kind =
       (** The buffer pool prefetched a run of [pages] contiguous pages
           starting at [first] after detecting a sequential miss pattern. *)
   | Wal_append of { lsn : int; page : int; bytes : int }
-      (** A before-image appended to the write-ahead log. *)
+      (** An update record (before+after image) appended to the
+          write-ahead log. *)
   | Wal_commit of { lsn : int; pages : int }
       (** A checkpoint committed: [pages] dirty pages were flushed under
           WAL protection and the log was truncated. *)
+  | Wal_fsync of { lsn : int; records : int }
+      (** A log fsync made [records] pending records durable up to
+          [lsn]. *)
+  | Wal_torn of { offset : int; dropped : int }
+      (** Recovery found a torn or corrupt log tail at [offset] and
+          truncated [dropped] bytes. *)
+  | Recovery_redo of { page : int }
+      (** Recovery replayed a logged after-image onto this page. *)
   | Recovery_undo of { page : int }
       (** Recovery restored this page from its logged before-image. *)
   | Recovery_done of { undone : int; torn_bytes : int }

@@ -181,3 +181,28 @@ let load_files ?(jobs = 1) dm files =
         Error (Error.Parse (Printf.sprintf "%s:%d:%d: %s" name line col msg))
       | xml -> store_one name xml)
     (Array.of_list files)
+
+(* Transactional bulk load: no commit lock.  Each worker parses its file
+   off-lock, then commits it as one ARIES transaction
+   ({!Document_manager.store_transactional}); [Tree_store.with_txn]
+   serialises only the in-memory mutation phase internally, while commit
+   fsyncs from different workers overlap and batch in the group-commit
+   daemon.  A failed commit poisons the store, so the remaining tasks
+   come back as typed [Error]s instead of piling writes onto a store in
+   an unknown state; a simulated crash still aborts the fleet. *)
+let load_files_txn ?(jobs = 1) dm files =
+  let disk = disk_of (Document_manager.store dm) in
+  let obs = Tree_store.obs (Document_manager.store dm) in
+  map_tasks ~jobs ~disk
+    ~make_ctx:(fun () -> ())
+    ~f:(fun () (name, text) ->
+      with_ctx obs ~doc:name ~phase:"load" @@ fun () ->
+      match Natix_xml.Xml_parser.parse text with
+      | exception Natix_xml.Xml_parser.Error { line; col; msg } ->
+        Error (Error.Parse (Printf.sprintf "%s:%d:%d: %s" name line col msg))
+      | xml -> (
+        match Document_manager.store_transactional dm ~name xml with
+        | Ok _ -> Ok ()
+        | Error _ as e -> e
+        | exception Error.Error e -> Error e))
+    (Array.of_list files)

@@ -81,3 +81,17 @@ val load_files :
   Natix_core.Document_manager.t ->
   (string * string) list ->
   (unit, Natix_core.Error.t) result outcome
+
+(** [load_files_txn ~jobs dm files] is {!load_files} over transactional
+    commits: no commit lock — each document commits as one ARIES
+    transaction via
+    {!Natix_core.Document_manager.store_transactional}, so workers
+    overlap their commit waits and the group-commit daemon batches their
+    fsyncs.  Same per-document atomicity under crash; a transaction
+    failure poisons the store and the remaining tasks return typed
+    [Error]s.  Requires a file-backed store with the WAL enabled. *)
+val load_files_txn :
+  ?jobs:int ->
+  Natix_core.Document_manager.t ->
+  (string * string) list ->
+  (unit, Natix_core.Error.t) result outcome

@@ -8,6 +8,7 @@ type frame = {
   latch : Mutex.t;  (* held while the frame's content is being loaded *)
   mutable failed : bool;  (* the load failed; waiters must retry the fix *)
   mutable dirty : bool;
+  mutable rec_lsn : int;  (* LSN of the last WAL record covering [data] *)
   mutable pins : int;
   mutable seg : segment;
   mutable referenced : bool;
@@ -15,6 +16,14 @@ type frame = {
   mutable prev : frame option;
   mutable next : frame option;
 }
+
+(* Per-page write tracking of the one transaction currently in its
+   mutation phase (transactions are serialised there by the store's
+   structure lock; only their commit waits overlap).  [before] is the page
+   payload as of the last point everything was logged — the image undo
+   restores; [dirty_since_log] says the frame has moved past it. *)
+type track = { before : bytes; mutable dirty_since_log : bool }
+type txn = { id : int; mutable last_lsn : int; pages : (int, track) Hashtbl.t }
 
 (* One LRU chain: head = most recently used, tail = eviction candidate. *)
 type lru = { mutable head : frame option; mutable tail : frame option }
@@ -73,6 +82,16 @@ type t = {
   mutable prefetched : int;
   wal : Wal.t option;
   raw : bytes;  (* one physical page, for WAL pre-image capture *)
+  pre : bytes;  (* its payload view, handed to the log *)
+  (* Transaction state, guarded by the pool lock (the evictor logging a
+     stolen page races with the mutator's {!mark_dirty}).  [txn_mode]
+     turns off the implicit batch's steal logging from the first
+     {!txn_begin} until the next {!checkpoint}: once pages carry
+     transactional records, an implicit pre-image logged at eviction time
+     would make recovery restore state from before a committed
+     transaction. *)
+  mutable active_txn : txn option;
+  mutable txn_mode : bool;
   read_retries : int;
   obs : Natix_obs.Obs.t option;
 }
@@ -100,6 +119,9 @@ let create ~disk ~bytes ?wal ?(read_retries = 3) ?(read_ahead = 0) ?(scan_resist
     prefetched = 0;
     wal;
     raw = Bytes.create (Disk.page_size disk);
+    pre = Bytes.create (Disk.payload_size disk);
+    active_txn = None;
+    txn_mode = false;
     read_retries;
     obs = Disk.obs disk;
   }
@@ -268,20 +290,52 @@ let on_hit t f =
     touch t f
   end
 
+(* Write-back, pool lock held.  WAL-before-data in two flavours:
+
+   - A page the active transaction has moved past its last logged image
+     gets an update record here (the "steal" of ARIES: an uncommitted
+     page may go home because undo can restore [track.before]), and the
+     tracking advances so commit logs only what happened afterwards.
+   - Outside transaction mode, the implicit checkpoint batch logs the
+     page's on-disk pre-image on its first write-back of the batch (pages
+     allocated within the batch need none — rollback truncates them).
+
+   Either way the log is forced before the data write whenever the
+   frame's covering record is not durable yet, and the page goes home
+   stamped with that record's LSN so redo can tell whether the page
+   already contains its effect. *)
 let write_back t f =
   if f.dirty then begin
-    (* Log-before-data: capture the page's on-disk pre-image into the WAL
-       before overwriting it, once per page per batch (pages allocated
-       within the batch need none — rollback truncates them away). *)
     (match t.wal with
-    | Some w when Wal.needs_before w f.page_id ->
-      Disk.read_raw t.disk f.page_id t.raw;
-      Wal.log_before w ~page:f.page_id t.raw
-    | Some _ | None -> ());
+    | None -> ()
+    | Some w ->
+      (match t.active_txn with
+      | Some txn -> (
+        match Hashtbl.find_opt txn.pages f.page_id with
+        | Some tr when tr.dirty_since_log ->
+          let lsn =
+            Wal.log_update w ~txn:txn.id ~prev_lsn:txn.last_lsn ~page:f.page_id ~before:tr.before
+              ~after:f.data
+          in
+          txn.last_lsn <- lsn;
+          Bytes.blit f.data 0 tr.before 0 (Bytes.length f.data);
+          tr.dirty_since_log <- false;
+          f.rec_lsn <- lsn
+        | Some _ | None -> ())
+      | None -> ());
+      if (not t.txn_mode) && Wal.needs_before w f.page_id then begin
+        Disk.read_raw t.disk f.page_id t.raw;
+        Bytes.blit t.raw 0 t.pre 0 (Bytes.length t.pre);
+        let lsn = Wal.log_steal w ~page:f.page_id ~before:t.pre ~after:f.data in
+        if lsn > 0 then f.rec_lsn <- lsn
+      end;
+      if f.rec_lsn > Wal.durable_lsn w then Wal.fsync w);
     (match t.obs with
     | None -> ()
     | Some obs -> Natix_obs.Obs.emit obs (Natix_obs.Event.Page_flush { page = f.page_id }));
-    Disk.write t.disk f.page_id f.data;
+    (match t.wal with
+    | Some _ -> Disk.write ~lsn:f.rec_lsn t.disk f.page_id f.data
+    | None -> Disk.write t.disk f.page_id f.data);
     f.dirty <- false
   end
 
@@ -375,6 +429,7 @@ let mk_frame t ~pins ~speculative page_id =
     latch = Mutex.create ();
     failed = false;
     dirty = false;
+    rec_lsn = 0;
     pins;
     seg = Hot;
     referenced = not speculative;
@@ -665,7 +720,23 @@ let unfix t f =
       assert (f.pins > 0);
       f.pins <- f.pins - 1)
 
-let mark_dirty f = f.dirty <- true
+(* Callers mark a frame dirty {e before} mutating it (see {!Segment}), so
+   this is where the active transaction captures the page image its undo
+   record will restore.  First touch copies the payload; after a mid-
+   transaction steal logged the page, the next touch just reopens the
+   dirty window — the tracked image already equals the frame (the steal
+   advanced it). *)
+let mark_dirty t f =
+  (match t.active_txn with
+  | None -> ()
+  | Some txn ->
+    with_pool t (fun () ->
+        match Hashtbl.find_opt txn.pages f.page_id with
+        | Some tr -> tr.dirty_since_log <- true
+        | None ->
+          Hashtbl.replace txn.pages f.page_id
+            { before = Bytes.copy f.data; dirty_since_log = true }));
+  f.dirty <- true
 
 let with_page t page_id fn =
   let f = fix t page_id in
@@ -677,10 +748,68 @@ let with_page t page_id fn =
 let flush t = with_pool t (fun () -> Hashtbl.iter (fun _ f -> write_back t f) t.registry)
 
 let checkpoint t =
+  with_pool t (fun () ->
+      if t.active_txn <> None then invalid_arg "Buffer_pool.checkpoint: transaction in flight");
   flush t;
   match t.wal with
   | None -> ()
-  | Some w -> Wal.commit w ~page_count:(Disk.page_count t.disk)
+  | Some w ->
+    Wal.checkpoint w ~page_count:(Disk.page_count t.disk);
+    (* Every page is home and the log is empty: implicit steal logging is
+       sound again until the next transaction begins. *)
+    with_pool t (fun () -> t.txn_mode <- false)
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                        *)
+
+let txn_mode t = with_pool t (fun () -> t.txn_mode)
+let txn_active t = with_pool t (fun () -> t.active_txn <> None)
+
+let txn_begin t ~txn =
+  match t.wal with
+  | None -> invalid_arg "Buffer_pool.txn_begin: no WAL attached"
+  | Some w ->
+    with_pool t (fun () ->
+        if t.active_txn <> None then invalid_arg "Buffer_pool.txn_begin: transaction in flight";
+        t.txn_mode <- true;
+        let base = Disk.page_count t.disk in
+        let lsn = Wal.log_begin w ~txn ~base in
+        t.active_txn <- Some { id = txn; last_lsn = lsn; pages = Hashtbl.create 16 })
+
+(* Seal the active transaction: log an update record for every page it
+   has moved past its last logged image (all still resident — a steal
+   would have logged and cleared them), then the commit record.  Returns
+   the commit record's LSN for the group-commit daemon to make durable;
+   nothing is forced here and no page is flushed (no-force). *)
+let txn_commit_prep t =
+  with_pool t (fun () ->
+      match (t.wal, t.active_txn) with
+      | Some w, Some txn ->
+        Hashtbl.iter
+          (fun page tr ->
+            if tr.dirty_since_log then begin
+              match Hashtbl.find_opt t.registry page with
+              | Some f ->
+                let lsn =
+                  Wal.log_update w ~txn:txn.id ~prev_lsn:txn.last_lsn ~page ~before:tr.before
+                    ~after:f.data
+                in
+                txn.last_lsn <- lsn;
+                tr.dirty_since_log <- false;
+                f.rec_lsn <- lsn
+              | None ->
+                (* mark_dirty pins the frame and a steal clears the dirty
+                   window, so an unlogged page is always resident. *)
+                assert false
+            end)
+          txn.pages;
+        let lsn =
+          Wal.log_commit w ~txn:txn.id ~prev_lsn:txn.last_lsn
+            ~page_count:(Disk.page_count t.disk)
+        in
+        t.active_txn <- None;
+        lsn
+      | _ -> invalid_arg "Buffer_pool.txn_commit_prep: no transaction in flight")
 
 let clear t =
   (* All stripes in index order (equal rank, total order), then the pool:

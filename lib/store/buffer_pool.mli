@@ -11,9 +11,15 @@
 
     Frames hold the page {e payload} ({!Disk.payload_size} bytes); the
     integrity trailer is the disk's business.  When a {!Wal.t} is attached,
-    every write-back is preceded by logging the page's pre-image on its
-    first touch of the batch (log-before-data), and {!checkpoint} makes the
-    current state durable.
+    the pool enforces {e WAL-before-data}: a dirty page goes home only
+    after the log records covering it are durable, and is stamped with the
+    LSN of the last such record.  Outside transactions the implicit
+    checkpoint batch logs each pre-existing page's pre-image on its first
+    write-back and {!checkpoint} makes the batch durable; inside a
+    transaction ({!txn_begin} … {!txn_commit_prep}) every mutated page gets
+    redo+undo update records instead, and durability is the group-commit
+    fsync of the commit record — dirty pages may stay in the pool
+    (no-force) or be stolen early (steal).
 
     {b Scan optimisations.}  Two opt-in features (both off by default, so
     the default pool reproduces the paper's plain LRU exactly):
@@ -55,6 +61,8 @@ type frame = private {
   latch : Mutex.t;  (** held while the content is being loaded, internal *)
   mutable failed : bool;  (** the load failed; waiters retry, internal *)
   mutable dirty : bool;
+  mutable rec_lsn : int;
+      (** LSN of the last WAL record covering [data]; 0 while untracked *)
   mutable pins : int;
   mutable seg : segment;  (** current segment, internal *)
   mutable referenced : bool;  (** demand-referenced since entering cold *)
@@ -104,7 +112,11 @@ val fix : t -> int -> frame
 val fix_new : t -> int -> frame
 
 val unfix : t -> frame -> unit
-val mark_dirty : frame -> unit
+
+(** Mark a frame about to be mutated ({e before} the mutation: the active
+    transaction, if any, captures the page image its undo record will
+    restore here). *)
+val mark_dirty : t -> frame -> unit
 
 (** [with_page t page f] fixes, applies [f], and unfixes (also on
     exceptions). *)
@@ -114,9 +126,39 @@ val with_page : t -> int -> (frame -> 'a) -> 'a
     WAL pre-images first when a log is attached. *)
 val flush : t -> unit
 
-(** {!flush}, then commit the WAL batch — the store's durability point.
-    Equivalent to {!flush} when no WAL is attached. *)
+(** {!flush}, then seal and truncate the WAL — the unscoped store's
+    durability point, and the transition back from transaction mode to the
+    implicit batch.  Equivalent to {!flush} when no WAL is attached.
+    @raise Invalid_argument while a transaction is in flight. *)
 val checkpoint : t -> unit
+
+(** {2 Transactions}
+
+    One transaction mutates at a time (the store serialises mutation
+    phases); only commit durability waits overlap.  The pool tracks each
+    page the transaction dirties and logs redo+undo update records for it
+    either when the page is stolen (written back while the transaction is
+    in flight) or at {!txn_commit_prep}. *)
+
+(** [txn_begin t ~txn] opens transaction [txn]: logs its begin record and
+    starts page tracking.  Enters transaction mode (suppressing the
+    implicit batch's steal logging) until the next {!checkpoint}.
+    @raise Invalid_argument without a WAL or while another transaction is
+    in flight. *)
+val txn_begin : t -> txn:int -> unit
+
+(** Seal the active transaction: log update records for its still-unlogged
+    pages and the commit record, returning the commit record's LSN.  The
+    caller makes it durable (group commit); no page is flushed
+    (no-force). *)
+val txn_commit_prep : t -> int
+
+(** Whether the pool is in transaction mode (some transaction began since
+    the last {!checkpoint}). *)
+val txn_mode : t -> bool
+
+(** Whether a transaction is currently in its mutation phase. *)
+val txn_active : t -> bool
 
 (** Flush, then drop every frame.  Pinned frames cause a [Failure].
 

@@ -209,6 +209,17 @@ let active_stream t =
 let active_stats t =
   match active_stream t with Some s -> s.s_stats | None -> t.stats
 
+(* Simulated wall-time that is not a page transfer: the group-commit
+   daemon charges its commit-delay window here.  Always lands on the
+   default accumulator — batching wait is a property of the shared log,
+   not of whichever worker happened to lead the flush. *)
+let charge_sync_ms t ms =
+  Lock_rank.acquire Lock_rank.disk;
+  Mutex.lock t.latch;
+  t.stats.Io_stats.sim_ms <- t.stats.Io_stats.sim_ms +. ms;
+  Mutex.unlock t.latch;
+  Lock_rank.release Lock_rank.disk
+
 let charge t ~page ~is_read =
   let stats, sequential =
     match active_stream t with
@@ -241,10 +252,16 @@ let trailer_crc t buf =
   let base = t.payload_size in
   Checksum.crc32 ~init:(Checksum.crc32 buf ~off:0 ~len:base) buf ~off:(base + 4) ~len:(trailer_size - 4)
 
-let seal_trailer t ~page buf =
+let seal_trailer ?lsn t ~page buf =
   let base = t.payload_size in
-  let lsn = t.next_lsn in
-  t.next_lsn <- lsn + 1;
+  let lsn =
+    match lsn with
+    | Some l -> l
+    | None ->
+      let l = t.next_lsn in
+      t.next_lsn <- l + 1;
+      l
+  in
   Natix_util.Bytes_util.set_u48 buf (base + 4) lsn;
   Natix_util.Bytes_util.set_u32 buf (base + 10) page;
   Natix_util.Bytes_util.set_u16 buf (base + 14) 0;
@@ -257,6 +274,16 @@ let check_trailer t ~page buf =
   else
     let stamped = Natix_util.Bytes_util.get_u32 buf (base + 10) in
     if stamped <> page then Error (Printf.sprintf "trailer names page %d" stamped) else Ok ()
+
+(* Trailer LSN of a raw physical image ([read_raw] output), or -1 when the
+   trailer fails verification — a torn page carries no trustworthy stamp,
+   so redo must apply unconditionally. *)
+let image_lsn t ~page buf =
+  if Bytes.length buf <> t.page_size then -1
+  else
+    match check_trailer t ~page buf with
+    | Ok () -> Natix_util.Bytes_util.get_u48 buf (t.payload_size + 4)
+    | Error _ -> -1
 
 (* All physical file writes of one page image funnel through here so the
    fault plan sees every one of them (data flushes and the zero image of a
@@ -293,7 +320,9 @@ let allocate_u t =
   | File f ->
     let page = f.used in
     Bytes.fill t.scratch 0 t.page_size '\000';
-    seal_trailer t ~page t.scratch;
+    (* A fresh page has no covering log record: stamp LSN 0 so redo always
+       applies the first record that ever touches it. *)
+    seal_trailer ~lsn:0 t ~page t.scratch;
     write_physical t f.fd ~page t.scratch;
     f.used <- f.used + 1;
     write_superblock f.fd ~page_size:t.page_size ~used:f.used;
@@ -338,7 +367,7 @@ let read_u t page buf =
 
 let read t page buf = with_latch t (fun () -> read_u t page buf)
 
-let write_u t page buf =
+let write_u ?lsn t page buf =
   check_bounds t page;
   assert (Bytes.length buf = t.payload_size);
   charge t ~page ~is_read:false;
@@ -356,10 +385,10 @@ let write_u t page buf =
         raise Faulty_disk.Crash))
   | File f ->
     Bytes.blit buf 0 t.scratch 0 t.payload_size;
-    seal_trailer t ~page t.scratch;
+    seal_trailer ?lsn t ~page t.scratch;
     write_physical t f.fd ~page t.scratch
 
-let write t page buf = with_latch t (fun () -> write_u t page buf)
+let write ?lsn t page buf = with_latch t (fun () -> write_u ?lsn t page buf)
 
 (* Pages are read in ascending order, so [charge] prices the run as one
    seek plus sequential transfers — the same total as

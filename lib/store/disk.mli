@@ -80,10 +80,12 @@ val allocate : t -> int
 val read : t -> int -> bytes -> unit
 
 (** [write t page buf] persists [buf] (of length {!payload_size}) as the
-    page's contents, sealing a fresh trailer.
+    page's contents, sealing a fresh trailer.  [lsn] overrides the stamp
+    (recovery replaying a logged image stamps the record's own LSN so the
+    pass is idempotent); by default a fresh LSN is drawn.
     @raise Faulty_disk.Crash when an attached fault plan kills this write
     (possibly tearing the page). *)
-val write : t -> int -> bytes -> unit
+val write : ?lsn:int -> t -> int -> bytes -> unit
 
 (** [read_run t ~first bufs] reads the physically contiguous run of pages
     [first, first + 1, ...] into the payload buffers [bufs], in ascending
@@ -114,6 +116,12 @@ val write_raw : t -> int -> bytes -> unit
     in-memory backend.  Used by [natix fsck]. *)
 val verify : t -> int -> (unit, string) result
 
+(** [image_lsn t ~page buf] is the trailer LSN of a raw physical image
+    ([read_raw] output), or [-1] when the trailer fails verification — a
+    torn page carries no trustworthy stamp, so redo applies
+    unconditionally. *)
+val image_lsn : t -> page:int -> bytes -> int
+
 (** [set_page_count t n] shrinks the disk to [n] pages (recovery rolling
     back allocations of an uncommitted batch).  The file backend truncates
     the backing file and rewrites the superblock.
@@ -126,6 +134,11 @@ val set_page_count : t -> int -> unit
     instead, and the executor merges those back into this record (in
     worker-index order) when the region ends. *)
 val stats : t -> Io_stats.t
+
+(** [charge_sync_ms t ms] adds [ms] of simulated wall-time to the default
+    accumulator without counting a page transfer — the group-commit
+    daemon's commit-delay window. *)
+val charge_sync_ms : t -> float -> unit
 
 (** The accumulator the {e calling domain} is charging right now: its
     registered stream inside a parallel region, the default {!stats}

@@ -29,6 +29,17 @@ exception Read_error of int
     entirely and crash. *)
 type write_outcome = [ `Ok | `Crash_torn of float | `Crash_lost ]
 
+(** What a log fsync of [pending] buffered records should do: persist all
+    of them, persist only the first [k] and crash ([`Crash_keep k]), or —
+    modelling write reordering inside the un-fsynced window — persist an
+    arbitrary subset at their true file offsets and crash
+    ([`Crash_subset keep], one flag per pending record). *)
+type fsync_outcome = [ `Ok | `Crash_keep of int | `Crash_subset of bool array ]
+
+(** Failure shape for an armed fsync crash: the whole batch lost, a random
+    tail lost, or a random subset surviving (reordering). *)
+type fsync_mode = [ `Lose_all | `Lose_tail | `Subset ]
+
 type t
 
 val create : seed:int64 -> unit -> t
@@ -37,6 +48,10 @@ val create : seed:int64 -> unit -> t
     crashes the very next write).  [torn] (default true) allows the crashing
     write to be torn; otherwise it is always lost whole. *)
 val arm_crash : ?torn:bool -> t -> int -> unit
+
+(** [arm_fsync_crash t n] makes the [n+1]-th subsequent log fsync crash with
+    the given {!fsync_mode} (default [`Lose_all]). *)
+val arm_fsync_crash : ?mode:fsync_mode -> t -> int -> unit
 
 (** Clear the crash trigger and all read-failure knobs ({!crashed} state is
     kept). *)
@@ -53,6 +68,9 @@ val writes_seen : t -> int
 
 val reads_seen : t -> int
 
+(** Log fsyncs observed so far (used to size fsync-fault sweeps). *)
+val fsyncs_seen : t -> int
+
 (** True once the armed crash has fired. *)
 val crashed : t -> bool
 
@@ -60,6 +78,12 @@ val crashed : t -> bool
     outcome the caller persists the prescribed prefix (if torn) and then
     raises {!Crash}. *)
 val on_write : t -> write_outcome
+
+(** Called by the WAL once per non-empty fsync batch; [pending] is the
+    number of buffered records.  On [`Ok] the records count as [pending]
+    writes against the armed write-crash budget; a write-crash point landing
+    inside the batch persists the prefix that fit and crashes. *)
+val on_fsync : t -> pending:int -> fsync_outcome
 
 (** Called by the disk before each page read.
     @raise Read_error when the plan says this read fails. *)

@@ -1,22 +1,29 @@
 (* Debug lock-rank assertion.  Ranks, ascending acquisition order:
-   stripe (1) < frame latch (2) < pool (3) < disk (4).  Try-locks are
-   exempt (they cannot contribute to a deadlock cycle) and are recorded
-   with [note_try] so their releases still balance. *)
+   doc (1) < struct (2) < stripe (3) < frame latch (4) < pool (5)
+   < wal (6) < disk (7).  Try-locks are exempt (they cannot contribute
+   to a deadlock cycle) and are recorded with [note_try] so their
+   releases still balance. *)
 
 exception Violation of string
 
 let unordered = 0
-let stripe = 1
-let frame = 2
-let pool = 3
-let disk = 4
+let doc = 1
+let structure = 2
+let stripe = 3
+let frame = 4
+let pool = 5
+let wal = 6
+let disk = 7
 
 let name_of = function
   | 0 -> "unordered"
-  | 1 -> "stripe"
-  | 2 -> "frame"
-  | 3 -> "pool"
-  | 4 -> "disk"
+  | 1 -> "doc"
+  | 2 -> "struct"
+  | 3 -> "stripe"
+  | 4 -> "frame"
+  | 5 -> "pool"
+  | 6 -> "wal"
+  | 7 -> "disk"
   | r -> Printf.sprintf "rank%d" r
 
 let enabled = Atomic.make (Sys.getenv_opt "NATIX_LOCK_RANK" <> None)

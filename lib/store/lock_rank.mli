@@ -3,7 +3,15 @@
     The documented order, by ascending rank — a domain may only block on a
     lock of strictly higher rank than any it already holds:
 
-    {v stripe (1)  <  frame latch (2)  <  pool (3)  <  disk (4) v}
+    {v doc (1)  <  struct (2)  <  stripe (3)  <  frame latch (4)
+       <  pool (5)  <  wal (6)  <  disk (7) v}
+
+    [doc] is a per-document write latch held for the whole mutation phase
+    of a transaction; it ranks {e below} stripe because a holder fixes
+    pages (stripe, pool) while keeping it.  [struct] is the store-wide
+    structure lock serialising transaction mutation phases.  [wal] is the
+    log's append mutex: appends happen while holding the pool lock
+    (write-back of a stolen page) but never take the disk latch inside.
 
     Three sanctioned exceptions, all deadlock-free by construction:
     - {b try-locks} (eviction taking a victim's stripe or latch) never
@@ -28,10 +36,13 @@ exception Violation of string
 
 (** The ranks, for use at acquisition sites. *)
 
-val stripe : int
+val doc : int
 
+val structure : int
+val stripe : int
 val frame : int
 val pool : int
+val wal : int
 val disk : int
 
 (** Exempt rank for locks provably outside any wait cycle (see above):

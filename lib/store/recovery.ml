@@ -1,55 +1,45 @@
-open Natix_util
+(* Three-pass ARIES-style recovery: analysis, redo, undo.
+
+   The log file always starts at the most recent checkpoint (Wal.checkpoint
+   truncates it), so the redo scan begins at the file's first record.
+
+   Analysis walks the longest CRC-valid prefix of the log, truncating any
+   torn tail, and classifies every transaction: committed (a Commit record
+   is durable), ended (fully undone by a previous recovery attempt), or a
+   loser.  Redo repeats history: every Update and Clr after-image whose LSN
+   is newer than the page's trailer stamp is replayed, stamping the
+   record's own LSN so the pass is idempotent.  Undo rolls the losers back
+   newest-first along their prev_lsn chains, writing a compensation record
+   (CLR, carrying the restored image and an undo-next pointer) before each
+   page restore — WAL-before-data holds during recovery too — and an End
+   record once a loser's Begin is reached.  A crash at any point during
+   recovery leaves a log the next recovery handles: CLRs are redone like
+   updates, and undo resumes from the last CLR's undo-next pointer. *)
 
 type report = {
   ran : bool;
-  committed : bool;
+  clean : bool;
+  redone : int;
   undone : int;
+  losers : int;
   torn_bytes : int;
   page_count : int;
+  next_lsn : int;
 }
 
 let no_op disk =
-  { ran = false; committed = false; undone = 0; torn_bytes = 0; page_count = Disk.page_count disk }
+  {
+    ran = false;
+    clean = true;
+    redone = 0;
+    undone = 0;
+    losers = 0;
+    torn_bytes = 0;
+    page_count = Disk.page_count disk;
+    next_lsn = 1;
+  }
 
 let wal_path store_path = store_path ^ ".wal"
-
-type entry = { kind : int; arg : int; payload_off : int }
-
-(* Parse the longest valid prefix of the log body; anything after it —
-   typically a single append torn by the crash — is reported as the torn
-   tail.  Returns the entries and the offset where the valid prefix ends. *)
-let parse_entries buf ~page_size =
-  let size = Bytes.length buf in
-  let entries = ref [] in
-  let off = ref Wal.header_size in
-  let stop = ref false in
-  while not !stop do
-    let o = !off in
-    if o + Wal.entry_header_size + 4 > size then stop := true
-    else begin
-      let kind = Bytes_util.get_u8 buf o in
-      let len = Bytes_util.get_u32 buf (o + 11) in
-      let valid_shape =
-        match kind with
-        | k when k = Wal.kind_begin || k = Wal.kind_commit -> len = 0
-        | k when k = Wal.kind_before -> len = page_size
-        | _ -> false
-      in
-      let total = Wal.entry_header_size + len + 4 in
-      if (not valid_shape) || o + total > size then stop := true
-      else if
-        Bytes_util.get_u32 buf (o + Wal.entry_header_size + len)
-        <> Checksum.crc32 buf ~off:o ~len:(Wal.entry_header_size + len)
-      then stop := true
-      else begin
-        entries :=
-          { kind; arg = Bytes_util.get_u32 buf (o + 7); payload_off = o + Wal.entry_header_size }
-          :: !entries;
-        off := o + total
-      end
-    end
-  done;
-  (List.rev !entries, !off)
 
 let read_file path =
   let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
@@ -67,9 +57,54 @@ let read_file path =
       in
       fill 0)
 
-let truncate_file path =
+let truncate_file path len =
   let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
-  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.ftruncate fd 0)
+  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.ftruncate fd len)
+
+(* Parse the longest valid prefix; returns the records in log order and
+   the offset where validity ends. *)
+let parse buf =
+  let records = ref [] in
+  let off = ref Wal.header_size in
+  let stop = ref false in
+  while not !stop do
+    match Wal.decode buf ~off:!off with
+    | None -> stop := true
+    | Some r ->
+      records := r :: !records;
+      off := r.Wal.next
+  done;
+  (List.rev !records, !off)
+
+(* Per-transaction analysis state.  [cursor] is the LSN of the next record
+   to examine when undoing: each Update moves it forward, each CLR snaps
+   it back past the record that CLR already compensated. *)
+type txn_state = {
+  mutable committed : bool;
+  mutable ended : bool;
+  mutable cursor : int;
+  mutable touched : bool;  (* logged at least one Update/Clr: real work to undo *)
+}
+
+(* Append one record to the log during undo, consulting the fault plan so
+   crash-point sweeps cover recovery's own writes (a torn CLR at the tail
+   is exactly what the next recovery's parser truncates). *)
+let append_record fd ~faults buf =
+  let total = Bytes.length buf in
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  let full () =
+    if Unix.write fd buf 0 total <> total then failwith "Recovery: short log append"
+  in
+  match faults with
+  | None -> full ()
+  | Some plan -> (
+    match Faulty_disk.on_write plan with
+    | `Ok -> full ()
+    | `Crash_lost -> raise Faulty_disk.Crash
+    | `Crash_torn frac ->
+      let keep = max 1 (min (total - 1) (int_of_float (frac *. float_of_int total))) in
+      ignore (Unix.write fd buf 0 keep);
+      raise Faulty_disk.Crash)
 
 let run ?obs disk =
   match Disk.path disk with
@@ -81,59 +116,176 @@ let run ?obs disk =
       let buf = read_file wal in
       let size = Bytes.length buf in
       let page_size = Disk.page_size disk in
+      let payload_size = page_size - Disk.trailer_size in
       let header_ok =
         size >= Wal.header_size
-        && Bytes_util.get_u32 buf 0 = Wal.magic
-        && Bytes_util.get_u16 buf 4 = Wal.version
-        && Bytes_util.get_u32 buf 8 = page_size
+        && Natix_util.Bytes_util.get_u32 buf 0 = Wal.magic
+        && Natix_util.Bytes_util.get_u16 buf 4 = Wal.version
+        && Natix_util.Bytes_util.get_u32 buf 8 = page_size
       in
-      let entries, valid_end = if header_ok then parse_entries buf ~page_size else ([], 0) in
+      let records, valid_end = if header_ok then parse buf else ([], 0) in
       let torn_bytes = size - valid_end in
-      (* Entries after the last commit form the uncommitted batch. *)
-      let uncommitted =
-        let rec after_last_commit acc = function
-          | [] -> List.rev acc
-          | e :: rest when e.kind = Wal.kind_commit -> after_last_commit [] rest
-          | e :: rest -> after_last_commit (e :: acc) rest
-        in
-        after_last_commit [] entries
-      in
-      let committed =
-        match List.rev entries with
-        | last :: _ -> last.kind = Wal.kind_commit
-        | [] -> false
-      in
-      let undone = ref 0 in
-      (* Undo in reverse append order so the oldest (pre-batch) image of a
-         page lands last — with first-touch logging there is at most one
-         image per page, but recovery does not rely on that. *)
+      if torn_bytes > 0 then begin
+        (* Torn-tail hardening: drop the invalid suffix rather than fail —
+           WAL-before-data means a record torn mid-flush never covered a
+           completed data write. *)
+        truncate_file wal (max valid_end 0);
+        match obs with
+        | None -> ()
+        | Some o ->
+          Natix_obs.Obs.emit o (Natix_obs.Event.Wal_torn { offset = valid_end; dropped = torn_bytes })
+      end;
+      (* --- Analysis --- *)
+      let txns : (int, txn_state) Hashtbl.t = Hashtbl.create 8 in
+      let by_lsn : (int, Wal.record) Hashtbl.t = Hashtbl.create 64 in
+      let max_lsn = ref 0 in
+      let last_commit_pc = ref None in
+      let first_begin_base = ref None in
       List.iter
-        (fun e ->
-          if e.kind = Wal.kind_before && e.arg < Disk.page_count disk then begin
-            Disk.write_raw disk e.arg (Bytes.sub buf e.payload_off page_size);
-            incr undone;
+        (fun (r : Wal.record) ->
+          if r.lsn > !max_lsn then max_lsn := r.lsn;
+          Hashtbl.replace by_lsn r.lsn r;
+          let state =
+            match Hashtbl.find_opt txns r.txn with
+            | Some s -> s
+            | None ->
+              let s = { committed = false; ended = false; cursor = 0; touched = false } in
+              Hashtbl.add txns r.txn s;
+              s
+          in
+          match r.kind with
+          | k when k = Wal.kind_begin ->
+            if !first_begin_base = None then first_begin_base := Some r.arg;
+            state.cursor <- r.lsn
+          | k when k = Wal.kind_update ->
+            state.cursor <- r.lsn;
+            state.touched <- true
+          | k when k = Wal.kind_commit ->
+            state.committed <- true;
+            last_commit_pc := Some r.arg
+          | k when k = Wal.kind_clr ->
+            state.cursor <- r.prev_lsn;
+            state.touched <- true
+          | k when k = Wal.kind_end -> state.ended <- true
+          | _ -> ())
+        records;
+      (* --- Redo: repeat history --- *)
+      let redone = ref 0 in
+      let scratch = Bytes.create page_size in
+      let redo_image ~lsn ~page image =
+        if page >= 0 && page < Disk.page_count disk && Bytes.length image = payload_size
+        then begin
+          Disk.read_raw disk page scratch;
+          if Disk.image_lsn disk ~page scratch < lsn then begin
+            Disk.write ~lsn disk page image;
+            incr redone;
             match obs with
             | None -> ()
-            | Some o -> Natix_obs.Obs.emit o (Natix_obs.Event.Recovery_undo { page = e.arg })
-          end)
-        (List.rev uncommitted);
-      (* Roll allocations of the uncommitted batch back to the page count
-         recorded at batch start (also trims a torn tail page). *)
-      (match List.find_opt (fun e -> e.kind = Wal.kind_begin) uncommitted with
-      | Some { arg = base; _ } when base < Disk.page_count disk -> Disk.set_page_count disk base
-      | Some _ | None -> ());
-      truncate_file wal;
+            | Some o -> Natix_obs.Obs.emit o (Natix_obs.Event.Recovery_redo { page })
+          end
+        end
+      in
+      List.iter
+        (fun (r : Wal.record) ->
+          if r.kind = Wal.kind_update then begin
+            if Bytes.length r.payload = 2 * payload_size then
+              redo_image ~lsn:r.lsn ~page:r.arg (Bytes.sub r.payload payload_size payload_size)
+          end
+          else if r.kind = Wal.kind_clr then redo_image ~lsn:r.lsn ~page:r.arg r.payload)
+        records;
+      (* --- Undo the losers, newest record first across transactions --- *)
+      let losers = ref [] in
+      (* A Begin with no logged work (the fresh implicit batch a clean
+         shutdown leaves behind) needs no undo and is not a loser. *)
+      Hashtbl.iter
+        (fun txn s ->
+          if (not s.committed) && (not s.ended) && s.touched then losers := (txn, s) :: !losers)
+        txns;
+      let loser_count = List.length !losers in
+      let undone = ref 0 in
+      let next_lsn = ref (!max_lsn + 1) in
+      if loser_count > 0 then begin
+        let fd = Unix.openfile wal [ Unix.O_RDWR ] 0 in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            let faults = Disk.faults disk in
+            let fresh_lsn () =
+              let l = !next_lsn in
+              next_lsn := l + 1;
+              l
+            in
+            let active = ref !losers in
+            while !active <> [] do
+              (* The loser whose cursor is newest undoes next, so restores
+                 land in exact reverse order of mutation history. *)
+              let (txn, s), rest =
+                match
+                  List.sort (fun ((_, a) : int * txn_state) (_, b) -> compare b.cursor a.cursor) !active
+                with
+                | x :: r -> (x, r)
+                | [] -> assert false
+              in
+              match Hashtbl.find_opt by_lsn s.cursor with
+              | None ->
+                (* Chain exhausted (cursor 0 or pointing past the torn
+                   tail): seal the transaction. *)
+                append_record fd ~faults
+                  (Wal.encode ~kind:Wal.kind_end ~lsn:(fresh_lsn ()) ~txn ~prev_lsn:s.cursor
+                     ~arg:0 None);
+                active := rest
+              | Some r when r.kind = Wal.kind_begin ->
+                append_record fd ~faults
+                  (Wal.encode ~kind:Wal.kind_end ~lsn:(fresh_lsn ()) ~txn ~prev_lsn:r.lsn ~arg:0
+                     None);
+                active := rest
+              | Some r when r.kind = Wal.kind_update ->
+                if Bytes.length r.payload = 2 * payload_size then begin
+                  let before = Bytes.sub r.payload 0 payload_size in
+                  let clr_lsn = fresh_lsn () in
+                  append_record fd ~faults
+                    (Wal.encode ~kind:Wal.kind_clr ~lsn:clr_lsn ~txn ~prev_lsn:r.prev_lsn
+                       ~arg:r.arg (Some before));
+                  if r.arg >= 0 && r.arg < Disk.page_count disk then begin
+                    Disk.write ~lsn:clr_lsn disk r.arg before;
+                    incr undone;
+                    match obs with
+                    | None -> ()
+                    | Some o ->
+                      Natix_obs.Obs.emit o (Natix_obs.Event.Recovery_undo { page = r.arg })
+                  end
+                end;
+                s.cursor <- r.prev_lsn;
+                active := (txn, s) :: rest
+              | Some r ->
+                (* A CLR (its work was redone) or a stray record: follow
+                   the chain. *)
+                s.cursor <- r.prev_lsn;
+                active := (txn, s) :: rest
+            done)
+      end;
+      (* Roll allocations back to the watermark of the last durable commit
+         (fall back to the first Begin's base: nothing ever committed). *)
+      (match (!last_commit_pc, !first_begin_base) with
+      | Some pc, _ when pc < Disk.page_count disk -> Disk.set_page_count disk pc
+      | Some _, _ -> ()
+      | None, Some base when base < Disk.page_count disk -> Disk.set_page_count disk base
+      | None, _ -> ());
+      (* Everything is on disk and consistent; the log is moot. *)
+      truncate_file wal 0;
       (match obs with
       | None -> ()
       | Some o ->
         if !undone > 0 || torn_bytes > 0 then
-          Natix_obs.Obs.emit o
-            (Natix_obs.Event.Recovery_done { undone = !undone; torn_bytes }));
+          Natix_obs.Obs.emit o (Natix_obs.Event.Recovery_done { undone = !undone; torn_bytes }));
       {
         ran = true;
-        committed;
+        clean = loser_count = 0 && torn_bytes = 0;
+        redone = !redone;
         undone = !undone;
+        losers = loser_count;
         torn_bytes;
         page_count = Disk.page_count disk;
+        next_lsn = !next_lsn;
       }
     end

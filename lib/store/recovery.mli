@@ -1,10 +1,20 @@
-(** Crash recovery: replay of the write-ahead log on open.
+(** Crash recovery: three-pass replay of the write-ahead log on open.
 
-    {!run} brings a file-backed disk back to its last checkpoint: it drops
-    the log's torn tail (if the crash hit mid-append), rolls every
-    uncommitted pre-image back onto the data file, truncates allocations
-    the uncommitted batch made, and resets the log.  Idempotent, and a
-    no-op for in-memory disks or when no log file exists.
+    {!run} brings a file-backed disk back to a transaction-consistent
+    state.  {b Analysis} parses the longest CRC-valid prefix of the log
+    (truncating a torn tail with a [Wal_torn] event rather than failing)
+    and classifies each transaction as committed, already ended, or a
+    loser.  {b Redo} repeats history from the last checkpoint — the log
+    file always starts there — replaying every Update and CLR after-image
+    whose LSN is newer than the target page's trailer stamp, and stamping
+    the record's LSN so the pass is idempotent.  {b Undo} rolls the losers
+    back newest-first along their prev_lsn chains, logging a compensation
+    record (CLR) before each restore and an End record per finished loser,
+    then truncates allocations to the last committed watermark.
+
+    Idempotent across repeated crashes {e during} recovery: CLRs are
+    redone like updates and undo resumes from the last CLR's undo-next
+    pointer.  A no-op for in-memory disks or when no log file exists.
 
     Runs {e before} any layer above the disk touches pages (the segment's
     reopen scan reads every page through checksum verification, so it must
@@ -12,15 +22,23 @@
 
 type report = {
   ran : bool;  (** a log file existed and was processed *)
-  committed : bool;  (** the log ended in a commit record (clean batch) *)
-  undone : int;  (** pages restored from pre-images *)
+  clean : bool;  (** no losers to undo and no torn tail *)
+  redone : int;  (** pages rewritten from logged after-images *)
+  undone : int;  (** page restores performed during undo (CLRs written) *)
+  losers : int;  (** transactions rolled back *)
   torn_bytes : int;  (** discarded torn log tail *)
   page_count : int;  (** disk pages after recovery *)
+  next_lsn : int;  (** first LSN safe for the store's new log *)
 }
 
 (** Log file protecting the store at the given path. *)
 val wal_path : string -> string
 
+(** The report of a recovery that had nothing to do (in-memory disk). *)
+val no_op : Disk.t -> report
+
 (** [run ?obs disk] recovers the disk from its log, emitting
-    [Recovery_undo]/[Recovery_done] events through [obs]. *)
+    [Wal_torn]/[Recovery_redo]/[Recovery_undo]/[Recovery_done] events
+    through [obs].  Page writes and CLR appends consult the disk's
+    attached fault plan, so crash sweeps cover recovery itself. *)
 val run : ?obs:Natix_obs.Obs.t -> Disk.t -> report

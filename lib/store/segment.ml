@@ -11,8 +11,8 @@ let max_record_len t = Slotted_page.max_record_len ~page_size:(page_size t)
 let alloc_page t =
   let page = Disk.allocate (disk t) in
   let frame = Buffer_pool.fix_new t.pool page in
+  Buffer_pool.mark_dirty t.pool frame;
   Slotted_page.format frame.data;
-  Buffer_pool.mark_dirty frame;
   Fsi.append t.fsi (Slotted_page.free_for_insert frame.data);
   Buffer_pool.unfix t.pool frame;
   page
@@ -33,7 +33,7 @@ let with_page t page f = Buffer_pool.with_page t.pool page (fun frame -> f frame
 
 let with_page_mut t page f =
   Buffer_pool.with_page t.pool page (fun frame ->
-      Buffer_pool.mark_dirty frame;
+      Buffer_pool.mark_dirty t.pool frame;
       let r = f frame.data in
       Fsi.set t.fsi page (Slotted_page.free_for_insert frame.data);
       r)

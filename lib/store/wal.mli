@@ -1,69 +1,161 @@
-(** Physical write-ahead log (undo logging).
+(** Redo+undo write-ahead log (ARIES-style, steal/no-force).
 
-    The buffer pool runs a {e steal} policy — dirty pages may be evicted
-    and written home mid-batch — so durability works by undo: before the
-    first write-back of a page in a batch, its raw on-disk pre-image is
-    appended here ({!log_before}); a checkpoint flushes every dirty page
-    and then {!commit}s, truncating the log.  A store killed at any point
-    therefore reopens ({!Recovery.run}) to its last checkpoint: committed
-    batches need nothing (their data writes all preceded the commit
-    record), and an uncommitted batch is rolled back from its pre-images.
+    Every mutation appends an LSN-stamped record carrying both the
+    before-image and the after-image of the page it touches; records
+    accumulate in a pending buffer and reach the file at {!fsync}.  The
+    buffer pool enforces {e WAL-before-data}: a dirty page is written home
+    only after the records covering it are durable.  Commit durability is
+    a single [fsync] of the transaction's records — data pages may follow
+    at leisure (no-force), since redo replays the after-images; and dirty
+    pages of in-flight transactions may be stolen early, since undo
+    restores the before-images.
 
-    Pages allocated {e during} a batch need no pre-image — the batch-start
-    [Begin] record carries the page count to truncate back to.
+    The log also owns the store's single LSN sequence; data pages are
+    stamped with the LSN of the last record covering them, so recovery can
+    compare a page's trailer LSN against a record's LSN to decide whether
+    the page already contains that record's effect.
 
-    Every entry is protected by its own CRC-32, so a tail torn by a crash
-    mid-append is detected and discarded; log-before-data ordering makes
-    that safe (a torn pre-image entry means the page itself was never
-    overwritten).
+    Two clients share the one log:
+    - {b explicit transactions} ([log_begin]/[log_update]/[log_commit]),
+      forced at commit by the group-commit daemon;
+    - {b the implicit checkpoint batch} (transaction id 0) covering
+      unscoped mutation: {!log_steal} forces a record before each steal of
+      a pre-existing page, and {!checkpoint} seals the batch and truncates
+      the log (force-at-checkpoint, so the old records are moot).  The log
+      file therefore always starts at the most recent checkpoint — the
+      redo pass scans from the file start.
 
-    One log file per store, at [<store path> ^ ".wal"]. *)
+    Every record carries its own CRC-32, so a tail torn by a crash
+    mid-flush is detected; recovery truncates the log at the last valid
+    record.  One log file per store, at [<store path> ^ ".wal"]. *)
 
 type t
 
-(** [create ~page_size ~base path] truncates/creates the log and starts a
-    batch with [base] as the rollback page count — call only after
-    {!Recovery.run} has consumed any previous log.  [faults] shares the
-    disk's fault-injection plan so crash points cover log appends too. *)
+(** [create ~page_size ~base path] truncates/creates the log and starts
+    the implicit batch with [base] as the rollback page count — call only
+    after {!Recovery.run} has consumed any previous log.  [first_lsn]
+    (default 1) seeds the LSN sequence strictly above every LSN the
+    recovered store has seen.  [faults] shares the disk's fault-injection
+    plan so crash points cover log fsyncs too. *)
 val create :
-  ?obs:Natix_obs.Obs.t -> ?faults:Faulty_disk.t -> page_size:int -> base:int -> string -> t
+  ?obs:Natix_obs.Obs.t ->
+  ?faults:Faulty_disk.t ->
+  ?first_lsn:int ->
+  page_size:int ->
+  base:int ->
+  string ->
+  t
 
 val path : t -> string
 
-(** Page count rolled back to if the current batch never commits. *)
+(** Page count rolled back to if the current implicit batch never
+    commits. *)
 val base : t -> int
 
-(** True when [page] needs its pre-image logged before its first
-    write-back of this batch (false for pages allocated within the batch
-    and for pages already logged). *)
+val page_size : t -> int
+
+(** Bytes per logged page image ([page_size - Disk.trailer_size]): images
+    are payload-only; restores re-seal the trailer. *)
+val payload_size : t -> int
+
+(** {2 LSN sequence} *)
+
+(** Next LSN to be assigned (peek; monotonically increasing). *)
+val next_lsn : t -> int
+
+(** Highest LSN known durable (last record of the last successful
+    {!fsync}). *)
+val durable_lsn : t -> int
+
+(** Records appended but not yet fsynced. *)
+val pending_records : t -> int
+
+(** {2 Explicit transactions} *)
+
+(** Append a transaction-begin record; [base] is the page count at begin.
+    Returns the record's LSN.  Memory-only until {!fsync}. *)
+val log_begin : t -> txn:int -> base:int -> int
+
+(** Append an update record for [page]: [before] and [after] are
+    payload-sized images.  [prev_lsn] chains the transaction's records for
+    the undo pass. *)
+val log_update : t -> txn:int -> prev_lsn:int -> page:int -> before:bytes -> after:bytes -> int
+
+(** Append the commit record; [page_count] is the allocation watermark the
+    store truncates to when rolling back {e later} losers. *)
+val log_commit : t -> txn:int -> prev_lsn:int -> page_count:int -> int
+
+(** Force all pending records to the file.  One fault-plan consultation
+    per non-empty batch; a crash outcome persists the prescribed subset
+    and raises {!Faulty_disk.Crash}. *)
+val fsync : t -> unit
+
+(** {2 Implicit checkpoint batch (transaction 0)} *)
+
+(** True when [page] needs its record logged before its first write-back
+    of this batch (false for pages allocated within the batch and for
+    pages already logged). *)
 val needs_before : t -> int -> bool
 
-(** [log_before t ~page image] appends the raw pre-image (length = the
-    disk's physical page size, trailer included).  No-op unless
-    {!needs_before}. *)
-val log_before : t -> page:int -> bytes -> unit
+(** [log_steal t ~page ~before ~after] appends an update record for the
+    implicit batch before a steal, returning its LSN (0 when not needed:
+    in-batch allocations and already-logged pages).  The caller forces the
+    log before the data write ({!fsync}). *)
+val log_steal : t -> page:int -> before:bytes -> after:bytes -> int
 
-(** [commit t ~page_count] seals the batch: appends a commit record,
-    truncates the log, and opens the next batch with [page_count] as its
-    rollback base.  Call only after every dirty page has been flushed. *)
-val commit : t -> page_count:int -> unit
+(** [checkpoint t ~page_count] seals the implicit batch: forces a commit
+    record, truncates the log, and opens the next batch with [page_count]
+    as its rollback base.  Call only after every dirty page has been
+    flushed. *)
+val checkpoint : t -> page_count:int -> unit
 
-(** Entries appended since {!create} (pre-images, begins and commits). *)
+(** {2 Counters} *)
+
+(** Records appended since {!create}. *)
 val appends : t -> int
 
-(** Total log bytes written since {!create} — the numerator of the WAL
+(** Total log bytes appended since {!create} — the numerator of the WAL
     write-amplification ratio reported by the benchmarks. *)
 val bytes_logged : t -> int
 
+(** Successful fsync batches, and records they carried — the group-commit
+    ablation reports [flushed_records / flushes]. *)
+val flushes : t -> int
+
+val flushed_records : t -> int
 val set_faults : t -> Faulty_disk.t option -> unit
 val close : t -> unit
 
-(** {2 On-disk format constants (shared with {!Recovery})} *)
+(** {2 On-disk format (shared with {!Recovery})} *)
 
 val magic : int
 val version : int
 val header_size : int
 val entry_header_size : int
 val kind_begin : int
-val kind_before : int
+val kind_update : int
 val kind_commit : int
+val kind_clr : int
+val kind_end : int
+
+(** A decoded record.  [prev_lsn] is the same-transaction back-chain (for
+    a CLR: the undo-next LSN).  [pos]/[next] delimit the record's bytes in
+    the file. *)
+type record = {
+  kind : int;
+  lsn : int;
+  txn : int;
+  prev_lsn : int;
+  arg : int;
+  payload : bytes;
+  pos : int;
+  next : int;
+}
+
+(** Encode a record (header, payload, CRC) — used by recovery to append
+    CLR and end records to an existing log. *)
+val encode : kind:int -> lsn:int -> txn:int -> prev_lsn:int -> arg:int -> bytes option -> bytes
+
+(** Decode the record starting at [off]; [None] on a short or CRC-invalid
+    tail. *)
+val decode : bytes -> off:int -> record option

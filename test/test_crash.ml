@@ -276,9 +276,216 @@ let parallel_load_crash () =
           Tree_store.close ~commit:false store2)
         (List.sort_uniq compare [ total / 4; total / 2; 3 * total / 4 ]))
 
+(* Concurrent transactional committers under a crash sweep — the ARIES
+   counterpart of [sweep].  Three domains commit documents through
+   [Tree_store.with_txn] (via [Par.load_files_txn]: no commit lock, group
+   commit batching the fsyncs) while the fault plan arms either a
+   write-crash point or an fsync-crash point (batch lost, tail lost, or a
+   reordered subset surviving).  After every simulated death the store is
+   reopened — recovery runs analysis/redo/undo — and must satisfy, for
+   every transaction: all-present (export byte-identical to the
+   sequential reference) or all-absent; additionally every commit that
+   was {e acked} before the crash must be present (durability of the
+   group-commit ack), and fsck must be clean.  Selected points also
+   re-crash {e during recovery} to check idempotence. *)
+let concurrent_txn_crash () =
+  let path = Filename.temp_file "natix_crash" ".db" in
+  Fun.protect
+    ~finally:(fun () -> fresh path)
+    (fun () ->
+      let params =
+        {
+          Shakespeare.plays = 6;
+          seed = 0xACE5L;
+          acts_per_play = 2;
+          scenes_per_act = (1, 2);
+          speeches_per_scene = (2, 4);
+          lines_per_speech = (1, 3);
+          words_per_line = (3, 6);
+          personae = (2, 3);
+          stagedir_every = 3;
+        }
+      in
+      let rng = Natix_util.Prng.create ~seed:params.Shakespeare.seed in
+      let files =
+        Array.init params.Shakespeare.plays (fun i ->
+            ( Printf.sprintf "play-%d" i,
+              Natix_xml.Xml_print.to_string ~decl:true (Shakespeare.generate_play params rng i)
+            ))
+      in
+      let jobs = 3 in
+      let txn_config () = { (config ()) with Config.commit_delay = 0.5 } in
+      (* Sequential reference exports. *)
+      let reference =
+        let store = Tree_store.in_memory ~config:(config ()) () in
+        let dm = Document_manager.create ~index:Document_manager.Off store in
+        Array.iter
+          (fun (name, text) ->
+            match Document_manager.store_document dm ~name (Natix_xml.Xml_parser.parse text) with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "reference load failed: %s" (Error.to_string e))
+          files;
+        let r = state_of store in
+        Tree_store.close ~commit:false store;
+        r
+      in
+      (* Three domains, files seeded round-robin; each acked commit is
+         recorded so the verifier can demand it back after recovery.  Any
+         exception on a worker is kept (the armed crash, or collateral
+         poisoned-store errors on its siblings). *)
+      let run ~seed arm =
+        fresh path;
+        let plan = Faulty_disk.create ~seed () in
+        arm plan;
+        let disk = Disk.on_file ~page_size path in
+        Disk.set_faults disk (Some plan);
+        let acked = Atomic.make [] in
+        let track name =
+          let rec go () =
+            let cur = Atomic.get acked in
+            if not (Atomic.compare_and_set acked cur (name :: cur)) then go ()
+          in
+          go ()
+        in
+        (match Tree_store.open_store ~config:(txn_config ()) disk with
+        | exception _ -> ( try Disk.close disk with _ -> ())
+        | store ->
+          let dm = Document_manager.create ~index:Document_manager.Off store in
+          let worker w () =
+            Array.iteri
+              (fun i (name, text) ->
+                if i mod jobs = w then
+                  match
+                    Document_manager.store_transactional dm ~name
+                      (Natix_xml.Xml_parser.parse text)
+                  with
+                  | Ok _ -> track name
+                  | Error _ -> ()
+                  | exception _ -> ())
+              files
+          in
+          let domains = List.init jobs (fun w -> Domain.spawn (worker w)) in
+          List.iter Domain.join domains;
+          (try Tree_store.close ~commit:false store with _ -> ()));
+        (Faulty_disk.crashed plan, Atomic.get acked)
+      in
+      let verify ?obs ~recrash_seed label acked =
+        (* Optionally crash again during recovery itself before the clean
+           reopen: repeated crashes mid-recovery must not change the
+           outcome (CLRs are redone, undo resumes from undo-next). *)
+        (match recrash_seed with
+        | None -> ()
+        | Some (seed, k) -> (
+          let plan = Faulty_disk.create ~seed () in
+          Faulty_disk.arm_crash plan k;
+          let disk = Disk.on_file ~page_size path in
+          Disk.set_faults disk (Some plan);
+          match Tree_store.open_store ~config:(txn_config ()) disk with
+          | exception _ -> ( try Disk.close disk with _ -> ())
+          | store -> Tree_store.close ~commit:false store));
+        let disk = Disk.on_file ?obs ~page_size path in
+        let store = Tree_store.open_store ~config:(txn_config ()) disk in
+        let report = Fsck.run store in
+        if not (Fsck.ok report) then Alcotest.failf "%s: post-recovery fsck: %a" label Fsck.pp report;
+        let recovered = state_of store in
+        List.iter
+          (fun (name, exported) ->
+            match List.assoc_opt name reference with
+            | Some expected when String.equal expected exported -> ()
+            | Some _ ->
+              Alcotest.failf "%s: %S present but differs from the reference (partial commit?)"
+                label name
+            | None -> Alcotest.failf "%s: unexpected document %S" label name)
+          recovered;
+        List.iter
+          (fun name ->
+            if not (List.mem_assoc name recovered) then
+              Alcotest.failf "%s: commit of %S was acked before the crash but is gone" label
+                name)
+          acked;
+        Tree_store.close ~commit:false store
+      in
+      (* Unarmed sizing runs: once through the hand-rolled domains (checks
+         the clean path acks everything), once through the [Par] entry
+         point to count writes and fsyncs. *)
+      let total_writes, total_fsyncs =
+        let crashed, acked = run ~seed:21L (fun _ -> ()) in
+        Alcotest.(check bool) "unarmed run does not crash" false crashed;
+        Alcotest.(check int) "unarmed run commits every document" (Array.length files)
+          (List.length acked);
+        fresh path;
+        let plan2 = Faulty_disk.create ~seed:23L () in
+        let disk2 = Disk.on_file ~page_size path in
+        Disk.set_faults disk2 (Some plan2);
+        let store2 = Tree_store.open_store ~config:(txn_config ()) disk2 in
+        let dm = Document_manager.create ~index:Document_manager.Off store2 in
+        let outcome = Natix_par.Par.load_files_txn ~jobs dm (Array.to_list files) in
+        List.iter
+          (function
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "sizing load failed: %s" (Error.to_string e))
+          outcome.Natix_par.Par.results;
+        Tree_store.close ~commit:false store2;
+        (Faulty_disk.writes_seen plan2, Faulty_disk.fsyncs_seen plan2)
+      in
+      Alcotest.(check bool) "transactional load writes pages" true (total_writes > 0);
+      Alcotest.(check bool) "transactional load fsyncs the log" true (total_fsyncs > 0);
+      let obs =
+        Option.map
+          (fun p -> Natix_obs.Obs.create ~sink:(Natix_obs.Sink.jsonl p) ())
+          (Sys.getenv_opt "NATIX_CRASH_TRACE")
+      in
+      Fun.protect
+        ~finally:(fun () -> Option.iter Natix_obs.Obs.close obs)
+        (fun () ->
+          (* Write-crash points over the write sequence.  Parallel
+             schedules shift write counts between runs, so a point is a
+             probe: if the armed run survived, the store must simply be
+             complete; if it crashed, recovery must hold the line. *)
+          List.iteri
+            (fun idx k ->
+              let crashed, acked = run ~seed:(Int64.of_int (9000 + k)) (fun p -> Faulty_disk.arm_crash p k) in
+              if not crashed then
+                Alcotest.(check int)
+                  (Printf.sprintf "write point %d survived: all committed" k)
+                  (Array.length files) (List.length acked);
+              let recrash_seed =
+                if idx mod 4 = 0 then Some (Int64.of_int (9500 + k), 2 + (idx mod 3)) else None
+              in
+              if Sys.getenv_opt "NATIX_CRASH_DEBUG" <> None then Printf.eprintf "write point %d: crashed=%b acked=%d\n%!" k crashed (List.length acked);
+              verify ?obs ~recrash_seed (Printf.sprintf "write point %d" k) acked)
+            (crash_points total_writes);
+          (* Fsync-crash points: each probe kills one log flush with one of
+             the three failure shapes. *)
+          let fsync_points =
+            let n = max 4 (List.length (crash_points total_writes) / 3) in
+            if total_fsyncs <= 1 then [ 0 ]
+            else
+              List.init n (fun i -> i * (total_fsyncs - 1) / max 1 (n - 1))
+              |> List.sort_uniq compare
+          in
+          List.iteri
+            (fun idx k ->
+              let mode =
+                match idx mod 3 with 0 -> `Lose_all | 1 -> `Lose_tail | _ -> `Subset
+              in
+              let crashed, acked =
+                run ~seed:(Int64.of_int (11000 + k)) (fun p ->
+                    Faulty_disk.arm_fsync_crash ~mode p k)
+              in
+              if not crashed then
+                Alcotest.(check int)
+                  (Printf.sprintf "fsync point %d survived: all committed" k)
+                  (Array.length files) (List.length acked);
+              if Sys.getenv_opt "NATIX_CRASH_DEBUG" <> None then Printf.eprintf "fsync point %d: crashed=%b acked=%d\n%!" k crashed (List.length acked);
+              verify ?obs ~recrash_seed:None (Printf.sprintf "fsync point %d" k) acked)
+            fsync_points))
+
 let harness_tests =
   [
     Alcotest.test_case "recovery reaches the last checkpoint at every crash point" `Slow sweep;
+    Alcotest.test_case "concurrent committers recover atomically at every crash point" `Slow
+      concurrent_txn_crash;
     Alcotest.test_case "parallel bulk load recovers document-atomically" `Slow
       parallel_load_crash;
     Alcotest.test_case "raw page sweep finds a flipped byte" `Quick (fun () ->

@@ -225,7 +225,7 @@ let pool_tests =
         | p0 :: _ ->
           Buffer_pool.with_page pool p0 (fun f ->
               Bytes.set f.Buffer_pool.data 0 '!';
-              Buffer_pool.mark_dirty f)
+              Buffer_pool.mark_dirty pool f)
         | [] -> assert false);
         (* Touch enough other pages to evict p0. *)
         List.iter (fun p -> Buffer_pool.with_page pool p (fun _ -> ())) (List.tl pids);
@@ -237,7 +237,7 @@ let pool_tests =
         let p = Disk.allocate d in
         Buffer_pool.with_page pool p (fun f ->
             Bytes.set f.Buffer_pool.data 1 '?';
-            Buffer_pool.mark_dirty f);
+            Buffer_pool.mark_dirty pool f);
         Buffer_pool.clear pool;
         Alcotest.(check int) "empty" 0 (Buffer_pool.resident pool);
         let b = Bytes.create (Disk.payload_size d) in
@@ -809,7 +809,7 @@ let wal_tests =
       (fun () -> f path)
   in
   [
-    Alcotest.test_case "uncommitted batch rolls back to pre-images" `Quick (fun () ->
+    Alcotest.test_case "uncommitted steal rolls back to pre-image" `Quick (fun () ->
         with_store_file (fun path ->
             let d = Disk.on_file ~page_size:256 path in
             let ps = Disk.payload_size d in
@@ -819,23 +819,29 @@ let wal_tests =
               Wal.create ~page_size:(Disk.page_size d) ~base:(Disk.page_count d)
                 (Recovery.wal_path path)
             in
-            let raw = Bytes.create (Disk.page_size d) in
-            Disk.read_raw d p raw;
+            let before = Bytes.create ps in
+            Disk.read d p before;
+            let after = Bytes.make ps 'B' in
             Alcotest.(check bool) "needs pre-image" true (Wal.needs_before wal p);
-            Wal.log_before wal ~page:p raw;
+            let lsn = Wal.log_steal wal ~page:p ~before ~after in
+            Alcotest.(check bool) "record has an LSN" true (lsn > 0);
             Alcotest.(check bool) "logged once" false (Wal.needs_before wal p);
-            Disk.write d p (Bytes.make ps 'B');
+            Alcotest.(check int) "second steal logs nothing" 0
+              (Wal.log_steal wal ~page:p ~before ~after);
+            Wal.fsync wal;
+            Disk.write ~lsn d p after;
             Wal.close wal;
             Disk.close d;
             let d2 = Disk.on_file ~page_size:256 path in
             let rep = Recovery.run d2 in
             Alcotest.(check bool) "ran" true rep.Recovery.ran;
             Alcotest.(check int) "one page undone" 1 rep.Recovery.undone;
+            Alcotest.(check int) "one loser" 1 rep.Recovery.losers;
             let r = Bytes.create ps in
             Disk.read d2 p r;
             Alcotest.(check bytes) "pre-image restored" (Bytes.make ps 'A') r;
             Disk.close d2));
-    Alcotest.test_case "committed batch is preserved" `Quick (fun () ->
+    Alcotest.test_case "checkpointed batch is preserved" `Quick (fun () ->
         with_store_file (fun path ->
             let d = Disk.on_file ~page_size:256 path in
             let ps = Disk.payload_size d in
@@ -845,19 +851,87 @@ let wal_tests =
               Wal.create ~page_size:(Disk.page_size d) ~base:(Disk.page_count d)
                 (Recovery.wal_path path)
             in
-            let raw = Bytes.create (Disk.page_size d) in
-            Disk.read_raw d p raw;
-            Wal.log_before wal ~page:p raw;
-            Disk.write d p (Bytes.make ps 'B');
-            Wal.commit wal ~page_count:(Disk.page_count d);
+            let before = Bytes.create ps in
+            Disk.read d p before;
+            let after = Bytes.make ps 'B' in
+            let lsn = Wal.log_steal wal ~page:p ~before ~after in
+            Wal.fsync wal;
+            Disk.write ~lsn d p after;
+            Wal.checkpoint wal ~page_count:(Disk.page_count d);
             Wal.close wal;
             Disk.close d;
             let d2 = Disk.on_file ~page_size:256 path in
             let rep = Recovery.run d2 in
             Alcotest.(check int) "nothing undone" 0 rep.Recovery.undone;
+            Alcotest.(check bool) "clean" true rep.Recovery.clean;
             let r = Bytes.create ps in
             Disk.read d2 p r;
             Alcotest.(check bytes) "committed content kept" (Bytes.make ps 'B') r;
+            Disk.close d2));
+    Alcotest.test_case "committed transaction is redone (no-force)" `Quick (fun () ->
+        with_store_file (fun path ->
+            let d = Disk.on_file ~page_size:256 path in
+            let ps = Disk.payload_size d in
+            let p = Disk.allocate d in
+            Disk.write d p (Bytes.make ps 'A');
+            let wal =
+              Wal.create ~first_lsn:10 ~page_size:(Disk.page_size d)
+                ~base:(Disk.page_count d) (Recovery.wal_path path)
+            in
+            let before = Bytes.create ps in
+            Disk.read d p before;
+            let after = Bytes.make ps 'B' in
+            let b = Wal.log_begin wal ~txn:1 ~base:(Disk.page_count d) in
+            let u = Wal.log_update wal ~txn:1 ~prev_lsn:b ~page:p ~before ~after in
+            let _ = Wal.log_commit wal ~txn:1 ~prev_lsn:u ~page_count:(Disk.page_count d) in
+            Wal.fsync wal;
+            (* Crash before the data page ever reaches disk: the page still
+               holds 'A'; redo must replay the committed after-image. *)
+            Wal.close wal;
+            Disk.close d;
+            let d2 = Disk.on_file ~page_size:256 path in
+            let rep = Recovery.run d2 in
+            Alcotest.(check int) "one page redone" 1 rep.Recovery.redone;
+            Alcotest.(check int) "no losers" 0 rep.Recovery.losers;
+            let r = Bytes.create ps in
+            Disk.read d2 p r;
+            Alcotest.(check bytes) "after-image replayed" (Bytes.make ps 'B') r;
+            Disk.close d2));
+    Alcotest.test_case "loser transaction is undone along its chain" `Quick (fun () ->
+        with_store_file (fun path ->
+            let d = Disk.on_file ~page_size:256 path in
+            let ps = Disk.payload_size d in
+            let p = Disk.allocate d in
+            let q = Disk.allocate d in
+            Disk.write d p (Bytes.make ps 'A');
+            Disk.write d q (Bytes.make ps 'C');
+            let wal =
+              Wal.create ~first_lsn:10 ~page_size:(Disk.page_size d)
+                ~base:(Disk.page_count d) (Recovery.wal_path path)
+            in
+            let img c = Bytes.make ps c in
+            let b = Wal.log_begin wal ~txn:7 ~base:(Disk.page_count d) in
+            let u1 =
+              Wal.log_update wal ~txn:7 ~prev_lsn:b ~page:p ~before:(img 'A') ~after:(img 'B')
+            in
+            let u2 =
+              Wal.log_update wal ~txn:7 ~prev_lsn:u1 ~page:q ~before:(img 'C') ~after:(img 'D')
+            in
+            Wal.fsync wal;
+            (* Steal both dirty pages, then crash before commit. *)
+            Disk.write ~lsn:u1 d p (img 'B');
+            Disk.write ~lsn:u2 d q (img 'D');
+            Wal.close wal;
+            Disk.close d;
+            let d2 = Disk.on_file ~page_size:256 path in
+            let rep = Recovery.run d2 in
+            Alcotest.(check int) "both pages undone" 2 rep.Recovery.undone;
+            Alcotest.(check int) "one loser" 1 rep.Recovery.losers;
+            let r = Bytes.create ps in
+            Disk.read d2 p r;
+            Alcotest.(check bytes) "first pre-image restored" (img 'A') r;
+            Disk.read d2 q r;
+            Alcotest.(check bytes) "second pre-image restored" (img 'C') r;
             Disk.close d2));
     Alcotest.test_case "uncommitted allocations are truncated" `Quick (fun () ->
         with_store_file (fun path ->
@@ -871,6 +945,9 @@ let wal_tests =
             in
             let p1 = Disk.allocate d in
             Alcotest.(check bool) "fresh page needs no pre-image" false (Wal.needs_before wal p1);
+            Alcotest.(check int) "steal of a fresh page logs nothing" 0
+              (Wal.log_steal wal ~page:p1 ~before:(Bytes.make ps '\000')
+                 ~after:(Bytes.make ps 'N'));
             Disk.write d p1 (Bytes.make ps 'N');
             Wal.close wal;
             Disk.close d;
@@ -889,10 +966,12 @@ let wal_tests =
               Wal.create ~page_size:(Disk.page_size d) ~base:(Disk.page_count d)
                 (Recovery.wal_path path)
             in
-            let raw = Bytes.create (Disk.page_size d) in
-            Disk.read_raw d p raw;
-            Wal.log_before wal ~page:p raw;
-            Disk.write d p (Bytes.make ps 'B');
+            let before = Bytes.create ps in
+            Disk.read d p before;
+            let after = Bytes.make ps 'B' in
+            let lsn = Wal.log_steal wal ~page:p ~before ~after in
+            Wal.fsync wal;
+            Disk.write ~lsn d p after;
             Wal.close wal;
             Disk.close d;
             (* A crash mid-append leaves a partial entry at the tail. *)
@@ -917,10 +996,12 @@ let wal_tests =
               Wal.create ~page_size:(Disk.page_size d) ~base:(Disk.page_count d)
                 (Recovery.wal_path path)
             in
-            let raw = Bytes.create (Disk.page_size d) in
-            Disk.read_raw d p raw;
-            Wal.log_before wal ~page:p raw;
-            Disk.write d p (Bytes.make ps 'B');
+            let before = Bytes.create ps in
+            Disk.read d p before;
+            let after = Bytes.make ps 'B' in
+            let lsn = Wal.log_steal wal ~page:p ~before ~after in
+            Wal.fsync wal;
+            Disk.write ~lsn d p after;
             Wal.close wal;
             Disk.close d;
             let d2 = Disk.on_file ~page_size:256 path in
@@ -928,21 +1009,36 @@ let wal_tests =
             Alcotest.(check int) "first pass undoes" 1 rep1.Recovery.undone;
             let rep2 = Recovery.run d2 in
             Alcotest.(check int) "second pass is a no-op" 0 rep2.Recovery.undone;
+            let r = Bytes.create ps in
+            Disk.read d2 p r;
+            Alcotest.(check bytes) "pre-image survives the second pass" (Bytes.make ps 'A') r;
             Disk.close d2));
     Alcotest.test_case "wal counters track appended bytes" `Quick (fun () ->
         with_store_file (fun path ->
             let d = Disk.on_file ~page_size:256 path in
+            let ps = Disk.payload_size d in
             let p = Disk.allocate d in
             let wal =
               Wal.create ~page_size:(Disk.page_size d) ~base:(Disk.page_count d)
                 (Recovery.wal_path path)
             in
-            let raw = Bytes.create (Disk.page_size d) in
-            Disk.read_raw d p raw;
-            Wal.log_before wal ~page:p raw;
-            Alcotest.(check int) "begin + one pre-image" 2 (Wal.appends wal);
-            Alcotest.(check bool) "bytes include the page image" true
+            Disk.write d p (Bytes.make ps 'A');
+            let before = Bytes.make ps 'A' in
+            let after = Bytes.make ps 'B' in
+            let lsn = Wal.log_steal wal ~page:p ~before ~after in
+            Alcotest.(check int) "begin + one update" 2 (Wal.appends wal);
+            Alcotest.(check bool) "bytes include both page images" true
               (Wal.bytes_logged wal > Disk.page_size d);
+            (* create fsyncs its begin record; the steal's update is pending
+               until the caller forces the log. *)
+            Alcotest.(check int) "only the begin flush so far" 1 (Wal.flushes wal);
+            Alcotest.(check int) "update record pending" 1 (Wal.pending_records wal);
+            Alcotest.(check bool) "update not yet durable" true (Wal.durable_lsn wal < lsn);
+            Wal.fsync wal;
+            Alcotest.(check int) "steal forced a second flush" 2 (Wal.flushes wal);
+            Alcotest.(check int) "both records durable" 2 (Wal.flushed_records wal);
+            Alcotest.(check int) "nothing pending" 0 (Wal.pending_records wal);
+            Alcotest.(check int) "durable watermark at the update" lsn (Wal.durable_lsn wal);
             Wal.close wal;
             Disk.close d));
   ]
