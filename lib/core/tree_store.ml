@@ -199,16 +199,40 @@ let check_usable t =
   | Some msg -> storage_error "store poisoned by a failed transaction (%s); reopen to recover" msg
   | None -> ()
 
+let with_struct_lock t f =
+  Lock_rank.acquire Lock_rank.structure;
+  Mutex.lock t.txns.struct_lock;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.unlock t.txns.struct_lock;
+      Lock_rank.release Lock_rank.structure)
+    f
+
 (* Mutations not scoped by {!with_txn} belong to the implicit checkpoint
    batch; mixing them with transactional writers would attribute their
    pages to whichever regime writes first, so they are rejected while any
    transaction is in flight.  The transaction's own mutation phase passes:
-   it runs on the domain registered as the mutator. *)
+   it runs on the domain registered as the mutator.
+
+   Sequential mixing needs one more step: after the last transaction
+   commits, the pool stays in transaction mode until a checkpoint, and in
+   that mode write-backs log nothing for the implicit batch (an implicit
+   pre-image could shadow a committed transaction's records).  Unscoped
+   mutation entering that window would therefore reach disk with no WAL
+   coverage at all, so the store checkpoints out of transaction mode
+   first — under the structure lock, where no transaction can have logged
+   anything yet (Begin is logged only inside the mutation phase). *)
 let guard_mutate t =
   check_usable t;
   if Atomic.get t.txns.active > 0 && t.txns.mutator <> Some (Domain.self ()) then
     storage_error "unscoped mutation while %d transaction(s) are in flight"
-      (Atomic.get t.txns.active)
+      (Atomic.get t.txns.active);
+  if t.txns.mutator <> Some (Domain.self ()) && Buffer_pool.txn_mode t.pool then
+    with_struct_lock t (fun () ->
+        if Atomic.get t.txns.active > 0 then
+          storage_error "unscoped mutation while %d transaction(s) are in flight"
+            (Atomic.get t.txns.active);
+        if Buffer_pool.txn_mode t.pool then Buffer_pool.checkpoint t.pool)
 
 let doc_latch t doc =
   Lock_rank.acquire Lock_rank.unordered;
@@ -302,13 +326,28 @@ let with_txn t ~doc f =
       release_doc ();
       raise e)
 
+(* The active check and the checkpoint must be one atomic step with
+   respect to {!with_txn}'s mutation phase: checked without the structure
+   lock, a concurrent transaction could increment [active] and log its
+   Begin/Update records between the check and [Wal.checkpoint]'s log
+   truncation, destroying the undo/redo records it needs if it loses.
+   Under the lock, a transaction that slipped past the check is parked at
+   the structure lock with nothing logged yet, so rejecting here is
+   always sound.  The unlocked check stays as the fast path: it rejects
+   without touching the lock while a mutation phase is running — which
+   also keeps a transaction's own [f] calling [sync] an error instead of
+   a self-deadlock on the non-recursive lock. *)
 let sync t =
   check_usable t;
   if Atomic.get t.txns.active > 0 then
     storage_error "checkpoint rejected: %d transaction(s) in flight" (Atomic.get t.txns.active);
-  Hashtbl.replace t.catalog.Catalog.meta epoch_meta_key (string_of_int t.change_epoch);
-  Catalog.save t.rm t.catalog;
-  Buffer_pool.checkpoint t.pool;
+  with_struct_lock t (fun () ->
+      if Atomic.get t.txns.active > 0 then
+        storage_error "checkpoint rejected: %d transaction(s) in flight"
+          (Atomic.get t.txns.active);
+      Hashtbl.replace t.catalog.Catalog.meta epoch_meta_key (string_of_int t.change_epoch);
+      Catalog.save t.rm t.catalog;
+      Buffer_pool.checkpoint t.pool);
   (* The durability point also flushes buffered trace output, so a JSONL
      event stream (flight recorder, [natix trace --jsonl]) on disk is
      complete up to the last checkpoint even if the process dies. *)

@@ -14,7 +14,19 @@
    page restore — WAL-before-data holds during recovery too — and an End
    record once a loser's Begin is reached.  A crash at any point during
    recovery leaves a log the next recovery handles: CLRs are redone like
-   updates, and undo resumes from the last CLR's undo-next pointer. *)
+   updates, and undo resumes from the last CLR's undo-next pointer.
+
+   The LSN sequence handed to the next incarnation ([report.next_lsn])
+   must dominate every LSN a data-page trailer may carry, or redo's
+   [page_lsn < record_lsn] comparison would silently skip replay of new
+   records.  Parsed records alone cannot guarantee that: a crash right
+   after a checkpoint truncation (or during the fresh log's first flush)
+   leaves a log with no records while trailers still carry LSNs from the
+   previous incarnation.  So the WAL header persists a next-LSN
+   high-water mark, rewritten at every truncation point, and recovery
+   seeds the sequence from [max (log max LSN + 1) mark]; if the header
+   itself is unreadable, the fallback is a scan of every data-page
+   trailer on the disk. *)
 
 type report = {
   ran : bool;
@@ -60,6 +72,21 @@ let read_file path =
 let truncate_file path len =
   let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
   Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.ftruncate fd len)
+
+(* Highest LSN stamped on any data-page trailer — the fallback seed for
+   the LSN sequence when the log's header (and with it the persisted
+   high-water mark) is unreadable.  Pages whose trailer fails its
+   checksum contribute nothing: a torn page never completed the write
+   that would have stamped a newer LSN. *)
+let max_page_lsn disk =
+  let buf = Bytes.create (Disk.page_size disk) in
+  let m = ref 0 in
+  for page = 0 to Disk.page_count disk - 1 do
+    Disk.read_raw disk page buf;
+    let lsn = Disk.image_lsn disk ~page buf in
+    if lsn > !m then m := lsn
+  done;
+  !m
 
 (* Parse the longest valid prefix; returns the records in log order and
    the offset where validity ends. *)
@@ -122,6 +149,14 @@ let run ?obs disk =
         && Natix_util.Bytes_util.get_u32 buf 0 = Wal.magic
         && Natix_util.Bytes_util.get_u16 buf 4 = Wal.version
         && Natix_util.Bytes_util.get_u32 buf 8 = page_size
+      in
+      (* Highest LSN possibly in use before this crash: the header's
+         high-water mark (it stores the next LSN to assign), or — when the
+         header itself is torn or from a foreign format — whatever the
+         data-page trailers say. *)
+      let lsn_floor =
+        if header_ok then max 0 (Natix_util.Bytes_util.get_u48 buf 12 - 1)
+        else max_page_lsn disk
       in
       let records, valid_end = if header_ok then parse buf else ([], 0) in
       let torn_bytes = size - valid_end in
@@ -203,7 +238,7 @@ let run ?obs disk =
         txns;
       let loser_count = List.length !losers in
       let undone = ref 0 in
-      let next_lsn = ref (!max_lsn + 1) in
+      let next_lsn = ref (max !max_lsn lsn_floor + 1) in
       if loser_count > 0 then begin
         let fd = Unix.openfile wal [ Unix.O_RDWR ] 0 in
         Fun.protect
@@ -271,8 +306,11 @@ let run ?obs disk =
       | Some _, _ -> ()
       | None, Some base when base < Disk.page_count disk -> Disk.set_page_count disk base
       | None, _ -> ());
-      (* Everything is on disk and consistent; the log is moot. *)
-      truncate_file wal 0;
+      (* Everything is on disk and consistent; the records are moot — but
+         the header's high-water mark must survive, or a crash before the
+         fresh log's first durable record would restart the LSN sequence
+         below the trailers just written. *)
+      Wal.reset_file ~page_size ~next_lsn:!next_lsn wal;
       (match obs with
       | None -> ()
       | Some o ->

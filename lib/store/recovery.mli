@@ -28,7 +28,11 @@ type report = {
   losers : int;  (** transactions rolled back *)
   torn_bytes : int;  (** discarded torn log tail *)
   page_count : int;  (** disk pages after recovery *)
-  next_lsn : int;  (** first LSN safe for the store's new log *)
+  next_lsn : int;
+      (** First LSN safe for the store's new log: above every parsed
+          record, the WAL header's persisted high-water mark and — when
+          the header is unreadable — every data-page trailer stamp, so
+          the sequence never restarts below an LSN already on disk. *)
 }
 
 (** Log file protecting the store at the given path. *)

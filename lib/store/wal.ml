@@ -2,13 +2,14 @@ open Natix_util
 
 (* Redo+undo write-ahead log (ARIES-style, steal/no-force).
 
-   File layout.  A 16-byte header:
+   File layout.  A 24-byte header:
 
      [0..4)   magic "NTWL"
      [4..6)   version
      [6..8)   zero padding
      [8..12)  page size of the disk this log protects
-     [12..16) zero padding
+     [12..18) next-LSN high-water mark
+     [18..24) zero padding
 
    followed by LSN-stamped records of the form
 
@@ -36,11 +37,16 @@ open Natix_util
    are stamped with the LSN of the last record covering the page (0 when
    none), never with fresh draws, so every trailer stamp on disk is a
    record LSN and the redo comparison [page_lsn < record_lsn] stays sound
-   across restarts. *)
+   across restarts.  The header's high-water mark keeps the sequence
+   monotone even when a crash leaves the log with no parseable records
+   (e.g. right after a checkpoint truncation): the mark is rewritten at
+   every truncation point, so recovery never re-issues an LSN that a
+   data-page trailer may already carry — a restarted sequence would make
+   redo silently skip replay. *)
 
 let magic = 0x4e54574c (* "NTWL" *)
-let version = 2
-let header_size = 16
+let version = 3
+let header_size = 24
 let entry_header_size = 25
 
 let kind_begin = 1
@@ -137,14 +143,33 @@ let with_lock t f =
       Lock_rank.release Lock_rank.wal)
     f
 
-let write_header t =
+let encode_header ~page_size ~next_lsn =
   let buf = Bytes.make header_size '\000' in
   Bytes_util.set_u32 buf 0 magic;
   Bytes_util.set_u16 buf 4 version;
-  Bytes_util.set_u32 buf 8 t.page_size;
-  ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
-  if Unix.write t.fd buf 0 header_size <> header_size then
+  Bytes_util.set_u32 buf 8 page_size;
+  Bytes_util.set_u48 buf 12 next_lsn;
+  buf
+
+let write_header_fd fd ~page_size ~next_lsn =
+  let buf = encode_header ~page_size ~next_lsn in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  if Unix.write fd buf 0 header_size <> header_size then
     failwith "Wal: short header write"
+
+let write_header t = write_header_fd t.fd ~page_size:t.page_size ~next_lsn:(Atomic.get t.next_lsn)
+
+(* Rewrite [path] as an empty log whose header carries [next_lsn] as the
+   high-water mark.  Recovery calls this once everything the log protected
+   is on disk: the records are moot, but the mark must survive so the next
+   incarnation's sequence stays above every LSN stamped on a data page. *)
+let reset_file ~page_size ~next_lsn path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.ftruncate fd 0;
+      write_header_fd fd ~page_size ~next_lsn)
 
 let pwrite_all t ~off buf =
   ignore (Unix.lseek t.fd off Unix.SEEK_SET);
@@ -325,6 +350,11 @@ let checkpoint t ~page_count =
   in
   with_lock t (fun () ->
       Unix.ftruncate t.fd header_size;
+      (* The truncation just dropped every record whose LSN dominated the
+         data-page trailers; refresh the header's high-water mark so a
+         crash before the next record becomes durable cannot restart the
+         sequence below those trailers. *)
+      write_header t;
       t.file_end <- header_size;
       Hashtbl.reset t.logged;
       t.base <- page_count;

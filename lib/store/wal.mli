@@ -126,6 +126,14 @@ val flushed_records : t -> int
 val set_faults : t -> Faulty_disk.t option -> unit
 val close : t -> unit
 
+(** [reset_file ~page_size ~next_lsn path] rewrites [path] as an empty
+    log whose header carries [next_lsn] as the LSN high-water mark.
+    Recovery finishes with this instead of a bare truncation: the mark is
+    what keeps the LSN sequence monotone across incarnations when the log
+    holds no records, so redo's [page_lsn < record_lsn] comparison never
+    meets a re-issued LSN. *)
+val reset_file : page_size:int -> next_lsn:int -> string -> unit
+
 (** {2 On-disk format (shared with {!Recovery})} *)
 
 val magic : int

@@ -347,6 +347,105 @@ let txn_tests =
         | exception Error.Error (Error.Storage _) -> ()
         | () -> Alcotest.fail "in-memory store accepted a transaction");
         Tree_store.close store);
+    Alcotest.test_case "LSN sequence survives a crash at the checkpoint truncation" `Quick
+      (fun () ->
+        (* A checkpoint truncates the log; if the crash lands on the fresh
+           log's first fsync, recovery finds a log with no records while
+           data-page trailers still carry the previous incarnation's LSNs.
+           The sequence must resume above them (the WAL header's high-water
+           mark), or later committed transactions redo as no-ops — the
+           pages "already contain" records they have never seen. *)
+        with_store_file (fun path ->
+            let plan = Faulty_disk.create ~seed:21L () in
+            let store = open_txn_store ~plan path in
+            (* Lots of logged records: the first incarnation's LSNs (and
+               with them the trailer stamps its checkpoint flushes home)
+               must dwarf anything the short second incarnation draws. *)
+            ignore
+              (Tree_store.with_txn store ~doc:"play" (fun () ->
+                   for i = 0 to 3 do
+                     ignore
+                       (Loader.load store
+                          ~name:(if i = 0 then "play" else Printf.sprintf "play_%d" i)
+                          (play ~seed:(70 + i) i))
+                   done));
+            let reference = export store "play" in
+            (* Survive the checkpoint's commit-record fsync; die on the
+               post-truncation Begin fsync, leaving a bare header. *)
+            Faulty_disk.arm_fsync_crash plan (Faulty_disk.fsyncs_seen plan + 1);
+            (match Tree_store.checkpoint store with
+            | exception Faulty_disk.Crash -> ()
+            | () -> Alcotest.fail "checkpoint survived the armed fsync crash");
+            Tree_store.close ~commit:false store;
+            (* Reopen and commit one small document: its transaction
+               updates catalog pages whose on-disk trailers carry
+               first-incarnation LSNs far above a restarted sequence. *)
+            let store2 = open_txn_store path in
+            ignore
+              (Tree_store.with_txn store2 ~doc:"play2" (fun () ->
+                   ignore (Tree_store.create_document store2 ~name:"play2" ~root:"r")));
+            let expected2 = export store2 "play2" in
+            Tree_store.close ~commit:false store2;
+            (* The ack is all this transaction ever got — recovery must
+               redo it even onto pages with older (higher-looking) stamps. *)
+            let store3 = open_txn_store path in
+            Alcotest.(check bool) "fsck clean" true (Fsck.ok (Fsck.run store3));
+            Alcotest.(check bool) "acked document present" true
+              (List.mem "play2" (Tree_store.list_documents store3));
+            Alcotest.(check string) "first document intact" reference (export store3 "play");
+            Alcotest.(check string) "acked commit redone" expected2 (export store3 "play2");
+            Tree_store.close ~commit:false store3));
+    Alcotest.test_case "unscoped mutation after a commit is WAL-covered" `Quick (fun () ->
+        (* After the last transaction commits, the pool stays in
+           transaction mode until a checkpoint, where implicit steal
+           logging is off.  Unscoped mutation entering that window must
+           checkpoint out of it first — otherwise its dirty pages reach
+           disk with no WAL coverage and a crash leaves the batch
+           partially applied.  Sweep crash points across the flush. *)
+        let crashed = ref 0 in
+        let point = ref 0 in
+        let continue = ref true in
+        while !continue do
+          with_store_file (fun path ->
+              let plan = Faulty_disk.create ~seed:31L () in
+              let store = open_txn_store ~plan path in
+              ignore
+                (Tree_store.with_txn store ~doc:"committed" (fun () ->
+                     ignore (Loader.load store ~name:"committed" (play ~seed:80 0))));
+              let reference = export store "committed" in
+              (* Unscoped regime: mutate outside any transaction, then
+                 crash partway through flushing the batch home. *)
+              ignore (Loader.load store ~name:"batch" (play ~seed:81 1));
+              let expected_batch = export store "batch" in
+              Faulty_disk.arm_crash plan (Faulty_disk.writes_seen plan + !point);
+              (match Tree_store.checkpoint store with
+              | exception Faulty_disk.Crash ->
+                incr crashed;
+                Tree_store.close ~commit:false store
+              | () ->
+                (* The sweep walked past the flush: no more crash points. *)
+                continue := false;
+                Tree_store.close ~commit:false store);
+              let store2 = open_txn_store path in
+              Alcotest.(check bool)
+                (Printf.sprintf "crash point %d: fsck clean" !point)
+                true
+                (Fsck.ok (Fsck.run store2));
+              Alcotest.(check string)
+                (Printf.sprintf "crash point %d: committed document intact" !point)
+                reference (export store2 "committed");
+              (* The batch is atomic: wholly absent (rolled back to the
+                 checkpoint guard_mutate forced) or wholly present. *)
+              (match Tree_store.document_rid store2 "batch" with
+              | None -> ()
+              | Some _ ->
+                Alcotest.(check string)
+                  (Printf.sprintf "crash point %d: batch complete if present" !point)
+                  expected_batch (export store2 "batch"));
+              Tree_store.close ~commit:false store2);
+          incr point
+        done;
+        Alcotest.(check bool) "sweep hit at least one crash point" true (!crashed > 0));
   ]
 
 (* ------------------------------------------------------------------ *)
