@@ -619,6 +619,131 @@ let run_parallel_bench ~jobs corpus =
       ("par_wall_s", J.Float wn);
     ]
 
+(* Serve bench: simulated open-loop traffic through the whole serve
+   stack — Api codec, CRC framing, admission, dispatch — via the
+   in-process loopback client.  The request mix is measured once on an
+   inline (jobs = 0) server against the simulated I/O clock, then swept
+   through the open-loop queueing model at multiples of the saturation
+   rate.  Nothing touches a wall clock, so every figure (including the
+   latency quantiles) is byte-identical across runs and machines and the
+   section is gated by bench-diff. *)
+let serve_export = ref ""
+
+let run_serve_bench corpus =
+  let module T = Natix_server.Traffic in
+  Printf.printf
+    "\nServe bench - open-loop arrival sweep through the binary-protocol serve path (inline \
+     server, simulated clock)\n";
+  let sess = Natix.Session.open_memory () in
+  let store = Natix.Session.store sess in
+  let docs =
+    List.mapi (fun i p -> (Printf.sprintf "play-%d" i, Natix_xml.Xml_print.to_string p)) corpus
+  in
+  List.iter
+    (fun (doc, xml) ->
+      match Natix.Session.exec sess (Natix.Api.Load { doc; xml; order = Loader.Preorder }) with
+      | Natix.Api.Loaded _ -> ()
+      | r -> failwith (Format.asprintf "serve bench load: %a" Natix.Api.pp_response r))
+    docs;
+  let registry = Natix_server.Registry.create () in
+  Natix_server.Registry.mount registry "bench" sess;
+  let server =
+    Natix_server.Server.create
+      ~config:{ Natix_server.Server.default_config with Natix_server.Server.jobs = 0 }
+      registry
+  in
+  let doc_names = List.map fst docs in
+  let paths =
+    [ "//ACT[3]/SCENE[2]//SPEAKER"; "/ACT/SCENE/SPEECH[1]"; "/ACT[1]/SCENE[1]/SPEECH[1]" ]
+  in
+  let reqs =
+    Natix.Api.Ping
+    :: Natix.Api.Scan { element = "SCNDESCR"; texts = false }
+    :: Natix.Api.Stat { doc = None }
+    :: List.concat_map
+         (fun texts ->
+           List.concat_map
+             (fun path ->
+               List.map (fun doc -> Natix.Api.Query { doc; path; texts }) doc_names)
+             paths)
+         [ false; true ]
+  in
+  (* Each request is measured against cold buffers: the service-time
+     profile models steady-state traffic over a working set larger than
+     the pool, not the second hit of a warm benchmark loop. *)
+  let measured =
+    List.concat_map
+      (fun req ->
+        Tree_store.clear_buffers store;
+        T.measure server ~tenant:"bench" [ req ])
+      reqs
+  in
+  List.iter
+    (fun (resp, _) ->
+      match resp with
+      | Natix.Api.Err e -> failwith ("serve bench: " ^ Error.to_string e)
+      | Natix.Api.Overloaded { reason } -> failwith ("serve bench: overloaded: " ^ reason)
+      | _ -> ())
+    measured;
+  let service = Array.of_list (List.map snd measured) in
+  let capacity = 4 and queue_depth = 8 in
+  let sat = T.saturation ~capacity service in
+  (* A fully cached mix saturates at infinity; fall back to a fixed base
+     so the sweep (and its JSON) stays finite. *)
+  let base = if Float.is_finite sat && sat > 0. then sat else 1000. in
+  Printf.printf "%d request(s); capacity %d, queue depth %d, saturation %.1f req/s\n"
+    (Array.length service) capacity queue_depth base;
+  Printf.printf "%-9s %10s %8s %10s %6s %10s %9s %9s %9s\n" "multiple" "rate-rps" "offered"
+    "completed" "shed" "max-queue" "p50-ms" "p95-ms" "p99-ms";
+  let points =
+    List.map
+      (fun m ->
+        let p = T.simulate ~capacity ~queue_depth ~rate:(base *. m) service in
+        if p.T.completed + p.T.shed <> p.T.offered then
+          failwith "serve bench: offered <> completed + shed";
+        if p.T.max_queue > queue_depth then failwith "serve bench: queue bound exceeded";
+        Printf.printf "%-9.2f %10.1f %8d %10d %6d %10d %9.2f %9.2f %9.2f\n" m p.T.rate
+          p.T.offered p.T.completed p.T.shed p.T.max_queue p.T.p50_ms p.T.p95_ms p.T.p99_ms;
+        (m, p))
+      [ 0.5; 1.0; 2.0; 4.0 ]
+  in
+  (if !serve_export <> "" then
+     match Natix.Session.mon sess with
+     | None -> ()
+     | Some mon ->
+       let at_ms = (Io_stats.copy (Tree_store.io_stats store)).Io_stats.sim_ms in
+       let path = Printf.sprintf "%s-bench.prom" !serve_export in
+       let oc = open_out path in
+       output_string oc (Natix_mon.Mon.export_prometheus mon ~at_ms);
+       close_out oc;
+       Printf.printf "wrote %s\n" path);
+  Natix_server.Server.shutdown server;
+  Natix.Session.close ~commit:false sess;
+  J.Obj
+    [
+      ("requests", J.Int (Array.length service));
+      ("capacity", J.Int capacity);
+      ("queue_depth", J.Int queue_depth);
+      ("saturation_rps", J.Float base);
+      ( "sweep",
+        J.List
+          (List.map
+             (fun (m, p) ->
+               J.Obj
+                 [
+                   ("multiple", J.Float m);
+                   ("rate_rps", J.Float p.T.rate);
+                   ("offered", J.Int p.T.offered);
+                   ("completed", J.Int p.T.completed);
+                   ("shed", J.Int p.T.shed);
+                   ("max_queue", J.Int p.T.max_queue);
+                   ("p50_ms", J.Float p.T.p50_ms);
+                   ("p95_ms", J.Float p.T.p95_ms);
+                   ("p99_ms", J.Float p.T.p99_ms);
+                 ])
+             points) );
+    ]
+
 let run_query_bench corpus =
   let pvn = qb_planned_vs_naive corpus in
   let seed = qb_index_seed corpus in
@@ -718,7 +843,7 @@ let write_json_doc path doc =
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
-let write_json_report path ~scale ~plays ~nodes ~bytes ?query ?parallel ?write rows small =
+let write_json_report path ~scale ~plays ~nodes ~bytes ?query ?serve ?parallel ?write rows small =
   let doc =
     J.Obj
       ([
@@ -729,6 +854,7 @@ let write_json_report path ~scale ~plays ~nodes ~bytes ?query ?parallel ?write r
          ("instrumented", instrumented_metrics_json small);
        ]
       @ (match query with None -> [] | Some q -> [ ("query_bench", q) ])
+      @ (match serve with None -> [] | Some s -> [ ("serve_bench", s) ])
       @ (match parallel with None -> [] | Some p -> [ ("parallel", p) ])
       @ match write with None -> [] | Some w -> [ ("write_bench", w) ])
   in
@@ -822,6 +948,10 @@ let () =
         Arg.Set write_bench,
         " also run the concurrent transactional-writer bench at jobs 1/2/4 (adds a \
          \"write_bench\" JSON section of wall-clock keys; existing figures are untouched)" );
+      ( "--serve-export",
+        Arg.Set_string serve_export,
+        "PREFIX after the serve bench, write the tenant's Prometheus metrics to \
+         PREFIX-<tenant>.prom" );
     ]
   in
   Arg.parse args (fun _ -> ()) "natix benchmark harness";
@@ -843,8 +973,10 @@ let () =
       Some (run_write_bench (Shakespeare.generate (Shakespeare.scaled (Float.min !scale 0.25))))
     else None
   in
+  let serve_corpus () = Shakespeare.generate (Shakespeare.scaled (Float.min !scale 0.1)) in
   if !query_only then begin
     let query = run_query_bench corpus in
+    let serve = run_serve_bench (serve_corpus ()) in
     let parallel = parallel_section () in
     let write = write_section () in
     if !json_path <> "" then
@@ -854,6 +986,7 @@ let () =
               ("corpus", corpus_json ~scale:!scale ~plays:(List.length corpus) ~nodes ~bytes);
               ("io_model", J.String "IBM DCAS-34330W (simulated ms)");
               ("query_bench", query);
+              ("serve_bench", serve);
             ]
            @ (match parallel with None -> [] | Some p -> [ ("parallel", p) ])
            @ match write with None -> [] | Some w -> [ ("write_bench", w) ]));
@@ -883,12 +1016,13 @@ let () =
       Some (run_query_bench (Shakespeare.generate (Shakespeare.scaled (Float.min !scale 0.25))))
     else None
   in
+  let serve = if !run_ablations then Some (run_serve_bench (serve_corpus ())) else None in
   let parallel = parallel_section () in
   let write = write_section () in
   if !json_path <> "" then begin
     let small = Shakespeare.generate (Shakespeare.scaled (Float.min !scale 0.1)) in
     write_json_report !json_path ~scale:!scale ~plays:(List.length corpus) ~nodes ~bytes ?query
-      ?parallel ?write rows small
+      ?serve ?parallel ?write rows small
   end;
   if !run_ablations then begin
     let small = Shakespeare.generate (Shakespeare.scaled (Float.min !scale 0.25)) in

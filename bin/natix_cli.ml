@@ -37,7 +37,11 @@ open Natix_core
 let current_session : Natix.Session.t option ref = ref None
 
 let open_session ?(create_page_size = 8192) ?(index = Document_manager.Off) path =
-  let sess = Natix.Session.open_file ~create_page_size ~index path in
+  let sess =
+    Natix.Session.open_store
+      ~options:{ Natix.Session.Options.default with create_page_size; index }
+      path
+  in
   current_session := Some sess;
   sess
 
@@ -106,18 +110,24 @@ let load_cmd =
       open_session ~create_page_size:page_size ~index:Document_manager.Maintain store_path
     in
     let store = Natix.Session.store sess in
-    let xml = Natix_xml.Xml_parser.parse_file xml_path in
-    (if stream then
-       (* one-pass SAX load; the parsed tree above is only used for the
-          node-count report *)
-       ignore (Loader.load_stream store ~name:doc (read_file xml_path))
-     else
-       match Natix.Session.store_document sess ~name:doc ~order xml with
-       | Ok _ -> ()
-       | Error e -> fail_error e);
-    Printf.printf "loaded %S (%d logical nodes) into %s\n" doc
-      (Natix_xml.Xml_tree.node_count xml)
-      store_path;
+    let text = read_file xml_path in
+    let nodes =
+      if stream then begin
+        (* one-pass SAX load; the parsed tree is only for the node-count
+           report *)
+        let xml = Natix_xml.Xml_parser.parse_file xml_path in
+        ignore (Loader.load_stream store ~name:doc text);
+        Natix_xml.Xml_tree.node_count xml
+      end
+      else
+        (* The Api command path — the same request a server connection
+           would dispatch. *)
+        match Natix.Session.exec sess (Natix.Api.Load { doc; xml = text; order }) with
+        | Natix.Api.Loaded { nodes; _ } -> nodes
+        | Natix.Api.Err e -> fail_error e
+        | _ -> assert false
+    in
+    Printf.printf "loaded %S (%d logical nodes) into %s\n" doc nodes store_path;
     Format.printf "%a@." Stats.pp_doc (Stats.document store doc);
     Natix.Session.close sess
   in
@@ -262,12 +272,8 @@ let query_cmd =
        match Natix.Session.explain sess ~doc path with
        | Ok plan -> print_endline plan
        | Error e -> fail_error e
-     else
-       let result =
-         if naive then Natix.Session.query_naive sess ~doc path
-         else Natix.Session.query sess ~doc path
-       in
-       match result with
+     else if naive then
+       match Natix.Session.query_naive sess ~doc path with
        | Error e -> fail_error e
        | Ok hits ->
          let n = ref 0 in
@@ -280,7 +286,17 @@ let query_cmd =
              else print_endline (Cursor.text c))
            hits;
          Printf.eprintf "%d hit(s); %s\n" !n
-           (Format.asprintf "%a" Natix_store.Io_stats.pp (Tree_store.io_stats store)));
+           (Format.asprintf "%a" Natix_store.Io_stats.pp (Tree_store.io_stats store))
+     else
+       (* Plain evaluation goes through the Api command path — the same
+          request a server connection would dispatch. *)
+       match Natix.Session.exec sess (Natix.Api.Query { doc; path; texts }) with
+       | Natix.Api.Err e -> fail_error e
+       | Natix.Api.Hits hits ->
+         List.iter print_endline hits;
+         Printf.eprintf "%d hit(s); %s\n" (List.length hits)
+           (Format.asprintf "%a" Natix_store.Io_stats.pp (Tree_store.io_stats store))
+       | _ -> assert false);
     Natix.Session.close ~commit:false sess
   in
   let path_arg =
@@ -357,15 +373,12 @@ let scan_cmd =
     (* [Ensure] creates the index on first use and rebuilds it if it went
        stale; the session commits on close, persisting the repair. *)
     let sess = open_session ~index:Document_manager.Ensure store_path in
-    let store = Natix.Session.store sess in
-    let dm = Natix.Session.manager sess in
-    let nodes = Document_manager.elements_named dm element in
-    List.iter
-      (fun n ->
-        if texts then print_endline (Cursor.text_content (Cursor.of_node store n))
-        else print_endline (Exporter.to_string store n))
-      nodes;
-    Printf.eprintf "%d node(s) of type %s\n" (List.length nodes) element;
+    (match Natix.Session.exec sess (Natix.Api.Scan { element; texts }) with
+    | Natix.Api.Err e -> fail_error e
+    | Natix.Api.Scanned hits ->
+      List.iter print_endline hits;
+      Printf.eprintf "%d node(s) of type %s\n" (List.length hits) element
+    | _ -> assert false);
     Natix.Session.close sess
   in
   let element_arg =
@@ -988,7 +1001,9 @@ let replay_cmd =
         exit 2
     in
     let sess = open_session store_path in
-    let report = Natix_mon.Replay.run ?jobs (Natix.Session.store sess) meta ops in
+    (* Replays via the Api command layer (Session.replay) so the dump is
+       verified against the same execution path a server would use. *)
+    let report = Natix.Session.replay ?jobs sess meta ops in
     let r_reads, r_writes, r_total = report.Natix_mon.Replay.replayed_io in
     let c_reads, c_writes, c_total = report.Natix_mon.Replay.captured_io in
     Printf.printf "replayed %d op(s) (%d skipped: not replayable)\n"
@@ -1037,6 +1052,77 @@ let replay_cmd =
           this holds at any --jobs).  Exits 8 on any divergence.")
     Term.(const run $ dump_arg $ store_override $ jobs_opt)
 
+let checkpoint_cmd =
+  let run store_path =
+    let sess = open_session store_path in
+    (match Natix.Session.exec sess Natix.Api.Checkpoint with
+    | Natix.Api.Checkpointed -> print_endline "checkpointed"
+    | Natix.Api.Err e -> fail_error e
+    | _ -> assert false);
+    Natix.Session.close ~commit:false sess
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:
+         "Force a durable checkpoint: flush dirty pages, fsync, and truncate the write-ahead \
+          log.")
+    Term.(const run $ store_arg)
+
+let serve_cmd =
+  let run root port jobs inflight queue_depth =
+    let registry = Natix_server.Registry.create ~root () in
+    let config =
+      {
+        Natix_server.Server.default_config with
+        jobs;
+        max_inflight = inflight;
+        queue_depth;
+      }
+    in
+    let server = Natix_server.Server.create ~config registry in
+    Printf.printf "natix: serving stores under %s on 127.0.0.1:%d (%d worker domain(s))\n%!" root
+      port jobs;
+    Sys.catch_break true;
+    (try Natix_server.Server.serve server ~port ()
+     with Sys.Break -> prerr_endline "\nnatix: interrupted; draining in-flight requests");
+    Natix_server.Server.shutdown server;
+    Natix_server.Registry.close_all registry
+  in
+  let root_arg =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"ROOT"
+          ~doc:"Directory of stores; tenant $(i,NAME) maps to $(i,ROOT)/$(i,NAME).natix.")
+  in
+  let port_arg =
+    Arg.(value & opt int 7733 & info [ "port"; "p" ] ~docv:"PORT" ~doc:"TCP port to listen on.")
+  in
+  let serve_jobs =
+    Arg.(
+      value & opt int 4
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains dispatching requests (0 = execute inline on the connection).")
+  in
+  let inflight_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "inflight" ] ~docv:"N"
+          ~doc:"Admission limit: running + queued requests before shedding.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "queue-depth" ] ~docv:"N" ~doc:"Per-worker queue bound before shedding.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve many stores from one process over a length-prefixed, CRC-framed binary \
+          protocol.  Stores open lazily on first use; overload sheds requests with a typed \
+          Overloaded reply instead of queueing unboundedly.")
+    Term.(const run $ root_arg $ port_arg $ serve_jobs $ inflight_arg $ queue_arg)
+
 let () =
   let info =
     Cmd.info "natix" ~version:"1.0.0"
@@ -1053,8 +1139,8 @@ let () =
         (Cmd.group info
            [
              load_cmd; bulkload_cmd; list_cmd; cat_cmd; query_cmd; scan_cmd; validate_cmd;
-             stats_cmd; check_cmd; delete_cmd; gen_cmd; trace_cmd; doctor_cmd; bench_diff_cmd;
-             fsck_cmd; recover_cmd; top_cmd; mon_cmd; replay_cmd;
+             stats_cmd; check_cmd; checkpoint_cmd; delete_cmd; gen_cmd; trace_cmd; doctor_cmd;
+             bench_diff_cmd; fsck_cmd; recover_cmd; serve_cmd; top_cmd; mon_cmd; replay_cmd;
            ])
     with
     | Error.Error e ->

@@ -12,7 +12,7 @@ type t = {
   store : Tree_store.t;
   tree : Btree.t;
   name : string;
-  pending_changes : unit Rid.Tbl.t;
+  pending_changes : Tree_store.record_event Rid.Tbl.t;
   mutable in_sync : bool;
       (* Whether the index reflects every store change up to the epoch it
          last stamped (modulo [pending_changes], which the listener keeps
@@ -69,9 +69,13 @@ let stamped_epoch store ~name =
 
 let stale t = not t.in_sync
 
+(* Keep the *last* event per rid: a trailing [Dropped] means the tree
+   store gave the rid up, and whatever occupies it at refresh time (the
+   record manager may have handed it to this index's own B+-tree pages)
+   is not a tree record and must not be fetched, let alone indexed. *)
 let attach t =
   Tree_store.set_change_listener t.store
-    (Some (fun rid _event -> Rid.Tbl.replace t.pending_changes rid ()))
+    (Some (fun rid event -> Rid.Tbl.replace t.pending_changes rid event))
 
 let create store ~name =
   let catalog = Tree_store.catalog store in
@@ -139,12 +143,14 @@ let stored_counts t rid =
       acc := (of_be32 k (1 + Rid.encoded_size), of_count8 v) :: !acc);
   !acc
 
-let apply_record t rid =
+let apply_record ?(live = true) t rid =
   let current =
-    if Rm.exists (Tree_store.record_manager t.store) rid then begin
-      (* Index only tree-store records: anything that decodes.  The
-         index's own B+-tree records never reach this path because the
-         change listener fires only for tree-store operations. *)
+    if live && Rm.exists (Tree_store.record_manager t.store) rid then begin
+      (* [live] distinguishes a tree record from a reused rid: a freed
+         rid can be re-allocated to a foreign record (including this
+         index's own B+-tree pages), which may well decode — fetching
+         it would index garbage.  The decode guard below is only a
+         backstop for torn reads. *)
       match Tree_store.fetch t.store rid with
       | box -> label_counts box.Phys_node.root
       | exception _ -> Hashtbl.create 1
@@ -173,9 +179,11 @@ let apply_record t rid =
     current
 
 let refresh t =
-  let rids = Rid.Tbl.fold (fun rid () acc -> rid :: acc) t.pending_changes [] in
+  let rids = Rid.Tbl.fold (fun rid ev acc -> (rid, ev) :: acc) t.pending_changes [] in
   Rid.Tbl.reset t.pending_changes;
-  List.iter (apply_record t) rids;
+  List.iter
+    (fun (rid, ev) -> apply_record ~live:(ev = Tree_store.Changed) t rid)
+    rids;
   (* Only a synced index may advance its stamp: pending changes cover
      everything since the last stamp, but not changes from before this
      handle was attached. *)

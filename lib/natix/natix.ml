@@ -8,6 +8,7 @@
     meets in signatures. *)
 
 module Session = Session
+module Api = Api
 module Error = Natix_core.Error
 module Config = Natix_core.Config
 module Cursor = Natix_core.Cursor

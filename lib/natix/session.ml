@@ -22,6 +22,25 @@ let ensure_obs ~monitor config =
     | Some _ -> config
     | None -> Config.with_obs (Natix_obs.Obs.create ()) config
 
+module Options = struct
+  type t = {
+    config : Config.t option;
+    create_page_size : int;
+    index : Document_manager.index_mode;
+    monitor : bool;
+    model : Natix_store.Io_model.t option;
+  }
+
+  let default =
+    {
+      config = None;
+      create_page_size = 8192;
+      index = Document_manager.Ensure;
+      monitor = true;
+      model = None;
+    }
+end
+
 let of_store_with_mon ~index ~mon ?path store =
   let manager = Document_manager.create ~index store in
   let engine = Natix_query.Engine.of_manager manager in
@@ -31,11 +50,13 @@ let of_store ?(index = Document_manager.Ensure) ?(monitor = true) ?path store =
   let mon = if monitor then Option.map Mon.attach (Tree_store.obs store) else None in
   of_store_with_mon ~index ~mon ?path store
 
-let in_memory ?config ?model ?index ?(monitor = true) () =
+let open_memory ?(options = Options.default) () =
+  let { Options.config; index; monitor; model; _ } = options in
   let config = ensure_obs ~monitor (Option.value config ~default:(Config.default ())) in
-  of_store ?index ~monitor (Tree_store.in_memory ~config ?model ())
+  of_store ~index ~monitor (Tree_store.in_memory ~config ?model ())
 
-let open_file ?config ?(create_page_size = 8192) ?index ?(monitor = true) path =
+let open_store ?(options = Options.default) path =
+  let { Options.config; create_page_size; index; monitor; _ } = options in
   (* An existing file dictates its page size; the configured one only
      applies when the file is created. *)
   let page_size =
@@ -71,7 +92,28 @@ let open_file ?config ?(create_page_size = 8192) ?index ?(monitor = true) path =
       (try Natix_store.Disk.close disk with _ -> ());
       raise e
   in
-  of_store_with_mon ~index:(Option.value index ~default:Document_manager.Ensure) ~mon ~path store
+  of_store_with_mon ~index ~mon ~path store
+
+(* Keyword-argument shims over {!Options}: the historical constructor
+   surface, kept so existing call sites keep compiling.  New code should
+   build an [Options.t] (usually [{ Options.default with ... }]) and call
+   the [open_*] constructors. *)
+
+let options ?config ?create_page_size ?index ?monitor ?model () =
+  let d = Options.default in
+  {
+    Options.config;
+    create_page_size = Option.value create_page_size ~default:d.Options.create_page_size;
+    index = Option.value index ~default:d.Options.index;
+    monitor = Option.value monitor ~default:d.Options.monitor;
+    model;
+  }
+
+let open_file ?config ?create_page_size ?index ?monitor path =
+  open_store ~options:(options ?config ?create_page_size ?index ?monitor ()) path
+
+let in_memory ?config ?model ?index ?monitor () =
+  open_memory ~options:(options ?config ?index ?monitor ?model ()) ()
 
 let store t = t.store
 let manager t = t.manager
@@ -85,9 +127,12 @@ let close ?(commit = true) t =
   if commit then Document_manager.checkpoint t.manager;
   Tree_store.close ~commit:false t.store
 
-let with_session ?config ?create_page_size ?index ?monitor path fn =
-  let t = open_file ?config ?create_page_size ?index ?monitor path in
+let with_store ?options path fn =
+  let t = open_store ?options path in
   Fun.protect ~finally:(fun () -> close t) (fun () -> fn t)
+
+let with_session ?config ?create_page_size ?index ?monitor path fn =
+  with_store ~options:(options ?config ?create_page_size ?index ?monitor ()) path fn
 
 (* Operation records for the monitor *)
 
@@ -297,3 +342,107 @@ let load_files ?jobs t files =
 let load_files_txn ?jobs t files =
   let jobs = Option.value jobs ~default:t.parallelism in
   record_load_batch t files (Natix_par.Par.load_files_txn ~jobs t.manager files)
+
+(* The Api command layer *)
+
+(* Hit rendering matches the CLI's query output exactly: [--text] prints
+   text content, otherwise elements export as markup and other nodes as
+   their text.  The server's differential harness compares these strings
+   against a direct CLI run byte for byte. *)
+let render_hit t ~texts c =
+  if texts then Cursor.text_content c
+  else if Cursor.is_element c then Exporter.to_string t.store (Cursor.node c)
+  else Cursor.text c
+
+let exec t (req : Api.request) : Api.response =
+  try
+    match req with
+    | Api.Ping -> Api.Pong
+    | Api.Load { doc; xml; order } -> (
+      match Natix_xml.Xml_parser.parse xml with
+      | exception Natix_xml.Xml_parser.Error { line; col; msg } ->
+        Api.Err (Error.Parse (Printf.sprintf "%s:%d:%d: %s" doc line col msg))
+      | tree -> (
+        match store_document t ~name:doc ~order tree with
+        | Ok _ -> Api.Loaded { doc; nodes = Natix_xml.Xml_tree.node_count tree }
+        | Error e -> Api.Err e))
+    | Api.Query { doc; path; texts } -> (
+      match query t ~doc path with
+      | Ok seq -> Api.Hits (List.of_seq (Seq.map (render_hit t ~texts) seq))
+      | Error e -> Api.Err e)
+    | Api.Scan { element; texts } ->
+      let before = Io_stats.copy (io t) in
+      let nodes = Document_manager.elements_named t.manager element in
+      let hits =
+        List.map
+          (fun n ->
+            if texts then Cursor.text_content (Cursor.of_node t.store n)
+            else Exporter.to_string t.store n)
+          nodes
+      in
+      record_eager t ~kind:"scan" ~detail:element ~rows:(List.length hits) ~outcome:"ok" before;
+      Api.Scanned hits
+    | Api.Checkpoint ->
+      checkpoint t;
+      Api.Checkpointed
+    | Api.Stat { doc } ->
+      let names =
+        match doc with
+        | None -> documents t
+        | Some d ->
+          if List.mem d (documents t) then [ d ]
+          else Error.raise_error (Error.Storage (Printf.sprintf "stat: no document %S" d))
+      in
+      let docs =
+        List.map
+          (fun d ->
+            let s = Stats.document t.store d in
+            {
+              Api.doc = d;
+              records = s.Stats.records;
+              pages = s.Stats.pages;
+              record_bytes = s.Stats.record_bytes;
+            })
+          names
+      in
+      Api.Stats { docs; disk_bytes = Stats.disk_bytes t.store }
+  with Error.Error e -> Api.Err e
+(* Only {e typed} failures map to replies here: storage-corruption
+   exceptions (bad page, crash, pinned-frame exhaustion) keep
+   propagating, so a direct caller — the CLI with its exit codes, a test
+   asserting poisoning — still sees them.  The server's dispatcher guard
+   owns the exhaustive exception → [Err] mapping, because only there
+   must a raising request never take down anything else. *)
+
+let exec_batch ?jobs t reqs =
+  let jobs = Option.value jobs ~default:t.parallelism in
+  let plain_query = function Api.Query { texts = false; _ } -> true | _ -> false in
+  if reqs <> [] && List.for_all plain_query reqs then
+    (* Query-only batches fan out through {!run_queries} — per-worker
+       reader views and navigation-only engines, results in submission
+       order.  At any job count this renders and charges I/O exactly as
+       the parallel executor does, which is what keeps replay's exact
+       totals assertion valid through this surface. *)
+    let tasks =
+      List.map (function Api.Query { doc; path; _ } -> (doc, path) | _ -> assert false) reqs
+    in
+    let outcome = run_queries ~jobs t tasks in
+    List.map
+      (function Ok hits -> Api.Hits hits | Error e -> Api.Err e)
+      outcome.Natix_par.Par.results
+  else
+    (* Mixed batches run inline in order: mutating requests must not
+       interleave, and order is part of their meaning. *)
+    List.map (exec t) reqs
+
+let replay ?jobs t meta ops =
+  let exec ~jobs tasks =
+    let reqs = List.map (fun (doc, path) -> Api.Query { doc; path; texts = false }) tasks in
+    List.map
+      (function
+        | Api.Hits hits -> Ok hits
+        | Api.Err e -> Error e
+        | _ -> assert false)
+      (exec_batch ~jobs t reqs)
+  in
+  Natix_mon.Replay.run ?jobs ~exec t.store meta ops

@@ -28,13 +28,54 @@ open Natix_core
 
 type t
 
-(** [open_file path] opens (or creates) a file-backed store.
-    [create_page_size] (default 8192) applies only when the file does not
-    exist yet and no [config] is given.  [index] (default
-    {!Document_manager.Ensure}: open or create the element index,
-    rebuilding it when stale) selects the index policy — index-seeded
-    query plans need an index; read-only sessions should pass
-    [Fresh_only] so a stale index is skipped instead of rebuilt. *)
+(** Construction options, one record instead of a keyword argument per
+    knob.  Build from {!Options.default} with record update syntax:
+
+    {[
+      Natix.Session.open_store
+        ~options:{ Natix.Session.Options.default with index = Fresh_only }
+        "plays.natix"
+    ]} *)
+module Options : sig
+  type t = {
+    config : Config.t option;
+        (** full store configuration; [None] uses {!Config.default} *)
+    create_page_size : int;
+        (** page size when creating a new file and no [config] is given
+            (an existing file dictates its own); default 8192 *)
+    index : Document_manager.index_mode;
+        (** element-index policy, default {!Document_manager.Ensure}:
+            open or create the index, rebuilding it when stale.
+            Index-seeded query plans need an index; read-only sessions
+            should use [Fresh_only] so a stale index is skipped instead
+            of rebuilt. *)
+    monitor : bool;  (** attach a {!Natix_mon.Mon} monitor; default [true] *)
+    model : Natix_store.Io_model.t option;
+        (** I/O cost model for {!open_memory} (ignored by file stores) *)
+  }
+
+  val default : t
+end
+
+(** [open_store ?options path] opens (or creates) a file-backed store. *)
+val open_store : ?options:Options.t -> string -> t
+
+(** An in-memory session (benchmarks, tests). *)
+val open_memory : ?options:Options.t -> unit -> t
+
+(** [with_store ?options path f] opens, applies [f], and {!close}s (also
+    on exceptions). *)
+val with_store : ?options:Options.t -> string -> (t -> 'a) -> 'a
+
+(** {2 Deprecated keyword-argument constructors}
+
+    Thin shims over the {!Options}-based constructors above, kept for
+    existing call sites.  Each optional argument corresponds to the
+    {!Options.t} field of the same name; defaults are
+    {!Options.default}'s. *)
+
+(** Deprecated alias: {!open_store} with the corresponding
+    {!Options.t} fields. *)
 val open_file :
   ?config:Config.t ->
   ?create_page_size:int ->
@@ -43,7 +84,8 @@ val open_file :
   string ->
   t
 
-(** An in-memory session (benchmarks, tests). *)
+(** Deprecated alias: {!open_memory} with the corresponding
+    {!Options.t} fields. *)
 val in_memory :
   ?config:Config.t ->
   ?model:Natix_store.Io_model.t ->
@@ -59,8 +101,8 @@ val in_memory :
 val of_store :
   ?index:Document_manager.index_mode -> ?monitor:bool -> ?path:string -> Tree_store.t -> t
 
-(** [with_session path f] opens, applies [f], and {!close}s (also on
-    exceptions). *)
+(** Deprecated alias: {!with_store} with the corresponding
+    {!Options.t} fields. *)
 val with_session :
   ?config:Config.t ->
   ?create_page_size:int ->
@@ -173,3 +215,36 @@ val load_files :
     checkpoint under the loader's commit lock. *)
 val load_files_txn :
   ?jobs:int -> t -> (string * string) list -> (unit, Error.t) result Natix_par.Par.outcome
+
+(** {2 The command surface}
+
+    Every front end — the CLI's store-touching commands, the network
+    server's dispatcher, the in-process loopback client and replay —
+    funnels through [exec]: one {!Api.request} in, one {!Api.response}
+    out, against this session's store. *)
+
+(** [exec t req] executes one request.  Hits render exactly as the CLI
+    prints them.  {e Typed} failures come back as [Err] (a [Load] of
+    malformed XML is [Err (Parse _)], a [Stat] of an unknown document is
+    [Err (Storage _)]); storage-{e corruption} exceptions (bad page,
+    crash, frame exhaustion) still raise, so direct callers keep their
+    exit codes and the server's dispatcher guard — not this function —
+    decides what a connection sees.  [exec] never returns [Overloaded]:
+    admission control lives in the server. *)
+val exec : t -> Api.request -> Api.response
+
+(** [exec_batch ?jobs t reqs] executes a batch, responses in request
+    order.  A batch of plain queries ([Query] with [texts = false]) fans
+    out through {!run_queries} — worker domains with private reader
+    views, the same partitioning and I/O accounting as the parallel
+    executor, inline and bit-identical to it at [jobs <= 1].  Any other
+    batch runs inline in order ([jobs] is ignored): mutating requests
+    must not interleave. *)
+val exec_batch : ?jobs:int -> t -> Api.request list -> Api.response list
+
+(** {!Natix_mon.Replay.run} routed through {!exec_batch}, so a replay
+    verifies the command surface end to end — digests, row counts and
+    (for cold all-query dumps) exact I/O totals — not just the engine
+    under it. *)
+val replay :
+  ?jobs:int -> t -> Natix_mon.Recorder.meta -> Natix_mon.Recorder.op list -> Natix_mon.Replay.report

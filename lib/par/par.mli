@@ -50,6 +50,26 @@ type 'a outcome = {
   workers : worker_stats list;
 }
 
+(** [map_tasks ~jobs ~disk ~make_ctx ~f tasks] is the generic executor
+    behind the entry points below, exported so other batch surfaces
+    ({!Natix.Session.exec_batch}, the server's dispatcher tests) reuse
+    the same partitioning, I/O accounting and determinism story instead
+    of wiring their own domains.  [make_ctx] runs once per worker domain
+    (build reader views and engines there — decoded records are mutable
+    and must not cross domains); [f ctx task] runs each task.  Results
+    come back in task-submission order with per-task I/O deltas.  At
+    [jobs <= 1] everything runs inline on the calling domain,
+    bit-identical to a hand-written loop.  A task that raises aborts the
+    fleet: the first exception re-raises on the caller after all domains
+    have joined and the per-domain streams are merged. *)
+val map_tasks :
+  jobs:int ->
+  disk:Natix_store.Disk.t ->
+  make_ctx:(unit -> 'ctx) ->
+  f:('ctx -> 'task -> 'a) ->
+  'task array ->
+  'a outcome
+
 (** [run_queries ~jobs store tasks] evaluates each [(doc, path)] task
     and renders every hit exactly as the CLI does (elements as XML via
     {!Natix_core.Exporter}, other nodes as their text).  Per-task

@@ -1,0 +1,21 @@
+(** Minimal blocking socket client for the serve protocol.
+
+    {[
+      let c = Natix_server.Client.connect ~host:"127.0.0.1" ~port:7733 ~tenant:"plays" in
+      match Natix_server.Client.call c (Natix.Api.Query { doc = "hamlet"; path = "//SPEAKER"; texts = false }) with
+      | Natix.Api.Hits hits -> List.iter print_endline hits
+      | resp -> Format.printf "%a@." Natix.Api.pp_response resp
+    ]} *)
+
+type t
+
+(** Connect, exchange stream headers, and send the tenant frame.
+    @raise Failure on a protocol violation. *)
+val connect : host:string -> port:int -> tenant:string -> t
+
+(** One request, blocking for its response.
+    @raise Failure on a framing/codec violation or a [seq] mismatch.
+    @raise End_of_file when the server closes mid-call. *)
+val call : t -> Natix.Api.request -> Natix.Api.response
+
+val close : t -> unit

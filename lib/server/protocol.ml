@@ -1,0 +1,62 @@
+module Checksum = Natix_store.Checksum
+
+let version = 1
+let magic = "NTXS"
+
+let u32 v =
+  String.init 4 (fun i -> Char.chr ((v lsr ((3 - i) * 8)) land 0xff))
+
+let u32_of s =
+  (Char.code s.[0] lsl 24)
+  lor (Char.code s.[1] lsl 16)
+  lor (Char.code s.[2] lsl 8)
+  lor Char.code s.[3]
+
+let header = magic ^ String.init 2 (fun i -> Char.chr ((version lsr ((1 - i) * 8)) land 0xff))
+
+type frame = { seq : int; payload : string }
+
+let max_payload = 1 lsl 26
+
+let write_header write = write header
+
+let read_header read =
+  match read (String.length header) with
+  | exception End_of_file -> Error "connection closed before the stream header"
+  | h ->
+    if String.sub h 0 4 <> magic then Error "bad stream magic"
+    else
+      let v = (Char.code h.[4] lsl 8) lor Char.code h.[5] in
+      if v <> version then Error (Printf.sprintf "protocol version %d, expected %d" v version)
+      else Ok ()
+
+(* CRC over the seq bytes then the payload, chained through [~init] the
+   way the WAL chains record checksums. *)
+let crc ~seq payload = Checksum.crc32_string ~init:(Checksum.crc32_string (u32 seq)) payload
+
+let write_frame write ~seq payload =
+  if String.length payload > max_payload then invalid_arg "Protocol.write_frame: payload too large";
+  let seq = seq land 0xffff_ffff in
+  write (u32 (String.length payload));
+  write (u32 seq);
+  write payload;
+  write (u32 (crc ~seq payload))
+
+let read_frame read =
+  match read 4 with
+  | exception End_of_file -> Ok None
+  | len_bytes -> (
+    let len = u32_of len_bytes in
+    if len > max_payload then
+      Error (Printf.sprintf "frame length %d exceeds the %d-byte limit" len max_payload)
+    else
+      match
+        let seq = u32_of (read 4) in
+        let payload = read len in
+        let got = u32_of (read 4) in
+        (seq, payload, got)
+      with
+      | exception End_of_file -> Error "truncated frame"
+      | seq, payload, got ->
+        if got <> crc ~seq payload then Error (Printf.sprintf "CRC mismatch on frame %d" seq)
+        else Ok (Some { seq; payload }))

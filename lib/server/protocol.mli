@@ -1,0 +1,46 @@
+(** Wire framing for the serve protocol.
+
+    A connection is, per direction, one 6-byte stream header followed by
+    CRC-framed messages:
+
+    {v
+      header   ::=  "NTXS"  u16 version           (once per direction)
+      frame    ::=  u32 len  u32 seq  payload[len]  u32 crc
+    v}
+
+    All integers are big-endian.  [crc] is CRC-32 (the WAL's
+    {!Natix_store.Checksum}) over the 4 [seq] bytes followed by the
+    payload, so a frame that arrives at all arrives intact — a mismatch
+    means the stream is unusable and the connection must close (framing
+    cannot resynchronise).  The payload is one encoded {!Natix.Api}
+    message; this layer neither knows nor cares which.
+
+    I/O happens through two callbacks so the same code drives a socket,
+    a pipe, or the in-process loopback buffer:
+    - a writer [string -> unit] that must write the whole string;
+    - a reader [int -> string] that returns {e exactly} [n] bytes or
+      raises [End_of_file]. *)
+
+val version : int
+
+(** The 6-byte stream header ("NTXS" + version). *)
+val header : string
+
+type frame = { seq : int; payload : string }
+
+(** Refuse frames larger than this (64 MiB): a huge length field is far
+    more likely a desynchronised or hostile stream than a real message. *)
+val max_payload : int
+
+val write_header : (string -> unit) -> unit
+
+(** Consume and check the peer's stream header. *)
+val read_header : (int -> string) -> (unit, string) result
+
+(** @raise Invalid_argument when the payload exceeds {!max_payload}. *)
+val write_frame : (string -> unit) -> seq:int -> string -> unit
+
+(** [Ok None] on a clean end of stream (EOF at a frame boundary);
+    [Error _] on a truncated frame, oversized length or CRC mismatch —
+    all fatal to the connection. *)
+val read_frame : (int -> string) -> (frame option, string) result

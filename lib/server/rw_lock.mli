@@ -1,0 +1,26 @@
+(** The per-tenant read-write gate.
+
+    The engine has no MVCC: readers under a concurrent writer would see
+    torn trees.  So the server gives every tenant one of these gates and
+    holds it across the whole execution of a request — {e shared} for
+    queries (each runs on its own {!Natix_core.Tree_store.reader} view,
+    the parallel executor's proven model) and {e exclusive} for anything
+    that mutates or walks shared session state (load, checkpoint, scan,
+    stat).
+
+    Writer-preferring: once a writer waits, new readers queue behind it,
+    so a stream of queries cannot starve a load.
+
+    Registered with {!Natix_store.Lock_rank} at rank [tenant]: the gate
+    is taken before any storage-engine lock and held until the request
+    finishes, so it sits below [doc] in the lock order. *)
+
+type t
+
+val create : unit -> t
+
+(** [with_read t f] runs [f] holding the gate shared. *)
+val with_read : t -> (unit -> 'a) -> 'a
+
+(** [with_write t f] runs [f] holding the gate exclusively. *)
+val with_write : t -> (unit -> 'a) -> 'a

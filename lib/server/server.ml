@@ -1,0 +1,468 @@
+open Natix_core
+module Api = Natix.Api
+module Deque = Natix_par.Deque
+module Disk = Natix_store.Disk
+module Io_stats = Natix_store.Io_stats
+module Lock_rank = Natix_store.Lock_rank
+
+type config = { jobs : int; max_inflight : int; queue_depth : int; shed_on_breach : bool }
+
+let default_config = { jobs = 4; max_inflight = 64; queue_depth = 32; shed_on_breach = true }
+
+type stats = { served : int; shed : int; max_queue : int; queued : int; running : int }
+
+type ticket = {
+  tenant : Registry.tenant;
+  req : Api.request;
+  tmu : Mutex.t;
+  tcond : Condition.t;
+  mutable reply : Api.response option;
+}
+
+type t = {
+  config : config;
+  registry : Registry.t;
+  conn_mu : Mutex.t;  (* rank conn: admission + queue state, never held across execution *)
+  work : Condition.t;
+  deques : ticket Deque.t array;  (* empty in inline mode (jobs = 0) *)
+  mutable next_deque : int;
+  mutable queued : int;
+  mutable running : int;
+  mutable served : int;
+  mutable shed_count : int;
+  mutable max_queue : int;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let registry t = t.registry
+let config t = t.config
+
+let with_conn t f =
+  Lock_rank.acquire Lock_rank.conn;
+  Mutex.lock t.conn_mu;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.unlock t.conn_mu;
+      Lock_rank.release Lock_rank.conn)
+    f
+
+(* ---- request execution -------------------------------------------- *)
+
+let doc_of = function
+  | Api.Load { doc; _ } | Api.Query { doc; _ } -> Some doc
+  | Api.Stat { doc } -> doc
+  | Api.Ping | Api.Scan _ | Api.Checkpoint -> None
+
+(* Every failure a request can produce becomes a typed reply.  This
+   mapping must stay exhaustive: an exception that escaped here would
+   take the worker domain (and with it every queued ticket) down.  The
+   catch-all keeps it total against exceptions we did not enumerate. *)
+let guarded (tenant : Registry.tenant) f =
+  try f () with
+  | Error.Error e -> Api.Err e
+  | Natix_store.Faulty_disk.Crash ->
+    tenant.crashed <- true;
+    Api.Err (Error.Storage "store crashed (injected fault); tenant disabled")
+  | Natix_store.Faulty_disk.Read_error page ->
+    Api.Err (Error.Storage (Printf.sprintf "transient read failure at page %d" page))
+  | Natix_store.Disk.Bad_page { page; reason } ->
+    Api.Err (Error.Storage (Printf.sprintf "bad page %d: %s" page reason))
+  | Natix_store.Btree.Corrupt detail -> Api.Err (Error.Storage ("element index corrupt: " ^ detail))
+  | Natix_store.Buffer_pool.All_frames_pinned ->
+    Api.Err (Error.Storage "buffer pool exhausted: all frames pinned")
+  | Natix_store.Record_manager.Record_too_large n ->
+    Api.Err (Error.Storage (Printf.sprintf "record too large: %d bytes" n))
+  | Tree_store.Unsplittable detail -> Api.Err (Error.Storage ("unsplittable: " ^ detail))
+  | Natix_xml.Xml_parser.Error { line; col; msg } ->
+    Api.Err (Error.Parse (Printf.sprintf "%d:%d: %s" line col msg))
+  | e -> Api.Err (Error.Storage ("request failed: " ^ Printexc.to_string e))
+
+(* A query on the worker: private reader view + navigation-only engine —
+   decoded records are mutable and must not cross domains, so each
+   request decodes into its own cache (the parallel executor's model,
+   per-request instead of per-worker).  Runs under the tenant's shared
+   gate; rendering matches the CLI byte for byte. *)
+let run_query (tenant : Registry.tenant) ~doc ~path ~texts =
+  let store = Natix.Session.store tenant.session in
+  let disk = Natix_store.Buffer_pool.disk (Tree_store.buffer_pool store) in
+  let before = Io_stats.copy (Disk.active_stats disk) in
+  let reader = Tree_store.reader store in
+  let engine = Natix_query.Engine.create reader in
+  let resp =
+    match Natix_query.Engine.query engine ~doc path with
+    | Error e -> Api.Err e
+    | Ok seq ->
+      Api.Hits
+        (List.map
+           (fun c ->
+             if texts then Cursor.text_content c
+             else if Cursor.is_element c then Exporter.to_string reader (Cursor.node c)
+             else Cursor.text c)
+           (List.of_seq seq))
+  in
+  (match Natix.Session.mon tenant.session with
+  | None -> ()
+  | Some mon ->
+    (* The active accumulator is this request's stream, so the delta is
+       the request's exact I/O — attribution stays exact even with other
+       requests of the same tenant in flight. *)
+    let d = Io_stats.diff (Io_stats.copy (Disk.active_stats disk)) before in
+    let rows = match resp with Api.Hits hits -> Some (List.length hits) | _ -> None in
+    Natix.Mon.record_op mon
+      {
+        Natix_mon.Recorder.seq = 0;
+        at_ms = (Tree_store.io_stats store).Io_stats.sim_ms;
+        kind = "query";
+        doc = Some doc;
+        detail = path;
+        plan = None;
+        reads = d.Io_stats.reads;
+        writes = d.Io_stats.writes;
+        sim_ms = d.Io_stats.sim_ms;
+        outcome = (match resp with Api.Err e -> "error:" ^ Natix_mon.Replay.error_class e | _ -> "ok");
+        digest = None;
+        rows;
+      });
+  resp
+
+(* Execute one admitted request: exception guard outermost, then the
+   tenant gate, then the (tenant doc, "serve:<kind>") observability
+   context, then the store work.  Wrapped in a per-request I/O stream on
+   the tenant's disk so concurrent requests charge private accumulators
+   (the disk's default record is not safe for concurrent charging), with
+   the merge back serialised by the tenant's leaf [stats_mu]. *)
+let execute (tenant : Registry.tenant) req =
+  let session = tenant.session in
+  let store = Natix.Session.store session in
+  let disk = Natix_store.Buffer_pool.disk (Tree_store.buffer_pool store) in
+  let with_ctx f =
+    match Tree_store.obs store with
+    | None -> f ()
+    | Some obs -> Natix_obs.Obs.with_context obs ?doc:(doc_of req) ~phase:("serve:" ^ Api.kind req) f
+  in
+  let body () =
+    guarded tenant (fun () ->
+        if tenant.crashed then
+          Api.Err (Error.Storage (Printf.sprintf "tenant %S: store crashed; disabled" tenant.name))
+        else
+          match req with
+          | Api.Query { doc; path; texts } ->
+            Rw_lock.with_read tenant.gate (fun () ->
+                with_ctx (fun () -> run_query tenant ~doc ~path ~texts))
+          | _ ->
+            (* Everything else mutates the store or walks shared session
+               state (the session engine, the document manager's decoded
+               caches), so it gets the gate exclusively. *)
+            Rw_lock.with_write tenant.gate (fun () ->
+                with_ctx (fun () -> Natix.Session.exec session req)))
+  in
+  Disk.enter_parallel_region disk;
+  let resp, io =
+    Fun.protect ~finally:(fun () -> Disk.exit_parallel_region disk) (fun () ->
+        Disk.with_stream disk body)
+  in
+  Mutex.lock tenant.stats_mu;
+  Io_stats.add (Disk.stats disk) io;
+  Mutex.unlock tenant.stats_mu;
+  resp
+
+(* ---- the worker pool ---------------------------------------------- *)
+
+let steal_any t w =
+  let n = Array.length t.deques in
+  let rec go k =
+    if k >= n then None
+    else
+      match Deque.steal t.deques.((w + k) mod n) with Some _ as r -> r | None -> go (k + 1)
+  in
+  go 0
+
+let answer ticket reply =
+  Mutex.lock ticket.tmu;
+  ticket.reply <- Some reply;
+  Condition.signal ticket.tcond;
+  Mutex.unlock ticket.tmu
+
+let worker t w () =
+  let rec loop () =
+    let next =
+      with_conn t (fun () ->
+          let rec wait () =
+            match steal_any t w with
+            | Some ticket ->
+              t.queued <- t.queued - 1;
+              t.running <- t.running + 1;
+              Some ticket
+            | None ->
+              if t.stopping then None
+              else begin
+                Condition.wait t.work t.conn_mu;
+                wait ()
+              end
+          in
+          wait ())
+    in
+    match next with
+    | None -> ()
+    | Some ticket ->
+      (* [execute] is total by construction; the backstop below is for
+         bugs in the dispatcher itself — a ticket must always be
+         answered or its submitter hangs forever. *)
+      let reply =
+        try execute ticket.tenant ticket.req
+        with e -> Api.Err (Error.Storage ("dispatcher failure: " ^ Printexc.to_string e))
+      in
+      answer ticket reply;
+      with_conn t (fun () ->
+          t.running <- t.running - 1;
+          t.served <- t.served + 1);
+      loop ()
+  in
+  loop ()
+
+let create ?(config = default_config) registry =
+  if config.jobs < 0 then invalid_arg "Server.create: jobs must be >= 0";
+  if config.max_inflight < 1 then invalid_arg "Server.create: max_inflight must be >= 1";
+  if config.queue_depth < 1 then invalid_arg "Server.create: queue_depth must be >= 1";
+  let t =
+    {
+      config;
+      registry;
+      conn_mu = Mutex.create ();
+      work = Condition.create ();
+      deques = Array.init config.jobs (fun _ -> Deque.create ~capacity:config.queue_depth);
+      next_deque = 0;
+      queued = 0;
+      running = 0;
+      served = 0;
+      shed_count = 0;
+      max_queue = 0;
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init config.jobs (fun w -> Domain.spawn (worker t w));
+  t
+
+let stats t =
+  with_conn t (fun () ->
+      {
+        served = t.served;
+        shed = t.shed_count;
+        max_queue = t.max_queue;
+        queued = t.queued;
+        running = t.running;
+      })
+
+let submit t ~tenant:name req =
+  match Registry.find t.registry name with
+  | Error e -> Api.Err e
+  | Ok tenant -> (
+    let decision =
+      with_conn t (fun () ->
+          let shed reason =
+            t.shed_count <- t.shed_count + 1;
+            `Shed reason
+          in
+          if t.stopping then shed "shutting_down"
+          else
+            match (if t.config.shed_on_breach then tenant.shed else None) with
+            | Some reason -> shed reason
+            | None ->
+              if t.running + t.queued >= t.config.max_inflight then shed "inflight_limit"
+              else if t.queued >= t.config.queue_depth then shed "queue_full"
+              else if Array.length t.deques = 0 then begin
+                t.running <- t.running + 1;
+                `Inline
+              end
+              else begin
+                let ticket =
+                  { tenant; req; tmu = Mutex.create (); tcond = Condition.create (); reply = None }
+                in
+                let n = Array.length t.deques in
+                (* Round-robin with fallback: the per-deque capacity sums
+                   past [queue_depth], so a full deque just means this
+                   slot is unlucky — try the rest before shedding. *)
+                let rec push k =
+                  if k >= n then shed "queue_full"
+                  else if Deque.push t.deques.((t.next_deque + k) mod n) ticket then begin
+                    t.next_deque <- (t.next_deque + k + 1) mod n;
+                    t.queued <- t.queued + 1;
+                    if t.queued > t.max_queue then t.max_queue <- t.queued;
+                    Condition.signal t.work;
+                    `Queued ticket
+                  end
+                  else push (k + 1)
+                in
+                push 0
+              end)
+    in
+    match decision with
+    | `Shed reason -> Api.Overloaded { reason }
+    | `Inline ->
+      let reply =
+        try execute tenant req
+        with e -> Api.Err (Error.Storage ("dispatcher failure: " ^ Printexc.to_string e))
+      in
+      with_conn t (fun () ->
+          t.running <- t.running - 1;
+          t.served <- t.served + 1);
+      reply
+    | `Queued ticket ->
+      Mutex.lock ticket.tmu;
+      while ticket.reply = None do
+        Condition.wait ticket.tcond ticket.tmu
+      done;
+      let reply = Option.get ticket.reply in
+      Mutex.unlock ticket.tmu;
+      reply)
+
+let shutdown t =
+  let workers =
+    with_conn t (fun () ->
+        t.stopping <- true;
+        Condition.broadcast t.work;
+        let ws = t.workers in
+        t.workers <- [];
+        ws)
+  in
+  (* Workers drain the deques before exiting (the take loop steals until
+     empty even once [stopping] is set), so every admitted ticket gets
+     its answer before the join returns. *)
+  List.iter Domain.join workers
+
+(* ---- in-process loopback ------------------------------------------ *)
+
+let reader_of_string s =
+  let pos = ref 0 in
+  fun n ->
+    if !pos + n > String.length s then raise End_of_file
+    else begin
+      let r = String.sub s !pos n in
+      pos := !pos + n;
+      r
+    end
+
+module Loopback = struct
+  type nonrec conn = { server : t; tenant : string; mutable seq : int }
+
+  let connect server ~tenant =
+    (* Exercise the header exchange the way a socket peer would. *)
+    let b = Buffer.create 8 in
+    Protocol.write_header (Buffer.add_string b);
+    (match Protocol.read_header (reader_of_string (Buffer.contents b)) with
+    | Ok () -> ()
+    | Error msg -> failwith ("loopback header: " ^ msg));
+    { server; tenant; seq = 0 }
+
+  let round what frame_of decode =
+    let b = Buffer.create 256 in
+    frame_of (Buffer.add_string b);
+    match Protocol.read_frame (reader_of_string (Buffer.contents b)) with
+    | Ok (Some f) -> (
+      match decode f.Protocol.payload with
+      | Ok v -> (f.Protocol.seq, v)
+      | Error msg -> failwith (Printf.sprintf "loopback %s decode: %s" what msg))
+    | Ok None -> failwith (Printf.sprintf "loopback %s: empty stream" what)
+    | Error msg -> failwith (Printf.sprintf "loopback %s frame: %s" what msg)
+
+  let call conn req =
+    conn.seq <- conn.seq + 1;
+    let seq, req' =
+      round "request"
+        (fun w -> Protocol.write_frame w ~seq:conn.seq (Api.encode_request req))
+        Api.decode_request
+    in
+    let resp = submit conn.server ~tenant:conn.tenant req' in
+    let _, resp' =
+      round "response"
+        (fun w -> Protocol.write_frame w ~seq (Api.encode_response resp))
+        Api.decode_response
+    in
+    resp'
+end
+
+(* ---- sockets ------------------------------------------------------- *)
+
+let read_exactly fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off >= n then Bytes.unsafe_to_string buf
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> raise End_of_file
+      | k -> go (off + k)
+  in
+  go 0
+
+let write_all fd s =
+  let buf = Bytes.unsafe_of_string s in
+  let n = Bytes.length buf in
+  let rec go off = if off < n then go (off + Unix.write fd buf off (n - off)) in
+  go 0
+
+let serve_connection t fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let read = read_exactly fd and write s = write_all fd s in
+      Protocol.write_header write;
+      match Protocol.read_header read with
+      | Error _ -> ()
+      | Ok () -> (
+        (* First frame: the raw tenant name this connection serves. *)
+        match Protocol.read_frame read with
+        | Ok (Some { Protocol.payload = tenant; _ }) ->
+          let rec loop () =
+            match Protocol.read_frame read with
+            | Ok None -> ()  (* clean EOF *)
+            | Error _ -> ()  (* framing broken: the stream cannot resync *)
+            | Ok (Some f) ->
+              (* A malformed payload inside an intact frame is the
+                 client's bug, not a stream failure: answer typed and
+                 keep serving. *)
+              let resp =
+                match Api.decode_request f.Protocol.payload with
+                | Error msg -> Api.Err (Error.Storage ("malformed request: " ^ msg))
+                | Ok req -> submit t ~tenant req
+              in
+              Protocol.write_frame write ~seq:f.Protocol.seq (Api.encode_response resp);
+              loop ()
+          in
+          loop ()
+        | Ok None | Error _ -> ()))
+
+let serve t ?(addr = "127.0.0.1") ?(max_connections = 8) ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+  Unix.listen sock max_connections;
+  (* One domain per connection, capped: connections above the cap wait in
+     the accept backlog rather than spawning unbounded domains. *)
+  let mu = Mutex.create () and freed = Condition.create () in
+  let active = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      let rec accept_loop () =
+        Mutex.lock mu;
+        while !active >= max_connections do
+          Condition.wait freed mu
+        done;
+        incr active;
+        Mutex.unlock mu;
+        let fd, _ = Unix.accept sock in
+        ignore
+          (Domain.spawn (fun () ->
+               Fun.protect
+                 ~finally:(fun () ->
+                   Mutex.lock mu;
+                   decr active;
+                   Condition.signal freed;
+                   Mutex.unlock mu)
+                 (fun () -> serve_connection t fd))
+            : unit Domain.t);
+        accept_loop ()
+      in
+      accept_loop ())

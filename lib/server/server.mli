@@ -1,0 +1,111 @@
+(** The request dispatcher: many tenants, one domain pool, bounded
+    admission.
+
+    A {!t} owns [jobs] worker domains fed through the parallel
+    executor's work-stealing deques ({!Natix_par.Deque}) — with the
+    roles reversed: {e submitters}, serialised by the connection lock,
+    act as the single logical owner pushing round-robin, and every
+    worker only ever [steal]s (the thief side is safe from any domain).
+    A submitted request becomes a ticket; {!submit} blocks its caller
+    until a worker fills in the reply, so one connection maps naturally
+    onto one submitting thread.
+
+    {b Admission.}  Before queueing, under the connection lock (rank
+    [conn], never held across execution):
+    - dispatcher shutting down → [Overloaded "shutting_down"];
+    - the tenant's budget-breach latch is set (and [shed_on_breach]) →
+      [Overloaded "budget:<resource>"];
+    - [running + queued >= max_inflight] → [Overloaded "inflight_limit"];
+    - [queued >= queue_depth] (or every deque full) →
+      [Overloaded "queue_full"].
+
+    Shedding is the {e only} overload behaviour: an admitted request is
+    always executed and always answered, and {!shutdown} drains the
+    queue before the workers exit, so no submitter is left hanging.
+
+    {b Execution.}  A worker runs a request under the tenant's
+    {!Rw_lock} gate — shared for queries (each on a private
+    {!Natix_core.Tree_store.reader} view with a navigation-only engine),
+    exclusive for everything else (via {!Natix.Session.exec}) — inside a
+    per-request I/O stream on the tenant's disk, with the observability
+    context set to (tenant doc, ["serve:<kind>"]).  Exceptions map
+    {e exhaustively} to typed [Err] replies: a raising request never
+    takes a worker down and never leaves a frame latched.  A simulated
+    crash additionally latches the tenant's [crashed] flag so later
+    requests are refused with a typed error instead of touching the torn
+    store.
+
+    With [jobs = 0] there are no workers and {!submit} executes inline
+    on the calling domain (admission still applies) — the deterministic
+    mode the traffic bench and differential tests build on. *)
+
+type config = {
+  jobs : int;  (** worker domains; [0] executes inline in {!submit} *)
+  max_inflight : int;  (** running + queued admission ceiling *)
+  queue_depth : int;  (** queued-only ceiling *)
+  shed_on_breach : bool;
+      (** turn a tenant's budget-breach latch into [Overloaded] replies *)
+}
+
+(** [{ jobs = 4; max_inflight = 64; queue_depth = 32; shed_on_breach = true }] *)
+val default_config : config
+
+type stats = {
+  served : int;  (** requests executed and answered *)
+  shed : int;  (** requests refused with [Overloaded] *)
+  max_queue : int;  (** high-water mark of the queue *)
+  queued : int;  (** tickets waiting in the deques right now *)
+  running : int;  (** requests executing right now *)
+}
+
+type t
+
+val create : ?config:config -> Registry.t -> t
+val registry : t -> Registry.t
+val config : t -> config
+
+(** Dispatch one request for [tenant] and block until its reply. *)
+val submit : t -> tenant:string -> Natix.Api.request -> Natix.Api.response
+
+val stats : t -> stats
+
+(** Drain the queue, answer everything admitted, join the workers.
+    Further {!submit}s shed.  Idempotent.  Does {e not} close the
+    registry's tenants — callers that own the registry follow with
+    {!Registry.close_all}. *)
+val shutdown : t -> unit
+
+(** {2 In-process loopback client}
+
+    The same bytes as a socket client — requests and responses go
+    through {!Natix.Api}'s codec {e and} {!Protocol}'s CRC framing, via
+    an in-memory buffer — without a file descriptor.  This is what the
+    differential tests and the traffic bench drive. *)
+
+module Loopback : sig
+  type conn
+
+  val connect : t -> tenant:string -> conn
+
+  (** Encode → frame → unframe → decode → {!submit} → encode → frame →
+      unframe → decode.  @raise Failure if the codec or framing does not
+      round-trip (a bug, not an I/O condition). *)
+  val call : conn -> Natix.Api.request -> Natix.Api.response
+end
+
+(** {2 Socket serving}
+
+    Stream layout per connection: both sides send {!Protocol.header};
+    the client's first frame carries the raw tenant name; every later
+    client frame is one encoded request, answered in order with one
+    encoded response frame (same [seq]).  A malformed {e payload} in a
+    valid frame gets a typed [Err] reply and the connection continues; a
+    framing violation (bad CRC, truncation) closes the connection. *)
+
+(** Serve one established connection until EOF; closes [fd]. *)
+val serve_connection : t -> Unix.file_descr -> unit
+
+(** Accept loop on [addr]:[port] ([addr] defaults to loopback), one
+    domain per connection, at most [max_connections] (default 8)
+    concurrent.  Runs until the calling thread is interrupted. *)
+val serve : t -> ?addr:string -> ?max_connections:int -> port:int -> unit -> unit

@@ -1,0 +1,112 @@
+module Io_stats = Natix_store.Io_stats
+module Tree_store = Natix_core.Tree_store
+
+type point = {
+  rate : float;
+  offered : int;
+  completed : int;
+  shed : int;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_queue : int;
+  latencies_ms : float option array;
+}
+
+let measure server ~tenant reqs =
+  let conn = Server.Loopback.connect server ~tenant in
+  let store =
+    match Registry.find (Server.registry server) tenant with
+    | Ok t -> Natix.Session.store t.Registry.session
+    | Error e -> Natix_core.Error.raise_error e
+  in
+  List.map
+    (fun req ->
+      let before = (Io_stats.copy (Tree_store.io_stats store)).Io_stats.sim_ms in
+      let resp = Server.Loopback.call conn req in
+      let after = (Io_stats.copy (Tree_store.io_stats store)).Io_stats.sim_ms in
+      (resp, after -. before))
+    reqs
+
+(* Nearest-rank quantile over a sorted array; 0 on an empty one. *)
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1 |> max 0))
+
+let saturation ~capacity service_ms =
+  if capacity <= 0 then invalid_arg "Traffic.saturation: capacity must be positive";
+  let n = Array.length service_ms in
+  if n = 0 then 0.
+  else
+    let mean = Array.fold_left ( +. ) 0. service_ms /. float_of_int n in
+    if mean <= 0. then infinity else float_of_int capacity *. 1000. /. mean
+
+let simulate ~capacity ~queue_depth ~rate service_ms =
+  if capacity <= 0 then invalid_arg "Traffic.simulate: capacity must be positive";
+  if queue_depth <= 0 then invalid_arg "Traffic.simulate: queue_depth must be positive";
+  if rate <= 0. then invalid_arg "Traffic.simulate: rate must be positive";
+  let n = Array.length service_ms in
+  let latencies = Array.make n None in
+  let free_at = Array.make capacity 0. in
+  (* FIFO of (index, arrival_ms); depth-bounded like the dispatcher. *)
+  let queue = Queue.create () in
+  let max_queue = ref 0 in
+  let shed = ref 0 in
+  let earliest () =
+    let k = ref 0 in
+    for i = 1 to capacity - 1 do
+      if free_at.(i) < free_at.(!k) then k := i
+    done;
+    !k
+  in
+  let start_service i arrival not_before =
+    let k = earliest () in
+    let start = Float.max free_at.(k) not_before in
+    let finish = start +. service_ms.(i) in
+    free_at.(k) <- finish;
+    latencies.(i) <- Some (finish -. arrival)
+  in
+  (* Advance the queue: admit queued requests whose service can begin at
+     or before [now] (a slot freed up while they waited). *)
+  let drain_until now =
+    let continue = ref true in
+    while !continue && not (Queue.is_empty queue) do
+      let k = earliest () in
+      if free_at.(k) <= now then begin
+        let i, arrival = Queue.pop queue in
+        start_service i arrival free_at.(k)
+      end
+      else continue := false
+    done
+  in
+  for i = 0 to n - 1 do
+    let arrival = float_of_int i *. 1000. /. rate in
+    drain_until arrival;
+    if Queue.is_empty queue && free_at.(earliest ()) <= arrival then
+      start_service i arrival arrival
+    else if Queue.length queue < queue_depth then begin
+      Queue.push (i, arrival) queue;
+      if Queue.length queue > !max_queue then max_queue := Queue.length queue
+    end
+    else incr shed
+  done;
+  (* Open loop over: everything still queued runs to completion. *)
+  while not (Queue.is_empty queue) do
+    let i, arrival = Queue.pop queue in
+    start_service i arrival free_at.(earliest ())
+  done;
+  let completed = Array.to_list latencies |> List.filter_map Fun.id in
+  let sorted = Array.of_list completed in
+  Array.sort compare sorted;
+  {
+    rate;
+    offered = n;
+    completed = Array.length sorted;
+    shed = !shed;
+    p50_ms = quantile sorted 0.50;
+    p95_ms = quantile sorted 0.95;
+    p99_ms = quantile sorted 0.99;
+    max_queue = !max_queue;
+    latencies_ms = latencies;
+  }

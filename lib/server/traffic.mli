@@ -1,0 +1,52 @@
+(** Simulated open-loop traffic against the serve path — deterministic
+    by construction.
+
+    Two stages, cleanly split so every figure lives on the simulated
+    clock:
+
+    + {!measure} executes the request mix {e once}, sequentially,
+      through the {!Server.Loopback} client (full codec + framing +
+      dispatcher + admission path) and records each request's service
+      time as the tenant store's simulated-I/O delta.  Run it against an
+      inline ([jobs = 0]) server and the outcome is bit-identical across
+      machines and runs.
+    + {!simulate} replays those service times through an open-loop
+      queueing model at a given arrival rate: [capacity] service slots,
+      a bounded FIFO of [queue_depth], arrival [i] at [i / rate]
+      seconds.  A request that arrives to a full queue is shed — exactly
+      the dispatcher's admission rule — and everything else completes;
+      [offered = completed + shed] always.
+
+    Nothing here calls a wall clock or a random generator: the sweep in
+    the benchmark suite is gated byte-identical against its baseline. *)
+
+type point = {
+  rate : float;  (** offered arrival rate, requests per simulated second *)
+  offered : int;
+  completed : int;
+  shed : int;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;  (** latency quantiles over completed requests *)
+  max_queue : int;  (** queue high-water mark; never exceeds [queue_depth] *)
+  latencies_ms : float option array;
+      (** per-request outcome in arrival order: [Some latency] or [None]
+          when shed — every offered request is accounted for *)
+}
+
+(** [measure server ~tenant reqs] — loopback-execute each request once,
+    returning its response and service time (simulated ms). *)
+val measure :
+  Server.t -> tenant:string -> Natix.Api.request list -> (Natix.Api.response * float) list
+
+(** [simulate ~capacity ~queue_depth ~rate service_ms].
+    @raise Invalid_argument on a non-positive [rate], [capacity] or
+    [queue_depth]. *)
+val simulate :
+  capacity:int -> queue_depth:int -> rate:float -> float array -> point
+
+(** [saturation ~capacity service_ms] — the arrival rate (req/s) at
+    which [capacity] slots are busy full-time: [capacity / mean_service].
+    Zero-cost workloads (fully cached) saturate at infinity; callers
+    sweep multiples of this. *)
+val saturation : capacity:int -> float array -> float

@@ -1,29 +1,39 @@
 (* Debug lock-rank assertion.  Ranks, ascending acquisition order:
-   doc (1) < struct (2) < stripe (3) < frame latch (4) < pool (5)
-   < wal (6) < disk (7).  Try-locks are exempt (they cannot contribute
-   to a deadlock cycle) and are recorded with [note_try] so their
-   releases still balance. *)
+   registry (1) < conn (2) < tenant (3) < doc (4) < struct (5)
+   < stripe (6) < frame latch (7) < pool (8) < wal (9) < disk (10).
+   The serving layer's locks (tenant registry, connection/dispatch state,
+   per-tenant read-write gates) sit below every storage-engine lock: a
+   request holds them while executing arbitrary store operations, so they
+   must never be acquired while an engine lock is held.  Try-locks are
+   exempt (they cannot contribute to a deadlock cycle) and are recorded
+   with [note_try] so their releases still balance. *)
 
 exception Violation of string
 
 let unordered = 0
-let doc = 1
-let structure = 2
-let stripe = 3
-let frame = 4
-let pool = 5
-let wal = 6
-let disk = 7
+let registry = 1
+let conn = 2
+let tenant = 3
+let doc = 4
+let structure = 5
+let stripe = 6
+let frame = 7
+let pool = 8
+let wal = 9
+let disk = 10
 
 let name_of = function
   | 0 -> "unordered"
-  | 1 -> "doc"
-  | 2 -> "struct"
-  | 3 -> "stripe"
-  | 4 -> "frame"
-  | 5 -> "pool"
-  | 6 -> "wal"
-  | 7 -> "disk"
+  | 1 -> "registry"
+  | 2 -> "conn"
+  | 3 -> "tenant"
+  | 4 -> "doc"
+  | 5 -> "struct"
+  | 6 -> "stripe"
+  | 7 -> "frame"
+  | 8 -> "pool"
+  | 9 -> "wal"
+  | 10 -> "disk"
   | r -> Printf.sprintf "rank%d" r
 
 let enabled = Atomic.make (Sys.getenv_opt "NATIX_LOCK_RANK" <> None)

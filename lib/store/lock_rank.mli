@@ -3,8 +3,17 @@
     The documented order, by ascending rank — a domain may only block on a
     lock of strictly higher rank than any it already holds:
 
-    {v doc (1)  <  struct (2)  <  stripe (3)  <  frame latch (4)
-       <  pool (5)  <  wal (6)  <  disk (7) v}
+    {v registry (1)  <  conn (2)  <  tenant (3)  <  doc (4)  <  struct (5)
+       <  stripe (6)  <  frame latch (7)  <  pool (8)  <  wal (9)
+       <  disk (10) v}
+
+    The three lowest ranks belong to the serving layer ([Natix_server]):
+    [registry] guards the tenant → store table (held while lazily opening
+    a store, which takes every engine lock below it), [conn] guards the
+    dispatcher's admission/queue state (never held across request
+    execution), and [tenant] is the per-tenant read-write gate a worker
+    holds for the whole execution of a request — below [doc] because a
+    mutating request runs whole transactions while keeping it.
 
     [doc] is a per-document write latch held for the whole mutation phase
     of a transaction; it ranks {e below} stripe because a holder fixes
@@ -36,6 +45,10 @@ exception Violation of string
 
 (** The ranks, for use at acquisition sites. *)
 
+val registry : int
+
+val conn : int
+val tenant : int
 val doc : int
 
 val structure : int

@@ -25,6 +25,37 @@ let element_index_tests =
         Alcotest.(check int) "lines" 3 (Element_index.count idx (Tree_store.label store "LINE"));
         Alcotest.(check int) "titles" 3 (Element_index.count idx (Tree_store.label store "TITLE"));
         Element_index.check idx);
+    Alcotest.test_case "a rid freed by relocation and reused is not re-indexed" `Quick
+      (fun () ->
+        (* Loading under small pages relocates overflowing records, so
+           some rids are dropped mid-load and the freed slots get reused
+           — by later tree records or by the index's own B+-tree pages.
+           The index must honour the trailing Dropped event instead of
+           fetching (and indexing) whatever occupies the rid now. *)
+        let store = mem_store ~page_size:1024 () in
+        let idx = Element_index.create store ~name:"elements" in
+        let doc =
+          Xml_tree.element "PLAY"
+            (List.init 2 (fun act ->
+                 Xml_tree.element "ACT"
+                   (List.init 20 (fun sp ->
+                        Xml_tree.element "SPEECH"
+                          [
+                            Xml_tree.element "SPEAKER"
+                              [ Xml_tree.text (Printf.sprintf "S%d" sp) ];
+                            Xml_tree.element "LINE"
+                              [
+                                Xml_tree.text
+                                  (Printf.sprintf
+                                     "act %d speech %d with some more words to fill the page"
+                                     act sp);
+                              ];
+                          ]))))
+        in
+        let _ = Loader.load store ~name:"d" doc in
+        Alcotest.(check int) "speakers" 40
+          (Element_index.count idx (Tree_store.label store "SPEAKER"));
+        Element_index.check idx);
     Alcotest.test_case "scan returns every node of a label" `Quick (fun () ->
         let store = mem_store () in
         let idx = Element_index.create store ~name:"elements" in
