@@ -629,6 +629,12 @@ let run_parallel_bench ~jobs corpus =
    section is gated by bench-diff. *)
 let serve_export = ref ""
 
+(* --trace: end-to-end request tracing on the serve bench's server.  The
+   tracer only reads the simulated clock and the request's private I/O
+   stream, so every figure in the report is byte-identical with it on —
+   CI enforces that by diffing a --trace run against the baseline. *)
+let serve_trace = ref false
+
 let run_serve_bench corpus =
   let module T = Natix_server.Traffic in
   Printf.printf
@@ -649,7 +655,12 @@ let run_serve_bench corpus =
   Natix_server.Registry.mount registry "bench" sess;
   let server =
     Natix_server.Server.create
-      ~config:{ Natix_server.Server.default_config with Natix_server.Server.jobs = 0 }
+      ~config:
+        {
+          Natix_server.Server.default_config with
+          Natix_server.Server.jobs = 0;
+          trace = (if !serve_trace then Some Natix_server.Server.default_trace else None);
+        }
       registry
   in
   let doc_names = List.map fst docs in
@@ -952,6 +963,10 @@ let () =
         Arg.Set_string serve_export,
         "PREFIX after the serve bench, write the tenant's Prometheus metrics to \
          PREFIX-<tenant>.prom" );
+      ( "--trace",
+        Arg.Set serve_trace,
+        " trace every serve-bench request end to end; all simulated figures must stay \
+         byte-identical (the tracing-overhead experiment)" );
     ]
   in
   Arg.parse args (fun _ -> ()) "natix benchmark harness";

@@ -45,17 +45,19 @@ let open_session ?(create_page_size = 8192) ?(index = Document_manager.Off) path
   current_session := Some sess;
   sess
 
-let flight_dump_path = "natix-flight.jsonl"
-
 let dump_flight_on_error () =
   match !current_session with
   | None -> ()
   | Some sess ->
     if Natix.Session.mon sess <> None then begin
-      let oc = open_out flight_dump_path in
+      (* [Session.flight_path] honours NATIX_FLIGHT_PATH, so crash dumps
+         can be steered somewhere writable (CI sandboxes, read-only
+         CWDs). *)
+      let path = Natix.Session.flight_path () in
+      let oc = open_out path in
       Natix.Session.dump_flight sess oc;
       close_out oc;
-      Printf.eprintf "natix: flight recorder written to %s\n" flight_dump_path
+      Printf.eprintf "natix: flight recorder written to %s\n" path
     end
 
 let fail_error e =
@@ -418,8 +420,162 @@ let delete_cmd =
   in
   Cmd.v (Cmd.info "delete" ~doc:"Delete a document.") Term.(const run $ store_arg $ doc_arg 1)
 
+(* ---- request tracing against the serving stack -------------------- *)
+
+(* Query workload files: one `DOC PATH` task per line (the first
+   whitespace separates the document from the query); blank lines and
+   `#` comments are skipped. *)
+let read_tasks path =
+  read_file path |> String.split_on_char '\n'
+  |> List.filter_map (fun line ->
+         let l = String.trim line in
+         if l = "" || l.[0] = '#' then None
+         else begin
+           let cut =
+             match (String.index_opt l ' ', String.index_opt l '\t') with
+             | Some a, Some b -> Some (min a b)
+             | (Some _ as c), None | None, (Some _ as c) -> c
+             | None, None -> None
+           in
+           match cut with
+           | None ->
+             Printf.eprintf "natix: %s: task line %S has no query\n" path l;
+             exit 2
+           | Some i -> Some (String.sub l 0 i, String.trim (String.sub l i (String.length l - i)))
+         end)
+
+let queries_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "queries" ] ~docv:"FILE"
+        ~doc:"Query workload: one $(b,DOC PATH) task per line ($(b,#) comments).")
+
+(* The span tree of one request, indented by causal depth: wall interval
+   on the simulated clock, then the span's total and self I/O from the
+   request's private disk stream. *)
+let pp_trace_report ppf (r : Natix_trace.Trace.report) =
+  let open Natix_trace.Trace in
+  Format.fprintf ppf "%s %-6s %-24s queued %.2fms  dur %.2fms  io %dr/%dw/%.2fms" r.trace_id
+    r.kind
+    (if r.detail = "" then "-" else r.detail)
+    r.queued_ms r.dur_ms r.total.reads r.total.writes r.total.io_ms;
+  let depth = Hashtbl.create 16 in
+  List.iter
+    (fun (s : span_report) ->
+      let d = match Hashtbl.find_opt depth s.parent with Some d -> d + 1 | None -> 0 in
+      Hashtbl.replace depth s.id d;
+      Format.fprintf ppf "@\n  %s%-*s %10.2f ..%10.2f  total %dr/%.2fms  self %dr/%.2fms"
+        (String.make (2 * d) ' ')
+        (max 1 (26 - (2 * d)))
+        s.name s.start_ms (s.start_ms +. s.dur_ms) s.total.reads s.total.io_ms s.self.reads
+        s.self.io_ms)
+    r.spans;
+  match r.plan with
+  | None -> ()
+  | Some plan ->
+    Format.fprintf ppf "@\n";
+    List.iter (fun l -> Format.fprintf ppf "@\n  | %s" l) (String.split_on_char '\n' plan)
+
+(* Merge per-request folded stacks into one aggregate profile: identical
+   stacks sum their simulated-µs weights, and the byte order is the
+   sorted stack order, so identical workloads export identical bytes. *)
+let merge_folded reports =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      String.split_on_char '\n' (Natix_trace.Trace.folded r)
+      |> List.iter (fun line ->
+             match String.rindex_opt line ' ' with
+             | None -> ()
+             | Some i ->
+               let stack = String.sub line 0 i in
+               let n = int_of_string (String.sub line (i + 1) (String.length line - i - 1)) in
+               Hashtbl.replace tbl stack
+                 (n + Option.value ~default:0 (Hashtbl.find_opt tbl stack))))
+    reports;
+  let lines = Hashtbl.fold (fun stack n acc -> Printf.sprintf "%s %d" stack n :: acc) tbl [] in
+  String.concat "" (List.map (fun l -> l ^ "\n") (List.sort String.compare lines))
+
+let tenant_arg =
+  Arg.(
+    value
+    & opt string "t"
+    & info [ "tenant" ] ~docv:"NAME"
+        ~doc:"Tenant served in $(b,--serve) mode ($(i,ROOT)/$(i,NAME).natix must exist).")
+
+let serve_flag =
+  Arg.(
+    value & flag
+    & info [ "serve" ]
+        ~doc:
+          "Treat the positional argument as a store directory and drive the workload through \
+           the multi-tenant dispatcher (codec, framing, admission, tenant gate), not a bare \
+           session.")
+
+(* Run a query workload through the full serving stack with tracing on
+   and hand back the server for introspection.  Every request goes
+   through the loopback client — the same bytes as a socket peer — so
+   the traces cover the path production requests take. *)
+let serve_traced ~root ~tenant ~jobs ~trace queries use =
+  let registry = Natix_server.Registry.create ~root () in
+  let config =
+    { Natix_server.Server.default_config with jobs; trace = Some trace }
+  in
+  let server = Natix_server.Server.create ~config registry in
+  Fun.protect
+    ~finally:(fun () ->
+      Natix_server.Server.shutdown server;
+      Natix_server.Registry.close_all registry)
+    (fun () ->
+      let conn = Natix_server.Server.Loopback.connect server ~tenant in
+      let tasks = match queries with None -> [] | Some qf -> read_tasks qf in
+      List.iter
+        (fun (doc, path) ->
+          match
+            Natix_server.Server.Loopback.call conn (Natix.Api.Query { doc; path; texts = false })
+          with
+          | Natix.Api.Hits _ -> ()
+          | r ->
+            Printf.eprintf "natix: %s %s: %s\n" doc path
+              (Format.asprintf "%a" Natix.Api.pp_response r))
+        tasks;
+      use server conn)
+
 let trace_cmd =
-  let run xml_path page_size order jsonl last folded kind docf since_ms summary =
+  let run_serve root tenant queries jobs slow_ms jsonl folded =
+    serve_traced ~root ~tenant ~jobs
+      ~trace:{ Natix_server.Server.default_trace with slow_ms }
+      queries
+      (fun server _conn ->
+        let reports = Natix_server.Server.trace_reports server in
+        let slow = Natix_server.Server.slow_reports server in
+        Format.printf "natix trace --serve %s — tenant %s, %d request(s), %d slow@." root tenant
+          (List.length reports) (List.length slow);
+        List.iter (fun r -> Format.printf "@.%a@." pp_trace_report r) reports;
+        (match jsonl with
+        | None -> ()
+        | Some path ->
+          let oc = open_out path in
+          List.iter
+            (fun r ->
+              output_string oc (Natix_obs.Json.to_string (Natix_trace.Trace.report_to_json r));
+              output_char oc '\n')
+            reports;
+          close_out oc;
+          Printf.printf "wrote %d trace report(s) to %s\n" (List.length reports) path);
+        match folded with
+        | None -> ()
+        | Some path ->
+          let oc = open_out path in
+          output_string oc (merge_folded reports);
+          close_out oc;
+          Printf.printf "wrote folded stacks to %s\n" path)
+  in
+  let run xml_path page_size order jsonl last folded kind docf since_ms summary serve tenant
+      queries serve_jobs slow_ms =
+    if serve then run_serve xml_path tenant queries serve_jobs slow_ms jsonl folded
+    else begin
     let keep = Natix_prof.Trace_view.keep_event ?kind ?doc:docf ?since_ms in
     let ring = Natix_obs.Sink.ring ~capacity:65536 () in
     (* The ring keeps the unfiltered stream (metrics and folded stacks
@@ -539,9 +695,13 @@ let trace_cmd =
       Natix_obs.Obs.close obs;
       Printf.printf "wrote %d events (+1 metrics line) to %s\n" (Natix_obs.Sink.emitted js) path
     | _ -> ()
+    end
   in
   let xml_arg =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"XML file to load.")
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"XML file to load ($(b,--serve): a store directory).")
   in
   let jsonl_arg =
     Arg.(
@@ -592,16 +752,37 @@ let trace_cmd =
             "Aggregate the (filtered) event stream: event counts per (kind, doc) and simulated \
              milliseconds per (span, doc).")
   in
+  let serve_jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "($(b,--serve)) Worker domains dispatching requests; $(b,0) (the default) executes \
+             inline, which makes double runs byte-identical.")
+  in
+  let slow_arg =
+    Arg.(
+      value & opt float infinity
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "($(b,--serve)) Requests at or above this simulated duration also land in the \
+             slow-request log.")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Load an XML file into an instrumented in-memory store and report traces and metrics \
           (splits, fill factors, buffer hit ratio).  --kind/--doc/--since-ms filter the JSONL \
           output and the printed tail; --folded exports a flamegraph; --summary aggregates per \
-          (kind, doc).")
+          (kind, doc).  With $(b,--serve ROOT), trace a query workload end to end through the \
+          multi-tenant dispatcher instead: per-request span trees (queue wait, tenant gate, \
+          per-operator execution, commit fsync) whose I/O figures reconcile exactly with each \
+          request's private disk stream; --jsonl and --folded then export the trace reports \
+          and the aggregated flamegraph.")
     Term.(
       const run $ xml_arg $ page_size_arg $ order_arg $ jsonl_arg $ last_arg $ folded_arg
-      $ kind_arg $ doc_filter_arg $ since_arg $ summary_arg)
+      $ kind_arg $ doc_filter_arg $ since_arg $ summary_arg $ serve_flag $ tenant_arg
+      $ queries_arg $ serve_jobs_arg $ slow_arg)
 
 (* fsck bypasses the session facade: it must open a possibly-damaged
    store with the bare layers so a failure can fall back to the raw
@@ -778,35 +959,6 @@ let gen_cmd =
 
 (* ---- monitoring commands ------------------------------------------ *)
 
-(* Query workload files: one `DOC PATH` task per line (the first
-   whitespace separates the document from the query); blank lines and
-   `#` comments are skipped. *)
-let read_tasks path =
-  read_file path |> String.split_on_char '\n'
-  |> List.filter_map (fun line ->
-         let l = String.trim line in
-         if l = "" || l.[0] = '#' then None
-         else begin
-           let cut =
-             match (String.index_opt l ' ', String.index_opt l '\t') with
-             | Some a, Some b -> Some (min a b)
-             | (Some _ as c), None | None, (Some _ as c) -> c
-             | None, None -> None
-           in
-           match cut with
-           | None ->
-             Printf.eprintf "natix: %s: task line %S has no query\n" path l;
-             exit 2
-           | Some i -> Some (String.sub l 0 i, String.trim (String.sub l i (String.length l - i)))
-         end)
-
-let queries_arg =
-  Arg.(
-    value
-    & opt (some file) None
-    & info [ "queries" ] ~docv:"FILE"
-        ~doc:"Query workload: one $(b,DOC PATH) task per line ($(b,#) comments).")
-
 (* Drive the monitored workload: the queries file when given, a full
    document scan otherwise.  [cold] drops the buffer pool first so the
    probe measures physical I/O instead of re-reading a pool warmed by
@@ -852,7 +1004,60 @@ let out_arg =
     & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of standard output.")
 
 let top_cmd =
-  let run store_path queries jobs cold n =
+  (* --serve: the dispatcher's own counters come over the wire through
+     Api.Server_stats — the same remote surface a monitoring agent would
+     poll — while SLO windows and the slow log read server-side. *)
+  let run_serve root tenant queries jobs slow_ms =
+    serve_traced ~root ~tenant ~jobs
+      ~trace:{ Natix_server.Server.default_trace with slow_ms }
+      queries
+      (fun server conn ->
+        let s =
+          match Natix_server.Server.Loopback.call conn Natix.Api.Server_stats with
+          | Natix.Api.Server_statted s -> s
+          | r ->
+            Printf.eprintf "natix: server_stats: %s\n"
+              (Format.asprintf "%a" Natix.Api.pp_response r);
+            exit 2
+        in
+        Printf.printf "natix top --serve %s  (tenant %s)\n" root tenant;
+        Printf.printf
+          "dispatcher: served %d  shed %d  queued %d  running %d  max-queue %d  (jobs %d, \
+           inflight cap %d, queue depth %d)\n"
+          s.Natix.Api.served s.Natix.Api.shed s.Natix.Api.queued s.Natix.Api.running
+          s.Natix.Api.max_queue s.Natix.Api.jobs s.Natix.Api.max_inflight
+          s.Natix.Api.queue_depth;
+        let reports = Natix_server.Server.trace_reports server in
+        let at_ms =
+          List.fold_left
+            (fun acc (r : Natix_trace.Trace.report) ->
+              Float.max acc (r.Natix_trace.Trace.submitted_ms +. r.Natix_trace.Trace.dur_ms))
+            0. reports
+        in
+        Printf.printf "%-24s %8s %10s %10s %10s %10s %8s %s\n" "TENANT" "REQS" "P50-MS"
+          "P95-MS" "P99-MS" "TARGET" "BREACH" "STATE";
+        List.iter
+          (fun (st : Natix_mon.Slo.stat) ->
+            let q = function None -> "-" | Some v -> Printf.sprintf "%.2f" v in
+            Printf.printf "%-24s %8d %10s %10s %10s %10s %8d %s\n" st.Natix_mon.Slo.tenant
+              st.Natix_mon.Slo.count (q st.Natix_mon.Slo.p50_ms) (q st.Natix_mon.Slo.p95_ms)
+              (q st.Natix_mon.Slo.p99_ms) (q st.Natix_mon.Slo.target_ms)
+              st.Natix_mon.Slo.breaches
+              (if st.Natix_mon.Slo.breached then "OVER" else "ok"))
+          (Natix_server.Server.slo_snapshot server ~at_ms);
+        match Natix_server.Server.slow_reports server with
+        | [] -> ()
+        | slow ->
+          Printf.printf "slow requests (>= %.2f sim-ms): %d\n" slow_ms (List.length slow);
+          List.iter
+            (fun (r : Natix_trace.Trace.report) ->
+              Printf.printf "  %s %s %s  %.2fms\n" r.Natix_trace.Trace.trace_id
+                r.Natix_trace.Trace.kind r.Natix_trace.Trace.detail r.Natix_trace.Trace.dur_ms)
+            slow)
+  in
+  let run store_path queries jobs cold n serve tenant slow_ms =
+    if serve then run_serve store_path tenant queries jobs slow_ms
+    else begin
     let open Natix_mon in
     let sess = open_session store_path in
     run_probe ~cold sess queries jobs;
@@ -888,17 +1093,29 @@ let top_cmd =
             (match d.breached with [] -> "-" | l -> "OVER:" ^ String.concat "," l))
       accounts;
     Natix.Session.close ~commit:false sess
+    end
   in
   let n_arg =
     Arg.(value & opt int 20 & info [ "n" ] ~docv:"N" ~doc:"Documents listed (busiest first).")
+  in
+  let slow_arg =
+    Arg.(
+      value & opt float infinity
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:"($(b,--serve)) Slow-request log threshold in simulated milliseconds.")
   in
   Cmd.v
     (Cmd.info "top"
        ~doc:
          "Run a workload (--queries, or a full scan) against a monitored session and print a \
           top-style report: windowed store rates, moving query-latency quantiles, and the \
-          busiest documents by simulated time.")
-    Term.(const run $ store_arg $ queries_arg $ jobs_arg $ cold_arg $ n_arg)
+          busiest documents by simulated time.  With $(b,--serve ROOT), drive the workload \
+          through the multi-tenant dispatcher instead and report its counters (fetched over \
+          the wire via Server_stats), per-tenant latency SLO windows, and the slow-request \
+          log.")
+    Term.(
+      const run $ store_arg $ queries_arg $ jobs_arg $ cold_arg $ n_arg $ serve_flag
+      $ tenant_arg $ slow_arg)
 
 let mon_export_cmd =
   let run store_path queries jobs cold format out =

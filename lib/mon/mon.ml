@@ -136,7 +136,7 @@ let export_prometheus t ~at_ms =
   drain_pending t;
   locked t (fun () -> Registry.to_prometheus (Registry.snapshot t.registry ~at_ms))
 
-let dump_flight t ~io ~jobs ?store oc =
+let dump_flight t ~io ~jobs ?store ?trace_id oc =
   let meta, ops =
     locked t (fun () ->
         ( {
@@ -148,6 +148,7 @@ let dump_flight t ~io ~jobs ?store oc =
             writes = io.Io_stats.writes;
             total_ios = Io_stats.total_ios io;
             sim_ms = io.Io_stats.sim_ms;
+            trace_id;
           },
           Recorder.ops t.recorder ))
   in

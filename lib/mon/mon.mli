@@ -70,8 +70,11 @@ val export_json : t -> at_ms:float -> Natix_obs.Json.t
 (** Prometheus-style text exposition of the registry. *)
 val export_prometheus : t -> at_ms:float -> string
 
-(** [dump_flight t ~io ~jobs ?store oc] writes the flight ring as a
-    JSONL dump with [cold = false] (see {!Replay}): [io] is the
-    store's cumulative {!Natix_store.Io_stats} at dump time. *)
+(** [dump_flight t ~io ~jobs ?store ?trace_id oc] writes the flight
+    ring as a JSONL dump with [cold = false] (see {!Replay}): [io] is
+    the store's cumulative {!Natix_store.Io_stats} at dump time, and
+    [trace_id] names the request whose failure triggered the dump, when
+    known. *)
 val dump_flight :
-  t -> io:Natix_store.Io_stats.t -> jobs:int -> ?store:string -> out_channel -> unit
+  t -> io:Natix_store.Io_stats.t -> jobs:int -> ?store:string -> ?trace_id:string ->
+  out_channel -> unit

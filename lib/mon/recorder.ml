@@ -24,6 +24,10 @@ type meta = {
   writes : int;
   total_ios : int;
   sim_ms : float;
+  trace_id : string option;
+      (* the request whose failure triggered the dump, when tracing was
+         on; absent from the emitted JSON when [None] so pre-trace dumps
+         stay byte-identical *)
 }
 
 type t = { ring : op option array; mutable next : int }
@@ -104,7 +108,7 @@ let meta_to_json m =
     [
       ( "meta",
         Json.Obj
-          [
+          ([
             ("version", Json.Int m.version);
             ("store", opt_string m.store);
             ("jobs", Json.Int m.jobs);
@@ -113,7 +117,8 @@ let meta_to_json m =
             ("writes", Json.Int m.writes);
             ("total_ios", Json.Int m.total_ios);
             ("sim_ms", Json.Float m.sim_ms);
-          ] );
+          ]
+          @ (match m.trace_id with None -> [] | Some id -> [ ("trace_id", Json.String id) ])) );
     ]
 
 let meta_of_json v =
@@ -127,6 +132,10 @@ let meta_of_json v =
     writes = to_int "writes" (get "writes" m);
     total_ios = to_int "total_ios" (get "total_ios" m);
     sim_ms = to_float "sim_ms" (get "sim_ms" m);
+    trace_id =
+      (match Json.member "trace_id" m with
+      | None | Some Json.Null -> None
+      | Some id -> Some (to_string_j "trace_id" id));
   }
 
 let dump oc meta ops =

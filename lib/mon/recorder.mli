@@ -37,6 +37,10 @@ type meta = {
   writes : int;
   total_ios : int;
   sim_ms : float;
+  trace_id : string option;
+      (** the failing request's trace id when a server dumped this ring
+          on a request crash; omitted from the JSON when [None], so
+          pre-tracing dumps are unchanged byte for byte *)
 }
 
 type t

@@ -58,6 +58,7 @@ let capture ?(jobs = 1) ?store_path store tasks =
       writes = io.Io_stats.writes;
       total_ios = Io_stats.total_ios io;
       sim_ms = io.Io_stats.sim_ms;
+      trace_id = None;
     }
   in
   (meta, ops)

@@ -7,8 +7,22 @@ type request =
   | Scan of { element : string; texts : bool }
   | Checkpoint
   | Stat of { doc : string option }
+  | Server_stats
 
 type doc_stat = { doc : string; records : int; pages : int; record_bytes : int }
+
+(* Dispatcher counters, mirrored over the wire so a remote `natix top
+   --serve` sees what an in-process [Server.stats] call sees. *)
+type server_stats = {
+  served : int;
+  shed : int;
+  max_queue : int;
+  queued : int;
+  running : int;
+  jobs : int;
+  max_inflight : int;
+  queue_depth : int;
+}
 
 type response =
   | Pong
@@ -19,6 +33,7 @@ type response =
   | Stats of { docs : doc_stat list; disk_bytes : int }
   | Err of Error.t
   | Overloaded of { reason : string }
+  | Server_statted of server_stats
 
 let kind = function
   | Ping -> "ping"
@@ -27,12 +42,13 @@ let kind = function
   | Scan _ -> "scan"
   | Checkpoint -> "checkpoint"
   | Stat _ -> "stat"
+  | Server_stats -> "server_stats"
 
 (* Scan counts as mutating because its index policy may create or
    rebuild the element index (the CLI's `scan` repairs a stale one). *)
 let mutates = function
   | Load _ | Checkpoint | Scan _ -> true
-  | Ping | Query _ | Stat _ -> false
+  | Ping | Query _ | Stat _ | Server_stats -> false
 
 (* ---- codec -------------------------------------------------------- *)
 
@@ -150,7 +166,8 @@ let encode_request r =
     | None -> put_u8 b 0
     | Some d ->
       put_u8 b 1;
-      put_str b d));
+      put_str b d)
+  | Server_stats -> put_u8 b 7);
   Buffer.contents b
 
 let decode_request =
@@ -178,6 +195,7 @@ let decode_request =
               | 1 -> Some (get_str c)
               | t -> bad "bad option tag %d" t);
           }
+      | 7 -> Server_stats
       | t -> bad "bad request tag %d" t)
 
 (* ---- errors ------------------------------------------------------- *)
@@ -253,7 +271,17 @@ let encode_response r =
     put_error b e
   | Overloaded { reason } ->
     put_u8 b 8;
-    put_str b reason);
+    put_str b reason
+  | Server_statted s ->
+    put_u8 b 9;
+    put_u48 b s.served;
+    put_u48 b s.shed;
+    put_u32 b s.max_queue;
+    put_u32 b s.queued;
+    put_u32 b s.running;
+    put_u32 b s.jobs;
+    put_u32 b s.max_inflight;
+    put_u32 b s.queue_depth);
   Buffer.contents b
 
 let decode_response =
@@ -271,6 +299,17 @@ let decode_response =
         Stats { docs; disk_bytes = get_u48 c }
       | 7 -> Err (get_error c)
       | 8 -> Overloaded { reason = get_str c }
+      | 9 ->
+        let served = get_u48 c in
+        let shed = get_u48 c in
+        let max_queue = get_u32 c in
+        let queued = get_u32 c in
+        let running = get_u32 c in
+        let jobs = get_u32 c in
+        let max_inflight = get_u32 c in
+        Server_statted
+          { served; shed; max_queue; queued; running; jobs; max_inflight;
+            queue_depth = get_u32 c }
       | t -> bad "bad response tag %d" t)
 
 (* ---- printers ----------------------------------------------------- *)
@@ -284,6 +323,7 @@ let pp_request fmt = function
     Format.fprintf fmt "scan %s%s" element (if texts then " --text" else "")
   | Checkpoint -> Format.fprintf fmt "checkpoint"
   | Stat { doc } -> Format.fprintf fmt "stat %s" (Option.value doc ~default:"*")
+  | Server_stats -> Format.fprintf fmt "server-stats"
 
 let pp_response fmt = function
   | Pong -> Format.fprintf fmt "pong"
@@ -295,3 +335,6 @@ let pp_response fmt = function
     Format.fprintf fmt "%d doc(s), %d bytes on disk" (List.length docs) disk_bytes
   | Err e -> Format.fprintf fmt "error: %a" Error.pp e
   | Overloaded { reason } -> Format.fprintf fmt "overloaded (%s)" reason
+  | Server_statted s ->
+    Format.fprintf fmt "server: served=%d shed=%d queued=%d running=%d max_queue=%d jobs=%d"
+      s.served s.shed s.queued s.running s.max_queue s.jobs

@@ -30,10 +30,27 @@ type request =
   | Checkpoint  (** durable checkpoint of the whole store *)
   | Stat of { doc : string option }
       (** physical statistics for one document, or all of them *)
+  | Server_stats
+      (** the dispatcher's own counters; answered by the server before
+          tenant resolution, never by {!Session.exec} *)
 
 (** One document's physical footprint, the wire subset of
     {!Natix_core.Stats.doc_stats}. *)
 type doc_stat = { doc : string; records : int; pages : int; record_bytes : int }
+
+(** Dispatcher counters as served over the wire (the remote face of
+    [Natix_server.Server.stats], plus the server's static limits so a
+    client can tell "queued 30" from "queued 30 of 32"). *)
+type server_stats = {
+  served : int;
+  shed : int;
+  max_queue : int;
+  queued : int;
+  running : int;
+  jobs : int;
+  max_inflight : int;
+  queue_depth : int;
+}
 
 type response =
   | Pong
@@ -49,6 +66,7 @@ type response =
       (** shed by admission control before execution — the request was
           {e not} run; retry later.  [reason] is diagnostic
           (["queue_full"], ["inflight_limit"], ["budget:reads"], ...) *)
+  | Server_statted of server_stats
 
 (** Short stable tag (["ping"], ["load"], ["query"], ["scan"],
     ["checkpoint"], ["stat"]) — the request half of the (tenant, request)

@@ -41,6 +41,15 @@ module Options = struct
     }
 end
 
+(* Where error paths drop the flight-recorder ring.  One resolution
+   point for every dumper — the CLI's exit handler, the server's
+   request-crash path and the open-failure path below all agree on the
+   destination. *)
+let flight_path () =
+  match Sys.getenv_opt "NATIX_FLIGHT_PATH" with
+  | Some p when p <> "" -> p
+  | _ -> "natix-flight.jsonl"
+
 let of_store_with_mon ~index ~mon ?path store =
   let manager = Document_manager.create ~index store in
   let engine = Natix_query.Engine.of_manager manager in
@@ -84,7 +93,7 @@ let open_store ?(options = Options.default) path =
       | None -> ()
       | Some mon -> (
         try
-          let oc = open_out "natix-flight.jsonl" in
+          let oc = open_out (flight_path ()) in
           Fun.protect
             ~finally:(fun () -> close_out_noerr oc)
             (fun () -> Mon.dump_flight mon ~io:(Natix_store.Disk.stats disk) ~jobs:1 ~store:path oc)
@@ -177,10 +186,10 @@ let set_budget t ~doc ?max_reads ?max_sim_ms () =
   | None -> ()
   | Some mon -> Mon.set_budget mon ~doc ?max_reads ?max_sim_ms ()
 
-let dump_flight t oc =
+let dump_flight ?trace_id t oc =
   match t.mon with
   | None -> ()
-  | Some mon -> Mon.dump_flight mon ~io:(io t) ~jobs:t.parallelism ?store:t.path oc
+  | Some mon -> Mon.dump_flight mon ~io:(io t) ~jobs:t.parallelism ?store:t.path ?trace_id oc
 
 (* Document management *)
 
@@ -359,11 +368,13 @@ let exec t (req : Api.request) : Api.response =
     match req with
     | Api.Ping -> Api.Pong
     | Api.Load { doc; xml; order } -> (
-      match Natix_xml.Xml_parser.parse xml with
+      match Natix_trace.Trace.span_here "xml.parse" (fun () -> Natix_xml.Xml_parser.parse xml) with
       | exception Natix_xml.Xml_parser.Error { line; col; msg } ->
         Api.Err (Error.Parse (Printf.sprintf "%s:%d:%d: %s" doc line col msg))
       | tree -> (
-        match store_document t ~name:doc ~order tree with
+        match
+          Natix_trace.Trace.span_here "load.store" (fun () -> store_document t ~name:doc ~order tree)
+        with
         | Ok _ -> Api.Loaded { doc; nodes = Natix_xml.Xml_tree.node_count tree }
         | Error e -> Api.Err e))
     | Api.Query { doc; path; texts } -> (
@@ -406,6 +417,12 @@ let exec t (req : Api.request) : Api.response =
           names
       in
       Api.Stats { docs; disk_bytes = Stats.disk_bytes t.store }
+    | Api.Server_stats ->
+      (* Dispatcher counters live in the dispatcher; a bare session has
+         none.  The server answers this before tenant dispatch, so
+         reaching here means the request was sent somewhere it cannot
+         mean anything. *)
+      Api.Err (Error.Storage "server_stats: not a store request (ask a server)")
   with Error.Error e -> Api.Err e
 (* Only {e typed} failures map to replies here: storage-corruption
    exceptions (bad page, crash, pinned-frame exhaustion) keep

@@ -133,8 +133,15 @@ val set_budget : t -> doc:string -> ?max_reads:int -> ?max_sim_ms:float -> unit 
 
 (** Write the operation flight ring as a JSONL dump (see
     {!Natix_mon.Recorder}); the meta line carries the session's
-    cumulative I/O totals and [cold = false]. *)
-val dump_flight : t -> out_channel -> unit
+    cumulative I/O totals and [cold = false].  [trace_id], when given,
+    names the request whose failure triggered the dump. *)
+val dump_flight : ?trace_id:string -> t -> out_channel -> unit
+
+(** Where error paths write the flight ring: [$NATIX_FLIGHT_PATH] when
+    set and non-empty, else ["natix-flight.jsonl"].  Shared by the
+    CLI's exit handler, the server's request-crash dump and the
+    open-failure path inside {!open_store}. *)
+val flight_path : unit -> string
 
 (** Stored document names, sorted. *)
 val documents : t -> string list

@@ -117,16 +117,20 @@ let reports_of_accs steps (accs : Exec.op_acc list) =
   in
   go zero steps accs
 
-let analyze t ~doc path =
+let analyze_query t ~doc path =
   match parse path with
   | Error e -> Error e
   | Ok ast -> (
     (* Document validation happens inside [run], after the snapshot: a
        cold catalog fetch must land in the setup line, or the totals
-       would not reconcile with the caller-visible Io_stats delta. *)
+       would not reconcile with the caller-visible Io_stats delta.
+       Counters come from [Disk.active_stats], so inside a server
+       worker's private stream the analysis reconciles with the
+       request's stream delta, and outside any parallel region with the
+       plain [Io_stats] delta as always. *)
     let pool = Tree_store.buffer_pool t.store in
     let disk = Natix_store.Buffer_pool.disk pool in
-    let stats = Natix_store.Disk.stats disk in
+    let stats () = Natix_store.Disk.active_stats disk in
     let obs = Tree_store.obs t.store in
     let hops () =
       match obs with
@@ -135,7 +139,7 @@ let analyze t ~doc path =
     in
     let run () =
       (* Snapshot before the root fetch so the setup line covers it. *)
-      let s0 = Natix_store.Io_stats.copy stats in
+      let s0 = Natix_store.Io_stats.copy (stats ()) in
       let fixes0 = Natix_store.Buffer_pool.fixes pool in
       let misses0 = Natix_store.Buffer_pool.misses pool in
       let hops0 = hops () in
@@ -144,11 +148,12 @@ let analyze t ~doc path =
       | Ok root ->
         let plan = plan_ast t ~doc ast in
         let seq, accs = Exec.eval_instrumented t.store ?index:t.index plan root in
-        let force () = List.length (List.of_seq seq) in
-        let rows =
+        let force () = List.of_seq seq in
+        let hits =
           if plan.Plan.scan then Natix_store.Buffer_pool.with_scan pool force else force ()
         in
-        let delta = Natix_store.Io_stats.diff (Natix_store.Io_stats.copy stats) s0 in
+        let rows = List.length hits in
+        let delta = Natix_store.Io_stats.diff (Natix_store.Io_stats.copy (stats ())) s0 in
         let total_fixes = Natix_store.Buffer_pool.fixes pool - fixes0 in
         let total_misses = Natix_store.Buffer_pool.misses pool - misses0 in
         let ops = reports_of_accs plan.Plan.steps accs in
@@ -165,18 +170,19 @@ let analyze t ~doc path =
                 ~dur_ms:op.sim_ms)
             ops);
         Ok
-          {
-            plan;
-            ops;
-            setup_reads = delta.Natix_store.Io_stats.reads - last.Exec.reads;
-            setup_ms = delta.Natix_store.Io_stats.sim_ms -. last.Exec.sim_ms;
-            total_reads = delta.Natix_store.Io_stats.reads;
-            total_ms = delta.Natix_store.Io_stats.sim_ms;
-            total_fixes;
-            total_hits = total_fixes - total_misses;
-            total_proxy_hops = hops () - hops0;
-            rows;
-          }
+          ( hits,
+            {
+              plan;
+              ops;
+              setup_reads = delta.Natix_store.Io_stats.reads - last.Exec.reads;
+              setup_ms = delta.Natix_store.Io_stats.sim_ms -. last.Exec.sim_ms;
+              total_reads = delta.Natix_store.Io_stats.reads;
+              total_ms = delta.Natix_store.Io_stats.sim_ms;
+              total_fixes;
+              total_hits = total_fixes - total_misses;
+              total_proxy_hops = hops () - hops0;
+              rows;
+            } )
     in
     let traced () =
       match obs with
@@ -188,6 +194,8 @@ let analyze t ~doc path =
     match traced () with
     | result -> result
     | exception Error.Error e -> Error e)
+
+let analyze t ~doc path = Result.map snd (analyze_query t ~doc path)
 
 let pp_analysis ppf a =
   Format.fprintf ppf "%a@\n" Plan.pp a.plan;

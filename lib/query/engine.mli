@@ -79,8 +79,20 @@ type analysis = {
     {!query}) and report per-operator estimated vs actual cost.  When the
     store has an obs handle the run is wrapped in a ["query.analyze"]
     span with one synthetic child span per operator, and events emitted
-    during it carry a [(doc, "query")] context. *)
+    during it carry a [(doc, "query")] context.
+
+    Counters come from {!Natix_store.Disk.active_stats}, so on a domain
+    inside a parallel region the analysis reconciles with that domain's
+    private stream delta; elsewhere it reconciles with the plain
+    [Io_stats] delta, as the differential tests assert. *)
 val analyze : t -> doc:string -> string -> (analysis, Error.t) result
+
+(** {!analyze}, also returning the materialised result cursors — one
+    execution serves both the reply and the report.  This is what the
+    server's traced query path uses: hits for the [Hits] response, the
+    analysis for per-operator spans and the slow-request log. *)
+val analyze_query :
+  t -> doc:string -> string -> (Natix_core.Cursor.t list * analysis, Error.t) result
 
 val pp_analysis : Format.formatter -> analysis -> unit
 val analysis_to_string : analysis -> string

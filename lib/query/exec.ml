@@ -160,13 +160,18 @@ let fresh_acc () = { rows = 0; reads = 0; sim_ms = 0.; fixes = 0; hits = 0; prox
 
 let store_probe store : probe =
   let pool = Tree_store.buffer_pool store in
-  let stats = Natix_store.Disk.stats (Natix_store.Buffer_pool.disk pool) in
+  let disk = Natix_store.Buffer_pool.disk pool in
   let hops () =
     match Tree_store.obs store with
     | None -> 0
     | Some obs -> Natix_obs.Metrics.counter (Natix_obs.Obs.metrics obs) "ev.proxy_hop"
   in
   fun () ->
+    (* [active_stats] resolves per call: on a worker inside a parallel
+       region it is the domain's private stream (so per-operator figures
+       reconcile with the request's stream delta); outside any region it
+       is the default accumulator, exactly as before. *)
+    let stats = Natix_store.Disk.active_stats disk in
     let fixes = Natix_store.Buffer_pool.fixes pool in
     let misses = Natix_store.Buffer_pool.misses pool in
     {

@@ -1,6 +1,6 @@
 module Api = Natix.Api
 
-type t = { fd : Unix.file_descr; mutable seq : int }
+type t = { fd : Unix.file_descr; mutable seq : int; version : int }
 
 let read_exactly fd n =
   let buf = Bytes.create n in
@@ -27,18 +27,21 @@ let connect ~host ~port ~tenant =
      raise e);
   let read = read_exactly fd and write s = write_all fd s in
   Protocol.write_header write;
-  (match Protocol.read_header read with
-  | Ok () -> ()
-  | Error msg ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    failwith ("server handshake: " ^ msg));
-  Protocol.write_frame write ~seq:0 tenant;
-  { fd; seq = 0 }
+  let version =
+    match Protocol.read_header read with
+    | Ok peer -> min peer Protocol.version
+    | Error msg ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      failwith ("server handshake: " ^ msg)
+  in
+  Protocol.write_frame write ~version ~seq:0 tenant;
+  { fd; seq = 0; version }
 
-let call t req =
+let call ?trace_id t req =
   t.seq <- t.seq + 1;
-  Protocol.write_frame (write_all t.fd) ~seq:t.seq (Api.encode_request req);
-  match Protocol.read_frame (read_exactly t.fd) with
+  Protocol.write_frame (write_all t.fd) ~version:t.version ~seq:t.seq ?trace_id
+    (Api.encode_request req);
+  match Protocol.read_frame ~version:t.version (read_exactly t.fd) with
   | Ok None -> raise End_of_file
   | Error msg -> failwith ("response frame: " ^ msg)
   | Ok (Some f) ->

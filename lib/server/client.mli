@@ -9,13 +9,18 @@
 
 type t
 
-(** Connect, exchange stream headers, and send the tenant frame.
+(** Connect, exchange stream headers, and send the tenant frame.  Both
+    sides frame at the lower of the two advertised protocol versions, so
+    talking to a v1 server transparently drops back to trace-less
+    frames.
     @raise Failure on a protocol violation. *)
 val connect : host:string -> port:int -> tenant:string -> t
 
-(** One request, blocking for its response.
+(** One request, blocking for its response.  [trace_id] (at protocol v2)
+    propagates a client-chosen trace id to the server's tracer; the
+    server assigns one otherwise.
     @raise Failure on a framing/codec violation or a [seq] mismatch.
     @raise End_of_file when the server closes mid-call. *)
-val call : t -> Natix.Api.request -> Natix.Api.response
+val call : ?trace_id:string -> t -> Natix.Api.request -> Natix.Api.response
 
 val close : t -> unit

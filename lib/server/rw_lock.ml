@@ -16,7 +16,23 @@ let create () =
    never across a request — so the rank checker tracks the *gate* (rank
    [tenant], held across execution), not the mutex. *)
 
+(* Gate waits show up in request traces as [gate.read]/[gate.write]
+   intervals on the global simulated clock — zero-length when the gate
+   was free, the blocked window (other requests' I/O advancing the
+   clock) when it was not.  Sampling happens outside the mutex; the
+   tracer is per-domain state and charges nothing. *)
+let gate_now () =
+  match Natix_trace.Trace.active () with
+  | None -> 0.
+  | Some tr -> Natix_trace.Trace.clock tr
+
+let gate_waited name t0 =
+  match Natix_trace.Trace.active () with
+  | None -> ()
+  | Some tr -> Natix_trace.Trace.interval tr name ~t0 ~t1:(Natix_trace.Trace.clock tr)
+
 let lock_read t =
+  let t0 = gate_now () in
   Lock_rank.acquire Lock_rank.tenant;
   Mutex.lock t.mu;
   (* Queue behind waiting writers, or a query stream starves loads. *)
@@ -24,7 +40,8 @@ let lock_read t =
     Condition.wait t.turn t.mu
   done;
   t.readers <- t.readers + 1;
-  Mutex.unlock t.mu
+  Mutex.unlock t.mu;
+  gate_waited "gate.read" t0
 
 let unlock_read t =
   Mutex.lock t.mu;
@@ -34,6 +51,7 @@ let unlock_read t =
   Lock_rank.release Lock_rank.tenant
 
 let lock_write t =
+  let t0 = gate_now () in
   Lock_rank.acquire Lock_rank.tenant;
   Mutex.lock t.mu;
   t.waiting_writers <- t.waiting_writers + 1;
@@ -42,7 +60,8 @@ let lock_write t =
   done;
   t.waiting_writers <- t.waiting_writers - 1;
   t.writer <- true;
-  Mutex.unlock t.mu
+  Mutex.unlock t.mu;
+  gate_waited "gate.write" t0
 
 let unlock_write t =
   Mutex.lock t.mu;

@@ -4,16 +4,34 @@ module Deque = Natix_par.Deque
 module Disk = Natix_store.Disk
 module Io_stats = Natix_store.Io_stats
 module Lock_rank = Natix_store.Lock_rank
+module Trace = Natix_trace.Trace
+module Slo = Natix_mon.Slo
 
-type config = { jobs : int; max_inflight : int; queue_depth : int; shed_on_breach : bool }
+type trace_config = {
+  slow_ms : float;
+  trace_ring : int;
+  slo_target_p99_ms : float option;
+}
 
-let default_config = { jobs = 4; max_inflight = 64; queue_depth = 32; shed_on_breach = true }
+let default_trace = { slow_ms = infinity; trace_ring = 256; slo_target_p99_ms = None }
+
+type config = {
+  jobs : int;
+  max_inflight : int;
+  queue_depth : int;
+  shed_on_breach : bool;
+  trace : trace_config option;
+}
+
+let default_config =
+  { jobs = 4; max_inflight = 64; queue_depth = 32; shed_on_breach = true; trace = None }
 
 type stats = { served : int; shed : int; max_queue : int; queued : int; running : int }
 
 type ticket = {
   tenant : Registry.tenant;
   req : Api.request;
+  trace : Trace.t option;
   tmu : Mutex.t;
   tcond : Condition.t;
   mutable reply : Api.response option;
@@ -33,6 +51,14 @@ type t = {
   mutable max_queue : int;
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
+  (* Tracing state, all under [trace_mu] (a leaf: taken after execution,
+     never while holding any other lock of ours). *)
+  trace_mu : Mutex.t;
+  mutable trace_seq : int;
+  mutable reports : Trace.report list;  (* newest first, capped at trace_ring *)
+  mutable slow : Trace.report list;  (* newest first, capped at trace_ring *)
+  slo : Slo.t;
+  mutable slo_breaches : Slo.breach list;  (* newest first *)
 }
 
 let registry t = t.registry
@@ -52,7 +78,15 @@ let with_conn t f =
 let doc_of = function
   | Api.Load { doc; _ } | Api.Query { doc; _ } -> Some doc
   | Api.Stat { doc } -> doc
-  | Api.Ping | Api.Scan _ | Api.Checkpoint -> None
+  | Api.Ping | Api.Scan _ | Api.Checkpoint | Api.Server_stats -> None
+
+(* What a trace report shows as the request's argument. *)
+let detail_of = function
+  | Api.Query { path; _ } -> path
+  | Api.Load { doc; _ } -> doc
+  | Api.Scan { element; _ } -> element
+  | Api.Stat { doc } -> Option.value doc ~default:"*"
+  | Api.Ping | Api.Checkpoint | Api.Server_stats -> ""
 
 (* Every failure a request can produce becomes a typed reply.  This
    mapping must stay exhaustive: an exception that escaped here would
@@ -89,17 +123,36 @@ let run_query (tenant : Registry.tenant) ~doc ~path ~texts =
   let before = Io_stats.copy (Disk.active_stats disk) in
   let reader = Tree_store.reader store in
   let engine = Natix_query.Engine.create reader in
+  let render c =
+    if texts then Cursor.text_content c
+    else if Cursor.is_element c then Exporter.to_string reader (Cursor.node c)
+    else Cursor.text c
+  in
   let resp =
-    match Natix_query.Engine.query engine ~doc path with
-    | Error e -> Api.Err e
-    | Ok seq ->
-      Api.Hits
-        (List.map
-           (fun c ->
-             if texts then Cursor.text_content c
-             else if Cursor.is_element c then Exporter.to_string reader (Cursor.node c)
-             else Cursor.text c)
-           (List.of_seq seq))
+    match Trace.active () with
+    | None -> (
+      match Natix_query.Engine.query engine ~doc path with
+      | Error e -> Api.Err e
+      | Ok seq -> Api.Hits (List.map render (List.of_seq seq)))
+    | Some tr -> (
+      (* Traced: one instrumented execution serves the reply, the
+         per-operator spans and the slow log's EXPLAIN ANALYZE.  The
+         operator rows are [Exec.eval_instrumented]'s, reconciling with
+         this request's private stream because the probes read
+         [Disk.active_stats]. *)
+      match Natix_query.Engine.analyze_query engine ~doc path with
+      | Error e -> Api.Err e
+      | Ok (hits, a) ->
+        List.iteri
+          (fun i (op : Natix_query.Engine.op_report) ->
+            Trace.io_child tr
+              (Printf.sprintf "op%d.%s" (i + 1)
+                 (Natix_query.Ast.step_to_string op.step.Natix_query.Plan.step))
+              ~io:{ Trace.reads = op.reads; writes = 0; io_ms = op.sim_ms }
+              ~dur_ms:op.sim_ms)
+          a.Natix_query.Engine.ops;
+        Trace.set_plan tr (Natix_query.Engine.analysis_to_string a);
+        Api.Hits (List.map render hits))
   in
   (match Natix.Session.mon tenant.session with
   | None -> ()
@@ -126,13 +179,41 @@ let run_query (tenant : Registry.tenant) ~doc ~path ~texts =
       });
   resp
 
+(* The global simulated clock of one tenant's disk: the default
+   accumulator's [sim_ms], which every request's merge and every
+   group-commit delay charge advances — the clock queue waits and gate
+   blocks are visible on. *)
+let global_clock disk () = (Disk.stats disk).Io_stats.sim_ms
+
+(* Book a finished trace: report ring, slow log, SLO window.  [trace_mu]
+   is a leaf taken after the request fully completed. *)
+let record_trace t (report : Trace.report) =
+  let cap = match t.config.trace with Some tc -> tc.trace_ring | None -> 0 in
+  let keep n l = if List.length l > n then List.filteri (fun i _ -> i < n) l else l in
+  let slow_ms = match t.config.trace with Some tc -> tc.slow_ms | None -> infinity in
+  let breach =
+    Slo.observe t.slo ~tenant:report.Trace.tenant
+      ~at_ms:(report.Trace.submitted_ms +. report.Trace.dur_ms)
+      ~dur_ms:report.Trace.dur_ms
+  in
+  Mutex.lock t.trace_mu;
+  t.reports <- keep cap (report :: t.reports);
+  if report.Trace.dur_ms >= slow_ms then t.slow <- keep cap (report :: t.slow);
+  (match breach with None -> () | Some b -> t.slo_breaches <- b :: t.slo_breaches);
+  Mutex.unlock t.trace_mu
+
 (* Execute one admitted request: exception guard outermost, then the
    tenant gate, then the (tenant doc, "serve:<kind>") observability
    context, then the store work.  Wrapped in a per-request I/O stream on
    the tenant's disk so concurrent requests charge private accumulators
    (the disk's default record is not safe for concurrent charging), with
-   the merge back serialised by the tenant's leaf [stats_mu]. *)
-let execute (tenant : Registry.tenant) req =
+   the merge back serialised by the tenant's leaf [stats_mu].
+
+   When tracing is on, the stream body runs under the request's trace:
+   the root span brackets exactly the [Disk.with_stream] body, so the
+   root's I/O delta {e is} the private stream delta and the span tree's
+   self figures sum to it. *)
+let execute t ?trace (tenant : Registry.tenant) req =
   let session = tenant.session in
   let store = Natix.Session.store session in
   let disk = Natix_store.Buffer_pool.disk (Tree_store.buffer_pool store) in
@@ -141,6 +222,7 @@ let execute (tenant : Registry.tenant) req =
     | None -> f ()
     | Some obs -> Natix_obs.Obs.with_context obs ?doc:(doc_of req) ~phase:("serve:" ^ Api.kind req) f
   in
+  let exec_span f = Trace.span_here ("exec." ^ Api.kind req) f in
   let body () =
     guarded tenant (fun () ->
         if tenant.crashed then
@@ -149,22 +231,47 @@ let execute (tenant : Registry.tenant) req =
           match req with
           | Api.Query { doc; path; texts } ->
             Rw_lock.with_read tenant.gate (fun () ->
-                with_ctx (fun () -> run_query tenant ~doc ~path ~texts))
+                exec_span (fun () -> with_ctx (fun () -> run_query tenant ~doc ~path ~texts)))
           | _ ->
             (* Everything else mutates the store or walks shared session
                state (the session engine, the document manager's decoded
                caches), so it gets the gate exclusively. *)
             Rw_lock.with_write tenant.gate (fun () ->
-                with_ctx (fun () -> Natix.Session.exec session req)))
+                exec_span (fun () -> with_ctx (fun () -> Natix.Session.exec session req))))
   in
+  let traced_body () =
+    match trace with
+    | None -> body ()
+    | Some tr ->
+      let io () =
+        let s = Disk.active_stats disk in
+        { Trace.reads = s.Io_stats.reads; writes = s.Io_stats.writes; io_ms = s.Io_stats.sim_ms }
+      in
+      Trace.run tr ~io body
+  in
+  let crashed_before = tenant.crashed in
   Disk.enter_parallel_region disk;
   let resp, io =
     Fun.protect ~finally:(fun () -> Disk.exit_parallel_region disk) (fun () ->
-        Disk.with_stream disk body)
+        Disk.with_stream disk traced_body)
   in
   Mutex.lock tenant.stats_mu;
   Io_stats.add (Disk.stats disk) io;
   Mutex.unlock tenant.stats_mu;
+  (match trace with
+  | None -> ()
+  | Some tr ->
+    record_trace t (Trace.finish tr);
+    (* A request that just crashed its tenant is the flight recorder's
+       moment: dump the ring with the culprit's trace id in the meta
+       line, where a post-mortem starts. *)
+    if tenant.crashed && not crashed_before then (
+      try
+        let oc = open_out (Natix.Session.flight_path ()) in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> Natix.Session.dump_flight ~trace_id:(Trace.trace_id tr) session oc)
+      with _ -> ()));
   resp
 
 (* ---- the worker pool ---------------------------------------------- *)
@@ -210,7 +317,7 @@ let worker t w () =
          bugs in the dispatcher itself — a ticket must always be
          answered or its submitter hangs forever. *)
       let reply =
-        try execute ticket.tenant ticket.req
+        try execute t ?trace:ticket.trace ticket.tenant ticket.req
         with e -> Api.Err (Error.Storage ("dispatcher failure: " ^ Printexc.to_string e))
       in
       answer ticket reply;
@@ -240,6 +347,15 @@ let create ?(config = default_config) registry =
       max_queue = 0;
       stopping = false;
       workers = [];
+      trace_mu = Mutex.create ();
+      trace_seq = 0;
+      reports = [];
+      slow = [];
+      slo =
+        Slo.create
+          ?target_p99_ms:(Option.bind config.trace (fun tc -> tc.slo_target_p99_ms))
+          ();
+      slo_breaches = [];
     }
   in
   t.workers <- List.init config.jobs (fun w -> Domain.spawn (worker t w));
@@ -255,10 +371,58 @@ let stats t =
         running = t.running;
       })
 
-let submit t ~tenant:name req =
+(* Trace accessors: snapshots are oldest-first so exports read in
+   submission order. *)
+let trace_reports t = Mutex.protect t.trace_mu (fun () -> List.rev t.reports)
+let slow_reports t = Mutex.protect t.trace_mu (fun () -> List.rev t.slow)
+let slo_breaches t = Mutex.protect t.trace_mu (fun () -> List.rev t.slo_breaches)
+let slo_snapshot t ~at_ms = Slo.snapshot t.slo ~at_ms
+let set_slo_target t ~tenant ~p99_ms = Slo.set_target t.slo ~tenant ~p99_ms
+
+let server_statted t =
+  let s = stats t in
+  Api.Server_statted
+    {
+      Api.served = s.served;
+      shed = s.shed;
+      max_queue = s.max_queue;
+      queued = s.queued;
+      running = s.running;
+      jobs = t.config.jobs;
+      max_inflight = t.config.max_inflight;
+      queue_depth = t.config.queue_depth;
+    }
+
+let submit ?trace_id t ~tenant:name req =
+  (* The dispatcher's own counters are tenant-independent and answered
+     here, before tenant resolution — they must work even when every
+     tenant is shedding or crashed. *)
+  if req = Api.Server_stats then server_statted t
+  else
   match Registry.find t.registry name with
   | Error e -> Api.Err e
   | Ok tenant -> (
+    let trace =
+      match t.config.trace with
+      | None -> None
+      | Some _ ->
+        (* Client-propagated ids pass through; otherwise assign a
+           sequential one under the connection lock, so inline-mode
+           (jobs = 0) workloads get byte-identical exports run to run. *)
+        let id =
+          match trace_id with
+          | Some id when id <> "" -> id
+          | _ ->
+            with_conn t (fun () ->
+                t.trace_seq <- t.trace_seq + 1;
+                Printf.sprintf "t-%06d" t.trace_seq)
+        in
+        let store = Natix.Session.store tenant.session in
+        let disk = Natix_store.Buffer_pool.disk (Tree_store.buffer_pool store) in
+        Some
+          (Trace.create ~trace_id:id ~tenant:name ~kind:(Api.kind req) ~detail:(detail_of req)
+             ~clock:(global_clock disk))
+    in
     let decision =
       with_conn t (fun () ->
           let shed reason =
@@ -278,7 +442,8 @@ let submit t ~tenant:name req =
               end
               else begin
                 let ticket =
-                  { tenant; req; tmu = Mutex.create (); tcond = Condition.create (); reply = None }
+                  { tenant; req; trace; tmu = Mutex.create (); tcond = Condition.create ();
+                    reply = None }
                 in
                 let n = Array.length t.deques in
                 (* Round-robin with fallback: the per-deque capacity sums
@@ -302,7 +467,7 @@ let submit t ~tenant:name req =
     | `Shed reason -> Api.Overloaded { reason }
     | `Inline ->
       let reply =
-        try execute tenant req
+        try execute t ?trace tenant req
         with e -> Api.Err (Error.Storage ("dispatcher failure: " ^ Printexc.to_string e))
       in
       with_conn t (fun () ->
@@ -352,7 +517,7 @@ module Loopback = struct
     let b = Buffer.create 8 in
     Protocol.write_header (Buffer.add_string b);
     (match Protocol.read_header (reader_of_string (Buffer.contents b)) with
-    | Ok () -> ()
+    | Ok _version -> ()
     | Error msg -> failwith ("loopback header: " ^ msg));
     { server; tenant; seq = 0 }
 
@@ -362,22 +527,23 @@ module Loopback = struct
     match Protocol.read_frame (reader_of_string (Buffer.contents b)) with
     | Ok (Some f) -> (
       match decode f.Protocol.payload with
-      | Ok v -> (f.Protocol.seq, v)
+      | Ok v -> (f.Protocol.seq, f.Protocol.trace_id, v)
       | Error msg -> failwith (Printf.sprintf "loopback %s decode: %s" what msg))
     | Ok None -> failwith (Printf.sprintf "loopback %s: empty stream" what)
     | Error msg -> failwith (Printf.sprintf "loopback %s frame: %s" what msg)
 
-  let call conn req =
+  let call ?trace_id conn req =
     conn.seq <- conn.seq + 1;
-    let seq, req' =
+    let seq, trace_id', req' =
       round "request"
-        (fun w -> Protocol.write_frame w ~seq:conn.seq (Api.encode_request req))
+        (fun w ->
+          Protocol.write_frame w ~seq:conn.seq ?trace_id (Api.encode_request req))
         Api.decode_request
     in
-    let resp = submit conn.server ~tenant:conn.tenant req' in
-    let _, resp' =
+    let resp = submit ?trace_id:trace_id' conn.server ~tenant:conn.tenant req' in
+    let _, _, resp' =
       round "response"
-        (fun w -> Protocol.write_frame w ~seq (Api.encode_response resp))
+        (fun w -> Protocol.write_frame w ~seq ?trace_id:trace_id' (Api.encode_response resp))
         Api.decode_response
     in
     resp'
@@ -410,12 +576,15 @@ let serve_connection t fd =
       Protocol.write_header write;
       match Protocol.read_header read with
       | Error _ -> ()
-      | Ok () -> (
+      | Ok peer -> (
+        (* Both sides frame at the lower of the two advertised versions,
+           so a v1 peer never sees the trace-id field. *)
+        let version = min peer Protocol.version in
         (* First frame: the raw tenant name this connection serves. *)
-        match Protocol.read_frame read with
+        match Protocol.read_frame ~version read with
         | Ok (Some { Protocol.payload = tenant; _ }) ->
           let rec loop () =
-            match Protocol.read_frame read with
+            match Protocol.read_frame ~version read with
             | Ok None -> ()  (* clean EOF *)
             | Error _ -> ()  (* framing broken: the stream cannot resync *)
             | Ok (Some f) ->
@@ -425,9 +594,10 @@ let serve_connection t fd =
               let resp =
                 match Api.decode_request f.Protocol.payload with
                 | Error msg -> Api.Err (Error.Storage ("malformed request: " ^ msg))
-                | Ok req -> submit t ~tenant req
+                | Ok req -> submit ?trace_id:f.Protocol.trace_id t ~tenant req
               in
-              Protocol.write_frame write ~seq:f.Protocol.seq (Api.encode_response resp);
+              Protocol.write_frame write ~version ~seq:f.Protocol.seq
+                ?trace_id:f.Protocol.trace_id (Api.encode_response resp);
               loop ()
           in
           loop ()

@@ -39,15 +39,38 @@
     on the calling domain (admission still applies) — the deterministic
     mode the traffic bench and differential tests build on. *)
 
+(** Tracing knobs, active only when {!config}[.trace] is [Some _]. *)
+type trace_config = {
+  slow_ms : float;
+      (** requests with simulated duration [>= slow_ms] also land in the
+          slow-request log (with their EXPLAIN ANALYZE text for queries);
+          [infinity] disables the slow log *)
+  trace_ring : int;  (** finished reports (and slow entries) kept, newest win *)
+  slo_target_p99_ms : float option;
+      (** default per-tenant p99 latency target; [None] tracks latency
+          windows without breach events *)
+}
+
+(** [{ slow_ms = infinity; trace_ring = 256; slo_target_p99_ms = None }] *)
+val default_trace : trace_config
+
 type config = {
   jobs : int;  (** worker domains; [0] executes inline in {!submit} *)
   max_inflight : int;  (** running + queued admission ceiling *)
   queue_depth : int;  (** queued-only ceiling *)
   shed_on_breach : bool;
       (** turn a tenant's budget-breach latch into [Overloaded] replies *)
+  trace : trace_config option;
+      (** [Some _] traces every admitted request end to end: a
+          {!Natix_trace.Trace.report} per request — queue wait, gate
+          wait, per-operator execution, commit queue/fsync — whose span
+          I/O figures reconcile exactly with the request's private disk
+          stream.  The tracer only {e reads} the simulated clock, so
+          simulated figures are identical with tracing on or off. *)
 }
 
-(** [{ jobs = 4; max_inflight = 64; queue_depth = 32; shed_on_breach = true }] *)
+(** [{ jobs = 4; max_inflight = 64; queue_depth = 32; shed_on_breach = true;
+      trace = None }] *)
 val default_config : config
 
 type stats = {
@@ -64,10 +87,42 @@ val create : ?config:config -> Registry.t -> t
 val registry : t -> Registry.t
 val config : t -> config
 
-(** Dispatch one request for [tenant] and block until its reply. *)
-val submit : t -> tenant:string -> Natix.Api.request -> Natix.Api.response
+(** Dispatch one request for [tenant] and block until its reply.
+
+    [trace_id] names the request's trace when tracing is on (propagated
+    from the wire at protocol v2); when absent the server assigns
+    ["t-NNNNNN"] sequentially under the connection lock, so single-
+    threaded submission yields deterministic ids.
+
+    {!Natix.Api.Server_stats} is answered here, before tenant
+    resolution — it reports on the dispatcher itself and needs no
+    store. *)
+val submit : ?trace_id:string -> t -> tenant:string -> Natix.Api.request -> Natix.Api.response
 
 val stats : t -> stats
+
+(** {2 Trace and SLO introspection}
+
+    All accessors are safe from any thread.  Report lists are capped at
+    [trace_ring] (oldest evicted) and returned oldest-first.  Empty when
+    tracing is off. *)
+
+(** Every finished trace report. *)
+val trace_reports : t -> Natix_trace.Trace.report list
+
+(** Reports whose simulated duration reached [slow_ms]. *)
+val slow_reports : t -> Natix_trace.Trace.report list
+
+(** Edge-triggered SLO breach events, oldest first.  A tenant fires
+    again only after its windowed p99 drops back under target. *)
+val slo_breaches : t -> Natix_mon.Slo.breach list
+
+(** Per-tenant latency window stats as of [at_ms] (the tenant disk's
+    simulated clock). *)
+val slo_snapshot : t -> at_ms:float -> Natix_mon.Slo.stat list
+
+(** Override one tenant's p99 target ([None] clears it). *)
+val set_slo_target : t -> tenant:string -> p99_ms:float option -> unit
 
 (** Drain the queue, answer everything admitted, join the workers.
     Further {!submit}s shed.  Idempotent.  Does {e not} close the
@@ -88,9 +143,10 @@ module Loopback : sig
   val connect : t -> tenant:string -> conn
 
   (** Encode → frame → unframe → decode → {!submit} → encode → frame →
-      unframe → decode.  @raise Failure if the codec or framing does not
-      round-trip (a bug, not an I/O condition). *)
-  val call : conn -> Natix.Api.request -> Natix.Api.response
+      unframe → decode.  [trace_id] rides the v2 frame's trace field,
+      exactly as a socket client's would.  @raise Failure if the codec
+      or framing does not round-trip (a bug, not an I/O condition). *)
+  val call : ?trace_id:string -> conn -> Natix.Api.request -> Natix.Api.response
 end
 
 (** {2 Socket serving}

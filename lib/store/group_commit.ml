@@ -62,42 +62,67 @@ let with_lock t f =
 (* Wait until the commit record at [lsn] is durable.  [Ok ()] when a flush
    (ours or a leader's we shared) covered it; [Error reason] when the
    daemon is poisoned.  Raises only in the leader whose own flush died, so
-   the original crash propagates exactly once. *)
+   the original crash propagates exactly once.
+
+   When the calling domain carries an ambient request trace, commit
+   latency decomposes into two sibling spans: [commit.queue] (entry
+   until our covering flush began — leadership wait, or the whole stay
+   for a follower/fast-path committer) and, for the leader only,
+   [commit.fsync] (the commit-delay window plus the log force).  The
+   tracer never charges the clock, so traced and untraced commits cost
+   identical simulated time. *)
 let commit t ~lsn =
-  with_lock t (fun () ->
-      let result = ref None in
-      while !result = None do
-        match t.poisoned with
-        | Some reason -> result := Some (Error reason)
-        | None ->
-          if t.acked_upto >= lsn then begin
-            t.committed <- t.committed + 1;
-            result := Some (Ok ())
-          end
-          else if not t.flushing then begin
-            t.flushing <- true;
-            Mutex.unlock t.lock;
-            Lock_rank.release Lock_rank.structure;
-            (match
-               if t.commit_delay > 0. then t.charge t.commit_delay;
-               Wal.fsync t.wal
-             with
-            | () ->
-              Lock_rank.acquire Lock_rank.structure;
-              Mutex.lock t.lock;
-              t.flushing <- false;
-              t.acked_upto <- Wal.durable_lsn t.wal;
-              t.flushes <- t.flushes + 1;
-              Condition.broadcast t.cond
-            | exception e ->
-              (* Relock and re-raise; [with_lock]'s finally releases. *)
-              Lock_rank.acquire Lock_rank.structure;
-              Mutex.lock t.lock;
-              t.flushing <- false;
-              t.poisoned <- Some (Printexc.to_string e);
-              Condition.broadcast t.cond;
-              raise e)
-          end
-          else Condition.wait t.cond t.lock
-      done;
-      match !result with Some r -> r | None -> assert false)
+  let trace = Natix_trace.Trace.active () in
+  let tnow () = match trace with None -> 0. | Some tr -> Natix_trace.Trace.clock tr in
+  let entered = tnow () in
+  let led = ref None in
+  let result =
+    with_lock t (fun () ->
+        let result = ref None in
+        while !result = None do
+          match t.poisoned with
+          | Some reason -> result := Some (Error reason)
+          | None ->
+            if t.acked_upto >= lsn then begin
+              t.committed <- t.committed + 1;
+              result := Some (Ok ())
+            end
+            else if not t.flushing then begin
+              t.flushing <- true;
+              Mutex.unlock t.lock;
+              Lock_rank.release Lock_rank.structure;
+              let flush_start = tnow () in
+              (match
+                 if t.commit_delay > 0. then t.charge t.commit_delay;
+                 Wal.fsync t.wal
+               with
+              | () ->
+                led := Some (flush_start, tnow ());
+                Lock_rank.acquire Lock_rank.structure;
+                Mutex.lock t.lock;
+                t.flushing <- false;
+                t.acked_upto <- Wal.durable_lsn t.wal;
+                t.flushes <- t.flushes + 1;
+                Condition.broadcast t.cond
+              | exception e ->
+                (* Relock and re-raise; [with_lock]'s finally releases. *)
+                Lock_rank.acquire Lock_rank.structure;
+                Mutex.lock t.lock;
+                t.flushing <- false;
+                t.poisoned <- Some (Printexc.to_string e);
+                Condition.broadcast t.cond;
+                raise e)
+            end
+            else Condition.wait t.cond t.lock
+        done;
+        match !result with Some r -> r | None -> assert false)
+  in
+  (match trace with
+  | None -> ()
+  | Some tr -> (
+    match !led with
+    | Some (f0, f1) ->
+      Natix_trace.Trace.interval tr "commit.queue" ~t0:entered ~t1:f0;
+      Natix_trace.Trace.interval tr "commit.fsync" ~t0:f0 ~t1:f1
+    | None -> Natix_trace.Trace.interval tr "commit.queue" ~t0:entered ~t1:(tnow ())));
+  result

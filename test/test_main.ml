@@ -3,4 +3,5 @@ let () =
     (Test_store.suites @ Test_obs.suites @ Test_btree.suites @ Test_xml.suites
    @ Test_core.suites @ Test_index.suites @ Test_flat.suites @ Test_workload.suites
    @ Test_integration.suites @ Test_crash.suites @ Test_txn.suites @ Test_query.suites
-   @ Test_prof.suites @ Test_par.suites @ Test_mon.suites @ Test_server.suites)
+   @ Test_prof.suites @ Test_par.suites @ Test_mon.suites @ Test_server.suites
+   @ Test_trace.suites)

@@ -275,6 +275,7 @@ let recorder_tests =
             writes = 7;
             total_ios = 49;
             sim_ms = 123.456;
+            trace_id = Some "t-000042";
           }
         in
         let ops =

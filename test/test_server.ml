@@ -190,18 +190,49 @@ let protocol_tests =
         Protocol.write_frame w ~seq:0xDEADBE "payload \x00 with bytes";
         let read = reader_of_string (Buffer.contents b) in
         (match Protocol.read_header read with
-        | Ok () -> ()
+        | Ok v -> Alcotest.(check int) "advertises v2" 2 v
         | Error msg -> Alcotest.failf "header: %s" msg);
         (match Protocol.read_frame read with
-        | Ok (Some { Protocol.seq = 1; payload = "" }) -> ()
+        | Ok (Some { Protocol.seq = 1; trace_id = None; payload = "" }) -> ()
         | _ -> Alcotest.fail "frame 1");
         (match Protocol.read_frame read with
-        | Ok (Some { Protocol.seq = 0xDEADBE; payload = "payload \x00 with bytes" }) -> ()
+        | Ok (Some { Protocol.seq = 0xDEADBE; trace_id = None; payload = "payload \x00 with bytes" })
+          -> ()
         | _ -> Alcotest.fail "frame 2");
         match Protocol.read_frame read with
         | Ok None -> ()
         | _ -> Alcotest.fail "expected clean EOF");
-    Alcotest.test_case "version and magic mismatches are refused" `Quick (fun () ->
+    Alcotest.test_case "trace ids ride v2 frames and vanish at v1" `Quick (fun () ->
+        let b = Buffer.create 64 in
+        Protocol.write_frame (Buffer.add_string b) ~seq:9 ~trace_id:"t-000009" "body";
+        (match Protocol.read_frame (reader_of_string (Buffer.contents b)) with
+        | Ok (Some { Protocol.seq = 9; trace_id = Some "t-000009"; payload = "body" }) -> ()
+        | _ -> Alcotest.fail "v2 trace round-trip");
+        (* The same payload framed at v1 carries no trace field and is
+           byte-identical to a pre-trace build's frame. *)
+        let v1 = Buffer.create 64 and v1' = Buffer.create 64 in
+        Protocol.write_frame (Buffer.add_string v1) ~version:1 ~seq:9 ~trace_id:"t-000009" "body";
+        Protocol.write_frame (Buffer.add_string v1') ~version:1 ~seq:9 "body";
+        Alcotest.(check string) "v1 drops the trace id" (Buffer.contents v1') (Buffer.contents v1);
+        Alcotest.(check int) "v1 layout: len+seq+payload+crc" (4 + 4 + 4 + 4)
+          (Buffer.length v1);
+        (match Protocol.read_frame ~version:1 (reader_of_string (Buffer.contents v1)) with
+        | Ok (Some { Protocol.seq = 9; trace_id = None; payload = "body" }) -> ()
+        | _ -> Alcotest.fail "v1 round-trip");
+        (* Oversized trace ids are the writer's bug. *)
+        match
+          Protocol.write_frame ignore ~seq:1
+            ~trace_id:(String.make (Protocol.max_trace_id + 1) 'x')
+            "p"
+        with
+        | () -> Alcotest.fail "oversized trace id accepted"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "version negotiation accepts v1 peers, refuses futures" `Quick
+      (fun () ->
+        (match Protocol.read_header (reader_of_string (Protocol.header_for 1)) with
+        | Ok 1 -> ()
+        | Ok v -> Alcotest.failf "v1 header read as v%d" v
+        | Error msg -> Alcotest.failf "v1 peer refused: %s" msg);
         let bad_version =
           let b = Bytes.of_string Protocol.header in
           Bytes.set_uint16_be b 4 (Protocol.version + 1);
@@ -505,7 +536,7 @@ let admission_tests =
         in
         let server =
           Server.create
-            ~config:{ Server.jobs = 1; max_inflight = 1; queue_depth = 4; shed_on_breach = true }
+            ~config:{ Server.default_config with Server.jobs = 1; max_inflight = 1; queue_depth = 4 }
             registry
         in
         let release, holder = hold_gate tenant in
@@ -531,7 +562,7 @@ let admission_tests =
         in
         let server =
           Server.create
-            ~config:{ Server.jobs = 1; max_inflight = 10; queue_depth = 1; shed_on_breach = true }
+            ~config:{ Server.default_config with Server.jobs = 1; max_inflight = 10; queue_depth = 1 }
             registry
         in
         let release, holder = hold_gate tenant in
@@ -754,7 +785,7 @@ let socket_tests =
         let w = write_all client_fd and read = read_exactly client_fd in
         Protocol.write_header w;
         (match Protocol.read_header read with
-        | Ok () -> ()
+        | Ok _version -> ()
         | Error msg -> Alcotest.failf "server header: %s" msg);
         Protocol.write_frame w ~seq:0 "t";
         let call seq req =
