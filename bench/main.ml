@@ -520,14 +520,35 @@ let qb_scan_pool corpus =
 (* Write bench (--write-bench): concurrent transactional writers.  Each
    document commits as one ARIES transaction through the group-commit
    daemon ([Par.load_files_txn]); jobs ∈ {1, 2, 4} worker domains share
-   one file-backed store per run.  The domain schedule makes every I/O
-   counter racy, so the JSON section exports only the document count and
-   [*_wall_s] keys, which bench-diff skips; the table additionally shows
-   how many daemon flushes the commits batched into. *)
-let run_write_bench corpus =
+   one file-backed store per run.  The workload is commit-latency bound
+   by design: 16 small documents (one act each) against a 100 ms
+   batching window, so at jobs=1 every commit pays its own window
+   serially while at jobs>1 concurrent committers ride one leader's
+   flush and the window overlaps other workers' mutation phases — the
+   scaling measures the narrowed structure lock, not the XML parser.
+   The domain schedule makes every I/O counter racy, so the JSON section
+   exports only the document count and the wall-derived keys, which
+   bench-diff skips; the table additionally shows how many daemon
+   flushes the commits batched into. *)
+let run_write_bench () =
   Printf.printf "\nWrite bench - concurrent transactional writers (8K pages, group commit)\n";
-  Printf.printf "%-8s %8s %10s %12s %10s\n" "jobs" "docs" "commits" "gc-flushes" "wall-s";
+  Printf.printf "%-8s %8s %10s %12s %10s %12s\n" "jobs" "docs" "commits" "gc-flushes" "wall-s"
+    "commits/s";
   let page_size = 8192 in
+  (* ≥8 documents so mutation phases on distinct documents overlap and
+     every worker domain stays busy; one-act plays keep the per-document
+     mutation phase well under the batching window. *)
+  let corpus =
+    Natix_workload.Shakespeare.(
+      generate
+        {
+          default_params with
+          plays = 16;
+          acts_per_play = 1;
+          scenes_per_act = (1, 2);
+          speeches_per_scene = (8, 14);
+        })
+  in
   let files =
     List.mapi
       (fun i play -> (Printf.sprintf "play-%d" i, Natix_xml.Xml_print.to_string play))
@@ -536,7 +557,7 @@ let run_write_bench corpus =
   let run jobs =
     let path = Filename.temp_file "natix_bench" ".db" in
     let config =
-      { (Config.default ()) with Config.page_size; commit_delay = 0.5 }
+      { (Config.default ()) with Config.page_size; commit_delay = 100. }
     in
     let disk = Natix_store.Disk.on_file ~page_size path in
     let store = Tree_store.open_store ~config disk in
@@ -552,17 +573,28 @@ let run_write_bench corpus =
     let gc = Option.get (Tree_store.group_commit store) in
     let flushes = Natix_store.Group_commit.flushes gc in
     let committed = Natix_store.Group_commit.committed gc in
+    if committed <> List.length files then
+      failwith
+        (Printf.sprintf "write bench: %d of %d commits acked" committed (List.length files));
     Tree_store.close ~commit:false store;
     Sys.remove path;
     let wal = Natix_store.Recovery.wal_path path in
     if Sys.file_exists wal then Sys.remove wal;
-    Printf.printf "%-8d %8d %10d %12d %10.3f\n" jobs (List.length files) committed flushes wall;
-    (jobs, wall)
+    let rate = if wall > 0. then float_of_int committed /. wall else 0. in
+    Printf.printf "%-8d %8d %10d %12d %10.3f %12.1f\n" jobs (List.length files) committed
+      flushes wall rate;
+    (jobs, wall, rate)
   in
   let runs = List.map run [ 1; 2; 4 ] in
   J.Obj
     (("docs", J.Int (List.length files))
-    :: List.map (fun (jobs, w) -> (Printf.sprintf "jobs%d_wall_s" jobs, J.Float w)) runs)
+    :: List.concat_map
+         (fun (jobs, w, r) ->
+           [
+             (Printf.sprintf "jobs%d_wall_s" jobs, J.Float w);
+             (Printf.sprintf "jobs%d_commits_per_s" jobs, J.Float r);
+           ])
+         runs)
 
 (* Parallel ablation (--jobs N): the same query batch at jobs=1 and
    jobs=N over one shared store.  reads/writes must match exactly — every
@@ -985,7 +1017,7 @@ let () =
   in
   let write_section () =
     if !write_bench then
-      Some (run_write_bench (Shakespeare.generate (Shakespeare.scaled (Float.min !scale 0.25))))
+      Some (run_write_bench ())
     else None
   in
   let serve_corpus () = Shakespeare.generate (Shakespeare.scaled (Float.min !scale 0.1)) in

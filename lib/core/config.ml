@@ -11,6 +11,7 @@ type t = {
   read_retries : int;
   read_ahead : int;
   scan_resistant : bool;
+  arena_batch : int;  (* pages a private document arena grabs per refill *)
   obs : Natix_obs.Obs.t option;
 }
 
@@ -28,6 +29,7 @@ let default () =
     read_retries = 3;
     read_ahead = 0;
     scan_resistant = false;
+    arena_batch = 8;
     obs = None;
   }
 
@@ -58,4 +60,6 @@ let validate t =
   if t.read_retries < 0 || t.read_retries > 1000 then
     invalid_arg "Config: read_retries must be in [0, 1000]";
   if t.read_ahead < 0 || t.read_ahead > 1024 then
-    invalid_arg "Config: read_ahead must be in [0, 1024]"
+    invalid_arg "Config: read_ahead must be in [0, 1024]";
+  if t.arena_batch < 1 || t.arena_batch > 1024 then
+    invalid_arg "Config: arena_batch must be in [1, 1024]"

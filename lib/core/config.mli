@@ -32,10 +32,11 @@ type t = {
           effect on in-memory stores.  Disabling trades crash safety for
           less write amplification. *)
   commit_delay : float;
-      (** Group-commit batching window in simulated milliseconds: a commit
-          leader waits this long before forcing the log, so concurrent
-          committers share one fsync.  [0.] (default) forces immediately.
-          Charged to the I/O model's clock, not wall time. *)
+      (** Group-commit batching window in milliseconds: a commit leader
+          waits this long before forcing the log, so concurrent committers
+          share one fsync.  [0.] (default) forces immediately.  The window
+          is slept on the wall clock (followers genuinely join the batch)
+          and also charged to the I/O model's clock. *)
   read_retries : int;
       (** How many times the buffer pool retries a transiently failing
           page read (fault injection / flaky media) before giving up. *)
@@ -49,6 +50,13 @@ type t = {
           probationary cold segment so full traversals stop evicting the
           hot working set.  [false] (default) keeps the paper's plain
           LRU. *)
+  arena_batch : int;
+      (** Pages a private document arena grabs from the global free-space
+          structure per refill.  Larger batches mean fewer trips through
+          the allocation lock under concurrent writers, at the cost of
+          more pre-formatted (but reusable) pages per document.  The
+          shared arena always refills one page at a time, preserving the
+          paper's sequential allocation pattern exactly. *)
   obs : Natix_obs.Obs.t option;
       (** Observability handle.  [None] (default) disables tracing and
           metrics entirely; every instrumented hot path is guarded by a

@@ -60,6 +60,13 @@ let checkpoint t =
       Option.iter Element_index.refresh t.index;
       Tree_store.checkpoint t.store)
 
+(* Per-document durability (see {!Tree_store.sync_document}): flushes just
+   this document's pages, never blocked by a writer on another document.
+   Pending index postings stay pending — folding them writes shared index
+   pages, which needs the quiet store a full {!checkpoint} has. *)
+let checkpoint_document t doc =
+  in_context t ~doc ~phase:"checkpoint" (fun () -> Tree_store.sync_document t.store doc)
+
 let save_catalog t = Catalog.save (Tree_store.record_manager t.store) (Tree_store.catalog t.store)
 
 let store_document t ~name ?dtd ?(infer_dtd = false) ?order xml =
@@ -72,8 +79,10 @@ let store_document t ~name ?dtd ?(infer_dtd = false) ?order xml =
         let root = Loader.load t.store ~name ?order xml in
         (match dtd with
         | Some d ->
-          Hashtbl.replace (Tree_store.catalog t.store).Catalog.meta (dtd_key name) (Dtd.encode d);
-          save_catalog t
+          (* Journalled inside a transaction (durable with its commit);
+             saved eagerly only for unscoped loads. *)
+          Tree_store.meta_put t.store (dtd_key name) (Dtd.encode d);
+          if not (Tree_store.in_transaction t.store) then save_catalog t
         | None -> ());
         Option.iter Element_index.refresh t.index;
         Stats.record_page_hint t.store name;
@@ -102,9 +111,7 @@ let store_transactional t ~name ?dtd ?infer_dtd ?order xml =
   Tree_store.with_txn t.store ~doc:name (fun () ->
       store_document t ~name ?dtd ?infer_dtd ?order xml)
 
-let document_dtd t doc =
-  Option.map Dtd.decode
-    (Hashtbl.find_opt (Tree_store.catalog t.store).Catalog.meta (dtd_key doc))
+let document_dtd t doc = Option.map Dtd.decode (Tree_store.meta_find t.store (dtd_key doc))
 
 let validate t doc =
   match document_dtd t doc with
@@ -123,9 +130,12 @@ let doc_of_node t node =
   let rec up n = match Tree_store.logical_parent t.store n with Some p -> up p | None -> n in
   let root = up node in
   let rid = (Tree_store.box_of t.store root).Phys_node.rid in
-  Hashtbl.fold
-    (fun name r acc -> if Natix_util.Rid.equal r rid then Some name else acc)
-    (Tree_store.catalog t.store).Catalog.docs None
+  List.find_opt
+    (fun name ->
+      match Tree_store.document_rid t.store name with
+      | Some r -> Natix_util.Rid.equal r rid
+      | None -> false)
+    (Tree_store.list_documents t.store)
 
 let insert_fragment t ~doc point xml =
   let anchor = match point with Tree_store.First_under n -> n | Tree_store.After n -> n in
@@ -173,9 +183,9 @@ let insert_fragment t ~doc point xml =
 let delete_document t doc =
   in_context t ~doc ~phase:"delete" (fun () ->
       Tree_store.delete_document t.store doc;
-      Hashtbl.remove (Tree_store.catalog t.store).Catalog.meta (dtd_key doc);
+      Tree_store.meta_remove t.store (dtd_key doc);
       Stats.drop_page_hint t.store doc;
-      save_catalog t;
+      if not (Tree_store.in_transaction t.store) then save_catalog t;
       Option.iter Element_index.refresh t.index)
 
 let elements_named t name =

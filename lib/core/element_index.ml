@@ -13,6 +13,11 @@ type t = {
   tree : Btree.t;
   name : string;
   pending_changes : Tree_store.record_event Rid.Tbl.t;
+  pending_lock : Mutex.t;
+      (* The change listener fires from every mutating domain — under
+         concurrent transactional writers that is several at once — so
+         the pending table needs a lock.  Leaf: held only for table
+         operations. *)
   mutable in_sync : bool;
       (* Whether the index reflects every store change up to the epoch it
          last stamped (modulo [pending_changes], which the listener keeps
@@ -20,6 +25,10 @@ type t = {
          epoch at open time is behind the store — changes happened while
          no listener was attached — until [rebuild] repairs it. *)
 }
+
+let with_pending t f =
+  Mutex.lock t.pending_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.pending_lock) f
 
 let be32 v =
   let b = Bytes.create 4 in
@@ -51,21 +60,17 @@ let rev_key rid label = "R" ^ rid8 rid ^ be32 label
 let meta_key name = "index:" ^ name
 let epoch_key name = "index:" ^ name ^ ":epoch"
 
-let persisted store ~name =
-  Hashtbl.mem (Tree_store.catalog store).Catalog.meta (meta_key name)
+let persisted store ~name = Tree_store.meta_find store (meta_key name) <> None
 
 (* Stamp the store epoch the index is now consistent with.  In-memory
    only; it becomes durable with the next catalog save, i.e. together
    with the index pages themselves at checkpoint. *)
 let stamp_epoch t =
-  Hashtbl.replace
-    (Tree_store.catalog t.store).Catalog.meta (epoch_key t.name)
+  Tree_store.meta_put t.store (epoch_key t.name)
     (string_of_int (Tree_store.change_epoch t.store))
 
 let stamped_epoch store ~name =
-  Option.bind
-    (Hashtbl.find_opt (Tree_store.catalog store).Catalog.meta (epoch_key name))
-    int_of_string_opt
+  Option.bind (Tree_store.meta_find store (epoch_key name)) int_of_string_opt
 
 let stale t = not t.in_sync
 
@@ -75,26 +80,26 @@ let stale t = not t.in_sync
    is not a tree record and must not be fetched, let alone indexed. *)
 let attach t =
   Tree_store.set_change_listener t.store
-    (Some (fun rid event -> Rid.Tbl.replace t.pending_changes rid event))
+    (Some (fun rid event -> with_pending t (fun () -> Rid.Tbl.replace t.pending_changes rid event)))
 
 let create store ~name =
-  let catalog = Tree_store.catalog store in
-  if Hashtbl.mem catalog.Catalog.meta (meta_key name) then
+  if persisted store ~name then
     invalid_arg (Printf.sprintf "Element_index.create: index %S exists" name);
   let tree = Btree.create (Tree_store.record_manager store) in
-  Hashtbl.replace catalog.Catalog.meta (meta_key name) (rid8 (Btree.root tree));
+  Tree_store.meta_put store (meta_key name) (rid8 (Btree.root tree));
   (* An empty index is consistent with an empty store; on a store that
      already holds documents it is stale until the caller rebuilds. *)
   let in_sync = Tree_store.list_documents store = [] in
-  let t = { store; tree; name; pending_changes = Rid.Tbl.create 64; in_sync } in
+  let t =
+    { store; tree; name; pending_changes = Rid.Tbl.create 64; pending_lock = Mutex.create (); in_sync }
+  in
   if in_sync then stamp_epoch t;
-  Catalog.save (Tree_store.record_manager store) catalog;
+  Catalog.save (Tree_store.record_manager store) (Tree_store.catalog store);
   attach t;
   t
 
 let open_index store ~name =
-  let catalog = Tree_store.catalog store in
-  match Hashtbl.find_opt catalog.Catalog.meta (meta_key name) with
+  match Tree_store.meta_find store (meta_key name) with
   | None -> None
   | Some root ->
     let tree =
@@ -109,7 +114,9 @@ let open_index store ~name =
       | Some e -> e >= Tree_store.change_epoch store
       | None -> false
     in
-    let t = { store; tree; name; pending_changes = Rid.Tbl.create 64; in_sync } in
+    let t =
+      { store; tree; name; pending_changes = Rid.Tbl.create 64; pending_lock = Mutex.create (); in_sync }
+    in
     attach t;
     Some t
 
@@ -179,20 +186,33 @@ let apply_record ?(live = true) t rid =
     current
 
 let refresh t =
-  let rids = Rid.Tbl.fold (fun rid ev acc -> (rid, ev) :: acc) t.pending_changes [] in
-  Rid.Tbl.reset t.pending_changes;
-  List.iter
-    (fun (rid, ev) -> apply_record ~live:(ev = Tree_store.Changed) t rid)
-    rids;
-  (* Only a synced index may advance its stamp: pending changes cover
-     everything since the last stamp, but not changes from before this
-     handle was attached. *)
-  if t.in_sync then stamp_epoch t
+  (* Folding postings writes the B+-tree's shared-arena pages, which no
+     transaction may touch outside its serialised commit section — and
+     pending entries can describe records an in-flight transaction is
+     still rewriting.  While any transaction is active the fold is
+     deferred (the pending table keeps accumulating); the next refresh
+     on a quiet store — at the latest, the one inside [checkpoint] —
+     folds everything. *)
+  if Tree_store.active_txns t.store = 0 && not (Tree_store.in_transaction t.store) then begin
+    let rids =
+      with_pending t (fun () ->
+          let rids = Rid.Tbl.fold (fun rid ev acc -> (rid, ev) :: acc) t.pending_changes [] in
+          Rid.Tbl.reset t.pending_changes;
+          rids)
+    in
+    List.iter
+      (fun (rid, ev) -> apply_record ~live:(ev = Tree_store.Changed) t rid)
+      rids;
+    (* Only a synced index may advance its stamp: pending changes cover
+       everything since the last stamp, but not changes from before this
+       handle was attached. *)
+    if t.in_sync then stamp_epoch t
+  end
 
-let pending t = Rid.Tbl.length t.pending_changes
+let pending t = with_pending t (fun () -> Rid.Tbl.length t.pending_changes)
 
 let rebuild t =
-  Rid.Tbl.reset t.pending_changes;
+  with_pending t (fun () -> Rid.Tbl.reset t.pending_changes);
   Btree.clear t.tree;
   List.iter
     (fun doc ->

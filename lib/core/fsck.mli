@@ -4,7 +4,10 @@
     stopping at the first: page trailers (checksum and page-id stamp),
     the slotted layout of every page, every document's physical tree
     (cached sizes, parent RIDs, proxy resolution, scaffolding invariants),
-    and the element index's B-tree invariants.
+    the element index's B-tree invariants, and page ownership tags against
+    the catalog's arena registry (every private arena claimed by exactly
+    one document; every record homed on a page tagged with its document's
+    arena; no orphaned tags left by a crashed writer).
 
     Note that opening a store already runs {!Natix_store.Recovery}, so by
     the time [run] sees a crashed store its recoverable damage has been

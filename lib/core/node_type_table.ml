@@ -37,46 +37,64 @@ let tag_of_int = function
   | 9 -> Tag_uri
   | n -> invalid_arg (Printf.sprintf "Node_type_table: bad content tag %d" n)
 
+(* Shared across all transactions; interning is an append-only mutation
+   guarded by an internal leaf mutex (a holder never takes another
+   lock, so the mutex is outside any wait cycle). *)
 type t = {
+  lock : Mutex.t;
   by_pair : (int * Label.t, int) Hashtbl.t;
   mutable by_index : (content_tag * Label.t) array;
   mutable count : int;
 }
 
-let create () = { by_pair = Hashtbl.create 64; by_index = Array.make 64 (Tag_aggregate, 0); count = 0 }
+let create () =
+  {
+    lock = Mutex.create ();
+    by_pair = Hashtbl.create 64;
+    by_index = Array.make 64 (Tag_aggregate, 0);
+    count = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let index t tag label =
   let key = (tag_to_int tag, label) in
-  match Hashtbl.find_opt t.by_pair key with
-  | Some i -> i
-  | None ->
-    if t.count >= 0x10000 then failwith "Node_type_table: full (65536 entries)";
-    if t.count = Array.length t.by_index then begin
-      let bigger = Array.make (2 * t.count) (Tag_aggregate, 0) in
-      Array.blit t.by_index 0 bigger 0 t.count;
-      t.by_index <- bigger
-    end;
-    let i = t.count in
-    Hashtbl.replace t.by_pair key i;
-    t.by_index.(i) <- (tag, label);
-    t.count <- t.count + 1;
-    i
+  locked t (fun () ->
+      match Hashtbl.find_opt t.by_pair key with
+      | Some i -> i
+      | None ->
+        if t.count >= 0x10000 then failwith "Node_type_table: full (65536 entries)";
+        if t.count = Array.length t.by_index then begin
+          let bigger = Array.make (2 * t.count) (Tag_aggregate, 0) in
+          Array.blit t.by_index 0 bigger 0 t.count;
+          t.by_index <- bigger
+        end;
+        let i = t.count in
+        Hashtbl.replace t.by_pair key i;
+        t.by_index.(i) <- (tag, label);
+        t.count <- t.count + 1;
+        i)
 
 let entry t i =
-  if i < 0 || i >= t.count then invalid_arg (Printf.sprintf "Node_type_table: unknown index %d" i)
-  else t.by_index.(i)
+  locked t (fun () ->
+      if i < 0 || i >= t.count then
+        invalid_arg (Printf.sprintf "Node_type_table: unknown index %d" i)
+      else t.by_index.(i))
 
-let size t = t.count
+let size t = locked t (fun () -> t.count)
 
 let encode t =
-  let b = Bytes.create (2 + (t.count * 5)) in
-  Bytes_util.set_u16 b 0 t.count;
-  for i = 0 to t.count - 1 do
-    let tag, label = t.by_index.(i) in
-    Bytes_util.set_u8 b (2 + (5 * i)) (tag_to_int tag);
-    Bytes_util.set_u32 b (2 + (5 * i) + 1) label
-  done;
-  Bytes.unsafe_to_string b
+  locked t (fun () ->
+      let b = Bytes.create (2 + (t.count * 5)) in
+      Bytes_util.set_u16 b 0 t.count;
+      for i = 0 to t.count - 1 do
+        let tag, label = t.by_index.(i) in
+        Bytes_util.set_u8 b (2 + (5 * i)) (tag_to_int tag);
+        Bytes_util.set_u32 b (2 + (5 * i) + 1) label
+      done;
+      Bytes.unsafe_to_string b)
 
 let decode s =
   let b = Bytes.unsafe_of_string s in

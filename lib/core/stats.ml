@@ -80,18 +80,11 @@ let pages_key doc = "stats:pages:" ^ doc
 let record_page_hint store doc =
   match Tree_store.document_rid store doc with
   | None -> ()
-  | Some _ ->
-    Hashtbl.replace
-      (Tree_store.catalog store).Catalog.meta (pages_key doc)
-      (string_of_int (document store doc).pages)
+  | Some _ -> Tree_store.meta_put store (pages_key doc) (string_of_int (document store doc).pages)
 
-let drop_page_hint store doc =
-  Hashtbl.remove (Tree_store.catalog store).Catalog.meta (pages_key doc)
+let drop_page_hint store doc = Tree_store.meta_remove store (pages_key doc)
 
-let page_hint store doc =
-  Option.bind
-    (Hashtbl.find_opt (Tree_store.catalog store).Catalog.meta (pages_key doc))
-    int_of_string_opt
+let page_hint store doc = Option.bind (Tree_store.meta_find store (pages_key doc)) int_of_string_opt
 
 let pp_doc ppf s =
   Format.fprintf ppf

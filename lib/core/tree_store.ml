@@ -5,15 +5,32 @@ exception Unsplittable of string
 
 type record_event = Changed | Dropped
 
+(* One in-flight transaction's catalog footprint.  [journal] records the
+   {e previous} binding of every catalog entry the transaction replaced
+   or removed (newest first), so a concurrent committer can persist a
+   catalog image with this transaction's in-flight changes reverted: a
+   commit must never make a possible loser's documents durable.  The
+   per-document latch keeps journals disjoint — a catalog key (a
+   document binding, its DTD, its arena id, its stats hint) is only ever
+   touched by the one transaction holding that document's latch. *)
+type journal_op =
+  | Doc_put of string * Rid.t option  (* name, previous binding *)
+  | Meta_put of string * string option  (* key, previous binding *)
+
+type mutation_ctx = { doc : string; mutable journal : journal_op list }
+
 (* Transaction machinery, shared by value across {!reader} copies (the
-   field holds the same object).  One transaction is in its mutation
-   phase at a time — [struct_lock] serialises them store-wide, which is
-   what makes reverse-order before-image undo sound: an uncommitted
-   transaction's records are always a suffix of the log.  Per-document
-   latches (held across the whole transaction, commit wait included)
-   give writers on different documents their concurrency: parsing and
-   group-commit fsync waits overlap even though mutation phases do
-   not. *)
+   field holds the same object).  Transactions on documents with private
+   allocation arenas run their mutation phases {e concurrently}: their
+   page sets are disjoint by construction (each allocates only from its
+   own arena), which is what keeps page-level redo/undo sound with
+   several uncommitted writers in the log.  [struct_lock] shrinks to the
+   shared-state sections — the begin step (transaction-mode transition
+   and Begin record) and the commit step (catalog save on shared pages,
+   update/commit records) — plus the whole mutation phase of writers on
+   shared-arena documents, whose pages are not disjoint from anyone's.
+   Per-document latches (held across the whole transaction, commit wait
+   included) serialise writers on the same document. *)
 type txn_state = {
   struct_lock : Mutex.t;  (* rank {!Lock_rank.structure} *)
   latches_lock : Mutex.t;  (* guards [doc_latches]; taken holding nothing *)
@@ -21,7 +38,9 @@ type txn_state = {
   counter : int Atomic.t;  (* next transaction id; 0 is the implicit batch *)
   active : int Atomic.t;  (* transactions between begin and commit ack *)
   poisoned : string option Atomic.t;
-  mutable mutator : Domain.id option;  (* domain in its mutation phase *)
+  mutators_lock : Mutex.t;  (* guards the two tables below; leaf *)
+  mutators : (int, mutation_ctx) Hashtbl.t;  (* domain id -> its transaction *)
+  doc_active : (string, int) Hashtbl.t;  (* document -> in-flight txns on it *)
 }
 
 type t = {
@@ -31,11 +50,18 @@ type t = {
   gc : Group_commit.t option;
   txns : txn_state;
   catalog : Catalog.t;
+  catalog_lock : Mutex.t;
+      (* Guards the catalog's [docs]/[meta] hashtables (concurrent
+         transactions update disjoint keys, but OCaml hashtables need
+         external synchronisation even then).  Leaf: held only for table
+         operations and journal pushes, never while taking another
+         lock. *)
   cache : Phys_node.box Rid.Tbl.t;
-  mutable splits : int;
-  mutable merges : int;
+  cache_lock : Mutex.t;  (* guards [cache] table operations; leaf *)
+  splits : int Atomic.t;
+  merges : int Atomic.t;
   mutable listener : (Rid.t -> record_event -> unit) option;
-  mutable change_epoch : int;
+  change_epoch : int Atomic.t;
       (* Count of record-level changes over the store's lifetime, persisted
          in the catalog at [sync].  Secondary structures stamp the epoch
          they are consistent with, so staleness (changes made while their
@@ -43,7 +69,10 @@ type t = {
   obs : Natix_obs.Obs.t option;
   mutable last_decision : Split_matrix.behaviour;
       (* Matrix decision of the insertion that is currently running; a
-         record split triggered by that insertion reports it. *)
+         record split triggered by that insertion reports it.  Plain
+         mutable on purpose: concurrent writers race on it, but it only
+         flavours the decision label of split events, and each domain
+         reads back a value some insertion just wrote. *)
 }
 
 type payload =
@@ -62,8 +91,8 @@ let record_manager t = t.rm
 let buffer_pool t = t.pool
 let io_stats t = Disk.stats (Buffer_pool.disk t.pool)
 let max_record_size t = Config.max_record_size t.config
-let split_count t = t.splits
-let merge_count t = t.merges
+let split_count t = Atomic.get t.splits
+let merge_count t = Atomic.get t.merges
 let obs t = t.obs
 
 let event_decision : Split_matrix.behaviour -> Natix_obs.Event.decision = function
@@ -73,11 +102,68 @@ let event_decision : Split_matrix.behaviour -> Natix_obs.Event.decision = functi
 let label t name = Name_pool.intern t.catalog.Catalog.names name
 let set_change_listener t listener = t.listener <- listener
 
-let change_epoch t = t.change_epoch
+let change_epoch t = Atomic.get t.change_epoch
 let epoch_meta_key = "store:epoch"
 
+(* Leaf locks: held only around a table operation, never while acquiring
+   anything else, so they stay outside the rank order. *)
+let with_leaf_lock m f =
+  Lock_rank.acquire Lock_rank.unordered;
+  Mutex.lock m;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.unlock m;
+      Lock_rank.release Lock_rank.unordered)
+    f
+
+let with_cache t f = with_leaf_lock t.cache_lock f
+let with_catalog_lock t f = with_leaf_lock t.catalog_lock f
+let with_mutators t f = with_leaf_lock t.txns.mutators_lock f
+let self_id () = (Domain.self () :> int)
+
+let current_mutator t = with_mutators t (fun () -> Hashtbl.find_opt t.txns.mutators (self_id ()))
+let in_transaction t = current_mutator t <> None
+
+(* Journal-aware catalog access.  Inside a transaction the previous
+   binding is pushed onto the calling transaction's journal before the
+   table changes; outside, the tables are updated directly (the implicit
+   batch persists them at the next sync). *)
+let journal t op =
+  with_mutators t (fun () ->
+      match Hashtbl.find_opt t.txns.mutators (self_id ()) with
+      | Some m -> m.journal <- op :: m.journal
+      | None -> ())
+
+let meta_find t key = with_catalog_lock t (fun () -> Hashtbl.find_opt t.catalog.Catalog.meta key)
+
+let meta_put t key value =
+  with_catalog_lock t (fun () ->
+      journal t (Meta_put (key, Hashtbl.find_opt t.catalog.Catalog.meta key));
+      Hashtbl.replace t.catalog.Catalog.meta key value)
+
+let meta_remove t key =
+  with_catalog_lock t (fun () ->
+      match Hashtbl.find_opt t.catalog.Catalog.meta key with
+      | None -> ()
+      | Some _ as prev ->
+        journal t (Meta_put (key, prev));
+        Hashtbl.remove t.catalog.Catalog.meta key)
+
+let doc_put t name rid =
+  with_catalog_lock t (fun () ->
+      journal t (Doc_put (name, Hashtbl.find_opt t.catalog.Catalog.docs name));
+      Hashtbl.replace t.catalog.Catalog.docs name rid)
+
+let doc_remove t name =
+  with_catalog_lock t (fun () ->
+      journal t (Doc_put (name, Hashtbl.find_opt t.catalog.Catalog.docs name));
+      Hashtbl.remove t.catalog.Catalog.docs name)
+
+let arena_meta_key doc = "arena:" ^ doc
+let document_arena t doc = Option.bind (meta_find t (arena_meta_key doc)) int_of_string_opt
+
 let notify t rid event =
-  t.change_epoch <- t.change_epoch + 1;
+  Atomic.incr t.change_epoch;
   match t.listener with
   | Some f -> f rid event
   | None -> ()
@@ -120,7 +206,7 @@ let open_store ?(config = Config.default ()) disk =
     Buffer_pool.create ~disk ~bytes:config.buffer_bytes ?wal ~read_retries:config.read_retries
       ~read_ahead:config.read_ahead ~scan_resistant:config.scan_resistant ()
   in
-  let seg = Segment.create pool in
+  let seg = Segment.create ~batch:config.arena_batch pool in
   let rm = Record_manager.create seg in
   let catalog = Catalog.load rm in
   let change_epoch =
@@ -141,14 +227,18 @@ let open_store ?(config = Config.default ()) disk =
         counter = Atomic.make 1;
         active = Atomic.make 0;
         poisoned = Atomic.make None;
-        mutator = None;
+        mutators_lock = Mutex.create ();
+        mutators = Hashtbl.create 8;
+        doc_active = Hashtbl.create 8;
       };
     catalog;
+    catalog_lock = Mutex.create ();
     cache = Rid.Tbl.create 1024;
-    splits = 0;
-    merges = 0;
+    cache_lock = Mutex.create ();
+    splits = Atomic.make 0;
+    merges = Atomic.make 0;
     listener = None;
-    change_epoch;
+    change_epoch = Atomic.make change_epoch;
     obs = Disk.obs disk;
     last_decision = Split_matrix.Other;
   }
@@ -167,10 +257,11 @@ let reader t =
   {
     t with
     cache = Rid.Tbl.create 1024;
+    cache_lock = Mutex.create ();
     listener = None;
     obs = None;
-    splits = 0;
-    merges = 0;
+    splits = Atomic.make 0;
+    merges = Atomic.make 0;
     last_decision = Split_matrix.Other;
   }
 
@@ -224,10 +315,11 @@ let with_struct_lock t f =
    anything yet (Begin is logged only inside the mutation phase). *)
 let guard_mutate t =
   check_usable t;
-  if Atomic.get t.txns.active > 0 && t.txns.mutator <> Some (Domain.self ()) then
+  let own_txn = in_transaction t in
+  if (not own_txn) && Atomic.get t.txns.active > 0 then
     storage_error "unscoped mutation while %d transaction(s) are in flight"
       (Atomic.get t.txns.active);
-  if t.txns.mutator <> Some (Domain.self ()) && Buffer_pool.txn_mode t.pool then
+  if (not own_txn) && Buffer_pool.txn_mode t.pool then
     with_struct_lock t (fun () ->
         if Atomic.get t.txns.active > 0 then
           storage_error "unscoped mutation while %d transaction(s) are in flight"
@@ -249,14 +341,58 @@ let doc_latch t doc =
   Lock_rank.release Lock_rank.unordered;
   m
 
+(* Persist the catalog as the committing transaction sees it: a snapshot
+   of the live tables with every {e other} in-flight transaction's
+   changes reverted.  Each journal records previous bindings newest
+   first, so replaying it front to back lands on the binding from before
+   that transaction started; journals of different transactions touch
+   disjoint keys (the document latch guarantees it), so the replay order
+   across transactions is immaterial.  The name pool and type table are
+   shared and append-only: entries interned by in-flight transactions
+   may over-persist, which is harmless — nothing dangles, and the
+   interning is idempotent.  Runs under the structure lock (catalog
+   chain pages are shared). *)
+let save_catalog_filtered t =
+  let self = self_id () in
+  let image =
+    with_catalog_lock t (fun () ->
+        let docs = Hashtbl.copy t.catalog.Catalog.docs in
+        let meta = Hashtbl.copy t.catalog.Catalog.meta in
+        Hashtbl.replace meta epoch_meta_key (string_of_int (Atomic.get t.change_epoch));
+        with_mutators t (fun () ->
+            Hashtbl.iter
+              (fun dom (m : mutation_ctx) ->
+                if dom <> self then
+                  List.iter
+                    (function
+                      | Doc_put (name, None) -> Hashtbl.remove docs name
+                      | Doc_put (name, Some rid) -> Hashtbl.replace docs name rid
+                      | Meta_put (key, None) -> Hashtbl.remove meta key
+                      | Meta_put (key, Some v) -> Hashtbl.replace meta key v)
+                    m.journal)
+              t.txns.mutators);
+        { t.catalog with Catalog.docs; meta })
+  in
+  Catalog.save t.rm image
+
 (* Run [f] as a transaction on document [doc].  The document latch spans
-   the whole call (two transactions on one document serialise entirely);
-   the structure lock spans only the mutation phase, so the commit wait —
-   where group commit batches fsyncs — overlaps with other writers.  Any
-   failure (an exception out of [f], a crashed or poisoned commit) leaves
-   the in-memory state inconsistent with no way to roll it back in place,
-   so it poisons the store: every later operation gets a typed error, and
-   reopening runs recovery, which undoes the loser from the log. *)
+   the whole call (two transactions on one document serialise entirely).
+   A document with a private allocation arena — any document created
+   inside a transaction — runs the {e concurrent} protocol: the
+   structure lock is held only around the begin step (transaction-mode
+   transition, Begin record) and the commit step (catalog save on shared
+   pages, update/commit records), and the mutation phase itself runs
+   under nothing but the document latch, because every page it writes
+   belongs to the document's own arena.  A pre-existing document in the
+   shared arena keeps the legacy protocol — structure lock across the
+   whole mutation phase — since its pages are not disjoint from other
+   shared-arena writers'.  Either way the commit-fsync wait runs outside
+   every lock but the latch, so group commit batches concurrent
+   committers into one log force.  Any failure (an exception out of [f],
+   a crashed or poisoned commit) leaves the in-memory state inconsistent
+   with no way to roll it back in place, so it poisons the store: every
+   later operation gets a typed error, and reopening runs recovery,
+   which undoes the loser from the log. *)
 let with_txn t ~doc f =
   check_usable t;
   let gc =
@@ -267,45 +403,75 @@ let with_txn t ~doc f =
   let latch = doc_latch t doc in
   Lock_rank.acquire Lock_rank.doc;
   Mutex.lock latch;
+  (* Decided under the latch, so a transaction that creates [doc] (and
+     gives it a private arena) cannot race the classification. *)
+  let serialize =
+    document_arena t doc = None
+    && with_catalog_lock t (fun () -> Hashtbl.mem t.catalog.Catalog.docs doc)
+  in
   Atomic.incr t.txns.active;
+  with_mutators t (fun () ->
+      Hashtbl.replace t.txns.mutators (self_id ()) { doc; journal = [] };
+      Hashtbl.replace t.txns.doc_active doc
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.txns.doc_active doc)));
   let release_doc () =
+    with_mutators t (fun () ->
+        Hashtbl.remove t.txns.mutators (self_id ());
+        match Hashtbl.find_opt t.txns.doc_active doc with
+        | Some n when n > 1 -> Hashtbl.replace t.txns.doc_active doc (n - 1)
+        | Some _ | None -> Hashtbl.remove t.txns.doc_active doc);
     Atomic.decr t.txns.active;
     Mutex.unlock latch;
     Lock_rank.release Lock_rank.doc
   in
+  (* The first transaction seals whatever the implicit batch has done so
+     far; from here until the next checkpoint, write-backs log
+     transactional update records instead of batch pre-images. *)
+  let begin_section () =
+    check_usable t;
+    if not (Buffer_pool.txn_mode t.pool) then Buffer_pool.checkpoint t.pool;
+    let txn = Atomic.fetch_and_add t.txns.counter 1 in
+    Buffer_pool.txn_begin t.pool ~txn
+  in
+  (* The catalog (documents, name pool, meta) must commit with the
+     transaction that grew it: labels interned during [f] live only in
+     memory until saved, and recovery redoes data pages against whatever
+     catalog image the log carries. *)
+  let commit_section () =
+    check_usable t;
+    save_catalog_filtered t;
+    let lsn = Buffer_pool.txn_commit_prep t.pool in
+    (* The commit record is logged: this transaction's catalog changes are
+       now on the winning side of recovery.  Clear the journal while still
+       inside the structure lock — the mutator stays registered until the
+       group-commit fsync acknowledges, and a concurrent committer's
+       filtered save in that window must include (not revert) what is
+       already committed, or its higher-LSN catalog image would erase this
+       document from the replayed store. *)
+    with_mutators t (fun () ->
+        match Hashtbl.find_opt t.txns.mutators (self_id ()) with
+        | Some m -> m.journal <- []
+        | None -> ());
+    lsn
+  in
   let mutation () =
-    Lock_rank.acquire Lock_rank.structure;
-    Mutex.lock t.txns.struct_lock;
-    let release_struct () =
-      t.txns.mutator <- None;
-      Mutex.unlock t.txns.struct_lock;
-      Lock_rank.release Lock_rank.structure
-    in
     match
-      check_usable t;
-      t.txns.mutator <- Some (Domain.self ());
-      (* The first transaction seals whatever the implicit batch has done
-         so far; from here until the next checkpoint, write-backs log
-         transactional update records instead of batch pre-images. *)
-      if not (Buffer_pool.txn_mode t.pool) then Buffer_pool.checkpoint t.pool;
-      let txn = Atomic.fetch_and_add t.txns.counter 1 in
-      Buffer_pool.txn_begin t.pool ~txn;
-      let result = f () in
-      (* The catalog (documents, name pool, meta) must commit with the
-         transaction that grew it: labels interned during [f] live only in
-         memory until saved, and recovery redoes data pages against
-         whatever catalog image the log carries. *)
-      Hashtbl.replace t.catalog.Catalog.meta epoch_meta_key (string_of_int t.change_epoch);
-      Catalog.save t.rm t.catalog;
-      let lsn = Buffer_pool.txn_commit_prep t.pool in
-      (result, lsn)
+      if serialize then
+        with_struct_lock t (fun () ->
+            begin_section ();
+            let result = f () in
+            let lsn = commit_section () in
+            (result, lsn))
+      else begin
+        with_struct_lock t begin_section;
+        let result = f () in
+        let lsn = with_struct_lock t commit_section in
+        (result, lsn)
+      end
     with
-    | pair ->
-      release_struct ();
-      pair
+    | pair -> pair
     | exception e ->
       poison t (Printexc.to_string e);
-      release_struct ();
       raise e
   in
   match mutation () with
@@ -345,7 +511,9 @@ let sync t =
       if Atomic.get t.txns.active > 0 then
         storage_error "checkpoint rejected: %d transaction(s) in flight"
           (Atomic.get t.txns.active);
-      Hashtbl.replace t.catalog.Catalog.meta epoch_meta_key (string_of_int t.change_epoch);
+      with_catalog_lock t (fun () ->
+          Hashtbl.replace t.catalog.Catalog.meta epoch_meta_key
+            (string_of_int (Atomic.get t.change_epoch)));
       Catalog.save t.rm t.catalog;
       Buffer_pool.checkpoint t.pool);
   (* The durability point also flushes buffered trace output, so a JSONL
@@ -354,6 +522,46 @@ let sync t =
   match t.obs with None -> () | Some obs -> Natix_obs.Obs.flush obs
 
 let checkpoint = sync
+
+let doc_active_count t doc =
+  with_mutators t (fun () ->
+      Option.value ~default:0 (Hashtbl.find_opt t.txns.doc_active doc))
+
+(* Per-document durability: write the document's pages home without the
+   store-wide quiesce {!sync} needs, so an idle document's checkpoint is
+   never blocked (or rejected) because an unrelated writer is mid-
+   transaction.  Validation is against {e per-document} transaction
+   state — only a transaction on [doc] itself rejects the call.  Unlike
+   {!sync} this does not truncate the WAL (that demands a store-wide
+   quiet point) and does not persist the catalog (every transactional
+   commit already does; unscoped work commits at the next [sync]); it is
+   purely the flush that moves the document's data from the pool to its
+   pages.  Safe against concurrent writers without any lock: their pages
+   live in other arenas, so the flush list never intersects their
+   working sets, and even a transaction racing onto [doc] after the
+   check is only {e stolen} from — [Buffer_pool.flush_pages] logs the
+   covering update records before any page goes home. *)
+let sync_document t doc =
+  check_usable t;
+  let reject () =
+    storage_error "checkpoint of %S rejected: a transaction on it is in flight" doc
+  in
+  if doc_active_count t doc > 0 then reject ();
+  let seg = Record_manager.segment t.rm in
+  let pages =
+    match document_arena t doc with
+    | Some arena -> Segment.arena_pages seg arena
+    | None ->
+      if with_catalog_lock t (fun () -> Hashtbl.mem t.catalog.Catalog.docs doc) then
+        (* Shared-arena document: its pages are not separable from the
+           rest of the shared arena, so flush all of it. *)
+        Segment.arena_pages seg 0
+      else storage_error "checkpoint of %S rejected: no such document" doc
+  in
+  if doc_active_count t doc > 0 then reject ();
+  Buffer_pool.flush_pages t.pool pages
+
+let checkpoint_document = sync_document
 
 let close ?(commit = true) t =
   (* A poisoned store must not checkpoint: flushing and truncating the log
@@ -367,20 +575,21 @@ let close ?(commit = true) t =
   Disk.close (Buffer_pool.disk t.pool)
 
 let clear_buffers t =
-  Rid.Tbl.iter
-    (fun _ (box : Phys_node.box) ->
-      match box.root.Phys_node.box with
-      | Some b when b == box -> box.root.Phys_node.box <- None
-      | Some _ | None -> ())
-    t.cache;
-  Rid.Tbl.reset t.cache;
+  with_cache t (fun () ->
+      Rid.Tbl.iter
+        (fun _ (box : Phys_node.box) ->
+          match box.root.Phys_node.box with
+          | Some b when b == box -> box.root.Phys_node.box <- None
+          | Some _ | None -> ())
+        t.cache;
+      Rid.Tbl.reset t.cache);
   Buffer_pool.clear t.pool
 
 (* ------------------------------------------------------------------ *)
 (* Record access                                                       *)
 
 let fetch t rid : Phys_node.box =
-  match Rid.Tbl.find_opt t.cache rid with
+  match with_cache t (fun () -> Rid.Tbl.find_opt t.cache rid) with
   | Some box ->
     (* Charge the page access even on a decoded-cache hit, so the I/O
        pattern matches a system that re-reads the record image. *)
@@ -391,7 +600,7 @@ let fetch t rid : Phys_node.box =
     let root, parent_rid = Node_codec.decode t.catalog.Catalog.types body in
     let box = { Phys_node.rid; root; parent_rid } in
     root.Phys_node.box <- Some box;
-    Rid.Tbl.replace t.cache rid box;
+    with_cache t (fun () -> Rid.Tbl.replace t.cache rid box);
     box
 
 let flush_box t (box : Phys_node.box) =
@@ -401,7 +610,7 @@ let flush_box t (box : Phys_node.box) =
 
 (* Repoint the on-disk parent RID of a subtree record (cheap patch). *)
 let set_parent_rid t rid parent =
-  (match Rid.Tbl.find_opt t.cache rid with
+  (match with_cache t (fun () -> Rid.Tbl.find_opt t.cache rid) with
   | Some box -> box.parent_rid <- parent
   | None -> ());
   let b = Bytes.create Rid.encoded_size in
@@ -416,19 +625,19 @@ let rec iter_proxies (n : Phys_node.t) f =
 
 (* Create a record for [root] (which must fit) and adopt its proxy
    targets. *)
-let new_record t ?near ?policy ~parent_rid root : Phys_node.box =
+let new_record t ?owner ?near ?policy ~parent_rid root : Phys_node.box =
   let body = Node_codec.encode t.catalog.Catalog.types ~parent_rid root in
-  let rid = Record_manager.insert t.rm ?near ?policy body in
+  let rid = Record_manager.insert t.rm ?owner ?near ?policy body in
   let box = { Phys_node.rid; root; parent_rid } in
   root.Phys_node.box <- Some box;
-  Rid.Tbl.replace t.cache rid box;
+  with_cache t (fun () -> Rid.Tbl.replace t.cache rid box);
   iter_proxies root (fun target -> set_parent_rid t target rid);
   notify t rid Changed;
   box
 
 let drop_record t (box : Phys_node.box) =
   Record_manager.delete t.rm box.rid;
-  Rid.Tbl.remove t.cache box.rid;
+  with_cache t (fun () -> Rid.Tbl.remove t.cache box.rid);
   notify t box.rid Dropped;
   (match box.root.Phys_node.box with
   | Some b when b == box -> box.root.Phys_node.box <- None
@@ -747,7 +956,7 @@ let partition_record t (box : Phys_node.box) ~dest ~materialize =
   process path None;
   if !progress = 0 then
     raise (Unsplittable "split produced no partitions (Split Matrix pins everything)");
-  t.splits <- t.splits + 1;
+  Atomic.incr t.splits;
   match t.obs with
   | None -> ()
   | Some obs ->
@@ -876,7 +1085,7 @@ let rec try_merge t (box : Phys_node.box) =
         drop_record t tbox;
         List.iteri (fun i n -> Phys_node.insert_child host ~index:(idx + i) n) content;
         List.iter (fun n -> iter_proxies n (fun target -> set_parent_rid t target box.rid)) content;
-        t.merges <- t.merges + 1;
+        Atomic.incr t.merges;
         try_merge t box
     end
     else flush_box t box
@@ -1025,17 +1234,30 @@ let update_text t (node : Phys_node.t) s =
 (* ------------------------------------------------------------------ *)
 (* Documents                                                           *)
 
-let document_rid t name = Hashtbl.find_opt t.catalog.Catalog.docs name
+let document_rid t name = with_catalog_lock t (fun () -> Hashtbl.find_opt t.catalog.Catalog.docs name)
 
 let create_document t ~name ~root =
   guard_mutate t;
-  if Hashtbl.mem t.catalog.Catalog.docs name then
+  if with_catalog_lock t (fun () -> Hashtbl.mem t.catalog.Catalog.docs name) then
     invalid_arg (Printf.sprintf "Tree_store.create_document: %S exists" name);
   let root_node = Phys_node.aggregate (label t root) [] in
-  let box = new_record t ~parent_rid:Rid.null root_node in
-  Hashtbl.replace t.catalog.Catalog.docs name box.rid;
-  Catalog.save t.rm t.catalog;
-  root_node
+  if in_transaction t then begin
+    (* Transactional creation: the document gets a private allocation
+       arena, so its mutation phase (this one and every later one) never
+       writes a page any other writer can touch.  Both catalog entries
+       are journalled; they become durable with the commit. *)
+    let arena = Segment.fresh_arena (Record_manager.segment t.rm) in
+    meta_put t (arena_meta_key name) (string_of_int arena);
+    let box = new_record t ~owner:arena ~parent_rid:Rid.null root_node in
+    doc_put t name box.rid;
+    root_node
+  end
+  else begin
+    let box = new_record t ~parent_rid:Rid.null root_node in
+    doc_put t name box.rid;
+    Catalog.save t.rm t.catalog;
+    root_node
+  end
 
 let open_document t name =
   match document_rid t name with
@@ -1043,7 +1265,8 @@ let open_document t name =
   | Some rid -> Some (fetch t rid).root
 
 let list_documents t =
-  Hashtbl.fold (fun name _ acc -> name :: acc) t.catalog.Catalog.docs []
+  with_catalog_lock t (fun () ->
+      Hashtbl.fold (fun name _ acc -> name :: acc) t.catalog.Catalog.docs [])
   |> List.sort String.compare
 
 let delete_document t name =
@@ -1051,11 +1274,24 @@ let delete_document t name =
   match document_rid t name with
   | None -> invalid_arg (Printf.sprintf "Tree_store.delete_document: no document %S" name)
   | Some rid ->
+    let arena = document_arena t name in
     let box = fetch t rid in
     delete_descendant_records t box.root;
     drop_record t box;
-    Hashtbl.remove t.catalog.Catalog.docs name;
-    Catalog.save t.rm t.catalog
+    doc_remove t name;
+    (match arena with
+    | Some arena ->
+      (* Retag the dying document's pages back to the shared arena before
+         the catalog forgets the arena id — no page may keep an ownership
+         tag fsck cannot match to a document.  Inside a transaction the
+         reclaimed space is quarantined (registered as full) until the
+         next reopen rescans it: handing it to the shared arena's
+         inventory immediately would let a concurrent committer's catalog
+         write land on a page this still-uncommitted transaction owns. *)
+      Segment.release_arena ~quarantine:(in_transaction t) (Record_manager.segment t.rm) arena;
+      meta_remove t (arena_meta_key name)
+    | None -> ());
+    if not (in_transaction t) then Catalog.save t.rm t.catalog
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)

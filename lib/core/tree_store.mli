@@ -79,17 +79,40 @@ val sync : t -> unit
 (** Synonym for {!sync}, named for the durability protocol. *)
 val checkpoint : t -> unit
 
+(** [sync_document t doc] writes [doc]'s pages home without the
+    store-wide quiesce {!sync} needs: validation is against
+    {e per-document} transaction state, so an idle document's checkpoint
+    is never blocked by an unrelated in-flight writer.  It does not
+    truncate the WAL and does not persist the catalog (transactional
+    commits do, and unscoped work commits at the next {!sync}); it is
+    exactly the flush moving the document's data from the pool to disk,
+    WAL-before-data preserved per page.
+    @raise Error.Error with [Storage _] while a transaction {e on this
+    document} is in flight, when the document does not exist, or after
+    the store was poisoned. *)
+val sync_document : t -> string -> unit
+
+(** Synonym for {!sync_document}. *)
+val checkpoint_document : t -> string -> unit
+
 (** {1 Transactions}
 
     [with_txn t ~doc f] runs [f] as one atomic, durable transaction
     against document [doc]: after a crash the store recovers to a state
     where the transaction either happened entirely or not at all.  The
     per-document latch is held for the whole call, so two transactions on
-    the same document serialise completely; transactions on different
-    documents overlap everywhere except the store-wide mutation phase
-    (parsing before the call and the commit-fsync wait — where group
-    commit batches concurrent committers into one log force — run
-    concurrently).
+    the same document serialise completely.
+
+    Transactions on {e different} documents run their mutation phases
+    concurrently when the documents have private allocation arenas —
+    every document created inside a transaction gets one.  Their page
+    sets are disjoint by construction, so tree growth, splits and record
+    relocation all proceed under nothing but the document latch; only
+    the begin step and the commit step (catalog save on shared pages,
+    update/commit logging) serialise on the store-wide structure lock,
+    and the commit-fsync wait overlaps in the group-commit daemon.  A
+    pre-existing document in the shared arena keeps the serialised
+    mutation phase of earlier versions.
 
     Mutations outside [with_txn] keep the implicit checkpoint-batch
     semantics, but mixing regimes is rejected: an unscoped mutation while
@@ -101,6 +124,27 @@ val checkpoint : t -> unit
     typed [Storage] error and the only way forward is to reopen the store,
     which replays the log and undoes the loser. *)
 val with_txn : t -> doc:string -> (unit -> 'a) -> 'a
+
+(** Whether the calling domain is inside [with_txn]'s [f]. *)
+val in_transaction : t -> bool
+
+(** Private allocation arena of a document, if it has one. *)
+val document_arena : t -> string -> int option
+
+(** {1 Catalog metadata}
+
+    Keyed string metadata persisted with the catalog.  Inside a
+    transaction a write is {e journalled}: it becomes durable with this
+    transaction's commit, while a concurrently committing transaction
+    excludes it from the catalog image it saves.  Secondary layers
+    (DTDs, index roots and epochs, stats hints) must route their catalog
+    metadata through these instead of touching the tables directly —
+    the accessors also provide the synchronisation concurrent writers
+    need. *)
+
+val meta_find : t -> string -> string option
+val meta_put : t -> string -> string -> unit
+val meta_remove : t -> string -> unit
 
 (** Why the store is poisoned, if it is. *)
 val poisoned : t -> string option

@@ -31,6 +31,7 @@ let has_suffix s suf =
    moving to 4 does not fail a 10% gate. *)
 let classify key =
   if has_suffix key "_wall_s" then `Skip (* wall time: not deterministic *)
+  else if has_suffix key "_commits_per_s" then `Skip (* wall-derived: not deterministic *)
   else if has_suffix key "hit_ratio" then `Higher 0.01
   else if key = "sim_ms" || has_suffix key "_ms" then `Lower 1.0
   else if key = "reads" || key = "writes" || key = "disk_bytes" then `Lower 1.0

@@ -17,12 +17,15 @@ type frame = {
   mutable next : frame option;
 }
 
-(* Per-page write tracking of the one transaction currently in its
-   mutation phase (transactions are serialised there by the store's
-   structure lock; only their commit waits overlap).  [before] is the page
-   payload as of the last point everything was logged — the image undo
-   restores; [dirty_since_log] says the frame has moved past it. *)
+(* Per-page write tracking of a transaction in its mutation phase.
+   Several transactions may be in flight at once — one per domain, their
+   page sets disjoint (each mutates only its own document's arena pages;
+   shared pages are touched only inside the serialised commit section).
+   [before] is the page payload as of the last point everything was
+   logged — the image undo restores; [dirty_since_log] says the frame has
+   moved past it. *)
 type track = { before : bytes; mutable dirty_since_log : bool }
+
 type txn = { id : int; mutable last_lsn : int; pages : (int, track) Hashtbl.t }
 
 (* One LRU chain: head = most recently used, tail = eviction candidate. *)
@@ -84,13 +87,16 @@ type t = {
   raw : bytes;  (* one physical page, for WAL pre-image capture *)
   pre : bytes;  (* its payload view, handed to the log *)
   (* Transaction state, guarded by the pool lock (the evictor logging a
-     stolen page races with the mutator's {!mark_dirty}).  [txn_mode]
-     turns off the implicit batch's steal logging from the first
-     {!txn_begin} until the next {!checkpoint}: once pages carry
-     transactional records, an implicit pre-image logged at eviction time
-     would make recovery restore state from before a committed
-     transaction. *)
-  mutable active_txn : txn option;
+     stolen page races with a mutator's {!mark_dirty}).  [txns] maps a
+     domain to its in-flight transaction; [page_txn] maps a tracked page
+     to the transaction that owns it, so an evictor stealing any writer's
+     page logs the update under the right chain.  [txn_mode] turns off
+     the implicit batch's steal logging from the first {!txn_begin} until
+     the next {!checkpoint}: once pages carry transactional records, an
+     implicit pre-image logged at eviction time would make recovery
+     restore state from before a committed transaction. *)
+  txns : (int, txn) Hashtbl.t;
+  page_txn : (int, txn) Hashtbl.t;
   mutable txn_mode : bool;
   read_retries : int;
   obs : Natix_obs.Obs.t option;
@@ -120,7 +126,8 @@ let create ~disk ~bytes ?wal ?(read_retries = 3) ?(read_ahead = 0) ?(scan_resist
     wal;
     raw = Bytes.create (Disk.page_size disk);
     pre = Bytes.create (Disk.payload_size disk);
-    active_txn = None;
+    txns = Hashtbl.create 8;
+    page_txn = Hashtbl.create 64;
     txn_mode = false;
     read_retries;
     obs = Disk.obs disk;
@@ -309,7 +316,7 @@ let write_back t f =
     (match t.wal with
     | None -> ()
     | Some w ->
-      (match t.active_txn with
+      (match Hashtbl.find_opt t.page_txn f.page_id with
       | Some txn -> (
         match Hashtbl.find_opt txn.pages f.page_id with
         | Some tr when tr.dirty_since_log ->
@@ -720,22 +727,36 @@ let unfix t f =
       assert (f.pins > 0);
       f.pins <- f.pins - 1)
 
+(* Pool lock held. *)
+let current_txn t =
+  if Hashtbl.length t.txns = 0 then None
+  else Hashtbl.find_opt t.txns (Domain.self () :> int)
+
 (* Callers mark a frame dirty {e before} mutating it (see {!Segment}), so
-   this is where the active transaction captures the page image its undo
-   record will restore.  First touch copies the payload; after a mid-
-   transaction steal logged the page, the next touch just reopens the
-   dirty window — the tracked image already equals the frame (the steal
-   advanced it). *)
+   this is where the calling domain's transaction captures the page image
+   its undo record will restore.  First touch copies the payload and
+   claims the page in [page_txn]; after a mid-transaction steal logged
+   the page, the next touch just reopens the dirty window — the tracked
+   image already equals the frame (the steal advanced it).  A page
+   already claimed by a {e different} in-flight transaction is a
+   violation of the disjoint-page-sets invariant that makes concurrent
+   page-level logging sound, so it fails loudly rather than corrupt
+   either undo chain. *)
 let mark_dirty t f =
-  (match t.active_txn with
-  | None -> ()
-  | Some txn ->
-    with_pool t (fun () ->
-        match Hashtbl.find_opt txn.pages f.page_id with
-        | Some tr -> tr.dirty_since_log <- true
+  with_pool t (fun () ->
+      match current_txn t with
+      | None -> ()
+      | Some txn -> (
+        match Hashtbl.find_opt t.page_txn f.page_id with
+        | Some owner when owner != txn ->
+          invalid_arg
+            (Printf.sprintf "Buffer_pool.mark_dirty: page %d written by txn %d and txn %d"
+               f.page_id owner.id txn.id)
+        | Some _ -> (Hashtbl.find txn.pages f.page_id).dirty_since_log <- true
         | None ->
           Hashtbl.replace txn.pages f.page_id
-            { before = Bytes.copy f.data; dirty_since_log = true }));
+            { before = Bytes.copy f.data; dirty_since_log = true };
+          Hashtbl.replace t.page_txn f.page_id txn));
   f.dirty <- true
 
 let with_page t page_id fn =
@@ -747,9 +768,18 @@ let with_page t page_id fn =
    measured write sequences are bit-identical for single-domain runs. *)
 let flush t = with_pool t (fun () -> Hashtbl.iter (fun _ f -> write_back t f) t.registry)
 
+let flush_pages t pages =
+  with_pool t (fun () ->
+      List.iter
+        (fun page ->
+          match Hashtbl.find_opt t.registry page with
+          | Some f -> write_back t f
+          | None -> ())
+        pages)
+
 let checkpoint t =
   with_pool t (fun () ->
-      if t.active_txn <> None then invalid_arg "Buffer_pool.checkpoint: transaction in flight");
+      if Hashtbl.length t.txns > 0 then invalid_arg "Buffer_pool.checkpoint: transaction in flight");
   flush t;
   match t.wal with
   | None -> ()
@@ -763,27 +793,30 @@ let checkpoint t =
 (* Transactions                                                        *)
 
 let txn_mode t = with_pool t (fun () -> t.txn_mode)
-let txn_active t = with_pool t (fun () -> t.active_txn <> None)
+let txn_active t = with_pool t (fun () -> Hashtbl.length t.txns > 0)
 
 let txn_begin t ~txn =
   match t.wal with
   | None -> invalid_arg "Buffer_pool.txn_begin: no WAL attached"
   | Some w ->
+    let dom = (Domain.self () :> int) in
     with_pool t (fun () ->
-        if t.active_txn <> None then invalid_arg "Buffer_pool.txn_begin: transaction in flight";
+        if Hashtbl.mem t.txns dom then
+          invalid_arg "Buffer_pool.txn_begin: transaction in flight on this domain";
         t.txn_mode <- true;
         let base = Disk.page_count t.disk in
         let lsn = Wal.log_begin w ~txn ~base in
-        t.active_txn <- Some { id = txn; last_lsn = lsn; pages = Hashtbl.create 16 })
+        Hashtbl.replace t.txns dom { id = txn; last_lsn = lsn; pages = Hashtbl.create 16 })
 
-(* Seal the active transaction: log an update record for every page it
-   has moved past its last logged image (all still resident — a steal
-   would have logged and cleared them), then the commit record.  Returns
-   the commit record's LSN for the group-commit daemon to make durable;
-   nothing is forced here and no page is flushed (no-force). *)
+(* Seal the calling domain's transaction: log an update record for every
+   page it has moved past its last logged image (all still resident — a
+   steal would have logged and cleared them), then the commit record.
+   Returns the commit record's LSN for the group-commit daemon to make
+   durable; nothing is forced here and no page is flushed (no-force). *)
 let txn_commit_prep t =
+  let dom = (Domain.self () :> int) in
   with_pool t (fun () ->
-      match (t.wal, t.active_txn) with
+      match (t.wal, Hashtbl.find_opt t.txns dom) with
       | Some w, Some txn ->
         Hashtbl.iter
           (fun page tr ->
@@ -807,9 +840,10 @@ let txn_commit_prep t =
           Wal.log_commit w ~txn:txn.id ~prev_lsn:txn.last_lsn
             ~page_count:(Disk.page_count t.disk)
         in
-        t.active_txn <- None;
+        Hashtbl.iter (fun page _ -> Hashtbl.remove t.page_txn page) txn.pages;
+        Hashtbl.remove t.txns dom;
         lsn
-      | _ -> invalid_arg "Buffer_pool.txn_commit_prep: no transaction in flight")
+      | _ -> invalid_arg "Buffer_pool.txn_commit_prep: no transaction in flight on this domain")
 
 let clear t =
   (* All stripes in index order (equal rank, total order), then the pool:

@@ -126,6 +126,12 @@ val with_page : t -> int -> (frame -> 'a) -> 'a
     WAL pre-images first when a log is attached. *)
 val flush : t -> unit
 
+(** [flush_pages t pages] writes back just the listed pages' dirty frames
+    (non-resident or clean pages are skipped).  A page tracked by an
+    in-flight transaction is stolen — its update record is logged under
+    that transaction first — exactly as eviction would. *)
+val flush_pages : t -> int list -> unit
+
 (** {!flush}, then seal and truncate the WAL — the unscoped store's
     durability point, and the transition back from transaction mode to the
     implicit batch.  Equivalent to {!flush} when no WAL is attached.
@@ -134,30 +140,36 @@ val checkpoint : t -> unit
 
 (** {2 Transactions}
 
-    One transaction mutates at a time (the store serialises mutation
-    phases); only commit durability waits overlap.  The pool tracks each
-    page the transaction dirties and logs redo+undo update records for it
-    either when the page is stolen (written back while the transaction is
-    in flight) or at {!txn_commit_prep}. *)
+    Several transactions may be in their mutation phases at once — at
+    most one per domain, and their page sets must be disjoint (the store
+    guarantees this by giving each document a private allocation arena;
+    shared pages are only written inside its serialised commit section).
+    The pool tracks each page a transaction dirties, attributed to the
+    calling domain's transaction, and logs redo+undo update records for
+    it either when the page is stolen (written back while the transaction
+    is in flight) or at {!txn_commit_prep}.  {!mark_dirty} on a page
+    already tracked by a {e different} in-flight transaction raises —
+    the disjointness invariant is what keeps page-level logging sound. *)
 
-(** [txn_begin t ~txn] opens transaction [txn]: logs its begin record and
-    starts page tracking.  Enters transaction mode (suppressing the
-    implicit batch's steal logging) until the next {!checkpoint}.
-    @raise Invalid_argument without a WAL or while another transaction is
-    in flight. *)
+(** [txn_begin t ~txn] opens transaction [txn] on the calling domain:
+    logs its begin record and starts page tracking.  Enters transaction
+    mode (suppressing the implicit batch's steal logging) until the next
+    {!checkpoint}.
+    @raise Invalid_argument without a WAL or while the calling domain
+    already has a transaction in flight. *)
 val txn_begin : t -> txn:int -> unit
 
-(** Seal the active transaction: log update records for its still-unlogged
-    pages and the commit record, returning the commit record's LSN.  The
-    caller makes it durable (group commit); no page is flushed
-    (no-force). *)
+(** Seal the calling domain's transaction: log update records for its
+    still-unlogged pages and the commit record, returning the commit
+    record's LSN.  The caller makes it durable (group commit); no page is
+    flushed (no-force). *)
 val txn_commit_prep : t -> int
 
 (** Whether the pool is in transaction mode (some transaction began since
     the last {!checkpoint}). *)
 val txn_mode : t -> bool
 
-(** Whether a transaction is currently in its mutation phase. *)
+(** Whether any transaction is currently in its mutation phase. *)
 val txn_active : t -> bool
 
 (** Flush, then drop every frame.  Pinned frames cause a [Failure].

@@ -5,10 +5,13 @@
    is already covered by the durability watermark returns immediately — it
    shared a previous flush.  Otherwise the first committer to find no
    flush in progress becomes the leader: it releases the daemon lock,
-   charges the configured commit delay to the simulated clock (the window
-   in which followers pile their records into the same batch), forces the
-   log, and republishes the watermark.  Followers wait on the condition
-   variable; they never fsync themselves.
+   waits out the configured commit delay — the batching window during
+   which concurrently committing transactions append their records into
+   the same batch — then forces the log and republishes the watermark.
+   The window is real wall-clock time (the leader sleeps, so followers
+   genuinely pile in) and is also charged to the simulated clock so the
+   I/O model prices it.  Followers wait on the condition variable; they
+   never fsync themselves.
 
    Failure is total: if the leader's flush raises (an armed fsync fault
    killing the simulated process), the daemon is poisoned — the leader
@@ -93,7 +96,10 @@ let commit t ~lsn =
               Lock_rank.release Lock_rank.structure;
               let flush_start = tnow () in
               (match
-                 if t.commit_delay > 0. then t.charge t.commit_delay;
+                 if t.commit_delay > 0. then begin
+                   t.charge t.commit_delay;
+                   Unix.sleepf (t.commit_delay /. 1000.)
+                 end;
                  Wal.fsync t.wal
                with
               | () ->

@@ -4,11 +4,13 @@
     Committers call {!commit} with the LSN of their commit record.  If the
     durability watermark already covers it, they return immediately (their
     record rode a previous flush).  Otherwise one committer becomes the
-    {e leader}: it waits the configured [commit_delay] on the simulated
-    clock — the batching window during which later committers append their
-    records — then forces the log once for the whole group.  Followers
-    block on a condition variable and are woken by the leader's broadcast;
-    they never fsync themselves.
+    {e leader}: it waits out the configured [commit_delay] — the batching
+    window during which later committers append their records — then
+    forces the log once for the whole group.  The window is realized on
+    the wall clock (the leader sleeps, so concurrent committers genuinely
+    join the batch) and charged to the simulated clock so the I/O model
+    prices it.  Followers block on a condition variable and are woken by
+    the leader's broadcast; they never fsync themselves.
 
     If the leader's flush raises (e.g. an armed fsync fault), the daemon is
     {e poisoned}: the leader re-raises the crash, and every waiting or
@@ -17,9 +19,10 @@
 
 type t
 
-(** [create ~charge wal] wraps [wal].  [commit_delay] (milliseconds of
-    simulated time, default 0) is the leader's batching window, charged
-    through [charge] so it lands on the I/O model's clock. *)
+(** [create ~charge wal] wraps [wal].  [commit_delay] (milliseconds,
+    default 0) is the leader's batching window: slept on the wall clock
+    and charged through [charge] so it also lands on the I/O model's
+    clock. *)
 val create : ?commit_delay:float -> charge:(float -> unit) -> Wal.t -> t
 
 (** Block until the commit record at [lsn] is durable.  [Error reason]

@@ -1,12 +1,16 @@
 (* Debug lock-rank assertion.  Ranks, ascending acquisition order:
    registry (1) < conn (2) < tenant (3) < doc (4) < struct (5)
-   < stripe (6) < frame latch (7) < pool (8) < wal (9) < disk (10).
+   < arena (6) < alloc (7) < stripe (8) < frame latch (9) < pool (10)
+   < wal (11) < disk (12).
    The serving layer's locks (tenant registry, connection/dispatch state,
    per-tenant read-write gates) sit below every storage-engine lock: a
    request holds them while executing arbitrary store operations, so they
-   must never be acquired while an engine lock is held.  Try-locks are
-   exempt (they cannot contribute to a deadlock cycle) and are recorded
-   with [note_try] so their releases still balance. *)
+   must never be acquired while an engine lock is held.  [arena] is a
+   per-document allocation arena lock; [alloc] is the global free-page
+   allocator an arena refill grabs page runs from — both are held while
+   fixing and formatting pages, hence below stripe/pool/disk.  Try-locks
+   are exempt (they cannot contribute to a deadlock cycle) and are
+   recorded with [note_try] so their releases still balance. *)
 
 exception Violation of string
 
@@ -16,11 +20,13 @@ let conn = 2
 let tenant = 3
 let doc = 4
 let structure = 5
-let stripe = 6
-let frame = 7
-let pool = 8
-let wal = 9
-let disk = 10
+let arena = 6
+let alloc = 7
+let stripe = 8
+let frame = 9
+let pool = 10
+let wal = 11
+let disk = 12
 
 let name_of = function
   | 0 -> "unordered"
@@ -29,11 +35,13 @@ let name_of = function
   | 3 -> "tenant"
   | 4 -> "doc"
   | 5 -> "struct"
-  | 6 -> "stripe"
-  | 7 -> "frame"
-  | 8 -> "pool"
-  | 9 -> "wal"
-  | 10 -> "disk"
+  | 6 -> "arena"
+  | 7 -> "alloc"
+  | 8 -> "stripe"
+  | 9 -> "frame"
+  | 10 -> "pool"
+  | 11 -> "wal"
+  | 12 -> "disk"
   | r -> Printf.sprintf "rank%d" r
 
 let enabled = Atomic.make (Sys.getenv_opt "NATIX_LOCK_RANK" <> None)

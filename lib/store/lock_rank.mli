@@ -4,8 +4,8 @@
     lock of strictly higher rank than any it already holds:
 
     {v registry (1)  <  conn (2)  <  tenant (3)  <  doc (4)  <  struct (5)
-       <  stripe (6)  <  frame latch (7)  <  pool (8)  <  wal (9)
-       <  disk (10) v}
+       <  arena (6)  <  alloc (7)  <  stripe (8)  <  frame latch (9)
+       <  pool (10)  <  wal (11)  <  disk (12) v}
 
     The three lowest ranks belong to the serving layer ([Natix_server]):
     [registry] guards the tenant → store table (held while lazily opening
@@ -18,7 +18,11 @@
     [doc] is a per-document write latch held for the whole mutation phase
     of a transaction; it ranks {e below} stripe because a holder fixes
     pages (stripe, pool) while keeping it.  [struct] is the store-wide
-    structure lock serialising transaction mutation phases.  [wal] is the
+    structure lock serialising transaction begin/commit sections.
+    [arena] is a per-document allocation arena lock and [alloc] the
+    global free-page allocator below it: a refill holds arena, then
+    alloc, then fixes and formats the new pages (stripe/pool/disk), so
+    both rank below the buffer-pool hierarchy.  [wal] is the
     log's append mutex: appends happen while holding the pool lock
     (write-back of a stolen page) but never take the disk latch inside.
 
@@ -52,6 +56,8 @@ val tenant : int
 val doc : int
 
 val structure : int
+val arena : int
+val alloc : int
 val stripe : int
 val frame : int
 val pool : int

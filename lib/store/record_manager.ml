@@ -19,20 +19,22 @@ let tombstone_body rid =
   Bytes.unsafe_to_string b
 
 (* Insert [data] with [flags] on a page with room, preferring [near].
+   [owner] pins the allocation arena (else it follows [near]'s page, else
+   the shared arena — see {!Segment.find_space}).
    [Slotted_page.free_for_insert] (which the inventory tracks) already
    accounts for the slot entry, so the requirement is exactly the data
    length. *)
-let place t ?near ?policy data flags =
+let place t ?owner ?near ?policy data flags =
   let need = String.length data in
-  let page = Segment.find_space t.seg ?near ?policy need in
+  let page = Segment.find_space t.seg ?owner ?near ?policy need in
   Segment.with_page_mut t.seg page (fun b ->
       match Slotted_page.insert b data flags with
       | Some slot -> Rid.make ~page ~slot
       | None -> failwith "Record_manager.place: inventory out of sync")
 
-let insert t ?near ?policy data =
+let insert t ?owner ?near ?policy data =
   check_len t data;
-  let rid = place t ?near ?policy data Slotted_page.no_flags in
+  let rid = place t ?owner ?near ?policy data Slotted_page.no_flags in
   (match t.obs with
   | None -> ()
   | Some obs ->
@@ -97,7 +99,9 @@ let evict_one t page ~avoid =
   | Some slot ->
     let rid = Rid.make ~page ~slot in
     let body = read t rid in
-    let target = place t body Slotted_page.moved_flag in
+    (* The victim stays in its document's arena: relocation must not
+       leak a page of one arena into another writer's working set. *)
+    let target = place t ~owner:(Segment.owner_of t.seg page) body Slotted_page.moved_flag in
     (match t.obs with
     | None -> ()
     | Some obs ->
@@ -115,8 +119,11 @@ let update t rid data =
       (* Move the record out and leave a tombstone.  A tombstone fits
          whenever the old body was at least 8 bytes; a smaller body on a
          completely full page needs room made first by evicting a
-         neighbouring record. *)
-      let target = place t data Slotted_page.moved_flag in
+         neighbouring record.  The moved body stays in the home page's
+         arena. *)
+      let target =
+        place t ~owner:(Segment.owner_of t.seg (Rid.page rid)) data Slotted_page.moved_flag
+      in
       (match t.obs with
       | None -> ()
       | Some obs ->
@@ -142,7 +149,9 @@ let update t rid data =
       Segment.with_page_mut t.seg (Rid.page target) (fun b ->
           Slotted_page.delete b (Rid.slot target));
       if not home_fits then begin
-        let fresh = place t data Slotted_page.moved_flag in
+        let fresh =
+          place t ~owner:(Segment.owner_of t.seg (Rid.page rid)) data Slotted_page.moved_flag
+        in
         (match t.obs with
         | None -> ()
         | Some obs ->

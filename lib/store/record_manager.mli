@@ -25,11 +25,13 @@ val obs : t -> Natix_obs.Obs.t option
 (** Largest storable record in bytes. *)
 val max_len : t -> int
 
-(** [insert t ?near ?policy data] stores a new record, preferring a page
-    close to [near] (used to place children near their parents); [policy]
-    selects the fallback search, see {!Segment.find_space}.
+(** [insert t ?owner ?near ?policy data] stores a new record, preferring a
+    page close to [near] (used to place children near their parents).
+    [owner] selects the allocation arena explicitly (else [near]'s arena,
+    else the shared arena); [policy] selects the fallback search, see
+    {!Segment.find_space}.
     @raise Record_too_large if [data] exceeds {!max_len}. *)
-val insert : t -> ?near:int -> ?policy:[ `Forward | `First_fit ] -> string -> Rid.t
+val insert : t -> ?owner:int -> ?near:int -> ?policy:[ `Forward | `First_fit ] -> string -> Rid.t
 
 (** [read t rid] is a copy of the record's contents. *)
 val read : t -> Rid.t -> string

@@ -1,15 +1,23 @@
 (** A segment: a linear collection of equal-sized slotted pages (paper
-    §2.1) with page allocation and a free-space inventory.
+    §2.1) with page allocation, a free-space inventory, and per-document
+    allocation {e arenas}.
 
-    Page 0 is formatted at creation like every other page; the upper layers
-    use it to bootstrap their catalog (via the page's user32 field). *)
+    Every page carries an ownership tag (its user32 header field): arena 0
+    is the shared arena with the historical segment's exact placement
+    behaviour; a private arena (id >= 1) owns a disjoint set of pages and
+    grows by batches from the global allocator, so transactions confined
+    to different arenas never write the same page.  Page 0 is formatted at
+    creation like every other page; the upper layers use its user32 to
+    bootstrap their catalog, and it always belongs to arena 0. *)
 
 type t
 
-(** [create pool] opens the segment: a fresh disk gets page 0 allocated and
-    formatted; an existing disk has its free-space inventory rebuilt by a
-    scan. *)
-val create : Buffer_pool.t -> t
+(** [create ?batch pool] opens the segment: a fresh disk gets page 0
+    allocated and formatted; an existing disk has its arenas and
+    free-space inventories rebuilt by a scan of the ownership tags.
+    [batch] is how many pages a private arena grabs per refill (arena 0
+    always grows by one, as before arenas existed). *)
+val create : ?batch:int -> Buffer_pool.t -> t
 
 val buffer_pool : t -> Buffer_pool.t
 val disk : t -> Disk.t
@@ -19,7 +27,8 @@ val page_count : t -> int
 (** Largest record the segment can store. *)
 val max_record_len : t -> int
 
-(** Allocate and format a fresh page, returning its id. *)
+(** Allocate and format a fresh page in the shared arena, returning its
+    id. *)
 val alloc_page : t -> int
 
 (** [with_page t page f] runs [f] on the pinned page image (read-only). *)
@@ -29,15 +38,43 @@ val with_page : t -> int -> (bytes -> 'a) -> 'a
     refreshes its free-space inventory entry afterwards. *)
 val with_page_mut : t -> int -> (bytes -> 'a) -> 'a
 
-(** [find_space t ?near ?policy n] returns a page with at least [n]
-    insertable bytes, preferring the [near] page itself, then pages chosen
-    by [policy]: [`Forward] (default) scans onward from [near] to stay
-    close; [`First_fit] takes the lowest-numbered page with room, like a
-    generic record manager filling slack anywhere in the file.  Without
-    [near] the search starts from an internal rover that provides append
-    locality.  A fresh page is allocated when nothing fits.  Page 0 is
-    reserved for the catalog bootstrap and is never returned. *)
-val find_space : t -> ?near:int -> ?policy:[ `Forward | `First_fit ] -> int -> int
+(** [find_space t ?owner ?near ?policy n] returns a page with at least [n]
+    insertable bytes in the arena selected by [owner] (explicit id, else
+    the arena owning [near], else the shared arena).  Within the arena the
+    [near] page itself is preferred, then pages chosen by [policy]:
+    [`Forward] (default) scans onward from [near] to stay close;
+    [`First_fit] takes the lowest page with room.  Without [near] the
+    search starts from the arena's rover.  The arena refills from the
+    global allocator when nothing fits.  Page 0 is reserved for the
+    catalog bootstrap and is never returned. *)
+val find_space : t -> ?owner:int -> ?near:int -> ?policy:[ `Forward | `First_fit ] -> int -> int
+
+(** Arena owning [page] (0 for page 0 and untagged pages). *)
+val owner_of : t -> int -> int
+
+(** Register a new private arena and return its id (>= 1). *)
+val fresh_arena : t -> int
+
+(** Retag a private arena's pages to the shared arena and fold their free
+    space back into it; no-op for arena 0 or an unknown id.  Called when
+    the document owning the arena is deleted, so no page is left tagged
+    with an arena the catalog no longer records.  [quarantine] (default
+    false) registers the pages as full instead of donating their space —
+    required when the deletion runs inside a still-uncommitted
+    transaction, whose undo could wipe the pages back to zero under a
+    concurrent writer; the space is rediscovered on reopen. *)
+val release_arena : ?quarantine:bool -> t -> int -> unit
+
+(** All registered arena ids, ascending (always includes 0). *)
+val arena_ids : t -> int list
+
+(** Global page ids currently owned by an arena, in local order.
+    @raise Invalid_argument on an unknown arena. *)
+val arena_pages : t -> int -> int list
+
+(** Test hook: called at the start of every arena refill (before any page
+    is allocated), e.g. to arm a crash point inside the refill. *)
+val set_on_refill : t -> (unit -> unit) option -> unit
 
 (** Free bytes currently recorded for [page]. *)
 val free_bytes : t -> int -> int

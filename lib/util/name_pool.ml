@@ -1,9 +1,24 @@
-type t = { by_name : (string, Label.t) Hashtbl.t; mutable by_label : string array; mutable count : int }
+(* The pool is shared by every transaction in the store, so all access
+   goes through an internal leaf mutex: a holder touches only the two
+   in-memory tables and never acquires another lock, so the mutex cannot
+   participate in any wait cycle regardless of who calls in. *)
+type t = {
+  lock : Mutex.t;
+  by_name : (string, Label.t) Hashtbl.t;
+  mutable by_label : string array;
+  mutable count : int;
+}
 
 let reserved = [| "#scaffold"; "#pcdata" |]
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let create () =
-  let t = { by_name = Hashtbl.create 64; by_label = Array.make 64 ""; count = 0 } in
+  let t =
+    { lock = Mutex.create (); by_name = Hashtbl.create 64; by_label = Array.make 64 ""; count = 0 }
+  in
   Array.iter
     (fun name ->
       Hashtbl.replace t.by_name name t.count;
@@ -20,33 +35,36 @@ let grow t =
   end
 
 let intern t name =
-  match Hashtbl.find_opt t.by_name name with
-  | Some label -> label
-  | None ->
-    grow t;
-    let label = t.count in
-    Hashtbl.replace t.by_name name label;
-    t.by_label.(label) <- name;
-    t.count <- t.count + 1;
-    label
+  locked t (fun () ->
+      match Hashtbl.find_opt t.by_name name with
+      | Some label -> label
+      | None ->
+        grow t;
+        let label = t.count in
+        Hashtbl.replace t.by_name name label;
+        t.by_label.(label) <- name;
+        t.count <- t.count + 1;
+        label)
 
-let find t name = Hashtbl.find_opt t.by_name name
+let find t name = locked t (fun () -> Hashtbl.find_opt t.by_name name)
 
 let name t label =
-  if label < 0 || label >= t.count then invalid_arg "Name_pool.name: unknown label"
-  else t.by_label.(label)
+  locked t (fun () ->
+      if label < 0 || label >= t.count then invalid_arg "Name_pool.name: unknown label"
+      else t.by_label.(label))
 
-let size t = t.count
+let size t = locked t (fun () -> t.count)
 
 let encode t =
-  let buf = Buffer.create 256 in
-  for i = Array.length reserved to t.count - 1 do
-    let s = t.by_label.(i) in
-    Buffer.add_string buf (string_of_int (String.length s));
-    Buffer.add_char buf ':';
-    Buffer.add_string buf s
-  done;
-  Buffer.contents buf
+  locked t (fun () ->
+      let buf = Buffer.create 256 in
+      for i = Array.length reserved to t.count - 1 do
+        let s = t.by_label.(i) in
+        Buffer.add_string buf (string_of_int (String.length s));
+        Buffer.add_char buf ':';
+        Buffer.add_string buf s
+      done;
+      Buffer.contents buf)
 
 let decode s =
   let t = create () in

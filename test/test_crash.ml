@@ -481,6 +481,234 @@ let concurrent_txn_crash () =
               verify ?obs ~recrash_seed:None (Printf.sprintf "fsync point %d" k) acked)
             fsync_points))
 
+(* Two writers provably inside their mutation phases at the same moment:
+   each loads its document under [with_txn], then parks at a barrier
+   before growing it further — the barrier only opens once both have
+   arrived, which is itself a regression check (a serialised mutation
+   phase would deadlock here: the second writer could never reach the
+   barrier while the first holds the structure lock across it).  With
+   both mid-phase, a crash is armed a few writes ahead, landing inside
+   the overlapping phases or the commit sections that follow.  Recovery
+   must keep every acked commit byte-identical, drop unacked losers
+   entirely, and leave no orphaned pages (fsck's ownership layer). *)
+let overlapping_phase_crash () =
+  let path = Filename.temp_file "natix_crash" ".db" in
+  Fun.protect
+    ~finally:(fun () -> fresh path)
+    (fun () ->
+      let txn_config () = { (config ()) with Config.commit_delay = 0.5 } in
+      let parse s = Natix_xml.Xml_parser.parse s in
+      let small_play seed i =
+        let params =
+          {
+            Shakespeare.plays = 1;
+            seed = Int64.of_int seed;
+            acts_per_play = 1;
+            scenes_per_act = (1, 2);
+            speeches_per_scene = (2, 3);
+            lines_per_speech = (1, 3);
+            words_per_line = (3, 6);
+            personae = (2, 3);
+            stagedir_every = 4;
+          }
+        in
+        Shakespeare.generate_play params (Natix_util.Prng.create ~seed:params.Shakespeare.seed) i
+      in
+      let frag w i =
+        Printf.sprintf "<scene n=\"%d\"><line>late growth %d of writer %d</line></scene>" i i w
+      in
+      let grow store name w =
+        let root = Option.get (Tree_store.open_document store name) in
+        for i = 0 to 5 do
+          ignore (Loader.insert_fragment store (Tree_store.First_under root) (parse (frag w i)))
+        done
+      in
+      (* Sequential reference: same load + growth, unscoped, in memory. *)
+      let reference =
+        let store = Tree_store.in_memory ~config:(config ()) () in
+        List.iteri
+          (fun w name ->
+            ignore (Loader.load store ~name (small_play (40 + w) w));
+            grow store name w)
+          [ "left"; "right" ];
+        let r = state_of store in
+        Tree_store.close ~commit:false store;
+        r
+      in
+      List.iter
+        (fun delta ->
+          fresh path;
+          let plan = Faulty_disk.create ~seed:(Int64.of_int (31000 + delta)) () in
+          let disk = Disk.on_file ~page_size path in
+          Disk.set_faults disk (Some plan);
+          let store = Tree_store.open_store ~config:(txn_config ()) disk in
+          let m = Mutex.create () and c = Condition.create () in
+          let arrived = ref 0 and go = ref false in
+          let barrier () =
+            Mutex.lock m;
+            incr arrived;
+            Condition.broadcast c;
+            while not !go do
+              Condition.wait c m
+            done;
+            Mutex.unlock m
+          in
+          let acked = Atomic.make [] in
+          let track name =
+            let rec loop () =
+              let cur = Atomic.get acked in
+              if not (Atomic.compare_and_set acked cur (name :: cur)) then loop ()
+            in
+            loop ()
+          in
+          let writer w name =
+            Domain.spawn (fun () ->
+                match
+                  Tree_store.with_txn store ~doc:name (fun () ->
+                      ignore (Loader.load store ~name (small_play (40 + w) w));
+                      barrier ();
+                      grow store name w)
+                with
+                | () -> track name
+                | exception _ -> ())
+          in
+          let a = writer 0 "left" and b = writer 1 "right" in
+          Mutex.lock m;
+          while !arrived < 2 do
+            Condition.wait c m
+          done;
+          (* Both writers are mid-phase right now.  Arm the crash relative
+             to this moment and release them into the overlap. *)
+          Faulty_disk.arm_crash plan (Faulty_disk.writes_seen plan + delta);
+          go := true;
+          Condition.broadcast c;
+          Mutex.unlock m;
+          ignore (Domain.join a);
+          ignore (Domain.join b);
+          (try Tree_store.close ~commit:false store with _ -> ());
+          let acked = Atomic.get acked in
+          if not (Faulty_disk.crashed plan) then
+            Alcotest.(check int)
+              (Printf.sprintf "overlap delta %d survived: both committed" delta)
+              2 (List.length acked);
+          let disk2 = Disk.on_file ~page_size path in
+          let store2 = Tree_store.open_store ~config:(txn_config ()) disk2 in
+          let report = Fsck.run store2 in
+          if not (Fsck.ok report) then
+            Alcotest.failf "overlap delta %d: post-recovery fsck: %a" delta Fsck.pp report;
+          let recovered = state_of store2 in
+          List.iter
+            (fun (name, exported) ->
+              match List.assoc_opt name reference with
+              | Some expected when String.equal expected exported -> ()
+              | Some _ ->
+                Alcotest.failf "overlap delta %d: %S present but differs (partial commit?)" delta
+                  name
+              | None -> Alcotest.failf "overlap delta %d: unexpected document %S" delta name)
+            recovered;
+          List.iter
+            (fun name ->
+              if not (List.mem_assoc name recovered) then
+                Alcotest.failf "overlap delta %d: acked commit of %S is gone" delta name)
+            acked;
+          Tree_store.close ~commit:false store2)
+        [ 0; 1; 2; 4; 8; 16; 32; 64; 128 ])
+
+(* Crash armed from inside an arena refill: the [Segment.set_on_refill]
+   hook fires at the start of the [target]-th refill (before any page is
+   grabbed from the global allocator) and arms the fault plan on the very
+   next physical write.  With [arena_batch = 2] the loading transaction
+   refills several times, so the sweep covers a refill that logged
+   nothing yet, one mid-batch, and one whose pages were already
+   formatted.  Recovery must keep the committed base document, drop the
+   loser entirely, and leave neither orphaned ownership tags nor
+   half-formatted pages (the all-zero pages its undo leaves are carried
+   as permanently-full shared space).  [arena_batch = 1] makes every
+   page a refill, so later targets land deep inside the loser's load. *)
+let arena_refill_crash () =
+  let path = Filename.temp_file "natix_crash" ".db" in
+  Fun.protect
+    ~finally:(fun () -> fresh path)
+    (fun () ->
+      let txn_config () =
+        { (config ()) with Config.commit_delay = 0.5; Config.arena_batch = 1 }
+      in
+      let text = Natix_xml.Xml_print.to_string ~decl:true play in
+      (* Unarmed sizing run: count the loser's refills, so the sweep can
+         probe the first, a middle, and the last one. *)
+      let total_refills =
+        fresh path;
+        let disk = Disk.on_file ~page_size path in
+        let store = Tree_store.open_store ~config:(txn_config ()) disk in
+        let dm = Document_manager.create ~index:Document_manager.Off store in
+        (match Document_manager.store_transactional dm ~name:"base" (Natix_xml.Xml_parser.parse text) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "sizing base load failed: %s" (Error.to_string e));
+        let seg = Record_manager.segment (Tree_store.record_manager store) in
+        let seen = ref 0 in
+        Segment.set_on_refill seg (Some (fun () -> incr seen));
+        (match Document_manager.store_transactional dm ~name:"loser" (Natix_xml.Xml_parser.parse text) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "sizing loser load failed: %s" (Error.to_string e));
+        Tree_store.close ~commit:false store;
+        !seen
+      in
+      Alcotest.(check bool) "the loser refills its arena" true (total_refills >= 1);
+      List.iter
+        (fun target ->
+          fresh path;
+          let plan = Faulty_disk.create ~seed:(Int64.of_int (33000 + target)) () in
+          let disk = Disk.on_file ~page_size path in
+          Disk.set_faults disk (Some plan);
+          let store = Tree_store.open_store ~config:(txn_config ()) disk in
+          let dm = Document_manager.create ~index:Document_manager.Off store in
+          (match
+             Document_manager.store_transactional dm ~name:"base"
+               (Natix_xml.Xml_parser.parse text)
+           with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "base load failed: %s" (Error.to_string e));
+          let expected =
+            Natix_xml.Xml_print.to_string (Option.get (Exporter.document_to_xml store "base"))
+          in
+          let seg = Record_manager.segment (Tree_store.record_manager store) in
+          let seen = ref 0 in
+          Segment.set_on_refill seg
+            (Some
+               (fun () ->
+                 incr seen;
+                 if !seen = target then Faulty_disk.arm_crash plan (Faulty_disk.writes_seen plan)));
+          (match
+             Document_manager.store_transactional dm ~name:"loser"
+               (Natix_xml.Xml_parser.parse text)
+           with
+          | exception Faulty_disk.Crash -> ()
+          | exception Error.Error (Error.Storage _) -> ()
+          | Ok _ -> Alcotest.failf "refill %d: load survived the armed crash" target
+          | Error e -> Alcotest.failf "refill %d: expected the crash, got %s" target (Error.to_string e));
+          Alcotest.(check bool)
+            (Printf.sprintf "refill %d: the hook fired" target)
+            true (!seen >= target);
+          Alcotest.(check bool)
+            (Printf.sprintf "refill %d: the crash fired" target)
+            true (Faulty_disk.crashed plan);
+          (try Tree_store.close ~commit:false store with _ -> ());
+          let disk2 = Disk.on_file ~page_size path in
+          let store2 = Tree_store.open_store ~config:(txn_config ()) disk2 in
+          let report = Fsck.run store2 in
+          if not (Fsck.ok report) then
+            Alcotest.failf "refill %d: post-recovery fsck: %a" target Fsck.pp report;
+          Alcotest.(check (list string))
+            (Printf.sprintf "refill %d: loser fully absent" target)
+            [ "base" ]
+            (List.sort compare (Tree_store.list_documents store2));
+          Alcotest.(check string)
+            (Printf.sprintf "refill %d: base intact" target)
+            expected
+            (Natix_xml.Xml_print.to_string (Option.get (Exporter.document_to_xml store2 "base")));
+          Tree_store.close ~commit:false store2)
+        (List.sort_uniq compare [ 1; (total_refills + 1) / 2; total_refills ]))
+
 let harness_tests =
   [
     Alcotest.test_case "recovery reaches the last checkpoint at every crash point" `Slow sweep;
@@ -488,6 +716,10 @@ let harness_tests =
       concurrent_txn_crash;
     Alcotest.test_case "parallel bulk load recovers document-atomically" `Slow
       parallel_load_crash;
+    Alcotest.test_case "overlapping mutation phases recover atomically" `Slow
+      overlapping_phase_crash;
+    Alcotest.test_case "a crash inside an arena refill leaves no orphaned pages" `Slow
+      arena_refill_crash;
     Alcotest.test_case "raw page sweep finds a flipped byte" `Quick (fun () ->
         let path = Filename.temp_file "natix_crash" ".db" in
         Fun.protect

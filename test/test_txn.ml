@@ -561,9 +561,251 @@ let torn_tail_tests =
             done));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Concurrent writers: randomized differential harness                 *)
+
+let parse s = Natix_xml.Xml_parser.parse s
+
+let frag_text ~seed k =
+  Printf.sprintf "<scene n=\"%d\"><line>appended %d by schedule %d</line></scene>" k k seed
+
+let sum_reads outcome =
+  List.fold_left
+    (fun acc ws -> acc + ws.Natix_par.Par.io.Io_stats.reads)
+    0 outcome.Natix_par.Par.workers
+
+let sum_writes outcome =
+  List.fold_left
+    (fun acc ws -> acc + ws.Natix_par.Par.io.Io_stats.writes)
+    0 outcome.Natix_par.Par.workers
+
+(* One randomized schedule: [ndocs] documents created by disjoint
+   concurrent writers, then [nappends] fragment transactions whose target
+   documents overlap (every document gets at least one, the rest are drawn
+   at random).  The commit order observed under the document latches is
+   recorded with a ticket taken inside each transaction; replaying the
+   same committed transactions sequentially in ticket order on a fresh
+   store must yield byte-identical exports — concurrency may only change
+   the schedule, never the result.  Also asserted: the per-writer I/O
+   accounting partitions the disk totals exactly, and the store is
+   fsck-clean (ownership tags included) after crash recovery. *)
+let run_schedule ~seed ~jobs =
+  with_store_file (fun path ->
+      let label what = Printf.sprintf "schedule %d jobs %d: %s" seed jobs what in
+      let ndocs = 3 + (seed mod 3) in
+      let nappends = ndocs + 6 in
+      let prng = Natix_util.Prng.create ~seed:(Int64.of_int (0xC0 + seed)) in
+      let doc i = Printf.sprintf "doc-%d-%d" seed i in
+      let files =
+        List.init ndocs (fun i ->
+            (doc i, Natix_xml.Xml_print.to_string ~decl:true (play ~seed:((seed * 100) + i) i)))
+      in
+      let store = open_txn_store ~commit_delay:0.25 path in
+      let dm = Document_manager.create ~index:Document_manager.Off store in
+      let disk = Buffer_pool.disk (Tree_store.buffer_pool store) in
+      let io = Tree_store.io_stats store in
+      (* Phase A: disjoint writers, one document each. *)
+      let before_a = Io_stats.copy io in
+      let created = Natix_par.Par.load_files_txn ~jobs dm files in
+      List.iter2
+        (fun (name, _) -> function
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s: %s" (label name) (Error.to_string e))
+        files created.Natix_par.Par.results;
+      let delta_a = Io_stats.diff (Io_stats.copy io) before_a in
+      Alcotest.(check int) (label "disjoint reads partition") delta_a.Io_stats.reads
+        (sum_reads created);
+      Alcotest.(check int)
+        (label "disjoint writes partition")
+        delta_a.Io_stats.writes (sum_writes created);
+      (* Phase B: overlapping writers — every document gets one append,
+         the remainder target random documents. *)
+      let appends =
+        List.init nappends (fun k ->
+            let d = if k < ndocs then doc k else doc (Natix_util.Prng.int prng ndocs) in
+            (k, d, frag_text ~seed k))
+      in
+      let order = Array.make nappends (-1) in
+      let ticket = Atomic.make 0 in
+      let before_b = Io_stats.copy io in
+      let appended =
+        Natix_par.Par.map_tasks ~jobs ~disk
+          ~make_ctx:(fun () -> ())
+          ~f:(fun () (k, d, text) ->
+            Tree_store.with_txn store ~doc:d (fun () ->
+                let root = Option.get (Tree_store.open_document store d) in
+                match
+                  Document_manager.insert_fragment dm ~doc:d (Tree_store.First_under root)
+                    (parse text)
+                with
+                | Ok _ -> order.(k) <- Atomic.fetch_and_add ticket 1
+                | Error e -> Alcotest.failf "append %d on %s: %s" k d (Error.to_string e)))
+          (Array.of_list appends)
+      in
+      let delta_b = Io_stats.diff (Io_stats.copy io) before_b in
+      Alcotest.(check int)
+        (label "overlapping reads partition")
+        delta_b.Io_stats.reads (sum_reads appended);
+      Alcotest.(check int)
+        (label "overlapping writes partition")
+        delta_b.Io_stats.writes (sum_writes appended);
+      Alcotest.(check int) (label "every append committed") nappends (Atomic.get ticket);
+      (* Sequential replay of the same committed transactions, in ticket
+         order, on a fresh store. *)
+      let expected =
+        let ref_store = Tree_store.in_memory ~config:(config ()) () in
+        let ref_dm = Document_manager.create ~index:Document_manager.Off ref_store in
+        List.iter
+          (fun (name, text) ->
+            match Document_manager.store_document ref_dm ~name (parse text) with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "%s: replay load: %s" (label name) (Error.to_string e))
+          files;
+        List.iter
+          (fun (k, d, text) ->
+            let root = Option.get (Tree_store.open_document ref_store d) in
+            match
+              Document_manager.insert_fragment ref_dm ~doc:d (Tree_store.First_under root)
+                (parse text)
+            with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "replay append %d on %s: %s" k d (Error.to_string e))
+          (List.sort (fun (a, _, _) (b, _, _) -> compare order.(a) order.(b)) appends);
+        let exports = List.init ndocs (fun i -> (doc i, export ref_store (doc i))) in
+        Tree_store.close ~commit:false ref_store;
+        exports
+      in
+      List.iter (fun (d, x) -> Alcotest.(check string) (label d) x (export store d)) expected;
+      Tree_store.close ~commit:false store;
+      (* Everything was acked and nothing checkpointed: recovery must
+         rebuild the identical store, with no orphaned pages. *)
+      let store2 = open_txn_store path in
+      let report = Fsck.run store2 in
+      if not (Fsck.ok report) then Alcotest.failf "%s: %a" (label "post-recovery fsck") Fsck.pp report;
+      List.iter
+        (fun (d, x) -> Alcotest.(check string) (label (d ^ " after recovery")) x (export store2 d))
+        expected;
+      Tree_store.close ~commit:false store2)
+
+let concurrent_tests =
+  [
+    Alcotest.test_case "randomized schedules match sequential replay at jobs 1/2/4" `Quick
+      (fun () ->
+        (* 7 seeds x 3 job counts = 21 schedules, all under lock-rank
+           checking: the arena/alloc order must hold under real
+           concurrent-writer stress. *)
+        Lock_rank.enable ();
+        let v0 = Lock_rank.violations () in
+        Fun.protect
+          ~finally:(fun () -> Lock_rank.disable ())
+          (fun () ->
+            List.iter (fun jobs -> for seed = 1 to 7 do run_schedule ~seed ~jobs done) [ 1; 2; 4 ]);
+        Alcotest.(check int) "no lock-rank violations" v0 (Lock_rank.violations ()));
+    Alcotest.test_case "two writers on the same document serialize on the doc latch" `Quick
+      (fun () ->
+        with_store_file (fun path ->
+            let store = open_txn_store path in
+            let dm = Document_manager.create ~index:Document_manager.Off store in
+            (match Document_manager.store_transactional dm ~name:"shared" (play ~seed:60 0) with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "load failed: %s" (Error.to_string e));
+            let k = 8 in
+            let writer w =
+              Domain.spawn (fun () ->
+                  for i = 0 to k - 1 do
+                    Tree_store.with_txn store ~doc:"shared" (fun () ->
+                        let root = Option.get (Tree_store.open_document store "shared") in
+                        match
+                          Document_manager.insert_fragment dm ~doc:"shared"
+                            (Tree_store.First_under root)
+                            (parse (Printf.sprintf "<note w=\"%d\" i=\"%d\">x</note>" w i))
+                        with
+                        | Ok _ -> ()
+                        | Error e -> failwith (Error.to_string e))
+                  done)
+            in
+            let count_notes store =
+              let root = Option.get (Tree_store.open_document store "shared") in
+              Seq.fold_left
+                (fun acc n ->
+                  if Tree_store.is_element n && Tree_store.label_name store n.Phys_node.label = "note"
+                  then acc + 1
+                  else acc)
+                0
+                (Tree_store.logical_children store root)
+            in
+            let a = writer 0 and b = writer 1 in
+            Domain.join a;
+            Domain.join b;
+            (* Lost updates would show as fewer than 2k notes: an insert
+               that planned against a snapshot another writer overwrote. *)
+            Alcotest.(check int) "no lost updates" (2 * k) (count_notes store);
+            Tree_store.close ~commit:false store;
+            let store2 = open_txn_store path in
+            Alcotest.(check bool) "fsck clean" true (Fsck.ok (Fsck.run store2));
+            Alcotest.(check int) "no lost updates after recovery" (2 * k) (count_notes store2);
+            Tree_store.close ~commit:false store2));
+    Alcotest.test_case "an idle document's checkpoint is not blocked by an unrelated writer"
+      `Quick (fun () ->
+        with_store_file (fun path ->
+            let store = open_txn_store path in
+            let dm = Document_manager.create ~index:Document_manager.Off store in
+            (match Document_manager.store_transactional dm ~name:"idle" (play ~seed:61 0) with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "load failed: %s" (Error.to_string e));
+            let expected = export store "idle" in
+            let m = Mutex.create () and c = Condition.create () in
+            let started = ref false and release = ref false in
+            let signal r =
+              Mutex.lock m;
+              r := true;
+              Condition.broadcast c;
+              Mutex.unlock m
+            in
+            let wait r =
+              Mutex.lock m;
+              while not !r do
+                Condition.wait c m
+              done;
+              Mutex.unlock m
+            in
+            let writer =
+              Domain.spawn (fun () ->
+                  Tree_store.with_txn store ~doc:"busy" (fun () ->
+                      ignore (Loader.load store ~name:"busy" (play ~seed:62 1));
+                      signal started;
+                      wait release))
+            in
+            wait started;
+            (* The store-wide checkpoint is rightly rejected... *)
+            (match Tree_store.sync store with
+            | exception Error.Error (Error.Storage _) -> ()
+            | () -> Alcotest.fail "store-wide sync accepted mid-transaction");
+            (* ... and so is the busy document's own checkpoint ... *)
+            (match Tree_store.sync_document store "busy" with
+            | exception Error.Error (Error.Storage _) -> ()
+            | () -> Alcotest.fail "sync_document accepted on a document mid-transaction");
+            (match Tree_store.sync_document store "ghost" with
+            | exception Error.Error (Error.Storage _) -> ()
+            | () -> Alcotest.fail "sync_document accepted an unknown document");
+            (* ... but the idle document's is not: validation is against
+               per-document transaction state, not the store-wide count. *)
+            Tree_store.sync_document store "idle";
+            Document_manager.checkpoint_document dm "idle";
+            signal release;
+            ignore (Domain.join writer);
+            Alcotest.(check int) "transaction drained" 0 (Tree_store.active_txns store);
+            Tree_store.close ~commit:false store;
+            let store2 = open_txn_store path in
+            Alcotest.(check bool) "fsck clean" true (Fsck.ok (Fsck.run store2));
+            Alcotest.(check string) "idle document intact" expected (export store2 "idle");
+            Tree_store.close ~commit:false store2));
+  ]
+
 let suites =
   [
     ("txn.group_commit", group_commit_tests);
     ("txn.store", txn_tests);
+    ("txn.concurrent", concurrent_tests);
     ("txn.torn_tail", torn_tail_tests);
   ]
